@@ -1,0 +1,81 @@
+//! E7 microbenchmarks (concept side): concept-map bootstrapping, layer
+//! alignment, integration, and context propagation vs network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hive_concept::{
+    align_maps, bootstrap_concept_map, propagate, AlignConfig, BootstrapConfig, ConceptMap,
+    ContextNetwork, PropagationConfig,
+};
+use std::collections::HashMap;
+
+fn corpus(docs: usize) -> Vec<String> {
+    (0..docs)
+        .map(|i| {
+            format!(
+                "Tensor streams encode social networks; change detection over tensor \
+                 streams with randomized ensembles keeps monitoring cheap (doc {i}). \
+                 Community discovery in social networks tracks evolving communities."
+            )
+        })
+        .collect()
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concept_bootstrap");
+    for docs in [5usize, 40] {
+        let texts = corpus(docs);
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(docs), &docs, |b, _| {
+            b.iter(|| bootstrap_concept_map("bench", &refs, BootstrapConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn synthetic_map(name: &str, concepts: usize) -> ConceptMap {
+    let mut m = ConceptMap::new(name);
+    let stems = ["tensor", "stream", "graph", "community", "query", "index"];
+    for i in 0..concepts {
+        let a = stems[i % stems.len()];
+        let b = stems[(i / stems.len() + 1) % stems.len()];
+        m.add_concept(format!("{a} {b} {i}"), 0.5 + (i % 5) as f64 * 0.1);
+    }
+    let names: Vec<String> = m.concepts().map(|(c, _)| c.to_string()).collect();
+    for w in names.windows(2) {
+        m.add_relation(&w[0], &w[1], 0.5);
+    }
+    m
+}
+
+fn bench_align(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concept_align");
+    for n in [20usize, 80] {
+        let a = synthetic_map("a", n);
+        let b2 = synthetic_map("b", n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| align_maps(&a, &b2, AlignConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concept_propagation");
+    for n in [50usize, 200] {
+        let mut net = ContextNetwork::new();
+        net.add_layer(synthetic_map("papers", n), 1.0);
+        net.add_layer(synthetic_map("sessions", n / 2), 0.8);
+        net.align_all(AlignConfig::default());
+        let g = net.integrated_graph(0.9);
+        let seed_key = g.key(hive_graph::NodeId(0)).to_string();
+        let mut seeds = HashMap::new();
+        seeds.insert(seed_key, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| propagate(&g, &seeds, PropagationConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bootstrap, bench_align, bench_propagation);
+criterion_main!(benches);

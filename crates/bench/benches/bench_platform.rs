@@ -1,0 +1,57 @@
+//! End-to-end platform benchmarks: world generation, knowledge-network
+//! derivation, and the hot service paths on the medium world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hive_core::context::{build_context, ContextConfig};
+use hive_core::discover::DiscoverConfig;
+use hive_core::knowledge::KnowledgeNetwork;
+use hive_core::peers::PeerRecConfig;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_core::Hive;
+
+fn bench_world_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform_world_build");
+    group.sample_size(10);
+    group.bench_function("small", |b| {
+        b.iter(|| WorldBuilder::new(SimConfig::small()).build());
+    });
+    group.bench_function("medium", |b| {
+        b.iter(|| WorldBuilder::new(SimConfig::medium()).build());
+    });
+    group.finish();
+}
+
+fn bench_knowledge_build(c: &mut Criterion) {
+    let world = WorldBuilder::new(SimConfig::medium()).build();
+    let mut group = c.benchmark_group("platform_knowledge_build");
+    group.sample_size(10);
+    group.bench_function("medium", |b| {
+        b.iter(|| KnowledgeNetwork::build(&world.db));
+    });
+    group.finish();
+}
+
+fn bench_services(c: &mut Criterion) {
+    let world = WorldBuilder::new(SimConfig::medium()).build();
+    let hive = Hive::new(world.db);
+    let zach = hive.db().user_ids()[0];
+    let _ = hive.knowledge(); // warm
+    c.bench_function("platform_activity_context", |b| {
+        b.iter(|| {
+            let kn = hive.knowledge();
+            build_context(hive.db(), &kn, zach, ContextConfig::default())
+        });
+    });
+    c.bench_function("platform_recommend_peers", |b| {
+        b.iter(|| hive.recommend_peers(zach, PeerRecConfig::default()));
+    });
+    c.bench_function("platform_search", |b| {
+        b.iter(|| hive.search(zach, "tensor stream sketch", DiscoverConfig::default()));
+    });
+    c.bench_function("platform_communities", |b| {
+        b.iter(|| hive.discover_communities());
+    });
+}
+
+criterion_group!(benches, bench_world_build, bench_knowledge_build, bench_services);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E6 — R2DB substrate microbenchmarks: ingest throughput, pattern scan,
+//! BGP join, and top-k ranked path latency vs store size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hive_store::{BgpQuery, PathQuery, Pattern, PatternTerm, Term, TripleStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_store(n_triples: usize, seed: u64) -> TripleStore {
+    let mut st = TripleStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_nodes = (n_triples / 4).max(10);
+    let preds = ["rel:coauthor", "rel:cites", "rel:checked_in", "rel:follows"];
+    for _ in 0..n_triples {
+        let s = rng.gen_range(0..n_nodes);
+        let o = rng.gen_range(0..n_nodes);
+        let p = preds[rng.gen_range(0..preds.len())];
+        st.insert(
+            Term::iri(format!("user:{s}")),
+            Term::iri(p),
+            Term::iri(format!("user:{o}")),
+            rng.gen_range(0.1..1.0),
+        )
+        .expect("valid triple");
+    }
+    st
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ingest");
+    for size in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &n| {
+            b.iter(|| build_store(n, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let st = build_store(10_000, 2);
+    let subject = Term::iri("user:5");
+    let pred = Term::iri("rel:cites");
+    c.bench_function("store_scan_by_subject", |b| {
+        b.iter(|| st.triples_matching(Some(&subject), None, None).count());
+    });
+    c.bench_function("store_scan_by_predicate", |b| {
+        b.iter(|| st.triples_matching(None, Some(&pred), None).count());
+    });
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let st = build_store(10_000, 3);
+    // Two-hop join: who co-authors with a citer of user:7?
+    let q = BgpQuery::new()
+        .pattern(Pattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::bound(Term::iri("rel:cites")),
+            PatternTerm::bound(Term::iri("user:7")),
+        ))
+        .pattern(Pattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::bound(Term::iri("rel:coauthor")),
+            PatternTerm::var("y"),
+        ))
+        .limit(50);
+    c.bench_function("store_bgp_two_hop_join", |b| {
+        b.iter(|| q.evaluate(&st).len());
+    });
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ranked_paths");
+    for size in [2_000usize, 10_000] {
+        let st = build_store(size, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                PathQuery::new(Term::iri("user:1"), Term::iri("user:2"))
+                    .top_k(3)
+                    .max_hops(4)
+                    .run(&st)
+                    .ok()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_scan, bench_bgp, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! E7 microbenchmarks (text side): tokenization, TF-IDF vectorization,
+//! keyphrase extraction, snippet extraction, and AlphaSum summarization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hive_text::keyphrase::{extract_keyphrases, KeyphraseConfig};
+use hive_text::snippet::{extract_snippet, SnippetConfig};
+use hive_text::summarize::{summarize_table, Strategy, SummaryConfig, Table, ValueLattice};
+use hive_text::tfidf::Corpus;
+use hive_text::tokenize::tokenize_filtered;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ABSTRACT: &str = "Compressed sensing of tensor streams enables scalable \
+    monitoring of evolving social networks. Tensor streams encode multi-relational \
+    social media data compactly. Structural change detection in tensor streams is \
+    costly for decomposition methods; randomized tensor ensembles reduce the cost \
+    of change detection while keeping accuracy high across realistic workloads. \
+    The monitoring system must keep up with the stream rate at all times.";
+
+fn long_document(paragraphs: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..paragraphs {
+        s.push_str(ABSTRACT);
+        s.push(' ');
+    }
+    s
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let doc = long_document(20);
+    c.bench_function("text_tokenize_filtered_20p", |b| {
+        b.iter(|| tokenize_filtered(&doc).len());
+    });
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let mut corpus = Corpus::new();
+    for i in 0..200 {
+        corpus.index_document(&format!("{ABSTRACT} variant {i}"));
+    }
+    c.bench_function("text_vectorize_known", |b| {
+        b.iter(|| corpus.vectorize_known(ABSTRACT));
+    });
+}
+
+fn bench_keyphrases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text_keyphrases");
+    for paragraphs in [1usize, 10] {
+        let doc = long_document(paragraphs);
+        group.bench_with_input(BenchmarkId::from_parameter(paragraphs), &paragraphs, |b, _| {
+            b.iter(|| extract_keyphrases(&doc, KeyphraseConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_snippets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text_snippets");
+    for paragraphs in [5usize, 40] {
+        let doc = long_document(paragraphs);
+        group.bench_with_input(BenchmarkId::from_parameter(paragraphs), &paragraphs, |b, _| {
+            b.iter(|| {
+                extract_snippet(&doc, &["tensor streams", "change detection"], SnippetConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn random_activity_table(rows: usize, seed: u64) -> Table {
+    let mut who = ValueLattice::new("*");
+    for org in 0..5 {
+        who.add_child("*", format!("org{org}"));
+        for u in 0..20 {
+            who.add_child(format!("org{org}"), format!("user{org}_{u}"));
+        }
+    }
+    let mut place = ValueLattice::new("*");
+    for t in 0..4 {
+        place.add_child("*", format!("track{t}"));
+        for s in 0..5 {
+            place.add_child(format!("track{t}"), format!("session{t}_{s}"));
+        }
+    }
+    let mut what = ValueLattice::new("*");
+    for a in ["checkin", "question", "view"] {
+        what.add_child("*", a);
+    }
+    let mut table = Table::new(
+        vec!["who".into(), "where".into(), "what".into()],
+        vec![who, place, what],
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rows {
+        table.push_row(vec![
+            format!("user{}_{}", rng.gen_range(0..5), rng.gen_range(0..20)),
+            format!("session{}_{}", rng.gen_range(0..4), rng.gen_range(0..5)),
+            ["checkin", "question", "view"][rng.gen_range(0..3)].to_string(),
+        ]);
+    }
+    table
+}
+
+fn bench_alphasum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text_alphasum_greedy_k8");
+    group.sample_size(10);
+    for rows in [100usize, 400] {
+        let table = random_activity_table(rows, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                summarize_table(&table, SummaryConfig { max_rows: 8, strategy: Strategy::Greedy })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenize,
+    bench_tfidf,
+    bench_keyphrases,
+    bench_snippets,
+    bench_alphasum
+);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! Experiment E1 — the SCENT claim (paper ref \[15\]): "Through the use of
+//! randomized tensor ensembles, SCENT is able to encode the observed
+//! tensor streams in the form of compact descriptors and detect
+//! significant changes in the underlying structure faster and more
+//! accurately than the other methods."
+//!
+//! The cost model is the *streaming monitoring* regime: each epoch
+//! arrives as a sparse set of cell deltas. SCENT keeps one `r`-float
+//! descriptor per epoch, updated incrementally in `O(|delta| * r)` and
+//! compared in `O(r)`; the full-diff baseline must materialize whole
+//! epochs (`O(nnz)` memory each) and compare in `O(nnz)`; the CP-ALS
+//! baseline re-decomposes every epoch.
+//!
+//! Expected shape: SCENT's per-epoch monitoring cost and memory are far
+//! below CP-ALS and below full-diff once deltas are sparse relative to
+//! the tensor; detection F1 is comparable for visible changes and
+//! degrades first for the sketch as magnitude shrinks.
+//!
+//! Run: `cargo run -p hive-bench --release --bin exp_scent`
+
+use hive_bench::{fmt_us, header, row, time_once};
+use hive_scent::{
+    cp_als, detect_changes, f1_score, EpochScore, SketchConfig, SparseTensor, TensorSketch,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stream represented as (initial tensor, per-epoch delta lists).
+struct DeltaStream {
+    shape: Vec<usize>,
+    epochs: Vec<SparseTensor>,
+    deltas: Vec<Vec<(Vec<usize>, f64)>>,
+}
+
+/// Builds `epochs` snapshots over a `dim x dim x 3` tensor: a static
+/// background, a small per-epoch jitter touching `jitter_frac` of cells,
+/// and a dense block of `magnitude` planted at `change_at` epochs.
+fn planted_stream(
+    dim: usize,
+    epochs: usize,
+    change_at: &[usize],
+    magnitude: f64,
+    jitter_frac: f64,
+    seed: u64,
+) -> DeltaStream {
+    let shape = vec![dim, dim, 3];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nnz = dim * dim / 2;
+    let mut current = SparseTensor::new(shape.clone());
+    for _ in 0..nnz {
+        let idx = vec![rng.gen_range(0..dim), rng.gen_range(0..dim), rng.gen_range(0..3)];
+        current.set(&idx, rng.gen_range(0.2..1.0));
+    }
+    let block = (dim / 4).max(2);
+    let mut snapshots = Vec::with_capacity(epochs);
+    let mut deltas: Vec<Vec<(Vec<usize>, f64)>> = Vec::with_capacity(epochs);
+    snapshots.push(current.clone());
+    deltas.push(Vec::new());
+    for e in 1..epochs {
+        let mut delta: Vec<(Vec<usize>, f64)> = Vec::new();
+        // Sparse jitter.
+        let jitters = ((nnz as f64) * jitter_frac) as usize;
+        for _ in 0..jitters {
+            let idx = vec![rng.gen_range(0..dim), rng.gen_range(0..dim), rng.gen_range(0..3)];
+            delta.push((idx, rng.gen_range(-0.05..0.05)));
+        }
+        // Planted structural shift: block appears this epoch, vanishes next.
+        if change_at.contains(&e) {
+            for i in 0..block {
+                for j in 0..block {
+                    delta.push((vec![i, j, 0], magnitude));
+                }
+            }
+        }
+        if change_at.contains(&(e - 1)) {
+            for i in 0..block {
+                for j in 0..block {
+                    delta.push((vec![i, j, 0], -magnitude));
+                }
+            }
+        }
+        for (idx, dv) in &delta {
+            current.add(idx, *dv);
+        }
+        snapshots.push(current.clone());
+        deltas.push(delta);
+    }
+    DeltaStream { shape, epochs: snapshots, deltas }
+}
+
+/// Per-backend monitoring run: returns (scores, total time us, resident
+/// floats held for monitoring state).
+fn run_sketch(stream: &DeltaStream, r: usize, seed: u64) -> (Vec<EpochScore>, f64, usize) {
+    let cfg = SketchConfig { measurements: r, seed };
+    let (scores, us) = time_once(|| {
+        let mut scores = Vec::new();
+        let mut prev = TensorSketch::compute(&stream.epochs[0], cfg);
+        for (e, delta) in stream.deltas.iter().enumerate().skip(1) {
+            let mut cur = prev.clone();
+            for (idx, dv) in delta {
+                cur.apply_delta(idx, *dv);
+            }
+            scores.push(EpochScore { epoch: e, score: prev.estimate_distance(&cur) });
+            prev = cur;
+        }
+        scores
+    });
+    // State: two descriptors of r floats.
+    (scores, us, 2 * r)
+}
+
+fn run_full_diff(stream: &DeltaStream) -> (Vec<EpochScore>, f64, usize) {
+    let (scores, us) = time_once(|| {
+        stream
+            .epochs
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| EpochScore { epoch: i + 1, score: w[0].frobenius_distance(&w[1]) })
+            .collect::<Vec<_>>()
+    });
+    // State: two full epochs (value + 3 coords per nnz).
+    let nnz = stream.epochs[0].nnz();
+    (scores, us, 2 * nnz * 4)
+}
+
+fn run_cp(stream: &DeltaStream, rank: usize) -> (Vec<EpochScore>, f64, usize) {
+    let (scores, us) = time_once(|| {
+        let models: Vec<_> = stream.epochs.iter().map(|t| cp_als(t, rank, 6, 3)).collect();
+        stream
+            .epochs
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let mut coords: Vec<[usize; 3]> = w[0]
+                    .iter()
+                    .chain(w[1].iter())
+                    .map(|(idx, _)| [idx[0], idx[1], idx[2]])
+                    .collect();
+                coords.sort_unstable();
+                coords.dedup();
+                EpochScore {
+                    epoch: i + 1,
+                    score: models[i].reconstruction_distance(&models[i + 1], &coords),
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    let dims: usize = stream.shape.iter().sum();
+    (scores, us, 2 * dims * rank)
+}
+
+fn main() {
+    println!("E1 — SCENT vs baselines: streaming change detection on tensor streams");
+    let epochs = 24;
+    let change_at = vec![12, 18];
+    let truth: Vec<usize> = change_at.iter().flat_map(|&c| [c, c + 1]).collect();
+    let threshold = 5.0;
+    let warmup = 5;
+
+    header("Per-stream monitoring cost, state size, and F1 vs tensor size");
+    println!("(magnitude 2.0, 5% jitter, r = 256, 24 epochs)");
+    row(&[
+        "backend".into(),
+        "dim".into(),
+        "monitor time".into(),
+        "state (floats)".into(),
+        "f1".into(),
+    ]);
+    type RunResult = (Vec<EpochScore>, f64, usize);
+    for dim in [20usize, 40, 80, 160] {
+        let stream = planted_stream(dim, epochs, &change_at, 2.0, 0.05, 7);
+        let runs: Vec<(&str, RunResult)> = vec![
+            ("scent-sketch", run_sketch(&stream, 256, 3)),
+            ("cp-als", run_cp(&stream, 3)),
+            ("full-diff", run_full_diff(&stream)),
+        ];
+        for (name, (scores, us, state)) in runs {
+            let hits = detect_changes(&scores, threshold, warmup);
+            let (_, _, f1) = f1_score(&hits, &truth, 1);
+            row(&[
+                name.to_string(),
+                dim.to_string(),
+                fmt_us(us),
+                state.to_string(),
+                format!("{f1:.2}"),
+            ]);
+        }
+    }
+
+    header("Ablation: ensemble size r (dim 80)");
+    row(&["r".into(), "monitor time".into(), "state (floats)".into(), "f1".into()]);
+    let stream = planted_stream(80, epochs, &change_at, 2.0, 0.05, 11);
+    for r in [8usize, 32, 128, 512, 2048] {
+        let (scores, us, state) = run_sketch(&stream, r, 5);
+        let hits = detect_changes(&scores, threshold, warmup);
+        let (_, _, f1) = f1_score(&hits, &truth, 1);
+        row(&[r.to_string(), fmt_us(us), state.to_string(), format!("{f1:.2}")]);
+    }
+
+    header("Sensitivity: change magnitude (dim 60, r = 256, averaged over 3 seeds)");
+    row(&["magnitude".into(), "sketch f1".into(), "full-diff f1".into()]);
+    for magnitude in [0.002f64, 0.005, 0.01, 0.05, 0.2] {
+        let mut f_sketch = 0.0;
+        let mut f_full = 0.0;
+        let seeds = 3;
+        for s in 0..seeds {
+            let stream = planted_stream(60, epochs, &change_at, magnitude, 0.05, 13 + s);
+            let (scores, _, _) = run_sketch(&stream, 256, 9 + s);
+            let hits = detect_changes(&scores, threshold, warmup);
+            f_sketch += f1_score(&hits, &truth, 1).2;
+            let (scores, _, _) = run_full_diff(&stream);
+            let hits = detect_changes(&scores, threshold, warmup);
+            f_full += f1_score(&hits, &truth, 1).2;
+        }
+        row(&[
+            format!("{magnitude:.3}"),
+            format!("{:.2}", f_sketch / seeds as f64),
+            format!("{:.2}", f_full / seeds as f64),
+        ]);
+    }
+    println!(
+        "\nExpected shape: SCENT monitors with a constant-size descriptor and\n\
+         delta-proportional updates — far below CP-ALS cost and below full-diff\n\
+         state; F1 matches the exact baseline for visible changes and degrades\n\
+         first as the magnitude approaches the jitter floor."
+    );
+}

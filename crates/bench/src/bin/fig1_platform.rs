@@ -1,0 +1,103 @@
+//! Figure 1 regeneration: the platform state behind the screenshot —
+//! for one simulated conference edition, the session list with check-in
+//! counts, uploaded presentations, Q&A traffic, the hashtag bridge, and
+//! active-user statistics (what the MM'11 screen rendered).
+//!
+//! Run: `cargo run -p hive-bench --release --bin fig1_platform`
+
+use hive_bench::{header, row};
+use hive_core::clock::Timestamp;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_core::Hive;
+
+fn main() {
+    let cfg = SimConfig::medium();
+    let world = WorldBuilder::new(cfg).build();
+    let hive = Hive::new(world.db);
+    let db = hive.db();
+    let conf = world.conferences[0];
+    let edition = db.get_conference(conf).expect("exists");
+    println!(
+        "Figure 1 — Hive platform view for {} ({} registered users)",
+        edition.display_name(),
+        db.user_ids().len()
+    );
+
+    header("Sessions (with check-ins, talks, and discussion traffic)");
+    row(&[
+        "session".into(),
+        "track".into(),
+        "check-ins".into(),
+        "talks".into(),
+        "questions".into(),
+        "tweets".into(),
+    ]);
+    let mut total_checkins = 0;
+    let mut total_questions = 0;
+    for &s in db.sessions_of(conf) {
+        let sess = db.get_session(s).expect("exists");
+        let checkins = db.checkins_in(s).len();
+        let talks = db.presentations_in(s).len();
+        let questions: usize = db
+            .presentations_in(s)
+            .iter()
+            .map(|&p| db.questions_on(hive_core::model::QaTarget::Presentation(p)).len())
+            .sum::<usize>()
+            + db.questions_on(hive_core::model::QaTarget::Session(s)).len();
+        let tweets = db.tweets_in(s).len();
+        total_checkins += checkins;
+        total_questions += questions;
+        row(&[
+            sess.title.chars().take(34).collect(),
+            sess.track.clone(),
+            checkins.to_string(),
+            talks.to_string(),
+            questions.to_string(),
+            tweets.to_string(),
+        ]);
+    }
+
+    header("Attendance and activity");
+    let attendees = db.attendees(conf);
+    println!("attendees: {}", attendees.len());
+    println!("total check-ins: {total_checkins}");
+    println!("total questions: {total_questions}");
+    println!("activity log records: {}", db.activity_log().len());
+
+    header("Most active researchers (by logged events)");
+    let mut activity: Vec<(String, usize)> = db
+        .user_ids()
+        .into_iter()
+        .map(|u| {
+            (
+                db.get_user(u).expect("exists").name.clone(),
+                db.activities_of(u).len(),
+            )
+        })
+        .collect();
+    activity.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    row(&["researcher".into(), "events".into()]);
+    for (name, n) in activity.into_iter().take(8) {
+        row(&[name, n.to_string()]);
+    }
+
+    header("Trending sessions (weighted live activity)");
+    row(&["session".into(), "heat".into()]);
+    for (s, heat) in hive.trending_sessions(Timestamp(0), Timestamp(u64::MAX), 5) {
+        row(&[
+            db.get_session(s).expect("exists").title.chars().take(34).collect(),
+            format!("{heat:.1}"),
+        ]);
+    }
+
+    header("Live session ticker sample (first session with traffic)");
+    for &s in db.sessions_of(conf) {
+        let ticker = hive.session_ticker(s, Timestamp(0));
+        if !ticker.is_empty() {
+            for line in ticker.into_iter().take(6) {
+                println!("  {line}");
+            }
+            break;
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Table 1 regeneration: one demonstrated invocation and a latency row
+//! per Hive service, grouped exactly as the paper's table groups them.
+//!
+//! Run: `cargo run -p hive-bench --release --bin table1_services`
+
+use hive_bench::{fmt_us, header, mean, percentile, row, time_n};
+use hive_core::clock::Timestamp;
+use hive_core::discover::DiscoverConfig;
+use hive_core::history::HistoryQuery;
+use hive_core::peers::PeerRecConfig;
+use hive_core::reports::ReportScope;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_core::Hive;
+
+fn main() {
+    let cfg = SimConfig::medium();
+    println!(
+        "Table 1 — Hive service inventory (synthetic world: {} users, {} conferences, seed {})",
+        cfg.users, cfg.conferences, cfg.seed
+    );
+    let world = WorldBuilder::new(cfg).build();
+    let hive = Hive::new(world.db);
+    let users = hive.db().user_ids();
+    let zach = users[0];
+    // Warm the knowledge network once so rows measure service time, not
+    // the one-off derivation.
+    let _ = hive.knowledge();
+
+    let reps = 20;
+    let mut results: Vec<(String, String, Vec<f64>, String)> = Vec::new();
+    let mut bench = |group: &str, service: &str, result: String, samples: Vec<f64>| {
+        results.push((group.to_string(), service.to_string(), samples, result));
+    };
+
+    // --- Concept map and personalization services -------------------------
+    let docs: Vec<String> = hive
+        .db()
+        .paper_ids()
+        .iter()
+        .take(10)
+        .map(|&p| hive.db().get_paper(p).unwrap().text())
+        .collect();
+    let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let map = hive.bootstrap_concepts("uploads", &doc_refs);
+    bench(
+        "concept-map",
+        "bootstrap concept map from documents",
+        format!("{} concepts, {} relations", map.concept_count(), map.relation_count()),
+        time_n(reps, || {
+            std::hint::black_box(hive.bootstrap_concepts("uploads", &doc_refs));
+        }),
+    );
+    let ctx = hive.activity_context(zach);
+    bench(
+        "concept-map",
+        "personal activity context",
+        format!("{} seeds, {} terms", ctx.seeds.len(), ctx.terms.len()),
+        time_n(reps, || {
+            std::hint::black_box(hive.activity_context(zach));
+        }),
+    );
+
+    // --- Peer network services ---------------------------------------------
+    let recs = hive.recommend_peers(zach, PeerRecConfig::default());
+    bench(
+        "peer-network",
+        "recommend peers (top-5 + sessions)",
+        format!(
+            "top: {:?} (score {:.3})",
+            recs.first().map(|r| r.user),
+            recs.first().map(|r| r.score).unwrap_or(0.0)
+        ),
+        time_n(reps, || {
+            std::hint::black_box(hive.recommend_peers(zach, PeerRecConfig::default()));
+        }),
+    );
+    let sims = hive.similar_peers(zach, 5);
+    bench(
+        "peer-network",
+        "locate similar peers",
+        format!("{} similar peers", sims.len()),
+        time_n(reps, || {
+            std::hint::black_box(hive.similar_peers(zach, 5));
+        }),
+    );
+    let preds = hive.predict_sessions(users[1], 3);
+    bench(
+        "peer-network",
+        "predict peer's likely sessions",
+        format!("{} sessions predicted", preds.len()),
+        time_n(reps, || {
+            std::hint::black_box(hive.predict_sessions(users[1], 3));
+        }),
+    );
+
+    // --- Discovery / recommendation / preview -------------------------------
+    let hits = hive.search(zach, "tensor stream sketch", DiscoverConfig::default());
+    bench(
+        "discovery",
+        "context-aware search + previews",
+        format!("{} hits, top: {}", hits.len(), hits.first().map(|h| h.title.as_str()).unwrap_or("-")),
+        time_n(reps, || {
+            std::hint::black_box(hive.search(zach, "tensor stream sketch", DiscoverConfig::default()));
+        }),
+    );
+    let rec_res = hive.recommend_resources(zach, DiscoverConfig::default());
+    bench(
+        "discovery",
+        "contextual resource recommendation",
+        format!("{} resources", rec_res.len()),
+        time_n(reps, || {
+            std::hint::black_box(hive.recommend_resources(zach, DiscoverConfig::default()));
+        }),
+    );
+    let cf = hive.collaborative_recommendations(zach, 5);
+    bench(
+        "discovery",
+        "collaborative filtering",
+        format!("{} CF recommendations", cf.len()),
+        time_n(reps, || {
+            std::hint::black_box(hive.collaborative_recommendations(zach, 5));
+        }),
+    );
+    let exp = hive.explain_relationship(users[0], users[1]);
+    bench(
+        "discovery",
+        "relationship discovery + explanation",
+        format!("{} evidence items, {} paths", exp.items.len(), exp.paths.len()),
+        time_n(5, || {
+            std::hint::black_box(hive.explain_relationship(users[0], users[1]));
+        }),
+    );
+    let comms = hive.discover_communities();
+    bench(
+        "discovery",
+        "community discovery",
+        format!("{} communities (Q={:.2})", comms.count(), comms.modularity),
+        time_n(reps, || {
+            std::hint::black_box(hive.discover_communities());
+        }),
+    );
+    let report = hive.update_report(&ReportScope::Platform, Timestamp(0), Timestamp(u64::MAX), 8);
+    bench(
+        "discovery",
+        "summarized update report (AlphaSum)",
+        format!(
+            "{} events -> {} rows ({:.0}% info)",
+            report.total_events,
+            report.summary.rows.len(),
+            report.summary.retained * 100.0
+        ),
+        time_n(5, || {
+            std::hint::black_box(hive.update_report(
+                &ReportScope::Platform,
+                Timestamp(0),
+                Timestamp(u64::MAX),
+                8,
+            ));
+        }),
+    );
+
+    let first_paper = hive.db().paper_ids()[0];
+    let summary = hive
+        .summarize_resource(zach, hive_core::discover::Resource::Paper(first_paper), 2)
+        .expect("paper text");
+    bench(
+        "discovery",
+        "contextual document summarization",
+        format!("{} summary sentences", summary.sentences.len()),
+        time_n(reps, || {
+            std::hint::black_box(hive.summarize_resource(
+                zach,
+                hive_core::discover::Resource::Paper(first_paper),
+                2,
+            ));
+        }),
+    );
+
+    let since = Timestamp(0);
+    let hl = hive.highlights(zach, since, 5);
+    bench(
+        "discovery",
+        "context-ranked update highlights",
+        format!("{} highlights", hl.len()),
+        time_n(reps, || {
+            std::hint::black_box(hive.highlights(zach, since, 5));
+        }),
+    );
+
+    // --- Personal activity history ------------------------------------------
+    let q = HistoryQuery { actors: vec![zach], limit: 20, ..Default::default() };
+    let hist = hive.search_history(&q, Some(zach));
+    bench(
+        "history",
+        "context-ranked history search",
+        format!("{} hits", hist.len()),
+        time_n(reps, || {
+            std::hint::black_box(hive.search_history(&q, Some(zach)));
+        }),
+    );
+    let tl = hive.timeline(&[], 100);
+    bench(
+        "history",
+        "activity timeline buckets",
+        format!("{} buckets", tl.len()),
+        time_n(reps, || {
+            std::hint::black_box(hive.timeline(&[], 100));
+        }),
+    );
+
+    // --- Print ---------------------------------------------------------------
+    header("Table 1: services, demonstrated results, and latencies");
+    row(&[
+        "service".into(),
+        "group".into(),
+        "p50".into(),
+        "p95".into(),
+        "mean".into(),
+    ]);
+    for (group, service, samples, result) in &results {
+        row(&[
+            service.clone(),
+            group.clone(),
+            fmt_us(percentile(samples, 50.0)),
+            fmt_us(percentile(samples, 95.0)),
+            fmt_us(mean(samples)),
+        ]);
+        println!("    -> {result}");
+    }
+    println!("\n{} services demonstrated across the 4 Table 1 groups.", results.len());
+}

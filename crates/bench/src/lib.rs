@@ -1,0 +1,180 @@
+//! # hive-bench — experiment and figure/table regeneration harness
+//!
+//! One binary per paper artifact (see DESIGN.md §4):
+//!
+//! * `table1_services` — Table 1: one demonstrated invocation + latency
+//!   row per Hive service,
+//! * `fig1_platform` — Figure 1: the platform state behind the screenshot,
+//! * `fig2_relationships` — Figure 2: relationship evidence + ranked paths,
+//! * `fig3_layers` — Figure 3: layer inventory + alignment matrix,
+//! * `fig4_workpads` — Figure 4: context divergence across workpads,
+//! * `exp_scent`, `exp_ini`, `exp_alphasum`, `exp_peer_rec`,
+//!   `exp_communities` — the shape-level experiments for the cited
+//!   component claims.
+//!
+//! This library holds the shared measurement/reporting utilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Runs `f` once and returns (result, elapsed microseconds).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Runs `f` `n` times and returns the per-run latencies in microseconds.
+pub fn time_n(n: usize, mut f: impl FnMut()) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        f();
+        out.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    out
+}
+
+/// Percentile (0..=100) of a latency sample; returns 0 on empty input.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Mean of a sample (0 on empty).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints an aligned row of cells.
+pub fn row(cells: &[String]) {
+    let widths = [36, 14, 14, 14, 14, 14];
+    let mut line = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(12);
+        line.push_str(&format!("{c:<w$} "));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Formats microseconds human-readably.
+pub fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{us:.1}us")
+    }
+}
+
+/// Fraction of items shared by two top-k rankings, in `[0, 1]`.
+pub fn overlap_fraction<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let shared = a.iter().filter(|x| b.contains(x)).count();
+    shared as f64 / a.len().max(b.len()) as f64
+}
+
+/// Kendall tau rank correlation between two rankings given as ordered
+/// item lists (items not shared by both are ignored — pair with
+/// [`overlap_fraction`] to see divergence in membership). Returns a value
+/// in `[-1, 1]`; 1 = identical order (degenerate when < 2 shared items).
+pub fn kendall_tau<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    let shared: Vec<(usize, usize)> = a
+        .iter()
+        .enumerate()
+        .filter_map(|(ia, x)| b.iter().position(|y| y == x).map(|ib| (ia, ib)))
+        .collect();
+    let n = shared.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = shared[i].0 as i64 - shared[j].0 as i64;
+            let db = shared[i].1 as i64 - shared[j].1 as i64;
+            if da * db > 0 {
+                concordant += 1;
+            } else if da * db < 0 {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_bounds() {
+        let s = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 5.0);
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_bounds() {
+        assert_eq!(overlap_fraction(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(overlap_fraction(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(overlap_fraction::<i32>(&[], &[]), 1.0);
+        assert!((overlap_fraction(&[1, 2, 3, 4], &[3, 4, 5, 6]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let a = vec![1, 2, 3, 4];
+        let rev: Vec<i32> = a.iter().rev().copied().collect();
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        assert_eq!(kendall_tau(&a, &rev), -1.0);
+        assert_eq!(kendall_tau(&a, &[9, 10]), 1.0);
+    }
+
+    #[test]
+    fn timing_is_positive() {
+        let (v, us) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(us >= 0.0);
+        let samples = time_n(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert_eq!(samples.len(), 3);
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_us(500.0).ends_with("us"));
+        assert!(fmt_us(5_000.0).ends_with("ms"));
+        assert!(fmt_us(5_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,254 @@
+//! Imprecise alignment between two knowledge layers (paper §2.2).
+//!
+//! "Integration of layers starts with an alignment phase, which requires
+//! identification of mappings between concepts and relationships among
+//! different layers. ... since layers can conflict or reinforce each
+//! other, the result of the alignment process is imprecise."
+//!
+//! A candidate link between concept `a` (layer A) and concept `b`
+//! (layer B) is scored by a convex combination of:
+//!
+//! * **lexical similarity** — token-level Jaccard of the concept names
+//!   (after the standard normalization), and
+//! * **structural similarity** — Jaccard of the *lexically matched*
+//!   neighborhoods: how many of `a`'s neighbors have a name-equal
+//!   counterpart among `b`'s neighbors.
+//!
+//! Links below `threshold` are discarded; the result is intentionally
+//! many-to-many, preserving the paper's imprecision.
+
+use crate::map::ConceptMap;
+use hive_text::tokenize::tokenize_filtered;
+use std::collections::HashSet;
+
+/// One alignment link between two layers' concepts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlignmentLink {
+    /// Concept in the first map.
+    pub a: String,
+    /// Concept in the second map.
+    pub b: String,
+    /// Combined confidence in `(0, 1]`.
+    pub score: f64,
+}
+
+/// The (imprecise) alignment between two maps.
+#[derive(Clone, Debug, Default)]
+pub struct Alignment {
+    /// Accepted links, strongest first.
+    pub links: Vec<AlignmentLink>,
+}
+
+impl Alignment {
+    /// Links involving concept `a` of the first map.
+    pub fn links_of_a<'s>(&'s self, a: &'s str) -> impl Iterator<Item = &'s AlignmentLink> + 's {
+        self.links.iter().filter(move |l| l.a == a)
+    }
+
+    /// Mean link score (0 when empty) — the "alignment quality" reported
+    /// by the Figure 3 harness.
+    pub fn mean_score(&self) -> f64 {
+        if self.links.is_empty() {
+            0.0
+        } else {
+            self.links.iter().map(|l| l.score).sum::<f64>() / self.links.len() as f64
+        }
+    }
+}
+
+/// Alignment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AlignConfig {
+    /// Weight of lexical similarity vs structural (in `[0,1]`).
+    pub lexical_weight: f64,
+    /// Minimum combined score for a link to be kept.
+    pub threshold: f64,
+    /// If false, skip the structural term entirely (ablation flag for the
+    /// Figure 3 experiment).
+    pub use_structure: bool,
+}
+
+impl Default for AlignConfig {
+    fn default() -> Self {
+        AlignConfig { lexical_weight: 0.7, threshold: 0.35, use_structure: true }
+    }
+}
+
+fn name_tokens(name: &str) -> HashSet<String> {
+    tokenize_filtered(name).into_iter().collect()
+}
+
+fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.union(b).count();
+    inter as f64 / union as f64
+}
+
+/// Aligns two concept maps.
+pub fn align_maps(ma: &ConceptMap, mb: &ConceptMap, cfg: AlignConfig) -> Alignment {
+    // Pre-tokenize all names.
+    let a_names: Vec<(&str, HashSet<String>)> =
+        ma.concepts().map(|(c, _)| (c, name_tokens(c))).collect();
+    let b_names: Vec<(&str, HashSet<String>)> =
+        mb.concepts().map(|(c, _)| (c, name_tokens(c))).collect();
+    let mut links = Vec::new();
+    for (ca, ta) in &a_names {
+        for (cb, tb) in &b_names {
+            let lexical = jaccard(ta, tb);
+            if lexical == 0.0 && cfg.use_structure {
+                // Without any lexical anchor the structural term alone is
+                // too weak a signal; skip early for speed.
+                continue;
+            }
+            let structural = if cfg.use_structure {
+                neighborhood_similarity(ma, ca, mb, cb)
+            } else {
+                0.0
+            };
+            let w = if cfg.use_structure { cfg.lexical_weight } else { 1.0 };
+            let score = w * lexical + (1.0 - w) * structural;
+            if score >= cfg.threshold {
+                links.push(AlignmentLink {
+                    a: (*ca).to_string(),
+                    b: (*cb).to_string(),
+                    score: score.clamp(0.0, 1.0),
+                });
+            }
+        }
+    }
+    links.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .expect("finite")
+            .then_with(|| (x.a.as_str(), x.b.as_str()).cmp(&(y.a.as_str(), y.b.as_str())))
+    });
+    Alignment { links }
+}
+
+/// Jaccard over lexically matched neighbor names.
+fn neighborhood_similarity(ma: &ConceptMap, ca: &str, mb: &ConceptMap, cb: &str) -> f64 {
+    let na: Vec<HashSet<String>> = ma.neighbors(ca).map(|(n, _)| name_tokens(n)).collect();
+    let nb: Vec<HashSet<String>> = mb.neighbors(cb).map(|(n, _)| name_tokens(n)).collect();
+    if na.is_empty() || nb.is_empty() {
+        return 0.0;
+    }
+    // A neighbor of `a` is "matched" if some neighbor of `b` shares more
+    // than half of its tokens.
+    let matched_a = na
+        .iter()
+        .filter(|ta| nb.iter().any(|tb| jaccard(ta, tb) > 0.5))
+        .count();
+    let matched_b = nb
+        .iter()
+        .filter(|tb| na.iter().any(|ta| jaccard(ta, tb) > 0.5))
+        .count();
+    (matched_a + matched_b) as f64 / (na.len() + nb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer_a() -> ConceptMap {
+        let mut m = ConceptMap::new("papers");
+        m.add_concept("tensor streams", 0.9);
+        m.add_concept("social networks", 0.8);
+        m.add_concept("change detection", 0.7);
+        m.add_relation("tensor streams", "change detection", 0.8);
+        m.add_relation("tensor streams", "social networks", 0.6);
+        m
+    }
+
+    fn layer_b() -> ConceptMap {
+        let mut m = ConceptMap::new("sessions");
+        m.add_concept("tensor stream", 0.9); // singular: stems align
+        m.add_concept("social network analysis", 0.8);
+        m.add_concept("query optimization", 0.6);
+        m.add_relation("tensor stream", "social network analysis", 0.5);
+        m
+    }
+
+    #[test]
+    fn lexical_matches_found() {
+        let al = align_maps(&layer_a(), &layer_b(), AlignConfig::default());
+        assert!(
+            al.links
+                .iter()
+                .any(|l| l.a == "tensor streams" && l.b == "tensor stream"),
+            "expected tensor link in {:?}",
+            al.links
+        );
+        assert!(
+            al.links
+                .iter()
+                .any(|l| l.a == "social networks" && l.b == "social network analysis"),
+            "expected social link in {:?}",
+            al.links
+        );
+    }
+
+    #[test]
+    fn unrelated_concepts_not_linked() {
+        let al = align_maps(&layer_a(), &layer_b(), AlignConfig::default());
+        assert!(!al
+            .links
+            .iter()
+            .any(|l| l.b == "query optimization"), "{:?}", al.links);
+    }
+
+    #[test]
+    fn links_sorted_by_score() {
+        let al = align_maps(&layer_a(), &layer_b(), AlignConfig::default());
+        for w in al.links.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let loose = align_maps(
+            &layer_a(),
+            &layer_b(),
+            AlignConfig { threshold: 0.05, ..Default::default() },
+        );
+        let strict = align_maps(
+            &layer_a(),
+            &layer_b(),
+            AlignConfig { threshold: 0.9, ..Default::default() },
+        );
+        assert!(strict.links.len() <= loose.links.len());
+    }
+
+    #[test]
+    fn structure_raises_confidence_of_consistent_links() {
+        let with = align_maps(&layer_a(), &layer_b(), AlignConfig::default());
+        let without = align_maps(
+            &layer_a(),
+            &layer_b(),
+            AlignConfig { use_structure: false, ..Default::default() },
+        );
+        let f = |al: &Alignment| {
+            al.links
+                .iter()
+                .find(|l| l.a == "tensor streams" && l.b == "tensor stream")
+                .map(|l| l.score)
+        };
+        let (sw, so) = (f(&with), f(&without));
+        assert!(sw.is_some() && so.is_some());
+        // tensor<->tensor has a structurally consistent neighborhood
+        // (both relate to the social-network concept): structure helps.
+        assert!(sw.unwrap() >= so.unwrap() * 0.7 - 1e-9);
+    }
+
+    #[test]
+    fn mean_score_and_links_of() {
+        let al = align_maps(&layer_a(), &layer_b(), AlignConfig::default());
+        assert!(al.mean_score() > 0.0);
+        assert!(al.links_of_a("tensor streams").count() >= 1);
+        let empty = Alignment::default();
+        assert_eq!(empty.mean_score(), 0.0);
+    }
+}

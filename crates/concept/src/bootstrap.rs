@@ -1,0 +1,174 @@
+//! Concept-map bootstrapping from documents (paper §2.1, ref \[10\]).
+//!
+//! "To support services where the activity context is determined by
+//! external materials, we apply novel concept map bootstrapping algorithms
+//! that rely on user highlights, bookmarks, notes, or documents. These
+//! algorithms extract, in a semi-automated manner, dominant concepts and
+//! their relationships specific to a given material."
+//!
+//! Pipeline: per-document TextRank keyphrases become candidate concepts
+//! (significance = normalized rank score, max-combined across documents);
+//! concepts co-occurring in a document are related with a strength derived
+//! from their co-occurrence rate (a PMI-flavored score clamped to (0,1]).
+
+use crate::map::ConceptMap;
+use hive_text::keyphrase::{extract_keyphrases, KeyphraseConfig};
+use std::collections::{HashMap, HashSet};
+
+/// Bootstrapping parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BootstrapConfig {
+    /// Keyphrases taken per document.
+    pub per_doc_concepts: usize,
+    /// Minimum number of co-occurring documents for a relation.
+    pub min_cooccurrence: usize,
+    /// Keyphrase extraction settings.
+    pub keyphrase: KeyphraseConfig,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        BootstrapConfig {
+            per_doc_concepts: 8,
+            min_cooccurrence: 1,
+            keyphrase: KeyphraseConfig::default(),
+        }
+    }
+}
+
+/// Builds a concept map named `name` from `documents`.
+pub fn bootstrap_concept_map(
+    name: &str,
+    documents: &[&str],
+    cfg: BootstrapConfig,
+) -> ConceptMap {
+    let mut map = ConceptMap::new(name);
+    // Which concepts appear in which documents.
+    let mut doc_concepts: Vec<HashSet<String>> = Vec::with_capacity(documents.len());
+    for doc in documents {
+        let kcfg = KeyphraseConfig { top_k: cfg.per_doc_concepts, ..cfg.keyphrase };
+        let phrases = extract_keyphrases(doc, kcfg);
+        if phrases.is_empty() {
+            doc_concepts.push(HashSet::new());
+            continue;
+        }
+        let max_score = phrases[0].score.max(f64::MIN_POSITIVE);
+        let mut present = HashSet::new();
+        for kp in &phrases {
+            let significance = (kp.score / max_score).clamp(f64::MIN_POSITIVE, 1.0);
+            map.add_concept(kp.phrase.clone(), significance);
+            present.insert(kp.phrase.clone());
+        }
+        doc_concepts.push(present);
+    }
+    // Co-occurrence counts.
+    let mut pair_count: HashMap<(String, String), usize> = HashMap::new();
+    let mut single_count: HashMap<String, usize> = HashMap::new();
+    for present in &doc_concepts {
+        let mut sorted: Vec<&String> = present.iter().collect();
+        sorted.sort();
+        for c in &sorted {
+            *single_count.entry((*c).clone()).or_insert(0) += 1;
+        }
+        for (i, a) in sorted.iter().enumerate() {
+            for b in &sorted[i + 1..] {
+                *pair_count
+                    .entry(((*a).clone(), (*b).clone()))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    let n_docs = documents.len().max(1) as f64;
+    for ((a, b), cnt) in pair_count {
+        if cnt < cfg.min_cooccurrence {
+            continue;
+        }
+        // Pointwise-mutual-information-flavored strength, squashed to (0,1]:
+        // P(a,b) / (P(a) * P(b)) >= 1 when co-occurrence beats independence.
+        let pa = single_count[&a] as f64 / n_docs;
+        let pb = single_count[&b] as f64 / n_docs;
+        let pab = cnt as f64 / n_docs;
+        let lift = pab / (pa * pb);
+        let strength = (1.0 - (-lift).exp()).clamp(f64::MIN_POSITIVE, 1.0);
+        map.add_relation(&a, &b, strength);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "Tensor streams model evolving social networks. Compressed sensing \
+             of tensor streams enables scalable monitoring of social networks.",
+            "Structural change detection in tensor streams benefits from \
+             randomized tensor ensembles. Change detection must be fast.",
+            "Community discovery in social networks tracks evolving communities \
+             over time. Social networks change as communities split and merge.",
+        ]
+    }
+
+    #[test]
+    fn dominant_concepts_extracted() {
+        let map = bootstrap_concept_map("mm", &corpus(), BootstrapConfig::default());
+        assert!(map.concept_count() > 3);
+        let names: Vec<&str> = map.concepts().map(|(c, _)| c).collect();
+        assert!(
+            names.iter().any(|c| c.contains("tensor")),
+            "expected tensor concept in {names:?}"
+        );
+        assert!(
+            names.iter().any(|c| c.contains("social") || c.contains("network")),
+            "expected social-network concept in {names:?}"
+        );
+    }
+
+    #[test]
+    fn significances_are_valid() {
+        let map = bootstrap_concept_map("mm", &corpus(), BootstrapConfig::default());
+        for (_, s) in map.concepts() {
+            assert!(s > 0.0 && s <= 1.0);
+        }
+        for (_, _, w) in map.relations() {
+            assert!(w > 0.0 && w <= 1.0);
+        }
+    }
+
+    #[test]
+    fn cooccurring_concepts_are_related() {
+        let map = bootstrap_concept_map("mm", &corpus(), BootstrapConfig::default());
+        assert!(map.relation_count() > 0, "co-occurring concepts should link");
+    }
+
+    #[test]
+    fn min_cooccurrence_prunes() {
+        let loose = bootstrap_concept_map(
+            "mm",
+            &corpus(),
+            BootstrapConfig { min_cooccurrence: 1, ..Default::default() },
+        );
+        let strict = bootstrap_concept_map(
+            "mm",
+            &corpus(),
+            BootstrapConfig { min_cooccurrence: 3, ..Default::default() },
+        );
+        assert!(strict.relation_count() <= loose.relation_count());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let map = bootstrap_concept_map("empty", &[], BootstrapConfig::default());
+        assert_eq!(map.concept_count(), 0);
+        assert_eq!(map.relation_count(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = bootstrap_concept_map("mm", &corpus(), BootstrapConfig::default());
+        let b = bootstrap_concept_map("mm", &corpus(), BootstrapConfig::default());
+        assert_eq!(a.concept_count(), b.concept_count());
+        assert_eq!(a.relation_count(), b.relation_count());
+    }
+}

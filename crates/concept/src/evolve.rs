@@ -1,0 +1,230 @@
+//! Concept-map evolution: diffing two snapshots of a layer.
+//!
+//! The paper stresses that Hive's knowledge structures are "dynamically
+//! evolving". A [`ConceptMapDelta`] captures exactly what changed between
+//! two snapshots of the same layer (e.g. the papers layer before and
+//! after a new edition's proceedings land): concepts and relations that
+//! appeared, disappeared, or changed strength — plus a scalar magnitude
+//! that can feed the same change detectors SCENT uses.
+
+use crate::map::ConceptMap;
+use std::collections::HashSet;
+
+/// The difference between an `old` and a `new` concept map.
+#[derive(Clone, Debug, Default)]
+pub struct ConceptMapDelta {
+    /// Concepts present only in the new map, with their significance.
+    pub added_concepts: Vec<(String, f64)>,
+    /// Concepts present only in the old map.
+    pub removed_concepts: Vec<(String, f64)>,
+    /// Concepts in both whose significance changed: `(name, old, new)`.
+    pub reweighted_concepts: Vec<(String, f64, f64)>,
+    /// Relations present only in the new map: `(a, b, strength)`.
+    pub added_relations: Vec<(String, String, f64)>,
+    /// Relations present only in the old map.
+    pub removed_relations: Vec<(String, String, f64)>,
+    /// Relations in both whose strength changed: `(a, b, old, new)`.
+    pub reweighted_relations: Vec<(String, String, f64, f64)>,
+}
+
+impl ConceptMapDelta {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added_concepts.is_empty()
+            && self.removed_concepts.is_empty()
+            && self.reweighted_concepts.is_empty()
+            && self.added_relations.is_empty()
+            && self.removed_relations.is_empty()
+            && self.reweighted_relations.is_empty()
+    }
+
+    /// A scalar change magnitude: adds/removes count 1 each, reweights
+    /// count their absolute significance/strength shift. Comparable
+    /// across epochs of the same layer, so a stream of magnitudes can be
+    /// fed to the SCENT-style detectors.
+    pub fn magnitude(&self) -> f64 {
+        self.added_concepts.len() as f64
+            + self.removed_concepts.len() as f64
+            + self.added_relations.len() as f64
+            + self.removed_relations.len() as f64
+            + self
+                .reweighted_concepts
+                .iter()
+                .map(|(_, o, n)| (o - n).abs())
+                .sum::<f64>()
+            + self
+                .reweighted_relations
+                .iter()
+                .map(|(_, _, o, n)| (o - n).abs())
+                .sum::<f64>()
+    }
+
+    /// Renders a short human-readable changelog.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (c, s) in &self.added_concepts {
+            out.push_str(&format!("+ concept {c:?} ({s:.2})\n"));
+        }
+        for (c, _) in &self.removed_concepts {
+            out.push_str(&format!("- concept {c:?}\n"));
+        }
+        for (c, o, n) in &self.reweighted_concepts {
+            out.push_str(&format!("~ concept {c:?} {o:.2} -> {n:.2}\n"));
+        }
+        for (a, b, w) in &self.added_relations {
+            out.push_str(&format!("+ relation {a:?} -- {b:?} ({w:.2})\n"));
+        }
+        for (a, b, _) in &self.removed_relations {
+            out.push_str(&format!("- relation {a:?} -- {b:?}\n"));
+        }
+        for (a, b, o, n) in &self.reweighted_relations {
+            out.push_str(&format!("~ relation {a:?} -- {b:?} {o:.2} -> {n:.2}\n"));
+        }
+        out
+    }
+}
+
+/// Computes the delta from `old` to `new`. Reweights below `tolerance`
+/// are ignored (bootstrap scores jitter slightly between runs).
+pub fn diff_maps(old: &ConceptMap, new: &ConceptMap, tolerance: f64) -> ConceptMapDelta {
+    let mut delta = ConceptMapDelta::default();
+    let old_names: HashSet<&str> = old.concepts().map(|(c, _)| c).collect();
+    let new_names: HashSet<&str> = new.concepts().map(|(c, _)| c).collect();
+    for (c, s) in new.concepts() {
+        match old.significance(c) {
+            None => delta.added_concepts.push((c.to_string(), s)),
+            Some(o) if (o - s).abs() > tolerance => {
+                delta.reweighted_concepts.push((c.to_string(), o, s));
+            }
+            Some(_) => {}
+        }
+    }
+    for (c, s) in old.concepts() {
+        if !new_names.contains(c) {
+            delta.removed_concepts.push((c.to_string(), s));
+        }
+    }
+    let _ = old_names; // clarity: membership checks above use significance()
+    for (a, b, w) in new.relations() {
+        match old.relation(a, b) {
+            None => delta.added_relations.push((a.to_string(), b.to_string(), w)),
+            Some(o) if (o - w).abs() > tolerance => {
+                delta
+                    .reweighted_relations
+                    .push((a.to_string(), b.to_string(), o, w));
+            }
+            Some(_) => {}
+        }
+    }
+    for (a, b, w) in old.relations() {
+        if new.relation(a, b).is_none() {
+            delta.removed_relations.push((a.to_string(), b.to_string(), w));
+        }
+    }
+    // Deterministic ordering for stable output.
+    delta.added_concepts.sort_by(|x, y| x.0.cmp(&y.0));
+    delta.removed_concepts.sort_by(|x, y| x.0.cmp(&y.0));
+    delta.reweighted_concepts.sort_by(|x, y| x.0.cmp(&y.0));
+    delta.added_relations.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+    delta.removed_relations.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+    delta.reweighted_relations.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ConceptMap {
+        let mut m = ConceptMap::new("papers");
+        m.add_concept("tensor streams", 0.9);
+        m.add_concept("change detection", 0.6);
+        m.add_relation("tensor streams", "change detection", 0.5);
+        m
+    }
+
+    #[test]
+    fn identical_maps_have_empty_delta() {
+        let m = base();
+        let d = diff_maps(&m, &m, 1e-9);
+        assert!(d.is_empty());
+        assert_eq!(d.magnitude(), 0.0);
+        assert!(d.render().is_empty());
+    }
+
+    #[test]
+    fn additions_and_removals_detected() {
+        let old = base();
+        let mut new = base();
+        new.add_concept("graph communities", 0.7);
+        new.add_relation("tensor streams", "graph communities", 0.4);
+        let d = diff_maps(&old, &new, 1e-9);
+        assert_eq!(d.added_concepts.len(), 1);
+        assert_eq!(d.added_concepts[0].0, "graph communities");
+        assert_eq!(d.added_relations.len(), 1);
+        assert!(d.removed_concepts.is_empty());
+        // Reverse direction: same items flagged as removals.
+        let r = diff_maps(&new, &old, 1e-9);
+        assert_eq!(r.removed_concepts.len(), 1);
+        assert_eq!(r.removed_relations.len(), 1);
+        assert_eq!(d.magnitude(), r.magnitude());
+    }
+
+    #[test]
+    fn reweights_respect_tolerance() {
+        let old = base();
+        let mut new = ConceptMap::new("papers");
+        new.add_concept("tensor streams", 0.95); // +0.05
+        new.add_concept("change detection", 0.6);
+        new.add_relation("tensor streams", "change detection", 0.5);
+        let strict = diff_maps(&old, &new, 0.01);
+        assert_eq!(strict.reweighted_concepts.len(), 1);
+        assert!((strict.magnitude() - 0.05).abs() < 1e-9);
+        let loose = diff_maps(&old, &new, 0.1);
+        assert!(loose.is_empty(), "within tolerance = no change");
+    }
+
+    #[test]
+    fn changelog_renders_all_kinds() {
+        let old = base();
+        let mut new = ConceptMap::new("papers");
+        new.add_concept("tensor streams", 0.5); // reweighted
+        new.add_concept("fresh", 0.3); // added
+        // "change detection" removed, relation removed, new relation added.
+        new.add_relation("tensor streams", "fresh", 0.2);
+        let d = diff_maps(&old, &new, 0.01);
+        let text = d.render();
+        assert!(text.contains("+ concept \"fresh\""));
+        assert!(text.contains("- concept \"change detection\""));
+        assert!(text.contains("~ concept \"tensor streams\""));
+        assert!(text.contains("+ relation"));
+        assert!(text.contains("- relation"));
+    }
+
+    #[test]
+    fn magnitude_stream_feeds_change_detection() {
+        // Epochs of slowly drifting maps with one structural jump.
+        let mut epochs: Vec<ConceptMap> = Vec::new();
+        for e in 0..10 {
+            let mut m = base();
+            if e >= 6 {
+                // Structural change: a whole new concept cluster.
+                for i in 0..5 {
+                    m.add_concept(format!("new concept {i}"), 0.5);
+                }
+            }
+            epochs.push(m);
+        }
+        let magnitudes: Vec<f64> = epochs
+            .windows(2)
+            .map(|w| diff_maps(&w[0], &w[1], 1e-9).magnitude())
+            .collect();
+        let jump = magnitudes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i + 1)
+            .expect("non-empty");
+        assert_eq!(jump, 6, "magnitudes: {magnitudes:?}");
+    }
+}

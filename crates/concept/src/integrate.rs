@@ -1,0 +1,269 @@
+//! The integrated multi-layer "context network" of paper Figure 3.
+//!
+//! Hive's knowledge network stacks layers — user connections, concept
+//! maps, co-authorship, content, contextual knowledge — and "uses the
+//! multiple context layers ... in an integrated manner" for search and
+//! recommendation. A [`ContextNetwork`] owns one [`ConceptMap`] per layer
+//! plus the pairwise [`Alignment`]s, and can:
+//!
+//! * fuse everything into a single weighted [`hive_graph::Graph`] whose
+//!   node keys are `"<layer>::<concept>"` (intra-layer relation edges +
+//!   cross-layer alignment edges),
+//! * export itself to a [`hive_store::TripleStore`] for ranked path
+//!   queries, and
+//! * report per-layer inventories (the Figure 3 harness output).
+
+use crate::align::{align_maps, AlignConfig, Alignment};
+use crate::map::ConceptMap;
+use hive_graph::Graph;
+use hive_store::{StoreError, Term, TripleStore};
+
+/// Index of a layer within the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerId(pub usize);
+
+/// One knowledge layer: a named concept map with a trust weight.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// The layer's concept map (its name is the layer name).
+    pub map: ConceptMap,
+    /// Trust weight in `(0, 1]`, scaling this layer's contribution.
+    pub weight: f64,
+}
+
+/// The integrated context network.
+#[derive(Clone, Debug, Default)]
+pub struct ContextNetwork {
+    layers: Vec<Layer>,
+    /// `(a, b, alignment)` with `a < b`, computed on demand.
+    alignments: Vec<(LayerId, LayerId, Alignment)>,
+}
+
+impl ContextNetwork {
+    /// Empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a layer; returns its id. Panics if `weight` is not in (0,1].
+    pub fn add_layer(&mut self, map: ConceptMap, weight: f64) -> LayerId {
+        assert!(weight > 0.0 && weight <= 1.0, "layer weight in (0,1], got {weight}");
+        self.layers.push(Layer { map, weight });
+        LayerId(self.layers.len() - 1)
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Access a layer.
+    pub fn layer(&self, id: LayerId) -> &Layer {
+        &self.layers[id.0]
+    }
+
+    /// All layers with their ids.
+    pub fn layers(&self) -> impl Iterator<Item = (LayerId, &Layer)> {
+        self.layers.iter().enumerate().map(|(i, l)| (LayerId(i), l))
+    }
+
+    /// Computes alignments between every pair of layers.
+    pub fn align_all(&mut self, cfg: AlignConfig) {
+        self.alignments.clear();
+        for i in 0..self.layers.len() {
+            for j in (i + 1)..self.layers.len() {
+                let al = align_maps(&self.layers[i].map, &self.layers[j].map, cfg);
+                self.alignments.push((LayerId(i), LayerId(j), al));
+            }
+        }
+    }
+
+    /// The alignment between two layers, if computed.
+    pub fn alignment(&self, a: LayerId, b: LayerId) -> Option<&Alignment> {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.alignments
+            .iter()
+            .find(|(x, y, _)| *x == lo && *y == hi)
+            .map(|(_, _, al)| al)
+    }
+
+    /// Pairwise mean alignment scores — the "alignment quality matrix"
+    /// reported by the Figure 3 harness. Entry `(i, j)` is 0 on the
+    /// diagonal and for uncomputed pairs.
+    pub fn alignment_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.layers.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for (a, b, al) in &self.alignments {
+            let s = al.mean_score();
+            m[a.0][b.0] = s;
+            m[b.0][a.0] = s;
+        }
+        m
+    }
+
+    /// Qualified node key for a layer concept.
+    pub fn node_key(&self, layer: LayerId, concept: &str) -> String {
+        format!("{}::{concept}", self.layers[layer.0].map.name())
+    }
+
+    /// Fuses all layers + alignments into one undirected weighted graph.
+    ///
+    /// Intra-layer relation weights are scaled by the layer's trust
+    /// weight; cross-layer edges use the alignment link score scaled by
+    /// `cross_layer_weight`.
+    pub fn integrated_graph(&self, cross_layer_weight: f64) -> Graph {
+        let mut g = Graph::new();
+        for (lid, layer) in self.layers() {
+            for (c, _) in layer.map.concepts() {
+                g.add_node(self.node_key(lid, c));
+            }
+            for (a, b, w) in layer.map.relations() {
+                let ua = g.add_node(self.node_key(lid, a));
+                let ub = g.add_node(self.node_key(lid, b));
+                g.add_undirected_edge(ua, ub, w * layer.weight);
+            }
+        }
+        for (a, b, al) in &self.alignments {
+            for link in &al.links {
+                let ua = g.add_node(self.node_key(*a, &link.a));
+                let ub = g.add_node(self.node_key(*b, &link.b));
+                g.add_undirected_edge(ua, ub, link.score * cross_layer_weight);
+            }
+        }
+        g
+    }
+
+    /// Exports the network as weighted RDF triples:
+    /// `concept --rel:related--> concept` (intra-layer),
+    /// `concept --rel:aligned--> concept` (cross-layer), and
+    /// `concept --rel:in_layer--> layer`.
+    pub fn export_to_store(&self, store: &mut TripleStore) -> Result<usize, StoreError> {
+        let related = Term::iri("rel:related");
+        let aligned = Term::iri("rel:aligned");
+        let in_layer = Term::iri("rel:in_layer");
+        let mut n = 0;
+        for (lid, layer) in self.layers() {
+            let layer_term = Term::iri(format!("layer:{}", layer.map.name()));
+            for (c, s) in layer.map.concepts() {
+                let ct = Term::iri(self.node_key(lid, c));
+                store.insert(ct, in_layer.clone(), layer_term.clone(), s)?;
+                n += 1;
+            }
+            for (a, b, w) in layer.map.relations() {
+                let ta = Term::iri(self.node_key(lid, a));
+                let tb = Term::iri(self.node_key(lid, b));
+                store.insert(ta, related.clone(), tb, (w * layer.weight).clamp(f64::MIN_POSITIVE, 1.0))?;
+                n += 1;
+            }
+        }
+        for (a, b, al) in &self.alignments {
+            for link in &al.links {
+                let ta = Term::iri(self.node_key(*a, &link.a));
+                let tb = Term::iri(self.node_key(*b, &link.b));
+                store.insert(ta, aligned.clone(), tb, link.score)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Per-layer `(name, concepts, relations, weight)` inventory rows.
+    pub fn inventory(&self) -> Vec<(String, usize, usize, f64)> {
+        self.layers
+            .iter()
+            .map(|l| {
+                (
+                    l.map.name().to_string(),
+                    l.map.concept_count(),
+                    l.map.relation_count(),
+                    l.weight,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_layer_network() -> ContextNetwork {
+        let mut papers = ConceptMap::new("papers");
+        papers.add_concept("tensor streams", 0.9);
+        papers.add_concept("change detection", 0.7);
+        papers.add_relation("tensor streams", "change detection", 0.8);
+        let mut sessions = ConceptMap::new("sessions");
+        sessions.add_concept("tensor stream", 0.8);
+        sessions.add_concept("graph processing", 0.6);
+        sessions.add_relation("tensor stream", "graph processing", 0.5);
+        let mut net = ContextNetwork::new();
+        net.add_layer(papers, 1.0);
+        net.add_layer(sessions, 0.8);
+        net.align_all(AlignConfig::default());
+        net
+    }
+
+    #[test]
+    fn layers_and_inventory() {
+        let net = two_layer_network();
+        assert_eq!(net.layer_count(), 2);
+        let inv = net.inventory();
+        assert_eq!(inv[0], ("papers".to_string(), 2, 1, 1.0));
+        assert_eq!(inv[1].1, 2);
+    }
+
+    #[test]
+    fn alignment_found_and_matrix_symmetric() {
+        let net = two_layer_network();
+        let al = net.alignment(LayerId(0), LayerId(1)).unwrap();
+        assert!(!al.links.is_empty(), "tensor concepts should align");
+        // Order-insensitive lookup.
+        assert!(net.alignment(LayerId(1), LayerId(0)).is_some());
+        let m = net.alignment_matrix();
+        assert_eq!(m[0][1], m[1][0]);
+        assert!(m[0][1] > 0.0);
+        assert_eq!(m[0][0], 0.0);
+    }
+
+    #[test]
+    fn integrated_graph_connects_layers() {
+        let net = two_layer_network();
+        let g = net.integrated_graph(0.9);
+        assert_eq!(g.node_count(), 4);
+        let a = g.node("papers::tensor streams").unwrap();
+        let b = g.node("sessions::tensor stream").unwrap();
+        assert!(g.edge_weight(a, b).is_some(), "cross-layer edge exists");
+        // Intra-layer edge scaled by layer weight 0.8.
+        let s1 = g.node("sessions::graph processing").unwrap();
+        let w = g.edge_weight(b, s1).unwrap();
+        assert!((w - 0.5 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_to_store_counts() {
+        let net = two_layer_network();
+        let mut st = TripleStore::new();
+        let n = net.export_to_store(&mut st).unwrap();
+        assert_eq!(n, st.len());
+        // 4 in_layer + 2 related + alignment links.
+        assert!(st.len() >= 7, "got {}", st.len());
+        // Path query across layers works on the exported store.
+        let paths = hive_store::PathQuery::new(
+            Term::iri("papers::change detection"),
+            Term::iri("sessions::graph processing"),
+        )
+        .over_predicates(vec![Term::iri("rel:related"), Term::iri("rel:aligned")])
+        .run(&st)
+        .unwrap();
+        assert!(!paths.is_empty(), "cross-layer path should exist");
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = ContextNetwork::new();
+        assert_eq!(net.layer_count(), 0);
+        assert!(net.alignment_matrix().is_empty());
+        let g = net.integrated_graph(1.0);
+        assert_eq!(g.node_count(), 0);
+    }
+}

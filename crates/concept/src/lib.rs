@@ -1,0 +1,36 @@
+//! # hive-concept — concept maps and the layered context network
+//!
+//! Implements the knowledge structures of paper §2.1–§2.2:
+//!
+//! * [`ConceptMap`] — weighted concepts and relations ("the domain
+//!   knowledge captured by the usage context includes concepts, their
+//!   significance, ... and the strength of the inter-relationships"),
+//! * **bootstrapping** — "novel concept map bootstrapping algorithms that
+//!   rely on user highlights, bookmarks, notes, or documents" (ref \[10\]):
+//!   documents in, weighted concept map out,
+//! * **alignment** — the §2.2 integration phase: imprecise, weighted
+//!   mappings between the concepts of two layers, combining lexical and
+//!   structural similarity,
+//! * **integration** — the multi-layer "context network" of Figure 3,
+//!   which fuses layers plus alignment edges into one weighted graph and
+//!   can export itself into a [`hive_store::TripleStore`],
+//! * **propagation** — context propagation "within the relevant
+//!   neighborhoods of the knowledge network using adaptation strategies"
+//!   (§2.3), seeded by the active workpad.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod bootstrap;
+pub mod evolve;
+pub mod integrate;
+pub mod map;
+pub mod propagate;
+
+pub use align::{align_maps, AlignConfig, Alignment, AlignmentLink};
+pub use bootstrap::{bootstrap_concept_map, BootstrapConfig};
+pub use evolve::{diff_maps, ConceptMapDelta};
+pub use integrate::{ContextNetwork, Layer, LayerId};
+pub use map::ConceptMap;
+pub use propagate::{propagate, top_activated, PropagationConfig};

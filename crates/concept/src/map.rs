@@ -1,0 +1,218 @@
+//! Weighted concept maps: concepts with significance scores and weighted
+//! inter-concept relations.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A concept map for one knowledge layer or document collection.
+///
+/// Concepts carry a *significance* in `(0, 1]`; relations carry a
+/// *strength* in `(0, 1]`. Re-adding a concept/relation keeps the maximum
+/// (observing a concept again can only reinforce it).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ConceptMap {
+    name: String,
+    concepts: HashMap<String, f64>,
+    relations: HashMap<(String, String), f64>,
+}
+
+impl ConceptMap {
+    /// Creates an empty map with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ConceptMap { name: name.into(), ..Default::default() }
+    }
+
+    /// The map's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of concepts.
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Number of (undirected) relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Adds a concept, keeping the max significance if it exists.
+    ///
+    /// Panics if `significance` is not in `(0, 1]`.
+    pub fn add_concept(&mut self, concept: impl Into<String>, significance: f64) {
+        assert!(
+            significance > 0.0 && significance <= 1.0,
+            "significance must be in (0,1], got {significance}"
+        );
+        let c = concept.into();
+        let slot = self.concepts.entry(c).or_insert(0.0);
+        if significance > *slot {
+            *slot = significance;
+        }
+    }
+
+    /// Significance of a concept, if present.
+    pub fn significance(&self, concept: &str) -> Option<f64> {
+        self.concepts.get(concept).copied()
+    }
+
+    /// True if the concept exists.
+    pub fn contains(&self, concept: &str) -> bool {
+        self.concepts.contains_key(concept)
+    }
+
+    fn ordered(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        }
+    }
+
+    /// Adds an undirected relation, keeping the max strength. Both
+    /// endpoints must already be concepts.
+    pub fn add_relation(&mut self, a: &str, b: &str, strength: f64) {
+        assert!(
+            strength > 0.0 && strength <= 1.0,
+            "strength must be in (0,1], got {strength}"
+        );
+        assert!(self.contains(a), "unknown concept {a:?}");
+        assert!(self.contains(b), "unknown concept {b:?}");
+        if a == b {
+            return;
+        }
+        let key = Self::ordered(a, b);
+        let slot = self.relations.entry(key).or_insert(0.0);
+        if strength > *slot {
+            *slot = strength;
+        }
+    }
+
+    /// Strength of the relation between `a` and `b`, if any.
+    pub fn relation(&self, a: &str, b: &str) -> Option<f64> {
+        self.relations.get(&Self::ordered(a, b)).copied()
+    }
+
+    /// Iterates `(concept, significance)`.
+    pub fn concepts(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.concepts.iter().map(|(c, &s)| (c.as_str(), s))
+    }
+
+    /// Iterates `(a, b, strength)` with `a < b`.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.relations
+            .iter()
+            .map(|((a, b), &w)| (a.as_str(), b.as_str(), w))
+    }
+
+    /// Neighbors of `concept` with relation strengths.
+    pub fn neighbors<'a>(&'a self, concept: &'a str) -> impl Iterator<Item = (&'a str, f64)> + 'a {
+        self.relations.iter().filter_map(move |((a, b), &w)| {
+            if a == concept {
+                Some((b.as_str(), w))
+            } else if b == concept {
+                Some((a.as_str(), w))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Merges `other` into `self` (max-combining concepts and relations).
+    pub fn merge(&mut self, other: &ConceptMap) {
+        for (c, s) in other.concepts() {
+            self.add_concept(c, s);
+        }
+        for (a, b, w) in other.relations() {
+            self.add_relation(a, b, w);
+        }
+    }
+
+    /// The `k` most significant concepts, descending.
+    pub fn top_concepts(&self, k: usize) -> Vec<(&str, f64)> {
+        let mut all: Vec<(&str, f64)> = self.concepts().collect();
+        all.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite").then(x.0.cmp(y.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concepts_max_combine() {
+        let mut m = ConceptMap::new("test");
+        m.add_concept("tensor", 0.4);
+        m.add_concept("tensor", 0.8);
+        m.add_concept("tensor", 0.2);
+        assert_eq!(m.significance("tensor"), Some(0.8));
+        assert_eq!(m.concept_count(), 1);
+    }
+
+    #[test]
+    fn relations_are_undirected() {
+        let mut m = ConceptMap::new("test");
+        m.add_concept("a", 1.0);
+        m.add_concept("b", 1.0);
+        m.add_relation("b", "a", 0.5);
+        assert_eq!(m.relation("a", "b"), Some(0.5));
+        assert_eq!(m.relation("b", "a"), Some(0.5));
+        assert_eq!(m.relation_count(), 1);
+    }
+
+    #[test]
+    fn self_relations_ignored() {
+        let mut m = ConceptMap::new("test");
+        m.add_concept("a", 1.0);
+        m.add_relation("a", "a", 0.5);
+        assert_eq!(m.relation_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown concept")]
+    fn relation_requires_concepts() {
+        let mut m = ConceptMap::new("test");
+        m.add_concept("a", 1.0);
+        m.add_relation("a", "ghost", 0.5);
+    }
+
+    #[test]
+    fn neighbors_listing() {
+        let mut m = ConceptMap::new("test");
+        for c in ["a", "b", "c"] {
+            m.add_concept(c, 1.0);
+        }
+        m.add_relation("a", "b", 0.5);
+        m.add_relation("a", "c", 0.7);
+        let mut nbrs: Vec<_> = m.neighbors("a").collect();
+        nbrs.sort_by(|a, b| a.0.cmp(b.0));
+        assert_eq!(nbrs, vec![("b", 0.5), ("c", 0.7)]);
+    }
+
+    #[test]
+    fn merge_max_combines() {
+        let mut m1 = ConceptMap::new("m1");
+        m1.add_concept("x", 0.3);
+        let mut m2 = ConceptMap::new("m2");
+        m2.add_concept("x", 0.9);
+        m2.add_concept("y", 0.5);
+        m2.add_relation("x", "y", 0.4);
+        m1.merge(&m2);
+        assert_eq!(m1.significance("x"), Some(0.9));
+        assert_eq!(m1.relation("x", "y"), Some(0.4));
+    }
+
+    #[test]
+    fn top_concepts_ordering() {
+        let mut m = ConceptMap::new("test");
+        m.add_concept("low", 0.1);
+        m.add_concept("high", 0.9);
+        m.add_concept("mid", 0.5);
+        let top = m.top_concepts(2);
+        assert_eq!(top[0].0, "high");
+        assert_eq!(top[1].0, "mid");
+    }
+}

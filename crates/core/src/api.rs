@@ -1,0 +1,463 @@
+//! The `Hive` service facade — every service of the paper's Table 1
+//! behind one typed API.
+//!
+//! | Table 1 row | Methods |
+//! |---|---|
+//! | Concept map & personalization | [`Hive::bootstrap_concepts`], [`Hive::activity_context`] |
+//! | Peer network services | [`Hive::recommend_peers`], [`Hive::similar_peers`], [`Hive::request_connection`], [`Hive::respond_connection`], [`Hive::follow`] |
+//! | Discovery / recommendation / preview | [`Hive::search`], [`Hive::recommend_resources`], [`Hive::explain_relationship`], [`Hive::discover_communities`], [`Hive::collaborative_recommendations`], [`Hive::update_report`] |
+//! | Personal activity history | [`Hive::search_history`], [`Hive::timeline`] |
+//!
+//! The facade owns the [`HiveDb`] and lazily maintains the derived
+//! [`KnowledgeNetwork`]: any mutation invalidates the cache; the next
+//! knowledge-backed call rebuilds it. (A production deployment would
+//! update incrementally; rebuild-on-dirty keeps the semantics obvious
+//! and is plenty fast at demo scale.)
+
+use crate::clock::Timestamp;
+use crate::collab::CfModel;
+use crate::communities::{self, Communities, Method};
+use crate::context::{build_context, ActivityContext, ContextConfig};
+use crate::db::HiveDb;
+use crate::discover::{self, DiscoverConfig, Resource, SearchHit};
+use crate::error::Result;
+use crate::evidence::{self, RelationshipExplanation};
+use crate::feed::{self, FeedDigest, Update};
+use crate::history::{self, HistoryHit, HistoryQuery};
+use crate::ids::*;
+use crate::knowledge::KnowledgeNetwork;
+use crate::model::{QaTarget, WorkpadItem};
+use crate::peers::{self, PeerRecConfig, PeerRecommendation};
+use crate::reports::{self, ReportScope, UpdateReport};
+use hive_concept::{bootstrap_concept_map, BootstrapConfig, ConceptMap};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The Hive platform facade.
+pub struct Hive {
+    db: HiveDb,
+    kn_cache: Mutex<Option<Arc<KnowledgeNetwork>>>,
+}
+
+impl Hive {
+    /// Wraps a (possibly pre-populated) platform database.
+    pub fn new(db: HiveDb) -> Self {
+        Hive { db, kn_cache: Mutex::new(None) }
+    }
+
+    /// Read access to the platform database.
+    pub fn db(&self) -> &HiveDb {
+        &self.db
+    }
+
+    /// Write access to the database; invalidates the derived knowledge
+    /// network.
+    pub fn db_mut(&mut self) -> &mut HiveDb {
+        *self.kn_cache.get_mut() = None;
+        &mut self.db
+    }
+
+    /// The current knowledge network (rebuilt if stale).
+    pub fn knowledge(&self) -> Arc<KnowledgeNetwork> {
+        let mut guard = self.kn_cache.lock();
+        if let Some(kn) = guard.as_ref() {
+            return Arc::clone(kn);
+        }
+        let kn = Arc::new(KnowledgeNetwork::build(&self.db));
+        *guard = Some(Arc::clone(&kn));
+        kn
+    }
+
+    // ---- concept map & personalization services ---------------------------
+
+    /// Bootstraps a concept map from user-supplied documents (§2.1).
+    pub fn bootstrap_concepts(&self, name: &str, documents: &[&str]) -> ConceptMap {
+        bootstrap_concept_map(name, documents, BootstrapConfig::default())
+    }
+
+    /// The user's current activity context (active workpad + history).
+    pub fn activity_context(&self, user: UserId) -> ActivityContext {
+        build_context(&self.db, &self.knowledge(), user, ContextConfig::default())
+    }
+
+    // ---- peer network services ---------------------------------------------
+
+    /// Recommends new peers, contextualized by the active workpad.
+    pub fn recommend_peers(&self, user: UserId, cfg: PeerRecConfig) -> Vec<PeerRecommendation> {
+        let kn = self.knowledge();
+        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
+        peers::recommend_peers(&self.db, &kn, user, &ctx, cfg)
+    }
+
+    /// Locates peers with the most similar content profile.
+    pub fn similar_peers(&self, user: UserId, k: usize) -> Vec<(UserId, f64)> {
+        let kn = self.knowledge();
+        let mut out: Vec<(UserId, f64)> = self
+            .db
+            .user_ids()
+            .into_iter()
+            .filter(|&v| v != user)
+            .map(|v| (v, kn.user_similarity(user, v)))
+            .filter(|(_, s)| *s > 0.0)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// Predicts the sessions a researcher will likely attend.
+    pub fn predict_sessions(&self, user: UserId, k: usize) -> Vec<(SessionId, f64)> {
+        peers::predict_sessions(&self.db, &self.knowledge(), user, k)
+    }
+
+    /// Sends a connection request.
+    pub fn request_connection(&mut self, from: UserId, to: UserId) -> Result<()> {
+        self.db_mut().request_connection(from, to)
+    }
+
+    /// Accepts or declines a pending connection request.
+    pub fn respond_connection(&mut self, to: UserId, from: UserId, accept: bool) -> Result<()> {
+        self.db_mut().respond_connection(to, from, accept)
+    }
+
+    /// Starts following another researcher.
+    pub fn follow(&mut self, follower: UserId, followee: UserId) -> Result<()> {
+        self.db_mut().follow(follower, followee)
+    }
+
+    /// Restricts which of a followee's activity categories reach this
+    /// follower ("the set of ... activities he would like to follow").
+    pub fn set_follow_filter(
+        &mut self,
+        follower: UserId,
+        followee: UserId,
+        categories: Vec<String>,
+    ) -> Result<()> {
+        self.db_mut().set_follow_filter(follower, followee, categories)
+    }
+
+    // ---- discovery, recommendation, preview ---------------------------------
+
+    /// Context-aware search over papers, presentations, sessions, users.
+    pub fn search(&self, user: UserId, query: &str, cfg: DiscoverConfig) -> Vec<SearchHit> {
+        let kn = self.knowledge();
+        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
+        discover::search(&self.db, &kn, &ctx, query, cfg)
+    }
+
+    /// Pure contextual resource recommendation (empty query).
+    pub fn recommend_resources(&self, user: UserId, cfg: DiscoverConfig) -> Vec<SearchHit> {
+        let kn = self.knowledge();
+        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
+        discover::recommend_resources(&self.db, &kn, &ctx, cfg)
+    }
+
+    /// Collaborative-filtering recommendations from the activity matrix.
+    pub fn collaborative_recommendations(&self, user: UserId, k: usize) -> Vec<(Resource, f64)> {
+        let cf = CfModel::build(&self.db);
+        cf.recommend_user_based(user, 10, k)
+    }
+
+    /// Figure 2: relationship discovery and explanation between peers.
+    pub fn explain_relationship(&self, a: UserId, b: UserId) -> RelationshipExplanation {
+        let kn = self.knowledge();
+        let store = kn.to_store(&self.db);
+        evidence::explain_relationship(&self.db, &kn, &store, a, b, 3)
+    }
+
+    /// Community discovery over the social + co-authorship layers.
+    pub fn discover_communities(&self) -> Communities {
+        communities::discover(&self.knowledge(), Method::Louvain)
+    }
+
+    /// Context-aware extractive summary of a resource's text (the §2.3
+    /// "content summarization" service): the summary is biased toward the
+    /// user's current activity context.
+    pub fn summarize_resource(
+        &self,
+        user: UserId,
+        resource: Resource,
+        sentences: usize,
+    ) -> Option<hive_text::DocumentSummary> {
+        let kn = self.knowledge();
+        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
+        let text = match resource {
+            Resource::Paper(p) => self.db.get_paper(p).ok()?.text(),
+            Resource::Presentation(p) => self.db.get_presentation(p).ok()?.slides_text.clone(),
+            Resource::Session(s) => self.db.get_session(s).ok()?.text(),
+            Resource::User(u) => self.db.get_user(u).ok()?.profile_text(),
+        };
+        let terms: Vec<&str> = ctx.terms.iter().map(String::as_str).collect();
+        hive_text::summarize_document(
+            &text,
+            &terms,
+            hive_text::DocSumConfig { sentences, ..Default::default() },
+        )
+    }
+
+    /// Scheduled, size-constrained update report (AlphaSum-backed).
+    pub fn update_report(
+        &self,
+        scope: &ReportScope,
+        from: Timestamp,
+        to: Timestamp,
+        max_rows: usize,
+    ) -> UpdateReport {
+        reports::update_report(&self.db, scope, from, to, max_rows)
+    }
+
+    /// Sessions ranked by live activity in a window.
+    pub fn trending_sessions(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+        k: usize,
+    ) -> Vec<(SessionId, f64)> {
+        crate::trends::trending_sessions(&self.db, from, to, k, crate::trends::HeatWeights::default())
+    }
+
+    /// Topics whose discussion rose the most between two windows.
+    pub fn rising_topics(
+        &self,
+        prev: (Timestamp, Timestamp),
+        cur: (Timestamp, Timestamp),
+        k: usize,
+    ) -> Vec<(String, f64)> {
+        crate::trends::rising_topics(&self.db, prev, cur, k, 2)
+    }
+
+    // ---- feeds ---------------------------------------------------------------
+
+    /// Real-time updates for a user since a timestamp.
+    pub fn updates_for(&self, user: UserId, since: Timestamp) -> Vec<Update> {
+        feed::updates_for(&self.db, user, since)
+    }
+
+    /// Context-ranked highlights over the update stream.
+    pub fn highlights(&self, user: UserId, since: Timestamp, k: usize) -> Vec<(Update, f64)> {
+        let kn = self.knowledge();
+        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
+        feed::highlights(&self.db, &kn, &ctx, user, since, k)
+    }
+
+    /// Digest (updates + per-category counts).
+    pub fn digest(&self, user: UserId, since: Timestamp) -> FeedDigest {
+        feed::digest(&self.db, user, since)
+    }
+
+    /// The merged Hive/Twitter timeline of a session.
+    pub fn session_ticker(&self, session: SessionId, since: Timestamp) -> Vec<String> {
+        feed::session_ticker(&self.db, session, since)
+    }
+
+    // ---- activity history ------------------------------------------------------
+
+    /// Searches the activity history, optionally context-ranked.
+    pub fn search_history(&self, query: &HistoryQuery, contextual_for: Option<UserId>) -> Vec<HistoryHit> {
+        let kn = self.knowledge();
+        let ctx = contextual_for.map(|u| build_context(&self.db, &kn, u, ContextConfig::default()));
+        history::search_history(&self.db, &kn, query, ctx.as_ref())
+    }
+
+    /// Bucketed activity timeline for visualization.
+    pub fn timeline(
+        &self,
+        actors: &[UserId],
+        bucket_width: u64,
+    ) -> Vec<(Timestamp, HashMap<&'static str, usize>)> {
+        history::timeline(&self.db, actors, bucket_width)
+    }
+
+    // ---- content & workpad conveniences ------------------------------------------
+
+    /// Uploads/revises, asks, answers — thin delegations that keep the
+    /// cache coherent.
+    pub fn ask_question(
+        &mut self,
+        author: UserId,
+        target: QaTarget,
+        text: &str,
+        broadcast: bool,
+    ) -> Result<QuestionId> {
+        self.db_mut().ask_question(author, target, text, broadcast)
+    }
+
+    /// Answers a question.
+    pub fn answer_question(&mut self, author: UserId, q: QuestionId, text: &str) -> Result<AnswerId> {
+        self.db_mut().answer_question(author, q, text)
+    }
+
+    /// Checks into a session.
+    pub fn check_in(&mut self, user: UserId, session: SessionId) -> Result<()> {
+        self.db_mut().check_in(user, session)
+    }
+
+    /// Creates a workpad.
+    pub fn create_workpad(&mut self, owner: UserId, name: &str) -> Result<WorkpadId> {
+        self.db_mut().create_workpad(owner, name)
+    }
+
+    /// Drops an item onto a workpad.
+    pub fn workpad_add(&mut self, user: UserId, pad: WorkpadId, item: WorkpadItem) -> Result<()> {
+        self.db_mut().workpad_add(user, pad, item)
+    }
+
+    /// Switches the active workpad (and therefore the context).
+    pub fn activate_workpad(&mut self, user: UserId, pad: WorkpadId) -> Result<()> {
+        self.db_mut().activate_workpad(user, pad)
+    }
+
+    /// Exports a workpad as a shared collection.
+    pub fn export_workpad(&mut self, user: UserId, pad: WorkpadId) -> Result<CollectionId> {
+        self.db_mut().export_workpad(user, pad)
+    }
+
+    /// Imports a shared collection as the active workpad.
+    pub fn import_collection(&mut self, user: UserId, col: CollectionId) -> Result<WorkpadId> {
+        self.db_mut().import_collection(user, col)
+    }
+
+    /// Serializes a shared collection to JSON — the paper's "export
+    /// workpads as collections accessible to others" across deployments.
+    pub fn export_collection_json(&self, col: CollectionId) -> Result<String> {
+        let c = self.db.get_collection(col)?;
+        serde_json::to_string(c)
+            .map_err(|e| crate::error::HiveError::Invalid(format!("serialize: {e}")))
+    }
+
+    /// Imports a JSON collection export for `user`: validates every item
+    /// against this platform, registers the collection, and activates it
+    /// as a fresh workpad.
+    pub fn import_collection_json(&mut self, user: UserId, json: &str) -> Result<WorkpadId> {
+        let mut col: crate::model::Collection = serde_json::from_str(json)
+            .map_err(|e| crate::error::HiveError::Invalid(format!("parse: {e}")))?;
+        // The importing user owns their copy.
+        col.owner = user;
+        let db = self.db_mut();
+        let id = db.add_collection(col)?;
+        db.import_collection(user, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, WorldBuilder};
+
+    fn hive() -> Hive {
+        Hive::new(WorldBuilder::new(SimConfig::small()).build().db)
+    }
+
+    #[test]
+    fn knowledge_cache_rebuilds_on_mutation() {
+        let mut h = hive();
+        let k1 = h.knowledge();
+        let k2 = h.knowledge();
+        assert!(Arc::ptr_eq(&k1, &k2), "cache hit");
+        let users = h.db().user_ids();
+        h.follow(users[0], users[5]).ok();
+        let k3 = h.knowledge();
+        assert!(!Arc::ptr_eq(&k1, &k3), "mutation invalidates");
+    }
+
+    #[test]
+    fn end_to_end_services_run() {
+        let h = hive();
+        let users = h.db().user_ids();
+        let u = users[0];
+        // Every Table 1 service group answers.
+        let ctx = h.activity_context(u);
+        assert!(!ctx.is_empty());
+        let peers = h.recommend_peers(u, PeerRecConfig::default());
+        assert!(!peers.is_empty());
+        let hits = h.search(u, "tensor stream sketch", DiscoverConfig::default());
+        assert!(!hits.is_empty());
+        let comms = h.discover_communities();
+        assert!(comms.count() >= 2);
+        let report = h.update_report(
+            &ReportScope::Platform,
+            Timestamp(0),
+            Timestamp(u64::MAX),
+            5,
+        );
+        assert!(report.total_events > 0);
+        let hist = h.search_history(&HistoryQuery { limit: 5, ..Default::default() }, None);
+        assert!(!hist.is_empty());
+        let tl = h.timeline(&[], 100);
+        assert!(!tl.is_empty());
+    }
+
+    #[test]
+    fn explanation_between_simulated_coauthors() {
+        let h = hive();
+        // Find a pair of co-authors.
+        let paper = h
+            .db()
+            .paper_ids()
+            .into_iter()
+            .map(|p| h.db().get_paper(p).unwrap().clone())
+            .find(|p| p.authors.len() >= 2)
+            .expect("multi-author paper exists");
+        let exp = h.explain_relationship(paper.authors[0], paper.authors[1]);
+        assert!(exp.combined > 0.0);
+        assert!(!exp.items.is_empty());
+    }
+
+    #[test]
+    fn concept_bootstrap_service() {
+        let h = hive();
+        let map = h.bootstrap_concepts(
+            "notes",
+            &["tensor stream sketches detect changes in tensor streams"],
+        );
+        assert!(map.concept_count() > 0);
+    }
+
+    #[test]
+    fn resource_summaries_are_contextual() {
+        let h = hive();
+        let u = h.db().user_ids()[0];
+        let paper = h.db().paper_ids()[0];
+        let s = h
+            .summarize_resource(u, Resource::Paper(paper), 2)
+            .expect("paper has text");
+        assert!(!s.sentences.is_empty());
+        assert!(s.sentences.len() <= 2);
+    }
+
+    #[test]
+    fn collection_json_roundtrip() {
+        let mut h = hive();
+        let users = h.db().user_ids();
+        let paper = h.db().paper_ids()[0];
+        let pad = h.create_workpad(users[0], "shared").unwrap();
+        h.workpad_add(users[0], pad, crate::model::WorkpadItem::Paper(paper)).unwrap();
+        h.db_mut().workpad_note(users[0], pad, "read this").unwrap();
+        let col = h.export_workpad(users[0], pad).unwrap();
+        let json = h.export_collection_json(col).unwrap();
+        let imported = h.import_collection_json(users[1], &json).unwrap();
+        let got = h.db().get_workpad(imported).unwrap();
+        assert_eq!(got.owner, users[1]);
+        assert_eq!(got.items.len(), 2);
+        assert_eq!(got.notes, vec!["read this".to_string()]);
+        // Garbage and dangling references are rejected.
+        assert!(h.import_collection_json(users[1], "not json").is_err());
+        let dangling = json.replace(
+            &format!("\"Paper\":{}", paper.0),
+            "\"Paper\":999999",
+        );
+        assert!(h.import_collection_json(users[1], &dangling).is_err());
+    }
+
+    #[test]
+    fn collaborative_recommendations_exclude_seen() {
+        let h = hive();
+        let users = h.db().user_ids();
+        let recs = h.collaborative_recommendations(users[0], 5);
+        let cf = CfModel::build(h.db());
+        for (r, _) in recs {
+            assert_eq!(cf.rating(users[0], r), 0.0, "{r:?} was already consumed");
+        }
+    }
+}

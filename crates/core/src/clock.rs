@@ -1,0 +1,103 @@
+//! Logical platform time.
+//!
+//! The simulator and the activity log share a logical clock measured in
+//! abstract *ticks* (one tick ≈ one minute of conference time). Using
+//! logical time keeps every experiment deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical timestamp (monotonic ticks since platform start).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The timestamp `dt` ticks later.
+    pub fn plus(self, dt: u64) -> Timestamp {
+        Timestamp(self.0 + dt)
+    }
+
+    /// Absolute difference in ticks.
+    pub fn delta(self, other: Timestamp) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A monotonic clock handing out timestamps.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Clock {
+    now: u64,
+}
+
+impl Clock {
+    /// A clock at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time without advancing.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.now)
+    }
+
+    /// Advances by `dt` ticks and returns the new time.
+    pub fn advance(&mut self, dt: u64) -> Timestamp {
+        self.now += dt;
+        Timestamp(self.now)
+    }
+
+    /// Advances by one tick and returns the new time (the common
+    /// "something happened" call).
+    pub fn tick(&mut self) -> Timestamp {
+        self.advance(1)
+    }
+
+    /// Jumps to `t` if it is in the future (no-op otherwise — the clock
+    /// never goes backwards).
+    pub fn advance_to(&mut self, t: Timestamp) {
+        if t.0 > self.now {
+            self.now = t.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), Timestamp(0));
+        let t1 = c.tick();
+        let t2 = c.advance(5);
+        assert!(t1 < t2);
+        assert_eq!(t2, Timestamp(6));
+        c.advance_to(Timestamp(3)); // backwards jump ignored
+        assert_eq!(c.now(), Timestamp(6));
+        c.advance_to(Timestamp(10));
+        assert_eq!(c.now(), Timestamp(10));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp(10);
+        assert_eq!(t.plus(5), Timestamp(15));
+        assert_eq!(t.delta(Timestamp(4)), 6);
+        assert_eq!(Timestamp(4).delta(t), 6);
+        assert_eq!(t.to_string(), "t10");
+    }
+}

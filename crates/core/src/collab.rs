@@ -1,0 +1,365 @@
+//! Collaborative filtering (paper §2, "peer networks support each other
+//! ... indirectly through collaborative filtering").
+//!
+//! Implicit ratings are derived from the activity log (check-ins, views,
+//! Q&A participation, workpad drops); both user-based kNN and item-based
+//! neighborhood models are provided, plus a *peer-network weighted*
+//! variant where the neighborhood is the user's explicit peer network —
+//! Hive's "peer-network based resource recommendation" (§2.4).
+
+use crate::db::HiveDb;
+use crate::discover::Resource;
+use crate::ids::UserId;
+use crate::model::{ActivityEvent, QaTarget};
+use hive_text::tfidf::SparseVector;
+use std::collections::HashMap;
+
+/// Implicit rating strengths per signal.
+#[derive(Clone, Copy, Debug)]
+pub struct RatingWeights {
+    /// Session check-in.
+    pub checkin: f64,
+    /// Paper/presentation view.
+    pub view: f64,
+    /// Question/answer/comment on a resource.
+    pub discuss: f64,
+    /// Item dropped onto a workpad.
+    pub workpad: f64,
+}
+
+impl Default for RatingWeights {
+    fn default() -> Self {
+        RatingWeights { checkin: 1.0, view: 0.5, discuss: 0.8, workpad: 0.9 }
+    }
+}
+
+/// A user×resource implicit-rating model.
+#[derive(Clone, Debug)]
+pub struct CfModel {
+    resources: Vec<Resource>,
+    index: HashMap<Resource, u32>,
+    /// Per-user rating vectors over resource indexes.
+    ratings: HashMap<UserId, SparseVector>,
+    /// Per-resource rating vectors over user indexes (for item-item).
+    item_vectors: HashMap<u32, SparseVector>,
+}
+
+impl CfModel {
+    /// Builds the model from the platform's activity traces.
+    pub fn build(db: &HiveDb) -> Self {
+        Self::build_with(db, RatingWeights::default())
+    }
+
+    /// Builds with explicit rating weights.
+    pub fn build_with(db: &HiveDb, w: RatingWeights) -> Self {
+        let mut model = CfModel {
+            resources: Vec::new(),
+            index: HashMap::new(),
+            ratings: HashMap::new(),
+            item_vectors: HashMap::new(),
+        };
+        fn rate(model: &mut CfModel, user: UserId, r: Resource, v: f64) {
+            let id = match model.index.get(&r) {
+                Some(&id) => id,
+                None => {
+                    let id = model.resources.len() as u32;
+                    model.resources.push(r);
+                    model.index.insert(r, id);
+                    id
+                }
+            };
+            model.ratings.entry(user).or_default().add(id, v);
+        }
+        for rec in db.activity_log() {
+            match rec.event {
+                ActivityEvent::CheckIn(s) => rate(&mut model, rec.user, Resource::Session(s), w.checkin),
+                ActivityEvent::ViewPaper(p) => rate(&mut model, rec.user, Resource::Paper(p), w.view),
+                ActivityEvent::ViewPresentation(p) => {
+                    rate(&mut model, rec.user, Resource::Presentation(p), w.view)
+                }
+                ActivityEvent::AskQuestion(q) => {
+                    if let Ok(question) = db.get_question(q) {
+                        let r = match question.target {
+                            QaTarget::Presentation(p) => Resource::Presentation(p),
+                            QaTarget::Session(s) => Resource::Session(s),
+                        };
+                        rate(&mut model, rec.user, r, w.discuss);
+                    }
+                }
+                ActivityEvent::AnswerQuestion(a) => {
+                    if let Ok(answer) = db.get_answer(a) {
+                        if let Ok(question) = db.get_question(answer.question) {
+                            let r = match question.target {
+                                QaTarget::Presentation(p) => Resource::Presentation(p),
+                                QaTarget::Session(s) => Resource::Session(s),
+                            };
+                            rate(&mut model, rec.user, r, w.discuss);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Workpad drops.
+        for u in db.user_ids() {
+            for &pad in db.workpads_of(u) {
+                if let Ok(p) = db.get_workpad(pad) {
+                    for item in &p.items {
+                        let r = match *item {
+                            crate::model::WorkpadItem::Paper(p) => Some(Resource::Paper(p)),
+                            crate::model::WorkpadItem::Presentation(p) => {
+                                Some(Resource::Presentation(p))
+                            }
+                            crate::model::WorkpadItem::Session(s) => Some(Resource::Session(s)),
+                            _ => None,
+                        };
+                        if let Some(r) = r {
+                            rate(&mut model, u, r, w.workpad);
+                        }
+                    }
+                }
+            }
+        }
+        // Item vectors (resource -> users who rated it).
+        for (&user, vec) in &model.ratings {
+            for (item, v) in vec.iter() {
+                model
+                    .item_vectors
+                    .entry(item)
+                    .or_default()
+                    .add(user.0, v);
+            }
+        }
+        model
+    }
+
+    /// Number of distinct rated resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of users with at least one rating.
+    pub fn user_count(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// A user's implicit rating of a resource.
+    pub fn rating(&self, user: UserId, r: Resource) -> f64 {
+        match (self.ratings.get(&user), self.index.get(&r)) {
+            (Some(v), Some(&id)) => v.get(id),
+            _ => 0.0,
+        }
+    }
+
+    /// The `k` most similar users by rating-vector cosine.
+    pub fn similar_users(&self, user: UserId, k: usize) -> Vec<(UserId, f64)> {
+        let Some(uv) = self.ratings.get(&user) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(UserId, f64)> = self
+            .ratings
+            .iter()
+            .filter(|(&other, _)| other != user)
+            .map(|(&other, ov)| (other, uv.cosine(ov)))
+            .filter(|(_, s)| *s > 0.0)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    fn rank_unseen(&self, user: UserId, scores: HashMap<u32, f64>, top_k: usize) -> Vec<(Resource, f64)> {
+        let seen = self.ratings.get(&user);
+        let mut out: Vec<(Resource, f64)> = scores
+            .into_iter()
+            .filter(|(item, s)| {
+                *s > 0.0 && seen.is_none_or(|v| v.get(*item) == 0.0)
+            })
+            .map(|(item, s)| (self.resources[item as usize], s))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.truncate(top_k);
+        out
+    }
+
+    /// User-based kNN recommendation: neighbors' ratings, similarity
+    /// weighted, over resources the user hasn't touched.
+    pub fn recommend_user_based(
+        &self,
+        user: UserId,
+        k_neighbors: usize,
+        top_k: usize,
+    ) -> Vec<(Resource, f64)> {
+        let neighbors = self.similar_users(user, k_neighbors);
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for (peer, sim) in neighbors {
+            if let Some(pv) = self.ratings.get(&peer) {
+                for (item, v) in pv.iter() {
+                    *scores.entry(item).or_insert(0.0) += sim * v;
+                }
+            }
+        }
+        self.rank_unseen(user, scores, top_k)
+    }
+
+    /// Item-based recommendation: for each candidate, sum its
+    /// co-consumption similarity to the user's rated items.
+    pub fn recommend_item_based(&self, user: UserId, top_k: usize) -> Vec<(Resource, f64)> {
+        let Some(uv) = self.ratings.get(&user) else {
+            return Vec::new();
+        };
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for (&candidate, cvec) in &self.item_vectors {
+            if uv.get(candidate) > 0.0 {
+                continue;
+            }
+            let mut s = 0.0;
+            for (rated, rating) in uv.iter() {
+                if let Some(rvec) = self.item_vectors.get(&rated) {
+                    s += rating * cvec.cosine(rvec);
+                }
+            }
+            if s > 0.0 {
+                scores.insert(candidate, s);
+            }
+        }
+        self.rank_unseen(user, scores, top_k)
+    }
+
+    /// Peer-network weighted recommendation: like user-based CF, but the
+    /// "neighborhood" is an explicit peer list (e.g. connections or the
+    /// peers Hive just recommended), each with a trust weight.
+    pub fn recommend_from_peers(
+        &self,
+        user: UserId,
+        peers: &[(UserId, f64)],
+        top_k: usize,
+    ) -> Vec<(Resource, f64)> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for &(peer, trust) in peers {
+            if let Some(pv) = self.ratings.get(&peer) {
+                for (item, v) in pv.iter() {
+                    *scores.entry(item).or_insert(0.0) += trust * v;
+                }
+            }
+        }
+        self.rank_unseen(user, scores, top_k)
+    }
+
+    /// Popularity baseline: total rating mass per resource.
+    pub fn recommend_popular(&self, user: UserId, top_k: usize) -> Vec<(Resource, f64)> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for vec in self.ratings.values() {
+            for (item, v) in vec.iter() {
+                *scores.entry(item).or_insert(0.0) += v;
+            }
+        }
+        self.rank_unseen(user, scores, top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SessionId;
+    use crate::model::*;
+
+    /// Two "tensor people" sharing sessions, one outsider.
+    fn world() -> (HiveDb, Vec<UserId>, Vec<SessionId>) {
+        let mut db = HiveDb::new();
+        let users = vec![
+            db.add_user(User::new("A", "X")),
+            db.add_user(User::new("B", "X")),
+            db.add_user(User::new("C", "Y")),
+        ];
+        let conf = db.add_conference(Conference::new("EDBT", 2013, "Genoa"));
+        let sessions: Vec<SessionId> = (0..4)
+            .map(|i| {
+                db.add_session(Session::new(conf, format!("S{i}"), "R")).unwrap()
+            })
+            .collect();
+        // A and B co-attend s0, s1; B also attends s2 (candidate for A).
+        db.check_in(users[0], sessions[0]).unwrap();
+        db.check_in(users[0], sessions[1]).unwrap();
+        db.check_in(users[1], sessions[0]).unwrap();
+        db.check_in(users[1], sessions[1]).unwrap();
+        db.check_in(users[1], sessions[2]).unwrap();
+        // C attends only s3.
+        db.check_in(users[2], sessions[3]).unwrap();
+        (db, users, sessions)
+    }
+
+    #[test]
+    fn similar_users_found() {
+        let (db, users, _) = world();
+        let cf = CfModel::build(&db);
+        let sims = cf.similar_users(users[0], 5);
+        assert_eq!(sims[0].0, users[1], "B most similar to A");
+        assert!(sims.iter().all(|(u, _)| *u != users[2]), "C shares nothing");
+    }
+
+    #[test]
+    fn user_based_recommends_unseen_coattended() {
+        let (db, users, sessions) = world();
+        let cf = CfModel::build(&db);
+        let recs = cf.recommend_user_based(users[0], 3, 5);
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].0, Resource::Session(sessions[2]), "B's extra session for A");
+        // Never recommend already-seen items.
+        assert!(recs.iter().all(|(r, _)| *r != Resource::Session(sessions[0])));
+    }
+
+    #[test]
+    fn item_based_agrees_on_this_world() {
+        let (db, users, sessions) = world();
+        let cf = CfModel::build(&db);
+        let recs = cf.recommend_item_based(users[0], 5);
+        assert!(
+            recs.iter().any(|(r, _)| *r == Resource::Session(sessions[2])),
+            "{recs:?}"
+        );
+    }
+
+    #[test]
+    fn peer_weighted_uses_trust() {
+        let (db, users, sessions) = world();
+        let cf = CfModel::build(&db);
+        // Trusting only C pushes C's session.
+        let recs = cf.recommend_from_peers(users[0], &[(users[2], 1.0)], 5);
+        assert_eq!(recs[0].0, Resource::Session(sessions[3]));
+        // Empty trust list = nothing.
+        assert!(cf.recommend_from_peers(users[0], &[], 5).is_empty());
+    }
+
+    #[test]
+    fn popularity_baseline() {
+        let (db, users, sessions) = world();
+        let cf = CfModel::build(&db);
+        let recs = cf.recommend_popular(users[2], 5);
+        // Most-attended sessions first (s0/s1 have 2 check-ins each).
+        assert!(
+            recs[0].0 == Resource::Session(sessions[0])
+                || recs[0].0 == Resource::Session(sessions[1])
+        );
+    }
+
+    #[test]
+    fn cold_start_user_gets_nothing_personal() {
+        let (mut db, _, _) = world();
+        let newbie = db.add_user(User::new("N", "Z"));
+        let cf = CfModel::build(&db);
+        assert!(cf.similar_users(newbie, 3).is_empty());
+        assert!(cf.recommend_user_based(newbie, 3, 5).is_empty());
+        assert!(cf.recommend_item_based(newbie, 5).is_empty());
+        // Popularity still works for cold starts.
+        assert!(!cf.recommend_popular(newbie, 5).is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let (db, _, _) = world();
+        let cf = CfModel::build(&db);
+        assert_eq!(cf.user_count(), 3);
+        assert_eq!(cf.resource_count(), 4);
+    }
+}

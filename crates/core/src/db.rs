@@ -1,0 +1,1316 @@
+//! The in-memory, multi-indexed platform database.
+//!
+//! `HiveDb` replaces the paper's Joomla/MySQL stack: arena storage per
+//! entity type, secondary indexes for every access path the services
+//! need, an append-only activity log, and a logical clock. All mutating
+//! operations validate referential integrity and record activity.
+
+use crate::clock::{Clock, Timestamp};
+use crate::error::{HiveError, Result};
+use crate::ids::*;
+use crate::model::*;
+use std::collections::{HashMap, HashSet};
+
+/// The platform database.
+#[derive(Clone, Debug, Default)]
+pub struct HiveDb {
+    clock: Clock,
+    // Arenas.
+    users: Vec<User>,
+    conferences: Vec<Conference>,
+    sessions: Vec<Session>,
+    papers: Vec<Paper>,
+    presentations: Vec<Presentation>,
+    questions: Vec<Question>,
+    answers: Vec<Answer>,
+    comments: Vec<Comment>,
+    workpads: Vec<Workpad>,
+    collections: Vec<Collection>,
+    tweets: Vec<Tweet>,
+    // Social state.
+    follows: Vec<Follow>,
+    follow_index: HashSet<(UserId, UserId)>,
+    /// Per-follow category filter: when present, only events whose
+    /// category is listed reach the follower's feed ("Zach highlights the
+    /// set of researchers whose (session check-in, question, comment,
+    /// answer) activities he would like to follow").
+    follow_filters: HashMap<(UserId, UserId), Vec<String>>,
+    connections: Vec<Connection>,
+    connection_index: HashMap<(UserId, UserId), usize>,
+    checkins: Vec<CheckIn>,
+    checkin_by_user: HashMap<UserId, Vec<usize>>,
+    checkin_by_session: HashMap<SessionId, Vec<usize>>,
+    attendance: HashSet<(UserId, ConferenceId)>,
+    active_workpad: HashMap<UserId, WorkpadId>,
+    // Activity log.
+    log: Vec<ActivityRecord>,
+    log_by_user: HashMap<UserId, Vec<usize>>,
+    // Secondary indexes.
+    sessions_by_conf: HashMap<ConferenceId, Vec<SessionId>>,
+    papers_by_author: HashMap<UserId, Vec<PaperId>>,
+    papers_by_venue: HashMap<ConferenceId, Vec<PaperId>>,
+    cited_by: HashMap<PaperId, Vec<PaperId>>,
+    presentations_by_session: HashMap<SessionId, Vec<PresentationId>>,
+    presentations_by_paper: HashMap<PaperId, Vec<PresentationId>>,
+    questions_by_target: HashMap<QaTarget, Vec<QuestionId>>,
+    answers_by_question: HashMap<QuestionId, Vec<AnswerId>>,
+    comments_by_target: HashMap<QaTarget, Vec<CommentId>>,
+    workpads_by_user: HashMap<UserId, Vec<WorkpadId>>,
+    tweets_by_session: HashMap<SessionId, Vec<TweetId>>,
+}
+
+macro_rules! getter {
+    ($get:ident, $arena:ident, $idt:ty, $t:ty, $kind:literal) => {
+        /// Fetches the entity, or `NotFound`.
+        pub fn $get(&self, id: $idt) -> Result<&$t> {
+            self.$arena
+                .get(id.index())
+                .ok_or_else(|| HiveError::not_found($kind, id))
+        }
+    };
+}
+
+impl HiveDb {
+    /// Creates an empty platform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- clock -------------------------------------------------------
+
+    /// Current logical time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Advances the logical clock.
+    pub fn advance_clock(&mut self, dt: u64) -> Timestamp {
+        self.clock.advance(dt)
+    }
+
+    /// Jumps the clock forward to `t` (never backwards).
+    pub fn advance_clock_to(&mut self, t: Timestamp) {
+        self.clock.advance_to(t);
+    }
+
+    fn record(&mut self, user: UserId, event: ActivityEvent) {
+        let at = self.clock.now();
+        let idx = self.log.len();
+        self.log.push(ActivityRecord { user, event, at });
+        self.log_by_user.entry(user).or_default().push(idx);
+    }
+
+    // ---- entity creation ---------------------------------------------
+
+    /// Registers a user.
+    pub fn add_user(&mut self, user: User) -> UserId {
+        let id = UserId(self.users.len() as u32);
+        self.users.push(user);
+        id
+    }
+
+    /// Adds a conference edition.
+    pub fn add_conference(&mut self, conf: Conference) -> ConferenceId {
+        let id = ConferenceId(self.conferences.len() as u32);
+        self.conferences.push(conf);
+        id
+    }
+
+    /// Adds a session; the conference must exist and the chair (if any)
+    /// must be a registered user.
+    pub fn add_session(&mut self, session: Session) -> Result<SessionId> {
+        self.get_conference(session.conference)?;
+        if let Some(chair) = session.chair {
+            self.get_user(chair)?;
+        }
+        let id = SessionId(self.sessions.len() as u32);
+        self.sessions_by_conf
+            .entry(session.conference)
+            .or_default()
+            .push(id);
+        self.sessions.push(session);
+        Ok(id)
+    }
+
+    /// Adds a paper; authors, venue, and cited papers must exist.
+    pub fn add_paper(&mut self, paper: Paper) -> Result<PaperId> {
+        if paper.authors.is_empty() {
+            return Err(HiveError::Invalid("paper needs at least one author".into()));
+        }
+        for &a in &paper.authors {
+            self.get_user(a)?;
+        }
+        if let Some(v) = paper.venue {
+            self.get_conference(v)?;
+        }
+        for &c in &paper.citations {
+            self.get_paper(c)?;
+        }
+        let id = PaperId(self.papers.len() as u32);
+        for &a in &paper.authors {
+            self.papers_by_author.entry(a).or_default().push(id);
+        }
+        if let Some(v) = paper.venue {
+            self.papers_by_venue.entry(v).or_default().push(id);
+        }
+        for &c in &paper.citations {
+            self.cited_by.entry(c).or_default().push(id);
+        }
+        self.papers.push(paper);
+        Ok(id)
+    }
+
+    /// Uploads a presentation; paper, presenter, and session must exist,
+    /// and the presenter must be one of the paper's authors.
+    pub fn add_presentation(&mut self, pres: Presentation) -> Result<PresentationId> {
+        let paper = self.get_paper(pres.paper)?;
+        if !paper.has_author(pres.presenter) {
+            return Err(HiveError::Conflict(format!(
+                "presenter {} is not an author of {}",
+                pres.presenter, pres.paper
+            )));
+        }
+        self.get_session(pres.session)?;
+        let id = PresentationId(self.presentations.len() as u32);
+        self.presentations_by_session
+            .entry(pres.session)
+            .or_default()
+            .push(id);
+        self.presentations_by_paper
+            .entry(pres.paper)
+            .or_default()
+            .push(id);
+        let presenter = pres.presenter;
+        self.presentations.push(pres);
+        self.record(presenter, ActivityEvent::UploadPresentation(id));
+        Ok(id)
+    }
+
+    // ---- getters -------------------------------------------------------
+
+    getter!(get_user, users, UserId, User, "user");
+    getter!(get_conference, conferences, ConferenceId, Conference, "conference");
+    getter!(get_session, sessions, SessionId, Session, "session");
+    getter!(get_paper, papers, PaperId, Paper, "paper");
+    getter!(get_presentation, presentations, PresentationId, Presentation, "presentation");
+    getter!(get_question, questions, QuestionId, Question, "question");
+    getter!(get_answer, answers, AnswerId, Answer, "answer");
+    getter!(get_comment, comments, CommentId, Comment, "comment");
+    getter!(get_workpad, workpads, WorkpadId, Workpad, "workpad");
+    getter!(get_collection, collections, CollectionId, Collection, "collection");
+    getter!(get_tweet, tweets, TweetId, Tweet, "tweet");
+
+    // ---- id listings ---------------------------------------------------
+
+    /// All user ids.
+    pub fn user_ids(&self) -> Vec<UserId> {
+        (0..self.users.len() as u32).map(UserId).collect()
+    }
+
+    /// All conference ids.
+    pub fn conference_ids(&self) -> Vec<ConferenceId> {
+        (0..self.conferences.len() as u32).map(ConferenceId).collect()
+    }
+
+    /// All session ids.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        (0..self.sessions.len() as u32).map(SessionId).collect()
+    }
+
+    /// All paper ids.
+    pub fn paper_ids(&self) -> Vec<PaperId> {
+        (0..self.papers.len() as u32).map(PaperId).collect()
+    }
+
+    /// All presentation ids.
+    pub fn presentation_ids(&self) -> Vec<PresentationId> {
+        (0..self.presentations.len() as u32).map(PresentationId).collect()
+    }
+
+    /// All question ids.
+    pub fn question_ids(&self) -> Vec<QuestionId> {
+        (0..self.questions.len() as u32).map(QuestionId).collect()
+    }
+
+    // ---- index lookups --------------------------------------------------
+
+    /// Sessions of a conference.
+    pub fn sessions_of(&self, conf: ConferenceId) -> &[SessionId] {
+        self.sessions_by_conf.get(&conf).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Papers authored by a user.
+    pub fn papers_of(&self, user: UserId) -> &[PaperId] {
+        self.papers_by_author.get(&user).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Papers published at a venue edition.
+    pub fn papers_at(&self, conf: ConferenceId) -> &[PaperId] {
+        self.papers_by_venue.get(&conf).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Papers citing `p`.
+    pub fn citing(&self, p: PaperId) -> &[PaperId] {
+        self.cited_by.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Presentations in a session.
+    pub fn presentations_in(&self, s: SessionId) -> &[PresentationId] {
+        self.presentations_by_session
+            .get(&s)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Presentations of a paper.
+    pub fn presentations_of_paper(&self, p: PaperId) -> &[PresentationId] {
+        self.presentations_by_paper
+            .get(&p)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Questions on a target.
+    pub fn questions_on(&self, t: QaTarget) -> &[QuestionId] {
+        self.questions_by_target.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Answers to a question.
+    pub fn answers_to(&self, q: QuestionId) -> &[AnswerId] {
+        self.answers_by_question.get(&q).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Comments on a target.
+    pub fn comments_on(&self, t: QaTarget) -> &[CommentId] {
+        self.comments_by_target.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Workpads of a user.
+    pub fn workpads_of(&self, u: UserId) -> &[WorkpadId] {
+        self.workpads_by_user.get(&u).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Tweets on a session hashtag.
+    pub fn tweets_in(&self, s: SessionId) -> &[TweetId] {
+        self.tweets_by_session.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    // ---- conference participation ---------------------------------------
+
+    /// Marks a user as attending a conference edition.
+    pub fn attend(&mut self, user: UserId, conf: ConferenceId) -> Result<()> {
+        self.get_user(user)?;
+        self.get_conference(conf)?;
+        if self.attendance.insert((user, conf)) {
+            self.record(user, ActivityEvent::AttendConference(conf));
+        }
+        Ok(())
+    }
+
+    /// True if the user attends/attended the edition.
+    pub fn attends(&self, user: UserId, conf: ConferenceId) -> bool {
+        self.attendance.contains(&(user, conf))
+    }
+
+    /// Attendees of an edition.
+    pub fn attendees(&self, conf: ConferenceId) -> Vec<UserId> {
+        let mut out: Vec<UserId> = self
+            .attendance
+            .iter()
+            .filter(|(_, c)| *c == conf)
+            .map(|(u, _)| *u)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Conference editions a user attends/attended.
+    pub fn conferences_of(&self, user: UserId) -> Vec<ConferenceId> {
+        let mut out: Vec<ConferenceId> = self
+            .attendance
+            .iter()
+            .filter(|(u, _)| *u == user)
+            .map(|(_, c)| *c)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Checks a user into a session.
+    pub fn check_in(&mut self, user: UserId, session: SessionId) -> Result<()> {
+        self.get_user(user)?;
+        self.get_session(session)?;
+        let at = self.clock.now();
+        let idx = self.checkins.len();
+        self.checkins.push(CheckIn { user, session, at });
+        self.checkin_by_user.entry(user).or_default().push(idx);
+        self.checkin_by_session.entry(session).or_default().push(idx);
+        self.record(user, ActivityEvent::CheckIn(session));
+        Ok(())
+    }
+
+    /// Check-ins of a user, in order.
+    pub fn checkins_of(&self, user: UserId) -> Vec<&CheckIn> {
+        self.checkin_by_user
+            .get(&user)
+            .map(|v| v.iter().map(|&i| &self.checkins[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Check-ins into a session.
+    pub fn checkins_in(&self, session: SessionId) -> Vec<&CheckIn> {
+        self.checkin_by_session
+            .get(&session)
+            .map(|v| v.iter().map(|&i| &self.checkins[i]).collect())
+            .unwrap_or_default()
+    }
+
+    // ---- follows and connections ----------------------------------------
+
+    /// `follower` starts following `followee`.
+    pub fn follow(&mut self, follower: UserId, followee: UserId) -> Result<()> {
+        self.get_user(follower)?;
+        self.get_user(followee)?;
+        if follower == followee {
+            return Err(HiveError::Invalid("cannot follow yourself".into()));
+        }
+        if !self.follow_index.insert((follower, followee)) {
+            return Err(HiveError::Conflict("already following".into()));
+        }
+        let since = self.clock.now();
+        self.follows.push(Follow { follower, followee, since });
+        self.record(follower, ActivityEvent::Follow(followee));
+        Ok(())
+    }
+
+    /// True if `a` follows `b`.
+    pub fn is_following(&self, a: UserId, b: UserId) -> bool {
+        self.follow_index.contains(&(a, b))
+    }
+
+    /// Restricts which activity categories of `followee` reach
+    /// `follower`'s feed (must already be following). An empty list
+    /// clears the filter (= everything again).
+    pub fn set_follow_filter(
+        &mut self,
+        follower: UserId,
+        followee: UserId,
+        categories: Vec<String>,
+    ) -> Result<()> {
+        if !self.is_following(follower, followee) {
+            return Err(HiveError::Precondition(format!(
+                "{follower} does not follow {followee}"
+            )));
+        }
+        if categories.is_empty() {
+            self.follow_filters.remove(&(follower, followee));
+        } else {
+            self.follow_filters.insert((follower, followee), categories);
+        }
+        Ok(())
+    }
+
+    /// The follow filter for a pair, if any.
+    pub fn follow_filter(&self, follower: UserId, followee: UserId) -> Option<&[String]> {
+        self.follow_filters
+            .get(&(follower, followee))
+            .map(Vec::as_slice)
+    }
+
+    /// Users that `u` follows.
+    pub fn following(&self, u: UserId) -> Vec<UserId> {
+        let mut out: Vec<UserId> = self
+            .follow_index
+            .iter()
+            .filter(|(a, _)| *a == u)
+            .map(|(_, b)| *b)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Users following `u`.
+    pub fn followers(&self, u: UserId) -> Vec<UserId> {
+        let mut out: Vec<UserId> = self
+            .follow_index
+            .iter()
+            .filter(|(_, b)| *b == u)
+            .map(|(a, _)| *a)
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn pair_key(a: UserId, b: UserId) -> (UserId, UserId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Sends a connection request.
+    pub fn request_connection(&mut self, from: UserId, to: UserId) -> Result<()> {
+        self.get_user(from)?;
+        self.get_user(to)?;
+        if from == to {
+            return Err(HiveError::Invalid("cannot connect to yourself".into()));
+        }
+        let key = Self::pair_key(from, to);
+        if let Some(&idx) = self.connection_index.get(&key) {
+            match self.connections[idx].state {
+                ConnectionState::Declined => {
+                    // A declined request may be retried.
+                    self.connections[idx] = Connection {
+                        from,
+                        to,
+                        state: ConnectionState::Pending,
+                        requested_at: self.clock.now(),
+                        resolved_at: None,
+                    };
+                    self.record(from, ActivityEvent::ConnectRequest(to));
+                    return Ok(());
+                }
+                _ => return Err(HiveError::Conflict("connection already exists".into())),
+            }
+        }
+        let idx = self.connections.len();
+        self.connections.push(Connection {
+            from,
+            to,
+            state: ConnectionState::Pending,
+            requested_at: self.clock.now(),
+            resolved_at: None,
+        });
+        self.connection_index.insert(key, idx);
+        self.record(from, ActivityEvent::ConnectRequest(to));
+        Ok(())
+    }
+
+    /// The recipient accepts or declines a pending request.
+    pub fn respond_connection(&mut self, to: UserId, from: UserId, accept: bool) -> Result<()> {
+        let key = Self::pair_key(from, to);
+        let idx = *self
+            .connection_index
+            .get(&key)
+            .ok_or_else(|| HiveError::not_found("connection", format!("{from}-{to}")))?;
+        let now = self.clock.now();
+        {
+            let conn = &mut self.connections[idx];
+            if conn.state != ConnectionState::Pending {
+                return Err(HiveError::Conflict("connection not pending".into()));
+            }
+            if conn.to != to || conn.from != from {
+                return Err(HiveError::Conflict("only the recipient can respond".into()));
+            }
+            conn.state = if accept {
+                ConnectionState::Accepted
+            } else {
+                ConnectionState::Declined
+            };
+            conn.resolved_at = Some(now);
+        }
+        if accept {
+            self.record(to, ActivityEvent::ConnectAccept(from));
+        }
+        Ok(())
+    }
+
+    /// True if `a` and `b` have an accepted connection.
+    pub fn are_connected(&self, a: UserId, b: UserId) -> bool {
+        self.connection_index
+            .get(&Self::pair_key(a, b))
+            .map(|&i| self.connections[i].state == ConnectionState::Accepted)
+            .unwrap_or(false)
+    }
+
+    /// Accepted connections of `u`.
+    pub fn connections_of(&self, u: UserId) -> Vec<UserId> {
+        let mut out: Vec<UserId> = self
+            .connections
+            .iter()
+            .filter(|c| c.state == ConnectionState::Accepted && c.involves(u))
+            .filter_map(|c| c.other(u))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Pending incoming requests for `u`.
+    pub fn pending_requests_for(&self, u: UserId) -> Vec<UserId> {
+        self.connections
+            .iter()
+            .filter(|c| c.state == ConnectionState::Pending && c.to == u)
+            .map(|c| c.from)
+            .collect()
+    }
+
+    // ---- Q&A, comments, tweets -------------------------------------------
+
+    fn validate_target(&self, t: QaTarget) -> Result<SessionId> {
+        match t {
+            QaTarget::Presentation(p) => Ok(self.get_presentation(p)?.session),
+            QaTarget::Session(s) => {
+                self.get_session(s)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Posts a question; `broadcast` mirrors it to the session hashtag.
+    pub fn ask_question(
+        &mut self,
+        author: UserId,
+        target: QaTarget,
+        text: impl Into<String>,
+        broadcast: bool,
+    ) -> Result<QuestionId> {
+        self.get_user(author)?;
+        let session = self.validate_target(target)?;
+        let text = text.into();
+        if text.trim().is_empty() {
+            return Err(HiveError::Invalid("empty question".into()));
+        }
+        let id = QuestionId(self.questions.len() as u32);
+        self.questions.push(Question {
+            author,
+            target,
+            text: text.clone(),
+            asked_at: self.clock.now(),
+            broadcast,
+        });
+        self.questions_by_target.entry(target).or_default().push(id);
+        self.record(author, ActivityEvent::AskQuestion(id));
+        if broadcast {
+            let handle = format!("@{}", self.get_user(author)?.name.to_lowercase().replace(' ', "_"));
+            self.post_tweet(Some(author), handle, text, session)?;
+        }
+        Ok(id)
+    }
+
+    /// Answers a question.
+    pub fn answer_question(
+        &mut self,
+        author: UserId,
+        question: QuestionId,
+        text: impl Into<String>,
+    ) -> Result<AnswerId> {
+        self.get_user(author)?;
+        self.get_question(question)?;
+        let text = text.into();
+        if text.trim().is_empty() {
+            return Err(HiveError::Invalid("empty answer".into()));
+        }
+        let id = AnswerId(self.answers.len() as u32);
+        self.answers.push(Answer {
+            question,
+            author,
+            text,
+            answered_at: self.clock.now(),
+        });
+        self.answers_by_question.entry(question).or_default().push(id);
+        self.record(author, ActivityEvent::AnswerQuestion(id));
+        Ok(id)
+    }
+
+    /// Posts a comment.
+    pub fn comment(
+        &mut self,
+        author: UserId,
+        target: QaTarget,
+        text: impl Into<String>,
+    ) -> Result<CommentId> {
+        self.get_user(author)?;
+        self.validate_target(target)?;
+        let text = text.into();
+        if text.trim().is_empty() {
+            return Err(HiveError::Invalid("empty comment".into()));
+        }
+        let id = CommentId(self.comments.len() as u32);
+        self.comments.push(Comment {
+            author,
+            target,
+            text,
+            commented_at: self.clock.now(),
+        });
+        self.comments_by_target.entry(target).or_default().push(id);
+        self.record(author, ActivityEvent::Comment(id));
+        Ok(id)
+    }
+
+    /// Posts a tweet onto a session hashtag (platform or external user).
+    pub fn post_tweet(
+        &mut self,
+        author: Option<UserId>,
+        handle: impl Into<String>,
+        text: impl Into<String>,
+        session: SessionId,
+    ) -> Result<TweetId> {
+        self.get_session(session)?;
+        let id = TweetId(self.tweets.len() as u32);
+        self.tweets.push(Tweet {
+            author,
+            handle: handle.into(),
+            text: text.into(),
+            session,
+            at: self.clock.now(),
+        });
+        self.tweets_by_session.entry(session).or_default().push(id);
+        Ok(id)
+    }
+
+    // ---- browsing ---------------------------------------------------------
+
+    /// Records a paper view.
+    pub fn view_paper(&mut self, user: UserId, paper: PaperId) -> Result<()> {
+        self.get_user(user)?;
+        self.get_paper(paper)?;
+        self.record(user, ActivityEvent::ViewPaper(paper));
+        Ok(())
+    }
+
+    /// Records a presentation view.
+    pub fn view_presentation(&mut self, user: UserId, pres: PresentationId) -> Result<()> {
+        self.get_user(user)?;
+        self.get_presentation(pres)?;
+        self.record(user, ActivityEvent::ViewPresentation(pres));
+        Ok(())
+    }
+
+    /// Revises a presentation's slides (presenter only).
+    pub fn revise_slides(
+        &mut self,
+        user: UserId,
+        pres: PresentationId,
+        text: impl Into<String>,
+    ) -> Result<()> {
+        let p = self.get_presentation(pres)?;
+        if p.presenter != user {
+            return Err(HiveError::Conflict("only the presenter can revise slides".into()));
+        }
+        self.presentations[pres.index()].revise(text);
+        self.record(user, ActivityEvent::ReviseSlides(pres));
+        Ok(())
+    }
+
+    // ---- workpads ----------------------------------------------------------
+
+    /// Creates a workpad and makes it active if the user has none.
+    pub fn create_workpad(&mut self, owner: UserId, name: impl Into<String>) -> Result<WorkpadId> {
+        self.get_user(owner)?;
+        let id = WorkpadId(self.workpads.len() as u32);
+        self.workpads.push(Workpad::new(owner, name));
+        self.workpads_by_user.entry(owner).or_default().push(id);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.active_workpad.entry(owner) {
+            e.insert(id);
+            self.record(owner, ActivityEvent::ActivateWorkpad(id));
+        }
+        Ok(id)
+    }
+
+    fn validate_item(&self, item: &WorkpadItem, pad: &Workpad) -> Result<()> {
+        match *item {
+            WorkpadItem::UserAvatar(u) => self.get_user(u).map(|_| ()),
+            WorkpadItem::Paper(p) => self.get_paper(p).map(|_| ()),
+            WorkpadItem::Presentation(p) => self.get_presentation(p).map(|_| ()),
+            WorkpadItem::Session(s) => self.get_session(s).map(|_| ()),
+            WorkpadItem::Question(q) => self.get_question(q).map(|_| ()),
+            WorkpadItem::Collection(c) => self.get_collection(c).map(|_| ()),
+            WorkpadItem::Note(n) => {
+                if (n as usize) < pad.notes.len() {
+                    Ok(())
+                } else {
+                    Err(HiveError::not_found("note", n))
+                }
+            }
+        }
+    }
+
+    /// Drops an item onto a workpad (owner only, referenced entity must
+    /// exist, duplicates rejected).
+    pub fn workpad_add(&mut self, user: UserId, pad: WorkpadId, item: WorkpadItem) -> Result<()> {
+        let p = self.get_workpad(pad)?;
+        if p.owner != user {
+            return Err(HiveError::Conflict("not your workpad".into()));
+        }
+        self.validate_item(&item, p)?;
+        if !self.workpads[pad.index()].add(item) {
+            return Err(HiveError::Conflict("item already on workpad".into()));
+        }
+        self.record(user, ActivityEvent::WorkpadAdd(pad));
+        Ok(())
+    }
+
+    /// Adds a free-form note to a workpad.
+    pub fn workpad_note(
+        &mut self,
+        user: UserId,
+        pad: WorkpadId,
+        text: impl Into<String>,
+    ) -> Result<WorkpadItem> {
+        let p = self.get_workpad(pad)?;
+        if p.owner != user {
+            return Err(HiveError::Conflict("not your workpad".into()));
+        }
+        let item = self.workpads[pad.index()].add_note(text);
+        self.record(user, ActivityEvent::WorkpadAdd(pad));
+        Ok(item)
+    }
+
+    /// Removes an item from a workpad.
+    pub fn workpad_remove(
+        &mut self,
+        user: UserId,
+        pad: WorkpadId,
+        item: &WorkpadItem,
+    ) -> Result<()> {
+        let p = self.get_workpad(pad)?;
+        if p.owner != user {
+            return Err(HiveError::Conflict("not your workpad".into()));
+        }
+        if !self.workpads[pad.index()].remove(item) {
+            return Err(HiveError::not_found("workpad item", format!("{item:?}")));
+        }
+        Ok(())
+    }
+
+    /// Switches the user's active workpad ("the user ... can choose from
+    /// different saved workpads, each corresponding to a different
+    /// context or state of mind").
+    pub fn activate_workpad(&mut self, user: UserId, pad: WorkpadId) -> Result<()> {
+        let p = self.get_workpad(pad)?;
+        if p.owner != user {
+            return Err(HiveError::Conflict("not your workpad".into()));
+        }
+        self.active_workpad.insert(user, pad);
+        self.record(user, ActivityEvent::ActivateWorkpad(pad));
+        Ok(())
+    }
+
+    /// The user's active workpad, if any.
+    pub fn active_workpad_of(&self, user: UserId) -> Option<WorkpadId> {
+        self.active_workpad.get(&user).copied()
+    }
+
+    /// Exports a workpad as an immutable shared collection.
+    pub fn export_workpad(&mut self, user: UserId, pad: WorkpadId) -> Result<CollectionId> {
+        let p = self.get_workpad(pad)?;
+        if p.owner != user {
+            return Err(HiveError::Conflict("not your workpad".into()));
+        }
+        let col = Collection::from_workpad(p);
+        let id = CollectionId(self.collections.len() as u32);
+        self.collections.push(col);
+        Ok(id)
+    }
+
+    /// Registers an externally supplied collection (e.g. parsed from a
+    /// JSON export) under a new id, after validating every item against
+    /// this platform's entities.
+    pub fn add_collection(&mut self, col: Collection) -> Result<CollectionId> {
+        self.get_user(col.owner)?;
+        // Reuse item validation with a scratch pad carrying the notes.
+        let mut scratch = Workpad::new(col.owner, col.name.clone());
+        scratch.notes = col.notes.clone();
+        for item in &col.items {
+            self.validate_item(item, &scratch)?;
+        }
+        let id = CollectionId(self.collections.len() as u32);
+        self.collections.push(col);
+        Ok(id)
+    }
+
+    /// Imports a collection as a fresh workpad of `user` and activates it.
+    pub fn import_collection(&mut self, user: UserId, col: CollectionId) -> Result<WorkpadId> {
+        self.get_user(user)?;
+        let c = self.get_collection(col)?.clone();
+        let id = WorkpadId(self.workpads.len() as u32);
+        let mut pad = Workpad::new(user, c.name);
+        pad.items = c.items;
+        pad.notes = c.notes;
+        self.workpads.push(pad);
+        self.workpads_by_user.entry(user).or_default().push(id);
+        self.active_workpad.insert(user, id);
+        self.record(user, ActivityEvent::ActivateWorkpad(id));
+        Ok(id)
+    }
+
+    // ---- persistence (see persist.rs for the public API) -----------------
+
+    pub(crate) fn capture_snapshot(&self) -> crate::persist::PlatformSnapshot {
+        let mut attendance: Vec<(UserId, ConferenceId)> =
+            self.attendance.iter().copied().collect();
+        attendance.sort();
+        let mut active_workpads: Vec<(UserId, WorkpadId)> =
+            self.active_workpad.iter().map(|(&u, &w)| (u, w)).collect();
+        active_workpads.sort();
+        let mut follow_filters: Vec<(UserId, UserId, Vec<String>)> = self
+            .follow_filters
+            .iter()
+            .map(|(&(a, b), cats)| (a, b, cats.clone()))
+            .collect();
+        follow_filters.sort();
+        crate::persist::PlatformSnapshot {
+            version: crate::persist::SNAPSHOT_VERSION,
+            now: self.clock.now(),
+            users: self.users.clone(),
+            conferences: self.conferences.clone(),
+            sessions: self.sessions.clone(),
+            papers: self.papers.clone(),
+            presentations: self.presentations.clone(),
+            questions: self.questions.clone(),
+            answers: self.answers.clone(),
+            comments: self.comments.clone(),
+            workpads: self.workpads.clone(),
+            collections: self.collections.clone(),
+            tweets: self.tweets.clone(),
+            follows: self.follows.clone(),
+            follow_filters,
+            connections: self.connections.clone(),
+            checkins: self.checkins.clone(),
+            attendance,
+            active_workpads,
+            log: self.log.clone(),
+        }
+    }
+
+    pub(crate) fn restore_snapshot(
+        snap: &crate::persist::PlatformSnapshot,
+    ) -> Result<Self> {
+        let mut db = HiveDb::default();
+        db.clock.advance_to(snap.now);
+        db.users = snap.users.clone();
+        db.conferences = snap.conferences.clone();
+        db.sessions = snap.sessions.clone();
+        db.papers = snap.papers.clone();
+        db.presentations = snap.presentations.clone();
+        db.questions = snap.questions.clone();
+        db.answers = snap.answers.clone();
+        db.comments = snap.comments.clone();
+        db.workpads = snap.workpads.clone();
+        db.collections = snap.collections.clone();
+        db.tweets = snap.tweets.clone();
+        db.follows = snap.follows.clone();
+        db.follow_filters = snap
+            .follow_filters
+            .iter()
+            .map(|(a, b, cats)| ((*a, *b), cats.clone()))
+            .collect();
+        db.connections = snap.connections.clone();
+        db.checkins = snap.checkins.clone();
+        db.attendance = snap.attendance.iter().copied().collect();
+        db.active_workpad = snap.active_workpads.iter().copied().collect();
+        db.log = snap.log.clone();
+        db.rebuild_indexes()?;
+        Ok(db)
+    }
+
+    /// Rebuilds every secondary index from the primary arenas, validating
+    /// referential integrity along the way. Used only on restore, so a
+    /// snapshot can never freeze a stale index.
+    fn rebuild_indexes(&mut self) -> Result<()> {
+        self.follow_index = self
+            .follows
+            .iter()
+            .map(|f| (f.follower, f.followee))
+            .collect();
+        self.connection_index = self
+            .connections
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (Self::pair_key(c.from, c.to), i))
+            .collect();
+        self.checkin_by_user.clear();
+        self.checkin_by_session.clear();
+        for (i, ci) in self.checkins.iter().enumerate() {
+            if ci.user.index() >= self.users.len() || ci.session.index() >= self.sessions.len() {
+                return Err(HiveError::Invalid("dangling check-in in snapshot".into()));
+            }
+            self.checkin_by_user.entry(ci.user).or_default().push(i);
+            self.checkin_by_session.entry(ci.session).or_default().push(i);
+        }
+        self.log_by_user.clear();
+        for (i, rec) in self.log.iter().enumerate() {
+            self.log_by_user.entry(rec.user).or_default().push(i);
+        }
+        self.sessions_by_conf.clear();
+        for (i, sess) in self.sessions.iter().enumerate() {
+            if sess.conference.index() >= self.conferences.len() {
+                return Err(HiveError::Invalid("dangling session in snapshot".into()));
+            }
+            self.sessions_by_conf
+                .entry(sess.conference)
+                .or_default()
+                .push(SessionId(i as u32));
+        }
+        self.papers_by_author.clear();
+        self.papers_by_venue.clear();
+        self.cited_by.clear();
+        for (i, paper) in self.papers.iter().enumerate() {
+            let pid = PaperId(i as u32);
+            for &a in &paper.authors {
+                if a.index() >= self.users.len() {
+                    return Err(HiveError::Invalid("dangling author in snapshot".into()));
+                }
+                self.papers_by_author.entry(a).or_default().push(pid);
+            }
+            if let Some(v) = paper.venue {
+                self.papers_by_venue.entry(v).or_default().push(pid);
+            }
+            for &c in &paper.citations {
+                if c.index() >= self.papers.len() {
+                    return Err(HiveError::Invalid("dangling citation in snapshot".into()));
+                }
+                self.cited_by.entry(c).or_default().push(pid);
+            }
+        }
+        self.presentations_by_session.clear();
+        self.presentations_by_paper.clear();
+        for (i, pres) in self.presentations.iter().enumerate() {
+            let id = PresentationId(i as u32);
+            self.presentations_by_session
+                .entry(pres.session)
+                .or_default()
+                .push(id);
+            self.presentations_by_paper
+                .entry(pres.paper)
+                .or_default()
+                .push(id);
+        }
+        self.questions_by_target.clear();
+        for (i, q) in self.questions.iter().enumerate() {
+            self.questions_by_target
+                .entry(q.target)
+                .or_default()
+                .push(QuestionId(i as u32));
+        }
+        self.answers_by_question.clear();
+        for (i, a) in self.answers.iter().enumerate() {
+            self.answers_by_question
+                .entry(a.question)
+                .or_default()
+                .push(AnswerId(i as u32));
+        }
+        self.comments_by_target.clear();
+        for (i, c) in self.comments.iter().enumerate() {
+            self.comments_by_target
+                .entry(c.target)
+                .or_default()
+                .push(CommentId(i as u32));
+        }
+        self.workpads_by_user.clear();
+        for (i, pad) in self.workpads.iter().enumerate() {
+            self.workpads_by_user
+                .entry(pad.owner)
+                .or_default()
+                .push(WorkpadId(i as u32));
+        }
+        self.tweets_by_session.clear();
+        for (i, t) in self.tweets.iter().enumerate() {
+            self.tweets_by_session
+                .entry(t.session)
+                .or_default()
+                .push(TweetId(i as u32));
+        }
+        Ok(())
+    }
+
+    // ---- activity log -------------------------------------------------------
+
+    /// Full activity log, in order.
+    pub fn activity_log(&self) -> &[ActivityRecord] {
+        &self.log
+    }
+
+    /// A user's activity records, in order.
+    pub fn activities_of(&self, user: UserId) -> Vec<&ActivityRecord> {
+        self.log_by_user
+            .get(&user)
+            .map(|v| v.iter().map(|&i| &self.log[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Activity records in a time window `[from, to)`.
+    pub fn activities_between(&self, from: Timestamp, to: Timestamp) -> Vec<&ActivityRecord> {
+        self.log
+            .iter()
+            .filter(|r| r.at >= from && r.at < to)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny conference world: 3 users, 1 conference, 2 sessions,
+    /// 2 papers, 1 presentation.
+    pub(crate) fn tiny_world() -> (HiveDb, Vec<UserId>, ConferenceId, Vec<SessionId>, Vec<PaperId>, PresentationId)
+    {
+        let mut db = HiveDb::new();
+        let users = vec![
+            db.add_user(User::new("Zach", "ASU").with_interests(vec!["tensor streams".into()])),
+            db.add_user(User::new("Ann", "UniTo").with_interests(vec!["community detection".into()])),
+            db.add_user(User::new("Aaron", "NEC").with_interests(vec!["graph processing".into()])),
+        ];
+        let conf = db.add_conference(Conference::new("EDBT", 2013, "Genoa"));
+        let sessions = vec![
+            db.add_session(
+                Session::new(conf, "Graph Processing", "R1")
+                    .with_topics(vec!["large scale graphs".into()]),
+            )
+            .unwrap(),
+            db.add_session(
+                Session::new(conf, "Social Media", "R2")
+                    .with_topics(vec!["tensor streams".into()]),
+            )
+            .unwrap(),
+        ];
+        let p0 = db
+            .add_paper(
+                Paper::new("Tensor monitoring", vec![users[0]])
+                    .with_abstract("compressed sensing of tensor streams")
+                    .at_venue(conf),
+            )
+            .unwrap();
+        let p1 = db
+            .add_paper(
+                Paper::new("Community tracking", vec![users[1], users[2]])
+                    .with_abstract("tracking communities in graphs")
+                    .at_venue(conf)
+                    .citing(vec![p0]),
+            )
+            .unwrap();
+        let pres = db
+            .add_presentation(
+                Presentation::new(p0, users[0], sessions[1]).with_slides("slide one two"),
+            )
+            .unwrap();
+        (db, users, conf, sessions, vec![p0, p1], pres)
+    }
+
+    #[test]
+    fn referential_integrity_enforced() {
+        let mut db = HiveDb::new();
+        assert!(db
+            .add_session(Session::new(ConferenceId(0), "x", "t"))
+            .is_err());
+        let u = db.add_user(User::new("A", "X"));
+        assert!(db.add_paper(Paper::new("p", vec![])).is_err());
+        assert!(db.add_paper(Paper::new("p", vec![UserId(99)])).is_err());
+        let p = db.add_paper(Paper::new("p", vec![u])).unwrap();
+        // Presenter must be an author.
+        let c = db.add_conference(Conference::new("C", 2013, "X"));
+        let s = db.add_session(Session::new(c, "s", "t")).unwrap();
+        let other = db.add_user(User::new("B", "Y"));
+        assert!(db.add_presentation(Presentation::new(p, other, s)).is_err());
+        assert!(db.add_presentation(Presentation::new(p, u, s)).is_ok());
+    }
+
+    #[test]
+    fn citation_indexes() {
+        let (db, _, conf, _, papers, _) = tiny_world();
+        assert_eq!(db.citing(papers[0]), &[papers[1]]);
+        assert_eq!(db.papers_at(conf).len(), 2);
+        assert_eq!(db.get_paper(papers[1]).unwrap().citations, vec![papers[0]]);
+    }
+
+    #[test]
+    fn follows_and_connections() {
+        let (mut db, users, ..) = tiny_world();
+        db.follow(users[0], users[1]).unwrap();
+        assert!(db.is_following(users[0], users[1]));
+        assert!(!db.is_following(users[1], users[0]));
+        assert_eq!(db.follow(users[0], users[1]).unwrap_err(), HiveError::Conflict("already following".into()));
+        assert!(db.follow(users[0], users[0]).is_err());
+        assert_eq!(db.followers(users[1]), vec![users[0]]);
+
+        db.request_connection(users[0], users[2]).unwrap();
+        assert!(!db.are_connected(users[0], users[2]));
+        assert_eq!(db.pending_requests_for(users[2]), vec![users[0]]);
+        // Duplicate request blocked.
+        assert!(db.request_connection(users[0], users[2]).is_err());
+        assert!(db.request_connection(users[2], users[0]).is_err());
+        db.respond_connection(users[2], users[0], true).unwrap();
+        assert!(db.are_connected(users[0], users[2]));
+        assert!(db.are_connected(users[2], users[0]));
+        assert_eq!(db.connections_of(users[0]), vec![users[2]]);
+        // Can't respond twice.
+        assert!(db.respond_connection(users[2], users[0], true).is_err());
+    }
+
+    #[test]
+    fn declined_connection_can_be_retried() {
+        let (mut db, users, ..) = tiny_world();
+        db.request_connection(users[0], users[1]).unwrap();
+        db.respond_connection(users[1], users[0], false).unwrap();
+        assert!(!db.are_connected(users[0], users[1]));
+        // Either side may retry after a decline.
+        db.request_connection(users[1], users[0]).unwrap();
+        db.respond_connection(users[0], users[1], true).unwrap();
+        assert!(db.are_connected(users[0], users[1]));
+    }
+
+    #[test]
+    fn only_recipient_responds() {
+        let (mut db, users, ..) = tiny_world();
+        db.request_connection(users[0], users[1]).unwrap();
+        assert!(db.respond_connection(users[0], users[1], true).is_err());
+    }
+
+    #[test]
+    fn checkins_indexed_both_ways() {
+        let (mut db, users, _, sessions, ..) = tiny_world();
+        db.advance_clock(10);
+        db.check_in(users[0], sessions[0]).unwrap();
+        db.check_in(users[1], sessions[0]).unwrap();
+        db.check_in(users[0], sessions[1]).unwrap();
+        assert_eq!(db.checkins_of(users[0]).len(), 2);
+        assert_eq!(db.checkins_in(sessions[0]).len(), 2);
+        assert_eq!(db.checkins_of(users[0])[0].at, Timestamp(10));
+    }
+
+    #[test]
+    fn questions_answers_and_broadcast() {
+        let (mut db, users, _, sessions, _, pres) = tiny_world();
+        let q = db
+            .ask_question(
+                users[1],
+                QaTarget::Presentation(pres),
+                "is the equation on slide 3 right?",
+                true,
+            )
+            .unwrap();
+        assert_eq!(db.questions_on(QaTarget::Presentation(pres)), &[q]);
+        // Broadcast created a tweet on the presentation's session hashtag.
+        assert_eq!(db.tweets_in(sessions[1]).len(), 1);
+        let a = db.answer_question(users[0], q, "good catch — fixed").unwrap();
+        assert_eq!(db.answers_to(q), &[a]);
+        assert!(db.ask_question(users[1], QaTarget::Presentation(pres), "  ", false).is_err());
+        // Question on a bare session (keynote traffic).
+        let q2 = db
+            .ask_question(users[2], QaTarget::Session(sessions[0]), "what about scale?", false)
+            .unwrap();
+        assert_eq!(db.questions_on(QaTarget::Session(sessions[0])), &[q2]);
+        assert_eq!(db.tweets_in(sessions[0]).len(), 0, "no broadcast requested");
+    }
+
+    #[test]
+    fn slide_revision_rules() {
+        let (mut db, users, _, _, _, pres) = tiny_world();
+        assert!(db.revise_slides(users[1], pres, "hijack").is_err());
+        db.revise_slides(users[0], pres, "slide one two three").unwrap();
+        assert_eq!(db.get_presentation(pres).unwrap().revision, 1);
+    }
+
+    #[test]
+    fn workpad_lifecycle() {
+        let (mut db, users, _, sessions, papers, _) = tiny_world();
+        let pad = db.create_workpad(users[0], "session").unwrap();
+        // First pad auto-activates.
+        assert_eq!(db.active_workpad_of(users[0]), Some(pad));
+        db.workpad_add(users[0], pad, WorkpadItem::Session(sessions[0])).unwrap();
+        db.workpad_add(users[0], pad, WorkpadItem::Paper(papers[1])).unwrap();
+        // Duplicate rejected.
+        assert!(db.workpad_add(users[0], pad, WorkpadItem::Paper(papers[1])).is_err());
+        // Foreign pad rejected.
+        assert!(db.workpad_add(users[1], pad, WorkpadItem::Paper(papers[0])).is_err());
+        // Dangling item rejected.
+        assert!(db
+            .workpad_add(users[0], pad, WorkpadItem::Paper(PaperId(99)))
+            .is_err());
+        let note = db.workpad_note(users[0], pad, "look into INI").unwrap();
+        assert_eq!(db.get_workpad(pad).unwrap().len(), 3);
+        db.workpad_remove(users[0], pad, &note).unwrap();
+        assert_eq!(db.get_workpad(pad).unwrap().len(), 2);
+
+        let pad2 = db.create_workpad(users[0], "to investigate later").unwrap();
+        assert_eq!(db.active_workpad_of(users[0]), Some(pad), "second pad not auto-active");
+        db.activate_workpad(users[0], pad2).unwrap();
+        assert_eq!(db.active_workpad_of(users[0]), Some(pad2));
+        assert_eq!(db.workpads_of(users[0]).len(), 2);
+    }
+
+    #[test]
+    fn export_import_collections() {
+        let (mut db, users, _, sessions, ..) = tiny_world();
+        let pad = db.create_workpad(users[0], "graphs").unwrap();
+        db.workpad_add(users[0], pad, WorkpadItem::Session(sessions[0])).unwrap();
+        let col = db.export_workpad(users[0], pad).unwrap();
+        // Someone else imports it; it becomes their active pad.
+        let imported = db.import_collection(users[1], col).unwrap();
+        assert_eq!(db.active_workpad_of(users[1]), Some(imported));
+        let got = db.get_workpad(imported).unwrap();
+        assert_eq!(got.owner, users[1]);
+        assert_eq!(got.items, vec![WorkpadItem::Session(sessions[0])]);
+        // Export is frozen: later edits to the source don't leak.
+        db.workpad_note(users[0], pad, "new note").unwrap();
+        assert_eq!(db.get_collection(col).unwrap().items.len(), 1);
+    }
+
+    #[test]
+    fn getters_report_not_found() {
+        let db = HiveDb::new();
+        assert!(db.get_user(UserId(0)).is_err());
+        assert!(db.get_conference(ConferenceId(5)).is_err());
+        assert!(db.get_session(SessionId(1)).is_err());
+        assert!(db.get_paper(PaperId(9)).is_err());
+        assert!(db.get_presentation(PresentationId(0)).is_err());
+        assert!(db.get_question(QuestionId(0)).is_err());
+        assert!(db.get_workpad(WorkpadId(0)).is_err());
+        assert!(db.get_collection(CollectionId(0)).is_err());
+        assert!(db.get_tweet(TweetId(0)).is_err());
+    }
+
+    #[test]
+    fn actions_on_dangling_entities_fail_cleanly() {
+        let (mut db, users, _, sessions, papers, pres) = {
+            let t = tiny_world();
+            (t.0, t.1, t.2, t.3, t.4, t.5)
+        };
+        // Unknown actors/targets.
+        assert!(db.check_in(UserId(99), sessions[0]).is_err());
+        assert!(db.check_in(users[0], SessionId(99)).is_err());
+        assert!(db
+            .ask_question(users[0], QaTarget::Presentation(PresentationId(99)), "x", false)
+            .is_err());
+        assert!(db.answer_question(users[0], QuestionId(99), "x").is_err());
+        assert!(db.view_paper(users[0], PaperId(99)).is_err());
+        assert!(db.view_paper(UserId(99), papers[0]).is_err());
+        assert!(db.view_presentation(users[0], PresentationId(99)).is_err());
+        assert!(db.follow(UserId(99), users[0]).is_err());
+        assert!(db.request_connection(users[0], UserId(99)).is_err());
+        assert!(db.create_workpad(UserId(99), "x").is_err());
+        assert!(db.export_workpad(users[0], WorkpadId(99)).is_err());
+        assert!(db.import_collection(users[0], CollectionId(99)).is_err());
+        // Comments validate their target too.
+        assert!(db
+            .comment(users[0], QaTarget::Session(SessionId(99)), "x")
+            .is_err());
+        assert!(db.comment(users[0], QaTarget::Presentation(pres), "  ").is_err());
+        // Nothing above left a log record beyond the fixture's own.
+        let log_len = db.activity_log().len();
+        let fresh = tiny_world().0.activity_log().len();
+        assert_eq!(log_len, fresh, "failed operations never log activity");
+    }
+
+    #[test]
+    fn activity_log_records_everything() {
+        let (mut db, users, conf, sessions, papers, _) = tiny_world();
+        let before = db.activity_log().len(); // presentation upload
+        db.attend(users[0], conf).unwrap();
+        db.check_in(users[0], sessions[0]).unwrap();
+        db.view_paper(users[1], papers[0]).unwrap();
+        assert_eq!(db.activity_log().len(), before + 3);
+        assert_eq!(db.activities_of(users[1]).len(), 1);
+        let from = Timestamp(0);
+        let to = Timestamp(u64::MAX);
+        assert_eq!(db.activities_between(from, to).len(), before + 3);
+        // Duplicate attendance not double-logged.
+        db.attend(users[0], conf).unwrap();
+        assert_eq!(db.activity_log().len(), before + 3);
+        assert!(db.attends(users[0], conf));
+        assert_eq!(db.attendees(conf), vec![users[0]]);
+        assert_eq!(db.conferences_of(users[0]), vec![conf]);
+    }
+}

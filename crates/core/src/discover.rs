@@ -1,0 +1,393 @@
+//! Context-aware resource discovery, search, ranking, and preview
+//! (paper §2.3, Table 1 "Discovery, context- and
+//! collaborative-recommendation and preview services").
+//!
+//! "Hive relies on the underlying integrated context network to filter,
+//! summarize, and rank alternatives ... Context-aware ranking and preview
+//! services include (a) relevant snippet extraction from documents,
+//! (b) key concept extraction for automated annotations, and (c) content
+//! summarization."
+//!
+//! A search blends three signals: query-text match, similarity to the
+//! active context vector, and graph activation propagated from the
+//! context seeds over the unified knowledge network.
+
+use crate::context::ActivityContext;
+use crate::db::HiveDb;
+use crate::ids::{PaperId, PresentationId, SessionId, UserId};
+use crate::knowledge::KnowledgeNetwork;
+use hive_graph::{personalized_pagerank, NodeId, PprConfig};
+use hive_text::keyphrase::{extract_keyphrases, KeyphraseConfig};
+use hive_text::snippet::{extract_snippet, SnippetConfig};
+use hive_text::tfidf::SparseVector;
+use std::collections::HashMap;
+
+/// A searchable resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// A paper.
+    Paper(PaperId),
+    /// A presentation.
+    Presentation(PresentationId),
+    /// A session.
+    Session(SessionId),
+    /// A researcher.
+    User(UserId),
+}
+
+impl Resource {
+    /// Knowledge-network IRI of the resource.
+    pub fn iri(&self) -> String {
+        match self {
+            Resource::Paper(p) => p.iri(),
+            Resource::Presentation(p) => p.iri(),
+            Resource::Session(s) => s.iri(),
+            Resource::User(u) => u.iri(),
+        }
+    }
+
+    /// Kind label for display.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Resource::Paper(_) => "paper",
+            Resource::Presentation(_) => "presentation",
+            Resource::Session(_) => "session",
+            Resource::User(_) => "user",
+        }
+    }
+}
+
+/// One ranked search hit with its preview.
+#[derive(Clone, Debug)]
+pub struct SearchHit {
+    /// What was found.
+    pub resource: Resource,
+    /// Blended relevance score.
+    pub score: f64,
+    /// Display title.
+    pub title: String,
+    /// Context-aware snippet, if the resource has body text.
+    pub preview: Option<String>,
+    /// Key concepts extracted from the resource text.
+    pub key_concepts: Vec<String>,
+}
+
+/// Search parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoverConfig {
+    /// Results to return.
+    pub top_k: usize,
+    /// Weight of the query-match signal.
+    pub query_weight: f64,
+    /// Weight of the context-similarity signal.
+    pub context_weight: f64,
+    /// Weight of the graph-activation signal.
+    pub graph_weight: f64,
+    /// Include user profiles among results.
+    pub include_users: bool,
+    /// Key concepts per preview.
+    pub concepts_per_hit: usize,
+}
+
+impl Default for DiscoverConfig {
+    fn default() -> Self {
+        DiscoverConfig {
+            top_k: 10,
+            query_weight: 0.5,
+            context_weight: 0.3,
+            graph_weight: 0.2,
+            include_users: true,
+            concepts_per_hit: 3,
+        }
+    }
+}
+
+fn resource_text(db: &HiveDb, r: Resource) -> String {
+    match r {
+        Resource::Paper(p) => db.get_paper(p).map(|x| x.text()).unwrap_or_default(),
+        Resource::Presentation(p) => db
+            .get_presentation(p)
+            .map(|x| x.slides_text.clone())
+            .unwrap_or_default(),
+        Resource::Session(s) => db.get_session(s).map(|x| x.text()).unwrap_or_default(),
+        Resource::User(u) => db.get_user(u).map(|x| x.profile_text()).unwrap_or_default(),
+    }
+}
+
+fn resource_title(db: &HiveDb, r: Resource) -> String {
+    match r {
+        Resource::Paper(p) => db.get_paper(p).map(|x| x.title.clone()).unwrap_or_default(),
+        Resource::Presentation(p) => db
+            .get_presentation(p)
+            .ok()
+            .and_then(|x| db.get_paper(x.paper).ok())
+            .map(|x| format!("slides: {}", x.title))
+            .unwrap_or_default(),
+        Resource::Session(s) => db.get_session(s).map(|x| x.title.clone()).unwrap_or_default(),
+        Resource::User(u) => db.get_user(u).map(|x| x.name.clone()).unwrap_or_default(),
+    }
+}
+
+fn resource_vector(kn: &KnowledgeNetwork, r: Resource) -> Option<&SparseVector> {
+    match r {
+        Resource::Paper(p) => kn.paper_vectors.get(&p),
+        Resource::Presentation(p) => kn.presentation_vectors.get(&p),
+        Resource::Session(s) => kn.session_vectors.get(&s),
+        Resource::User(u) => kn.user_vectors.get(&u),
+    }
+}
+
+fn all_resources(db: &HiveDb, include_users: bool) -> Vec<Resource> {
+    let mut out = Vec::new();
+    out.extend(db.paper_ids().into_iter().map(Resource::Paper));
+    out.extend(db.presentation_ids().into_iter().map(Resource::Presentation));
+    out.extend(db.session_ids().into_iter().map(Resource::Session));
+    if include_users {
+        out.extend(db.user_ids().into_iter().map(Resource::User));
+    }
+    out
+}
+
+/// Graph activation per IRI from the context seeds (normalized to max 1).
+fn graph_activation(kn: &KnowledgeNetwork, ctx: &ActivityContext) -> HashMap<String, f64> {
+    let g = &kn.unified;
+    let mut seeds: HashMap<NodeId, f64> = HashMap::new();
+    for (key, &mass) in &ctx.seeds {
+        if let Some(n) = g.node(key) {
+            *seeds.entry(n).or_insert(0.0) += mass;
+        }
+    }
+    if seeds.is_empty() {
+        return HashMap::new();
+    }
+    let ppr = personalized_pagerank(g, &seeds, PprConfig::default());
+    let max = ppr.iter().cloned().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    g.nodes()
+        .filter(|n| ppr[n.index()] > 0.0)
+        .map(|n| (g.key(n).to_string(), ppr[n.index()] / max))
+        .collect()
+}
+
+/// Context-aware search. `query` may be empty, in which case ranking is
+/// purely contextual (the recommendation mode of Table 1: "request
+/// resource recommendations based on context").
+pub fn search(
+    db: &HiveDb,
+    kn: &KnowledgeNetwork,
+    ctx: &ActivityContext,
+    query: &str,
+    cfg: DiscoverConfig,
+) -> Vec<SearchHit> {
+    let qvec = kn.corpus.vectorize_known(query);
+    let activation = graph_activation(kn, ctx);
+    let mut hits: Vec<SearchHit> = all_resources(db, cfg.include_users)
+        .into_iter()
+        .filter_map(|r| {
+            let rv = resource_vector(kn, r);
+            let q = rv.map(|v| qvec.cosine(v)).unwrap_or(0.0);
+            let c = rv.map(|v| ctx.similarity(v)).unwrap_or(0.0);
+            let a = activation.get(&r.iri()).copied().unwrap_or(0.0);
+            let score = cfg.query_weight * q + cfg.context_weight * c + cfg.graph_weight * a;
+            if score <= 0.0 {
+                return None;
+            }
+            Some(SearchHit {
+                resource: r,
+                score,
+                title: resource_title(db, r),
+                preview: None,
+                key_concepts: Vec::new(),
+            })
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then_with(|| a.resource.cmp(&b.resource))
+    });
+    hits.truncate(cfg.top_k);
+    // Generate previews only for returned hits (lazy, per the perf guide).
+    let context_terms: Vec<&str> = ctx.terms.iter().map(String::as_str).collect();
+    let query_terms: Vec<&str> = query.split_whitespace().collect();
+    for hit in &mut hits {
+        let text = resource_text(db, hit.resource);
+        if text.is_empty() {
+            continue;
+        }
+        let mut terms = query_terms.clone();
+        terms.extend(context_terms.iter());
+        hit.preview = extract_snippet(&text, &terms, SnippetConfig::default())
+            .filter(|s| s.score > 0.0)
+            .map(|s| s.text);
+        hit.key_concepts = extract_keyphrases(
+            &text,
+            KeyphraseConfig { top_k: cfg.concepts_per_hit, ..Default::default() },
+        )
+        .into_iter()
+        .map(|k| k.phrase)
+        .collect();
+    }
+    hits
+}
+
+/// Pure contextual recommendation (empty query).
+pub fn recommend_resources(
+    db: &HiveDb,
+    kn: &KnowledgeNetwork,
+    ctx: &ActivityContext,
+    cfg: DiscoverConfig,
+) -> Vec<SearchHit> {
+    // With no query, fold its weight into the context signal.
+    let cfg = DiscoverConfig {
+        query_weight: 0.0,
+        context_weight: cfg.context_weight + cfg.query_weight,
+        ..cfg
+    };
+    search(db, kn, ctx, "", cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{build_context, ContextConfig};
+    use crate::model::*;
+
+    fn world() -> (HiveDb, Vec<UserId>, Vec<SessionId>, Vec<PaperId>) {
+        let mut db = HiveDb::new();
+        let users = vec![
+            db.add_user(User::new("Zach", "ASU").with_interests(vec!["tensor streams".into()])),
+            db.add_user(User::new("Bob", "MIT").with_interests(vec!["transactions".into()])),
+        ];
+        let conf = db.add_conference(Conference::new("EDBT", 2013, "Genoa"));
+        let sessions = vec![
+            db.add_session(
+                Session::new(conf, "Tensor Streams", "R1")
+                    .with_topics(vec!["tensor stream monitoring sketches".into()]),
+            )
+            .unwrap(),
+            db.add_session(
+                Session::new(conf, "Transactions", "R2")
+                    .with_topics(vec!["transaction concurrency control".into()]),
+            )
+            .unwrap(),
+        ];
+        let papers = vec![
+            db.add_paper(
+                Paper::new("Compressed tensor monitoring", vec![users[0]])
+                    .with_abstract(
+                        "Compressed sensing sketches monitor tensor streams. \
+                         Randomized ensembles detect structural changes quickly.",
+                    )
+                    .at_venue(conf),
+            )
+            .unwrap(),
+            db.add_paper(
+                Paper::new("Snapshot isolation revisited", vec![users[1]])
+                    .with_abstract(
+                        "Transaction processing with snapshot isolation. \
+                         Concurrency control for modern hardware.",
+                    )
+                    .at_venue(conf),
+            )
+            .unwrap(),
+        ];
+        (db, users, sessions, papers)
+    }
+
+    #[test]
+    fn query_match_ranks_topical_resources_first() {
+        let (db, users, _, papers) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let hits = search(&db, &kn, &ctx, "tensor stream sketches", DiscoverConfig::default());
+        assert!(!hits.is_empty());
+        let tensor_pos = hits
+            .iter()
+            .position(|h| h.resource == Resource::Paper(papers[0]))
+            .expect("tensor paper found");
+        let txn_pos = hits.iter().position(|h| h.resource == Resource::Paper(papers[1]));
+        if let Some(tp) = txn_pos {
+            assert!(tensor_pos < tp, "tensor paper before transaction paper");
+        }
+    }
+
+    #[test]
+    fn previews_and_concepts_attached() {
+        let (db, users, ..) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let hits = search(&db, &kn, &ctx, "compressed sensing", DiscoverConfig::default());
+        let paper_hit = hits
+            .iter()
+            .find(|h| matches!(h.resource, Resource::Paper(_)))
+            .expect("paper hit");
+        assert!(paper_hit.preview.is_some(), "snippet preview generated");
+        assert!(
+            paper_hit
+                .preview
+                .as_deref()
+                .map(|p| p.to_lowercase().contains("compressed"))
+                .unwrap_or(false),
+            "snippet covers the query: {:?}",
+            paper_hit.preview
+        );
+        assert!(!paper_hit.key_concepts.is_empty(), "key concepts extracted");
+        assert!(!paper_hit.title.is_empty());
+    }
+
+    #[test]
+    fn context_steers_empty_query_recommendations() {
+        let (mut db, users, sessions, papers) = world();
+        // Zach's active pad holds the transactions session: context flips.
+        let pad = db.create_workpad(users[0], "txn").unwrap();
+        db.workpad_add(users[0], pad, WorkpadItem::Session(sessions[1])).unwrap();
+        db.workpad_add(users[0], pad, WorkpadItem::Paper(papers[1])).unwrap();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let hits = recommend_resources(&db, &kn, &ctx, DiscoverConfig::default());
+        let txn = hits
+            .iter()
+            .position(|h| h.resource == Resource::Session(sessions[1]))
+            .expect("txn session recommended");
+        let tensor = hits.iter().position(|h| h.resource == Resource::Session(sessions[0]));
+        if let Some(tp) = tensor {
+            assert!(txn < tp, "workpad context must dominate profile interests");
+        }
+    }
+
+    #[test]
+    fn user_inclusion_toggle() {
+        let (db, users, ..) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let with = search(&db, &kn, &ctx, "tensor", DiscoverConfig::default());
+        let without = search(
+            &db,
+            &kn,
+            &ctx,
+            "tensor",
+            DiscoverConfig { include_users: false, ..Default::default() },
+        );
+        assert!(without.iter().all(|h| !matches!(h.resource, Resource::User(_))));
+        assert!(with.len() >= without.len());
+    }
+
+    #[test]
+    fn top_k_and_ordering() {
+        let (db, users, ..) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let hits = search(
+            &db,
+            &kn,
+            &ctx,
+            "tensor",
+            DiscoverConfig { top_k: 2, ..Default::default() },
+        );
+        assert!(hits.len() <= 2);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Platform error type.
+
+use std::fmt;
+
+/// Errors surfaced by platform services.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HiveError {
+    /// A referenced entity does not exist.
+    NotFound {
+        /// Entity kind, e.g. `"user"`.
+        kind: &'static str,
+        /// The offending id rendered as a string.
+        id: String,
+    },
+    /// The operation conflicts with current state (duplicate connection
+    /// request, answering a closed question, ...).
+    Conflict(String),
+    /// Invalid input (empty text, bad parameter).
+    Invalid(String),
+    /// The caller lacks a prerequisite (e.g. no active workpad).
+    Precondition(String),
+}
+
+impl HiveError {
+    /// Convenience constructor for [`HiveError::NotFound`].
+    pub fn not_found(kind: &'static str, id: impl fmt::Display) -> Self {
+        HiveError::NotFound { kind, id: id.to_string() }
+    }
+}
+
+impl fmt::Display for HiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HiveError::NotFound { kind, id } => write!(f, "{kind} {id} not found"),
+            HiveError::Conflict(msg) => write!(f, "conflict: {msg}"),
+            HiveError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            HiveError::Precondition(msg) => write!(f, "precondition failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HiveError {}
+
+/// Platform result alias.
+pub type Result<T> = std::result::Result<T, HiveError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            HiveError::not_found("user", UserId(3)).to_string(),
+            "user user:3 not found"
+        );
+        assert!(HiveError::Conflict("x".into()).to_string().contains("conflict"));
+        assert!(HiveError::Invalid("y".into()).to_string().contains("invalid"));
+        assert!(HiveError::Precondition("z".into()).to_string().contains("precondition"));
+    }
+}

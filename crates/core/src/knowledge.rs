@@ -1,0 +1,559 @@
+//! Builds the multi-layer dynamic knowledge network (paper Figure 3)
+//! from the platform database.
+//!
+//! "In its core, Hive leverages dynamically evolving knowledge
+//! structures, including user connections, concept maps, co-authorship
+//! networks, content from papers and presentations, and contextual
+//! knowledge to create and to promote networks of peers."
+//!
+//! [`KnowledgeNetwork::build`] derives, from a [`HiveDb`]:
+//!
+//! * the **social layer** (accepted connections + follows),
+//! * the **co-authorship layer**,
+//! * the **citation layer** (paper-level),
+//! * the **activity layer** (user ↔ resource bipartite edges),
+//! * the **content layer** — a TF-IDF corpus over papers, presentations
+//!   and sessions, with per-entity vectors,
+//! * **concept-map layers** bootstrapped from paper abstracts and session
+//!   topics, aligned and integrated via `hive-concept`,
+//! * a **unified weighted graph** over entity IRIs for PPR-style
+//!   propagation, and
+//! * a weighted-RDF export ([`KnowledgeNetwork::to_store`]) for ranked
+//!   path queries (relationship explanation, Figure 2).
+
+use crate::db::HiveDb;
+use crate::ids::{PaperId, PresentationId, SessionId, UserId};
+use crate::model::QaTarget;
+use hive_concept::{bootstrap_concept_map, AlignConfig, BootstrapConfig, ContextNetwork};
+use hive_graph::Graph;
+use hive_store::{Term, TripleStore};
+use hive_text::tfidf::{Corpus, SparseVector};
+use std::collections::HashMap;
+
+/// Edge weights used when fusing layers into the unified graph. Exposed
+/// so the ablation benches can sweep them.
+#[derive(Clone, Copy, Debug)]
+pub struct FusionWeights {
+    /// Accepted connection (user-user).
+    pub connection: f64,
+    /// Follow (user-user, weaker than a mutual connection).
+    pub follow: f64,
+    /// Co-authorship per shared paper (user-user).
+    pub coauthor: f64,
+    /// Authorship (user-paper).
+    pub authorship: f64,
+    /// Citation (paper-paper).
+    pub citation: f64,
+    /// A presentation links its paper to its session.
+    pub presentation: f64,
+    /// Check-in (user-session).
+    pub checkin: f64,
+    /// Q/A/comment participation (user-session or user-presentation).
+    pub discussion: f64,
+    /// Paper/presentation view (user-paper).
+    pub view: f64,
+    /// Conference attendance (user-conference) and session containment.
+    pub attendance: f64,
+}
+
+impl Default for FusionWeights {
+    fn default() -> Self {
+        FusionWeights {
+            connection: 1.0,
+            follow: 0.5,
+            coauthor: 0.8,
+            authorship: 1.0,
+            citation: 0.7,
+            presentation: 0.9,
+            checkin: 0.9,
+            discussion: 0.8,
+            view: 0.3,
+            attendance: 0.3,
+        }
+    }
+}
+
+/// The derived knowledge network.
+#[derive(Clone, Debug)]
+pub struct KnowledgeNetwork {
+    /// Social layer: connections (undirected, weight 1) and follows
+    /// (directed, weight 0.5) between user IRIs.
+    pub social: Graph,
+    /// Co-authorship layer: user IRIs, weight = number of shared papers.
+    pub coauthor: Graph,
+    /// Citation layer: paper IRIs, directed citing -> cited.
+    pub citation: Graph,
+    /// Unified multi-layer graph over all entity IRIs (undirected).
+    pub unified: Graph,
+    /// Content corpus over papers, presentations, sessions, and profiles.
+    pub corpus: Corpus,
+    /// TF-IDF vectors per paper.
+    pub paper_vectors: HashMap<PaperId, SparseVector>,
+    /// TF-IDF vectors per presentation (slide text).
+    pub presentation_vectors: HashMap<PresentationId, SparseVector>,
+    /// TF-IDF vectors per session (title + topics).
+    pub session_vectors: HashMap<SessionId, SparseVector>,
+    /// Per-user content vectors (interests + authored papers).
+    pub user_vectors: HashMap<UserId, SparseVector>,
+    /// Concept-map layers (papers, sessions) aligned and integrated.
+    pub concepts: ContextNetwork,
+}
+
+impl KnowledgeNetwork {
+    /// Derives the full network from the database with default fusion
+    /// weights.
+    pub fn build(db: &HiveDb) -> Self {
+        Self::build_with(db, FusionWeights::default())
+    }
+
+    /// Derives the network with explicit fusion weights.
+    pub fn build_with(db: &HiveDb, w: FusionWeights) -> Self {
+        let social = build_social(db, &w);
+        let coauthor = build_coauthor(db, &w);
+        let citation = build_citation(db, &w);
+        let unified = build_unified(db, &w);
+        let (corpus, paper_vectors, presentation_vectors, session_vectors, user_vectors) =
+            build_content(db);
+        let concepts = build_concepts(db);
+        KnowledgeNetwork {
+            social,
+            coauthor,
+            citation,
+            unified,
+            corpus,
+            paper_vectors,
+            presentation_vectors,
+            session_vectors,
+            user_vectors,
+            concepts,
+        }
+    }
+
+    /// Content similarity between two users in `[0, 1]`.
+    pub fn user_similarity(&self, a: UserId, b: UserId) -> f64 {
+        match (self.user_vectors.get(&a), self.user_vectors.get(&b)) {
+            (Some(va), Some(vb)) => va.cosine(vb),
+            _ => 0.0,
+        }
+    }
+
+    /// Exports relationship triples for ranked path queries.
+    ///
+    /// Predicates: `rel:connected`, `rel:follows`, `rel:coauthor`,
+    /// `rel:cites`, `rel:authored`, `rel:presented_in`, `rel:checked_in`,
+    /// `rel:discussed_in`, `rel:attended`, `rel:session_of`.
+    pub fn to_store(&self, db: &HiveDb) -> TripleStore {
+        let mut st = TripleStore::new();
+        fn ins(st: &mut TripleStore, s: String, p: &str, o: String, w: f64) {
+            let w = w.clamp(f64::MIN_POSITIVE, 1.0);
+            st.insert(Term::iri(s), Term::iri(p), Term::iri(o), w)
+                .expect("validated triple");
+        }
+        for u in db.user_ids() {
+            for v in db.connections_of(u) {
+                if u < v {
+                    ins(&mut st, u.iri(), "rel:connected", v.iri(), 1.0);
+                }
+            }
+            for v in db.following(u) {
+                ins(&mut st, u.iri(), "rel:follows", v.iri(), 0.5);
+            }
+        }
+        // Co-authorship with shared-paper counts.
+        let mut coauth: HashMap<(UserId, UserId), f64> = HashMap::new();
+        for p in db.paper_ids() {
+            let authors = &db.get_paper(p).expect("listed id").authors;
+            for (i, &a) in authors.iter().enumerate() {
+                for &b in &authors[i + 1..] {
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *coauth.entry(key).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        for ((a, b), n) in coauth {
+            ins(&mut st, a.iri(), "rel:coauthor", b.iri(), (0.5 + 0.1 * n).min(1.0));
+        }
+        for p in db.paper_ids() {
+            let paper = db.get_paper(p).expect("listed id");
+            for &a in &paper.authors {
+                ins(&mut st, a.iri(), "rel:authored", p.iri(), 1.0);
+            }
+            for &c in &paper.citations {
+                ins(&mut st, p.iri(), "rel:cites", c.iri(), 0.7);
+            }
+        }
+        for pres_id in db.presentation_ids() {
+            let pres = db.get_presentation(pres_id).expect("listed id");
+            ins(&mut st, pres.paper.iri(), "rel:presented_in", pres.session.iri(), 0.9);
+        }
+        for s in db.session_ids() {
+            let sess = db.get_session(s).expect("listed id");
+            ins(&mut st, s.iri(), "rel:session_of", sess.conference.iri(), 0.8);
+            for ci in db.checkins_in(s) {
+                ins(&mut st, ci.user.iri(), "rel:checked_in", s.iri(), 0.9);
+            }
+        }
+        for q in db.question_ids() {
+            let question = db.get_question(q).expect("listed id");
+            let session = match question.target {
+                QaTarget::Presentation(p) => db.get_presentation(p).expect("valid").session,
+                QaTarget::Session(s) => s,
+            };
+            ins(&mut st, question.author.iri(), "rel:discussed_in", session.iri(), 0.8);
+        }
+        for c in db.conference_ids() {
+            for u in db.attendees(c) {
+                ins(&mut st, u.iri(), "rel:attended", c.iri(), 0.6);
+            }
+        }
+        st
+    }
+}
+
+fn build_social(db: &HiveDb, w: &FusionWeights) -> Graph {
+    let mut g = Graph::new();
+    for u in db.user_ids() {
+        g.add_node(u.iri());
+    }
+    for u in db.user_ids() {
+        for v in db.connections_of(u) {
+            if u < v {
+                let (a, b) = (g.add_node(u.iri()), g.add_node(v.iri()));
+                g.add_undirected_edge(a, b, w.connection);
+            }
+        }
+        for v in db.following(u) {
+            let (a, b) = (g.add_node(u.iri()), g.add_node(v.iri()));
+            g.add_edge(a, b, w.follow);
+        }
+    }
+    g
+}
+
+fn build_coauthor(db: &HiveDb, w: &FusionWeights) -> Graph {
+    let mut g = Graph::new();
+    for u in db.user_ids() {
+        g.add_node(u.iri());
+    }
+    for p in db.paper_ids() {
+        let authors = db.get_paper(p).expect("listed id").authors.clone();
+        for (i, &a) in authors.iter().enumerate() {
+            for &b in &authors[i + 1..] {
+                let (na, nb) = (g.add_node(a.iri()), g.add_node(b.iri()));
+                g.add_undirected_edge(na, nb, w.coauthor);
+            }
+        }
+    }
+    g
+}
+
+fn build_citation(db: &HiveDb, _w: &FusionWeights) -> Graph {
+    let mut g = Graph::new();
+    for p in db.paper_ids() {
+        g.add_node(p.iri());
+    }
+    for p in db.paper_ids() {
+        let citations = db.get_paper(p).expect("listed id").citations.clone();
+        for c in citations {
+            let (np, nc) = (g.add_node(p.iri()), g.add_node(c.iri()));
+            g.add_edge(np, nc, 1.0);
+        }
+    }
+    g
+}
+
+fn und(g: &mut Graph, a: String, b: String, wt: f64) {
+    let (na, nb) = (g.add_node(a), g.add_node(b));
+    g.add_undirected_edge(na, nb, wt);
+}
+
+fn build_unified(db: &HiveDb, w: &FusionWeights) -> Graph {
+    let mut g = Graph::new();
+    for u in db.user_ids() {
+        g.add_node(u.iri());
+    }
+    for s in db.session_ids() {
+        g.add_node(s.iri());
+    }
+    for p in db.paper_ids() {
+        g.add_node(p.iri());
+    }
+    for c in db.conference_ids() {
+        g.add_node(c.iri());
+    }
+    for u in db.user_ids() {
+        for v in db.connections_of(u) {
+            if u < v {
+                und(&mut g, u.iri(), v.iri(), w.connection);
+            }
+        }
+        for v in db.following(u) {
+            und(&mut g, u.iri(), v.iri(), w.follow);
+        }
+        for ci in db.checkins_of(u) {
+            let session = ci.session;
+            und(&mut g, u.iri(), session.iri(), w.checkin);
+        }
+        for c in db.conferences_of(u) {
+            und(&mut g, u.iri(), c.iri(), w.attendance);
+        }
+    }
+    for p in db.paper_ids() {
+        let paper = db.get_paper(p).expect("listed id").clone();
+        for (i, &a) in paper.authors.iter().enumerate() {
+            und(&mut g, a.iri(), p.iri(), w.authorship);
+            for &b in &paper.authors[i + 1..] {
+                und(&mut g, a.iri(), b.iri(), w.coauthor);
+            }
+        }
+        for &c in &paper.citations {
+            und(&mut g, p.iri(), c.iri(), w.citation);
+        }
+    }
+    for pres_id in db.presentation_ids() {
+        let pres = db.get_presentation(pres_id).expect("listed id");
+        und(&mut g, pres.paper.iri(), pres.session.iri(), w.presentation);
+    }
+    for s in db.session_ids() {
+        let conf = db.get_session(s).expect("listed id").conference;
+        und(&mut g, s.iri(), conf.iri(), w.attendance);
+    }
+    for q in db.question_ids() {
+        let question = db.get_question(q).expect("listed id").clone();
+        match question.target {
+            QaTarget::Presentation(p) => {
+                let pres = db.get_presentation(p).expect("valid");
+                let (session, paper) = (pres.session, pres.paper);
+                und(&mut g, question.author.iri(), session.iri(), w.discussion);
+                und(&mut g, question.author.iri(), paper.iri(), w.view);
+            }
+            QaTarget::Session(s) => {
+                und(&mut g, question.author.iri(), s.iri(), w.discussion);
+            }
+        }
+    }
+    // Browsing views from the activity log.
+    for rec in db.activity_log().to_vec() {
+        if let crate::model::ActivityEvent::ViewPaper(p) = rec.event {
+            und(&mut g, rec.user.iri(), p.iri(), w.view);
+        }
+    }
+    g
+}
+
+type ContentIndexes = (
+    Corpus,
+    HashMap<PaperId, SparseVector>,
+    HashMap<PresentationId, SparseVector>,
+    HashMap<SessionId, SparseVector>,
+    HashMap<UserId, SparseVector>,
+);
+
+fn build_content(db: &HiveDb) -> ContentIndexes {
+    let mut corpus = Corpus::new();
+    // Index first so IDF reflects the whole collection...
+    let mut paper_tf = HashMap::new();
+    for p in db.paper_ids() {
+        paper_tf.insert(p, corpus.index_document(&db.get_paper(p).expect("id").text()));
+    }
+    let mut pres_tf = HashMap::new();
+    for pr in db.presentation_ids() {
+        pres_tf.insert(
+            pr,
+            corpus.index_document(&db.get_presentation(pr).expect("id").slides_text),
+        );
+    }
+    let mut sess_tf = HashMap::new();
+    for s in db.session_ids() {
+        sess_tf.insert(s, corpus.index_document(&db.get_session(s).expect("id").text()));
+    }
+    // ...then weight.
+    let paper_vectors: HashMap<PaperId, SparseVector> =
+        paper_tf.iter().map(|(&p, tf)| (p, corpus.tfidf(tf))).collect();
+    let presentation_vectors: HashMap<PresentationId, SparseVector> =
+        pres_tf.iter().map(|(&p, tf)| (p, corpus.tfidf(tf))).collect();
+    let session_vectors: HashMap<SessionId, SparseVector> =
+        sess_tf.iter().map(|(&s, tf)| (s, corpus.tfidf(tf))).collect();
+    // User vectors: declared interests + authored papers, renormalized.
+    let mut user_vectors = HashMap::new();
+    for u in db.user_ids() {
+        let profile = db.get_user(u).expect("id").profile_text();
+        let mut v = corpus.vectorize(&profile);
+        for &p in db.papers_of(u).to_vec().iter() {
+            if let Some(pv) = paper_vectors.get(&p) {
+                v.accumulate(pv, 1.0);
+            }
+        }
+        v.normalize();
+        if !v.is_empty() {
+            user_vectors.insert(u, v);
+        }
+    }
+    (corpus, paper_vectors, presentation_vectors, session_vectors, user_vectors)
+}
+
+fn build_concepts(db: &HiveDb) -> ContextNetwork {
+    let paper_texts: Vec<String> = db
+        .paper_ids()
+        .iter()
+        .map(|&p| db.get_paper(p).expect("id").text())
+        .collect();
+    let paper_refs: Vec<&str> = paper_texts.iter().map(String::as_str).collect();
+    let session_texts: Vec<String> = db
+        .session_ids()
+        .iter()
+        .map(|&s| db.get_session(s).expect("id").text())
+        .collect();
+    let session_refs: Vec<&str> = session_texts.iter().map(String::as_str).collect();
+    let papers_map = bootstrap_concept_map("papers", &paper_refs, BootstrapConfig::default());
+    let sessions_map =
+        bootstrap_concept_map("sessions", &session_refs, BootstrapConfig::default());
+    let mut net = ContextNetwork::new();
+    net.add_layer(papers_map, 1.0);
+    net.add_layer(sessions_map, 0.8);
+    net.align_all(AlignConfig::default());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::*;
+
+    fn world() -> (HiveDb, Vec<UserId>, Vec<SessionId>, Vec<PaperId>) {
+        let mut db = HiveDb::new();
+        let users: Vec<UserId> = vec![
+            db.add_user(User::new("Zach", "ASU").with_interests(vec!["tensor streams".into()])),
+            db.add_user(User::new("Ann", "UniTo").with_interests(vec!["communities".into()])),
+            db.add_user(User::new("Aaron", "NEC").with_interests(vec!["graphs".into()])),
+        ];
+        let conf = db.add_conference(Conference::new("EDBT", 2013, "Genoa"));
+        let sessions = vec![
+            db.add_session(
+                Session::new(conf, "Tensor Streams", "R1")
+                    .with_topics(vec!["tensor streams monitoring".into()]),
+            )
+            .unwrap(),
+            db.add_session(
+                Session::new(conf, "Graph Processing", "R2")
+                    .with_topics(vec!["large scale graph processing".into()]),
+            )
+            .unwrap(),
+        ];
+        let p0 = db
+            .add_paper(
+                Paper::new("Tensor stream monitoring", vec![users[0], users[1]])
+                    .with_abstract("compressed sensing of tensor streams in social networks")
+                    .at_venue(conf),
+            )
+            .unwrap();
+        let p1 = db
+            .add_paper(
+                Paper::new("Graph communities", vec![users[1], users[2]])
+                    .with_abstract("community detection in large scale graphs")
+                    .at_venue(conf)
+                    .citing(vec![p0]),
+            )
+            .unwrap();
+        db.add_presentation(Presentation::new(p0, users[0], sessions[0]).with_slides(
+            "tensor streams compressed sensing sketch ensembles",
+        ))
+        .unwrap();
+        for &u in &users {
+            db.attend(u, conf).unwrap();
+        }
+        db.check_in(users[0], sessions[0]).unwrap();
+        db.check_in(users[1], sessions[0]).unwrap();
+        db.check_in(users[2], sessions[1]).unwrap();
+        db.follow(users[0], users[1]).unwrap();
+        db.request_connection(users[1], users[2]).unwrap();
+        db.respond_connection(users[2], users[1], true).unwrap();
+        (db, users, sessions, vec![p0, p1])
+    }
+
+    #[test]
+    fn layers_have_expected_edges() {
+        let (db, users, _, papers) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        // Social: one connection (undirected = 2 directed) + one follow.
+        assert_eq!(kn.social.edge_count(), 3);
+        // Coauthor: p0 links u0-u1; p1 links u1-u2.
+        let a = kn.coauthor.node(&users[0].iri()).unwrap();
+        let b = kn.coauthor.node(&users[1].iri()).unwrap();
+        assert!(kn.coauthor.edge_weight(a, b).is_some());
+        // Citation: p1 -> p0.
+        let c1 = kn.citation.node(&papers[1].iri()).unwrap();
+        let c0 = kn.citation.node(&papers[0].iri()).unwrap();
+        assert!(kn.citation.edge_weight(c1, c0).is_some());
+        assert!(kn.citation.edge_weight(c0, c1).is_none(), "citations are directed");
+    }
+
+    #[test]
+    fn unified_graph_spans_all_entity_kinds() {
+        let (db, users, sessions, papers) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        for key in [users[0].iri(), sessions[0].iri(), papers[0].iri()] {
+            assert!(kn.unified.node(&key).is_some(), "missing {key}");
+        }
+        // Check-in edge present.
+        let u = kn.unified.node(&users[0].iri()).unwrap();
+        let s = kn.unified.node(&sessions[0].iri()).unwrap();
+        assert!(kn.unified.edge_weight(u, s).is_some());
+    }
+
+    #[test]
+    fn content_vectors_capture_similarity() {
+        let (db, users, ..) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        // u0 and u1 share a tensor-stream paper; u2 does graphs.
+        let sim_01 = kn.user_similarity(users[0], users[1]);
+        let sim_02 = kn.user_similarity(users[0], users[2]);
+        assert!(sim_01 > sim_02, "{sim_01} > {sim_02}");
+    }
+
+    #[test]
+    fn concept_layers_built_and_aligned() {
+        let (db, ..) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        assert_eq!(kn.concepts.layer_count(), 2);
+        let inv = kn.concepts.inventory();
+        assert!(inv[0].1 > 0, "paper concepts extracted");
+        assert!(inv[1].1 > 0, "session concepts extracted");
+    }
+
+    #[test]
+    fn store_export_supports_path_queries() {
+        let (db, users, ..) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let st = kn.to_store(&db);
+        assert!(st.len() > 10);
+        // u0 -> u2 path exists (e.g. follow/coauthor via u1).
+        let paths = hive_store::PathQuery::new(
+            Term::iri(users[0].iri()),
+            Term::iri(users[2].iri()),
+        )
+        .top_k(3)
+        .run(&st)
+        .unwrap();
+        assert!(!paths.is_empty());
+    }
+
+    #[test]
+    fn fusion_weights_respected() {
+        let (db, users, sessions, _) = world();
+        let heavy = FusionWeights { checkin: 1.0, ..Default::default() };
+        let light = FusionWeights { checkin: 0.1, ..Default::default() };
+        let kh = KnowledgeNetwork::build_with(&db, heavy);
+        let kl = KnowledgeNetwork::build_with(&db, light);
+        let (u, s) = (users[0].iri(), sessions[0].iri());
+        let wh = kh
+            .unified
+            .edge_weight(kh.unified.node(&u).unwrap(), kh.unified.node(&s).unwrap())
+            .unwrap();
+        let wl = kl
+            .unified
+            .edge_weight(kl.unified.node(&u).unwrap(), kl.unified.node(&s).unwrap())
+            .unwrap();
+        assert!(wh > wl);
+    }
+}

@@ -1,0 +1,102 @@
+//! The append-only activity log.
+//!
+//! Every user-visible action lands here; §2.1's "understanding the
+//! personal activity context through access patterns" and the
+//! activity-similarity evidence both read this log, and the history
+//! service (Table 1, last row) searches it.
+
+use crate::clock::Timestamp;
+use crate::ids::{
+    AnswerId, CommentId, ConferenceId, PaperId, PresentationId, QuestionId, SessionId, UserId,
+    WorkpadId,
+};
+use serde::{Deserialize, Serialize};
+
+/// One kind of platform activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityEvent {
+    /// Registered for / marked attendance at a conference.
+    AttendConference(ConferenceId),
+    /// Checked into a session.
+    CheckIn(SessionId),
+    /// Uploaded a presentation.
+    UploadPresentation(PresentationId),
+    /// Revised presentation slides.
+    ReviseSlides(PresentationId),
+    /// Viewed a presentation's slides.
+    ViewPresentation(PresentationId),
+    /// Viewed a paper.
+    ViewPaper(PaperId),
+    /// Asked a question.
+    AskQuestion(QuestionId),
+    /// Answered a question.
+    AnswerQuestion(AnswerId),
+    /// Commented.
+    Comment(CommentId),
+    /// Started following another user.
+    Follow(UserId),
+    /// Sent a connection request.
+    ConnectRequest(UserId),
+    /// Accepted a connection request from the given user.
+    ConnectAccept(UserId),
+    /// Created or switched the active workpad.
+    ActivateWorkpad(WorkpadId),
+    /// Dropped an item onto a workpad.
+    WorkpadAdd(WorkpadId),
+}
+
+impl ActivityEvent {
+    /// Coarse category label used by report tables and the history
+    /// service's value lattice.
+    pub fn category(&self) -> &'static str {
+        match self {
+            ActivityEvent::AttendConference(_) => "attend",
+            ActivityEvent::CheckIn(_) => "checkin",
+            ActivityEvent::UploadPresentation(_) | ActivityEvent::ReviseSlides(_) => "content",
+            ActivityEvent::ViewPresentation(_) | ActivityEvent::ViewPaper(_) => "browse",
+            ActivityEvent::AskQuestion(_)
+            | ActivityEvent::AnswerQuestion(_)
+            | ActivityEvent::Comment(_) => "discuss",
+            ActivityEvent::Follow(_)
+            | ActivityEvent::ConnectRequest(_)
+            | ActivityEvent::ConnectAccept(_) => "network",
+            ActivityEvent::ActivateWorkpad(_) | ActivityEvent::WorkpadAdd(_) => "workpad",
+        }
+    }
+}
+
+/// A timestamped log record.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ActivityRecord {
+    /// The acting user.
+    pub user: UserId,
+    /// What happened.
+    pub event: ActivityEvent,
+    /// When.
+    pub at: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories() {
+        assert_eq!(ActivityEvent::CheckIn(SessionId(0)).category(), "checkin");
+        assert_eq!(ActivityEvent::ViewPaper(PaperId(0)).category(), "browse");
+        assert_eq!(ActivityEvent::AskQuestion(QuestionId(0)).category(), "discuss");
+        assert_eq!(ActivityEvent::Follow(UserId(0)).category(), "network");
+        assert_eq!(
+            ActivityEvent::ActivateWorkpad(WorkpadId(0)).category(),
+            "workpad"
+        );
+        assert_eq!(
+            ActivityEvent::UploadPresentation(PresentationId(0)).category(),
+            "content"
+        );
+        assert_eq!(
+            ActivityEvent::AttendConference(ConferenceId(0)).category(),
+            "attend"
+        );
+    }
+}

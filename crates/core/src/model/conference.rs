@@ -1,0 +1,153 @@
+//! Conference editions and technical sessions.
+
+use crate::clock::Timestamp;
+use crate::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+/// A conference edition. Hive is "conference-centric, yet
+/// cross-conference": the `series` name links editions across years
+/// (one of the nine relationship evidences is "same conference,
+/// different years").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Conference {
+    /// Series name, e.g. `"EDBT"`.
+    pub series: String,
+    /// Edition year, e.g. `2013`.
+    pub year: u32,
+    /// Host city (display only).
+    pub location: String,
+    /// Start of the edition on the logical clock.
+    pub starts_at: Timestamp,
+    /// Duration in ticks.
+    pub duration: u64,
+}
+
+impl Conference {
+    /// Creates an edition.
+    pub fn new(series: impl Into<String>, year: u32, location: impl Into<String>) -> Self {
+        Conference {
+            series: series.into(),
+            year,
+            location: location.into(),
+            starts_at: Timestamp(0),
+            duration: 3 * 24 * 60, // three conference days in minutes
+        }
+    }
+
+    /// Display name, e.g. `"EDBT 2013"`.
+    pub fn display_name(&self) -> String {
+        format!("{} {}", self.series, self.year)
+    }
+
+    /// True if `t` falls within the edition.
+    pub fn is_running_at(&self, t: Timestamp) -> bool {
+        t >= self.starts_at && t.ticks() < self.starts_at.ticks() + self.duration
+    }
+}
+
+/// A technical session inside a conference edition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Owning conference (arena id lives in the DB; stored here as raw
+    /// index for serialization friendliness).
+    pub conference: crate::ids::ConferenceId,
+    /// Session title, e.g. `"Large Scale Graph Processing"`.
+    pub title: String,
+    /// Track name, e.g. `"Research 4"`.
+    pub track: String,
+    /// Topic phrases describing the session (drives content evidence).
+    pub topics: Vec<String>,
+    /// Session chair.
+    pub chair: Option<UserId>,
+    /// Scheduled start.
+    pub starts_at: Timestamp,
+    /// Length in ticks.
+    pub duration: u64,
+}
+
+impl Session {
+    /// Creates a session.
+    pub fn new(
+        conference: crate::ids::ConferenceId,
+        title: impl Into<String>,
+        track: impl Into<String>,
+    ) -> Self {
+        Session {
+            conference,
+            title: title.into(),
+            track: track.into(),
+            topics: Vec::new(),
+            chair: None,
+            starts_at: Timestamp(0),
+            duration: 90,
+        }
+    }
+
+    /// Builder: topic phrases.
+    pub fn with_topics(mut self, topics: Vec<String>) -> Self {
+        self.topics = topics;
+        self
+    }
+
+    /// Builder: schedule.
+    pub fn scheduled(mut self, starts_at: Timestamp, duration: u64) -> Self {
+        self.starts_at = starts_at;
+        self.duration = duration;
+        self
+    }
+
+    /// True if `t` falls within the session slot.
+    pub fn is_running_at(&self, t: Timestamp) -> bool {
+        t >= self.starts_at && t.ticks() < self.starts_at.ticks() + self.duration
+    }
+
+    /// Two sessions overlap in time (can't attend both).
+    pub fn overlaps(&self, other: &Session) -> bool {
+        self.starts_at.ticks() < other.starts_at.ticks() + other.duration
+            && other.starts_at.ticks() < self.starts_at.ticks() + self.duration
+    }
+
+    /// The session rendered as text (title + topics) for indexing.
+    pub fn text(&self) -> String {
+        let mut s = self.title.clone();
+        s.push(' ');
+        s.push_str(&self.topics.join(" "));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ConferenceId;
+
+    #[test]
+    fn conference_window() {
+        let mut c = Conference::new("EDBT", 2013, "Genoa");
+        c.starts_at = Timestamp(100);
+        c.duration = 50;
+        assert_eq!(c.display_name(), "EDBT 2013");
+        assert!(!c.is_running_at(Timestamp(99)));
+        assert!(c.is_running_at(Timestamp(100)));
+        assert!(c.is_running_at(Timestamp(149)));
+        assert!(!c.is_running_at(Timestamp(150)));
+    }
+
+    #[test]
+    fn session_overlap() {
+        let base = Session::new(ConferenceId(0), "A", "R1").scheduled(Timestamp(0), 90);
+        let same_slot = Session::new(ConferenceId(0), "B", "R2").scheduled(Timestamp(30), 90);
+        let later = Session::new(ConferenceId(0), "C", "R1").scheduled(Timestamp(90), 90);
+        assert!(base.overlaps(&same_slot));
+        assert!(same_slot.overlaps(&base));
+        assert!(!base.overlaps(&later));
+    }
+
+    #[test]
+    fn session_text_includes_topics() {
+        let s = Session::new(ConferenceId(0), "Graph Processing", "R1")
+            .with_topics(vec!["community detection".into()]);
+        assert!(s.text().contains("Graph Processing"));
+        assert!(s.text().contains("community detection"));
+    }
+}

@@ -1,0 +1,19 @@
+//! The platform data model: every entity a Hive deployment stores.
+
+pub mod activity;
+pub mod conference;
+pub mod paper;
+pub mod qa;
+pub mod social;
+pub mod tweet;
+pub mod user;
+pub mod workpad;
+
+pub use activity::{ActivityEvent, ActivityRecord};
+pub use conference::{Conference, Session};
+pub use paper::{Paper, Presentation};
+pub use qa::{Answer, Comment, QaTarget, Question};
+pub use social::{CheckIn, Connection, ConnectionState, Follow};
+pub use tweet::Tweet;
+pub use user::User;
+pub use workpad::{Collection, Workpad, WorkpadItem};

@@ -1,0 +1,125 @@
+//! Papers and uploaded presentations.
+
+use crate::ids::{ConferenceId, PaperId, SessionId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A published paper: the backbone of the co-authorship and citation
+/// layers of the knowledge network (Figure 3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Paper {
+    /// Paper title.
+    pub title: String,
+    /// Abstract text (drives content similarity and concept extraction).
+    pub abstract_text: String,
+    /// Author list in order.
+    pub authors: Vec<UserId>,
+    /// Venue edition it appeared at (None = external/unmodeled venue).
+    pub venue: Option<ConferenceId>,
+    /// Outgoing citations (papers this one cites).
+    pub citations: Vec<PaperId>,
+}
+
+impl Paper {
+    /// Creates a paper.
+    pub fn new(title: impl Into<String>, authors: Vec<UserId>) -> Self {
+        Paper {
+            title: title.into(),
+            abstract_text: String::new(),
+            authors,
+            venue: None,
+            citations: Vec::new(),
+        }
+    }
+
+    /// Builder: abstract text.
+    pub fn with_abstract(mut self, text: impl Into<String>) -> Self {
+        self.abstract_text = text.into();
+        self
+    }
+
+    /// Builder: venue.
+    pub fn at_venue(mut self, venue: ConferenceId) -> Self {
+        self.venue = Some(venue);
+        self
+    }
+
+    /// Builder: citations.
+    pub fn citing(mut self, cited: Vec<PaperId>) -> Self {
+        self.citations = cited;
+        self
+    }
+
+    /// True if `u` is an author.
+    pub fn has_author(&self, u: UserId) -> bool {
+        self.authors.contains(&u)
+    }
+
+    /// Full text for indexing: title + abstract.
+    pub fn text(&self) -> String {
+        format!("{} {}", self.title, self.abstract_text)
+    }
+}
+
+/// Uploaded slides for a paper, bound to a session ("Zach logs in to Hive
+/// and uploads his presentation slides").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Presentation {
+    /// The paper being presented.
+    pub paper: PaperId,
+    /// Who presents.
+    pub presenter: UserId,
+    /// Session the talk is scheduled in.
+    pub session: SessionId,
+    /// Slide text (concatenated slide bodies). Mutable: "he notices that
+    /// there was a typo and he corrects the slide".
+    pub slides_text: String,
+    /// Revision counter, bumped on every slide correction.
+    pub revision: u32,
+}
+
+impl Presentation {
+    /// Creates a presentation upload.
+    pub fn new(paper: PaperId, presenter: UserId, session: SessionId) -> Self {
+        Presentation { paper, presenter, session, slides_text: String::new(), revision: 0 }
+    }
+
+    /// Builder: slide text.
+    pub fn with_slides(mut self, text: impl Into<String>) -> Self {
+        self.slides_text = text.into();
+        self
+    }
+
+    /// Replaces the slide text, bumping the revision.
+    pub fn revise(&mut self, text: impl Into<String>) {
+        self.slides_text = text.into();
+        self.revision += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_builder() {
+        let p = Paper::new("SCENT", vec![UserId(0), UserId(1)])
+            .with_abstract("tensor streams")
+            .at_venue(ConferenceId(2))
+            .citing(vec![PaperId(5)]);
+        assert!(p.has_author(UserId(1)));
+        assert!(!p.has_author(UserId(9)));
+        assert!(p.text().contains("SCENT"));
+        assert!(p.text().contains("tensor"));
+        assert_eq!(p.venue, Some(ConferenceId(2)));
+    }
+
+    #[test]
+    fn presentation_revision() {
+        let mut pres = Presentation::new(PaperId(0), UserId(0), SessionId(0))
+            .with_slides("v1 with a tyop");
+        assert_eq!(pres.revision, 0);
+        pres.revise("v1 with a typo fixed");
+        assert_eq!(pres.revision, 1);
+        assert!(pres.slides_text.contains("fixed"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Social primitives: follows, connections, and session check-ins.
+
+use crate::clock::Timestamp;
+use crate::ids::{SessionId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A directed follow: `follower` receives real-time updates about
+/// `followee`'s "(session check-in, question, comment, answer)
+/// activities" (use scenario, bullet 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Follow {
+    /// Who follows.
+    pub follower: UserId,
+    /// Who is followed.
+    pub followee: UserId,
+    /// When the follow started.
+    pub since: Timestamp,
+}
+
+/// Lifecycle of a (mutual) connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConnectionState {
+    /// Request sent, awaiting acknowledgement ("Zach sends a connection
+    /// request to Aaron and receives an acknowledgement a few minutes
+    /// later").
+    Pending,
+    /// Both sides connected.
+    Accepted,
+    /// Declined by the recipient.
+    Declined,
+}
+
+/// A connection between two researchers (undirected once accepted;
+/// `from` initiated it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Connection {
+    /// Who sent the request.
+    pub from: UserId,
+    /// Who received it.
+    pub to: UserId,
+    /// Current state.
+    pub state: ConnectionState,
+    /// Request time.
+    pub requested_at: Timestamp,
+    /// Accept/decline time, if resolved.
+    pub resolved_at: Option<Timestamp>,
+}
+
+impl Connection {
+    /// True if the connection involves `u`.
+    pub fn involves(&self, u: UserId) -> bool {
+        self.from == u || self.to == u
+    }
+
+    /// The other endpoint relative to `u` (None if `u` not involved).
+    pub fn other(&self, u: UserId) -> Option<UserId> {
+        if self.from == u {
+            Some(self.to)
+        } else if self.to == u {
+            Some(self.from)
+        } else {
+            None
+        }
+    }
+}
+
+/// A session check-in ("keep track of the technical research sessions
+/// they are attending"). Check-ins are the session-participation
+/// relationship evidence and the raw signal for attendance prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CheckIn {
+    /// Who checked in.
+    pub user: UserId,
+    /// Into which session.
+    pub session: SessionId,
+    /// When.
+    pub at: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_endpoints() {
+        let c = Connection {
+            from: UserId(1),
+            to: UserId(2),
+            state: ConnectionState::Pending,
+            requested_at: Timestamp(0),
+            resolved_at: None,
+        };
+        assert!(c.involves(UserId(1)));
+        assert!(c.involves(UserId(2)));
+        assert!(!c.involves(UserId(3)));
+        assert_eq!(c.other(UserId(1)), Some(UserId(2)));
+        assert_eq!(c.other(UserId(2)), Some(UserId(1)));
+        assert_eq!(c.other(UserId(3)), None);
+    }
+}

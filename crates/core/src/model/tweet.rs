@@ -1,0 +1,58 @@
+//! The simulated Twitter bridge.
+//!
+//! "While this exchange occurs in Hive, the exchange is also broadcasted
+//! in twitter with the session's hashtag." The external service is
+//! simulated: broadcasts become [`Tweet`] records on a per-session
+//! hashtag timeline, and the feed service can replay them as incoming
+//! traffic.
+
+use crate::clock::Timestamp;
+use crate::ids::{SessionId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A tweet mirrored to/from a session hashtag.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// The platform user it maps to (None = external-only account).
+    pub author: Option<UserId>,
+    /// Display handle, e.g. `"@zach_db"`.
+    pub handle: String,
+    /// Tweet text.
+    pub text: String,
+    /// The session hashtag timeline it belongs to.
+    pub session: SessionId,
+    /// When it was posted.
+    pub at: Timestamp,
+}
+
+impl Tweet {
+    /// The canonical hashtag for a session.
+    pub fn hashtag(session: SessionId) -> String {
+        format!("#hive_s{}", session.0)
+    }
+
+    /// Renders the tweet as it would appear on the timeline.
+    pub fn render(&self) -> String {
+        format!("{} {} {}", self.handle, self.text, Tweet::hashtag(self.session))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashtag_and_render() {
+        let t = Tweet {
+            author: Some(UserId(1)),
+            handle: "@zach_db".into(),
+            text: "great keynote".into(),
+            session: SessionId(7),
+            at: Timestamp(3),
+        };
+        assert_eq!(Tweet::hashtag(SessionId(7)), "#hive_s7");
+        let r = t.render();
+        assert!(r.contains("@zach_db"));
+        assert!(r.contains("#hive_s7"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Researcher profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// A registered researcher.
+///
+/// "Profile and declared interest" and "current and past affiliation,
+/// group membership" are the first two relationship evidences of §2, so
+/// the profile carries all three.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct User {
+    /// Display name.
+    pub name: String,
+    /// Current affiliation (institution).
+    pub affiliation: String,
+    /// Past affiliations, most recent first.
+    pub past_affiliations: Vec<String>,
+    /// Declared research interests (free-form topic phrases).
+    pub interests: Vec<String>,
+    /// Group memberships (labs, working groups, PCs).
+    pub groups: Vec<String>,
+}
+
+impl User {
+    /// Creates a minimal profile.
+    pub fn new(name: impl Into<String>, affiliation: impl Into<String>) -> Self {
+        User {
+            name: name.into(),
+            affiliation: affiliation.into(),
+            past_affiliations: Vec::new(),
+            interests: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Builder: adds declared interests.
+    pub fn with_interests(mut self, interests: Vec<String>) -> Self {
+        self.interests = interests;
+        self
+    }
+
+    /// Builder: adds group memberships.
+    pub fn with_groups(mut self, groups: Vec<String>) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Builder: adds past affiliations.
+    pub fn with_past_affiliations(mut self, past: Vec<String>) -> Self {
+        self.past_affiliations = past;
+        self
+    }
+
+    /// All affiliations, current first.
+    pub fn all_affiliations(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.affiliation.as_str())
+            .chain(self.past_affiliations.iter().map(String::as_str))
+    }
+
+    /// The profile rendered as text (for content-similarity evidence).
+    pub fn profile_text(&self) -> String {
+        let mut s = self.name.clone();
+        s.push(' ');
+        s.push_str(&self.interests.join(" "));
+        s.push(' ');
+        s.push_str(&self.groups.join(" "));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_affiliations() {
+        let u = User::new("Ann", "ASU")
+            .with_interests(vec!["tensor streams".into()])
+            .with_groups(vec!["MiNC".into()])
+            .with_past_affiliations(vec!["UniTo".into()]);
+        let affs: Vec<&str> = u.all_affiliations().collect();
+        assert_eq!(affs, vec!["ASU", "UniTo"]);
+        let text = u.profile_text();
+        assert!(text.contains("tensor streams"));
+        assert!(text.contains("MiNC"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Workpads and exported collections (paper §2, Figure 4).
+//!
+//! "The workpad interface is a tool to help the user keep record of the
+//! things that attract his or her interest ... The content of the
+//! currently active workpad defines the user's activity context and all
+//! the searches and recommendations are contextualized according to this
+//! active workpad. The user can export workpads as collections accessible
+//! to others or import a collection as active workpad."
+
+use crate::ids::{
+    CollectionId, PaperId, PresentationId, QuestionId, SessionId, UserId,
+};
+use serde::{Deserialize, Serialize};
+
+/// Anything that can be dragged onto a workpad.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkpadItem {
+    /// A researcher's avatar.
+    UserAvatar(UserId),
+    /// A paper link.
+    Paper(PaperId),
+    /// A presentation.
+    Presentation(PresentationId),
+    /// A session.
+    Session(SessionId),
+    /// A question thread.
+    Question(QuestionId),
+    /// A previously exported collection.
+    Collection(CollectionId),
+    /// A free-form concept note ("things that tickle the mind").
+    Note(u32),
+}
+
+/// A named workpad owned by one user.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workpad {
+    /// Owner.
+    pub owner: UserId,
+    /// Display name, e.g. `"session"` or `"to investigate later"`.
+    pub name: String,
+    /// Items in drop order (duplicates are rejected by the DB layer).
+    pub items: Vec<WorkpadItem>,
+    /// Free-form note texts referenced by `WorkpadItem::Note` ids.
+    pub notes: Vec<String>,
+}
+
+impl Workpad {
+    /// Creates an empty workpad.
+    pub fn new(owner: UserId, name: impl Into<String>) -> Self {
+        Workpad { owner, name: name.into(), items: Vec::new(), notes: Vec::new() }
+    }
+
+    /// True if the item is already on the pad.
+    pub fn contains(&self, item: &WorkpadItem) -> bool {
+        self.items.contains(item)
+    }
+
+    /// Adds an item if absent; returns whether it was added.
+    pub fn add(&mut self, item: WorkpadItem) -> bool {
+        if self.contains(&item) {
+            false
+        } else {
+            self.items.push(item);
+            true
+        }
+    }
+
+    /// Removes an item; returns whether it was present.
+    pub fn remove(&mut self, item: &WorkpadItem) -> bool {
+        let before = self.items.len();
+        self.items.retain(|i| i != item);
+        self.items.len() != before
+    }
+
+    /// Adds a free-form note and returns its item.
+    pub fn add_note(&mut self, text: impl Into<String>) -> WorkpadItem {
+        self.notes.push(text.into());
+        let item = WorkpadItem::Note(self.notes.len() as u32 - 1);
+        self.items.push(item);
+        item
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the pad is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// An exported (shareable, immutable) snapshot of a workpad.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Collection {
+    /// Who exported it.
+    pub owner: UserId,
+    /// Name carried over from the source workpad.
+    pub name: String,
+    /// Frozen items.
+    pub items: Vec<WorkpadItem>,
+    /// Frozen note texts.
+    pub notes: Vec<String>,
+}
+
+impl Collection {
+    /// Freezes a workpad into a collection.
+    pub fn from_workpad(pad: &Workpad) -> Self {
+        Collection {
+            owner: pad.owner,
+            name: pad.name.clone(),
+            items: pad.items.clone(),
+            notes: pad.notes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_dedup() {
+        let mut pad = Workpad::new(UserId(0), "session");
+        let item = WorkpadItem::UserAvatar(UserId(5));
+        assert!(pad.add(item));
+        assert!(!pad.add(item), "duplicates rejected");
+        assert_eq!(pad.len(), 1);
+        assert!(pad.remove(&item));
+        assert!(!pad.remove(&item));
+        assert!(pad.is_empty());
+    }
+
+    #[test]
+    fn notes_get_sequential_ids() {
+        let mut pad = Workpad::new(UserId(0), "ideas");
+        let n1 = pad.add_note("ask about the decay parameter");
+        let n2 = pad.add_note("compare with CP baselines");
+        assert_eq!(n1, WorkpadItem::Note(0));
+        assert_eq!(n2, WorkpadItem::Note(1));
+        assert_eq!(pad.notes.len(), 2);
+    }
+
+    #[test]
+    fn collection_freezes_contents() {
+        let mut pad = Workpad::new(UserId(1), "to investigate later");
+        pad.add(WorkpadItem::Paper(PaperId(3)));
+        pad.add_note("nice idea");
+        let col = Collection::from_workpad(&pad);
+        pad.add(WorkpadItem::Session(SessionId(9)));
+        assert_eq!(col.items.len(), 2, "collection unaffected by later edits");
+        assert_eq!(col.name, "to investigate later");
+        assert_eq!(col.notes, vec!["nice idea".to_string()]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Peer discovery and recommendation (paper §2.4, Table 1 "Peer network
+//! services").
+//!
+//! "Hive proposes five other researchers that Zach may want to connect
+//! during the event and for each provides a list of sessions that the
+//! researcher may most likely attend."
+//!
+//! Recommendation blends two signals:
+//!
+//! * **structural proximity** — personalized PageRank over the unified
+//!   knowledge network, seeded by the user's activity context (so the
+//!   active workpad steers who gets recommended), and
+//! * **evidence strength** — the noisy-or combination of the §2
+//!   relationship evidences, which also supplies the *explanations*.
+//!
+//! Each recommended peer comes with the sessions they are most likely to
+//! attend, predicted from their content profile and their own network's
+//! check-ins.
+
+use crate::context::ActivityContext;
+use crate::db::HiveDb;
+use crate::evidence::{combined_score, relationship_evidence, EvidenceItem};
+use crate::ids::{SessionId, UserId};
+use crate::knowledge::KnowledgeNetwork;
+use hive_graph::{personalized_pagerank, NodeId, PprConfig};
+use std::collections::HashMap;
+
+/// How the two signals are blended (ablation axis for experiment E4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerStrategy {
+    /// Convex blend of PPR and evidence (the full system).
+    Blend,
+    /// Structure only.
+    PprOnly,
+    /// Evidence only.
+    EvidenceOnly,
+}
+
+/// Peer recommendation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PeerRecConfig {
+    /// Number of peers to return.
+    pub top_k: usize,
+    /// Weight of the PPR signal in the blend (evidence gets `1 - w`).
+    pub ppr_weight: f64,
+    /// Candidate pool size taken from the PPR ranking before evidence
+    /// scoring (bounds the expensive evidence pass).
+    pub candidate_pool: usize,
+    /// Blending strategy.
+    pub strategy: PeerStrategy,
+    /// Sessions predicted per recommended peer.
+    pub sessions_per_peer: usize,
+    /// PPR damping.
+    pub damping: f64,
+}
+
+impl Default for PeerRecConfig {
+    fn default() -> Self {
+        PeerRecConfig {
+            top_k: 5,
+            ppr_weight: 0.6,
+            candidate_pool: 25,
+            strategy: PeerStrategy::Blend,
+            sessions_per_peer: 3,
+            damping: 0.85,
+        }
+    }
+}
+
+/// One recommended peer.
+#[derive(Clone, Debug)]
+pub struct PeerRecommendation {
+    /// The recommended researcher.
+    pub user: UserId,
+    /// Final blended score.
+    pub score: f64,
+    /// Supporting evidence (explanations), strongest first.
+    pub reasons: Vec<EvidenceItem>,
+    /// Sessions this peer will most likely attend, with scores.
+    pub likely_sessions: Vec<(SessionId, f64)>,
+}
+
+fn parse_user_iri(key: &str) -> Option<UserId> {
+    key.strip_prefix("user:").and_then(|s| s.parse().ok().map(UserId))
+}
+
+/// Recommends peers for `user` under their current activity context.
+///
+/// Users already connected to `user` (and `user` themself) are excluded —
+/// the service proposes *new* colleagues.
+pub fn recommend_peers(
+    db: &HiveDb,
+    kn: &KnowledgeNetwork,
+    user: UserId,
+    ctx: &ActivityContext,
+    cfg: PeerRecConfig,
+) -> Vec<PeerRecommendation> {
+    let g = &kn.unified;
+    // Seed PPR from the context (fall back to the user node alone).
+    let mut seeds: HashMap<NodeId, f64> = HashMap::new();
+    for (key, &mass) in &ctx.seeds {
+        if let Some(n) = g.node(key) {
+            *seeds.entry(n).or_insert(0.0) += mass;
+        }
+    }
+    if seeds.is_empty() {
+        if let Some(n) = g.node(&user.iri()) {
+            seeds.insert(n, 1.0);
+        }
+    }
+    let ppr = personalized_pagerank(
+        g,
+        &seeds,
+        PprConfig { damping: cfg.damping, ..Default::default() },
+    );
+    let connected: std::collections::HashSet<UserId> =
+        db.connections_of(user).into_iter().collect();
+    // Candidate users ranked by PPR.
+    let mut candidates: Vec<(UserId, f64)> = g
+        .nodes()
+        .filter_map(|n| parse_user_iri(g.key(n)).map(|u| (u, ppr[n.index()])))
+        .filter(|(u, _)| *u != user && !connected.contains(u))
+        .collect();
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    candidates.truncate(cfg.candidate_pool.max(cfg.top_k));
+    let max_ppr = candidates
+        .first()
+        .map(|(_, s)| *s)
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0);
+    // Blend with evidence.
+    let mut scored: Vec<PeerRecommendation> = candidates
+        .into_iter()
+        .map(|(peer, ppr_score)| {
+            let reasons = relationship_evidence(db, kn, user, peer);
+            let ev = combined_score(&reasons);
+            let ppr_norm = ppr_score / max_ppr;
+            let score = match cfg.strategy {
+                PeerStrategy::Blend => cfg.ppr_weight * ppr_norm + (1.0 - cfg.ppr_weight) * ev,
+                PeerStrategy::PprOnly => ppr_norm,
+                PeerStrategy::EvidenceOnly => ev,
+            };
+            PeerRecommendation { user: peer, score, reasons, likely_sessions: Vec::new() }
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then_with(|| a.user.cmp(&b.user))
+    });
+    scored.truncate(cfg.top_k);
+    for rec in &mut scored {
+        rec.likely_sessions = predict_sessions(db, kn, rec.user, cfg.sessions_per_peer);
+    }
+    scored
+}
+
+/// Predicts which sessions `user` will most likely attend.
+///
+/// Score = content affinity (user vector vs session vector) + social
+/// pull (how many of the user's connections/followees checked in),
+/// skipping sessions the user already checked into.
+pub fn predict_sessions(
+    db: &HiveDb,
+    kn: &KnowledgeNetwork,
+    user: UserId,
+    k: usize,
+) -> Vec<(SessionId, f64)> {
+    let already: std::collections::HashSet<SessionId> =
+        db.checkins_of(user).iter().map(|c| c.session).collect();
+    let friends: Vec<UserId> = {
+        let mut f = db.connections_of(user);
+        f.extend(db.following(user));
+        f
+    };
+    let mut out: Vec<(SessionId, f64)> = db
+        .session_ids()
+        .into_iter()
+        .filter(|s| !already.contains(s))
+        .map(|s| {
+            let content = match (kn.user_vectors.get(&user), kn.session_vectors.get(&s)) {
+                (Some(uv), Some(sv)) => uv.cosine(sv),
+                _ => 0.0,
+            };
+            let attending_friends = db
+                .checkins_in(s)
+                .iter()
+                .filter(|c| friends.contains(&c.user))
+                .count();
+            let social = 1.0 - (0.7f64).powi(attending_friends as i32);
+            (s, 0.6 * content + 0.4 * social)
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    out.retain(|(_, s)| *s > 0.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{build_context, ContextConfig};
+    use crate::model::*;
+
+    /// Zach works on tensors with Ann (not yet connected); Bob is an
+    /// unrelated databases person; Carol is already connected to Zach.
+    fn world() -> (HiveDb, Vec<UserId>, Vec<SessionId>) {
+        let mut db = HiveDb::new();
+        let users = vec![
+            db.add_user(User::new("Zach", "ASU").with_interests(vec!["tensor streams".into()])),
+            db.add_user(User::new("Ann", "UniTo").with_interests(vec!["tensor streams".into()])),
+            db.add_user(User::new("Bob", "MIT").with_interests(vec!["transaction processing".into()])),
+            db.add_user(User::new("Carol", "ASU").with_interests(vec!["tensor streams".into()])),
+        ];
+        let conf = db.add_conference(Conference::new("EDBT", 2013, "Genoa"));
+        let sessions = vec![
+            db.add_session(
+                Session::new(conf, "Tensor Streams", "R1")
+                    .with_topics(vec!["tensor streams monitoring".into()]),
+            )
+            .unwrap(),
+            db.add_session(
+                Session::new(conf, "Transactions", "R2")
+                    .with_topics(vec!["transaction processing concurrency".into()]),
+            )
+            .unwrap(),
+        ];
+        let p_zach = db
+            .add_paper(
+                Paper::new("Sketching tensors", vec![users[0]])
+                    .with_abstract("tensor streams compressed sensing monitoring"),
+            )
+            .unwrap();
+        db.add_paper(
+            Paper::new("Tensor change detection", vec![users[1]])
+                .with_abstract("structural change detection in tensor streams")
+                .citing(vec![p_zach]),
+        )
+        .unwrap();
+        db.add_paper(
+            Paper::new("Serializable snapshots", vec![users[2]])
+                .with_abstract("transaction processing snapshot isolation"),
+        )
+        .unwrap();
+        for &u in &users {
+            db.attend(u, conf).unwrap();
+        }
+        db.check_in(users[1], sessions[0]).unwrap();
+        db.check_in(users[2], sessions[1]).unwrap();
+        db.request_connection(users[0], users[3]).unwrap();
+        db.respond_connection(users[3], users[0], true).unwrap();
+        (db, users, sessions)
+    }
+
+    #[test]
+    fn related_researcher_ranks_first() {
+        let (db, users, _) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let recs = recommend_peers(&db, &kn, users[0], &ctx, PeerRecConfig::default());
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].user, users[1], "Ann (cites Zach, same topic) first");
+        // Bob should rank below Ann.
+        let bob_pos = recs.iter().position(|r| r.user == users[2]);
+        if let Some(pos) = bob_pos {
+            assert!(pos > 0);
+        }
+    }
+
+    #[test]
+    fn excludes_self_and_existing_connections() {
+        let (db, users, _) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let recs = recommend_peers(&db, &kn, users[0], &ctx, PeerRecConfig::default());
+        assert!(recs.iter().all(|r| r.user != users[0]), "no self-recommendation");
+        assert!(recs.iter().all(|r| r.user != users[3]), "Carol already connected");
+    }
+
+    #[test]
+    fn recommendations_carry_reasons_and_sessions() {
+        let (db, users, sessions) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let recs = recommend_peers(&db, &kn, users[0], &ctx, PeerRecConfig::default());
+        let ann = recs.iter().find(|r| r.user == users[1]).expect("Ann recommended");
+        assert!(!ann.reasons.is_empty(), "evidence attached");
+        // Ann already checked into the tensor session, so her *likely*
+        // sessions must not repeat it; prediction lists other sessions.
+        assert!(ann.likely_sessions.iter().all(|(s, _)| *s != sessions[0]));
+    }
+
+    #[test]
+    fn strategies_differ() {
+        let (db, users, _) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        for strat in [PeerStrategy::Blend, PeerStrategy::PprOnly, PeerStrategy::EvidenceOnly] {
+            let recs = recommend_peers(
+                &db,
+                &kn,
+                users[0],
+                &ctx,
+                PeerRecConfig { strategy: strat, ..Default::default() },
+            );
+            assert!(!recs.is_empty(), "{strat:?} returns results");
+            for w in recs.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+
+    #[test]
+    fn session_prediction_prefers_topic_match() {
+        let (db, users, sessions) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        // Bob (transactions) should be predicted into the transactions
+        // session rather than tensors... but he already checked in there;
+        // test with Zach instead: tensors session tops his list.
+        let pred = predict_sessions(&db, &kn, users[0], 2);
+        assert!(!pred.is_empty());
+        assert_eq!(pred[0].0, sessions[0], "tensor session tops Zach's prediction");
+    }
+
+    #[test]
+    fn top_k_respected() {
+        let (db, users, _) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let recs = recommend_peers(
+            &db,
+            &kn,
+            users[0],
+            &ctx,
+            PeerRecConfig { top_k: 1, ..Default::default() },
+        );
+        assert_eq!(recs.len(), 1);
+    }
+}

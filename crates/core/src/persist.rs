@@ -1,0 +1,186 @@
+//! Platform persistence: full-fidelity JSON snapshots of a [`HiveDb`].
+//!
+//! Hive is cross-conference ("same conference, different years" is a
+//! relationship evidence), so a deployment's state must survive between
+//! editions. The snapshot stores only primary data — entities, social
+//! state, the activity log, the clock — and every secondary index is
+//! rebuilt on load by replaying the same insertion paths the live system
+//! uses, so an index bug can't be frozen into a snapshot.
+
+use crate::clock::Timestamp;
+use crate::db::HiveDb;
+use crate::error::{HiveError, Result};
+use crate::ids::*;
+use crate::model::*;
+use serde::{Deserialize, Serialize};
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serializable form of the whole platform.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlatformSnapshot {
+    /// Format version.
+    pub version: u32,
+    /// Logical clock value at capture time.
+    pub now: Timestamp,
+    /// Users in id order.
+    pub users: Vec<User>,
+    /// Conferences in id order.
+    pub conferences: Vec<Conference>,
+    /// Sessions in id order.
+    pub sessions: Vec<Session>,
+    /// Papers in id order.
+    pub papers: Vec<Paper>,
+    /// Presentations in id order.
+    pub presentations: Vec<Presentation>,
+    /// Questions in id order.
+    pub questions: Vec<Question>,
+    /// Answers in id order.
+    pub answers: Vec<Answer>,
+    /// Comments in id order.
+    pub comments: Vec<Comment>,
+    /// Workpads in id order.
+    pub workpads: Vec<Workpad>,
+    /// Collections in id order.
+    pub collections: Vec<Collection>,
+    /// Tweets in id order.
+    pub tweets: Vec<Tweet>,
+    /// Follow edges with timestamps.
+    pub follows: Vec<Follow>,
+    /// Per-follow category filters.
+    pub follow_filters: Vec<(UserId, UserId, Vec<String>)>,
+    /// Connections (any state).
+    pub connections: Vec<Connection>,
+    /// Session check-ins.
+    pub checkins: Vec<CheckIn>,
+    /// Conference attendance pairs.
+    pub attendance: Vec<(UserId, ConferenceId)>,
+    /// Active workpad per user.
+    pub active_workpads: Vec<(UserId, WorkpadId)>,
+    /// The append-only activity log.
+    pub log: Vec<ActivityRecord>,
+}
+
+impl HiveDb {
+    /// Captures the full platform state.
+    pub fn snapshot(&self) -> PlatformSnapshot {
+        self.capture_snapshot()
+    }
+
+    /// Serializes the platform to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(&self.snapshot())
+            .map_err(|e| HiveError::Invalid(format!("serialize platform: {e}")))
+    }
+
+    /// Restores a platform from a snapshot, rebuilding every secondary
+    /// index through the live insertion paths.
+    pub fn from_snapshot(snap: &PlatformSnapshot) -> Result<Self> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(HiveError::Invalid(format!(
+                "unsupported platform snapshot version {}",
+                snap.version
+            )));
+        }
+        Self::restore_snapshot(snap)
+    }
+
+    /// Restores a platform from JSON produced by [`HiveDb::to_json`].
+    pub fn from_json(json: &str) -> Result<Self> {
+        let snap: PlatformSnapshot = serde_json::from_str(json)
+            .map_err(|e| HiveError::Invalid(format!("parse platform snapshot: {e}")))?;
+        Self::from_snapshot(&snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, WorldBuilder};
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let world = WorldBuilder::new(SimConfig::small()).build();
+        let db = world.db;
+        let json = db.to_json().expect("serializes");
+        let restored = HiveDb::from_json(&json).expect("restores");
+        // Entities.
+        assert_eq!(restored.user_ids(), db.user_ids());
+        assert_eq!(restored.paper_ids(), db.paper_ids());
+        assert_eq!(restored.session_ids(), db.session_ids());
+        assert_eq!(restored.presentation_ids(), db.presentation_ids());
+        assert_eq!(restored.question_ids(), db.question_ids());
+        // Clock and log.
+        assert_eq!(restored.now(), db.now());
+        assert_eq!(restored.activity_log().len(), db.activity_log().len());
+        assert_eq!(restored.activity_log(), db.activity_log());
+        // Secondary indexes answer identically.
+        for u in db.user_ids() {
+            assert_eq!(restored.papers_of(u), db.papers_of(u));
+            assert_eq!(restored.following(u), db.following(u));
+            assert_eq!(restored.connections_of(u), db.connections_of(u));
+            assert_eq!(restored.conferences_of(u), db.conferences_of(u));
+            assert_eq!(
+                restored.checkins_of(u).len(),
+                db.checkins_of(u).len()
+            );
+            assert_eq!(restored.active_workpad_of(u), db.active_workpad_of(u));
+        }
+        for p in db.paper_ids() {
+            assert_eq!(restored.citing(p), db.citing(p));
+        }
+        for s in db.session_ids() {
+            assert_eq!(restored.presentations_in(s), db.presentations_in(s));
+            assert_eq!(restored.checkins_in(s).len(), db.checkins_in(s).len());
+            assert_eq!(restored.tweets_in(s), db.tweets_in(s));
+        }
+    }
+
+    #[test]
+    fn restored_platform_keeps_working() {
+        let world = WorldBuilder::new(SimConfig::small()).build();
+        let json = world.db.to_json().unwrap();
+        let mut restored = HiveDb::from_json(&json).unwrap();
+        let users = restored.user_ids();
+        let session = restored.session_ids()[0];
+        // New activity lands on top of the restored state.
+        restored.advance_clock(1);
+        restored.check_in(users[0], session).expect("valid");
+        let q = restored
+            .ask_question(users[1], QaTarget::Session(session), "still alive?", true)
+            .expect("valid");
+        restored
+            .answer_question(users[0], q, "fully restored")
+            .expect("valid");
+        assert!(!restored.tweets_in(session).is_empty());
+    }
+
+    #[test]
+    fn follow_filters_survive() {
+        let world = WorldBuilder::new(SimConfig::small()).build();
+        let mut db = world.db;
+        let users = db.user_ids();
+        // Ensure a follow exists, then filter it.
+        let followee = db.following(users[0]).first().copied().unwrap_or_else(|| {
+            db.follow(users[0], users[5]).unwrap();
+            users[5]
+        });
+        db.set_follow_filter(users[0], followee, vec!["discuss".into()])
+            .unwrap();
+        let restored = HiveDb::from_json(&db.to_json().unwrap()).unwrap();
+        assert_eq!(
+            restored.follow_filter(users[0], followee),
+            Some(&["discuss".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn bad_version_and_bad_json_rejected() {
+        let world = WorldBuilder::new(SimConfig::small()).build();
+        let mut snap = world.db.snapshot();
+        snap.version = 99;
+        assert!(HiveDb::from_snapshot(&snap).is_err());
+        assert!(HiveDb::from_json("{").is_err());
+    }
+}

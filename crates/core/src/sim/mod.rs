@@ -1,0 +1,596 @@
+//! Synthetic conference-world generator and attendee-behaviour simulator.
+//!
+//! The paper's deployments (ACM Multimedia 2011, SIGMOD 2012, two ASU
+//! courses) ran on production data we do not have. This module generates
+//! a statistically structured substitute: researchers with topic
+//! mixtures, conference series with topical sessions, papers with
+//! realistic co-authorship/citation structure, and a behavioural
+//! simulation (check-ins, questions, answers, follows, connections,
+//! workpads) driven by topic affinity — so every service exercises the
+//! same code paths it would on real traces.
+//!
+//! The generator also *plants ground truth* used by the experiments:
+//!
+//! * `planted_communities` — users grouped by primary topic (E5),
+//! * `held_out_connections` — same-topic pairs that *will* connect but
+//!   are withheld from the database, the positives for recommender
+//!   evaluation (E4).
+
+use crate::db::HiveDb;
+use crate::ids::{ConferenceId, PresentationId, SessionId, UserId};
+use crate::model::*;
+use hive_graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+mod text_gen;
+pub use text_gen::{topic_count, topic_phrase, topic_sentence, TOPIC_NAMES};
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// RNG seed: equal seeds give identical worlds.
+    pub seed: u64,
+    /// Number of researchers.
+    pub users: usize,
+    /// Number of topics (capped by the built-in topic vocabulary).
+    pub topics: usize,
+    /// Conference editions (cycled over 2 series, consecutive years).
+    pub conferences: usize,
+    /// Sessions per edition.
+    pub sessions_per_conf: usize,
+    /// Papers per edition.
+    pub papers_per_conf: usize,
+    /// Max authors per paper.
+    pub max_authors: usize,
+    /// Citations drawn per paper (to earlier papers, topic-biased).
+    pub citations_per_paper: usize,
+    /// Probability an attendee checks into a session of their own topic
+    /// (vs a random one) at each slot.
+    pub topic_affinity: f64,
+    /// Expected questions per user per conference.
+    pub question_rate: f64,
+    /// Probability a question gets answered.
+    pub answer_rate: f64,
+    /// Follows per user (topic-biased).
+    pub follows_per_user: usize,
+    /// Connections per user (topic-biased, auto-accepted).
+    pub connections_per_user: usize,
+    /// Fraction of would-be connections withheld as evaluation positives.
+    pub holdout_fraction: f64,
+    /// Probability a user attends any given edition (1.0 = everyone
+    /// everywhere, matching the small MM'11-style deployments; lower
+    /// values make conference co-participation a discriminative signal).
+    pub attendance_prob: f64,
+}
+
+impl SimConfig {
+    /// A laptop-instant world (~30 users).
+    pub fn small() -> Self {
+        SimConfig {
+            seed: 42,
+            users: 30,
+            topics: 4,
+            conferences: 2,
+            sessions_per_conf: 6,
+            papers_per_conf: 15,
+            max_authors: 3,
+            citations_per_paper: 3,
+            topic_affinity: 0.8,
+            question_rate: 1.5,
+            answer_rate: 0.7,
+            follows_per_user: 3,
+            connections_per_user: 2,
+            holdout_fraction: 0.3,
+            attendance_prob: 1.0,
+        }
+    }
+
+    /// The default experiment world (~150 users).
+    pub fn medium() -> Self {
+        SimConfig {
+            users: 150,
+            topics: 8,
+            conferences: 3,
+            sessions_per_conf: 10,
+            papers_per_conf: 40,
+            ..Self::small()
+        }
+    }
+
+    /// A stress world (~500 users).
+    pub fn large() -> Self {
+        SimConfig {
+            users: 500,
+            topics: 12,
+            conferences: 4,
+            sessions_per_conf: 16,
+            papers_per_conf: 90,
+            ..Self::small()
+        }
+    }
+}
+
+/// A generated world: the populated platform plus planted ground truth.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// The populated platform database.
+    pub db: HiveDb,
+    /// Primary topic per user (index-aligned with user ids).
+    pub user_topics: Vec<usize>,
+    /// Users grouped by primary topic — the planted communities.
+    pub planted_communities: Vec<Vec<UserId>>,
+    /// Same-topic pairs withheld from the DB; they represent future
+    /// connections a good recommender should predict.
+    pub held_out_connections: Vec<(UserId, UserId)>,
+    /// All conference editions, in creation order.
+    pub conferences: Vec<ConferenceId>,
+    /// All sessions with their topics.
+    pub session_topics: Vec<(SessionId, usize)>,
+}
+
+impl World {
+    /// The topic of a user.
+    pub fn topic_of(&self, u: UserId) -> usize {
+        self.user_topics[u.index()]
+    }
+}
+
+/// Builds [`World`]s from a [`SimConfig`].
+pub struct WorldBuilder {
+    cfg: SimConfig,
+}
+
+impl WorldBuilder {
+    /// Creates a builder.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.users >= 4, "need at least 4 users");
+        assert!(cfg.topics >= 2, "need at least 2 topics");
+        WorldBuilder { cfg }
+    }
+
+    /// Generates the world.
+    pub fn build(&self) -> World {
+        let cfg = self.cfg;
+        let topics = cfg.topics.min(topic_count());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut db = HiveDb::new();
+
+        // ---- users -----------------------------------------------------
+        let institutions = [
+            "ASU", "UniTo", "MIT", "EPFL", "NUS", "TU Wien", "Tsinghua", "UCSD",
+        ];
+        let mut user_topics = Vec::with_capacity(cfg.users);
+        let mut users: Vec<UserId> = Vec::with_capacity(cfg.users);
+        for i in 0..cfg.users {
+            let topic = i % topics; // balanced planted communities
+            user_topics.push(topic);
+            let interests: Vec<String> = (0..3)
+                .map(|_| topic_phrase(topic, &mut rng))
+                .collect();
+            let user = User::new(
+                format!("Researcher {i}"),
+                institutions[rng.gen_range(0..institutions.len())],
+            )
+            .with_interests(interests)
+            .with_groups(vec![format!("{}-wg", TOPIC_NAMES[topic])]);
+            users.push(db.add_user(user));
+        }
+        let planted_communities: Vec<Vec<UserId>> = (0..topics)
+            .map(|t| {
+                users
+                    .iter()
+                    .copied()
+                    .filter(|u| user_topics[u.index()] == t)
+                    .collect()
+            })
+            .collect();
+
+        // ---- conferences, sessions ---------------------------------------
+        let series = ["EDBT", "SIGMOD"];
+        let mut conferences = Vec::new();
+        let mut session_topics: Vec<(SessionId, usize)> = Vec::new();
+        let mut sessions_of_conf: Vec<Vec<SessionId>> = Vec::new();
+        for e in 0..cfg.conferences {
+            let mut conf = Conference::new(
+                series[e % series.len()],
+                2011 + (e / series.len()) as u32,
+                "Genoa",
+            );
+            conf.starts_at = db.now().plus(100);
+            let cid = db.add_conference(conf);
+            conferences.push(cid);
+            let mut sess = Vec::new();
+            for s in 0..cfg.sessions_per_conf {
+                let topic = s % topics;
+                let title = format!(
+                    "{} ({} {})",
+                    text_gen::topic_title(topic, &mut rng),
+                    series[e % series.len()],
+                    s
+                );
+                let topics_text: Vec<String> =
+                    (0..2).map(|_| topic_phrase(topic, &mut rng)).collect();
+                let session = Session::new(cid, title, format!("R{}", s % 4 + 1))
+                    .with_topics(topics_text)
+                    .scheduled(db.now().plus(100 + (s as u64 / 4) * 90), 90);
+                let sid = db.add_session(session).expect("valid conference");
+                session_topics.push((sid, topic));
+                sess.push(sid);
+            }
+            sessions_of_conf.push(sess);
+        }
+
+        // ---- papers with co-authorship + citations -------------------------
+        let mut papers_by_topic: Vec<Vec<crate::ids::PaperId>> = vec![Vec::new(); topics];
+        let mut presentations: Vec<(PresentationId, usize)> = Vec::new();
+        for (e, &cid) in conferences.iter().enumerate() {
+            for _ in 0..cfg.papers_per_conf {
+                let topic = rng.gen_range(0..topics);
+                let pool = &planted_communities[topic];
+                let n_authors = rng.gen_range(1..=cfg.max_authors.min(pool.len()));
+                let mut authors: Vec<UserId> = pool
+                    .choose_multiple(&mut rng, n_authors)
+                    .copied()
+                    .collect();
+                // Occasional cross-topic collaborator keeps the graph connected.
+                if rng.gen_bool(0.15) {
+                    let other = users[rng.gen_range(0..users.len())];
+                    if !authors.contains(&other) {
+                        authors.push(other);
+                    }
+                }
+                let mut citations = Vec::new();
+                let same_topic = &papers_by_topic[topic];
+                for _ in 0..cfg.citations_per_paper {
+                    // 70% same-topic citations, 30% anywhere.
+                    let candidate = if !same_topic.is_empty() && rng.gen_bool(0.7) {
+                        Some(same_topic[rng.gen_range(0..same_topic.len())])
+                    } else {
+                        let all: Vec<_> = papers_by_topic.iter().flatten().copied().collect();
+                        if all.is_empty() {
+                            None
+                        } else {
+                            Some(all[rng.gen_range(0..all.len())])
+                        }
+                    };
+                    if let Some(c) = candidate {
+                        if !citations.contains(&c) {
+                            citations.push(c);
+                        }
+                    }
+                }
+                let title = text_gen::topic_title(topic, &mut rng);
+                let abstract_text = text_gen::topic_abstract(topic, &mut rng);
+                let pid = db
+                    .add_paper(
+                        Paper::new(title, authors.clone())
+                            .with_abstract(abstract_text)
+                            .at_venue(cid)
+                            .citing(citations),
+                    )
+                    .expect("validated paper");
+                papers_by_topic[topic].push(pid);
+                // Present at a topically matching session of this conference.
+                let matching: Vec<SessionId> = sessions_of_conf[e]
+                    .iter()
+                    .copied()
+                    .filter(|s| {
+                        session_topics
+                            .iter()
+                            .any(|(sid, t)| sid == s && *t == topic)
+                    })
+                    .collect();
+                if let Some(&session) = matching.first() {
+                    let slides = text_gen::topic_abstract(topic, &mut rng);
+                    let pres = db
+                        .add_presentation(
+                            Presentation::new(pid, authors[0], session).with_slides(slides),
+                        )
+                        .expect("validated presentation");
+                    presentations.push((pres, topic));
+                }
+            }
+        }
+
+        // ---- behaviour: attendance, check-ins, Q&A --------------------------
+        for (e, &cid) in conferences.iter().enumerate() {
+            // Attendance per edition (1.0 by default: small deployments,
+            // matching MM'11 where the platform served the whole venue).
+            let mut attendees: Vec<UserId> = Vec::new();
+            for &u in &users {
+                if cfg.attendance_prob >= 1.0 || rng.gen_bool(cfg.attendance_prob.max(0.0)) {
+                    db.attend(u, cid).expect("valid");
+                    attendees.push(u);
+                }
+            }
+            for &u in &attendees {
+                let my_topic = user_topics[u.index()];
+                // Two check-ins per edition.
+                for _ in 0..2 {
+                    db.advance_clock(rng.gen_range(1..10));
+                    let session = if rng.gen_bool(cfg.topic_affinity) {
+                        // A session of my topic at this conference.
+                        sessions_of_conf[e]
+                            .iter()
+                            .copied()
+                            .find(|s| {
+                                session_topics.iter().any(|(sid, t)| sid == s && *t == my_topic)
+                            })
+                            .unwrap_or(sessions_of_conf[e][0])
+                    } else {
+                        sessions_of_conf[e][rng.gen_range(0..sessions_of_conf[e].len())]
+                    };
+                    db.check_in(u, session).expect("valid");
+                }
+                // Questions.
+                if rng.gen_bool((cfg.question_rate / 2.0).min(1.0)) {
+                    let topical: Vec<&(PresentationId, usize)> = presentations
+                        .iter()
+                        .filter(|(_, t)| *t == my_topic)
+                        .collect();
+                    if let Some(&&(pres, topic)) = topical.choose(&mut rng) {
+                        db.advance_clock(1);
+                        let q = db
+                            .ask_question(
+                                u,
+                                QaTarget::Presentation(pres),
+                                text_gen::topic_question(topic, &mut rng),
+                                rng.gen_bool(0.3),
+                            )
+                            .expect("valid");
+                        if rng.gen_bool(cfg.answer_rate) {
+                            let presenter = db.get_presentation(pres).expect("valid").presenter;
+                            if presenter != u {
+                                db.advance_clock(1);
+                                db.answer_question(
+                                    presenter,
+                                    q,
+                                    text_gen::topic_sentence(topic, &mut rng),
+                                )
+                                .expect("valid");
+                            }
+                        }
+                    }
+                }
+                // Some browsing.
+                if rng.gen_bool(0.5) {
+                    let all_papers: Vec<_> =
+                        papers_by_topic.iter().flatten().copied().collect();
+                    if !all_papers.is_empty() {
+                        let p = all_papers[rng.gen_range(0..all_papers.len())];
+                        db.advance_clock(1);
+                        db.view_paper(u, p).expect("valid");
+                    }
+                }
+            }
+        }
+
+        // ---- social graph: follows + connections, with held-out pairs -------
+        let mut held_out: Vec<(UserId, UserId)> = Vec::new();
+        for &u in &users {
+            let my_topic = user_topics[u.index()];
+            let peers: Vec<UserId> = planted_communities[my_topic]
+                .iter()
+                .copied()
+                .filter(|&v| v != u)
+                .collect();
+            // Follows.
+            for &v in peers.choose_multiple(&mut rng, cfg.follows_per_user.min(peers.len())) {
+                db.advance_clock(1);
+                let _ = db.follow(u, v); // duplicate follows are fine to skip
+            }
+            // Connections (some held out as evaluation positives).
+            let chosen: Vec<UserId> = peers
+                .choose_multiple(&mut rng, cfg.connections_per_user.min(peers.len()))
+                .copied()
+                .collect();
+            for v in chosen {
+                if db.are_connected(u, v) {
+                    continue;
+                }
+                if rng.gen_bool(cfg.holdout_fraction) {
+                    if u < v {
+                        held_out.push((u, v));
+                    } else {
+                        held_out.push((v, u));
+                    }
+                    continue;
+                }
+                db.advance_clock(1);
+                if db.request_connection(u, v).is_ok() {
+                    db.respond_connection(v, u, true).expect("pending request");
+                }
+            }
+        }
+        held_out.sort();
+        held_out.dedup();
+        // Don't keep pairs that connected anyway through the other side.
+        held_out.retain(|&(a, b)| !db.are_connected(a, b));
+
+        World {
+            db,
+            user_topics,
+            planted_communities,
+            held_out_connections: held_out,
+            conferences,
+            session_topics,
+        }
+    }
+}
+
+/// Slices the activity log into per-epoch user-interaction graphs
+/// (co-check-ins and Q&A exchanges within each window) — the input for
+/// community tracking (E5).
+pub fn epoch_interaction_graphs(db: &HiveDb, epoch_width: u64) -> Vec<Graph> {
+    assert!(epoch_width > 0);
+    let horizon = db.now().ticks();
+    let n_epochs = (horizon / epoch_width + 1) as usize;
+    let mut graphs: Vec<Graph> = (0..n_epochs)
+        .map(|_| {
+            let mut g = Graph::new();
+            for u in db.user_ids() {
+                g.add_node(u.iri());
+            }
+            g
+        })
+        .collect();
+    // Co-check-ins: users in the same session within the same epoch.
+    use std::collections::HashMap;
+    let mut by_epoch_session: HashMap<(usize, crate::ids::SessionId), Vec<UserId>> =
+        HashMap::new();
+    for s in db.session_ids() {
+        for ci in db.checkins_in(s) {
+            let e = (ci.at.ticks() / epoch_width) as usize;
+            by_epoch_session.entry((e, s)).or_default().push(ci.user);
+        }
+    }
+    for ((e, _), mut members) in by_epoch_session {
+        members.sort();
+        members.dedup();
+        let g = &mut graphs[e];
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                let (na, nb) = (g.add_node(a.iri()), g.add_node(b.iri()));
+                g.add_undirected_edge(na, nb, 1.0);
+            }
+        }
+    }
+    // Q&A exchanges.
+    for q in db.question_ids() {
+        let question = db.get_question(q).expect("listed");
+        for &aid in db.answers_to(q) {
+            let answer = db.get_answer(aid).expect("listed");
+            if answer.author == question.author {
+                continue;
+            }
+            let e = (answer.answered_at.ticks() / epoch_width) as usize;
+            if e < graphs.len() {
+                let g = &mut graphs[e];
+                let (na, nb) = (
+                    g.add_node(question.author.iri()),
+                    g.add_node(answer.author.iri()),
+                );
+                g.add_undirected_edge(na, nb, 1.5);
+            }
+        }
+    }
+    graphs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worlds_are_deterministic() {
+        let a = WorldBuilder::new(SimConfig::small()).build();
+        let b = WorldBuilder::new(SimConfig::small()).build();
+        assert_eq!(a.db.user_ids().len(), b.db.user_ids().len());
+        assert_eq!(a.db.paper_ids().len(), b.db.paper_ids().len());
+        assert_eq!(a.db.activity_log().len(), b.db.activity_log().len());
+        assert_eq!(a.held_out_connections, b.held_out_connections);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorldBuilder::new(SimConfig::small()).build();
+        let b = WorldBuilder::new(SimConfig { seed: 7, ..SimConfig::small() }).build();
+        // Same sizes, different content (log lengths will almost surely
+        // differ because behaviour is stochastic).
+        assert_eq!(a.db.user_ids().len(), b.db.user_ids().len());
+        assert_ne!(
+            a.db.activity_log().len(),
+            b.db.activity_log().len(),
+            "different seeds should yield different behaviour traces"
+        );
+    }
+
+    #[test]
+    fn world_is_populated_and_consistent() {
+        let w = WorldBuilder::new(SimConfig::small()).build();
+        let cfg = SimConfig::small();
+        assert_eq!(w.db.user_ids().len(), cfg.users);
+        assert_eq!(w.db.conference_ids().len(), cfg.conferences);
+        assert_eq!(
+            w.db.session_ids().len(),
+            cfg.conferences * cfg.sessions_per_conf
+        );
+        assert_eq!(w.db.paper_ids().len(), cfg.conferences * cfg.papers_per_conf);
+        assert!(!w.db.presentation_ids().is_empty());
+        assert!(!w.db.question_ids().is_empty());
+        // Every presentation presenter is an author (DB invariant held).
+        for p in w.db.presentation_ids() {
+            let pres = w.db.get_presentation(p).unwrap();
+            assert!(w.db.get_paper(pres.paper).unwrap().has_author(pres.presenter));
+        }
+    }
+
+    #[test]
+    fn planted_communities_partition_users() {
+        let w = WorldBuilder::new(SimConfig::small()).build();
+        let total: usize = w.planted_communities.iter().map(Vec::len).sum();
+        assert_eq!(total, SimConfig::small().users);
+        for (t, members) in w.planted_communities.iter().enumerate() {
+            for &u in members {
+                assert_eq!(w.topic_of(u), t);
+            }
+        }
+    }
+
+    #[test]
+    fn holdout_pairs_not_connected() {
+        let w = WorldBuilder::new(SimConfig::small()).build();
+        assert!(!w.held_out_connections.is_empty(), "some pairs withheld");
+        for &(a, b) in &w.held_out_connections {
+            assert!(!w.db.are_connected(a, b));
+            // Held-out pairs share a topic (they are plausible futures).
+            assert_eq!(w.topic_of(a), w.topic_of(b));
+        }
+    }
+
+    #[test]
+    fn partial_attendance_respected() {
+        let cfg = SimConfig { attendance_prob: 0.5, ..SimConfig::small() };
+        let w = WorldBuilder::new(cfg).build();
+        let total_users = cfg.users;
+        for &c in &w.conferences {
+            let n = w.db.attendees(c).len();
+            assert!(n < total_users, "some users skip edition {c:?}: {n}");
+            assert!(n > 0, "someone attends edition {c:?}");
+        }
+        // Activity only comes from attendees: every check-in user attended.
+        for s in w.db.session_ids() {
+            let conf = w.db.get_session(s).unwrap().conference;
+            for ci in w.db.checkins_in(s) {
+                assert!(w.db.attends(ci.user, conf));
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "stress world (~500 users); run with --ignored"]
+    fn large_world_builds_and_serves() {
+        let w = WorldBuilder::new(SimConfig::large()).build();
+        assert_eq!(w.db.user_ids().len(), SimConfig::large().users);
+        let hive = crate::api::Hive::new(w.db);
+        let u = hive.db().user_ids()[0];
+        assert!(!hive
+            .recommend_peers(u, crate::peers::PeerRecConfig::default())
+            .is_empty());
+        assert!(hive.discover_communities().count() >= 2);
+    }
+
+    #[test]
+    fn epoch_graphs_cover_the_log() {
+        let w = WorldBuilder::new(SimConfig::small()).build();
+        let graphs = epoch_interaction_graphs(&w.db, 50);
+        assert!(!graphs.is_empty());
+        let total_edges: usize = graphs.iter().map(|g| g.edge_count()).sum();
+        assert!(total_edges > 0, "co-checkins should create edges");
+        for g in &graphs {
+            assert_eq!(g.node_count(), SimConfig::small().users);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Deterministic topical text generation for the simulator.
+//!
+//! Each topic owns a small vocabulary of domain terms; titles, abstracts,
+//! questions and answers are produced by filling sentence templates with
+//! topic terms, so documents of the same topic are measurably similar
+//! under TF-IDF (which is what the content-similarity services need) and
+//! distinct across topics.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Topic display names, index-aligned with the vocabularies.
+pub const TOPIC_NAMES: [&str; 12] = [
+    "tensor-streams",
+    "graph-processing",
+    "transactions",
+    "query-optimization",
+    "information-retrieval",
+    "privacy",
+    "stream-processing",
+    "crowdsourcing",
+    "recommendation",
+    "semantic-web",
+    "spatial-data",
+    "machine-learning",
+];
+
+/// Per-topic term pools.
+const TOPIC_TERMS: [&[&str]; 12] = [
+    &["tensor", "stream", "compressed", "sensing", "sketch", "ensemble", "monitoring", "decomposition"],
+    &["graph", "vertex", "edge", "community", "partition", "traversal", "pagerank", "clustering"],
+    &["transaction", "concurrency", "isolation", "snapshot", "locking", "serializable", "recovery", "logging"],
+    &["query", "optimizer", "plan", "cardinality", "join", "selectivity", "cost", "execution"],
+    &["retrieval", "ranking", "relevance", "index", "inverted", "document", "scoring", "feedback"],
+    &["privacy", "anonymization", "differential", "disclosure", "perturbation", "utility", "sensitive", "attack"],
+    &["window", "operator", "latency", "throughput", "backpressure", "watermark", "event", "pipeline"],
+    &["crowd", "worker", "task", "quality", "aggregation", "incentive", "labeling", "assignment"],
+    &["recommendation", "collaborative", "filtering", "preference", "rating", "neighborhood", "factorization", "coldstart"],
+    &["ontology", "rdf", "sparql", "reasoning", "triple", "linked", "schema", "entity"],
+    &["spatial", "trajectory", "index", "nearest", "neighbor", "region", "road", "moving"],
+    &["model", "training", "feature", "gradient", "inference", "regression", "embedding", "classifier"],
+];
+
+const GLUE_SENTENCES: [&str; 5] = [
+    "We evaluate the technique on several workloads",
+    "The system scales to realistic data sizes",
+    "Experimental results confirm the design choices",
+    "A careful implementation keeps overheads low",
+    "We discuss trade-offs and limitations",
+];
+
+/// Number of available topics.
+pub fn topic_count() -> usize {
+    TOPIC_TERMS.len()
+}
+
+fn terms(topic: usize) -> &'static [&'static str] {
+    TOPIC_TERMS[topic % TOPIC_TERMS.len()]
+}
+
+/// A short topical phrase (2 terms).
+pub fn topic_phrase(topic: usize, rng: &mut StdRng) -> String {
+    let pool = terms(topic);
+    let a = pool[rng.gen_range(0..pool.len())];
+    let mut b = pool[rng.gen_range(0..pool.len())];
+    while b == a {
+        b = pool[rng.gen_range(0..pool.len())];
+    }
+    format!("{a} {b}")
+}
+
+/// A paper/session title.
+pub fn topic_title(topic: usize, rng: &mut StdRng) -> String {
+    let pool = terms(topic);
+    let patterns = [
+        format!(
+            "Scalable {} {} via {}",
+            pool[rng.gen_range(0..pool.len())],
+            pool[rng.gen_range(0..pool.len())],
+            pool[rng.gen_range(0..pool.len())]
+        ),
+        format!(
+            "Efficient {} for {} {}",
+            pool[rng.gen_range(0..pool.len())],
+            pool[rng.gen_range(0..pool.len())],
+            pool[rng.gen_range(0..pool.len())]
+        ),
+        format!(
+            "On {} and {} in modern systems",
+            pool[rng.gen_range(0..pool.len())],
+            pool[rng.gen_range(0..pool.len())]
+        ),
+    ];
+    patterns[rng.gen_range(0..patterns.len())].clone()
+}
+
+/// One topical sentence.
+pub fn topic_sentence(topic: usize, rng: &mut StdRng) -> String {
+    let pool = terms(topic);
+    format!(
+        "The {} {} approach improves {} under {} workloads.",
+        pool[rng.gen_range(0..pool.len())],
+        pool[rng.gen_range(0..pool.len())],
+        pool[rng.gen_range(0..pool.len())],
+        pool[rng.gen_range(0..pool.len())]
+    )
+}
+
+/// A multi-sentence abstract (4 topical + 1 glue sentence).
+pub fn topic_abstract(topic: usize, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for _ in 0..4 {
+        out.push_str(&topic_sentence(topic, rng));
+        out.push(' ');
+    }
+    out.push_str(GLUE_SENTENCES.choose(rng).expect("non-empty"));
+    out.push('.');
+    out
+}
+
+/// A question about a presentation.
+pub fn topic_question(topic: usize, rng: &mut StdRng) -> String {
+    let pool = terms(topic);
+    format!(
+        "How does the {} handle {} when the {} grows?",
+        pool[rng.gen_range(0..pool.len())],
+        pool[rng.gen_range(0..pool.len())],
+        pool[rng.gen_range(0..pool.len())]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(topic_abstract(0, &mut r1), topic_abstract(0, &mut r2));
+        assert_eq!(topic_title(3, &mut r1), topic_title(3, &mut r2));
+    }
+
+    #[test]
+    fn phrases_use_topic_vocabulary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in 0..topic_count() {
+            let p = topic_phrase(t, &mut rng);
+            let words: Vec<&str> = p.split(' ').collect();
+            assert_eq!(words.len(), 2);
+            for w in words {
+                assert!(terms(t).contains(&w), "{w} not in topic {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_topic_texts_share_vocabulary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = topic_abstract(0, &mut rng);
+        let b = topic_abstract(0, &mut rng);
+        let c = topic_abstract(5, &mut rng);
+        let overlap = |x: &str, y: &str| {
+            let sx: std::collections::HashSet<&str> = x.split_whitespace().collect();
+            let sy: std::collections::HashSet<&str> = y.split_whitespace().collect();
+            sx.intersection(&sy).count()
+        };
+        assert!(
+            overlap(&a, &b) > overlap(&a, &c),
+            "same-topic abstracts should overlap more"
+        );
+    }
+
+    #[test]
+    fn names_and_pools_aligned() {
+        assert_eq!(TOPIC_NAMES.len(), TOPIC_TERMS.len());
+        for pool in TOPIC_TERMS {
+            assert!(pool.len() >= 4);
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Community discovery: label propagation and Louvain-style greedy
+//! modularity optimization, plus quality measures (modularity, NMI).
+//!
+//! Backs Table 1's "Community discovery and tracking" service. All
+//! functions treat the graph as *undirected* by symmetrizing adjacency
+//! (`A_ij = w(i->j) + w(j->i)`), which matches how Hive's social and
+//! co-authorship layers are built.
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A community label per node, with labels densely renumbered from 0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommunityAssignment {
+    labels: Vec<usize>,
+    count: usize,
+}
+
+impl CommunityAssignment {
+    /// Builds an assignment from raw labels (renumbering densely).
+    pub fn from_labels(raw: Vec<usize>) -> Self {
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut labels = Vec::with_capacity(raw.len());
+        for l in raw {
+            let next = remap.len();
+            let id = *remap.entry(l).or_insert(next);
+            labels.push(id);
+        }
+        let count = remap.len();
+        CommunityAssignment { labels, count }
+    }
+
+    /// The community of node `n`.
+    pub fn label(&self, n: NodeId) -> usize {
+        self.labels[n.index()]
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.count
+    }
+
+    /// Raw label slice (index = node index).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Members of each community.
+    pub fn communities(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (i, &l) in self.labels.iter().enumerate() {
+            out[l].push(NodeId(i as u32));
+        }
+        out
+    }
+}
+
+fn symmetric_neighbors(g: &Graph, u: NodeId) -> HashMap<NodeId, f64> {
+    let mut nbrs: HashMap<NodeId, f64> = HashMap::new();
+    for e in g.out_edges(u) {
+        *nbrs.entry(e.neighbor).or_insert(0.0) += e.weight;
+    }
+    for e in g.in_edges(u) {
+        *nbrs.entry(e.neighbor).or_insert(0.0) += e.weight;
+    }
+    nbrs
+}
+
+/// Newman modularity of an assignment over the symmetrized graph.
+pub fn modularity(g: &Graph, assignment: &CommunityAssignment) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    // Symmetrized degree k_i and total 2m.
+    let mut degree = vec![0.0f64; n];
+    let mut two_m = 0.0;
+    for (u, v, w) in g.edges() {
+        degree[u.index()] += w;
+        degree[v.index()] += w;
+        two_m += 2.0 * w;
+    }
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    // Sum over intra-community edges of A_ij, and per-community degree sums.
+    let mut intra = vec![0.0f64; assignment.community_count()];
+    let mut deg_sum = vec![0.0f64; assignment.community_count()];
+    for (u, v, w) in g.edges() {
+        if assignment.label(u) == assignment.label(v) {
+            // Each directed edge contributes w to A_uv and w to A_vu.
+            intra[assignment.label(u)] += 2.0 * w;
+        }
+    }
+    for u in g.nodes() {
+        deg_sum[assignment.label(u)] += degree[u.index()];
+    }
+    intra
+        .iter()
+        .zip(&deg_sum)
+        .map(|(&e_in, &d)| e_in / two_m - (d / two_m).powi(2))
+        .sum()
+}
+
+/// Weighted label propagation with a seeded RNG for deterministic runs.
+///
+/// Each node repeatedly adopts the label carrying the largest total
+/// incident (symmetrized) weight among its neighbors; ties break toward
+/// the smaller label. Converges when no label changes or `max_iters` hits.
+pub fn label_propagation(g: &Graph, seed: u64, max_iters: usize) -> CommunityAssignment {
+    let n = g.node_count();
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..max_iters {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &i in &order {
+            let u = NodeId(i as u32);
+            let nbrs = symmetric_neighbors(g, u);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let mut tally: HashMap<usize, f64> = HashMap::new();
+            for (v, w) in nbrs {
+                if v != u {
+                    *tally.entry(labels[v.index()]).or_insert(0.0) += w;
+                }
+            }
+            if tally.is_empty() {
+                continue;
+            }
+            let best = tally
+                .into_iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(b.0.cmp(&a.0)))
+                .map(|(l, _)| l)
+                .expect("non-empty tally");
+            if best != labels[i] {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    CommunityAssignment::from_labels(labels)
+}
+
+/// Louvain-style greedy modularity optimization.
+///
+/// Runs local-move passes (each node greedily joins the neighboring
+/// community with the best modularity gain) followed by graph aggregation,
+/// until no pass improves modularity.
+pub fn louvain(g: &Graph) -> CommunityAssignment {
+    // Work on a symmetrized edge list at each level.
+    let n0 = g.node_count();
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for (u, v, w) in g.edges() {
+        edges.push((u.index(), v.index(), w));
+    }
+    // node-at-level -> community-at-level mapping chain.
+    let mut membership: Vec<usize> = (0..n0).collect();
+    let mut level_nodes = n0;
+    loop {
+        let (labels, improved) = louvain_one_level(level_nodes, &edges);
+        if !improved {
+            break;
+        }
+        // Compose the mapping.
+        for m in membership.iter_mut() {
+            *m = labels[*m];
+        }
+        // Aggregate.
+        let comm_count = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut agg: HashMap<(usize, usize), f64> = HashMap::new();
+        for &(u, v, w) in &edges {
+            let key = (labels[u], labels[v]);
+            *agg.entry(key).or_insert(0.0) += w;
+        }
+        edges = agg.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        edges.sort_by_key(|a| (a.0, a.1));
+        if comm_count == level_nodes {
+            break;
+        }
+        level_nodes = comm_count;
+    }
+    CommunityAssignment::from_labels(membership)
+}
+
+/// One local-move pass over an edge list; returns (labels, improved).
+fn louvain_one_level(n: usize, edges: &[(usize, usize, f64)]) -> (Vec<usize>, bool) {
+    // Symmetrized adjacency lists and degrees.
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut self_loops = vec![0.0f64; n];
+    let mut degree = vec![0.0f64; n];
+    let mut two_m = 0.0;
+    for &(u, v, w) in edges {
+        if u == v {
+            self_loops[u] += 2.0 * w;
+            degree[u] += 2.0 * w;
+            two_m += 2.0 * w;
+        } else {
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+            degree[u] += w;
+            degree[v] += w;
+            two_m += 2.0 * w;
+        }
+    }
+    let mut labels: Vec<usize> = (0..n).collect();
+    if two_m == 0.0 {
+        return (labels, false);
+    }
+    // Sum of degrees per community.
+    let mut comm_deg = degree.clone();
+    let mut improved = false;
+    let mut moved = true;
+    let mut rounds = 0;
+    while moved && rounds < 32 {
+        moved = false;
+        rounds += 1;
+        for u in 0..n {
+            let current = labels[u];
+            // Weight from u to each neighboring community.
+            let mut to_comm: HashMap<usize, f64> = HashMap::new();
+            for &(v, w) in &adj[u] {
+                *to_comm.entry(labels[v]).or_insert(0.0) += w;
+            }
+            // Remove u from its community, then pick the community c
+            // maximizing the standard Louvain gain criterion
+            // `w_uc - k_u * sum_tot(c) / 2m` (constant terms dropped).
+            comm_deg[current] -= degree[u];
+            let base = to_comm.get(&current).copied().unwrap_or(0.0);
+            let mut best_comm = current;
+            let mut best_score = base - degree[u] * comm_deg[current] / two_m;
+            for (&c, &w_uc) in &to_comm {
+                if c == current {
+                    continue;
+                }
+                let s = w_uc - degree[u] * comm_deg[c] / two_m;
+                if s > best_score + 1e-12 {
+                    best_score = s;
+                    best_comm = c;
+                }
+            }
+            comm_deg[best_comm] += degree[u];
+            if best_comm != current {
+                labels[u] = best_comm;
+                moved = true;
+                improved = true;
+            }
+        }
+    }
+    // Renumber densely.
+    let assignment = CommunityAssignment::from_labels(labels);
+    (assignment.labels().to_vec(), improved)
+}
+
+/// Normalized mutual information between two assignments (0..=1).
+///
+/// Used by experiment E5 to compare discovered communities against the
+/// simulator's planted topic communities.
+pub fn nmi(a: &CommunityAssignment, b: &CommunityAssignment) -> f64 {
+    assert_eq!(a.labels().len(), b.labels().len(), "assignments over different node sets");
+    let n = a.labels().len();
+    if n == 0 {
+        return 1.0;
+    }
+    let ka = a.community_count();
+    let kb = b.community_count();
+    let mut joint = vec![vec![0usize; kb]; ka];
+    let mut ca = vec![0usize; ka];
+    let mut cb = vec![0usize; kb];
+    for i in 0..n {
+        let (x, y) = (a.labels()[i], b.labels()[i]);
+        joint[x][y] += 1;
+        ca[x] += 1;
+        cb[y] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for x in 0..ka {
+        for y in 0..kb {
+            let nxy = joint[x][y] as f64;
+            if nxy > 0.0 {
+                mi += (nxy / nf) * ((nxy * nf) / (ca[x] as f64 * cb[y] as f64)).ln();
+            }
+        }
+    }
+    let ha: f64 = ca
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / nf;
+            -p * p.ln()
+        })
+        .sum();
+    let hb: f64 = cb
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / nf;
+            -p * p.ln()
+        })
+        .sum();
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0; // both trivial single-community assignments
+    }
+    let denom = (ha * hb).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// NMI between two partitions given as membership lists over item
+/// indexes `0..n`. Items missing from a partition go into a catch-all
+/// community. Convenience wrapper over [`nmi`] for experiment code.
+pub fn nmi_of_partitions(a: &[Vec<usize>], b: &[Vec<usize>], n: usize) -> f64 {
+    let to_assignment = |parts: &[Vec<usize>]| -> CommunityAssignment {
+        let mut labels = vec![parts.len(); n]; // catch-all label
+        for (c, members) in parts.iter().enumerate() {
+            for &m in members {
+                if m < n {
+                    labels[m] = c;
+                }
+            }
+        }
+        CommunityAssignment::from_labels(labels)
+    };
+    nmi(&to_assignment(a), &to_assignment(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two dense cliques with a single weak bridge.
+    fn two_cliques() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<_> = (0..10).map(|i| g.add_node(format!("n{i}"))).collect();
+        for group in [&ids[..5], &ids[5..]] {
+            for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    g.add_undirected_edge(group[i], group[j], 1.0);
+                }
+            }
+        }
+        g.add_undirected_edge(ids[4], ids[5], 0.1);
+        (g, ids)
+    }
+
+    #[test]
+    fn label_propagation_finds_cliques() {
+        let (g, ids) = two_cliques();
+        let asg = label_propagation(&g, 7, 50);
+        assert_eq!(asg.community_count(), 2);
+        let first = asg.label(ids[0]);
+        for &n in &ids[..5] {
+            assert_eq!(asg.label(n), first);
+        }
+        let second = asg.label(ids[5]);
+        assert_ne!(first, second);
+        for &n in &ids[5..] {
+            assert_eq!(asg.label(n), second);
+        }
+    }
+
+    #[test]
+    fn louvain_finds_cliques() {
+        let (g, ids) = two_cliques();
+        let asg = louvain(&g);
+        assert_eq!(asg.community_count(), 2);
+        assert_eq!(asg.label(ids[0]), asg.label(ids[4]));
+        assert_ne!(asg.label(ids[0]), asg.label(ids[9]));
+    }
+
+    #[test]
+    fn modularity_prefers_true_partition() {
+        let (g, _) = two_cliques();
+        let good = louvain(&g);
+        let trivial = CommunityAssignment::from_labels(vec![0; 10]);
+        let singletons = CommunityAssignment::from_labels((0..10).collect());
+        let q_good = modularity(&g, &good);
+        let q_trivial = modularity(&g, &trivial);
+        let q_single = modularity(&g, &singletons);
+        assert!(q_good > q_trivial, "{q_good} > {q_trivial}");
+        assert!(q_good > q_single, "{q_good} > {q_single}");
+        assert!(q_good > 0.3);
+    }
+
+    #[test]
+    fn nmi_identity_and_permutation_invariance() {
+        let a = CommunityAssignment::from_labels(vec![0, 0, 1, 1, 2, 2]);
+        let b = CommunityAssignment::from_labels(vec![5, 5, 9, 9, 1, 1]);
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_detects_disagreement() {
+        let a = CommunityAssignment::from_labels(vec![0, 0, 0, 1, 1, 1]);
+        let shuffled = CommunityAssignment::from_labels(vec![0, 1, 0, 1, 0, 1]);
+        let score = nmi(&a, &shuffled);
+        assert!(score < 0.2, "disagreeing partitions should score low, got {score}");
+    }
+
+    #[test]
+    fn nmi_trivial_assignments() {
+        let a = CommunityAssignment::from_labels(vec![0, 0, 0]);
+        assert_eq!(nmi(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_handled() {
+        let g = Graph::new();
+        let asg = louvain(&g);
+        assert_eq!(asg.community_count(), 0);
+        assert_eq!(modularity(&g, &asg), 0.0);
+    }
+
+    #[test]
+    fn assignment_communities_listing() {
+        let asg = CommunityAssignment::from_labels(vec![0, 1, 0]);
+        let comms = asg.communities();
+        assert_eq!(comms.len(), 2);
+        assert_eq!(comms[0], vec![NodeId(0), NodeId(2)]);
+        assert_eq!(comms[1], vec![NodeId(1)]);
+    }
+}

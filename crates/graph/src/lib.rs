@@ -1,0 +1,51 @@
+//! # hive-graph — weighted graph analytics substrate
+//!
+//! Graph algorithms backing Hive's peer-network services (paper §2.4):
+//!
+//! * a dynamic directed weighted multigraph with node interning,
+//! * traversals (BFS/DFS, connected components),
+//! * shortest paths (Dijkstra),
+//! * **personalized PageRank** — the spreading-activation primitive used to
+//!   contextualize recommendations by the active workpad,
+//! * **community discovery** — label propagation and greedy modularity
+//!   (Table 1: "Community discovery and tracking"),
+//! * **Impact Neighborhood Indexing (INI)** — an incremental index of
+//!   decaying diffusion impact sets (paper ref \[6\], Kim/Candan/Sapino,
+//!   CIKM'12), with a full-recompute baseline for the E2 experiment,
+//! * link-prediction scores (common neighbors, Jaccard, Adamic–Adar) used
+//!   as relationship evidence,
+//! * centrality measures for ranking peers.
+//!
+//! ```
+//! use hive_graph::Graph;
+//!
+//! let mut g = Graph::new();
+//! let a = g.add_node("ann");
+//! let b = g.add_node("bob");
+//! g.add_edge(a, b, 0.9);
+//! assert_eq!(g.out_degree(a), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centrality;
+pub mod community;
+pub mod graph;
+pub mod ini;
+pub mod kcore;
+pub mod linkpred;
+pub mod ppr;
+pub mod shortest;
+pub mod traverse;
+
+pub use community::{label_propagation, louvain, modularity, nmi, nmi_of_partitions, CommunityAssignment};
+pub use graph::{EdgeRef, Graph, NodeId};
+pub use ini::{ImpactIndex, ImpactQueryEngine, RecomputeEngine};
+pub use linkpred::{adamic_adar, common_neighbors, jaccard, preferential_attachment};
+pub use ppr::{pagerank, personalized_pagerank, top_k_excluding_seeds, PprConfig};
+pub use centrality::{betweenness_sampled, degree_centrality, harmonic_centrality, harmonic_centrality_sampled};
+pub use ini::{diffuse, DiffusionParams};
+pub use kcore::{core_numbers, k_core};
+pub use shortest::{dijkstra, DistanceMap};
+pub use traverse::{bfs_order, connected_components, dfs_order};

@@ -1,0 +1,138 @@
+//! Dijkstra shortest paths over positive edge weights.
+//!
+//! Here weight is a *cost* (lower = closer); callers that hold strength
+//! weights convert with `-ln(w)` or `1/w` first.
+
+use crate::graph::{Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest path run.
+#[derive(Clone, Debug)]
+pub struct DistanceMap {
+    dist: Vec<f64>,
+    prev: Vec<Option<NodeId>>,
+    source: NodeId,
+}
+
+impl DistanceMap {
+    /// Distance from the source to `n` (`f64::INFINITY` if unreachable).
+    pub fn distance(&self, n: NodeId) -> f64 {
+        self.dist[n.index()]
+    }
+
+    /// True if `n` is reachable from the source.
+    pub fn reachable(&self, n: NodeId) -> bool {
+        self.dist[n.index()].is_finite()
+    }
+
+    /// Reconstructs the path from the source to `target` (inclusive), or
+    /// `None` if unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reachable(target) {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != self.source {
+            cur = self.prev[cur.index()]?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+struct Entry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.node == other.node
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Single-source Dijkstra treating edge weights as costs.
+///
+/// Panics (debug) if an edge weight is non-positive, which the [`Graph`]
+/// constructor already forbids.
+pub fn dijkstra(g: &Graph, source: NodeId) -> DistanceMap {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Entry { cost: 0.0, node: source });
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue;
+        }
+        for e in g.out_edges(node) {
+            let ncost = cost + e.weight;
+            if ncost < dist[e.neighbor.index()] {
+                dist[e.neighbor.index()] = ncost;
+                prev[e.neighbor.index()] = Some(node);
+                heap.push(Entry { cost: ncost, node: e.neighbor });
+            }
+        }
+    }
+    DistanceMap { dist, prev, source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortest_path_basics() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 1.0);
+        g.add_edge(a, c, 5.0);
+        let dm = dijkstra(&g, a);
+        assert!((dm.distance(c) - 2.0).abs() < 1e-12);
+        assert_eq!(dm.path_to(c), Some(vec![a, b, c]));
+        assert!(!dm.reachable(d));
+        assert_eq!(dm.path_to(d), None);
+    }
+
+    #[test]
+    fn source_distance_zero() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let dm = dijkstra(&g, a);
+        assert_eq!(dm.distance(a), 0.0);
+        assert_eq!(dm.path_to(a), Some(vec![a]));
+    }
+
+    #[test]
+    fn respects_direction() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 1.0);
+        let dm = dijkstra(&g, b);
+        assert!(!dm.reachable(a));
+    }
+}

@@ -1,0 +1,130 @@
+//! Traversals: BFS, DFS, and (weakly) connected components.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start` (following out-edges), in BFS order.
+pub fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for e in g.out_edges(u) {
+            if !visited[e.neighbor.index()] {
+                visited[e.neighbor.index()] = true;
+                queue.push_back(e.neighbor);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `start` (following out-edges), in DFS preorder.
+pub fn dfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if visited[u.index()] {
+            continue;
+        }
+        visited[u.index()] = true;
+        order.push(u);
+        // Push in reverse so lower-indexed neighbors are visited first.
+        let mut nbrs: Vec<NodeId> = g.out_edges(u).map(|e| e.neighbor).collect();
+        nbrs.reverse();
+        stack.extend(nbrs);
+    }
+    order
+}
+
+/// Weakly connected components (edges treated as undirected).
+///
+/// Returns a component id per node; ids are dense, assigned in order of
+/// first discovery.
+pub fn connected_components(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for s in g.nodes() {
+        if comp[s.index()] != usize::MAX {
+            continue;
+        }
+        let id = next;
+        next += 1;
+        let mut queue = VecDeque::new();
+        comp[s.index()] = id;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for e in g.out_edges(u).chain(g.in_edges(u)) {
+                if comp[e.neighbor.index()] == usize::MAX {
+                    comp[e.neighbor.index()] = id;
+                    queue.push_back(e.neighbor);
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<_> = (0..5).map(|i| g.add_node(format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1.0);
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn bfs_visits_reachable_in_order() {
+        let (g, ids) = chain();
+        assert_eq!(bfs_order(&g, ids[0]), ids);
+        assert_eq!(bfs_order(&g, ids[3]), vec![ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn dfs_preorder() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, c, 1.0);
+        g.add_edge(b, d, 1.0);
+        // DFS explores b's subtree before c.
+        assert_eq!(dfs_order(&g, a), vec![a, b, d, c]);
+    }
+
+    #[test]
+    fn components_respect_direction_weakly() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(d, c, 1.0);
+        let comp = connected_components(&g);
+        assert_eq!(comp[a.index()], comp[b.index()]);
+        assert_eq!(comp[c.index()], comp[d.index()]);
+        assert_ne!(comp[a.index()], comp[c.index()]);
+    }
+
+    #[test]
+    fn singleton_components() {
+        let mut g = Graph::new();
+        g.add_node("x");
+        g.add_node("y");
+        let comp = connected_components(&g);
+        assert_eq!(comp, vec![0, 1]);
+    }
+}

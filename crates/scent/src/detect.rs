@@ -1,0 +1,346 @@
+//! Structural change detection over tensor streams.
+//!
+//! Every backend reduces an epoch transition `(T_{t-1}, T_t)` to a change
+//! score; the detector flags epochs whose score is an outlier against the
+//! trailing score history (online z-score). Experiment E1 compares the
+//! three backends on runtime and F1 against planted changes.
+
+use crate::cp::cp_als;
+use crate::sketch::{SketchConfig, TensorSketch};
+use crate::stream::TensorStream;
+
+/// How to score an epoch transition.
+#[derive(Clone, Copy, Debug)]
+pub enum DetectorBackend {
+    /// SCENT: compressed-sensing sketch distance.
+    Sketch(SketchConfig),
+    /// Exact Frobenius distance between consecutive epochs.
+    FullDiff,
+    /// CP-ALS per epoch; score = reconstruction distance on the union of
+    /// observed coordinates.
+    CpAls {
+        /// Decomposition rank.
+        rank: usize,
+        /// ALS iterations per epoch.
+        iters: usize,
+        /// Factor initialization seed.
+        seed: u64,
+    },
+}
+
+/// A scored epoch transition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochScore {
+    /// Epoch index `t` of the transition `(t-1, t)`.
+    pub epoch: usize,
+    /// Change score (backend-specific scale).
+    pub score: f64,
+}
+
+/// Scores every epoch transition of a stream with one backend.
+#[derive(Clone, Debug)]
+pub struct ChangeDetector {
+    backend: DetectorBackend,
+}
+
+impl ChangeDetector {
+    /// Creates a detector with the given backend.
+    pub fn new(backend: DetectorBackend) -> Self {
+        ChangeDetector { backend }
+    }
+
+    /// The backend's display name.
+    pub fn name(&self) -> &'static str {
+        match self.backend {
+            DetectorBackend::Sketch(_) => "scent-sketch",
+            DetectorBackend::FullDiff => "full-diff",
+            DetectorBackend::CpAls { .. } => "cp-als",
+        }
+    }
+
+    /// Scores all transitions of `stream`.
+    pub fn score_stream(&self, stream: &TensorStream) -> Vec<EpochScore> {
+        match self.backend {
+            DetectorBackend::Sketch(cfg) => {
+                let sketches: Vec<TensorSketch> = stream
+                    .iter()
+                    .map(|t| TensorSketch::compute(t, cfg))
+                    .collect();
+                sketches
+                    .windows(2)
+                    .enumerate()
+                    .map(|(i, w)| EpochScore {
+                        epoch: i + 1,
+                        score: w[0].estimate_distance(&w[1]),
+                    })
+                    .collect()
+            }
+            DetectorBackend::FullDiff => stream
+                .pairs()
+                .map(|(t, a, b)| EpochScore { epoch: t, score: a.frobenius_distance(b) })
+                .collect(),
+            DetectorBackend::CpAls { rank, iters, seed } => {
+                let models: Vec<_> = stream
+                    .iter()
+                    .map(|t| cp_als(t, rank, iters, seed))
+                    .collect();
+                stream
+                    .pairs()
+                    .map(|(t, a, b)| {
+                        // Union of observed coordinates of the two epochs.
+                        let mut coords: Vec<[usize; 3]> = a
+                            .iter()
+                            .chain(b.iter())
+                            .map(|(i, _)| [i[0], i[1], i[2]])
+                            .collect();
+                        coords.sort_unstable();
+                        coords.dedup();
+                        EpochScore {
+                            epoch: t,
+                            score: models[t - 1].reconstruction_distance(&models[t], &coords),
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Flags change epochs by an online z-score rule: epoch `t` is flagged
+/// when its score exceeds `mean + threshold * std` of the *previous*
+/// scores (at least `warmup` of them). Flagged scores are excluded from
+/// the running statistics so a detected shift does not mask the next one.
+pub fn detect_changes(scores: &[EpochScore], threshold: f64, warmup: usize) -> Vec<usize> {
+    let warmup = warmup.max(2);
+    let mut detected = Vec::new();
+    let mut history: Vec<f64> = Vec::new();
+    for s in scores {
+        if history.len() >= warmup {
+            let n = history.len() as f64;
+            let mean = history.iter().sum::<f64>() / n;
+            let var = history.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            let std = var.sqrt().max(1e-12);
+            if s.score > mean + threshold * std {
+                detected.push(s.epoch);
+                continue; // outlier: keep it out of the running stats
+            }
+        }
+        history.push(s.score);
+    }
+    detected
+}
+
+/// CUSUM change detection over epoch scores.
+///
+/// Maintains the cumulative sum of positive deviations from a running
+/// baseline mean; an epoch is flagged when the sum exceeds
+/// `threshold * baseline_std`, after which the accumulator resets.
+/// Compared to the z-score rule, CUSUM accumulates *persistent* small
+/// shifts (a community slowly densifying) that no single epoch would
+/// flag.
+pub fn detect_changes_cusum(
+    scores: &[EpochScore],
+    threshold: f64,
+    drift: f64,
+    warmup: usize,
+) -> Vec<usize> {
+    let warmup = warmup.max(2);
+    if scores.len() <= warmup {
+        return Vec::new();
+    }
+    let base: Vec<f64> = scores[..warmup].iter().map(|s| s.score).collect();
+    let mean = base.iter().sum::<f64>() / base.len() as f64;
+    let var = base.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / base.len() as f64;
+    let std = var.sqrt().max(1e-12);
+    let mut cusum = 0.0f64;
+    let mut detected = Vec::new();
+    for s in &scores[warmup..] {
+        // Positive deviations beyond the allowed drift accumulate.
+        cusum = (cusum + (s.score - mean) / std - drift).max(0.0);
+        if cusum > threshold {
+            detected.push(s.epoch);
+            cusum = 0.0;
+        }
+    }
+    detected
+}
+
+/// Precision / recall / F1 of `detected` against `planted` change epochs.
+/// A detection within `tolerance` epochs of a planted change counts as a
+/// hit (each planted change may be claimed once).
+pub fn f1_score(detected: &[usize], planted: &[usize], tolerance: usize) -> (f64, f64, f64) {
+    if detected.is_empty() && planted.is_empty() {
+        return (1.0, 1.0, 1.0);
+    }
+    let mut claimed = vec![false; planted.len()];
+    let mut tp = 0usize;
+    for &d in detected {
+        if let Some(pos) = planted.iter().enumerate().position(|(i, &p)| {
+            !claimed[i] && d.abs_diff(p) <= tolerance
+        }) {
+            claimed[pos] = true;
+            tp += 1;
+        }
+    }
+    let precision = if detected.is_empty() { 0.0 } else { tp as f64 / detected.len() as f64 };
+    let recall = if planted.is_empty() { 1.0 } else { tp as f64 / planted.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::SparseTensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A stream of noisy epochs with a planted structural shift: a dense
+    /// block appears at the given epochs.
+    fn planted_stream(epochs: usize, change_at: &[usize], seed: u64) -> TensorStream {
+        let shape = vec![20, 20, 3];
+        let mut stream = TensorStream::new(shape.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A stable background pattern with small per-epoch jitter.
+        let background: Vec<(Vec<usize>, f64)> = (0..150)
+            .map(|_| {
+                (
+                    vec![rng.gen_range(0..20), rng.gen_range(0..20), rng.gen_range(0..3)],
+                    rng.gen_range(0.2..1.0),
+                )
+            })
+            .collect();
+        for e in 0..epochs {
+            let mut t = SparseTensor::new(shape.clone());
+            for (idx, v) in &background {
+                t.set(idx, v + rng.gen_range(-0.05..0.05));
+            }
+            if change_at.contains(&e) {
+                // Structural shift: a new dense community block.
+                for i in 0..6 {
+                    for j in 0..6 {
+                        t.add(&[i, j, 0], 2.0);
+                    }
+                }
+            }
+            stream.push(t);
+        }
+        stream
+    }
+
+    #[test]
+    fn all_backends_flag_the_planted_change() {
+        let planted = vec![10];
+        let stream = planted_stream(16, &planted, 1);
+        for backend in [
+            DetectorBackend::FullDiff,
+            DetectorBackend::Sketch(SketchConfig { measurements: 512, seed: 3 }),
+            DetectorBackend::CpAls { rank: 2, iters: 8, seed: 3 },
+        ] {
+            let det = ChangeDetector::new(backend);
+            let scores = det.score_stream(&stream);
+            let hits = detect_changes(&scores, 5.0, 5);
+            // The block appears at 10 and disappears at 11: both
+            // transitions are legitimate structural changes.
+            assert!(
+                hits.contains(&10),
+                "{} missed the planted change, hits={hits:?}",
+                det.name()
+            );
+            for &h in &hits {
+                assert!(
+                    h == 10 || h == 11,
+                    "{} produced spurious hit {h} (hits={hits:?})",
+                    det.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_stream_yields_no_detections() {
+        let stream = planted_stream(12, &[], 5);
+        let det = ChangeDetector::new(DetectorBackend::FullDiff);
+        let scores = det.score_stream(&stream);
+        let hits = detect_changes(&scores, 4.0, 4);
+        assert!(hits.is_empty(), "no planted change, got {hits:?}");
+    }
+
+    #[test]
+    fn scores_cover_all_transitions() {
+        let stream = planted_stream(8, &[], 2);
+        let det = ChangeDetector::new(DetectorBackend::Sketch(SketchConfig::default()));
+        let scores = det.score_stream(&stream);
+        assert_eq!(scores.len(), 7);
+        assert_eq!(scores[0].epoch, 1);
+        assert_eq!(scores[6].epoch, 7);
+    }
+
+    #[test]
+    fn f1_scoring() {
+        let (p, r, f) = f1_score(&[10, 20], &[10, 20], 0);
+        assert_eq!((p, r, f), (1.0, 1.0, 1.0));
+        let (p, r, _) = f1_score(&[10], &[10, 20], 0);
+        assert_eq!(p, 1.0);
+        assert_eq!(r, 0.5);
+        let (p, _, _) = f1_score(&[10, 15], &[10], 0);
+        assert_eq!(p, 0.5);
+        // Tolerance window.
+        let (_, r, _) = f1_score(&[11], &[10], 1);
+        assert_eq!(r, 1.0);
+        // Each planted change claimed once.
+        let (p, r, _) = f1_score(&[10, 10], &[10], 0);
+        assert_eq!(p, 0.5);
+        assert_eq!(r, 1.0);
+        assert_eq!(f1_score(&[], &[], 0), (1.0, 1.0, 1.0));
+        assert_eq!(f1_score(&[], &[5], 0).2, 0.0);
+    }
+
+    #[test]
+    fn cusum_flags_abrupt_shift() {
+        // Flat baseline, then a clear jump.
+        let scores: Vec<EpochScore> = (1..=20)
+            .map(|e| EpochScore { epoch: e, score: if e >= 12 { 10.0 } else { 1.0 } })
+            .collect();
+        let hits = detect_changes_cusum(&scores, 4.0, 0.5, 5);
+        assert!(hits.contains(&12), "jump at 12 flagged, got {hits:?}");
+        assert!(hits.iter().all(|&h| h >= 12), "no flags before the jump: {hits:?}");
+    }
+
+    #[test]
+    fn cusum_accumulates_persistent_drift() {
+        // Each epoch only +0.8 std above the mean: a 3-sigma z-rule never
+        // fires, but the deviation persists and CUSUM accumulates it.
+        let mut scores: Vec<EpochScore> = (1..=6)
+            .map(|e| EpochScore { epoch: e, score: 1.0 + (e % 2) as f64 * 0.2 })
+            .collect();
+        for e in 7..=20 {
+            scores.push(EpochScore { epoch: e, score: 1.18 }); // ~ +0.8 std
+        }
+        let z_hits = detect_changes(&scores, 3.0, 6);
+        let cusum_hits = detect_changes_cusum(&scores, 4.0, 0.3, 6);
+        assert!(z_hits.is_empty(), "z-rule misses the slow drift: {z_hits:?}");
+        assert!(!cusum_hits.is_empty(), "CUSUM accumulates it");
+    }
+
+    #[test]
+    fn cusum_quiet_stream_stays_quiet() {
+        let scores: Vec<EpochScore> = (1..=20)
+            .map(|e| EpochScore { epoch: e, score: 1.0 + ((e * 7) % 3) as f64 * 0.01 })
+            .collect();
+        assert!(detect_changes_cusum(&scores, 6.0, 0.5, 6).is_empty());
+    }
+
+    #[test]
+    fn detect_changes_warmup_respected() {
+        let scores: Vec<EpochScore> = (1..=3)
+            .map(|e| EpochScore { epoch: e, score: 100.0 * e as f64 })
+            .collect();
+        // With warmup 5 there is never enough history to flag anything.
+        assert!(detect_changes(&scores, 1.0, 5).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # hive-scent — SCENT: compressed monitoring of tensor streams
+//!
+//! Re-implementation of the idea behind paper ref \[15\] (Lin, Candan,
+//! Sundaram, Xie, "SCENT: Scalable Compressed Monitoring of Evolving
+//! Multi-Relational Social Networks", ACM TOMCCAP 2011), which Hive uses
+//! for "internet scale monitoring of multi-relational social media data,
+//! encoded in the form of tensor streams" (paper §2.4):
+//!
+//! * sparse COO tensors of arbitrary order ([`tensor`]),
+//! * epoch-snapshot tensor streams ([`stream`]),
+//! * **randomized tensor ensembles**: compressed-sensing style sketches —
+//!   each measurement is a stable random ±1 projection of the tensor, so
+//!   sketch distance estimates the Frobenius distance between epochs at a
+//!   fraction of the cost ([`sketch`]),
+//! * structural change detection over per-epoch scores with an online
+//!   z-score rule, plus precision/recall scoring against planted changes
+//!   ([`detect`]),
+//! * baselines: exact full-diff scoring and CP-ALS decomposition-based
+//!   scoring ([`cp`]), reproducing the paper's claim that SCENT detects
+//!   changes "faster and more accurately than the other methods"
+//!   (experiment E1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cp;
+pub mod detect;
+pub mod sketch;
+pub mod stream;
+pub mod tensor;
+
+pub use cp::{cp_als, CpModel};
+pub use detect::{detect_changes, detect_changes_cusum, f1_score, ChangeDetector, DetectorBackend, EpochScore};
+pub use sketch::{SketchConfig, TensorSketch};
+pub use stream::TensorStream;
+pub use tensor::SparseTensor;

@@ -1,0 +1,221 @@
+//! Randomized tensor ensemble sketches (compressed-sensing style).
+//!
+//! Each of the `r` ensemble members is a stable random ±1 measurement
+//! vector over tensor coordinates: measurement `m_k = Σ_idx s_k(idx) ·
+//! T[idx]`, with the sign `s_k(idx)` derived from a hash of `(seed, k,
+//! idx)` — no measurement matrix is ever materialized, so sketching a
+//! sparse tensor costs `O(nnz · r)`.
+//!
+//! By the AMS/JL argument, `||sketch(A) - sketch(B)|| / sqrt(r)` is an
+//! unbiased estimate of `||A - B||_F`, which is exactly the quantity the
+//! change detector needs — computed from `2r` numbers instead of the full
+//! tensors.
+
+use crate::tensor::SparseTensor;
+use serde::{Deserialize, Serialize};
+
+/// Sketch parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SketchConfig {
+    /// Ensemble size (number of measurements).
+    pub measurements: usize,
+    /// Hash seed; sketches are only comparable under the same seed.
+    pub seed: u64,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig { measurements: 64, seed: 0x5ce27 }
+    }
+}
+
+/// A fixed-size sketch of one tensor epoch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TensorSketch {
+    values: Vec<f64>,
+    seed: u64,
+}
+
+/// SplitMix64: a fast, well-distributed 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Stable coordinate hash.
+fn index_hash(idx: &[usize]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &x in idx {
+        h = splitmix64(h ^ x as u64);
+    }
+    h
+}
+
+/// The ±1 sign of measurement `k` at coordinate hash `ih`.
+fn sign(seed: u64, k: usize, ih: u64) -> f64 {
+    let bit = splitmix64(seed ^ splitmix64(ih ^ (k as u64).wrapping_mul(0x9e37_79b9))) & 1;
+    if bit == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+impl TensorSketch {
+    /// Sketches a tensor.
+    pub fn compute(t: &SparseTensor, cfg: SketchConfig) -> Self {
+        assert!(cfg.measurements > 0, "need at least one measurement");
+        let mut values = vec![0.0f64; cfg.measurements];
+        for (idx, v) in t.iter() {
+            let ih = index_hash(idx);
+            for (k, slot) in values.iter_mut().enumerate() {
+                *slot += sign(cfg.seed, k, ih) * v;
+            }
+        }
+        TensorSketch { values, seed: cfg.seed }
+    }
+
+    /// Incrementally applies a delta `(idx, dv)` to an existing sketch —
+    /// the streaming update path (cost `O(r)` per changed cell).
+    pub fn apply_delta(&mut self, idx: &[usize], dv: f64) {
+        let ih = index_hash(idx);
+        for (k, slot) in self.values.iter_mut().enumerate() {
+            *slot += sign(self.seed, k, ih) * dv;
+        }
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the sketch has no measurements (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Estimated Frobenius distance to another sketch (same seed and
+    /// ensemble size required).
+    pub fn estimate_distance(&self, other: &TensorSketch) -> f64 {
+        assert_eq!(self.seed, other.seed, "sketches use different seeds");
+        assert_eq!(self.values.len(), other.values.len(), "ensemble size mismatch");
+        let sum: f64 = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (sum / self.values.len() as f64).sqrt()
+    }
+
+    /// Estimated Frobenius norm of the sketched tensor.
+    pub fn estimate_norm(&self) -> f64 {
+        let sum: f64 = self.values.iter().map(|v| v * v).sum();
+        (sum / self.values.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+        let mut t = SparseTensor::new(shape.to_vec());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..nnz {
+            let idx: Vec<usize> = shape.iter().map(|&d| rng.gen_range(0..d)).collect();
+            t.set(&idx, rng.gen_range(-1.0..1.0));
+        }
+        t
+    }
+
+    #[test]
+    fn norm_estimate_is_close() {
+        let t = random_tensor(&[30, 30, 5], 400, 1);
+        let sk = TensorSketch::compute(&t, SketchConfig { measurements: 512, seed: 7 });
+        let exact = t.frobenius_norm();
+        let est = sk.estimate_norm();
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.25, "relative error {rel} too high (est {est}, exact {exact})");
+    }
+
+    #[test]
+    fn distance_estimate_tracks_true_distance() {
+        let a = random_tensor(&[30, 30, 5], 400, 1);
+        let mut b = a.clone();
+        // Perturb ~40 cells.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..40 {
+            let idx = vec![
+                rng.gen_range(0..30),
+                rng.gen_range(0..30),
+                rng.gen_range(0..5),
+            ];
+            b.add(&idx, rng.gen_range(-1.0..1.0));
+        }
+        let cfg = SketchConfig { measurements: 512, seed: 42 };
+        let sa = TensorSketch::compute(&a, cfg);
+        let sb = TensorSketch::compute(&b, cfg);
+        let exact = a.frobenius_distance(&b);
+        let est = sa.estimate_distance(&sb);
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.3, "distance estimate off by {rel} (est {est}, exact {exact})");
+    }
+
+    #[test]
+    fn identical_tensors_have_zero_distance() {
+        let t = random_tensor(&[10, 10], 50, 3);
+        let cfg = SketchConfig::default();
+        let s1 = TensorSketch::compute(&t, cfg);
+        let s2 = TensorSketch::compute(&t, cfg);
+        assert_eq!(s1.estimate_distance(&s2), 0.0);
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let t = random_tensor(&[10, 10], 50, 4);
+        let cfg = SketchConfig { measurements: 32, seed: 5 };
+        let mut sk = TensorSketch::compute(&t, cfg);
+        let mut t2 = t.clone();
+        t2.add(&[3, 4], 0.7);
+        sk.apply_delta(&[3, 4], 0.7);
+        let fresh = TensorSketch::compute(&t2, cfg);
+        for (a, b) in sk.values.iter().zip(&fresh.values) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different seeds")]
+    fn seed_mismatch_rejected() {
+        let t = random_tensor(&[4, 4], 5, 0);
+        let s1 = TensorSketch::compute(&t, SketchConfig { measurements: 8, seed: 1 });
+        let s2 = TensorSketch::compute(&t, SketchConfig { measurements: 8, seed: 2 });
+        s1.estimate_distance(&s2);
+    }
+
+    #[test]
+    fn more_measurements_reduce_error() {
+        let a = random_tensor(&[20, 20, 4], 300, 11);
+        let b = random_tensor(&[20, 20, 4], 300, 12);
+        let exact = a.frobenius_distance(&b);
+        let err = |r: usize| {
+            // Average over several seeds to damp luck.
+            let mut total = 0.0;
+            for seed in 0..8 {
+                let cfg = SketchConfig { measurements: r, seed };
+                let sa = TensorSketch::compute(&a, cfg);
+                let sb = TensorSketch::compute(&b, cfg);
+                total += (sa.estimate_distance(&sb) - exact).abs() / exact;
+            }
+            total / 8.0
+        };
+        let coarse = err(8);
+        let fine = err(512);
+        assert!(fine < coarse, "error should shrink with r: {fine} < {coarse}");
+    }
+}

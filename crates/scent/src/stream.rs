@@ -1,0 +1,94 @@
+//! Tensor streams: a sequence of same-shape epoch snapshots.
+//!
+//! Hive encodes multi-relational activity (who asked whom, in which
+//! session, at which epoch) as a tensor per epoch; SCENT monitors the
+//! sequence for structural change.
+
+use crate::tensor::SparseTensor;
+
+/// A sequence of equal-shape sparse tensors, one per epoch.
+#[derive(Clone, Debug)]
+pub struct TensorStream {
+    shape: Vec<usize>,
+    epochs: Vec<SparseTensor>,
+}
+
+impl TensorStream {
+    /// Creates an empty stream for tensors of `shape`.
+    pub fn new(shape: Vec<usize>) -> Self {
+        assert!(!shape.is_empty());
+        TensorStream { shape, epochs: Vec::new() }
+    }
+
+    /// The per-epoch tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of epochs so far.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// True if no epochs were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Appends an epoch snapshot; its shape must match the stream's.
+    pub fn push(&mut self, t: SparseTensor) {
+        assert_eq!(t.shape(), self.shape.as_slice(), "epoch shape mismatch");
+        self.epochs.push(t);
+    }
+
+    /// The epoch at `i`.
+    pub fn epoch(&self, i: usize) -> &SparseTensor {
+        &self.epochs[i]
+    }
+
+    /// Iterates epochs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &SparseTensor> {
+        self.epochs.iter()
+    }
+
+    /// Iterates consecutive epoch pairs `(t-1, t)` with the index `t`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, &SparseTensor, &SparseTensor)> {
+        self.epochs
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| (i + 1, &w[0], &w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut s = TensorStream::new(vec![2, 2]);
+        for i in 0..3 {
+            let mut t = SparseTensor::new(vec![2, 2]);
+            t.set(&[0, 0], i as f64 + 1.0);
+            s.push(t);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.epoch(1).get(&[0, 0]), 2.0);
+        let pairs: Vec<usize> = s.pairs().map(|(i, _, _)| i).collect();
+        assert_eq!(pairs, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_enforced() {
+        let mut s = TensorStream::new(vec![2, 2]);
+        s.push(SparseTensor::new(vec![3, 2]));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = TensorStream::new(vec![4]);
+        assert!(s.is_empty());
+        assert_eq!(s.pairs().count(), 0);
+    }
+}

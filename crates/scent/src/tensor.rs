@@ -1,0 +1,164 @@
+//! Sparse COO tensors of arbitrary order.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse tensor: a shape and a coordinate->value map. Zero values are
+/// never stored.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SparseTensor {
+    shape: Vec<usize>,
+    data: HashMap<Vec<usize>, f64>,
+}
+
+impl SparseTensor {
+    /// Creates an empty tensor with the given shape (order = shape.len()).
+    pub fn new(shape: Vec<usize>) -> Self {
+        assert!(!shape.is_empty(), "tensor order must be >= 1");
+        assert!(shape.iter().all(|&d| d > 0), "all dimensions must be positive");
+        SparseTensor { shape, data: HashMap::new() }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The tensor's order (number of modes).
+    pub fn order(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    fn check_index(&self, idx: &[usize]) {
+        assert_eq!(idx.len(), self.shape.len(), "index order mismatch");
+        for (i, (&x, &d)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(x < d, "index {x} out of bounds for mode {i} (dim {d})");
+        }
+    }
+
+    /// Value at `idx` (0 if unset).
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        self.check_index(idx);
+        self.data.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the value at `idx` (removing the entry when 0).
+    pub fn set(&mut self, idx: &[usize], v: f64) {
+        self.check_index(idx);
+        if v == 0.0 {
+            self.data.remove(idx);
+        } else {
+            self.data.insert(idx.to_vec(), v);
+        }
+    }
+
+    /// Adds `v` to the value at `idx`.
+    pub fn add(&mut self, idx: &[usize], v: f64) {
+        let cur = self.get(idx);
+        self.set(idx, cur + v);
+    }
+
+    /// Iterates `(coordinates, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&[usize], f64)> {
+        self.data.iter().map(|(k, &v)| (k.as_slice(), v))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.values().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Frobenius distance `||self - other||_F` (shapes must match).
+    pub fn frobenius_distance(&self, other: &SparseTensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        let mut sum = 0.0;
+        for (idx, v) in self.iter() {
+            let d = v - other.data.get(idx).copied().unwrap_or(0.0);
+            sum += d * d;
+        }
+        for (idx, v) in other.iter() {
+            if !self.data.contains_key(idx) {
+                sum += v * v;
+            }
+        }
+        sum.sqrt()
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.values().sum()
+    }
+
+    /// Scales all entries in place.
+    pub fn scale(&mut self, s: f64) {
+        if s == 0.0 {
+            self.data.clear();
+        } else {
+            for v in self.data.values_mut() {
+                *v *= s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_add() {
+        let mut t = SparseTensor::new(vec![3, 3, 2]);
+        t.set(&[0, 1, 0], 2.0);
+        t.add(&[0, 1, 0], 0.5);
+        assert_eq!(t.get(&[0, 1, 0]), 2.5);
+        assert_eq!(t.get(&[2, 2, 1]), 0.0);
+        assert_eq!(t.nnz(), 1);
+        t.add(&[0, 1, 0], -2.5);
+        assert_eq!(t.nnz(), 0, "zeroed entries vanish");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let mut t = SparseTensor::new(vec![2, 2]);
+        t.set(&[2, 0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "order mismatch")]
+    fn order_checked() {
+        let t = SparseTensor::new(vec![2, 2]);
+        t.get(&[0]);
+    }
+
+    #[test]
+    fn frobenius_norm_and_distance() {
+        let mut a = SparseTensor::new(vec![2, 2]);
+        a.set(&[0, 0], 3.0);
+        a.set(&[1, 1], 4.0);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        let mut b = SparseTensor::new(vec![2, 2]);
+        b.set(&[0, 0], 3.0);
+        assert!((a.frobenius_distance(&b) - 4.0).abs() < 1e-12);
+        // Symmetric, including entries only in `other`.
+        assert!((b.frobenius_distance(&a) - 4.0).abs() < 1e-12);
+        assert_eq!(a.frobenius_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn scale_and_sum() {
+        let mut t = SparseTensor::new(vec![2]);
+        t.set(&[0], 1.0);
+        t.set(&[1], 2.0);
+        assert_eq!(t.sum(), 3.0);
+        t.scale(2.0);
+        assert_eq!(t.sum(), 6.0);
+        t.scale(0.0);
+        assert_eq!(t.nnz(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! All-or-nothing batch application of store operations.
+//!
+//! Knowledge-layer refreshes replace whole predicate families (drop every
+//! `rel:checked_in`, re-insert the current set). A half-applied refresh
+//! would leave path queries seeing a layer that never existed, so the
+//! batch validates every operation up front and only then mutates —
+//! failure before the mutation phase leaves the store untouched.
+
+use crate::error::StoreError;
+use crate::store::TripleStore;
+use crate::term::Term;
+
+/// One operation in a batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Insert (or re-weight) a triple.
+    Insert {
+        /// Subject (resource).
+        s: Term,
+        /// Predicate (IRI).
+        p: Term,
+        /// Object.
+        o: Term,
+        /// Weight in `(0, 1]`.
+        weight: f64,
+    },
+    /// Remove one triple (no-op if absent).
+    Remove {
+        /// Subject.
+        s: Term,
+        /// Predicate.
+        p: Term,
+        /// Object.
+        o: Term,
+    },
+    /// Remove everything matching a pattern (`None` = wildcard).
+    RemoveMatching {
+        /// Subject filter.
+        s: Option<Term>,
+        /// Predicate filter.
+        p: Option<Term>,
+        /// Object filter.
+        o: Option<Term>,
+    },
+}
+
+/// Summary of an applied batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Triples newly inserted.
+    pub inserted: usize,
+    /// Existing triples re-weighted.
+    pub reweighted: usize,
+    /// Triples removed.
+    pub removed: usize,
+}
+
+impl TripleStore {
+    /// Applies `ops` atomically: every `Insert` is validated first; if
+    /// any is invalid, the store is left untouched and the error names
+    /// the offending operation index.
+    pub fn apply_batch(&mut self, ops: &[Op]) -> Result<BatchResult, StoreError> {
+        // Validation phase: surface the first invalid insert without
+        // touching the store.
+        for (i, op) in ops.iter().enumerate() {
+            if let Op::Insert { s, p, weight, .. } = op {
+                if !(*weight > 0.0 && *weight <= 1.0) {
+                    return Err(StoreError::Snapshot(format!(
+                        "batch op {i}: {}",
+                        StoreError::InvalidWeight(*weight)
+                    )));
+                }
+                if !s.is_resource() {
+                    return Err(StoreError::Snapshot(format!(
+                        "batch op {i}: {}",
+                        StoreError::InvalidPosition("subject")
+                    )));
+                }
+                if !matches!(p, Term::Iri(_)) {
+                    return Err(StoreError::Snapshot(format!(
+                        "batch op {i}: {}",
+                        StoreError::InvalidPosition("predicate")
+                    )));
+                }
+            }
+        }
+        // Mutation phase: infallible after validation.
+        let mut result = BatchResult::default();
+        for op in ops {
+            match op {
+                Op::Insert { s, p, o, weight } => {
+                    let fresh = self
+                        .insert(s.clone(), p.clone(), o.clone(), *weight)
+                        .expect("validated above");
+                    if fresh {
+                        result.inserted += 1;
+                    } else {
+                        result.reweighted += 1;
+                    }
+                }
+                Op::Remove { s, p, o } => {
+                    if self.remove(s, p, o) {
+                        result.removed += 1;
+                    }
+                }
+                Op::RemoveMatching { s, p, o } => {
+                    result.removed +=
+                        self.remove_matching(s.as_ref(), p.as_ref(), o.as_ref());
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    #[test]
+    fn batch_applies_in_order() {
+        let mut st = TripleStore::new();
+        let result = st
+            .apply_batch(&[
+                Op::Insert { s: iri("a"), p: iri("p"), o: iri("b"), weight: 0.5 },
+                Op::Insert { s: iri("a"), p: iri("p"), o: iri("c"), weight: 0.6 },
+                // Re-weight the first.
+                Op::Insert { s: iri("a"), p: iri("p"), o: iri("b"), weight: 0.9 },
+                Op::Remove { s: iri("a"), p: iri("p"), o: iri("c") },
+            ])
+            .unwrap();
+        assert_eq!(result, BatchResult { inserted: 2, reweighted: 1, removed: 1 });
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.weight(&iri("a"), &iri("p"), &iri("b")), Some(0.9));
+        assert!(st.check_invariants());
+    }
+
+    #[test]
+    fn invalid_op_leaves_store_untouched() {
+        let mut st = TripleStore::new();
+        st.insert(iri("keep"), iri("p"), iri("x"), 0.5).unwrap();
+        let err = st
+            .apply_batch(&[
+                Op::Insert { s: iri("a"), p: iri("p"), o: iri("b"), weight: 0.5 },
+                Op::Insert { s: iri("a"), p: iri("p"), o: iri("c"), weight: 7.0 }, // bad
+            ])
+            .unwrap_err();
+        assert!(err.to_string().contains("batch op 1"), "{err}");
+        assert_eq!(st.len(), 1, "nothing from the failed batch applied");
+        assert!(st.contains(&iri("keep"), &iri("p"), &iri("x")));
+    }
+
+    #[test]
+    fn layer_refresh_pattern() {
+        // The motivating use: drop a predicate family, re-insert fresh.
+        let mut st = TripleStore::new();
+        st.insert(iri("u1"), iri("rel:checked_in"), iri("s1"), 0.9).unwrap();
+        st.insert(iri("u2"), iri("rel:checked_in"), iri("s1"), 0.9).unwrap();
+        st.insert(iri("u1"), iri("rel:coauthor"), iri("u2"), 0.8).unwrap();
+        let result = st
+            .apply_batch(&[
+                Op::RemoveMatching { s: None, p: Some(iri("rel:checked_in")), o: None },
+                Op::Insert {
+                    s: iri("u1"),
+                    p: iri("rel:checked_in"),
+                    o: iri("s2"),
+                    weight: 0.9,
+                },
+            ])
+            .unwrap();
+        assert_eq!(result.removed, 2);
+        assert_eq!(result.inserted, 1);
+        assert_eq!(st.len(), 2);
+        assert!(st.contains(&iri("u1"), &iri("rel:coauthor"), &iri("u2")), "other layers untouched");
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut st = TripleStore::new();
+        let r = st.apply_batch(&[]).unwrap();
+        assert_eq!(r, BatchResult::default());
+        assert!(st.is_empty());
+    }
+}

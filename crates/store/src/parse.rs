@@ -1,0 +1,484 @@
+//! A SPARQL-flavored textual query language for the weighted store.
+//!
+//! R2DF/R2DB (paper refs \[11\]\[12\]) expose ranked queries over weighted
+//! RDF through a SPARQL-like surface; this module provides the
+//! corresponding front end for the BGP engine:
+//!
+//! ```text
+//! SELECT ?who ?paper WHERE {
+//!     ?who  <rel:coauthor>  <user:3> .
+//!     ?who  <rel:authored>  ?paper [0.5] .
+//! } LIMIT 10
+//! ```
+//!
+//! * IRIs in angle brackets, variables as `?name`.
+//! * String literals in double quotes; bare integers/floats as literals.
+//! * An optional `[w]` after a triple sets its minimum weight.
+//! * `SELECT *` (or an empty projection) returns every variable.
+//! * Keywords are case-insensitive; the trailing dot of the last pattern
+//!   is optional.
+
+use crate::error::StoreError;
+use crate::pattern::{Pattern, PatternTerm};
+use crate::query::BgpQuery;
+use crate::store::TripleStore;
+use crate::term::Term;
+
+/// A parsed query: projection + the underlying BGP.
+#[derive(Clone, Debug)]
+pub struct ParsedQuery {
+    /// Projected variable names (empty = all variables).
+    pub projection: Vec<String>,
+    /// The conjunctive pattern query.
+    pub bgp: BgpQuery,
+    /// Variables appearing in the patterns, in first-appearance order.
+    pub variables: Vec<String>,
+}
+
+/// One result row: projected variable values in projection order, plus
+/// the solution score.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRow {
+    /// Values aligned with the query's effective projection.
+    pub values: Vec<Term>,
+    /// Product of matched triple weights.
+    pub score: f64,
+}
+
+impl ParsedQuery {
+    /// The effective projection: explicit one, or all variables.
+    pub fn effective_projection(&self) -> &[String] {
+        if self.projection.is_empty() {
+            &self.variables
+        } else {
+            &self.projection
+        }
+    }
+
+    /// Evaluates against a store, materializing projected rows sorted by
+    /// descending score.
+    pub fn evaluate(&self, store: &TripleStore) -> Result<Vec<QueryRow>, StoreError> {
+        let proj = self.effective_projection().to_vec();
+        let mut rows = Vec::new();
+        for sol in self.bgp.evaluate(store) {
+            let mut values = Vec::with_capacity(proj.len());
+            for var in &proj {
+                let term = sol
+                    .term(store, var)
+                    .ok_or_else(|| StoreError::UnknownTerm(format!("?{var}")))?;
+                values.push(term.clone());
+            }
+            rows.push(QueryRow { values, score: sol.score });
+        }
+        Ok(rows)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Keyword(String), // select / where / limit (lowercased)
+    Var(String),
+    Iri(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Star,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Dot,
+}
+
+fn err(msg: impl Into<String>) -> StoreError {
+    StoreError::BadPathQuery(format!("query parse error: {}", msg.into()))
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, StoreError> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '{' => {
+                chars.next();
+                toks.push(Tok::LBrace);
+            }
+            '}' => {
+                chars.next();
+                toks.push(Tok::RBrace);
+            }
+            '[' => {
+                chars.next();
+                toks.push(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                toks.push(Tok::RBracket);
+            }
+            '.' => {
+                chars.next();
+                toks.push(Tok::Dot);
+            }
+            '*' => {
+                chars.next();
+                toks.push(Tok::Star);
+            }
+            '?' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(err("empty variable name after '?'"));
+                }
+                toks.push(Tok::Var(name));
+            }
+            '<' => {
+                chars.next();
+                let mut iri = String::new();
+                loop {
+                    match chars.next() {
+                        Some('>') => break,
+                        Some(c) => iri.push(c),
+                        None => return Err(err("unterminated IRI (missing '>')")),
+                    }
+                }
+                toks.push(Tok::Iri(iri));
+            }
+            '"' => {
+                chars.next();
+                let mut lit = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some(e) => lit.push(e),
+                            None => return Err(err("dangling escape in string literal")),
+                        },
+                        Some(c) => lit.push(c),
+                        None => return Err(err("unterminated string literal")),
+                    }
+                }
+                toks.push(Tok::Str(lit));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut num = String::new();
+                num.push(c);
+                chars.next();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        num.push(c);
+                        chars.next();
+                    } else if c == '.' {
+                        // A dot could terminate a triple; only treat it as
+                        // a decimal point when a digit follows.
+                        let mut clone = chars.clone();
+                        clone.next();
+                        if clone.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            is_float = true;
+                            num.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    let v: f64 = num.parse().map_err(|_| err(format!("bad float {num:?}")))?;
+                    toks.push(Tok::Float(v));
+                } else {
+                    let v: i64 = num.parse().map_err(|_| err(format!("bad integer {num:?}")))?;
+                    toks.push(Tok::Int(v));
+                }
+            }
+            c if c.is_alphabetic() => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Keyword(word.to_lowercase()));
+            }
+            other => return Err(err(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+/// Parses the query text into a [`ParsedQuery`].
+pub fn parse_query(input: &str) -> Result<ParsedQuery, StoreError> {
+    let toks = tokenize(input)?;
+    let mut pos = 0usize;
+    let expect_kw = |toks: &[Tok], pos: &mut usize, kw: &str| -> Result<(), StoreError> {
+        match toks.get(*pos) {
+            Some(Tok::Keyword(k)) if k == kw => {
+                *pos += 1;
+                Ok(())
+            }
+            other => Err(err(format!("expected {kw:?}, found {other:?}"))),
+        }
+    };
+    expect_kw(&toks, &mut pos, "select")?;
+    // Projection: '*' or a list of variables (possibly empty before WHERE).
+    let mut projection = Vec::new();
+    loop {
+        match toks.get(pos) {
+            Some(Tok::Star) => {
+                pos += 1;
+            }
+            Some(Tok::Var(v)) => {
+                projection.push(v.clone());
+                pos += 1;
+            }
+            _ => break,
+        }
+    }
+    expect_kw(&toks, &mut pos, "where")?;
+    match toks.get(pos) {
+        Some(Tok::LBrace) => pos += 1,
+        other => return Err(err(format!("expected '{{' after WHERE, found {other:?}"))),
+    }
+    let mut bgp = BgpQuery::new();
+    let mut variables: Vec<String> = Vec::new();
+    let note_var = |variables: &mut Vec<String>, t: &PatternTerm| {
+        if let Some(v) = t.as_var() {
+            if !variables.iter().any(|x| x == v) {
+                variables.push(v.to_string());
+            }
+        }
+    };
+    loop {
+        match toks.get(pos) {
+            Some(Tok::RBrace) => {
+                pos += 1;
+                break;
+            }
+            None => return Err(err("unterminated WHERE block (missing '}')")),
+            _ => {}
+        }
+        let term_at = |pos: &mut usize, position: &str| -> Result<PatternTerm, StoreError> {
+            let t = match toks.get(*pos) {
+                Some(Tok::Var(v)) => PatternTerm::var(v.clone()),
+                Some(Tok::Iri(i)) => PatternTerm::bound(Term::iri(i.clone())),
+                Some(Tok::Str(s)) => PatternTerm::bound(Term::str(s.clone())),
+                Some(Tok::Int(v)) => PatternTerm::bound(Term::int(*v)),
+                Some(Tok::Float(v)) => PatternTerm::bound(Term::float(*v)),
+                other => {
+                    return Err(err(format!(
+                        "expected {position} term, found {other:?}"
+                    )))
+                }
+            };
+            *pos += 1;
+            Ok(t)
+        };
+        let s = term_at(&mut pos, "subject")?;
+        let p = term_at(&mut pos, "predicate")?;
+        let o = term_at(&mut pos, "object")?;
+        let mut pattern = Pattern::new(s, p, o);
+        // Optional [min_weight].
+        if matches!(toks.get(pos), Some(Tok::LBracket)) {
+            pos += 1;
+            let w = match toks.get(pos) {
+                Some(Tok::Float(v)) => *v,
+                Some(Tok::Int(v)) => *v as f64,
+                other => return Err(err(format!("expected weight in [..], found {other:?}"))),
+            };
+            pos += 1;
+            match toks.get(pos) {
+                Some(Tok::RBracket) => pos += 1,
+                other => return Err(err(format!("expected ']', found {other:?}"))),
+            }
+            pattern = pattern.with_min_weight(w);
+        }
+        note_var(&mut variables, &pattern.s);
+        note_var(&mut variables, &pattern.p);
+        note_var(&mut variables, &pattern.o);
+        bgp = bgp.pattern(pattern);
+        // Optional separating dot.
+        if matches!(toks.get(pos), Some(Tok::Dot)) {
+            pos += 1;
+        }
+    }
+    // Optional LIMIT n.
+    if matches!(toks.get(pos), Some(Tok::Keyword(k)) if k == "limit") {
+        pos += 1;
+        match toks.get(pos) {
+            Some(Tok::Int(n)) if *n > 0 => {
+                bgp = bgp.limit(*n as usize);
+                pos += 1;
+            }
+            other => return Err(err(format!("expected positive LIMIT, found {other:?}"))),
+        }
+    }
+    if pos != toks.len() {
+        return Err(err(format!("trailing tokens after query: {:?}", &toks[pos..])));
+    }
+    // Projection variables must appear in the patterns.
+    for v in &projection {
+        if !variables.iter().any(|x| x == v) {
+            return Err(err(format!("projected variable ?{v} never used")));
+        }
+    }
+    Ok(ParsedQuery { projection, bgp, variables })
+}
+
+/// Convenience: parse and evaluate in one call.
+pub fn run_query(store: &TripleStore, input: &str) -> Result<Vec<QueryRow>, StoreError> {
+    parse_query(input)?.evaluate(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripleStore {
+        let mut st = TripleStore::new();
+        let ins = |st: &mut TripleStore, s: &str, p: &str, o: &str, w: f64| {
+            st.insert(Term::iri(s), Term::iri(p), Term::iri(o), w).unwrap();
+        };
+        ins(&mut st, "user:1", "rel:coauthor", "user:2", 0.9);
+        ins(&mut st, "user:1", "rel:coauthor", "user:3", 0.4);
+        ins(&mut st, "user:2", "rel:authored", "paper:7", 1.0);
+        ins(&mut st, "user:3", "rel:authored", "paper:8", 1.0);
+        st.insert(Term::iri("user:1"), Term::iri("rel:name"), Term::str("Zach"), 1.0)
+            .unwrap();
+        st.insert(Term::iri("user:1"), Term::iri("rel:age"), Term::int(27), 1.0)
+            .unwrap();
+        st
+    }
+
+    #[test]
+    fn single_pattern_select() {
+        let st = sample();
+        let rows = run_query(
+            &st,
+            "SELECT ?who WHERE { <user:1> <rel:coauthor> ?who . }",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].values, vec![Term::iri("user:2")]); // 0.9 first
+        assert_eq!(rows[1].values, vec![Term::iri("user:3")]);
+    }
+
+    #[test]
+    fn join_with_projection_order() {
+        let st = sample();
+        let rows = run_query(
+            &st,
+            "select ?paper ?who where {
+                 <user:1> <rel:coauthor> ?who .
+                 ?who <rel:authored> ?paper
+             }",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        // Projection order respected: paper first.
+        assert_eq!(rows[0].values[0], Term::iri("paper:7"));
+        assert_eq!(rows[0].values[1], Term::iri("user:2"));
+    }
+
+    #[test]
+    fn min_weight_annotation() {
+        let st = sample();
+        let rows = run_query(
+            &st,
+            "SELECT ?who WHERE { <user:1> <rel:coauthor> ?who [0.5] }",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values, vec![Term::iri("user:2")]);
+    }
+
+    #[test]
+    fn star_and_default_projection() {
+        let st = sample();
+        let q = parse_query("SELECT * WHERE { ?s <rel:coauthor> ?o }").unwrap();
+        assert_eq!(q.effective_projection(), ["s", "o"]);
+        let rows = q.evaluate(&st).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].values.len(), 2);
+    }
+
+    #[test]
+    fn literals_match() {
+        let st = sample();
+        let rows = run_query(
+            &st,
+            "SELECT ?u WHERE { ?u <rel:name> \"Zach\" }",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![QueryRow { values: vec![Term::iri("user:1")], score: 1.0 }]);
+        let rows = run_query(&st, "SELECT ?u WHERE { ?u <rel:age> 27 }").unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn limit_applies() {
+        let st = sample();
+        let rows = run_query(
+            &st,
+            "SELECT ?who WHERE { <user:1> <rel:coauthor> ?who } LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        for (q, needle) in [
+            ("WHERE { ?a <p> ?b }", "expected \"select\""),
+            ("SELECT ?x WHERE { ?x <p> }", "object term"),
+            ("SELECT ?x WHERE { ?x <p> ?y ", "unterminated WHERE"),
+            ("SELECT ?zz WHERE { ?x <p> ?y }", "never used"),
+            ("SELECT ?x WHERE { ?x <p ?y }", "unterminated IRI"),
+            ("SELECT ?x WHERE { ?x <p> ?y } LIMIT 0", "positive LIMIT"),
+            ("SELECT ?x WHERE { ?x <p> ?y } garbage", "trailing"),
+            ("SELECT ?x WHERE { ?x <p> ?y [oops] }", "weight"),
+        ] {
+            let e = parse_query(q).expect_err(q).to_string();
+            assert!(e.contains(needle), "query {q:?}: error {e:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn float_literal_vs_triple_dot() {
+        let st = sample();
+        // `0.9` inside brackets parses as a float even with dots around.
+        let rows = run_query(
+            &st,
+            "SELECT ?who WHERE { <user:1> <rel:coauthor> ?who [0.9] . }",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn shared_variables_join_correctly() {
+        let st = sample();
+        // ?x coauthors with someone who authored paper:8 -> user:1 via user:3.
+        let rows = run_query(
+            &st,
+            "SELECT ?x WHERE { ?x <rel:coauthor> ?y . ?y <rel:authored> <paper:8> }",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values, vec![Term::iri("user:1")]);
+    }
+}

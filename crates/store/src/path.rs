@@ -1,0 +1,478 @@
+//! Ranked path queries over the weighted triple graph.
+//!
+//! R2DB's headline feature (ref \[11\]) is *ranked path queries over weighted
+//! RDF graphs*: "which chains of relationships connect X to Y, strongest
+//! first?" Hive uses this to discover and **explain** relationships between
+//! two researchers (paper Figure 2), where each hop is an evidence triple
+//! (co-authorship, citation, shared session, ...).
+//!
+//! Path strength is the product of hop weights; internally we run Dijkstra
+//! over additive costs `-ln(w)` (weights are in `(0,1]`, so costs are
+//! non-negative). Top-k paths use Yen's algorithm with loop-free paths.
+
+use crate::dict::TermId;
+use crate::error::StoreError;
+use crate::store::{StoredTriple, TripleStore};
+use crate::term::Term;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// A loop-free path through the triple graph, strongest-first ranked.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedPath {
+    /// Node sequence from source to target (length = hops + 1).
+    pub nodes: Vec<TermId>,
+    /// The triples traversed, one per hop (direction as stored).
+    pub triples: Vec<StoredTriple>,
+    /// Product of hop weights in `(0, 1]`.
+    pub score: f64,
+}
+
+impl RankedPath {
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Renders the path as a human-readable chain using the dictionary.
+    pub fn explain(&self, store: &TripleStore) -> String {
+        let mut out = String::new();
+        for (i, t) in self.triples.iter().enumerate() {
+            let (s, p, o) = store.resolve_triple(t);
+            if i > 0 {
+                out.push_str("  ->  ");
+            }
+            out.push_str(&format!("{s} --{p}/{:.2}--> {o}", t.weight));
+        }
+        out
+    }
+}
+
+/// Configuration for a ranked path search.
+#[derive(Clone, Debug)]
+pub struct PathQuery {
+    source: Term,
+    target: Term,
+    /// Restrict traversal to these predicates (empty = all).
+    predicates: Vec<Term>,
+    /// Also traverse edges object->subject.
+    undirected: bool,
+    /// Maximum number of hops per path.
+    max_hops: usize,
+    /// Number of paths to return.
+    k: usize,
+}
+
+impl PathQuery {
+    /// Creates a query from `source` to `target` with defaults:
+    /// undirected traversal, max 4 hops, top-1 path, all predicates.
+    pub fn new(source: Term, target: Term) -> Self {
+        PathQuery {
+            source,
+            target,
+            predicates: Vec::new(),
+            undirected: true,
+            max_hops: 4,
+            k: 1,
+        }
+    }
+
+    /// Restricts traversal to the given predicates.
+    pub fn over_predicates(mut self, preds: Vec<Term>) -> Self {
+        self.predicates = preds;
+        self
+    }
+
+    /// Sets directed-only traversal (subject -> object).
+    pub fn directed(mut self) -> Self {
+        self.undirected = false;
+        self
+    }
+
+    /// Sets the hop budget.
+    pub fn max_hops(mut self, h: usize) -> Self {
+        self.max_hops = h;
+        self
+    }
+
+    /// Requests the top-k strongest paths.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.k = k.max(1);
+        self
+    }
+
+    /// Runs the search.
+    pub fn run(&self, store: &TripleStore) -> Result<Vec<RankedPath>, StoreError> {
+        if self.source == self.target {
+            return Err(StoreError::BadPathQuery("source equals target".into()));
+        }
+        let src = store
+            .dict()
+            .get(&self.source)
+            .ok_or_else(|| StoreError::UnknownTerm(self.source.to_string()))?;
+        let dst = store
+            .dict()
+            .get(&self.target)
+            .ok_or_else(|| StoreError::UnknownTerm(self.target.to_string()))?;
+        let pred_ids: Option<HashSet<TermId>> = if self.predicates.is_empty() {
+            None
+        } else {
+            Some(self.predicates.iter().filter_map(|p| store.dict().get(p)).collect())
+        };
+        let adj = Adjacency::build(store, pred_ids.as_ref(), self.undirected);
+        Ok(yen_top_k(&adj, src, dst, self.k, self.max_hops))
+    }
+}
+
+/// Tiny strictly-positive per-hop cost; see [`Adjacency::build`].
+const HOP_EPSILON: f64 = 1e-9;
+
+/// One traversable edge: neighbor node, the underlying stored triple, and
+/// the additive cost `-ln(weight) + HOP_EPSILON`.
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    to: TermId,
+    triple: StoredTriple,
+    cost: f64,
+}
+
+/// Transient adjacency view over the store for path search.
+struct Adjacency {
+    adj: HashMap<TermId, Vec<Edge>>,
+}
+
+impl Adjacency {
+    fn build(store: &TripleStore, preds: Option<&HashSet<TermId>>, undirected: bool) -> Self {
+        let mut adj: HashMap<TermId, Vec<Edge>> = HashMap::new();
+        for t in store.iter() {
+            if let Some(ps) = preds {
+                if !ps.contains(&t.p) {
+                    continue;
+                }
+            }
+            // Only resource-to-resource edges are traversable; literal
+            // objects are attributes, not graph hops.
+            let obj_is_resource = store
+                .dict()
+                .resolve(t.o)
+                .map(Term::is_resource)
+                .unwrap_or(false);
+            if !obj_is_resource {
+                continue;
+            }
+            // Strictly positive per-hop epsilon: weight-1.0 edges would
+            // otherwise cost 0 and let Dijkstra return zero-cost *walks*
+            // containing loops. With every hop > 0, the cheapest walk is
+            // always a simple path and ties break toward fewer hops.
+            let cost = -t.weight.ln() + HOP_EPSILON;
+            adj.entry(t.s).or_default().push(Edge { to: t.o, triple: t, cost });
+            if undirected {
+                adj.entry(t.o).or_default().push(Edge { to: t.s, triple: t, cost });
+            }
+        }
+        Adjacency { adj }
+    }
+
+    fn edges(&self, n: TermId) -> &[Edge] {
+        self.adj.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Min-heap entry for Dijkstra.
+struct HeapEntry {
+    cost: f64,
+    node: TermId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; costs are finite (weights > 0).
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra shortest (cheapest) path from `src` to `dst`, avoiding
+/// `banned_nodes` and `banned_edges`, within `max_hops`.
+fn dijkstra(
+    adj: &Adjacency,
+    src: TermId,
+    dst: TermId,
+    banned_nodes: &HashSet<TermId>,
+    banned_edges: &HashSet<(TermId, TermId, TermId, TermId)>,
+    max_hops: usize,
+) -> Option<RankedPath> {
+    // State keyed by (node, hops) so the hop budget doesn't prune cheaper
+    // longer paths incorrectly; bounded by max_hops.
+    let mut best: HashMap<(TermId, usize), f64> = HashMap::new();
+    let mut prev: HashMap<(TermId, usize), (TermId, usize, StoredTriple)> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    let mut hops_of: HashMap<(TermId, usize), usize> = HashMap::new();
+    best.insert((src, 0), 0.0);
+    hops_of.insert((src, 0), 0);
+    heap.push((HeapEntry { cost: 0.0, node: src }, 0usize));
+    let mut found: Option<(TermId, usize)> = None;
+    while let Some((entry, hops)) = heap.pop() {
+        let key = (entry.node, hops);
+        if entry.cost > best.get(&key).copied().unwrap_or(f64::INFINITY) {
+            continue;
+        }
+        if entry.node == dst {
+            found = Some(key);
+            break;
+        }
+        if hops == max_hops {
+            continue;
+        }
+        for e in adj.edges(entry.node) {
+            if banned_nodes.contains(&e.to) {
+                continue;
+            }
+            let edge_key = (entry.node, e.to, e.triple.p, e.triple.s);
+            if banned_edges.contains(&edge_key) {
+                continue;
+            }
+            let nkey = (e.to, hops + 1);
+            let ncost = entry.cost + e.cost;
+            if ncost < best.get(&nkey).copied().unwrap_or(f64::INFINITY) {
+                best.insert(nkey, ncost);
+                prev.insert(nkey, (entry.node, hops, e.triple));
+                heap.push((HeapEntry { cost: ncost, node: e.to }, hops + 1));
+            }
+        }
+    }
+    let end = found?;
+    // Reconstruct.
+    let mut nodes = vec![end.0];
+    let mut triples = Vec::new();
+    let mut cur = end;
+    while let Some(&(pn, ph, t)) = prev.get(&cur) {
+        nodes.push(pn);
+        triples.push(t);
+        cur = (pn, ph);
+    }
+    nodes.reverse();
+    triples.reverse();
+    let score = triples.iter().map(|t| t.weight).product();
+    Some(RankedPath { nodes, triples, score })
+}
+
+/// Yen's algorithm for the k cheapest loop-free paths.
+fn yen_top_k(
+    adj: &Adjacency,
+    src: TermId,
+    dst: TermId,
+    k: usize,
+    max_hops: usize,
+) -> Vec<RankedPath> {
+    let mut paths: Vec<RankedPath> = Vec::new();
+    let Some(first) = dijkstra(adj, src, dst, &HashSet::new(), &HashSet::new(), max_hops) else {
+        return paths;
+    };
+    paths.push(first);
+    let mut candidates: Vec<RankedPath> = Vec::new();
+    while paths.len() < k {
+        let last = paths.last().expect("at least one path").clone();
+        for spur_idx in 0..last.nodes.len() - 1 {
+            let spur_node = last.nodes[spur_idx];
+            let root_nodes = &last.nodes[..=spur_idx];
+            let root_triples = &last.triples[..spur_idx];
+            // Ban edges used by previous paths sharing this root.
+            let mut banned_edges = HashSet::new();
+            for p in &paths {
+                if p.nodes.len() > spur_idx && p.nodes[..=spur_idx] == *root_nodes {
+                    if let Some(t) = p.triples.get(spur_idx) {
+                        let from = p.nodes[spur_idx];
+                        let to = p.nodes[spur_idx + 1];
+                        banned_edges.insert((from, to, t.p, t.s));
+                    }
+                }
+            }
+            // Ban root nodes (except the spur node) to keep paths loop-free.
+            let banned_nodes: HashSet<TermId> =
+                root_nodes[..spur_idx].iter().copied().collect();
+            let remaining_hops = max_hops.saturating_sub(spur_idx);
+            if remaining_hops == 0 {
+                continue;
+            }
+            if let Some(spur) =
+                dijkstra(adj, spur_node, dst, &banned_nodes, &banned_edges, remaining_hops)
+            {
+                let mut nodes = root_nodes.to_vec();
+                nodes.extend_from_slice(&spur.nodes[1..]);
+                let mut triples = root_triples.to_vec();
+                triples.extend_from_slice(&spur.triples);
+                let score = triples.iter().map(|t| t.weight).product();
+                let cand = RankedPath { nodes, triples, score };
+                if !paths.contains(&cand) && !candidates.contains(&cand) {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Take the strongest candidate (max score = min cost).
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.score.partial_cmp(&b.score).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        paths.push(candidates.swap_remove(best_idx));
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TripleStore {
+        // a -> b -> d (0.9 * 0.9 = 0.81)
+        // a -> c -> d (0.5 * 0.5 = 0.25)
+        // a -> d direct (0.3)
+        let mut st = TripleStore::new();
+        let ins = |st: &mut TripleStore, s: &str, o: &str, w: f64| {
+            st.insert(Term::iri(s), Term::iri("rel"), Term::iri(o), w).unwrap();
+        };
+        ins(&mut st, "a", "b", 0.9);
+        ins(&mut st, "b", "d", 0.9);
+        ins(&mut st, "a", "c", 0.5);
+        ins(&mut st, "c", "d", 0.5);
+        ins(&mut st, "a", "d", 0.3);
+        st
+    }
+
+    #[test]
+    fn strongest_path_wins() {
+        let st = diamond();
+        let paths = PathQuery::new(Term::iri("a"), Term::iri("d"))
+            .run(&st)
+            .unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!((paths[0].score - 0.81).abs() < 1e-12);
+        assert_eq!(paths[0].hops(), 2);
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let st = diamond();
+        let paths = PathQuery::new(Term::iri("a"), Term::iri("d"))
+            .top_k(3)
+            .run(&st)
+            .unwrap();
+        assert_eq!(paths.len(), 3);
+        assert!((paths[0].score - 0.81).abs() < 1e-12);
+        assert!((paths[1].score - 0.30).abs() < 1e-12);
+        assert!((paths[2].score - 0.25).abs() < 1e-12);
+        // Scores non-increasing.
+        for w in paths.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn max_hops_prunes() {
+        let st = diamond();
+        let paths = PathQuery::new(Term::iri("a"), Term::iri("d"))
+            .max_hops(1)
+            .run(&st)
+            .unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!((paths[0].score - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undirected_traversal() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("x"), Term::iri("rel"), Term::iri("y"), 0.8)
+            .unwrap();
+        // y -> x only exists via the reverse direction.
+        let paths = PathQuery::new(Term::iri("y"), Term::iri("x")).run(&st).unwrap();
+        assert_eq!(paths.len(), 1);
+        let none = PathQuery::new(Term::iri("y"), Term::iri("x"))
+            .directed()
+            .run(&st)
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn predicate_restriction() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri("good"), Term::iri("b"), 0.5)
+            .unwrap();
+        st.insert(Term::iri("a"), Term::iri("bad"), Term::iri("b"), 0.9)
+            .unwrap();
+        let paths = PathQuery::new(Term::iri("a"), Term::iri("b"))
+            .over_predicates(vec![Term::iri("good")])
+            .run(&st)
+            .unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!((paths[0].score - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn literal_objects_not_traversed() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri("name"), Term::str("Ann"), 1.0)
+            .unwrap();
+        st.insert(Term::iri("b"), Term::iri("name"), Term::str("Ann"), 1.0)
+            .unwrap();
+        // a and b share a literal, but literals are attributes, not hops.
+        let paths = PathQuery::new(Term::iri("a"), Term::iri("b")).run(&st).unwrap();
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn errors() {
+        let st = diamond();
+        assert!(matches!(
+            PathQuery::new(Term::iri("a"), Term::iri("a")).run(&st),
+            Err(StoreError::BadPathQuery(_))
+        ));
+        assert!(matches!(
+            PathQuery::new(Term::iri("a"), Term::iri("zzz")).run(&st),
+            Err(StoreError::UnknownTerm(_))
+        ));
+    }
+
+    #[test]
+    fn explanation_renders() {
+        let st = diamond();
+        let paths = PathQuery::new(Term::iri("a"), Term::iri("d")).run(&st).unwrap();
+        let text = paths[0].explain(&st);
+        assert!(text.contains("<a>"));
+        assert!(text.contains("<d>"));
+        assert!(text.contains("->"));
+    }
+
+    #[test]
+    fn loop_free_paths() {
+        let st = diamond();
+        let paths = PathQuery::new(Term::iri("a"), Term::iri("d"))
+            .top_k(5)
+            .max_hops(6)
+            .run(&st)
+            .unwrap();
+        for p in &paths {
+            let uniq: HashSet<_> = p.nodes.iter().collect();
+            assert_eq!(uniq.len(), p.nodes.len(), "path has a loop: {:?}", p.nodes);
+        }
+    }
+}

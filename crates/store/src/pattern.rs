@@ -1,0 +1,149 @@
+//! Triple patterns with variables and variable bindings.
+
+use crate::dict::TermId;
+use crate::term::Term;
+use std::collections::BTreeMap;
+
+/// One position of a triple pattern: a variable or a bound term.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PatternTerm {
+    /// A named variable, e.g. `?x`.
+    Var(String),
+    /// A concrete term that must match exactly.
+    Bound(Term),
+}
+
+impl PatternTerm {
+    /// Convenience constructor for a variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        PatternTerm::Var(name.into())
+    }
+
+    /// Convenience constructor for a bound term.
+    pub fn bound(term: Term) -> Self {
+        PatternTerm::Bound(term)
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            PatternTerm::Bound(_) => None,
+        }
+    }
+}
+
+/// A triple pattern `(s, p, o)` where each position may be a variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pattern {
+    /// Subject position.
+    pub s: PatternTerm,
+    /// Predicate position.
+    pub p: PatternTerm,
+    /// Object position.
+    pub o: PatternTerm,
+    /// Minimum weight a triple must carry to match (0 = any).
+    pub min_weight: f64,
+}
+
+impl Pattern {
+    /// Creates a pattern with no weight filter.
+    pub fn new(s: PatternTerm, p: PatternTerm, o: PatternTerm) -> Self {
+        Pattern { s, p, o, min_weight: 0.0 }
+    }
+
+    /// Adds a minimum-weight filter.
+    pub fn with_min_weight(mut self, w: f64) -> Self {
+        self.min_weight = w;
+        self
+    }
+
+    /// Names of the variables appearing in this pattern, in S/P/O order,
+    /// deduplicated.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for t in [&self.s, &self.p, &self.o] {
+            if let Some(v) = t.as_var() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A partial assignment of variables to term ids during BGP evaluation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Binding {
+    map: BTreeMap<String, TermId>,
+}
+
+impl Binding {
+    /// An empty binding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Value bound to `var`, if any.
+    pub fn get(&self, var: &str) -> Option<TermId> {
+        self.map.get(var).copied()
+    }
+
+    /// Extends the binding with `var = id`. Returns `None` on conflict.
+    pub fn extended(&self, var: &str, id: TermId) -> Option<Binding> {
+        match self.map.get(var) {
+            Some(&existing) if existing != id => None,
+            Some(_) => Some(self.clone()),
+            None => {
+                let mut next = self.clone();
+                next.map.insert(var.to_string(), id);
+                Some(next)
+            }
+        }
+    }
+
+    /// Iterates `(variable, id)` pairs in variable-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, TermId)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_deduplicated() {
+        let p = Pattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::bound(Term::iri("p")),
+            PatternTerm::var("x"),
+        );
+        assert_eq!(p.variables(), vec!["x"]);
+    }
+
+    #[test]
+    fn binding_extension_and_conflict() {
+        let b = Binding::new();
+        let b1 = b.extended("x", TermId(1)).unwrap();
+        assert_eq!(b1.get("x"), Some(TermId(1)));
+        // Re-binding to the same value succeeds.
+        assert!(b1.extended("x", TermId(1)).is_some());
+        // Conflict fails.
+        assert!(b1.extended("x", TermId(2)).is_none());
+        // Fresh variable extends.
+        let b2 = b1.extended("y", TermId(3)).unwrap();
+        assert_eq!(b2.len(), 2);
+    }
+}

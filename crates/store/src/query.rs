@@ -1,0 +1,286 @@
+//! Conjunctive basic-graph-pattern (BGP) evaluation.
+//!
+//! Hive's services express knowledge-network lookups ("papers by authors
+//! who co-authored with X and were cited by Y") as conjunctions of triple
+//! patterns. Evaluation is a left-deep nested-loop join; at each step the
+//! remaining pattern with the smallest estimated cardinality *given the
+//! current bindings* is evaluated next (greedy selectivity ordering).
+
+use crate::pattern::{Binding, Pattern, PatternTerm};
+use crate::store::TripleStore;
+use crate::term::Term;
+use crate::TermId;
+
+/// A conjunctive query: all patterns must match simultaneously.
+#[derive(Clone, Debug, Default)]
+pub struct BgpQuery {
+    patterns: Vec<Pattern>,
+    limit: Option<usize>,
+}
+
+/// One query solution: a complete binding of the query's variables, plus
+/// the product of the matched triple weights (a confidence score).
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The variable assignment.
+    pub binding: Binding,
+    /// Product of matched triple weights in `(0, 1]`.
+    pub score: f64,
+}
+
+impl Solution {
+    /// Resolves a variable to its term using the store dictionary.
+    pub fn term<'a>(&self, store: &'a TripleStore, var: &str) -> Option<&'a Term> {
+        self.binding.get(var).and_then(|id| store.dict().resolve(id))
+    }
+}
+
+impl BgpQuery {
+    /// An empty query (matches a single empty solution).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one triple pattern.
+    pub fn pattern(mut self, p: Pattern) -> Self {
+        self.patterns.push(p);
+        self
+    }
+
+    /// Caps the number of returned solutions.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Number of patterns in the query.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if the query has no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    fn position_id(
+        store: &TripleStore,
+        t: &PatternTerm,
+        binding: &Binding,
+    ) -> Result<Option<TermId>, ()> {
+        match t {
+            PatternTerm::Bound(term) => match store.dict().get(term) {
+                Some(id) => Ok(Some(id)),
+                // Bound term unknown to the store: pattern can't match.
+                None => Err(()),
+            },
+            PatternTerm::Var(v) => Ok(binding.get(v)),
+        }
+    }
+
+    /// Estimated result cardinality for `pattern` under `binding`.
+    fn estimate(store: &TripleStore, pattern: &Pattern, binding: &Binding) -> usize {
+        let s = Self::position_id(store, &pattern.s, binding);
+        let p = Self::position_id(store, &pattern.p, binding);
+        let o = Self::position_id(store, &pattern.o, binding);
+        match (s, p, o) {
+            (Ok(s), Ok(p), Ok(o)) => store.count_ids(s, p, o),
+            _ => 0,
+        }
+    }
+
+    fn match_pattern(
+        store: &TripleStore,
+        pattern: &Pattern,
+        binding: &Binding,
+    ) -> Vec<(Binding, f64)> {
+        let (Ok(s), Ok(p), Ok(o)) = (
+            Self::position_id(store, &pattern.s, binding),
+            Self::position_id(store, &pattern.p, binding),
+            Self::position_id(store, &pattern.o, binding),
+        ) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for t in store.scan_ids(s, p, o) {
+            if t.weight < pattern.min_weight {
+                continue;
+            }
+            let mut b = binding.clone();
+            let mut ok = true;
+            for (pt, id) in [(&pattern.s, t.s), (&pattern.p, t.p), (&pattern.o, t.o)] {
+                if let PatternTerm::Var(v) = pt {
+                    match b.extended(v, id) {
+                        Some(nb) => b = nb,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                out.push((b, t.weight));
+            }
+        }
+        out
+    }
+
+    /// Evaluates the query against `store`, returning all solutions sorted
+    /// by descending score.
+    pub fn evaluate(&self, store: &TripleStore) -> Vec<Solution> {
+        let all_patterns: Vec<usize> = (0..self.patterns.len()).collect();
+        let mut frontier = vec![(Binding::new(), 1.0f64, all_patterns)];
+        let mut results = Vec::new();
+        while let Some((binding, score, remaining)) = frontier.pop() {
+            if remaining.is_empty() {
+                results.push(Solution { binding, score });
+                if let Some(limit) = self.limit {
+                    if results.len() >= limit * 4 {
+                        // Over-collect a bit so the final sort can still
+                        // surface the highest-scoring solutions.
+                        break;
+                    }
+                }
+                continue;
+            }
+            // Pick the remaining pattern with the smallest estimate.
+            let (pos, &pat_idx) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &i)| Self::estimate(store, &self.patterns[i], &binding))
+                .expect("remaining is non-empty");
+            let mut rest = remaining.clone();
+            rest.remove(pos);
+            for (nb, w) in Self::match_pattern(store, &self.patterns[pat_idx], &binding) {
+                frontier.push((nb, score * w, rest.clone()));
+            }
+        }
+        results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        if let Some(limit) = self.limit {
+            results.truncate(limit);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> TripleStore {
+        let mut st = TripleStore::new();
+        let ins = |st: &mut TripleStore, s: &str, p: &str, o: &str, w: f64| {
+            st.insert(Term::iri(s), Term::iri(p), Term::iri(o), w).unwrap();
+        };
+        // Co-authorship triangle plus a citation.
+        ins(&mut st, "ann", "coauthor", "bob", 0.9);
+        ins(&mut st, "bob", "coauthor", "carol", 0.8);
+        ins(&mut st, "ann", "coauthor", "carol", 0.7);
+        ins(&mut st, "ann", "cites", "dave", 0.6);
+        ins(&mut st, "carol", "cites", "dave", 0.5);
+        st
+    }
+
+    #[test]
+    fn single_pattern_query() {
+        let st = sample_store();
+        let q = BgpQuery::new().pattern(Pattern::new(
+            PatternTerm::bound(Term::iri("ann")),
+            PatternTerm::bound(Term::iri("coauthor")),
+            PatternTerm::var("who"),
+        ));
+        let sols = q.evaluate(&st);
+        assert_eq!(sols.len(), 2);
+        // Sorted by score: bob (0.9) before carol (0.7).
+        assert_eq!(sols[0].term(&st, "who"), Some(&Term::iri("bob")));
+        assert_eq!(sols[1].term(&st, "who"), Some(&Term::iri("carol")));
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let st = sample_store();
+        // Who co-authored with ann AND cites dave? -> carol.
+        let q = BgpQuery::new()
+            .pattern(Pattern::new(
+                PatternTerm::bound(Term::iri("ann")),
+                PatternTerm::bound(Term::iri("coauthor")),
+                PatternTerm::var("x"),
+            ))
+            .pattern(Pattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::bound(Term::iri("cites")),
+                PatternTerm::bound(Term::iri("dave")),
+            ));
+        let sols = q.evaluate(&st);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].term(&st, "x"), Some(&Term::iri("carol")));
+        let expected = 0.7 * 0.5;
+        assert!((sols[0].score - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_variable_across_positions() {
+        let mut st = sample_store();
+        st.insert(Term::iri("loop"), Term::iri("coauthor"), Term::iri("loop"), 0.3)
+            .unwrap();
+        // ?x coauthor ?x matches only the self-loop.
+        let q = BgpQuery::new().pattern(Pattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::bound(Term::iri("coauthor")),
+            PatternTerm::var("x"),
+        ));
+        let sols = q.evaluate(&st);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].term(&st, "x"), Some(&Term::iri("loop")));
+    }
+
+    #[test]
+    fn min_weight_filter() {
+        let st = sample_store();
+        let q = BgpQuery::new().pattern(
+            Pattern::new(
+                PatternTerm::bound(Term::iri("ann")),
+                PatternTerm::bound(Term::iri("coauthor")),
+                PatternTerm::var("who"),
+            )
+            .with_min_weight(0.8),
+        );
+        let sols = q.evaluate(&st);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].term(&st, "who"), Some(&Term::iri("bob")));
+    }
+
+    #[test]
+    fn unknown_bound_term_yields_no_solutions() {
+        let st = sample_store();
+        let q = BgpQuery::new().pattern(Pattern::new(
+            PatternTerm::bound(Term::iri("nobody")),
+            PatternTerm::var("p"),
+            PatternTerm::var("o"),
+        ));
+        assert!(q.evaluate(&st).is_empty());
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let st = sample_store();
+        let q = BgpQuery::new()
+            .pattern(Pattern::new(
+                PatternTerm::var("s"),
+                PatternTerm::var("p"),
+                PatternTerm::var("o"),
+            ))
+            .limit(2);
+        assert_eq!(q.evaluate(&st).len(), 2);
+    }
+
+    #[test]
+    fn empty_query_yields_one_empty_solution() {
+        let st = sample_store();
+        let sols = BgpQuery::new().evaluate(&st);
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].binding.is_empty());
+        assert_eq!(sols[0].score, 1.0);
+    }
+}

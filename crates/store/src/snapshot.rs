@@ -1,0 +1,112 @@
+//! Snapshot persistence: serialize a store to JSON and back.
+//!
+//! Hive persists knowledge-network layers between conference editions
+//! ("same conference, different years" is one of the evidence types), so
+//! the store supports full dump/restore. The snapshot format is a flat
+//! list of term-level triples, which keeps it stable across dictionary
+//! id assignment changes.
+
+use crate::error::StoreError;
+use crate::store::TripleStore;
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of a store: term-level triples with weights.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// All triples as `(s, p, o, weight)`.
+    pub triples: Vec<(Term, Term, Term, f64)>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl TripleStore {
+    /// Captures the full store contents.
+    pub fn snapshot(&self) -> Snapshot {
+        let triples = self
+            .iter()
+            .map(|t| {
+                let (s, p, o) = self.resolve_triple(&t);
+                (s, p, o, t.weight)
+            })
+            .collect();
+        Snapshot { version: SNAPSHOT_VERSION, triples }
+    }
+
+    /// Restores a store from a snapshot.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<Self, StoreError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(StoreError::Snapshot(format!(
+                "unsupported snapshot version {}",
+                snap.version
+            )));
+        }
+        let mut st = TripleStore::new();
+        for (s, p, o, w) in &snap.triples {
+            st.insert(s.clone(), p.clone(), o.clone(), *w)?;
+        }
+        Ok(st)
+    }
+
+    /// Serializes the store to a JSON string.
+    pub fn to_json(&self) -> Result<String, StoreError> {
+        serde_json::to_string(&self.snapshot()).map_err(|e| StoreError::Snapshot(e.to_string()))
+    }
+
+    /// Restores a store from a JSON string produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, StoreError> {
+        let snap: Snapshot =
+            serde_json::from_str(json).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        Self::from_snapshot(&snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_contents() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"), 0.5).unwrap();
+        st.insert(Term::iri("a"), Term::iri("name"), Term::str("Ann"), 1.0).unwrap();
+        st.insert(Term::iri("a"), Term::iri("age"), Term::int(30), 1.0).unwrap();
+        st.insert(Term::iri("a"), Term::iri("score"), Term::float(0.75), 0.9).unwrap();
+        let json = st.to_json().unwrap();
+        let restored = TripleStore::from_json(&json).unwrap();
+        assert_eq!(restored.len(), st.len());
+        assert_eq!(
+            restored.weight(&Term::iri("a"), &Term::iri("p"), &Term::iri("b")),
+            Some(0.5)
+        );
+        assert_eq!(
+            restored.weight(&Term::iri("a"), &Term::iri("score"), &Term::float(0.75)),
+            Some(0.9)
+        );
+        assert!(restored.check_invariants());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let snap = Snapshot { version: 99, triples: vec![] };
+        assert!(matches!(
+            TripleStore::from_snapshot(&snap),
+            Err(StoreError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(TripleStore::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let st = TripleStore::new();
+        let restored = TripleStore::from_json(&st.to_json().unwrap()).unwrap();
+        assert!(restored.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Store statistics: per-predicate counts and degree summaries.
+//!
+//! Used by the Figure 3 harness to report layer inventories (each knowledge
+//! layer is stored under its own predicate namespace) and by the BGP
+//! optimizer's future cost model.
+
+use crate::dict::TermId;
+use crate::store::TripleStore;
+use std::collections::{HashMap, HashSet};
+
+/// Aggregate statistics over a store.
+#[derive(Clone, Debug, Default)]
+pub struct StoreStats {
+    /// Total triples.
+    pub triples: usize,
+    /// Distinct terms in the dictionary.
+    pub terms: usize,
+    /// Distinct subjects.
+    pub subjects: usize,
+    /// Distinct objects.
+    pub objects: usize,
+    /// Triple count per predicate id.
+    pub per_predicate: HashMap<TermId, usize>,
+    /// Mean triple weight.
+    pub mean_weight: f64,
+}
+
+impl StoreStats {
+    /// Computes statistics with one pass over the store.
+    pub fn compute(store: &TripleStore) -> Self {
+        let mut subjects = HashSet::new();
+        let mut objects = HashSet::new();
+        let mut per_predicate: HashMap<TermId, usize> = HashMap::new();
+        let mut weight_sum = 0.0;
+        let mut n = 0usize;
+        for t in store.iter() {
+            subjects.insert(t.s);
+            objects.insert(t.o);
+            *per_predicate.entry(t.p).or_insert(0) += 1;
+            weight_sum += t.weight;
+            n += 1;
+        }
+        StoreStats {
+            triples: n,
+            terms: store.dict().len(),
+            subjects: subjects.len(),
+            objects: objects.len(),
+            per_predicate,
+            mean_weight: if n == 0 { 0.0 } else { weight_sum / n as f64 },
+        }
+    }
+
+    /// Predicate counts resolved to display strings, sorted descending.
+    pub fn predicate_table(&self, store: &TripleStore) -> Vec<(String, usize)> {
+        let mut rows: Vec<(String, usize)> = self
+            .per_predicate
+            .iter()
+            .map(|(id, n)| {
+                let name = store
+                    .dict()
+                    .resolve(*id)
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| format!("#{}", id.0));
+                (name, *n)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn stats_counts() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"), 0.4).unwrap();
+        st.insert(Term::iri("a"), Term::iri("p"), Term::iri("c"), 0.6).unwrap();
+        st.insert(Term::iri("b"), Term::iri("q"), Term::iri("c"), 1.0).unwrap();
+        let stats = StoreStats::compute(&st);
+        assert_eq!(stats.triples, 3);
+        assert_eq!(stats.subjects, 2);
+        assert_eq!(stats.objects, 2);
+        assert_eq!(stats.per_predicate.len(), 2);
+        assert!((stats.mean_weight - (0.4 + 0.6 + 1.0) / 3.0).abs() < 1e-12);
+        let table = stats.predicate_table(&st);
+        assert_eq!(table[0], ("<p>".to_string(), 2));
+        assert_eq!(table[1], ("<q>".to_string(), 1));
+    }
+
+    #[test]
+    fn empty_store_stats() {
+        let stats = StoreStats::compute(&TripleStore::new());
+        assert_eq!(stats.triples, 0);
+        assert_eq!(stats.mean_weight, 0.0);
+    }
+}

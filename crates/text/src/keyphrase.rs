@@ -1,0 +1,188 @@
+//! Keyphrase extraction via TextRank over a token co-occurrence graph.
+//!
+//! Backs Hive's "key concept extraction for automated annotations"
+//! (paper §2.3) and seeds concept-map bootstrapping (§2.1, ref \[10\]):
+//! tokens co-occurring within a sliding window vote for each other with
+//! PageRank; adjacent top-ranked tokens merge into multiword phrases.
+
+use crate::tokenize::tokenize_filtered;
+use std::collections::HashMap;
+
+/// An extracted keyphrase with its significance score.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Keyphrase {
+    /// The (stemmed) phrase text, space-joined.
+    pub phrase: String,
+    /// TextRank significance (sum over member tokens), higher = stronger.
+    pub score: f64,
+}
+
+/// Extraction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyphraseConfig {
+    /// Co-occurrence window size in tokens.
+    pub window: usize,
+    /// Number of keyphrases to return.
+    pub top_k: usize,
+    /// PageRank damping.
+    pub damping: f64,
+    /// PageRank iterations.
+    pub iters: usize,
+}
+
+impl Default for KeyphraseConfig {
+    fn default() -> Self {
+        KeyphraseConfig { window: 4, top_k: 10, damping: 0.85, iters: 50 }
+    }
+}
+
+/// Extracts up to `cfg.top_k` keyphrases from `text`.
+pub fn extract_keyphrases(text: &str, cfg: KeyphraseConfig) -> Vec<Keyphrase> {
+    let tokens = tokenize_filtered(text);
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    // Intern tokens.
+    let mut ids: HashMap<&str, usize> = HashMap::new();
+    let mut names: Vec<&str> = Vec::new();
+    let seq: Vec<usize> = tokens
+        .iter()
+        .map(|t| {
+            *ids.entry(t.as_str()).or_insert_with(|| {
+                names.push(t.as_str());
+                names.len() - 1
+            })
+        })
+        .collect();
+    let n = names.len();
+    // Co-occurrence weights within the window.
+    let mut edges: HashMap<(usize, usize), f64> = HashMap::new();
+    for (i, &a) in seq.iter().enumerate() {
+        for &b in seq.iter().skip(i + 1).take(cfg.window.saturating_sub(1)) {
+            if a == b {
+                continue;
+            }
+            let key = if a < b { (a, b) } else { (b, a) };
+            *edges.entry(key).or_insert(0.0) += 1.0;
+        }
+    }
+    // Symmetric adjacency.
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (&(a, b), &w) in &edges {
+        adj[a].push((b, w));
+        adj[b].push((a, w));
+    }
+    let strength: Vec<f64> = adj.iter().map(|l| l.iter().map(|(_, w)| w).sum()).collect();
+    // TextRank power iteration.
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..cfg.iters {
+        let mut next = vec![(1.0 - cfg.damping) / n as f64; n];
+        for a in 0..n {
+            if strength[a] == 0.0 {
+                // Isolated token: keep its restart mass only.
+                continue;
+            }
+            let share = cfg.damping * rank[a] / strength[a];
+            for &(b, w) in &adj[a] {
+                next[b] += share * w;
+            }
+        }
+        rank = next;
+    }
+    // Merge adjacent top tokens into phrases: a token qualifies if its
+    // rank is above the mean.
+    let mean = rank.iter().sum::<f64>() / n as f64;
+    let qualifies: Vec<bool> = rank.iter().map(|&r| r >= mean).collect();
+    let mut phrases: HashMap<String, f64> = HashMap::new();
+    let mut i = 0;
+    while i < seq.len() {
+        if qualifies[seq[i]] {
+            let start = i;
+            while i + 1 < seq.len() && qualifies[seq[i + 1]] && i - start < 2 {
+                i += 1;
+            }
+            let phrase_tokens: Vec<&str> = seq[start..=i].iter().map(|&t| names[t]).collect();
+            let score: f64 = seq[start..=i].iter().map(|&t| rank[t]).sum();
+            let phrase = phrase_tokens.join(" ");
+            let slot = phrases.entry(phrase).or_insert(0.0);
+            if score > *slot {
+                *slot = score;
+            }
+        }
+        i += 1;
+    }
+    let mut out: Vec<Keyphrase> = phrases
+        .into_iter()
+        .map(|(phrase, score)| Keyphrase { phrase, score })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then_with(|| a.phrase.cmp(&b.phrase))
+    });
+    out.truncate(cfg.top_k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ABSTRACT: &str = "Compressed sensing of tensor streams enables scalable \
+        monitoring of evolving social networks. Tensor streams encode multi-relational \
+        social media data. Structural change detection in tensor streams is costly; \
+        randomized tensor ensembles reduce the cost of change detection while keeping \
+        accuracy. Social networks evolve and the monitoring system must keep up.";
+
+    #[test]
+    fn dominant_concepts_surface() {
+        let kps = extract_keyphrases(ABSTRACT, KeyphraseConfig::default());
+        assert!(!kps.is_empty());
+        let joined: Vec<&str> = kps.iter().map(|k| k.phrase.as_str()).collect();
+        assert!(
+            joined.iter().any(|p| p.contains("tensor")),
+            "expected 'tensor' among {joined:?}"
+        );
+        assert!(
+            joined.iter().any(|p| p.contains("social") || p.contains("stream")),
+            "expected social/stream among {joined:?}"
+        );
+    }
+
+    #[test]
+    fn scores_descending() {
+        let kps = extract_keyphrases(ABSTRACT, KeyphraseConfig::default());
+        for w in kps.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn top_k_respected() {
+        let cfg = KeyphraseConfig { top_k: 3, ..Default::default() };
+        assert!(extract_keyphrases(ABSTRACT, cfg).len() <= 3);
+    }
+
+    #[test]
+    fn empty_and_stopword_only_input() {
+        assert!(extract_keyphrases("", KeyphraseConfig::default()).is_empty());
+        assert!(extract_keyphrases("the of and to", KeyphraseConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn multiword_phrases_form() {
+        let kps = extract_keyphrases(ABSTRACT, KeyphraseConfig::default());
+        assert!(
+            kps.iter().any(|k| k.phrase.contains(' ')),
+            "expected at least one multiword phrase in {kps:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = extract_keyphrases(ABSTRACT, KeyphraseConfig::default());
+        let b = extract_keyphrases(ABSTRACT, KeyphraseConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,216 @@
+//! Content-reuse / overlap detection via w-shingling (paper ref \[9\],
+//! "Efficient Overlap and Content Reuse Detection in Blogs and Online
+//! News Articles"). Hive uses it to link near-duplicate material
+//! (a presentation re-using an earlier paper's text, cross-posted
+//! announcements) in the content layer.
+
+use crate::tokenize::tokenize_filtered;
+use std::collections::HashSet;
+
+/// The set of `w`-token shingles of `text` (after normalization).
+///
+/// If the document has fewer than `w` tokens, the whole token sequence is
+/// a single shingle (so short texts still compare).
+pub fn shingle_set(text: &str, w: usize) -> HashSet<Vec<String>> {
+    let tokens = tokenize_filtered(text);
+    let w = w.max(1);
+    let mut out = HashSet::new();
+    if tokens.is_empty() {
+        return out;
+    }
+    if tokens.len() < w {
+        out.insert(tokens);
+        return out;
+    }
+    for win in tokens.windows(w) {
+        out.insert(win.to_vec());
+    }
+    out
+}
+
+/// Jaccard similarity of the two documents' `w`-shingle sets, in `[0,1]`.
+pub fn shingle_similarity(a: &str, b: &str, w: usize) -> f64 {
+    let sa = shingle_set(a, w);
+    let sb = shingle_set(b, w);
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+/// Containment of `a` in `b`: fraction of `a`'s shingles present in `b`.
+/// Detects quotation / partial reuse even when `b` is much longer.
+pub fn containment(a: &str, b: &str, w: usize) -> f64 {
+    let sa = shingle_set(a, w);
+    if sa.is_empty() {
+        return 0.0;
+    }
+    let sb = shingle_set(b, w);
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len() as f64
+}
+
+/// A MinHash signature: a fixed-size sketch of a shingle set whose
+/// matching-coordinate rate estimates Jaccard similarity — the scalable
+/// path of ref \[9\] for detecting reuse across a whole content collection
+/// without pairwise shingle-set intersection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinHashSignature {
+    values: Vec<u64>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn shingle_hash(shingle: &[String]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for tok in shingle {
+        for b in tok.as_bytes() {
+            h = splitmix64(h ^ *b as u64);
+        }
+        h = splitmix64(h ^ 0x1f);
+    }
+    h
+}
+
+impl MinHashSignature {
+    /// Computes a `k`-coordinate signature of `text`'s `w`-shingles.
+    /// Empty documents get an all-MAX signature (similar only to other
+    /// empty documents).
+    pub fn compute(text: &str, w: usize, k: usize) -> Self {
+        assert!(k > 0, "need at least one hash");
+        let shingles = shingle_set(text, w);
+        let mut values = vec![u64::MAX; k];
+        for sh in &shingles {
+            let base = shingle_hash(sh);
+            for (i, slot) in values.iter_mut().enumerate() {
+                let h = splitmix64(base ^ (i as u64).wrapping_mul(0x9e37_79b9));
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        MinHashSignature { values }
+    }
+
+    /// Number of hash coordinates.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the signature has no coordinates (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Estimated Jaccard similarity: the fraction of matching coordinates.
+    pub fn similarity(&self, other: &MinHashSignature) -> f64 {
+        assert_eq!(self.values.len(), other.values.len(), "signature sizes differ");
+        let matches = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .filter(|(a, b)| a == b)
+            .count();
+        matches as f64 / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_are_maximal() {
+        let t = "compressed sensing of tensor streams for social networks";
+        assert!((shingle_similarity(t, t, 3) - 1.0).abs() < 1e-12);
+        assert!((containment(t, t, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_texts_are_near_zero() {
+        let a = "compressed sensing of tensor streams";
+        let b = "medieval history of european castles";
+        assert_eq!(shingle_similarity(a, b, 2), 0.0);
+    }
+
+    #[test]
+    fn partial_reuse_detected_by_containment() {
+        let quote = "randomized tensor ensembles encode observed streams compactly";
+        let article = format!(
+            "Recent systems show impressive scale. {quote}. They also detect \
+             structural changes quickly, as several studies confirm at length."
+        );
+        let c = containment(quote, &article, 2);
+        assert!(c > 0.8, "quotation should be contained, got {c}");
+        // Plain Jaccard is diluted by the longer article.
+        assert!(shingle_similarity(quote, &article, 2) < c);
+    }
+
+    #[test]
+    fn short_texts_compare() {
+        assert!(shingle_similarity("tensor streams", "tensor streams", 5) > 0.99);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(shingle_similarity("", "", 3), 0.0);
+        assert_eq!(containment("", "anything here", 3), 0.0);
+        assert!(shingle_set("", 3).is_empty());
+    }
+
+    #[test]
+    fn normalization_makes_matching_robust() {
+        let a = "Detecting Structural Changes!";
+        let b = "detecting structural change";
+        assert!(shingle_similarity(a, b, 2) > 0.5, "stemming/case should align");
+    }
+
+    #[test]
+    fn minhash_identical_and_disjoint() {
+        let t = "compressed sensing of tensor streams for social networks";
+        let sig = MinHashSignature::compute(t, 3, 64);
+        assert_eq!(sig.similarity(&sig), 1.0);
+        let other = MinHashSignature::compute("medieval castles of old europe kingdoms", 3, 64);
+        assert!(sig.similarity(&other) < 0.1, "disjoint docs near zero");
+    }
+
+    #[test]
+    fn minhash_estimates_jaccard() {
+        let a = "tensor streams encode social networks; randomized ensembles \
+                 monitor tensor streams cheaply; change detection stays accurate";
+        let b = "tensor streams encode social networks; randomized ensembles \
+                 monitor tensor streams cheaply; decomposition methods cost more";
+        let exact = shingle_similarity(a, b, 2);
+        let sa = MinHashSignature::compute(a, 2, 512);
+        let sb = MinHashSignature::compute(b, 2, 512);
+        let est = sa.similarity(&sb);
+        assert!(
+            (est - exact).abs() < 0.15,
+            "minhash estimate {est} vs exact jaccard {exact}"
+        );
+    }
+
+    #[test]
+    fn minhash_empty_documents_match_each_other() {
+        let e1 = MinHashSignature::compute("", 3, 16);
+        let e2 = MinHashSignature::compute("   ", 3, 16);
+        assert_eq!(e1.similarity(&e2), 1.0);
+        let full = MinHashSignature::compute("tensor streams here", 3, 16);
+        assert!(e1.similarity(&full) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature sizes differ")]
+    fn minhash_size_mismatch_rejected() {
+        let a = MinHashSignature::compute("x y z", 2, 8);
+        let b = MinHashSignature::compute("x y z", 2, 16);
+        a.similarity(&b);
+    }
+}

@@ -1,0 +1,139 @@
+//! A Porter-style suffix stemmer (steps 1a/1b plus common derivational
+//! suffixes). Not a full Porter implementation, but consistent: equal
+//! inputs always map to equal stems, which is all the similarity and
+//! indexing layers require.
+
+/// Returns true if `ch` is an English vowel.
+fn is_vowel(ch: char) -> bool {
+    matches!(ch, 'a' | 'e' | 'i' | 'o' | 'u')
+}
+
+/// True if the word contains a vowel before position `end`.
+fn has_vowel(word: &str, end: usize) -> bool {
+    word[..end].chars().any(is_vowel)
+}
+
+/// Stems a lowercase word.
+pub fn stem(word: &str) -> String {
+    let mut w = word.to_string();
+
+    // Step 1a: plurals.
+    if w.ends_with("sses") {
+        w.truncate(w.len() - 2); // sses -> ss
+    } else if w.ends_with("ies") {
+        w.truncate(w.len() - 2); // ies -> i
+    } else if w.ends_with('s') && !w.ends_with("ss") && w.len() > 3 {
+        w.truncate(w.len() - 1);
+    }
+
+    // Step 1b: -ed / -ing.
+    if w.ends_with("eed") {
+        if w.len() > 4 {
+            w.truncate(w.len() - 1); // agreed -> agree
+        }
+    } else if w.ends_with("ed") && w.len() > 4 && has_vowel(&w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        fixup_after_strip(&mut w);
+    } else if w.ends_with("ing") && w.len() > 5 && has_vowel(&w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        fixup_after_strip(&mut w);
+    }
+
+    // Derivational suffixes (longest first).
+    for (suffix, min_len) in [
+        ("ization", 9),
+        ("ational", 9),
+        ("fulness", 9),
+        ("iveness", 9),
+        ("ousness", 9),
+        ("ization", 9),
+        ("ibility", 9),
+        ("ability", 9),
+        ("ically", 8),
+        ("ation", 7),
+        ("ment", 7),
+        ("ness", 7),
+        ("tion", 7),
+        ("ance", 7),
+        ("ence", 7),
+        ("able", 7),
+        ("ible", 7),
+        ("ally", 7),
+        ("ity", 6),
+        ("ive", 6),
+        ("ous", 6),
+        ("ful", 6),
+        ("al", 5),
+        ("er", 5),
+        ("ly", 5),
+    ] {
+        if w.len() >= min_len && w.ends_with(suffix) {
+            w.truncate(w.len() - suffix.len());
+            break;
+        }
+    }
+
+    // Final -e and doubled consonants left by stripping.
+    if w.len() > 4 && w.ends_with('e') {
+        w.truncate(w.len() - 1);
+    }
+    w
+}
+
+/// After stripping -ed/-ing: undouble trailing consonants (stopped ->
+/// stop) and restore a final 'e' for short c-v-c stems (caching -> cache
+/// is not recoverable in general; we approximate with "at/bl/iz" rules).
+fn fixup_after_strip(w: &mut String) {
+    let bytes = w.as_bytes();
+    let n = bytes.len();
+    if n >= 2 && bytes[n - 1] == bytes[n - 2] {
+        let c = bytes[n - 1] as char;
+        if !is_vowel(c) && !matches!(c, 'l' | 's' | 'z') {
+            w.truncate(n - 1);
+            return;
+        }
+    }
+    if w.ends_with("at") || w.ends_with("bl") || w.ends_with("iz") {
+        w.push('e');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals() {
+        assert_eq!(stem("graphs"), stem("graph"));
+        assert_eq!(stem("queries"), stem("queri"));
+        assert_eq!(stem("classes"), "class");
+        // Short words keep their s.
+        assert_eq!(stem("gas"), "gas");
+    }
+
+    #[test]
+    fn ed_ing_forms_conflate() {
+        assert_eq!(stem("processing"), stem("processed"));
+        assert_eq!(stem("stopped"), "stop");
+        assert_eq!(stem("agreed"), stem("agree"));
+    }
+
+    #[test]
+    fn derivational_suffixes() {
+        assert_eq!(stem("recommendation"), stem("recommend"));
+        assert_eq!(stem("scalability"), stem("scalable"));
+    }
+
+    #[test]
+    fn stemming_is_deterministic() {
+        for w in ["tensor", "communities", "summarization", "following"] {
+            assert_eq!(stem(w), stem(w));
+        }
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("web"), "web");
+        assert_eq!(stem("db"), "db");
+    }
+}

@@ -1,0 +1,60 @@
+//! English stopword list tuned for scientific abstracts.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// Stopwords: common English function words plus boilerplate that is
+/// uninformative in paper titles/abstracts ("paper", "approach", ...).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and",
+    "any", "are", "as", "at", "be", "because", "been", "before", "being", "below", "between",
+    "both", "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down",
+    "during", "each", "et", "few", "for", "from", "further", "had", "has", "have", "having",
+    "he", "her", "here", "hers", "him", "his", "how", "however", "i", "if", "in", "into",
+    "is", "it", "its", "itself", "just", "may", "me", "might", "more", "most", "must", "my",
+    "new", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other",
+    "our", "ours", "out", "over", "own", "same", "she", "should", "so", "some", "such",
+    "than", "that", "the", "their", "theirs", "them", "then", "there", "these", "they",
+    "this", "those", "through", "to", "too", "under", "until", "up", "upon", "us", "use",
+    "used", "using", "very", "via", "was", "we", "well", "were", "what", "when", "where",
+    "which", "while", "who", "whom", "why", "will", "with", "within", "without", "would",
+    "you", "your", "yours",
+    // Scientific boilerplate.
+    "abstract", "al", "approach", "based", "demonstrate", "introduction", "method",
+    "novel", "paper", "present", "propose", "proposed", "results", "show", "study", "work",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// True if `word` (already lowercase) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_detected() {
+        for w in ["the", "and", "paper", "we", "using"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_kept() {
+        for w in ["graph", "tensor", "recommendation", "conference"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn case_sensitive_by_contract() {
+        // Callers normalize to lowercase first (tokenize does this).
+        assert!(!is_stopword("The"));
+    }
+}

@@ -1,0 +1,321 @@
+//! TF-IDF corpus model and sparse-vector cosine similarity.
+//!
+//! "User-provided content (publication, presentation, other supporting
+//! material) similarity" is one of Hive's nine relationship evidences;
+//! this module provides the vector-space machinery behind it and behind
+//! the activity-context vectors of §2.1.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::tokenize::tokenize_filtered;
+
+/// A sparse term-weight vector keyed by corpus term ids.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    entries: HashMap<u32, f64>,
+}
+
+impl SparseVector {
+    /// Empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from raw entries, dropping zeros.
+    pub fn from_entries(entries: impl IntoIterator<Item = (u32, f64)>) -> Self {
+        let entries = entries.into_iter().filter(|(_, v)| *v != 0.0).collect();
+        SparseVector { entries }
+    }
+
+    /// Weight of term `t` (0 if absent).
+    pub fn get(&self, t: u32) -> f64 {
+        self.entries.get(&t).copied().unwrap_or(0.0)
+    }
+
+    /// Sets term `t`'s weight (removing it when zero).
+    pub fn set(&mut self, t: u32, v: f64) {
+        if v == 0.0 {
+            self.entries.remove(&t);
+        } else {
+            self.entries.insert(t, v);
+        }
+    }
+
+    /// Adds `v` to term `t`'s weight.
+    pub fn add(&mut self, t: u32, v: f64) {
+        let next = self.get(t) + v;
+        self.set(t, next);
+    }
+
+    /// Number of non-zero terms.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(term, weight)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries.values().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Dot product with another vector.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (small, large) = if self.nnz() <= other.nnz() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().map(|(t, v)| v * large.get(t)).sum()
+    }
+
+    /// Cosine similarity in `[0, 1]` for non-negative vectors.
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// In-place scaled accumulation: `self += scale * other`.
+    pub fn accumulate(&mut self, other: &SparseVector, scale: f64) {
+        for (t, v) in other.iter() {
+            self.add(t, v * scale);
+        }
+    }
+
+    /// Scales all weights in place.
+    pub fn scale(&mut self, s: f64) {
+        if s == 0.0 {
+            self.entries.clear();
+        } else {
+            for v in self.entries.values_mut() {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Normalizes to unit length (no-op on the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            self.scale(1.0 / n);
+        }
+    }
+
+    /// The `k` highest-weighted terms, descending.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        let mut all: Vec<(u32, f64)> = self.iter().collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+/// A TF-IDF corpus: term dictionary, document frequencies, and document
+/// vectors, built incrementally.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    terms: HashMap<String, u32>,
+    term_names: Vec<String>,
+    doc_freq: Vec<u32>,
+    docs: usize,
+}
+
+impl Corpus {
+    /// Empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.term_names.len()
+    }
+
+    /// Id for `term`, interning it if new.
+    pub fn term_id(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.terms.get(term) {
+            return id;
+        }
+        let id = u32::try_from(self.term_names.len()).expect("term overflow");
+        self.terms.insert(term.to_string(), id);
+        self.term_names.push(term.to_string());
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Id for `term` without interning.
+    pub fn lookup(&self, term: &str) -> Option<u32> {
+        self.terms.get(term).copied()
+    }
+
+    /// Display name for a term id.
+    pub fn term_name(&self, id: u32) -> Option<&str> {
+        self.term_names.get(id as usize).map(String::as_str)
+    }
+
+    /// Indexes a document (tokenized+filtered internally), updating
+    /// document frequencies, and returns its raw term-frequency vector.
+    pub fn index_document(&mut self, text: &str) -> SparseVector {
+        let tokens = tokenize_filtered(text);
+        let mut tf = SparseVector::new();
+        for tok in &tokens {
+            let id = self.term_id(tok);
+            tf.add(id, 1.0);
+        }
+        for (id, _) in tf.iter().collect::<Vec<_>>() {
+            self.doc_freq[id as usize] += 1;
+        }
+        self.docs += 1;
+        tf
+    }
+
+    /// Smoothed IDF of a term: `ln(1 + N / (1 + df))`.
+    pub fn idf(&self, id: u32) -> f64 {
+        let df = self.doc_freq.get(id as usize).copied().unwrap_or(0) as f64;
+        (1.0 + self.docs as f64 / (1.0 + df)).ln()
+    }
+
+    /// Converts a raw TF vector to a unit-length TF-IDF vector using
+    /// log-scaled term frequency.
+    pub fn tfidf(&self, tf: &SparseVector) -> SparseVector {
+        let mut out = SparseVector::new();
+        for (id, f) in tf.iter() {
+            out.set(id, (1.0 + f).ln() * self.idf(id));
+        }
+        out.normalize();
+        out
+    }
+
+    /// One-shot: tokenize `text` against the *existing* vocabulary
+    /// (unknown words are interned but have max IDF) and return its
+    /// normalized TF-IDF vector. Does not update document frequencies.
+    pub fn vectorize(&mut self, text: &str) -> SparseVector {
+        let tokens = tokenize_filtered(text);
+        let mut tf = SparseVector::new();
+        for tok in &tokens {
+            let id = self.term_id(tok);
+            tf.add(id, 1.0);
+        }
+        self.tfidf(&tf)
+    }
+
+    /// Like [`Self::vectorize`] but read-only: tokens outside the current
+    /// vocabulary are silently dropped. Used by query-time services that
+    /// hold the corpus immutably.
+    pub fn vectorize_known(&self, text: &str) -> SparseVector {
+        let tokens = tokenize_filtered(text);
+        let mut tf = SparseVector::new();
+        for tok in &tokens {
+            if let Some(id) = self.lookup(tok) {
+                tf.add(id, 1.0);
+            }
+        }
+        self.tfidf(&tf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_vector_ops() {
+        let mut v = SparseVector::new();
+        v.set(1, 3.0);
+        v.set(2, 4.0);
+        assert_eq!(v.nnz(), 2);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+        v.add(1, -3.0);
+        assert_eq!(v.nnz(), 1, "zeroed entries are removed");
+        v.normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_bounds_and_identity() {
+        let a = SparseVector::from_entries([(0, 1.0), (1, 2.0)]);
+        let b = SparseVector::from_entries([(1, 2.0), (2, 5.0)]);
+        let zero = SparseVector::new();
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+        let c = a.cosine(&b);
+        assert!(c > 0.0 && c < 1.0);
+        assert_eq!(a.cosine(&zero), 0.0);
+    }
+
+    #[test]
+    fn dot_is_symmetric() {
+        let a = SparseVector::from_entries([(0, 1.0), (1, 2.0), (5, 3.0)]);
+        let b = SparseVector::from_entries([(1, 4.0)]);
+        assert_eq!(a.dot(&b), b.dot(&a));
+        assert_eq!(a.dot(&b), 8.0);
+    }
+
+    #[test]
+    fn idf_downweights_common_terms() {
+        let mut c = Corpus::new();
+        c.index_document("graph tensor");
+        c.index_document("graph community");
+        c.index_document("graph stream");
+        let graph = c.lookup("graph").unwrap();
+        let tensor = c.lookup("tensor").unwrap();
+        assert!(c.idf(graph) < c.idf(tensor));
+    }
+
+    #[test]
+    fn similar_documents_rank_higher() {
+        let mut c = Corpus::new();
+        let d1 = c.index_document("spectral analysis of tensor streams for social networks");
+        let d2 = c.index_document("tensor stream analysis detects social network change");
+        let d3 = c.index_document("relational database query optimization and indexing");
+        let v1 = c.tfidf(&d1);
+        let v2 = c.tfidf(&d2);
+        let v3 = c.tfidf(&d3);
+        assert!(v1.cosine(&v2) > v1.cosine(&v3));
+    }
+
+    #[test]
+    fn vectorize_does_not_count_as_document() {
+        let mut c = Corpus::new();
+        c.index_document("graph processing");
+        let before = c.doc_count();
+        let v = c.vectorize("graph query");
+        assert_eq!(c.doc_count(), before);
+        assert!(v.nnz() > 0);
+        assert!((v.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let v = SparseVector::from_entries([(0, 0.1), (1, 0.9), (2, 0.5)]);
+        let top = v.top_k(2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+    }
+
+    #[test]
+    fn accumulate_scales() {
+        let mut a = SparseVector::from_entries([(0, 1.0)]);
+        let b = SparseVector::from_entries([(0, 1.0), (1, 2.0)]);
+        a.accumulate(&b, 0.5);
+        assert!((a.get(0) - 1.5).abs() < 1e-12);
+        assert!((a.get(1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Tokenization: lowercase alphanumeric word splitting, optional stopword
+//! removal and stemming.
+
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+
+/// Splits `text` into lowercase word tokens. A token is a maximal run of
+/// alphanumeric characters; everything else separates. Tokens shorter
+/// than 2 characters are dropped (they are noise in scientific text).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            if cur.chars().count() >= 2 {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if cur.chars().count() >= 2 {
+        out.push(cur);
+    }
+    out
+}
+
+/// Tokenizes, removes stopwords, and stems. This is the normalization
+/// every indexing/similarity service applies.
+pub fn tokenize_filtered(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stopword(t))
+        .map(|t| stem(&t))
+        .collect()
+}
+
+/// Splits text into sentences on `.`, `!`, `?` boundaries, trimming
+/// whitespace and dropping empties. Used by the snippet extractor.
+pub fn sentences(text: &str) -> Vec<&str> {
+    text.split_inclusive(['.', '!', '?'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("Hello, World! x2"),
+            vec!["hello", "world", "x2"]
+        );
+    }
+
+    #[test]
+    fn short_tokens_dropped() {
+        assert_eq!(tokenize("a b cd"), vec!["cd"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Türkçe ÖRNEK"), vec!["türkçe", "örnek"]);
+    }
+
+    #[test]
+    fn filtered_removes_stopwords_and_stems() {
+        let toks = tokenize_filtered("The processing of the graphs");
+        assert!(!toks.iter().any(|t| t == "the" || t == "of"));
+        assert!(toks.iter().any(|t| t.starts_with("process")));
+        assert!(toks.iter().any(|t| t == "graph"));
+    }
+
+    #[test]
+    fn sentences_split() {
+        let s = sentences("First one. Second! Third? ");
+        assert_eq!(s, vec!["First one.", "Second!", "Third?"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize_filtered("  .,; ").is_empty());
+        assert!(sentences("").is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! The paper's §1.1 use scenario as a runnable walkthrough: "Zach" at a
+//! simulated EDBT'13, from pre-conference prep to the post-conference
+//! debrief with his advisor. Each step prints what the paper's narrative
+//! describes.
+//!
+//! Run: `cargo run -p hive-core --example conference_companion`
+
+use hive_core::clock::Timestamp;
+use hive_core::model::*;
+use hive_core::peers::PeerRecConfig;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_core::Hive;
+
+fn main() {
+    // A populated conference world stands in for the production MM'11 /
+    // SIGMOD'12 deployments.
+    let world = WorldBuilder::new(SimConfig::small()).build();
+    let mut hive = Hive::new(world.db);
+    let users = hive.db().user_ids();
+    let zach = users[0];
+    let name = |hive: &Hive, u| hive.db().get_user(u).expect("exists").name.clone();
+    println!("== Hive conference companion: {} ==", name(&hive, zach));
+
+    // --- Before leaving: upload slides, check who's coming ----------------
+    let my_paper = *hive
+        .db()
+        .papers_of(zach)
+        .first()
+        .expect("the simulator gives everyone a paper eventually — pick any");
+    let session = hive.db().session_ids()[0];
+    let pres = hive
+        .db_mut()
+        .add_presentation(
+            Presentation::new(my_paper, zach, session)
+                .with_slides("motivation; model; equation (with a typo); evaluation"),
+        )
+        .expect("zach authors this paper");
+    println!("\n[prep] uploaded slides for {:?}", hive.db().get_paper(my_paper).unwrap().title);
+
+    let recs = hive.recommend_peers(zach, PeerRecConfig::default());
+    println!("[prep] Hive proposes {} researchers to meet:", recs.len());
+    for r in &recs {
+        println!(
+            "  - {} (score {:.2}); likely sessions: {:?}",
+            name(&hive, r.user),
+            r.score,
+            r.likely_sessions
+                .iter()
+                .map(|(s, _)| hive.db().get_session(*s).unwrap().title.clone())
+                .collect::<Vec<_>>()
+        );
+        if let Some(reason) = r.reasons.first() {
+            println!("      evidence: {}", reason.explanation);
+        }
+    }
+
+    // Follow the two most promising and pin them on a workpad.
+    let pad = hive.create_workpad(zach, "session").expect("valid");
+    for r in recs.iter().take(2) {
+        let _ = hive.follow(zach, r.user);
+        let _ = hive.workpad_add(zach, pad, WorkpadItem::UserAvatar(r.user));
+    }
+    println!("[prep] following {} peers; avatars pinned to the 'session' workpad", 2);
+
+    // --- Day 1: follow the keynote traffic, join a trending session --------
+    let t0 = hive.db().now();
+    hive.db_mut().advance_clock(10);
+    let followees = hive.db().following(zach);
+    let graph_session = hive.db().session_ids()[1];
+    for &f in followees.iter().take(2) {
+        hive.check_in(f, graph_session).expect("valid");
+    }
+    let updates = hive.updates_for(zach, t0);
+    println!("\n[day 1] real-time updates:");
+    for u in updates.iter().take(4) {
+        println!("  {}", u.text);
+    }
+    hive.check_in(zach, graph_session).expect("valid");
+    let q = hive
+        .ask_question(
+            zach,
+            QaTarget::Session(graph_session),
+            "how does the partitioning react to streaming updates?",
+            true, // also broadcast to the session hashtag
+        )
+        .expect("valid");
+    if let Some(&answerer) = followees.first() {
+        hive.db_mut().advance_clock(3);
+        hive.answer_question(answerer, q, "lazily, with bounded staleness")
+            .expect("valid");
+    }
+    println!("[day 1] session ticker (Hive + twitter bridge):");
+    for line in hive.session_ticker(graph_session, t0).iter().take(5) {
+        println!("  {line}");
+    }
+
+    // --- Break: a question on Zach's own talk; fix the typo ----------------
+    let t1 = hive.db().now();
+    hive.db_mut().advance_clock(5);
+    let asker = users[3];
+    hive.ask_question(
+        asker,
+        QaTarget::Presentation(pres),
+        "is the equation on slide 3 correct?",
+        false,
+    )
+    .expect("valid");
+    for u in hive.updates_for(zach, t1) {
+        println!("\n[break] {}", u.text);
+    }
+    hive.db_mut()
+        .revise_slides(zach, pres, "motivation; model; equation (fixed); evaluation")
+        .expect("presenter");
+    println!("[break] typo fixed (slides revision {})", hive.db().get_presentation(pres).unwrap().revision);
+    // Thank the reporter and connect.
+    if hive.request_connection(zach, asker).is_ok() {
+        hive.respond_connection(asker, zach, true).expect("pending");
+        println!("[break] connected with {}", name(&hive, asker));
+    }
+
+    // --- After the event: the advisor's digest ------------------------------
+    let advisor = users[4];
+    hive.follow(advisor, zach).expect("valid");
+    let digest = hive.digest(advisor, Timestamp(0));
+    println!("\n[debrief] advisor's digest of Zach's conference:");
+    for (cat, n) in &digest.counts {
+        println!("  {cat}: {n} events");
+    }
+    println!("  ({} updates total)", digest.updates.len());
+}

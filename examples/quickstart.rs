@@ -1,0 +1,95 @@
+//! Quickstart: stand up a Hive platform, register a handful of
+//! researchers and a conference, and run one call from each Table 1
+//! service group.
+//!
+//! Run: `cargo run -p hive-core --example quickstart`
+
+use hive_core::clock::Timestamp;
+use hive_core::discover::DiscoverConfig;
+use hive_core::model::*;
+use hive_core::peers::PeerRecConfig;
+use hive_core::reports::ReportScope;
+use hive_core::{Hive, HiveDb};
+
+fn main() {
+    // ---- populate a tiny platform --------------------------------------
+    let mut db = HiveDb::new();
+    let zach = db.add_user(
+        User::new("Zach", "ASU").with_interests(vec!["tensor streams".into()]),
+    );
+    let ann = db.add_user(
+        User::new("Ann", "UniTo").with_interests(vec!["tensor streams".into()]),
+    );
+    let bob = db.add_user(
+        User::new("Bob", "MIT").with_interests(vec!["transaction processing".into()]),
+    );
+    let edbt = db.add_conference(Conference::new("EDBT", 2013, "Genoa"));
+    let tensors = db
+        .add_session(
+            Session::new(edbt, "Tensor Streams", "R1")
+                .with_topics(vec!["tensor stream monitoring".into()]),
+        )
+        .expect("conference exists");
+    let paper = db
+        .add_paper(
+            Paper::new("Compressed tensor monitoring", vec![zach])
+                .with_abstract(
+                    "Randomized ensembles sketch tensor streams so structural \
+                     changes surface in real time.",
+                )
+                .at_venue(edbt),
+        )
+        .expect("authors exist");
+    db.add_paper(
+        Paper::new("Detecting change in streams", vec![ann])
+            .with_abstract("Structural change detection over evolving tensor streams.")
+            .at_venue(edbt)
+            .citing(vec![paper]),
+    )
+    .expect("valid paper");
+    for u in [zach, ann, bob] {
+        db.attend(u, edbt).expect("valid");
+    }
+    db.check_in(ann, tensors).expect("valid");
+
+    let mut hive = Hive::new(db);
+
+    // ---- concept map & personalization ---------------------------------
+    let concepts = hive.bootstrap_concepts(
+        "my notes",
+        &["tensor stream sketches detect changes in evolving social networks"],
+    );
+    println!("bootstrapped concepts: {:?}", concepts.top_concepts(3));
+
+    // ---- peer network ----------------------------------------------------
+    let peers = hive.recommend_peers(zach, PeerRecConfig::default());
+    println!("\npeers recommended for Zach:");
+    for p in &peers {
+        let name = hive.db().get_user(p.user).expect("exists").name.clone();
+        println!("  {name} (score {:.2})", p.score);
+        if let Some(reason) = p.reasons.first() {
+            println!("    because: {}", reason.explanation);
+        }
+    }
+    // Connect to the top recommendation.
+    if let Some(top) = peers.first() {
+        let who = top.user;
+        hive.request_connection(zach, who).expect("fresh pair");
+        hive.respond_connection(who, zach, true).expect("pending");
+        println!("  -> connected to {}", hive.db().get_user(who).expect("exists").name);
+    }
+
+    // ---- discovery & preview ----------------------------------------------
+    let hits = hive.search(zach, "structural change detection", DiscoverConfig::default());
+    println!("\nsearch results for \"structural change detection\":");
+    for h in hits.iter().take(3) {
+        println!("  [{}] {} (score {:.3})", h.resource.kind(), h.title, h.score);
+        if let Some(p) = &h.preview {
+            println!("    preview: {p}");
+        }
+    }
+
+    // ---- activity history & report ------------------------------------------
+    let report = hive.update_report(&ReportScope::Platform, Timestamp(0), Timestamp(u64::MAX), 4);
+    println!("\n{}", report.render());
+}

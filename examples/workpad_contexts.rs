@@ -1,0 +1,74 @@
+//! Workpads as switchable contexts (paper Figure 4): build two workpads
+//! with different "states of mind", run the same query under each, and
+//! watch search results, resource recommendations, and peer suggestions
+//! all follow the active pad.
+//!
+//! Run: `cargo run -p hive-core --example workpad_contexts`
+
+use hive_core::discover::DiscoverConfig;
+use hive_core::model::WorkpadItem;
+use hive_core::peers::PeerRecConfig;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_core::Hive;
+
+fn main() {
+    let world = WorldBuilder::new(SimConfig::small()).build();
+    let mut hive = Hive::new(world.db);
+    let me = hive.db().user_ids()[0];
+
+    // Two pads from two planted topics: "tensors" and "graphs" mindsets.
+    let topic_sessions = |t: usize| {
+        world
+            .session_topics
+            .iter()
+            .filter(move |(_, tt)| *tt == t)
+            .map(|(s, _)| *s)
+            .take(2)
+            .collect::<Vec<_>>()
+    };
+    let pad_tensors = hive.create_workpad(me, "tensors mindset").expect("valid");
+    for s in topic_sessions(0) {
+        hive.workpad_add(me, pad_tensors, WorkpadItem::Session(s)).expect("valid");
+    }
+    hive.db_mut()
+        .workpad_note(me, pad_tensors, "ask about sketch ensemble sizes")
+        .expect("owner");
+    let pad_graphs = hive.create_workpad(me, "graphs mindset").expect("valid");
+    for s in topic_sessions(1) {
+        hive.workpad_add(me, pad_graphs, WorkpadItem::Session(s)).expect("valid");
+    }
+
+    let cfg = DiscoverConfig { top_k: 5, include_users: false, ..Default::default() };
+    for pad in [pad_tensors, pad_graphs] {
+        hive.activate_workpad(me, pad).expect("owner");
+        let pad_name = hive.db().get_workpad(pad).expect("exists").name.clone();
+        println!("\n=== active workpad: \"{pad_name}\" ===");
+        let ctx = hive.activity_context(me);
+        println!("context terms: {:?}", ctx.terms.iter().take(6).collect::<Vec<_>>());
+
+        println!("same query, this context — \"scalable processing\":");
+        for h in hive.search(me, "scalable processing", cfg) {
+            println!("  [{}] {} ({:.3})", h.resource.kind(), h.title, h.score);
+        }
+        println!("contextual recommendations (no query):");
+        for h in hive.recommend_resources(me, cfg).into_iter().take(3) {
+            println!("  [{}] {}", h.resource.kind(), h.title);
+        }
+        let peers = hive.recommend_peers(me, PeerRecConfig { top_k: 3, ..Default::default() });
+        let names: Vec<String> = peers
+            .iter()
+            .map(|r| hive.db().get_user(r.user).expect("exists").name.clone())
+            .collect();
+        println!("peers for this mindset: {}", names.join(", "));
+    }
+
+    // Export one pad, as the paper's sharing flow describes.
+    let col = hive.export_workpad(me, pad_tensors).expect("owner");
+    let other = hive.db().user_ids()[1];
+    let imported = hive.import_collection(other, col).expect("exists");
+    println!(
+        "\nexported \"tensors mindset\" as a collection; user {} imported it as workpad {:?}",
+        hive.db().get_user(other).expect("exists").name,
+        imported
+    );
+}

@@ -1,0 +1,187 @@
+//! Cross-crate integration: the full platform lifecycle on a simulated
+//! world, exercising DB semantics, feeds, reports, and workpads together.
+
+use hive_core::clock::Timestamp;
+use hive_core::discover::DiscoverConfig;
+use hive_core::history::HistoryQuery;
+use hive_core::model::{QaTarget, WorkpadItem};
+use hive_core::peers::PeerRecConfig;
+use hive_core::reports::ReportScope;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_core::Hive;
+
+#[test]
+fn simulated_world_supports_every_service_group() {
+    let world = WorldBuilder::new(SimConfig::small()).build();
+    let hive = Hive::new(world.db);
+    let users = hive.db().user_ids();
+    let u = users[0];
+
+    // Concept map & personalization.
+    let ctx = hive.activity_context(u);
+    assert!(!ctx.is_empty());
+    // Peer network.
+    let peers = hive.recommend_peers(u, PeerRecConfig::default());
+    assert!(!peers.is_empty());
+    for p in &peers {
+        assert_ne!(p.user, u);
+        assert!(p.score.is_finite());
+    }
+    // Discovery + preview.
+    let hits = hive.search(u, "tensor stream", DiscoverConfig::default());
+    assert!(!hits.is_empty());
+    // Collaborative filtering.
+    let cf = hive.collaborative_recommendations(u, 5);
+    assert!(cf.len() <= 5);
+    // Community discovery.
+    let comms = hive.discover_communities();
+    assert!(comms.count() >= 2);
+    // Reports.
+    let report = hive.update_report(&ReportScope::Platform, Timestamp(0), Timestamp(u64::MAX), 6);
+    assert!(report.summary.rows.len() <= 6);
+    let covered: usize = report.summary.rows.iter().map(|(_, c)| c).sum();
+    assert_eq!(covered, report.total_events);
+    // History.
+    let hist = hive.search_history(&HistoryQuery { limit: 10, ..Default::default() }, Some(u));
+    assert!(!hist.is_empty());
+}
+
+#[test]
+fn connection_flow_updates_recommendations_and_feeds() {
+    let world = WorldBuilder::new(SimConfig::small()).build();
+    let mut hive = Hive::new(world.db);
+    let u = hive.db().user_ids()[0];
+    let recs = hive.recommend_peers(u, PeerRecConfig::default());
+    let target = recs[0].user;
+    // Connect to the top recommendation; it must vanish from the list.
+    hive.request_connection(u, target).expect("fresh pair");
+    hive.respond_connection(target, u, true).expect("pending");
+    let recs_after = hive.recommend_peers(u, PeerRecConfig::default());
+    assert!(
+        recs_after.iter().all(|r| r.user != target),
+        "connected peers are not re-recommended"
+    );
+    // Following routes updates (the simulator may already have u follow
+    // some peers; pick one not yet followed).
+    let already: std::collections::HashSet<_> = hive.db().following(u).into_iter().collect();
+    let followee = recs_after
+        .iter()
+        .map(|r| r.user)
+        .find(|v| !already.contains(v))
+        .expect("an unfollowed recommendation exists");
+    hive.follow(u, followee).expect("not following yet");
+    let since = hive.db().now();
+    let session = hive.db().session_ids()[0];
+    hive.db_mut().advance_clock(1);
+    hive.check_in(followee, session).expect("valid session");
+    let updates = hive.updates_for(u, since);
+    assert!(
+        updates.iter().any(|up| up.actor == followee),
+        "followee check-in reaches the feed"
+    );
+}
+
+#[test]
+fn workpad_switch_changes_search_results() {
+    let world = WorldBuilder::new(SimConfig::small()).build();
+    let mut hive = Hive::new(world.db);
+    let u = hive.db().user_ids()[0];
+    // Two pads seeded from different planted topics.
+    let s_a = world.session_topics.iter().find(|(_, t)| *t == 0).map(|(s, _)| *s).unwrap();
+    let s_b = world.session_topics.iter().find(|(_, t)| *t == 1).map(|(s, _)| *s).unwrap();
+    let pad_a = hive.create_workpad(u, "a").unwrap();
+    hive.workpad_add(u, pad_a, WorkpadItem::Session(s_a)).unwrap();
+    let pad_b = hive.create_workpad(u, "b").unwrap();
+    hive.workpad_add(u, pad_b, WorkpadItem::Session(s_b)).unwrap();
+    let cfg = DiscoverConfig { include_users: false, ..Default::default() };
+    hive.activate_workpad(u, pad_a).unwrap();
+    let top_a: Vec<String> = hive.search(u, "", cfg).into_iter().map(|h| h.resource.iri()).collect();
+    hive.activate_workpad(u, pad_b).unwrap();
+    let top_b: Vec<String> = hive.search(u, "", cfg).into_iter().map(|h| h.resource.iri()).collect();
+    assert_ne!(top_a, top_b, "different contexts must rank differently");
+    assert!(top_a.contains(&s_a.iri()) || !top_a.is_empty());
+}
+
+#[test]
+fn collections_move_context_between_users() {
+    let world = WorldBuilder::new(SimConfig::small()).build();
+    let mut hive = Hive::new(world.db);
+    let users = hive.db().user_ids();
+    let (ann, zach) = (users[1], users[0]);
+    let paper = hive.db().paper_ids()[0];
+    let pad = hive.create_workpad(ann, "reading list").unwrap();
+    hive.workpad_add(ann, pad, WorkpadItem::Paper(paper)).unwrap();
+    let col = hive.export_workpad(ann, pad).unwrap();
+    let imported = hive.import_collection(zach, col).unwrap();
+    assert_eq!(hive.db().active_workpad_of(zach), Some(imported));
+    let ctx = hive.activity_context(zach);
+    assert!(
+        ctx.seeds.contains_key(&paper.iri()),
+        "imported collection seeds the context"
+    );
+}
+
+#[test]
+fn qa_broadcast_reaches_the_session_ticker() {
+    let world = WorldBuilder::new(SimConfig::small()).build();
+    let mut hive = Hive::new(world.db);
+    let users = hive.db().user_ids();
+    let pres = hive.db().presentation_ids()[0];
+    let session = hive.db().get_presentation(pres).unwrap().session;
+    let since = hive.db().now();
+    hive.db_mut().advance_clock(1);
+    let q = hive
+        .ask_question(users[2], QaTarget::Presentation(pres), "why this decay?", true)
+        .unwrap();
+    hive.answer_question(users[3], q, "it bounds the neighborhood").unwrap();
+    let ticker = hive.session_ticker(session, since);
+    assert!(ticker.iter().any(|l| l.contains("why this decay?")));
+    assert!(ticker.iter().any(|l| l.contains("[twitter]")), "broadcast mirrored");
+    assert!(ticker.iter().any(|l| l.contains("bounds the neighborhood")));
+}
+
+#[test]
+fn trends_and_highlights_follow_live_activity() {
+    let world = WorldBuilder::new(SimConfig::small()).build();
+    let mut hive = Hive::new(world.db);
+    let users = hive.db().user_ids();
+    let session = hive.db().session_ids()[0];
+    let since = hive.db().now();
+    hive.db_mut().advance_clock(1);
+    // A burst of activity on one session makes it trend.
+    for &u in users.iter().take(6) {
+        hive.check_in(u, session).expect("valid");
+    }
+    let q = hive
+        .ask_question(users[1], QaTarget::Session(session), "trending question?", true)
+        .expect("valid");
+    hive.answer_question(users[2], q, "indeed").expect("valid");
+    let trending = hive.trending_sessions(since, Timestamp(u64::MAX), 3);
+    assert_eq!(trending[0].0, session, "the busy session trends: {trending:?}");
+    // Highlights surface the burst for a follower.
+    hive.follow(users[9], users[1]).ok();
+    let hl = hive.highlights(users[9], since, 5);
+    assert!(!hl.is_empty(), "follower sees highlights");
+}
+
+#[test]
+fn platform_snapshot_survives_service_usage() {
+    let world = WorldBuilder::new(SimConfig::small()).build();
+    let hive = Hive::new(world.db);
+    let json = hive.db().to_json().expect("serializes");
+    let restored = hive_core::HiveDb::from_json(&json).expect("restores");
+    let hive2 = Hive::new(restored);
+    let u = hive2.db().user_ids()[0];
+    // The restored platform answers services identically to the original.
+    let a: Vec<_> = hive
+        .recommend_peers(u, PeerRecConfig::default())
+        .into_iter()
+        .map(|r| r.user)
+        .collect();
+    let b: Vec<_> = hive2
+        .recommend_peers(u, PeerRecConfig::default())
+        .into_iter()
+        .map(|r| r.user)
+        .collect();
+    assert_eq!(a, b, "restored platform recommends identically");
+}

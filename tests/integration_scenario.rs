@@ -1,0 +1,246 @@
+//! The paper's §1.1 use scenario ("Zach at EDBT'13") replayed end-to-end
+//! against the API, asserting each bullet's observable outcome.
+
+use hive_core::clock::Timestamp;
+use hive_core::model::*;
+use hive_core::peers::PeerRecConfig;
+use hive_core::{Hive, HiveDb};
+
+/// Builds the scenario fixture: Zach (2nd-year PhD), his advisor, prior
+/// conferences (EDBT'12, SIGMOD'12) and EDBT'13 with sessions and papers.
+fn scenario() -> (Hive, ScenarioIds) {
+    let mut db = HiveDb::new();
+    let zach = db.add_user(
+        User::new("Zach", "ASU").with_interests(vec![
+            "social media analysis".into(),
+            "tensor streams".into(),
+        ]),
+    );
+    let advisor = db.add_user(User::new("Advisor", "ASU").with_interests(vec![
+        "tensor streams".into(),
+    ]));
+    let aaron = db.add_user(User::new("Aaron", "EPFL").with_interests(vec![
+        "tensor streams".into(),
+    ]));
+    let ann = db.add_user(User::new("Ann", "UniTo").with_interests(vec![
+        "community detection".into(),
+    ]));
+    let chair = db.add_user(User::new("Chair", "NEC").with_interests(vec![
+        "graph processing".into(),
+    ]));
+    let edbt12 = db.add_conference(Conference::new("EDBT", 2012, "Berlin"));
+    let sigmod12 = db.add_conference(Conference::new("SIGMOD", 2012, "Scottsdale"));
+    let edbt13 = db.add_conference(Conference::new("EDBT", 2013, "Genoa"));
+    let my_session = db
+        .add_session({
+            let mut s = Session::new(edbt13, "Social Media Analysis", "R1")
+                .with_topics(vec!["social media tensor streams".into()]);
+            s.chair = Some(chair);
+            s
+        })
+        .unwrap();
+    let graph_session = db
+        .add_session(
+            Session::new(edbt13, "Large Scale Graph Processing", "R2")
+                .with_topics(vec!["large scale graph processing".into()]),
+        )
+        .unwrap();
+    let community_session = db
+        .add_session(
+            Session::new(edbt13, "Community Detection", "R3")
+                .with_topics(vec!["community detection in networks".into()]),
+        )
+        .unwrap();
+    // Chair's earlier paper, which Zach cited at SIGMOD'12.
+    let chair_paper = db
+        .add_paper(
+            Paper::new("Graph engines", vec![chair])
+                .with_abstract("large scale graph processing engines")
+                .at_venue(edbt12),
+        )
+        .unwrap();
+    // Ann's EDBT'10-style paper that Zach cites.
+    let ann_paper = db
+        .add_paper(
+            Paper::new("Detecting communities", vec![ann])
+                .with_abstract("community detection in social networks"),
+        )
+        .unwrap();
+    let zach_sigmod = db
+        .add_paper(
+            Paper::new("Social media tensors", vec![zach, advisor])
+                .with_abstract("tensor streams for social media analysis")
+                .at_venue(sigmod12)
+                .citing(vec![chair_paper, ann_paper]),
+        )
+        .unwrap();
+    let zach_edbt13 = db
+        .add_paper(
+            Paper::new("Streaming social tensors", vec![zach, advisor])
+                .with_abstract("compressed monitoring of social tensor streams")
+                .at_venue(edbt13)
+                .citing(vec![zach_sigmod]),
+        )
+        .unwrap();
+    // A graph-session paper citing what Zach cites (shared references).
+    let graph_paper = db
+        .add_paper(
+            Paper::new("Graph partitioning at scale", vec![aaron])
+                .with_abstract("large scale graph partitioning")
+                .at_venue(edbt13)
+                .citing(vec![chair_paper]),
+        )
+        .unwrap();
+    db.add_presentation(
+        Presentation::new(graph_paper, aaron, graph_session)
+            .with_slides("graph partitioning slides"),
+    )
+    .unwrap();
+    for u in [zach, advisor, aaron, ann, chair] {
+        db.attend(u, edbt13).ok();
+    }
+    db.attend(zach, edbt12).unwrap();
+    db.attend(zach, sigmod12).unwrap();
+    let hive = Hive::new(db);
+    (
+        hive,
+        ScenarioIds {
+            zach,
+            advisor,
+            aaron,
+            ann,
+            chair,
+            my_session,
+            graph_session,
+            community_session,
+            zach_edbt13,
+        },
+    )
+}
+
+struct ScenarioIds {
+    zach: hive_core::ids::UserId,
+    advisor: hive_core::ids::UserId,
+    aaron: hive_core::ids::UserId,
+    ann: hive_core::ids::UserId,
+    chair: hive_core::ids::UserId,
+    my_session: hive_core::ids::SessionId,
+    graph_session: hive_core::ids::SessionId,
+    community_session: hive_core::ids::SessionId,
+    zach_edbt13: hive_core::ids::PaperId,
+}
+
+#[test]
+fn zach_scenario_end_to_end() {
+    let (mut hive, ids) = scenario();
+
+    // "Before leaving for EDBT'13, Zach uploads his presentation slides."
+    let pres = hive
+        .db_mut()
+        .add_presentation(
+            Presentation::new(ids.zach_edbt13, ids.zach, ids.my_session)
+                .with_slides("slide 1: model; slide 2: equation E = mc3 (typo); slide 3: results"),
+        )
+        .unwrap();
+
+    // "Hive proposes other researchers Zach may want to connect."
+    let recs = hive.recommend_peers(ids.zach, PeerRecConfig::default());
+    assert!(!recs.is_empty());
+    assert!(
+        recs.iter().all(|r| r.user != ids.zach),
+        "no self-recommendation"
+    );
+
+    // "Hive reminds Zach that the chair of his session is one of the
+    // authors whose paper he had cited" — evidence between Zach and chair.
+    let exp = hive.explain_relationship(ids.zach, ids.chair);
+    assert!(
+        exp.items
+            .iter()
+            .any(|i| i.kind == hive_core::evidence::EvidenceKind::DirectCitation),
+        "citation evidence to the session chair: {:?}",
+        exp.items
+    );
+
+    // Zach follows the chair and drops avatars into his session workpad.
+    hive.follow(ids.zach, ids.chair).unwrap();
+    let pad = hive.create_workpad(ids.zach, "session").unwrap();
+    hive.workpad_add(ids.zach, pad, WorkpadItem::UserAvatar(ids.chair)).unwrap();
+    hive.workpad_add(ids.zach, pad, WorkpadItem::UserAvatar(ids.aaron)).unwrap();
+
+    // "A few of the researchers he is following are checking into a
+    // session on large scale graph processing."
+    hive.follow(ids.zach, ids.aaron).unwrap();
+    let since = hive.db().now();
+    hive.db_mut().advance_clock(2);
+    hive.check_in(ids.aaron, ids.graph_session).unwrap();
+    let updates = hive.updates_for(ids.zach, since);
+    assert!(
+        updates.iter().any(|u| u.actor == ids.aaron && u.text.contains("Graph")),
+        "{updates:?}"
+    );
+
+    // Zach attends and posts questions; the exchange hits the hashtag.
+    hive.check_in(ids.zach, ids.graph_session).unwrap();
+    let q = hive
+        .ask_question(
+            ids.zach,
+            QaTarget::Session(ids.graph_session),
+            "how does partitioning interact with streaming updates?",
+            true,
+        )
+        .unwrap();
+    hive.answer_question(ids.aaron, q, "we rebalance lazily").unwrap();
+    let ticker = hive.session_ticker(ids.graph_session, since);
+    assert!(ticker.iter().any(|l| l.contains("[twitter]")));
+
+    // "There is already a question posted regarding the presentation he
+    // had uploaded... he notices a typo and corrects the slide."
+    let q_since = hive.db().now();
+    hive.db_mut().advance_clock(1);
+    hive.ask_question(
+        ids.ann,
+        QaTarget::Presentation(pres),
+        "is the equation on slide 2 right?",
+        false,
+    )
+    .unwrap();
+    let my_updates = hive.updates_for(ids.zach, q_since);
+    assert!(my_updates.iter().any(|u| u.text.contains("your presentation")));
+    hive.db_mut()
+        .revise_slides(ids.zach, pres, "slide 2: equation E = mc2 (fixed)")
+        .unwrap();
+    assert_eq!(hive.db().get_presentation(pres).unwrap().revision, 1);
+
+    // "Zach sends a connection request to Aaron and receives an
+    // acknowledgement."
+    hive.request_connection(ids.zach, ids.aaron).unwrap();
+    hive.respond_connection(ids.aaron, ids.zach, true).unwrap();
+    assert!(hive.db().are_connected(ids.zach, ids.aaron));
+
+    // "He adds Ann's avatar to his workpad and then goes to the session
+    // on community detection."
+    hive.workpad_add(ids.zach, pad, WorkpadItem::UserAvatar(ids.ann)).unwrap();
+    hive.check_in(ids.zach, ids.community_session).unwrap();
+
+    // "Back at the university, his advisor and Zach discuss his
+    // activities" — the history service reconstructs the trip.
+    let hist = hive.search_history(
+        &hive_core::history::HistoryQuery {
+            actors: vec![ids.zach],
+            from: Some(Timestamp(0)),
+            ..Default::default()
+        },
+        None,
+    );
+    assert!(hist.len() >= 6, "the trip left a rich trace: {}", hist.len());
+    let digest = hive.digest(ids.advisor, Timestamp(0));
+    // The advisor follows nobody yet, so his digest is empty — he follows
+    // Zach and sees the whole story.
+    assert!(digest.updates.is_empty());
+    let mut hive2 = hive;
+    hive2.follow(ids.advisor, ids.zach).unwrap();
+    let digest = hive2.digest(ids.advisor, Timestamp(0));
+    assert!(!digest.updates.is_empty());
+    assert!(digest.counts.contains_key("checkin"));
+}

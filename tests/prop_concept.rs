@@ -1,0 +1,102 @@
+//! Property tests for the concept-map substrate: bootstrap invariants,
+//! alignment bounds, and evolution-diff algebra.
+
+use hive_concept::{
+    align_maps, bootstrap_concept_map, diff_maps, AlignConfig, BootstrapConfig, ConceptMap,
+};
+use proptest::prelude::*;
+
+/// Small synthetic documents over a limited vocabulary so concepts repeat.
+fn arb_docs() -> impl Strategy<Value = Vec<String>> {
+    let word = prop::sample::select(vec![
+        "tensor", "stream", "graph", "community", "query", "index", "social", "network",
+        "detection", "sketch",
+    ]);
+    let sentence = prop::collection::vec(word, 4..10)
+        .prop_map(|ws| format!("{}.", ws.join(" ")));
+    prop::collection::vec(sentence, 1..6)
+}
+
+/// Random concept maps built from a tiny name pool.
+fn arb_map() -> impl Strategy<Value = ConceptMap> {
+    prop::collection::vec((0usize..8, 1u32..=100), 1..12).prop_map(|entries| {
+        let names = [
+            "tensor stream", "graph community", "query index", "social network",
+            "change detection", "sketch ensemble", "stream window", "network layer",
+        ];
+        let mut m = ConceptMap::new("m");
+        for (i, s) in &entries {
+            m.add_concept(names[*i], *s as f64 / 100.0);
+        }
+        let present: Vec<String> = m.concepts().map(|(c, _)| c.to_string()).collect();
+        for w in present.windows(2) {
+            m.add_relation(&w[0], &w[1], 0.5);
+        }
+        m
+    })
+}
+
+proptest! {
+    /// Bootstrap output is always a well-formed concept map: significances
+    /// and strengths in (0,1], relations only between existing concepts.
+    #[test]
+    fn bootstrap_invariants(docs in arb_docs()) {
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let map = bootstrap_concept_map("p", &refs, BootstrapConfig::default());
+        for (_, s) in map.concepts() {
+            prop_assert!(s > 0.0 && s <= 1.0);
+        }
+        for (a, b, w) in map.relations() {
+            prop_assert!(w > 0.0 && w <= 1.0);
+            prop_assert!(map.contains(a) && map.contains(b));
+        }
+    }
+
+    /// Alignment scores are bounded, links respect the threshold, and the
+    /// alignment is symmetric up to link direction.
+    #[test]
+    fn alignment_bounds(a in arb_map(), b in arb_map(), thr in 1u32..9) {
+        let cfg = AlignConfig { threshold: thr as f64 / 10.0, ..Default::default() };
+        let al = align_maps(&a, &b, cfg);
+        for link in &al.links {
+            prop_assert!(link.score >= cfg.threshold - 1e-12);
+            prop_assert!(link.score <= 1.0 + 1e-12);
+            prop_assert!(a.contains(&link.a));
+            prop_assert!(b.contains(&link.b));
+        }
+        let rev = align_maps(&b, &a, cfg);
+        prop_assert_eq!(al.links.len(), rev.links.len(), "alignment is symmetric");
+    }
+
+    /// Diff algebra: diff(x, x) is empty; diff is anti-symmetric in
+    /// adds/removes; magnitude is non-negative and zero iff empty.
+    #[test]
+    fn diff_algebra(a in arb_map(), b in arb_map()) {
+        let self_diff = diff_maps(&a, &a, 1e-9);
+        prop_assert!(self_diff.is_empty());
+        prop_assert_eq!(self_diff.magnitude(), 0.0);
+        let ab = diff_maps(&a, &b, 1e-9);
+        let ba = diff_maps(&b, &a, 1e-9);
+        prop_assert_eq!(ab.added_concepts.len(), ba.removed_concepts.len());
+        prop_assert_eq!(ab.removed_concepts.len(), ba.added_concepts.len());
+        prop_assert_eq!(ab.added_relations.len(), ba.removed_relations.len());
+        prop_assert!((ab.magnitude() - ba.magnitude()).abs() < 1e-9);
+        prop_assert!(ab.magnitude() >= 0.0);
+        prop_assert_eq!(ab.is_empty(), ab.magnitude() == 0.0);
+    }
+
+    /// Merging `b` into `a` leaves every concept at max significance and
+    /// never loses a concept from either side.
+    #[test]
+    fn merge_is_max_union(a in arb_map(), b in arb_map()) {
+        let mut merged = a.clone();
+        merged.merge(&b);
+        for (c, s) in a.concepts() {
+            prop_assert!(merged.significance(c).expect("kept") >= s - 1e-12);
+        }
+        for (c, s) in b.concepts() {
+            prop_assert!(merged.significance(c).expect("kept") >= s - 1e-12);
+        }
+        prop_assert!(merged.concept_count() <= a.concept_count() + b.concept_count());
+    }
+}

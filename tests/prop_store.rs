@@ -1,0 +1,173 @@
+//! Property tests for the weighted triple store (R2DB substrate).
+
+use hive_store::{PathQuery, Term, TripleStore};
+use proptest::prelude::*;
+
+/// A small universe of terms so collisions (and thus interesting
+/// overwrite/remove behaviour) actually happen.
+fn arb_entity() -> impl Strategy<Value = Term> {
+    (0u32..12).prop_map(|i| Term::iri(format!("e{i}")))
+}
+
+fn arb_pred() -> impl Strategy<Value = Term> {
+    (0u32..4).prop_map(|i| Term::iri(format!("p{i}")))
+}
+
+fn arb_weight() -> impl Strategy<Value = f64> {
+    (1u32..=100).prop_map(|w| w as f64 / 100.0)
+}
+
+fn arb_triples() -> impl Strategy<Value = Vec<(Term, Term, Term, f64)>> {
+    prop::collection::vec(
+        (arb_entity(), arb_pred(), arb_entity(), arb_weight()),
+        0..60,
+    )
+}
+
+proptest! {
+    /// Inserting then querying: every inserted triple is found with its
+    /// latest weight, and the indexes stay consistent.
+    #[test]
+    fn insert_then_lookup(triples in arb_triples()) {
+        let mut st = TripleStore::new();
+        let mut expected = std::collections::HashMap::new();
+        for (s, p, o, w) in &triples {
+            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
+            expected.insert((s.clone(), p.clone(), o.clone()), *w);
+        }
+        prop_assert_eq!(st.len(), expected.len());
+        prop_assert!(st.check_invariants());
+        for ((s, p, o), w) in &expected {
+            prop_assert_eq!(st.weight(s, p, o), Some(*w));
+        }
+    }
+
+    /// Every pattern scan returns exactly the matching subset of a full
+    /// scan, for all eight bound/unbound combinations.
+    #[test]
+    fn scans_agree_with_full_scan(triples in arb_triples(), si in 0u32..12, pi in 0u32..4, oi in 0u32..12) {
+        let mut st = TripleStore::new();
+        for (s, p, o, w) in &triples {
+            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
+        }
+        let s = Term::iri(format!("e{si}"));
+        let p = Term::iri(format!("p{pi}"));
+        let o = Term::iri(format!("e{oi}"));
+        let full: Vec<(Term, Term, Term)> = st
+            .triples_matching(None, None, None)
+            .map(|t| st.resolve_triple(&t))
+            .collect();
+        for mask in 0u8..8 {
+            let bs = (mask & 1 != 0).then_some(&s);
+            let bp = (mask & 2 != 0).then_some(&p);
+            let bo = (mask & 4 != 0).then_some(&o);
+            let got: Vec<(Term, Term, Term)> = st
+                .triples_matching(bs, bp, bo)
+                .map(|t| st.resolve_triple(&t))
+                .collect();
+            let want: Vec<(Term, Term, Term)> = full
+                .iter()
+                .filter(|(fs, fp, fo)| {
+                    bs.is_none_or(|x| x == fs)
+                        && bp.is_none_or(|x| x == fp)
+                        && bo.is_none_or(|x| x == fo)
+                })
+                .cloned()
+                .collect();
+            let mut got_sorted = got;
+            let mut want_sorted = want;
+            got_sorted.sort();
+            want_sorted.sort();
+            prop_assert_eq!(got_sorted, want_sorted, "mask {}", mask);
+        }
+    }
+
+    /// Remove undoes insert: after removing everything, the store is
+    /// empty and invariants hold at every step.
+    #[test]
+    fn remove_restores_empty(triples in arb_triples()) {
+        let mut st = TripleStore::new();
+        for (s, p, o, w) in &triples {
+            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
+        }
+        for (s, p, o, _) in &triples {
+            st.remove(s, p, o);
+            prop_assert!(st.check_invariants());
+        }
+        prop_assert!(st.is_empty());
+    }
+
+    /// Snapshot round trip is the identity on contents.
+    #[test]
+    fn snapshot_roundtrip(triples in arb_triples()) {
+        let mut st = TripleStore::new();
+        for (s, p, o, w) in &triples {
+            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
+        }
+        let restored = TripleStore::from_json(&st.to_json().unwrap()).unwrap();
+        prop_assert_eq!(restored.len(), st.len());
+        for t in st.iter() {
+            let (s, p, o) = st.resolve_triple(&t);
+            prop_assert_eq!(restored.weight(&s, &p, &o), Some(t.weight));
+        }
+    }
+
+    /// Ranked paths: scores are sorted descending, within (0,1], and each
+    /// path's score equals the product of its hop weights; paths are
+    /// loop-free.
+    #[test]
+    fn ranked_paths_invariants(triples in arb_triples()) {
+        let mut st = TripleStore::new();
+        for (s, p, o, w) in &triples {
+            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
+        }
+        let src = Term::iri("e0");
+        let dst = Term::iri("e1");
+        if st.dict().get(&src).is_none() || st.dict().get(&dst).is_none() {
+            return Ok(());
+        }
+        let paths = PathQuery::new(src, dst).top_k(4).max_hops(4).run(&st).unwrap();
+        for w in paths.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-12);
+        }
+        for path in &paths {
+            prop_assert!(path.score > 0.0 && path.score <= 1.0 + 1e-12);
+            let product: f64 = path.triples.iter().map(|t| t.weight).product();
+            prop_assert!((path.score - product).abs() < 1e-9);
+            let mut nodes = path.nodes.clone();
+            nodes.sort();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), path.nodes.len(), "loop-free");
+        }
+    }
+}
+
+proptest! {
+    /// A batch of inserts+removes leaves the store exactly as the same
+    /// operations applied one by one, and invariants always hold.
+    #[test]
+    fn batch_equals_sequential(triples in arb_triples()) {
+        use hive_store::Op;
+        let ops: Vec<Op> = triples
+            .iter()
+            .map(|(s, p, o, w)| Op::Insert {
+                s: s.clone(),
+                p: p.clone(),
+                o: o.clone(),
+                weight: *w,
+            })
+            .collect();
+        let mut batched = TripleStore::new();
+        batched.apply_batch(&ops).unwrap();
+        let mut sequential = TripleStore::new();
+        for (s, p, o, w) in &triples {
+            sequential.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
+        }
+        prop_assert_eq!(batched.len(), sequential.len());
+        prop_assert!(batched.check_invariants());
+        for t in sequential.iter() {
+            let (s, p, o) = sequential.resolve_triple(&t);
+            prop_assert_eq!(batched.weight(&s, &p, &o), Some(t.weight));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the text substrate: tokenization, TF-IDF, and the
+//! AlphaSum summarizer's core invariants.
+
+use hive_text::summarize::{summarize_table, Strategy as SumStrategy, SummaryConfig, Table, ValueLattice};
+use hive_text::tfidf::{Corpus, SparseVector};
+use hive_text::tokenize::{tokenize, tokenize_filtered};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tokenization is deterministic, produces lowercase tokens of
+    /// length >= 2, and filtered output is a subset-transform of raw.
+    #[test]
+    fn tokenize_invariants(text in ".{0,200}") {
+        let a = tokenize(&text);
+        let b = tokenize(&text);
+        prop_assert_eq!(&a, &b);
+        for t in &a {
+            prop_assert!(t.chars().count() >= 2);
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(t.clone(), t.to_lowercase());
+        }
+        prop_assert!(tokenize_filtered(&text).len() <= a.len());
+    }
+
+    /// Cosine is symmetric, bounded, and 1 on self for non-zero vectors.
+    #[test]
+    fn cosine_properties(
+        entries_a in prop::collection::vec((0u32..40, 1u32..100), 0..20),
+        entries_b in prop::collection::vec((0u32..40, 1u32..100), 0..20),
+    ) {
+        let a = SparseVector::from_entries(
+            entries_a.into_iter().map(|(t, w)| (t, w as f64)),
+        );
+        let b = SparseVector::from_entries(
+            entries_b.into_iter().map(|(t, w)| (t, w as f64)),
+        );
+        let ab = a.cosine(&b);
+        let ba = b.cosine(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&ab));
+        if !a.is_empty() {
+            prop_assert!((a.cosine(&a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// TF-IDF vectors are unit length (or empty) and IDF is positive.
+    #[test]
+    fn tfidf_normalization(docs in prop::collection::vec("[a-z]{3,8}( [a-z]{3,8}){0,10}", 1..10)) {
+        let mut corpus = Corpus::new();
+        let tfs: Vec<_> = docs.iter().map(|d| corpus.index_document(d)).collect();
+        for tf in &tfs {
+            let v = corpus.tfidf(tf);
+            if !v.is_empty() {
+                prop_assert!((v.norm() - 1.0).abs() < 1e-9);
+            }
+        }
+        for t in 0..corpus.term_count() as u32 {
+            prop_assert!(corpus.idf(t) > 0.0);
+        }
+    }
+}
+
+/// Strategy for random small activity tables over a fixed 2-level lattice.
+fn arb_table() -> impl Strategy<Value = Table> {
+    prop::collection::vec((0usize..4, 0usize..3, 0usize..3), 1..40).prop_map(|rows| {
+        let mut place = ValueLattice::new("*");
+        for t in 0..2 {
+            place.add_child("*", format!("track{t}"));
+            for s in 0..2 {
+                place.add_child(format!("track{t}"), format!("s{t}_{s}"));
+            }
+        }
+        let mut who = ValueLattice::new("*");
+        for u in 0..4 {
+            who.add_child("*", format!("u{u}"));
+        }
+        let mut what = ValueLattice::new("*");
+        for a in ["checkin", "view", "ask"] {
+            what.add_child("*", a);
+        }
+        let mut table = Table::new(
+            vec!["who".into(), "where".into(), "what".into()],
+            vec![who, place, what],
+        );
+        for (u, s, a) in rows {
+            table.push_row(vec![
+                format!("u{u}"),
+                format!("s{}_{}", s % 2, s % 2),
+                ["checkin", "view", "ask"][a].to_string(),
+            ]);
+        }
+        table
+    })
+}
+
+proptest! {
+    /// AlphaSum invariants, any strategy: the budget is respected, every
+    /// source row is covered exactly once, loss is non-negative and
+    /// monotonically non-increasing in k, and retained is in [0,1].
+    #[test]
+    fn summarizer_invariants(table in arb_table(), k in 1usize..6) {
+        for strategy in [SumStrategy::Greedy, SumStrategy::RandomMerge(7)] {
+            let s = summarize_table(&table, SummaryConfig { max_rows: k, strategy });
+            prop_assert!(s.rows.len() <= k);
+            let covered: usize = s.rows.iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(covered, table.rows.len());
+            prop_assert!(s.loss >= -1e-12);
+            prop_assert!((0.0..=1.0).contains(&s.retained));
+        }
+        // Greedy loss is monotone non-increasing in the budget.
+        let l1 = summarize_table(&table, SummaryConfig { max_rows: k, strategy: SumStrategy::Greedy }).loss;
+        let l2 = summarize_table(&table, SummaryConfig { max_rows: k + 1, strategy: SumStrategy::Greedy }).loss;
+        prop_assert!(l2 <= l1 + 1e-9, "more budget cannot hurt: {} vs {}", l2, l1);
+    }
+
+    /// Generalized cells are always ancestors of the cells they cover.
+    #[test]
+    fn summary_cells_are_ancestors(table in arb_table(), k in 1usize..4) {
+        let s = summarize_table(&table, SummaryConfig { max_rows: k, strategy: SumStrategy::Greedy });
+        // Reconstruct which original rows each summary row covers is not
+        // exposed; instead check that every summary cell is a valid
+        // lattice value (an ancestor of *some* leaf or the root).
+        for (row, _) in &s.rows {
+            for (c, val) in row.iter().enumerate() {
+                let lat = &table.lattices[c];
+                let known = table.rows.iter().any(|r| {
+                    lat.ancestors(&r[c]).contains(val)
+                });
+                prop_assert!(known, "cell {val:?} is not on any leaf's ancestor chain");
+            }
+        }
+    }
+}
+
+proptest! {
+    /// MinHash similarity is symmetric, in [0,1], and 1 on self.
+    #[test]
+    fn minhash_properties(a in "[a-z]{3,7}( [a-z]{3,7}){0,15}", b in "[a-z]{3,7}( [a-z]{3,7}){0,15}") {
+        use hive_text::MinHashSignature;
+        let sa = MinHashSignature::compute(&a, 2, 64);
+        let sb = MinHashSignature::compute(&b, 2, 64);
+        let ab = sa.similarity(&sb);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - sb.similarity(&sa)).abs() < 1e-12);
+        prop_assert_eq!(sa.similarity(&sa), 1.0);
+    }
+}
