@@ -1,7 +1,9 @@
 //! E7 microbenchmarks (concept side): concept-map bootstrapping, layer
 //! alignment, integration, and context propagation vs network size.
+//!
+//! Run: `cargo bench -p hive-bench --bench bench_concept`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hive_bench::{header, report, report_header, time_n};
 use hive_concept::{
     align_maps, bootstrap_concept_map, propagate, AlignConfig, BootstrapConfig, ConceptMap,
     ContextNetwork, PropagationConfig,
@@ -20,16 +22,17 @@ fn corpus(docs: usize) -> Vec<String> {
         .collect()
 }
 
-fn bench_bootstrap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("concept_bootstrap");
-    for docs in [5usize, 40] {
+fn bench_bootstrap() {
+    header("concept_bootstrap");
+    report_header();
+    for (docs, iters) in [(5usize, 50), (40, 10)] {
         let texts = corpus(docs);
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(docs), &docs, |b, _| {
-            b.iter(|| bootstrap_concept_map("bench", &refs, BootstrapConfig::default()));
+        let samples = time_n(iters, || {
+            std::hint::black_box(bootstrap_concept_map("bench", &refs, BootstrapConfig::default()));
         });
+        report(&format!("{docs}_docs"), &samples);
     }
-    group.finish();
 }
 
 fn synthetic_map(name: &str, concepts: usize) -> ConceptMap {
@@ -47,21 +50,23 @@ fn synthetic_map(name: &str, concepts: usize) -> ConceptMap {
     m
 }
 
-fn bench_align(c: &mut Criterion) {
-    let mut group = c.benchmark_group("concept_align");
-    for n in [20usize, 80] {
+fn bench_align() {
+    header("concept_align");
+    report_header();
+    for (n, iters) in [(20usize, 50), (80, 10)] {
         let a = synthetic_map("a", n);
-        let b2 = synthetic_map("b", n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| align_maps(&a, &b2, AlignConfig::default()));
+        let b = synthetic_map("b", n);
+        let samples = time_n(iters, || {
+            std::hint::black_box(align_maps(&a, &b, AlignConfig::default()));
         });
+        report(&format!("{n}_concepts"), &samples);
     }
-    group.finish();
 }
 
-fn bench_propagation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("concept_propagation");
-    for n in [50usize, 200] {
+fn bench_propagation() {
+    header("concept_propagation");
+    report_header();
+    for (n, iters) in [(50usize, 20), (200, 5)] {
         let mut net = ContextNetwork::new();
         net.add_layer(synthetic_map("papers", n), 1.0);
         net.add_layer(synthetic_map("sessions", n / 2), 0.8);
@@ -70,12 +75,16 @@ fn bench_propagation(c: &mut Criterion) {
         let seed_key = g.key(hive_graph::NodeId(0)).to_string();
         let mut seeds = HashMap::new();
         seeds.insert(seed_key, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| propagate(&g, &seeds, PropagationConfig::default()));
+        let samples = time_n(iters, || {
+            std::hint::black_box(propagate(&g, &seeds, PropagationConfig::default()));
         });
+        report(&format!("{n}_concepts"), &samples);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_bootstrap, bench_align, bench_propagation);
-criterion_main!(benches);
+fn main() {
+    println!("bench_concept — concept-map microbenchmarks");
+    bench_bootstrap();
+    bench_align();
+    bench_propagation();
+}

@@ -1,17 +1,18 @@
 //! E2 microbenchmarks: truncated diffusion, indexed vs recomputed impact
 //! queries, and invalidation cost under updates.
+//!
+//! Run: `cargo bench -p hive-bench --bench bench_ini`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hive_bench::{header, report, report_header, time_n, time_once};
 use hive_graph::{
     diffuse, DiffusionParams, Graph, ImpactIndex, ImpactQueryEngine, NodeId, RecomputeEngine,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hive_rng::Rng;
 
 fn random_graph(n: usize, seed: u64) -> Graph {
     let mut g = Graph::new();
     let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("n{i}"))).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for i in 1..n {
         for _ in 0..4.min(i) {
             let j = rng.gen_range(0..i);
@@ -22,53 +23,61 @@ fn random_graph(n: usize, seed: u64) -> Graph {
     g
 }
 
-fn bench_diffusion(c: &mut Criterion) {
+fn bench_diffusion() {
+    header("ini_diffusion");
+    report_header();
     let g = random_graph(2_000, 1);
-    let mut group = c.benchmark_group("ini_diffusion");
     for eps in [1e-2f64, 1e-4] {
         let params = DiffusionParams { alpha: 0.5, epsilon: eps };
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{eps:.0e}")), &eps, |b, _| {
-            b.iter(|| diffuse(&g, NodeId(3), params));
+        let samples = time_n(20, || {
+            std::hint::black_box(diffuse(&g, NodeId(3), params));
         });
+        report(&format!("eps_{eps:.0e}"), &samples);
     }
-    group.finish();
 }
 
-fn bench_query_paths(c: &mut Criterion) {
+fn bench_query_paths() {
+    header("ini_query");
+    report_header();
     let g = random_graph(2_000, 2);
     let params = DiffusionParams { alpha: 0.5, epsilon: 1e-3 };
     let mut base = RecomputeEngine::new(g.clone(), params);
     let mut idx = ImpactIndex::new(g, params);
     idx.build_full();
-    c.bench_function("ini_query_recompute", |b| {
-        b.iter(|| base.impact(NodeId(7)));
+    let samples = time_n(20, || {
+        std::hint::black_box(base.impact(NodeId(7)));
     });
-    c.bench_function("ini_query_indexed_hit", |b| {
-        b.iter(|| idx.impact(NodeId(7)));
+    report("recompute", &samples);
+    let samples = time_n(200, || {
+        std::hint::black_box(idx.impact(NodeId(7)));
     });
+    report("indexed_hit", &samples);
 }
 
-fn bench_update(c: &mut Criterion) {
+fn bench_update() {
+    header("ini_update");
+    report_header();
     let g = random_graph(2_000, 3);
     let params = DiffusionParams { alpha: 0.5, epsilon: 1e-3 };
-    c.bench_function("ini_update_with_invalidation", |b| {
-        b.iter_batched(
-            || {
-                let mut idx = ImpactIndex::new(g.clone(), params);
-                // Warm a slice of the cache.
-                for s in 0..50u32 {
-                    idx.impact(NodeId(s));
-                }
-                idx
-            },
-            |mut idx| {
-                idx.add_edge(NodeId(1), NodeId(2), 0.5);
-                idx
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
+    // Setup (warming a slice of the cache) is excluded from the timing:
+    // only the edge insertion with its invalidation work is measured.
+    let mut samples = Vec::new();
+    for _ in 0..10 {
+        let mut idx = ImpactIndex::new(g.clone(), params);
+        for s in 0..50u32 {
+            idx.impact(NodeId(s));
+        }
+        let (_, us) = time_once(|| {
+            idx.add_edge(NodeId(1), NodeId(2), 0.5);
+        });
+        samples.push(us);
+    }
+    report("add_edge_with_invalidation", &samples);
 }
 
-criterion_group!(benches, bench_diffusion, bench_query_paths, bench_update);
-criterion_main!(benches);
+fn main() {
+    println!("bench_ini — incremental impact-index microbenchmarks");
+    bench_diffusion();
+    bench_query_paths();
+    bench_update();
+}

@@ -1,7 +1,9 @@
 //! End-to-end platform benchmarks: world generation, knowledge-network
 //! derivation, and the hot service paths on the medium world.
+//!
+//! Run: `cargo bench -p hive-bench --bench bench_platform`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hive_bench::{header, report, report_header, time_n};
 use hive_core::context::{build_context, ContextConfig};
 use hive_core::discover::DiscoverConfig;
 use hive_core::knowledge::KnowledgeNetwork;
@@ -9,49 +11,58 @@ use hive_core::peers::PeerRecConfig;
 use hive_core::sim::{SimConfig, WorldBuilder};
 use hive_core::Hive;
 
-fn bench_world_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("platform_world_build");
-    group.sample_size(10);
-    group.bench_function("small", |b| {
-        b.iter(|| WorldBuilder::new(SimConfig::small()).build());
+fn bench_world_build() {
+    header("platform_world_build");
+    report_header();
+    let samples = time_n(10, || {
+        std::hint::black_box(WorldBuilder::new(SimConfig::small()).build());
     });
-    group.bench_function("medium", |b| {
-        b.iter(|| WorldBuilder::new(SimConfig::medium()).build());
+    report("small", &samples);
+    let samples = time_n(5, || {
+        std::hint::black_box(WorldBuilder::new(SimConfig::medium()).build());
     });
-    group.finish();
+    report("medium", &samples);
 }
 
-fn bench_knowledge_build(c: &mut Criterion) {
+fn bench_knowledge_build() {
+    header("platform_knowledge_build");
+    report_header();
     let world = WorldBuilder::new(SimConfig::medium()).build();
-    let mut group = c.benchmark_group("platform_knowledge_build");
-    group.sample_size(10);
-    group.bench_function("medium", |b| {
-        b.iter(|| KnowledgeNetwork::build(&world.db));
+    let samples = time_n(10, || {
+        std::hint::black_box(KnowledgeNetwork::build(&world.db));
     });
-    group.finish();
+    report("medium", &samples);
 }
 
-fn bench_services(c: &mut Criterion) {
+fn bench_services() {
+    header("platform_services");
+    report_header();
     let world = WorldBuilder::new(SimConfig::medium()).build();
     let hive = Hive::new(world.db);
     let zach = hive.db().user_ids()[0];
     let _ = hive.knowledge(); // warm
-    c.bench_function("platform_activity_context", |b| {
-        b.iter(|| {
-            let kn = hive.knowledge();
-            build_context(hive.db(), &kn, zach, ContextConfig::default())
-        });
+    let samples = time_n(20, || {
+        let kn = hive.knowledge();
+        std::hint::black_box(build_context(hive.db(), &kn, zach, ContextConfig::default()));
     });
-    c.bench_function("platform_recommend_peers", |b| {
-        b.iter(|| hive.recommend_peers(zach, PeerRecConfig::default()));
+    report("activity_context", &samples);
+    let samples = time_n(20, || {
+        std::hint::black_box(hive.recommend_peers(zach, PeerRecConfig::default()));
     });
-    c.bench_function("platform_search", |b| {
-        b.iter(|| hive.search(zach, "tensor stream sketch", DiscoverConfig::default()));
+    report("recommend_peers", &samples);
+    let samples = time_n(20, || {
+        std::hint::black_box(hive.search(zach, "tensor stream sketch", DiscoverConfig::default()));
     });
-    c.bench_function("platform_communities", |b| {
-        b.iter(|| hive.discover_communities());
+    report("search", &samples);
+    let samples = time_n(5, || {
+        std::hint::black_box(hive.discover_communities());
     });
+    report("communities", &samples);
 }
 
-criterion_group!(benches, bench_world_build, bench_knowledge_build, bench_services);
-criterion_main!(benches);
+fn main() {
+    println!("bench_platform — end-to-end platform benchmarks");
+    bench_world_build();
+    bench_knowledge_build();
+    bench_services();
+}

@@ -1,14 +1,15 @@
 //! E6 — R2DB substrate microbenchmarks: ingest throughput, pattern scan,
 //! BGP join, and top-k ranked path latency vs store size.
+//!
+//! Run: `cargo bench -p hive-bench --bench bench_store`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hive_bench::{header, report, report_header, time_n};
+use hive_rng::Rng;
 use hive_store::{BgpQuery, PathQuery, Pattern, PatternTerm, Term, TripleStore};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn build_store(n_triples: usize, seed: u64) -> TripleStore {
     let mut st = TripleStore::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n_nodes = (n_triples / 4).max(10);
     let preds = ["rel:coauthor", "rel:cites", "rel:checked_in", "rel:follows"];
     for _ in 0..n_triples {
@@ -26,29 +27,36 @@ fn build_store(n_triples: usize, seed: u64) -> TripleStore {
     st
 }
 
-fn bench_ingest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("store_ingest");
-    for size in [1_000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &n| {
-            b.iter(|| build_store(n, 1));
+fn bench_ingest() {
+    header("store_ingest");
+    report_header();
+    for (size, iters) in [(1_000usize, 20), (10_000, 5)] {
+        let samples = time_n(iters, || {
+            std::hint::black_box(build_store(size, 1));
         });
+        report(&format!("{size}_triples"), &samples);
     }
-    group.finish();
 }
 
-fn bench_scan(c: &mut Criterion) {
+fn bench_scan() {
+    header("store_scan");
+    report_header();
     let st = build_store(10_000, 2);
     let subject = Term::iri("user:5");
     let pred = Term::iri("rel:cites");
-    c.bench_function("store_scan_by_subject", |b| {
-        b.iter(|| st.triples_matching(Some(&subject), None, None).count());
+    let samples = time_n(200, || {
+        std::hint::black_box(st.triples_matching(Some(&subject), None, None).count());
     });
-    c.bench_function("store_scan_by_predicate", |b| {
-        b.iter(|| st.triples_matching(None, Some(&pred), None).count());
+    report("by_subject", &samples);
+    let samples = time_n(50, || {
+        std::hint::black_box(st.triples_matching(None, Some(&pred), None).count());
     });
+    report("by_predicate", &samples);
 }
 
-fn bench_bgp(c: &mut Criterion) {
+fn bench_bgp() {
+    header("store_bgp");
+    report_header();
     let st = build_store(10_000, 3);
     // Two-hop join: who co-authors with a citer of user:7?
     let q = BgpQuery::new()
@@ -63,27 +71,34 @@ fn bench_bgp(c: &mut Criterion) {
             PatternTerm::var("y"),
         ))
         .limit(50);
-    c.bench_function("store_bgp_two_hop_join", |b| {
-        b.iter(|| q.evaluate(&st).len());
+    let samples = time_n(50, || {
+        std::hint::black_box(q.evaluate(&st).len());
     });
+    report("two_hop_join", &samples);
 }
 
-fn bench_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("store_ranked_paths");
-    for size in [2_000usize, 10_000] {
+fn bench_paths() {
+    header("store_ranked_paths");
+    report_header();
+    for (size, iters) in [(2_000usize, 20), (10_000, 5)] {
         let st = build_store(size, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| {
+        let samples = time_n(iters, || {
+            std::hint::black_box(
                 PathQuery::new(Term::iri("user:1"), Term::iri("user:2"))
                     .top_k(3)
                     .max_hops(4)
                     .run(&st)
-                    .ok()
-            });
+                    .ok(),
+            );
         });
+        report(&format!("{size}_triples"), &samples);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_scan, bench_bgp, bench_paths);
-criterion_main!(benches);
+fn main() {
+    println!("bench_store — R2DB substrate microbenchmarks");
+    bench_ingest();
+    bench_scan();
+    bench_bgp();
+    bench_paths();
+}

@@ -1,14 +1,15 @@
 //! E7 microbenchmarks (text side): tokenization, TF-IDF vectorization,
 //! keyphrase extraction, snippet extraction, and AlphaSum summarization.
+//!
+//! Run: `cargo bench -p hive-bench --bench bench_text`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hive_bench::{header, report, report_header, time_n};
+use hive_rng::Rng;
 use hive_text::keyphrase::{extract_keyphrases, KeyphraseConfig};
 use hive_text::snippet::{extract_snippet, SnippetConfig};
 use hive_text::summarize::{summarize_table, Strategy, SummaryConfig, Table, ValueLattice};
 use hive_text::tfidf::Corpus;
 use hive_text::tokenize::tokenize_filtered;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const ABSTRACT: &str = "Compressed sensing of tensor streams enables scalable \
     monitoring of evolving social networks. Tensor streams encode multi-relational \
@@ -26,45 +27,55 @@ fn long_document(paragraphs: usize) -> String {
     s
 }
 
-fn bench_tokenize(c: &mut Criterion) {
+fn bench_tokenize() {
+    header("text_tokenize");
+    report_header();
     let doc = long_document(20);
-    c.bench_function("text_tokenize_filtered_20p", |b| {
-        b.iter(|| tokenize_filtered(&doc).len());
+    let samples = time_n(100, || {
+        std::hint::black_box(tokenize_filtered(&doc).len());
     });
+    report("tokenize_filtered_20p", &samples);
 }
 
-fn bench_tfidf(c: &mut Criterion) {
+fn bench_tfidf() {
+    header("text_tfidf");
+    report_header();
     let mut corpus = Corpus::new();
     for i in 0..200 {
         corpus.index_document(&format!("{ABSTRACT} variant {i}"));
     }
-    c.bench_function("text_vectorize_known", |b| {
-        b.iter(|| corpus.vectorize_known(ABSTRACT));
+    let samples = time_n(200, || {
+        std::hint::black_box(corpus.vectorize_known(ABSTRACT));
     });
+    report("vectorize_known", &samples);
 }
 
-fn bench_keyphrases(c: &mut Criterion) {
-    let mut group = c.benchmark_group("text_keyphrases");
-    for paragraphs in [1usize, 10] {
+fn bench_keyphrases() {
+    header("text_keyphrases");
+    report_header();
+    for (paragraphs, iters) in [(1usize, 100), (10, 20)] {
         let doc = long_document(paragraphs);
-        group.bench_with_input(BenchmarkId::from_parameter(paragraphs), &paragraphs, |b, _| {
-            b.iter(|| extract_keyphrases(&doc, KeyphraseConfig::default()));
+        let samples = time_n(iters, || {
+            std::hint::black_box(extract_keyphrases(&doc, KeyphraseConfig::default()));
         });
+        report(&format!("{paragraphs}_paragraphs"), &samples);
     }
-    group.finish();
 }
 
-fn bench_snippets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("text_snippets");
-    for paragraphs in [5usize, 40] {
+fn bench_snippets() {
+    header("text_snippets");
+    report_header();
+    for (paragraphs, iters) in [(5usize, 100), (40, 20)] {
         let doc = long_document(paragraphs);
-        group.bench_with_input(BenchmarkId::from_parameter(paragraphs), &paragraphs, |b, _| {
-            b.iter(|| {
-                extract_snippet(&doc, &["tensor streams", "change detection"], SnippetConfig::default())
-            });
+        let samples = time_n(iters, || {
+            std::hint::black_box(extract_snippet(
+                &doc,
+                &["tensor streams", "change detection"],
+                SnippetConfig::default(),
+            ));
         });
+        report(&format!("{paragraphs}_paragraphs"), &samples);
     }
-    group.finish();
 }
 
 fn random_activity_table(rows: usize, seed: u64) -> Table {
@@ -90,37 +101,37 @@ fn random_activity_table(rows: usize, seed: u64) -> Table {
         vec!["who".into(), "where".into(), "what".into()],
         vec![who, place, what],
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for _ in 0..rows {
         table.push_row(vec![
-            format!("user{}_{}", rng.gen_range(0..5), rng.gen_range(0..20)),
-            format!("session{}_{}", rng.gen_range(0..4), rng.gen_range(0..5)),
-            ["checkin", "question", "view"][rng.gen_range(0..3)].to_string(),
+            format!("user{}_{}", rng.gen_range(0..5usize), rng.gen_range(0..20usize)),
+            format!("session{}_{}", rng.gen_range(0..4usize), rng.gen_range(0..5usize)),
+            ["checkin", "question", "view"][rng.gen_range(0..3usize)].to_string(),
         ]);
     }
     table
 }
 
-fn bench_alphasum(c: &mut Criterion) {
-    let mut group = c.benchmark_group("text_alphasum_greedy_k8");
-    group.sample_size(10);
-    for rows in [100usize, 400] {
+fn bench_alphasum() {
+    header("text_alphasum_greedy_k8");
+    report_header();
+    for (rows, iters) in [(100usize, 10), (400, 5)] {
         let table = random_activity_table(rows, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
-            b.iter(|| {
-                summarize_table(&table, SummaryConfig { max_rows: 8, strategy: Strategy::Greedy })
-            });
+        let samples = time_n(iters, || {
+            std::hint::black_box(summarize_table(
+                &table,
+                SummaryConfig { max_rows: 8, strategy: Strategy::Greedy },
+            ));
         });
+        report(&format!("{rows}_rows"), &samples);
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tokenize,
-    bench_tfidf,
-    bench_keyphrases,
-    bench_snippets,
-    bench_alphasum
-);
-criterion_main!(benches);
+fn main() {
+    println!("bench_text — text substrate microbenchmarks");
+    bench_tokenize();
+    bench_tfidf();
+    bench_keyphrases();
+    bench_snippets();
+    bench_alphasum();
+}

@@ -15,14 +15,13 @@ use hive_bench::{fmt_us, header, row, time_once};
 use hive_core::clock::Timestamp;
 use hive_core::reports::{activity_table, ReportScope};
 use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_rng::Rng;
 use hive_text::summarize::{summarize_table, Strategy, SummaryConfig, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Subsamples a table's rows to at most `n` (keeps lattices).
 fn sample_rows(table: &Table, n: usize, seed: u64) -> Table {
     let mut t = Table::new(table.columns.clone(), table.lattices.clone());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut rows = table.rows.clone();
     while rows.len() > n {
         let i = rng.gen_range(0..rows.len());

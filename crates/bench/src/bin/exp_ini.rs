@@ -13,14 +13,13 @@
 
 use hive_bench::{fmt_us, header, row, time_once};
 use hive_graph::{DiffusionParams, Graph, ImpactIndex, ImpactQueryEngine, NodeId, RecomputeEngine};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hive_rng::Rng;
 
 /// Scale-free-ish random graph (preferential attachment flavor).
 fn random_graph(n: usize, avg_deg: usize, seed: u64) -> Graph {
     let mut g = Graph::new();
     let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("n{i}"))).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for i in 1..n {
         let m = avg_deg.min(i);
         for _ in 0..m {
@@ -44,7 +43,7 @@ fn run_workload(
     update_frac: f64,
     seed: u64,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let (_, us) = time_once(|| {
         for _ in 0..ops {
             if rng.gen_bool(update_frac) {

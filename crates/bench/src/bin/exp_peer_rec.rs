@@ -17,9 +17,7 @@ use hive_core::ids::UserId;
 use hive_core::peers::{PeerRecConfig, PeerStrategy};
 use hive_core::sim::{SimConfig, WorldBuilder};
 use hive_core::Hive;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use hive_rng::{Rng, SliceRandom};
 use std::collections::{HashMap, HashSet};
 
 fn main() {
@@ -90,7 +88,7 @@ fn main() {
         (
             "random",
             Box::new(|u| {
-                let mut rng = StdRng::seed_from_u64(u.0 as u64);
+                let mut rng = Rng::seed_from_u64(u.0 as u64);
                 let mut all: Vec<UserId> = hive
                     .db()
                     .user_ids()

@@ -19,11 +19,10 @@
 //! Run: `cargo run -p hive-bench --release --bin exp_scent`
 
 use hive_bench::{fmt_us, header, row, time_once};
+use hive_rng::Rng;
 use hive_scent::{
     cp_als, detect_changes, f1_score, EpochScore, SketchConfig, SparseTensor, TensorSketch,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A stream represented as (initial tensor, per-epoch delta lists).
 struct DeltaStream {
@@ -44,7 +43,7 @@ fn planted_stream(
     seed: u64,
 ) -> DeltaStream {
     let shape = vec![dim, dim, 3];
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let nnz = dim * dim / 2;
     let mut current = SparseTensor::new(shape.clone());
     for _ in 0..nnz {

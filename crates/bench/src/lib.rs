@@ -13,15 +13,18 @@
 //!   component claims.
 //!
 //! This library holds the shared measurement/reporting utilities.
+//! [`prop`] is the in-tree property-test runner used by `tests/prop_*`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::time::Instant;
+pub mod prop;
+
+use std::time::Instant; // lint:allow(deterministic-time) -- wall-clock is the measurement
 
 /// Runs `f` once and returns (result, elapsed microseconds).
 pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
+    let start = Instant::now(); // lint:allow(deterministic-time)
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1e6)
 }
@@ -30,7 +33,7 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
 pub fn time_n(n: usize, mut f: impl FnMut()) -> Vec<f64> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(deterministic-time)
         f();
         out.push(start.elapsed().as_secs_f64() * 1e6);
     }
@@ -43,7 +46,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }
@@ -71,6 +74,28 @@ pub fn row(cells: &[String]) {
         line.push_str(&format!("{c:<w$} "));
     }
     println!("{}", line.trim_end());
+}
+
+/// Prints the column header used by [`report`].
+pub fn report_header() {
+    row(&[
+        "case".into(),
+        "mean".into(),
+        "p50".into(),
+        "p95".into(),
+        "n".into(),
+    ]);
+}
+
+/// Prints one `case  mean  p50  p95  n` row for a latency sample.
+pub fn report(name: &str, samples: &[f64]) {
+    row(&[
+        name.to_string(),
+        fmt_us(mean(samples)),
+        fmt_us(percentile(samples, 50.0)),
+        fmt_us(percentile(samples, 95.0)),
+        samples.len().to_string(),
+    ]);
 }
 
 /// Formats microseconds human-readably.

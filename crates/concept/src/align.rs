@@ -121,8 +121,7 @@ pub fn align_maps(ma: &ConceptMap, mb: &ConceptMap, cfg: AlignConfig) -> Alignme
     }
     links.sort_by(|x, y| {
         y.score
-            .partial_cmp(&x.score)
-            .expect("finite")
+            .total_cmp(&x.score)
             .then_with(|| (x.a.as_str(), x.b.as_str()).cmp(&(y.a.as_str(), y.b.as_str())))
     });
     Alignment { links }

@@ -222,7 +222,7 @@ mod tests {
         let jump = magnitudes
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i + 1)
             .expect("non-empty");
         assert_eq!(jump, 6, "magnitudes: {magnitudes:?}");

@@ -1,7 +1,6 @@
 //! Weighted concept maps: concepts with significance scores and weighted
 //! inter-concept relations.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A concept map for one knowledge layer or document collection.
@@ -9,7 +8,7 @@ use std::collections::HashMap;
 /// Concepts carry a *significance* in `(0, 1]`; relations carry a
 /// *strength* in `(0, 1]`. Re-adding a concept/relation keeps the maximum
 /// (observing a concept again can only reinforce it).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ConceptMap {
     name: String,
     concepts: HashMap<String, f64>,
@@ -132,7 +131,7 @@ impl ConceptMap {
     /// The `k` most significant concepts, descending.
     pub fn top_concepts(&self, k: usize) -> Vec<(&str, f64)> {
         let mut all: Vec<(&str, f64)> = self.concepts().collect();
-        all.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite").then(x.0.cmp(y.0)));
+        all.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(y.0)));
         all.truncate(k);
         all
     }

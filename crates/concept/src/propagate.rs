@@ -79,7 +79,7 @@ pub fn top_activated(
         .into_iter()
         .filter(|(key, _)| !seeds.contains_key(key))
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out.truncate(k);
     out
 }

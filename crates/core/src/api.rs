@@ -30,7 +30,7 @@ use crate::model::{QaTarget, WorkpadItem};
 use crate::peers::{self, PeerRecConfig, PeerRecommendation};
 use crate::reports::{self, ReportScope, UpdateReport};
 use hive_concept::{bootstrap_concept_map, BootstrapConfig, ConceptMap};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -54,13 +54,21 @@ impl Hive {
     /// Write access to the database; invalidates the derived knowledge
     /// network.
     pub fn db_mut(&mut self) -> &mut HiveDb {
-        *self.kn_cache.get_mut() = None;
+        // A poisoned cache mutex only means a panic elsewhere mid-build;
+        // the cache is safely rebuildable, so recover the guard.
+        match self.kn_cache.get_mut() {
+            Ok(cache) => *cache = None,
+            Err(poisoned) => *poisoned.into_inner() = None,
+        }
         &mut self.db
     }
 
     /// The current knowledge network (rebuilt if stale).
     pub fn knowledge(&self) -> Arc<KnowledgeNetwork> {
-        let mut guard = self.kn_cache.lock();
+        let mut guard = match self.kn_cache.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         if let Some(kn) = guard.as_ref() {
             return Arc::clone(kn);
         }
@@ -101,7 +109,7 @@ impl Hive {
             .map(|v| (v, kn.user_similarity(user, v)))
             .filter(|(_, s)| *s > 0.0)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out.truncate(k);
         out
     }
@@ -322,15 +330,14 @@ impl Hive {
     /// workpads as collections accessible to others" across deployments.
     pub fn export_collection_json(&self, col: CollectionId) -> Result<String> {
         let c = self.db.get_collection(col)?;
-        serde_json::to_string(c)
-            .map_err(|e| crate::error::HiveError::Invalid(format!("serialize: {e}")))
+        Ok(hive_json::to_string(c))
     }
 
     /// Imports a JSON collection export for `user`: validates every item
     /// against this platform, registers the collection, and activates it
     /// as a fresh workpad.
     pub fn import_collection_json(&mut self, user: UserId, json: &str) -> Result<WorkpadId> {
-        let mut col: crate::model::Collection = serde_json::from_str(json)
+        let mut col: crate::model::Collection = hive_json::from_str(json)
             .map_err(|e| crate::error::HiveError::Invalid(format!("parse: {e}")))?;
         // The importing user owns their copy.
         col.owner = user;

@@ -4,14 +4,13 @@
 //! abstract *ticks* (one tick ≈ one minute of conference time). Using
 //! logical time keeps every experiment deterministic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A logical timestamp (monotonic ticks since platform start).
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Timestamp(pub u64);
+
+hive_json::impl_json_newtype!(Timestamp);
 
 impl Timestamp {
     /// Tick count.
@@ -37,7 +36,7 @@ impl fmt::Display for Timestamp {
 }
 
 /// A monotonic clock handing out timestamps.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Clock {
     now: u64,
 }

@@ -163,7 +163,7 @@ impl CfModel {
             .map(|(&other, ov)| (other, uv.cosine(ov)))
             .filter(|(_, s)| *s > 0.0)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out.truncate(k);
         out
     }
@@ -177,7 +177,7 @@ impl CfModel {
             })
             .map(|(item, s)| (self.resources[item as usize], s))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out.truncate(top_k);
         out
     }

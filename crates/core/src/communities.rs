@@ -157,8 +157,12 @@ impl CommunityTracker {
             }
         }
         self.stream.push(t);
-        self.epochs.push(discover_from_graph(g, self.method));
-        self.epochs.last().expect("just pushed")
+        let epoch = discover_from_graph(g, self.method);
+        self.epochs.push(epoch);
+        // Hand back the epoch just stored (self.epochs is never empty
+        // after the push above; fall back to index 0 to stay panic-free).
+        let last = self.epochs.len().saturating_sub(1);
+        &self.epochs[last]
     }
 
     /// Number of observed epochs.
@@ -198,7 +202,7 @@ impl CommunityTracker {
                         let union = sa.union(&sb).count();
                         (j, if union == 0 { 0.0 } else { inter as f64 / union as f64 })
                     })
-                    .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"));
+                    .max_by(|x, y| x.1.total_cmp(&y.1));
                 match best {
                     Some((j, jac)) if jac > 0.0 => (i, Some(j), jac),
                     _ => (i, None, 0.0),

@@ -202,8 +202,7 @@ pub fn search(
         .collect();
     hits.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("finite")
+            .total_cmp(&a.score)
             .then_with(|| a.resource.cmp(&b.resource))
     });
     hits.truncate(cfg.top_k);

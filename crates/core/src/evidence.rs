@@ -195,7 +195,7 @@ pub fn relationship_evidence(
     let mut direct = 0usize;
     let mut direct_example = String::new();
     for &pa in db.papers_of(a) {
-        let paper_a = db.get_paper(pa).expect("valid");
+        let Ok(paper_a) = db.get_paper(pa) else { continue; };
         for &cited in &paper_a.citations {
             if db.get_paper(cited).map(|p| p.has_author(b)).unwrap_or(false) {
                 direct += 1;
@@ -204,14 +204,14 @@ pub fn relationship_evidence(
                         "\"{}\" cites {}'s \"{}\"",
                         paper_a.title,
                         ub.name,
-                        db.get_paper(cited).expect("valid").title
+                        db.get_paper(cited).map(|p| p.title.as_str()).unwrap_or("?")
                     );
                 }
             }
         }
     }
     for &pb in db.papers_of(b) {
-        let paper_b = db.get_paper(pb).expect("valid");
+        let Ok(paper_b) = db.get_paper(pb) else { continue; };
         for &cited in &paper_b.citations {
             if db.get_paper(cited).map(|p| p.has_author(a)).unwrap_or(false) {
                 direct += 1;
@@ -220,7 +220,7 @@ pub fn relationship_evidence(
                         "\"{}\" cites {}'s \"{}\"",
                         paper_b.title,
                         ua.name,
-                        db.get_paper(cited).expect("valid").title
+                        db.get_paper(cited).map(|p| p.title.as_str()).unwrap_or("?")
                     );
                 }
             }
@@ -241,7 +241,7 @@ pub fn relationship_evidence(
     let refs_of = |u: UserId| -> HashSet<PaperId> {
         db.papers_of(u)
             .iter()
-            .flat_map(|&p| db.get_paper(p).expect("valid").citations.clone())
+            .flat_map(|&p| db.get_paper(p).map(|pp| pp.citations.clone()).unwrap_or_default())
             .collect()
     };
     let refs_a = refs_of(a);
@@ -251,7 +251,7 @@ pub fn relationship_evidence(
     let papers_a_set: HashSet<PaperId> = db.papers_of(a).iter().copied().collect();
     let transitive_hops = |refs: &HashSet<PaperId>, targets: &HashSet<PaperId>| -> usize {
         refs.iter()
-            .flat_map(|&mid| db.get_paper(mid).expect("valid").citations.iter().copied())
+            .flat_map(|&mid| db.get_paper(mid).map(|p| p.citations.clone()).unwrap_or_default())
             .filter(|hop| targets.contains(hop))
             .count()
     };
@@ -367,9 +367,9 @@ pub fn relationship_evidence(
     // the other's presentation.
     let mut qa_hits = 0usize;
     for q in db.question_ids() {
-        let question = db.get_question(q).expect("valid");
+        let Ok(question) = db.get_question(q) else { continue; };
         for &ans in db.answers_to(q) {
-            let answer = db.get_answer(ans).expect("valid");
+            let Ok(answer) = db.get_answer(ans) else { continue; };
             if (question.author == a && answer.author == b)
                 || (question.author == b && answer.author == a)
             {
@@ -433,8 +433,7 @@ pub fn relationship_evidence(
     }
     items.sort_by(|x, y| {
         y.score
-            .partial_cmp(&x.score)
-            .expect("finite")
+            .total_cmp(&x.score)
             .then_with(|| x.kind.cmp(&y.kind))
     });
     items

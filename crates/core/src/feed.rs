@@ -117,7 +117,7 @@ pub fn updates_for(db: &HiveDb, user: UserId, since: Timestamp) -> Vec<Update> {
     }
     // Questions on my presentations, answers to my questions.
     for q in db.question_ids() {
-        let question = db.get_question(q).expect("listed");
+        let Ok(question) = db.get_question(q) else { continue; };
         if question.asked_at >= since && question.author != user {
             if let QaTarget::Presentation(p) = question.target {
                 if db.get_presentation(p).map(|x| x.presenter == user).unwrap_or(false) {
@@ -135,7 +135,7 @@ pub fn updates_for(db: &HiveDb, user: UserId, since: Timestamp) -> Vec<Update> {
         }
         if question.author == user {
             for &aid in db.answers_to(q) {
-                let answer = db.get_answer(aid).expect("listed");
+                let Ok(answer) = db.get_answer(aid) else { continue; };
                 if answer.answered_at >= since && answer.author != user {
                     out.push(Update {
                         actor: answer.author,
@@ -164,7 +164,7 @@ pub fn session_ticker(db: &HiveDb, session: SessionId, since: Timestamp) -> Vec<
     );
     for t in targets {
         for &q in db.questions_on(t) {
-            let question = db.get_question(q).expect("listed");
+            let Ok(question) = db.get_question(q) else { continue; };
             if question.asked_at >= since {
                 entries.push((
                     question.asked_at,
@@ -172,7 +172,7 @@ pub fn session_ticker(db: &HiveDb, session: SessionId, since: Timestamp) -> Vec<
                 ));
             }
             for &aid in db.answers_to(q) {
-                let answer = db.get_answer(aid).expect("listed");
+                let Ok(answer) = db.get_answer(aid) else { continue; };
                 if answer.answered_at >= since {
                     entries.push((
                         answer.answered_at,
@@ -182,7 +182,7 @@ pub fn session_ticker(db: &HiveDb, session: SessionId, since: Timestamp) -> Vec<
             }
         }
         for &c in db.comments_on(t) {
-            let comment = db.get_comment(c).expect("listed");
+            let Ok(comment) = db.get_comment(c) else { continue; };
             if comment.commented_at >= since {
                 entries.push((
                     comment.commented_at,
@@ -193,7 +193,7 @@ pub fn session_ticker(db: &HiveDb, session: SessionId, since: Timestamp) -> Vec<
     }
     // Bridge traffic (includes external-only tweeters).
     for &tid in db.tweets_in(session) {
-        let tweet = db.get_tweet(tid).expect("listed");
+        let Ok(tweet) = db.get_tweet(tid) else { continue; };
         if tweet.at >= since {
             entries.push((tweet.at, format!("[twitter] {}", tweet.render())));
         }
@@ -224,8 +224,7 @@ pub fn highlights(
         })
         .collect();
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite")
+        b.1.total_cmp(&a.1)
             .then_with(|| b.0.at.cmp(&a.0.at))
     });
     scored.truncate(k);

@@ -112,8 +112,7 @@ pub fn search_history(
         .collect();
     hits.sort_by(|a, b| {
         b.relevance
-            .partial_cmp(&a.relevance)
-            .expect("finite")
+            .total_cmp(&a.relevance)
             .then_with(|| b.record.at.cmp(&a.record.at))
     });
     if query.limit > 0 {

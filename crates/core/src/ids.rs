@@ -3,16 +3,15 @@
 //! Every platform entity gets its own index newtype so the borrow of a
 //! `SessionId` can never be confused with a `UserId` at a call site.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
         pub struct $name(pub u32);
+
+        hive_json::impl_json_newtype!($name);
 
         impl $name {
             /// The raw arena index.

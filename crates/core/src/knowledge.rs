@@ -146,8 +146,9 @@ impl KnowledgeNetwork {
         let mut st = TripleStore::new();
         fn ins(st: &mut TripleStore, s: String, p: &str, o: String, w: f64) {
             let w = w.clamp(f64::MIN_POSITIVE, 1.0);
-            st.insert(Term::iri(s), Term::iri(p), Term::iri(o), w)
-                .expect("validated triple");
+            // Weight is clamped into (0, 1] above and both positions are
+            // IRIs, so this cannot fail; ignore rather than panic.
+            let _ = st.insert(Term::iri(s), Term::iri(p), Term::iri(o), w);
         }
         for u in db.user_ids() {
             for v in db.connections_of(u) {
@@ -162,7 +163,8 @@ impl KnowledgeNetwork {
         // Co-authorship with shared-paper counts.
         let mut coauth: HashMap<(UserId, UserId), f64> = HashMap::new();
         for p in db.paper_ids() {
-            let authors = &db.get_paper(p).expect("listed id").authors;
+            let Ok(paper) = db.get_paper(p) else { continue; };
+            let authors = &paper.authors;
             for (i, &a) in authors.iter().enumerate() {
                 for &b in &authors[i + 1..] {
                     let key = if a < b { (a, b) } else { (b, a) };
@@ -174,7 +176,7 @@ impl KnowledgeNetwork {
             ins(&mut st, a.iri(), "rel:coauthor", b.iri(), (0.5 + 0.1 * n).min(1.0));
         }
         for p in db.paper_ids() {
-            let paper = db.get_paper(p).expect("listed id");
+            let Ok(paper) = db.get_paper(p) else { continue; };
             for &a in &paper.authors {
                 ins(&mut st, a.iri(), "rel:authored", p.iri(), 1.0);
             }
@@ -183,20 +185,23 @@ impl KnowledgeNetwork {
             }
         }
         for pres_id in db.presentation_ids() {
-            let pres = db.get_presentation(pres_id).expect("listed id");
+            let Ok(pres) = db.get_presentation(pres_id) else { continue; };
             ins(&mut st, pres.paper.iri(), "rel:presented_in", pres.session.iri(), 0.9);
         }
         for s in db.session_ids() {
-            let sess = db.get_session(s).expect("listed id");
+            let Ok(sess) = db.get_session(s) else { continue; };
             ins(&mut st, s.iri(), "rel:session_of", sess.conference.iri(), 0.8);
             for ci in db.checkins_in(s) {
                 ins(&mut st, ci.user.iri(), "rel:checked_in", s.iri(), 0.9);
             }
         }
         for q in db.question_ids() {
-            let question = db.get_question(q).expect("listed id");
+            let Ok(question) = db.get_question(q) else { continue; };
             let session = match question.target {
-                QaTarget::Presentation(p) => db.get_presentation(p).expect("valid").session,
+                QaTarget::Presentation(p) => match db.get_presentation(p) {
+                    Ok(pres) => pres.session,
+                    Err(_) => continue,
+                },
                 QaTarget::Session(s) => s,
             };
             ins(&mut st, question.author.iri(), "rel:discussed_in", session.iri(), 0.8);
@@ -236,7 +241,8 @@ fn build_coauthor(db: &HiveDb, w: &FusionWeights) -> Graph {
         g.add_node(u.iri());
     }
     for p in db.paper_ids() {
-        let authors = db.get_paper(p).expect("listed id").authors.clone();
+        let Ok(paper) = db.get_paper(p) else { continue; };
+            let authors = paper.authors.clone();
         for (i, &a) in authors.iter().enumerate() {
             for &b in &authors[i + 1..] {
                 let (na, nb) = (g.add_node(a.iri()), g.add_node(b.iri()));
@@ -253,7 +259,8 @@ fn build_citation(db: &HiveDb, _w: &FusionWeights) -> Graph {
         g.add_node(p.iri());
     }
     for p in db.paper_ids() {
-        let citations = db.get_paper(p).expect("listed id").citations.clone();
+        let Ok(paper) = db.get_paper(p) else { continue; };
+            let citations = paper.citations.clone();
         for c in citations {
             let (np, nc) = (g.add_node(p.iri()), g.add_node(c.iri()));
             g.add_edge(np, nc, 1.0);
@@ -299,7 +306,7 @@ fn build_unified(db: &HiveDb, w: &FusionWeights) -> Graph {
         }
     }
     for p in db.paper_ids() {
-        let paper = db.get_paper(p).expect("listed id").clone();
+        let Ok(paper) = db.get_paper(p).cloned() else { continue; };
         for (i, &a) in paper.authors.iter().enumerate() {
             und(&mut g, a.iri(), p.iri(), w.authorship);
             for &b in &paper.authors[i + 1..] {
@@ -311,18 +318,19 @@ fn build_unified(db: &HiveDb, w: &FusionWeights) -> Graph {
         }
     }
     for pres_id in db.presentation_ids() {
-        let pres = db.get_presentation(pres_id).expect("listed id");
+        let Ok(pres) = db.get_presentation(pres_id) else { continue; };
         und(&mut g, pres.paper.iri(), pres.session.iri(), w.presentation);
     }
     for s in db.session_ids() {
-        let conf = db.get_session(s).expect("listed id").conference;
+        let Ok(session) = db.get_session(s) else { continue; };
+            let conf = session.conference;
         und(&mut g, s.iri(), conf.iri(), w.attendance);
     }
     for q in db.question_ids() {
-        let question = db.get_question(q).expect("listed id").clone();
+        let Ok(question) = db.get_question(q).cloned() else { continue; };
         match question.target {
             QaTarget::Presentation(p) => {
-                let pres = db.get_presentation(p).expect("valid");
+                let Ok(pres) = db.get_presentation(p) else { continue; };
                 let (session, paper) = (pres.session, pres.paper);
                 und(&mut g, question.author.iri(), session.iri(), w.discussion);
                 und(&mut g, question.author.iri(), paper.iri(), w.view);
@@ -354,18 +362,18 @@ fn build_content(db: &HiveDb) -> ContentIndexes {
     // Index first so IDF reflects the whole collection...
     let mut paper_tf = HashMap::new();
     for p in db.paper_ids() {
-        paper_tf.insert(p, corpus.index_document(&db.get_paper(p).expect("id").text()));
+        let Ok(paper) = db.get_paper(p) else { continue; };
+        paper_tf.insert(p, corpus.index_document(&paper.text()));
     }
     let mut pres_tf = HashMap::new();
     for pr in db.presentation_ids() {
-        pres_tf.insert(
-            pr,
-            corpus.index_document(&db.get_presentation(pr).expect("id").slides_text),
-        );
+        let Ok(pres) = db.get_presentation(pr) else { continue; };
+        pres_tf.insert(pr, corpus.index_document(&pres.slides_text));
     }
     let mut sess_tf = HashMap::new();
     for s in db.session_ids() {
-        sess_tf.insert(s, corpus.index_document(&db.get_session(s).expect("id").text()));
+        let Ok(session) = db.get_session(s) else { continue; };
+        sess_tf.insert(s, corpus.index_document(&session.text()));
     }
     // ...then weight.
     let paper_vectors: HashMap<PaperId, SparseVector> =
@@ -377,7 +385,8 @@ fn build_content(db: &HiveDb) -> ContentIndexes {
     // User vectors: declared interests + authored papers, renormalized.
     let mut user_vectors = HashMap::new();
     for u in db.user_ids() {
-        let profile = db.get_user(u).expect("id").profile_text();
+        let Ok(user) = db.get_user(u) else { continue; };
+        let profile = user.profile_text();
         let mut v = corpus.vectorize(&profile);
         for &p in db.papers_of(u).to_vec().iter() {
             if let Some(pv) = paper_vectors.get(&p) {
@@ -396,13 +405,13 @@ fn build_concepts(db: &HiveDb) -> ContextNetwork {
     let paper_texts: Vec<String> = db
         .paper_ids()
         .iter()
-        .map(|&p| db.get_paper(p).expect("id").text())
+        .filter_map(|&p| db.get_paper(p).ok().map(|paper| paper.text()))
         .collect();
     let paper_refs: Vec<&str> = paper_texts.iter().map(String::as_str).collect();
     let session_texts: Vec<String> = db
         .session_ids()
         .iter()
-        .map(|&s| db.get_session(s).expect("id").text())
+        .filter_map(|&s| db.get_session(s).ok().map(|session| session.text()))
         .collect();
     let session_refs: Vec<&str> = session_texts.iter().map(String::as_str).collect();
     let papers_map = bootstrap_concept_map("papers", &paper_refs, BootstrapConfig::default());

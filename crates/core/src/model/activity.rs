@@ -10,10 +10,9 @@ use crate::ids::{
     AnswerId, CommentId, ConferenceId, PaperId, PresentationId, QuestionId, SessionId, UserId,
     WorkpadId,
 };
-use serde::{Deserialize, Serialize};
 
 /// One kind of platform activity.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ActivityEvent {
     /// Registered for / marked attendance at a conference.
     AttendConference(ConferenceId),
@@ -45,6 +44,23 @@ pub enum ActivityEvent {
     WorkpadAdd(WorkpadId),
 }
 
+hive_json::impl_json_enum_payload!(ActivityEvent {
+    AttendConference,
+    CheckIn,
+    UploadPresentation,
+    ReviseSlides,
+    ViewPresentation,
+    ViewPaper,
+    AskQuestion,
+    AnswerQuestion,
+    Comment,
+    Follow,
+    ConnectRequest,
+    ConnectAccept,
+    ActivateWorkpad,
+    WorkpadAdd,
+});
+
 impl ActivityEvent {
     /// Coarse category label used by report tables and the history
     /// service's value lattice.
@@ -66,7 +82,7 @@ impl ActivityEvent {
 }
 
 /// A timestamped log record.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ActivityRecord {
     /// The acting user.
     pub user: UserId,
@@ -75,6 +91,8 @@ pub struct ActivityRecord {
     /// When.
     pub at: Timestamp,
 }
+
+hive_json::impl_json_struct!(ActivityRecord { user, event, at });
 
 #[cfg(test)]
 mod tests {

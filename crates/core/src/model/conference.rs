@@ -2,13 +2,12 @@
 
 use crate::clock::Timestamp;
 use crate::ids::UserId;
-use serde::{Deserialize, Serialize};
 
 /// A conference edition. Hive is "conference-centric, yet
 /// cross-conference": the `series` name links editions across years
 /// (one of the nine relationship evidences is "same conference,
 /// different years").
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Conference {
     /// Series name, e.g. `"EDBT"`.
     pub series: String,
@@ -21,6 +20,8 @@ pub struct Conference {
     /// Duration in ticks.
     pub duration: u64,
 }
+
+hive_json::impl_json_struct!(Conference { series, year, location, starts_at, duration });
 
 impl Conference {
     /// Creates an edition.
@@ -46,7 +47,7 @@ impl Conference {
 }
 
 /// A technical session inside a conference edition.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Session {
     /// Owning conference (arena id lives in the DB; stored here as raw
     /// index for serialization friendliness).
@@ -64,6 +65,8 @@ pub struct Session {
     /// Length in ticks.
     pub duration: u64,
 }
+
+hive_json::impl_json_struct!(Session { conference, title, track, topics, chair, starts_at, duration });
 
 impl Session {
     /// Creates a session.

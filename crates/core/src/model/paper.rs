@@ -1,11 +1,10 @@
 //! Papers and uploaded presentations.
 
 use crate::ids::{ConferenceId, PaperId, SessionId, UserId};
-use serde::{Deserialize, Serialize};
 
 /// A published paper: the backbone of the co-authorship and citation
 /// layers of the knowledge network (Figure 3).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Paper {
     /// Paper title.
     pub title: String,
@@ -18,6 +17,8 @@ pub struct Paper {
     /// Outgoing citations (papers this one cites).
     pub citations: Vec<PaperId>,
 }
+
+hive_json::impl_json_struct!(Paper { title, abstract_text, authors, venue, citations });
 
 impl Paper {
     /// Creates a paper.
@@ -62,7 +63,7 @@ impl Paper {
 
 /// Uploaded slides for a paper, bound to a session ("Zach logs in to Hive
 /// and uploads his presentation slides").
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Presentation {
     /// The paper being presented.
     pub paper: PaperId,
@@ -76,6 +77,8 @@ pub struct Presentation {
     /// Revision counter, bumped on every slide correction.
     pub revision: u32,
 }
+
+hive_json::impl_json_struct!(Presentation { paper, presenter, session, slides_text, revision });
 
 impl Presentation {
     /// Creates a presentation upload.

@@ -4,10 +4,9 @@
 
 use crate::clock::Timestamp;
 use crate::ids::{PresentationId, QuestionId, SessionId, UserId};
-use serde::{Deserialize, Serialize};
 
 /// What a question or comment is attached to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum QaTarget {
     /// A specific presentation.
     Presentation(PresentationId),
@@ -15,8 +14,10 @@ pub enum QaTarget {
     Session(SessionId),
 }
 
+hive_json::impl_json_enum_payload!(QaTarget { Presentation, Session });
+
 /// A posted question.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Question {
     /// Who asked.
     pub author: UserId,
@@ -31,8 +32,10 @@ pub struct Question {
     pub broadcast: bool,
 }
 
+hive_json::impl_json_struct!(Question { author, target, text, asked_at, broadcast });
+
 /// An answer to a question.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Answer {
     /// The question being answered.
     pub question: QuestionId,
@@ -44,8 +47,10 @@ pub struct Answer {
     pub answered_at: Timestamp,
 }
 
+hive_json::impl_json_struct!(Answer { question, author, text, answered_at });
+
 /// A comment on a presentation or session.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Comment {
     /// Who commented.
     pub author: UserId,
@@ -56,6 +61,8 @@ pub struct Comment {
     /// When.
     pub commented_at: Timestamp,
 }
+
+hive_json::impl_json_struct!(Comment { author, target, text, commented_at });
 
 #[cfg(test)]
 mod tests {

@@ -2,12 +2,11 @@
 
 use crate::clock::Timestamp;
 use crate::ids::{SessionId, UserId};
-use serde::{Deserialize, Serialize};
 
 /// A directed follow: `follower` receives real-time updates about
 /// `followee`'s "(session check-in, question, comment, answer)
 /// activities" (use scenario, bullet 1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Follow {
     /// Who follows.
     pub follower: UserId,
@@ -17,8 +16,10 @@ pub struct Follow {
     pub since: Timestamp,
 }
 
+hive_json::impl_json_struct!(Follow { follower, followee, since });
+
 /// Lifecycle of a (mutual) connection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ConnectionState {
     /// Request sent, awaiting acknowledgement ("Zach sends a connection
     /// request to Aaron and receives an acknowledgement a few minutes
@@ -30,9 +31,11 @@ pub enum ConnectionState {
     Declined,
 }
 
+hive_json::impl_json_enum_unit!(ConnectionState { Pending, Accepted, Declined });
+
 /// A connection between two researchers (undirected once accepted;
 /// `from` initiated it).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Connection {
     /// Who sent the request.
     pub from: UserId,
@@ -45,6 +48,8 @@ pub struct Connection {
     /// Accept/decline time, if resolved.
     pub resolved_at: Option<Timestamp>,
 }
+
+hive_json::impl_json_struct!(Connection { from, to, state, requested_at, resolved_at });
 
 impl Connection {
     /// True if the connection involves `u`.
@@ -67,7 +72,7 @@ impl Connection {
 /// A session check-in ("keep track of the technical research sessions
 /// they are attending"). Check-ins are the session-participation
 /// relationship evidence and the raw signal for attendance prediction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CheckIn {
     /// Who checked in.
     pub user: UserId,
@@ -76,6 +81,8 @@ pub struct CheckIn {
     /// When.
     pub at: Timestamp,
 }
+
+hive_json::impl_json_struct!(CheckIn { user, session, at });
 
 #[cfg(test)]
 mod tests {

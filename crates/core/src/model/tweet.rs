@@ -8,10 +8,9 @@
 
 use crate::clock::Timestamp;
 use crate::ids::{SessionId, UserId};
-use serde::{Deserialize, Serialize};
 
 /// A tweet mirrored to/from a session hashtag.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tweet {
     /// The platform user it maps to (None = external-only account).
     pub author: Option<UserId>,
@@ -24,6 +23,8 @@ pub struct Tweet {
     /// When it was posted.
     pub at: Timestamp,
 }
+
+hive_json::impl_json_struct!(Tweet { author, handle, text, session, at });
 
 impl Tweet {
     /// The canonical hashtag for a session.

@@ -1,13 +1,12 @@
 //! Researcher profiles.
 
-use serde::{Deserialize, Serialize};
 
 /// A registered researcher.
 ///
 /// "Profile and declared interest" and "current and past affiliation,
 /// group membership" are the first two relationship evidences of §2, so
 /// the profile carries all three.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct User {
     /// Display name.
     pub name: String,
@@ -20,6 +19,8 @@ pub struct User {
     /// Group memberships (labs, working groups, PCs).
     pub groups: Vec<String>,
 }
+
+hive_json::impl_json_struct!(User { name, affiliation, past_affiliations, interests, groups });
 
 impl User {
     /// Creates a minimal profile.

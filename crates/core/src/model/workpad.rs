@@ -10,10 +10,9 @@
 use crate::ids::{
     CollectionId, PaperId, PresentationId, QuestionId, SessionId, UserId,
 };
-use serde::{Deserialize, Serialize};
 
 /// Anything that can be dragged onto a workpad.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WorkpadItem {
     /// A researcher's avatar.
     UserAvatar(UserId),
@@ -31,8 +30,18 @@ pub enum WorkpadItem {
     Note(u32),
 }
 
+hive_json::impl_json_enum_payload!(WorkpadItem {
+    UserAvatar,
+    Paper,
+    Presentation,
+    Session,
+    Question,
+    Collection,
+    Note,
+});
+
 /// A named workpad owned by one user.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Workpad {
     /// Owner.
     pub owner: UserId,
@@ -43,6 +52,8 @@ pub struct Workpad {
     /// Free-form note texts referenced by `WorkpadItem::Note` ids.
     pub notes: Vec<String>,
 }
+
+hive_json::impl_json_struct!(Workpad { owner, name, items, notes });
 
 impl Workpad {
     /// Creates an empty workpad.
@@ -92,7 +103,7 @@ impl Workpad {
 }
 
 /// An exported (shareable, immutable) snapshot of a workpad.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Collection {
     /// Who exported it.
     pub owner: UserId,
@@ -103,6 +114,8 @@ pub struct Collection {
     /// Frozen note texts.
     pub notes: Vec<String>,
 }
+
+hive_json::impl_json_struct!(Collection { owner, name, items, notes });
 
 impl Collection {
     /// Freezes a workpad into a collection.

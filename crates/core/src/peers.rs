@@ -121,7 +121,7 @@ pub fn recommend_peers(
         .filter_map(|n| parse_user_iri(g.key(n)).map(|u| (u, ppr[n.index()])))
         .filter(|(u, _)| *u != user && !connected.contains(u))
         .collect();
-    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     candidates.truncate(cfg.candidate_pool.max(cfg.top_k));
     let max_ppr = candidates
         .first()
@@ -145,8 +145,7 @@ pub fn recommend_peers(
         .collect();
     scored.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("finite")
+            .total_cmp(&a.score)
             .then_with(|| a.user.cmp(&b.user))
     });
     scored.truncate(cfg.top_k);
@@ -192,7 +191,7 @@ pub fn predict_sessions(
             (s, 0.6 * content + 0.4 * social)
         })
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out.truncate(k);
     out.retain(|(_, s)| *s > 0.0);
     out

@@ -12,13 +12,12 @@ use crate::db::HiveDb;
 use crate::error::{HiveError, Result};
 use crate::ids::*;
 use crate::model::*;
-use serde::{Deserialize, Serialize};
 
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// Serializable form of the whole platform.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PlatformSnapshot {
     /// Format version.
     pub version: u32,
@@ -62,6 +61,29 @@ pub struct PlatformSnapshot {
     pub log: Vec<ActivityRecord>,
 }
 
+hive_json::impl_json_struct!(PlatformSnapshot {
+    version,
+    now,
+    users,
+    conferences,
+    sessions,
+    papers,
+    presentations,
+    questions,
+    answers,
+    comments,
+    workpads,
+    collections,
+    tweets,
+    follows,
+    follow_filters,
+    connections,
+    checkins,
+    attendance,
+    active_workpads,
+    log,
+});
+
 impl HiveDb {
     /// Captures the full platform state.
     pub fn snapshot(&self) -> PlatformSnapshot {
@@ -70,8 +92,7 @@ impl HiveDb {
 
     /// Serializes the platform to JSON.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(&self.snapshot())
-            .map_err(|e| HiveError::Invalid(format!("serialize platform: {e}")))
+        Ok(hive_json::to_string(&self.snapshot()))
     }
 
     /// Restores a platform from a snapshot, rebuilding every secondary
@@ -88,7 +109,7 @@ impl HiveDb {
 
     /// Restores a platform from JSON produced by [`HiveDb::to_json`].
     pub fn from_json(json: &str) -> Result<Self> {
-        let snap: PlatformSnapshot = serde_json::from_str(json)
+        let snap: PlatformSnapshot = hive_json::from_str(json)
             .map_err(|e| HiveError::Invalid(format!("parse platform snapshot: {e}")))?;
         Self::from_snapshot(&snap)
     }

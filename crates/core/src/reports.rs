@@ -106,18 +106,18 @@ pub fn activity_table(
     // who: name -> affiliation -> *
     let mut who = ValueLattice::new("*");
     for u in db.user_ids() {
-        let user = db.get_user(u).expect("listed");
+        let Ok(user) = db.get_user(u) else { continue; };
         who.add_child("*", user.affiliation.clone());
         who.add_child(user.affiliation.clone(), user.name.clone());
     }
     // where: "session <title>" -> "track <track>" -> "conf <name>" -> *
     let mut place = ValueLattice::new("*");
     for c in db.conference_ids() {
-        let conf = db.get_conference(c).expect("listed");
+        let Ok(conf) = db.get_conference(c) else { continue; };
         place.add_child("*", format!("conf {}", conf.display_name()));
     }
     for s in db.session_ids() {
-        let sess = db.get_session(s).expect("listed");
+        let Ok(sess) = db.get_session(s) else { continue; };
         let conf = db
             .get_conference(sess.conference)
             .map(|x| format!("conf {}", x.display_name()))

@@ -20,9 +20,7 @@ use crate::db::HiveDb;
 use crate::ids::{ConferenceId, PresentationId, SessionId, UserId};
 use crate::model::*;
 use hive_graph::Graph;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use hive_rng::{Rng, SliceRandom};
 
 mod text_gen;
 pub use text_gen::{topic_count, topic_phrase, topic_sentence, TOPIC_NAMES};
@@ -154,7 +152,7 @@ impl WorldBuilder {
     pub fn build(&self) -> World {
         let cfg = self.cfg;
         let topics = cfg.topics.min(topic_count());
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let mut db = HiveDb::new();
 
         // ---- users -----------------------------------------------------
@@ -215,7 +213,7 @@ impl WorldBuilder {
                 let session = Session::new(cid, title, format!("R{}", s % 4 + 1))
                     .with_topics(topics_text)
                     .scheduled(db.now().plus(100 + (s as u64 / 4) * 90), 90);
-                let sid = db.add_session(session).expect("valid conference");
+                let Ok(sid) = db.add_session(session) else { continue; };
                 session_topics.push((sid, topic));
                 sess.push(sid);
             }
@@ -263,14 +261,14 @@ impl WorldBuilder {
                 }
                 let title = text_gen::topic_title(topic, &mut rng);
                 let abstract_text = text_gen::topic_abstract(topic, &mut rng);
-                let pid = db
-                    .add_paper(
-                        Paper::new(title, authors.clone())
-                            .with_abstract(abstract_text)
-                            .at_venue(cid)
-                            .citing(citations),
-                    )
-                    .expect("validated paper");
+                let Ok(pid) = db.add_paper(
+                    Paper::new(title, authors.clone())
+                        .with_abstract(abstract_text)
+                        .at_venue(cid)
+                        .citing(citations),
+                ) else {
+                    continue;
+                };
                 papers_by_topic[topic].push(pid);
                 // Present at a topically matching session of this conference.
                 let matching: Vec<SessionId> = sessions_of_conf[e]
@@ -284,12 +282,11 @@ impl WorldBuilder {
                     .collect();
                 if let Some(&session) = matching.first() {
                     let slides = text_gen::topic_abstract(topic, &mut rng);
-                    let pres = db
-                        .add_presentation(
-                            Presentation::new(pid, authors[0], session).with_slides(slides),
-                        )
-                        .expect("validated presentation");
-                    presentations.push((pres, topic));
+                    if let Ok(pres) = db.add_presentation(
+                        Presentation::new(pid, authors[0], session).with_slides(slides),
+                    ) {
+                        presentations.push((pres, topic));
+                    }
                 }
             }
         }
@@ -300,8 +297,9 @@ impl WorldBuilder {
             // matching MM'11 where the platform served the whole venue).
             let mut attendees: Vec<UserId> = Vec::new();
             for &u in &users {
-                if cfg.attendance_prob >= 1.0 || rng.gen_bool(cfg.attendance_prob.max(0.0)) {
-                    db.attend(u, cid).expect("valid");
+                if (cfg.attendance_prob >= 1.0 || rng.gen_bool(cfg.attendance_prob.max(0.0)))
+                    && db.attend(u, cid).is_ok()
+                {
                     attendees.push(u);
                 }
             }
@@ -322,7 +320,7 @@ impl WorldBuilder {
                     } else {
                         sessions_of_conf[e][rng.gen_range(0..sessions_of_conf[e].len())]
                     };
-                    db.check_in(u, session).expect("valid");
+                    let _ = db.check_in(u, session);
                 }
                 // Questions.
                 if rng.gen_bool((cfg.question_rate / 2.0).min(1.0)) {
@@ -332,24 +330,26 @@ impl WorldBuilder {
                         .collect();
                     if let Some(&&(pres, topic)) = topical.choose(&mut rng) {
                         db.advance_clock(1);
-                        let q = db
-                            .ask_question(
-                                u,
-                                QaTarget::Presentation(pres),
-                                text_gen::topic_question(topic, &mut rng),
-                                rng.gen_bool(0.3),
-                            )
-                            .expect("valid");
-                        if rng.gen_bool(cfg.answer_rate) {
-                            let presenter = db.get_presentation(pres).expect("valid").presenter;
-                            if presenter != u {
-                                db.advance_clock(1);
-                                db.answer_question(
-                                    presenter,
-                                    q,
-                                    text_gen::topic_sentence(topic, &mut rng),
-                                )
-                                .expect("valid");
+                        let asked = db.ask_question(
+                            u,
+                            QaTarget::Presentation(pres),
+                            text_gen::topic_question(topic, &mut rng),
+                            rng.gen_bool(0.3),
+                        );
+                        if let Ok(q) = asked {
+                            if rng.gen_bool(cfg.answer_rate) {
+                                let presenter =
+                                    db.get_presentation(pres).map(|pr| pr.presenter);
+                                if let Ok(presenter) = presenter {
+                                    if presenter != u {
+                                        db.advance_clock(1);
+                                        let _ = db.answer_question(
+                                            presenter,
+                                            q,
+                                            text_gen::topic_sentence(topic, &mut rng),
+                                        );
+                                    }
+                                }
                             }
                         }
                     }
@@ -361,7 +361,7 @@ impl WorldBuilder {
                     if !all_papers.is_empty() {
                         let p = all_papers[rng.gen_range(0..all_papers.len())];
                         db.advance_clock(1);
-                        db.view_paper(u, p).expect("valid");
+                        let _ = db.view_paper(u, p);
                     }
                 }
             }
@@ -400,7 +400,7 @@ impl WorldBuilder {
                 }
                 db.advance_clock(1);
                 if db.request_connection(u, v).is_ok() {
-                    db.respond_connection(v, u, true).expect("pending request");
+                    let _ = db.respond_connection(v, u, true);
                 }
             }
         }
@@ -459,9 +459,9 @@ pub fn epoch_interaction_graphs(db: &HiveDb, epoch_width: u64) -> Vec<Graph> {
     }
     // Q&A exchanges.
     for q in db.question_ids() {
-        let question = db.get_question(q).expect("listed");
+        let Ok(question) = db.get_question(q) else { continue; };
         for &aid in db.answers_to(q) {
-            let answer = db.get_answer(aid).expect("listed");
+            let Ok(answer) = db.get_answer(aid) else { continue; };
             if answer.author == question.author {
                 continue;
             }

@@ -6,9 +6,7 @@
 //! under TF-IDF (which is what the content-similarity services need) and
 //! distinct across topics.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use hive_rng::{Rng, SliceRandom};
 
 /// Topic display names, index-aligned with the vocabularies.
 pub const TOPIC_NAMES: [&str; 12] = [
@@ -60,7 +58,7 @@ fn terms(topic: usize) -> &'static [&'static str] {
 }
 
 /// A short topical phrase (2 terms).
-pub fn topic_phrase(topic: usize, rng: &mut StdRng) -> String {
+pub fn topic_phrase(topic: usize, rng: &mut Rng) -> String {
     let pool = terms(topic);
     let a = pool[rng.gen_range(0..pool.len())];
     let mut b = pool[rng.gen_range(0..pool.len())];
@@ -71,7 +69,7 @@ pub fn topic_phrase(topic: usize, rng: &mut StdRng) -> String {
 }
 
 /// A paper/session title.
-pub fn topic_title(topic: usize, rng: &mut StdRng) -> String {
+pub fn topic_title(topic: usize, rng: &mut Rng) -> String {
     let pool = terms(topic);
     let patterns = [
         format!(
@@ -96,7 +94,7 @@ pub fn topic_title(topic: usize, rng: &mut StdRng) -> String {
 }
 
 /// One topical sentence.
-pub fn topic_sentence(topic: usize, rng: &mut StdRng) -> String {
+pub fn topic_sentence(topic: usize, rng: &mut Rng) -> String {
     let pool = terms(topic);
     format!(
         "The {} {} approach improves {} under {} workloads.",
@@ -108,19 +106,19 @@ pub fn topic_sentence(topic: usize, rng: &mut StdRng) -> String {
 }
 
 /// A multi-sentence abstract (4 topical + 1 glue sentence).
-pub fn topic_abstract(topic: usize, rng: &mut StdRng) -> String {
+pub fn topic_abstract(topic: usize, rng: &mut Rng) -> String {
     let mut out = String::new();
     for _ in 0..4 {
         out.push_str(&topic_sentence(topic, rng));
         out.push(' ');
     }
-    out.push_str(GLUE_SENTENCES.choose(rng).expect("non-empty"));
+    out.push_str(GLUE_SENTENCES.choose(rng).copied().unwrap_or(""));
     out.push('.');
     out
 }
 
 /// A question about a presentation.
-pub fn topic_question(topic: usize, rng: &mut StdRng) -> String {
+pub fn topic_question(topic: usize, rng: &mut Rng) -> String {
     let pool = terms(topic);
     format!(
         "How does the {} handle {} when the {} grows?",
@@ -133,19 +131,18 @@ pub fn topic_question(topic: usize, rng: &mut StdRng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn generation_is_deterministic() {
-        let mut r1 = StdRng::seed_from_u64(5);
-        let mut r2 = StdRng::seed_from_u64(5);
+        let mut r1 = Rng::seed_from_u64(5);
+        let mut r2 = Rng::seed_from_u64(5);
         assert_eq!(topic_abstract(0, &mut r1), topic_abstract(0, &mut r2));
         assert_eq!(topic_title(3, &mut r1), topic_title(3, &mut r2));
     }
 
     #[test]
     fn phrases_use_topic_vocabulary() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for t in 0..topic_count() {
             let p = topic_phrase(t, &mut rng);
             let words: Vec<&str> = p.split(' ').collect();
@@ -158,7 +155,7 @@ mod tests {
 
     #[test]
     fn same_topic_texts_share_vocabulary() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let a = topic_abstract(0, &mut rng);
         let b = topic_abstract(0, &mut rng);
         let c = topic_abstract(5, &mut rng);

@@ -52,13 +52,13 @@ pub fn trending_sessions(
             }
         }
         for &tid in db.tweets_in(s) {
-            if in_window(db.get_tweet(tid).expect("listed").at) {
+            if db.get_tweet(tid).map(|t| in_window(t.at)).unwrap_or(false) {
                 *heat.entry(s).or_insert(0.0) += w.tweet;
             }
         }
     }
     for q in db.question_ids() {
-        let question = db.get_question(q).expect("listed");
+        let Ok(question) = db.get_question(q) else { continue; };
         let session = match question.target {
             QaTarget::Presentation(p) => match db.get_presentation(p) {
                 Ok(pres) => pres.session,
@@ -70,14 +70,14 @@ pub fn trending_sessions(
             *heat.entry(session).or_insert(0.0) += w.question;
         }
         for &aid in db.answers_to(q) {
-            let answer = db.get_answer(aid).expect("listed");
+            let Ok(answer) = db.get_answer(aid) else { continue; };
             if in_window(answer.answered_at) {
                 *heat.entry(session).or_insert(0.0) += w.answer;
             }
         }
     }
     let mut out: Vec<(SessionId, f64)> = heat.into_iter().filter(|(_, h)| *h > 0.0).collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out.truncate(k);
     out
 }
@@ -93,12 +93,12 @@ fn discussion_terms(db: &HiveDb, from: Timestamp, to: Timestamp) -> HashMap<Stri
         }
     };
     for q in db.question_ids() {
-        let question = db.get_question(q).expect("listed");
+        let Ok(question) = db.get_question(q) else { continue; };
         if in_window(question.asked_at) {
             bump(&mut counts, &question.text);
         }
         for &aid in db.answers_to(q) {
-            let answer = db.get_answer(aid).expect("listed");
+            let Ok(answer) = db.get_answer(aid) else { continue; };
             if in_window(answer.answered_at) {
                 bump(&mut counts, &answer.text);
             }
@@ -106,7 +106,7 @@ fn discussion_terms(db: &HiveDb, from: Timestamp, to: Timestamp) -> HashMap<Stri
     }
     for s in db.session_ids() {
         for &tid in db.tweets_in(s) {
-            let tweet = db.get_tweet(tid).expect("listed");
+            let Ok(tweet) = db.get_tweet(tid) else { continue; };
             if in_window(tweet.at) {
                 bump(&mut counts, &tweet.text);
             }
@@ -137,7 +137,7 @@ pub fn rising_topics(
             (term, lift * (c as f64).sqrt())
         })
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out.truncate(k);
     out
 }

@@ -2,9 +2,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::shortest::dijkstra;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use hive_rng::{Rng, SliceRandom};
 
 /// Weighted degree centrality (sum of out-edge weights) per node.
 pub fn degree_centrality(g: &Graph) -> Vec<f64> {
@@ -45,7 +43,7 @@ pub fn harmonic_centrality_sampled(g: &Graph, samples: usize, seed: u64) -> Vec<
         return scores;
     }
     let mut pivots: Vec<NodeId> = g.nodes().collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     pivots.shuffle(&mut rng);
     pivots.truncate(samples.min(n));
     let scale = n as f64 / pivots.len() as f64;
@@ -78,7 +76,7 @@ pub fn betweenness_sampled(g: &Graph, samples: usize, seed: u64) -> Vec<f64> {
         return score;
     }
     let mut pivots: Vec<NodeId> = g.nodes().collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     pivots.shuffle(&mut rng);
     pivots.truncate(samples.min(n));
     let scale = n as f64 / pivots.len() as f64;

@@ -7,9 +7,7 @@
 //! co-authorship layers are built.
 
 use crate::graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use hive_rng::{Rng, SliceRandom};
 use std::collections::HashMap;
 
 /// A community label per node, with labels densely renumbered from 0.
@@ -114,7 +112,7 @@ pub fn label_propagation(g: &Graph, seed: u64, max_iters: usize) -> CommunityAss
     let n = g.node_count();
     let mut labels: Vec<usize> = (0..n).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for _ in 0..max_iters {
         order.shuffle(&mut rng);
         let mut changed = false;
@@ -133,11 +131,13 @@ pub fn label_propagation(g: &Graph, seed: u64, max_iters: usize) -> CommunityAss
             if tally.is_empty() {
                 continue;
             }
-            let best = tally
+            let Some(best) = tally
                 .into_iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(b.0.cmp(&a.0)))
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
                 .map(|(l, _)| l)
-                .expect("non-empty tally");
+            else {
+                continue;
+            };
             if best != labels[i] {
                 labels[i] = best;
                 changed = true;

@@ -5,11 +5,10 @@
 //! in-memory representation. Parallel edges are merged by summing weights
 //! (repeated interactions strengthen a relationship).
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Dense node identifier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -30,7 +29,7 @@ pub struct EdgeRef {
 
 /// Directed weighted graph. Node keys are interned strings (entity IRIs
 /// in practice); parallel edge insertions accumulate weight.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     keys: Vec<String>,
     by_key: HashMap<String, NodeId>,
@@ -51,7 +50,9 @@ impl Graph {
         if let Some(&id) = self.by_key.get(&key) {
             return id;
         }
-        let id = NodeId(u32::try_from(self.keys.len()).expect("node id overflow"));
+        // Capacity invariant: node ids are u32; see TermDict::intern for
+        // the same rationale.
+        let id = NodeId(u32::try_from(self.keys.len()).expect("node id overflow")); // lint:allow(no-panic-paths)
         self.by_key.insert(key.clone(), id);
         self.keys.push(key);
         self.out.push(Vec::new());
@@ -89,11 +90,13 @@ impl Graph {
         );
         if let Some(slot) = self.out[u.index()].iter_mut().find(|(n, _)| *n == v) {
             slot.1 += weight;
-            let back = self.inc[v.index()]
-                .iter_mut()
-                .find(|(n, _)| *n == u)
-                .expect("in-adjacency out of sync");
-            back.1 += weight;
+            // The in-adjacency mirror must hold a matching entry; if it
+            // ever drifted, re-creating it here repairs the invariant
+            // instead of panicking.
+            match self.inc[v.index()].iter_mut().find(|(n, _)| *n == u) {
+                Some(back) => back.1 += weight,
+                None => self.inc[v.index()].push((u, weight)),
+            }
         } else {
             self.out[u.index()].push((v, weight));
             self.inc[v.index()].push((u, weight));

@@ -102,7 +102,7 @@ pub fn top_k_excluding_seeds(
         .filter(|n| !seeds.contains_key(n))
         .map(|n| (n, scores[n.index()]))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked.truncate(k);
     ranked
 }

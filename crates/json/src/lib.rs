@@ -1,0 +1,631 @@
+//! # hive-json — dependency-free JSON for snapshots
+//!
+//! The store and platform snapshot formats (see `hive-store::snapshot`
+//! and `hive-core::persist`) are JSON so they stay diffable and
+//! tool-readable, but the workspace is hermetic: no registry crates.
+//! This crate supplies the whole serialization stack in ~700 lines:
+//!
+//! * [`Json`] — an owned JSON value (objects preserve insertion order,
+//!   so equal states serialize to byte-identical strings),
+//! * [`Json::render`] / [`Json::parse`] — writer and recursive-descent
+//!   parser with a depth limit,
+//! * [`ToJson`] / [`FromJson`] — conversion traits with impls for the
+//!   primitives, `Vec`, `Option`, and small tuples,
+//! * [`impl_json_struct!`], [`impl_json_newtype!`],
+//!   [`impl_json_enum_unit!`], [`impl_json_enum_payload!`] — macros that
+//!   replace the old `#[derive(Serialize, Deserialize)]` sites with
+//!   explicit, greppable impls.
+//!
+//! Representation conventions match what serde_json derived for the
+//! same types, so pre-existing snapshot files keep loading: structs are
+//! objects, newtypes are their inner value, unit enum variants are
+//! strings, payload variants are `{"Variant": value}` objects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+mod parse;
+mod write;
+
+pub use parse::MAX_DEPTH;
+
+/// An owned JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number that lexed as an integer (no `.`, `e`, or `E`).
+    Int(i64),
+    /// Any other number. Non-finite values render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (not sorted, not deduplicated).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced by parsing or by [`FromJson`] conversions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    /// Convenience constructor.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError(msg.into())
+    }
+}
+
+impl Json {
+    /// Parses a JSON document (must consume the full input).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        parse::parse(text)
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        write::write(self, &mut out);
+        out
+    }
+
+    /// Looks up a key in an object; `Err` if missing or not an object.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field `{key}`"))),
+            other => Err(JsonError::new(format!(
+                "expected object with field `{key}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Short type label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "int",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::new(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// Numeric value as `f64` (accepts `Int` and `Float`).
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Int(v) => Ok(*v as f64),
+            Json::Float(v) => Ok(*v),
+            other => Err(JsonError::new(format!("expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// Integer value (rejects floats with a fractional part).
+    pub fn as_i64(&self) -> Result<i64, JsonError> {
+        match self {
+            Json::Int(v) => Ok(*v),
+            Json::Float(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Ok(*v as i64),
+            other => Err(JsonError::new(format!("expected integer, got {}", other.kind()))),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion out of a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstructs the value; errors carry a human-readable reason.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// One-call serialization: value → JSON string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render()
+}
+
+/// One-call deserialization: JSON string → value.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                match i64::try_from(*self) {
+                    Ok(v) => Json::Int(v),
+                    // Out of i64 range (huge u64): degrade to float.
+                    Err(_) => Json::Float(*self as f64),
+                }
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| JsonError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_json_int!(i64, i32, u64, u32, u16, u8, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+macro_rules! impl_json_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:literal) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: FromJson),+> FromJson for ($($name,)+) {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let items = v.as_arr()?;
+                if items.len() != $len {
+                    return Err(JsonError::new(format!(
+                        "expected {}-tuple, got array of {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_json_tuple!(A:0 ; 1);
+impl_json_tuple!(A:0, B:1 ; 2);
+impl_json_tuple!(A:0, B:1, C:2 ; 3);
+impl_json_tuple!(A:0, B:1, C:2, D:3 ; 4);
+impl_json_tuple!(A:0, B:1, C:2, D:3, E:4 ; 5);
+
+// ---------------------------------------------------------------------
+// Derive-replacement macros
+// ---------------------------------------------------------------------
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with named public
+/// fields, serialized as an object in field order.
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(::std::vec![
+                    $( (
+                        ::std::string::String::from(stringify!($field)),
+                        $crate::ToJson::to_json(&self.$field),
+                    ), )*
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> ::std::result::Result<Self, $crate::JsonError> {
+                ::std::result::Result::Ok($ty {
+                    $( $field: v
+                        .field(stringify!($field))
+                        .and_then($crate::FromJson::from_json)
+                        .map_err(|e| $crate::JsonError::new(::std::format!(
+                            "{}.{}: {}", stringify!($ty), stringify!($field), e.0
+                        )))?, )*
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a single-field tuple struct
+/// (id newtypes, timestamps), serialized as the bare inner value.
+#[macro_export]
+macro_rules! impl_json_newtype {
+    ($($ty:ident),* $(,)?) => {$(
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> ::std::result::Result<Self, $crate::JsonError> {
+                ::std::result::Result::Ok($ty($crate::FromJson::from_json(v)?))
+            }
+        }
+    )*};
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for an enum of unit variants,
+/// serialized as the variant name string.
+#[macro_export]
+macro_rules! impl_json_enum_unit {
+    ($ty:ident { $($variant:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $( $ty::$variant =>
+                        $crate::Json::Str(::std::string::String::from(stringify!($variant))), )*
+                }
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> ::std::result::Result<Self, $crate::JsonError> {
+                match v.as_str()? {
+                    $( stringify!($variant) => ::std::result::Result::Ok($ty::$variant), )*
+                    other => ::std::result::Result::Err($crate::JsonError::new(
+                        ::std::format!("unknown {} variant `{}`", stringify!($ty), other),
+                    )),
+                }
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for an enum where every variant
+/// carries exactly one payload, serialized externally tagged as
+/// `{"Variant": payload}`.
+#[macro_export]
+macro_rules! impl_json_enum_payload {
+    ($ty:ident { $($variant:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $( $ty::$variant(inner) => $crate::Json::Obj(::std::vec![(
+                        ::std::string::String::from(stringify!($variant)),
+                        $crate::ToJson::to_json(inner),
+                    )]), )*
+                }
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> ::std::result::Result<Self, $crate::JsonError> {
+                match v {
+                    $crate::Json::Obj(pairs) if pairs.len() == 1 => {
+                        let (tag, inner) = &pairs[0];
+                        match tag.as_str() {
+                            $( stringify!($variant) => ::std::result::Result::Ok(
+                                $ty::$variant($crate::FromJson::from_json(inner)?),
+                            ), )*
+                            other => ::std::result::Result::Err($crate::JsonError::new(
+                                ::std::format!("unknown {} variant `{}`", stringify!($ty), other),
+                            )),
+                        }
+                    }
+                    other => ::std::result::Result::Err($crate::JsonError::new(::std::format!(
+                        "expected single-key object for {}, got {}",
+                        stringify!($ty),
+                        other.kind(),
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_primitives() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-42).render(), "-42");
+        assert_eq!(Json::Float(0.5).render(), "0.5");
+        assert_eq!(Json::Str("hi".into()).render(), "\"hi\"");
+    }
+
+    #[test]
+    fn render_escapes() {
+        let s = Json::Str("a\"b\\c\nd\te\u{1}".into()).render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn render_containers() {
+        let v = Json::Arr(vec![Json::Int(1), Json::Null]);
+        assert_eq!(v.render(), "[1,null]");
+        let o = Json::Obj(vec![("a".into(), Json::Int(1)), ("b".into(), Json::Bool(false))]);
+        assert_eq!(o.render(), "{\"a\":1,\"b\":false}");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let cases = [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "3.25",
+            "1e3",
+            "\"hello\"",
+            "[]",
+            "[1,2,3]",
+            "{}",
+            "{\"k\":\"v\",\"n\":[null,false]}",
+        ];
+        for c in cases {
+            let v = Json::parse(c).expect(c);
+            let again = Json::parse(&v.render()).expect(c);
+            assert_eq!(v, again, "case {c}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_nesting() {
+        let v = Json::parse(" { \"a\" : [ 1 , { \"b\" : null } ] } ").expect("parses");
+        let a = v.field("a").expect("field");
+        assert_eq!(a.as_arr().expect("arr").len(), 2);
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = Json::parse(r#""a\"b\\c\nd\u0041\u00e9""#).expect("parses");
+        assert_eq!(v.as_str().expect("str"), "a\"b\\c\ndA\u{e9}");
+    }
+
+    #[test]
+    fn parse_surrogate_pair() {
+        let v = Json::parse(r#""\ud83d\ude00""#).expect("parses");
+        assert_eq!(v.as_str().expect("str"), "\u{1F600}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "", "{", "}", "[1,", "{\"a\":}", "tru", "nul", "01", "+1", "1.", ".5",
+            "\"unterminated", "\"bad \\q escape\"", "[1] trailing", "{\"a\" 1}",
+            "\"\\ud800\"", "--1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_limited() {
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(10) + &"]".repeat(10);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn numbers_keep_integer_identity() {
+        assert_eq!(Json::parse("42").expect("int"), Json::Int(42));
+        assert_eq!(Json::parse("42.0").expect("float"), Json::Float(42.0));
+        assert_eq!(Json::parse("1e2").expect("float"), Json::Float(100.0));
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact() {
+        for v in [0.1, 1.0 / 3.0, 1e-300, -2.5e17, f64::MAX, f64::MIN_POSITIVE] {
+            let s = Json::Float(v).render();
+            let back = Json::parse(&s).expect("parses");
+            assert_eq!(back.as_f64().expect("num").to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn primitive_conversions_round_trip() {
+        let v: u32 = 7;
+        assert_eq!(u32::from_json(&v.to_json()).expect("u32"), 7);
+        let s = String::from("x");
+        assert_eq!(String::from_json(&s.to_json()).expect("string"), "x");
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_json(&o.to_json()).expect("opt"), None);
+        let t = (1u32, String::from("a"), 0.5f64);
+        let back: (u32, String, f64) = FromJson::from_json(&t.to_json()).expect("tuple");
+        assert_eq!(back, t);
+        let vec = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_json(&vec.to_json()).expect("vec"), vec);
+    }
+
+    #[test]
+    fn conversion_errors_are_descriptive() {
+        let err = u32::from_json(&Json::Int(-1)).expect_err("negative");
+        assert!(err.0.contains("out of range"));
+        let err = bool::from_json(&Json::Int(0)).expect_err("not bool");
+        assert!(err.0.contains("expected bool"));
+    }
+
+    // Macro smoke tests: one struct, one newtype, one enum of each shape.
+    #[derive(Debug)]
+    struct Point {
+        x: u32,
+        y: u32,
+        tag: String,
+    }
+    impl_json_struct!(Point { x, y, tag });
+
+    struct Wrapper(u64);
+    impl_json_newtype!(Wrapper);
+
+    #[derive(Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+    }
+    impl_json_enum_unit!(Color { Red, Green });
+
+    #[derive(Debug, PartialEq)]
+    enum Shape {
+        Circle(u32),
+        Label(String),
+    }
+    impl_json_enum_payload!(Shape { Circle, Label });
+
+    #[test]
+    fn struct_macro_round_trip() {
+        let p = Point { x: 1, y: 2, tag: "origin-ish".into() };
+        let json = to_string(&p);
+        assert_eq!(json, "{\"x\":1,\"y\":2,\"tag\":\"origin-ish\"}");
+        let back: Point = from_str(&json).expect("round trip");
+        assert_eq!((back.x, back.y, back.tag), (1, 2, "origin-ish".into()));
+        let err = from_str::<Point>("{\"x\":1}").expect_err("missing fields");
+        assert!(err.0.contains("Point.y"), "err: {err}");
+    }
+
+    #[test]
+    fn newtype_macro_round_trip() {
+        let w = Wrapper(9);
+        assert_eq!(to_string(&w), "9");
+        let back: Wrapper = from_str("9").expect("round trip");
+        assert_eq!(back.0, 9);
+    }
+
+    #[test]
+    fn enum_macros_round_trip() {
+        assert_eq!(to_string(&Color::Red), "\"Red\"");
+        assert_eq!(from_str::<Color>("\"Green\"").expect("unit"), Color::Green);
+        assert!(from_str::<Color>("\"Blue\"").is_err());
+        let s = Shape::Label("big".into());
+        assert_eq!(to_string(&s), "{\"Label\":\"big\"}");
+        assert_eq!(from_str::<Shape>("{\"Circle\":3}").expect("payload"), Shape::Circle(3));
+        assert!(from_str::<Shape>("{\"Square\":3}").is_err());
+        assert!(from_str::<Shape>("7").is_err());
+    }
+}

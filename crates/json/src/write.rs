@@ -1,0 +1,81 @@
+//! Compact JSON writer.
+//!
+//! Floats are written with `{}` formatting, which in Rust is the
+//! shortest decimal string that round-trips to the same bits — so
+//! snapshot weights survive dump/load bit-exactly (asserted by the
+//! `float_round_trip_is_bit_exact` test in `lib.rs`).
+
+use crate::Json;
+use std::fmt::Write as _;
+
+pub(crate) fn write(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::Float(x) => write_float(*x, out),
+        Json::Str(s) => write_str(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(k, out);
+                out.push(':');
+                write(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_float(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; degrade to null like serde_json.
+        out.push_str("null");
+        return;
+    }
+    let mut s = String::new();
+    let _ = write!(s, "{x}");
+    // `{}` renders integral floats without a fractional part ("42");
+    // keep the ".0" so the value re-parses as Float, preserving the
+    // Int/Float distinction across a round trip.
+    if !s.contains(['.', 'e', 'E']) {
+        s.push_str(".0");
+    }
+    out.push_str(&s);
+}
+
+pub(crate) fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

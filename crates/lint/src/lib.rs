@@ -1,0 +1,715 @@
+//! # hive-lint — workspace static-analysis pass
+//!
+//! A dependency-free analyzer that turns the workspace's operational
+//! conventions into machine-checked invariants (DESIGN.md, "Static
+//! analysis & hermetic build policy"):
+//!
+//! * **R1 `hermetic-deps`** — every `[dependencies]` /
+//!   `[dev-dependencies]` entry in every manifest is a workspace path
+//!   dep (or `workspace = true` indirection to one); no registry crates,
+//!   so the build never touches the network.
+//! * **R2 `no-panic-paths`** — no `.unwrap()`, `.expect(`, `panic!`,
+//!   `unreachable!`, or `todo!` in the non-test code of the library
+//!   crates `store`, `graph`, `text`, `scent`, `concept`, and `core`;
+//!   fallibility flows through the existing `Result` types.
+//! * **R3 `deterministic-time`** — no `Instant::now` / `SystemTime::now`
+//!   outside `crates/core/src/clock.rs`; simulation time is logical.
+//! * **R4 `no-stray-io`** — no `println!` / `eprintln!` / `dbg!` in
+//!   library crates (the `bench` harness bins and the lint binary
+//!   itself are exempt — printing is their job).
+//! * **R5 `forbid-unsafe`** — every library `lib.rs` carries
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Matching runs on *lexed* source: a minimal Rust lexer first blanks
+//! `//` and `/* */` comments, string and char literals, and
+//! `#[cfg(test)]` / `#[test]` regions, so a forbidden token inside a
+//! doc comment, a string, or a unit test never fires. Any rule can be
+//! waived at a single site with a `// lint:allow(<rule>)` comment on
+//! the same line or the line above (`# lint:allow(<rule>)` in TOML).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a file/line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `no-panic-paths`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Rule identifiers, shared by diagnostics and `lint:allow` markers.
+pub mod rules {
+    /// R1: registry dependencies are forbidden.
+    pub const HERMETIC_DEPS: &str = "hermetic-deps";
+    /// R2: panicking calls are forbidden in library code.
+    pub const NO_PANIC_PATHS: &str = "no-panic-paths";
+    /// R3: wall-clock reads are forbidden outside the clock module.
+    pub const DETERMINISTIC_TIME: &str = "deterministic-time";
+    /// R4: stray stdout/stderr output is forbidden in library code.
+    pub const NO_STRAY_IO: &str = "no-stray-io";
+    /// R5: library roots must forbid unsafe code.
+    pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+}
+
+/// Lexed view of one source file: the original text with comments,
+/// string/char literals, and test-only regions blanked (byte-for-byte,
+/// newlines preserved, so line/column arithmetic still holds), plus the
+/// `lint:allow` markers harvested from the comments before blanking.
+pub struct LexedSource {
+    /// The masked source text.
+    pub masked: String,
+    /// `(line, rule)` pairs for every `lint:allow(rule)` marker.
+    pub allows: Vec<(usize, String)>,
+}
+
+impl LexedSource {
+    /// True if `rule` is waived on `line` (marker on the same line or
+    /// the line directly above).
+    pub fn allows(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+}
+
+/// Harvests `lint:allow(rule)` / `lint:allow(rule1, rule2)` markers
+/// from a comment (or TOML comment) body.
+fn harvest_allows(body: &str, line: usize, out: &mut Vec<(usize, String)>) {
+    let mut rest = body;
+    while let Some(at) = rest.find("lint:allow(") {
+        rest = &rest[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        for rule in rest[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.push((line, rule.to_string()));
+            }
+        }
+        rest = &rest[close..];
+    }
+}
+
+/// Runs the minimal lexer: blanks comments and string/char literals,
+/// then blanks `#[cfg(test)]` / `#[test]` regions.
+pub fn lex(source: &str) -> LexedSource {
+    let mut masked: Vec<char> = Vec::with_capacity(source.len());
+    let mut allows = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    // Pushes a blank for `c`, preserving newlines and horizontal layout.
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            // Line comment: harvest allow markers, blank to end of line.
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let body: String = chars[start..i].iter().collect();
+            harvest_allows(&body, line, &mut allows);
+            masked.extend(std::iter::repeat(' ').take(i - start));
+        } else if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            // Block comment, nesting supported.
+            let start_line = line;
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let body: String = chars[start..i].iter().collect();
+            harvest_allows(&body, start_line, &mut allows);
+            for &bc in &chars[start..i] {
+                masked.push(blank(bc));
+            }
+        } else if c == '"' || (c == 'r' && is_raw_string_start(&chars, i)) {
+            // String literal (plain or raw). Blank the contents.
+            let (end, newlines) = skip_string(&chars, i);
+            for &bc in &chars[i..end] {
+                masked.push(blank(bc));
+            }
+            line += newlines;
+            i = end;
+        } else if c == '\'' && is_char_literal(&chars, i) {
+            let end = skip_char_literal(&chars, i);
+            masked.extend(std::iter::repeat(' ').take(end - i));
+            i = end;
+        } else {
+            if c == '\n' {
+                line += 1;
+            }
+            masked.push(c);
+            i += 1;
+        }
+    }
+    let mut lexed = LexedSource { masked: masked.into_iter().collect(), allows };
+    blank_test_regions(&mut lexed.masked);
+    lexed
+}
+
+/// `r"`, `r#"`, `r##"`, ... (also `br"` is handled via the `b` falling
+/// through as a normal char before `r`).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '"'
+}
+
+/// Skips a string literal starting at `i`; returns (end index, newlines
+/// crossed).
+fn skip_string(chars: &[char], i: usize) -> (usize, usize) {
+    let mut newlines = 0;
+    if chars[i] == 'r' {
+        let mut hashes = 0;
+        let mut j = i + 1;
+        while j < chars.len() && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        // Scan for `"` followed by `hashes` hashes.
+        while j < chars.len() {
+            if chars[j] == '\n' {
+                newlines += 1;
+            }
+            if chars[j] == '"' && chars[j + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+            {
+                return (j + 1 + hashes, newlines);
+            }
+            j += 1;
+        }
+        (j, newlines)
+    } else {
+        let mut j = i + 1;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 2,
+                '"' => return (j + 1, newlines),
+                c => {
+                    if c == '\n' {
+                        newlines += 1;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        (j, newlines)
+    }
+}
+
+/// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    if i + 2 >= chars.len() {
+        return false;
+    }
+    if chars[i + 1] == '\\' {
+        return true;
+    }
+    chars[i + 2] == '\'' && chars[i + 1] != '\''
+}
+
+fn skip_char_literal(chars: &[char], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < chars.len() && chars[j] == '\\' {
+        j += 2;
+        // Escapes like \u{1F600} run until the closing quote.
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+        return (j + 1).min(chars.len());
+    }
+    while j < chars.len() && chars[j] != '\'' {
+        j += 1;
+    }
+    (j + 1).min(chars.len())
+}
+
+/// Blanks `#[cfg(test)]` and `#[test]` items in already-masked source:
+/// from the attribute through the matching close brace (or trailing
+/// semicolon for brace-less items).
+fn blank_test_regions(masked: &mut String) {
+    let mut out: Vec<char> = masked.chars().collect();
+    let mut from = 0;
+    while let Some(at) = find_test_attr(&out, from) {
+        // Find the end of the region: first `{` after the attribute,
+        // matched to its closing brace; or a `;` that arrives first.
+        let mut j = at;
+        let mut end = out.len();
+        while j < out.len() {
+            match out[j] {
+                '{' => {
+                    let mut depth = 0;
+                    while j < out.len() {
+                        match out[j] {
+                            '{' => depth += 1,
+                            '}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end = (j + 1).min(out.len());
+                    break;
+                }
+                ';' => {
+                    end = j + 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        for cell in out.iter_mut().take(end).skip(at) {
+            if *cell != '\n' {
+                *cell = ' ';
+            }
+        }
+        from = end.max(at + 1);
+    }
+    *masked = out.into_iter().collect();
+}
+
+/// Char offset of the next test attribute at or after `from`, if any.
+fn find_test_attr(chars: &[char], from: usize) -> Option<usize> {
+    let matches_at = |i: usize, pat: &str| -> bool {
+        pat.chars().enumerate().all(|(k, pc)| chars.get(i + k) == Some(&pc))
+    };
+    (from..chars.len()).find(|&i| matches_at(i, "#[cfg(test)]") || matches_at(i, "#[test]"))
+}
+
+/// Which source rules apply to a given file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SourceRules {
+    /// Apply R2 `no-panic-paths`.
+    pub no_panic: bool,
+    /// Apply R3 `deterministic-time`.
+    pub deterministic_time: bool,
+    /// Apply R4 `no-stray-io`.
+    pub no_stray_io: bool,
+}
+
+/// Forbidden-token tables: (needle, needs ident-boundary before it).
+const PANIC_TOKENS: &[(&str, bool)] = &[
+    (".unwrap()", false),
+    (".expect(", false),
+    ("panic!", true),
+    ("unreachable!", true),
+    ("todo!", true),
+];
+const TIME_TOKENS: &[(&str, bool)] = &[("Instant::now", true), ("SystemTime::now", true)];
+const IO_TOKENS: &[(&str, bool)] = &[("println!", true), ("eprintln!", true), ("dbg!", true)];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `needle` occurrences in `line`, honoring an identifier
+/// boundary before the match when asked (so `dbg!` does not fire inside
+/// `herbg!`, nor `panic!` inside `should_panic!`-like names).
+fn token_hits(line: &str, needle: &str, boundary: bool) -> usize {
+    let mut hits = 0;
+    let mut from = 0;
+    while let Some(at) = line[from..].find(needle) {
+        let abs = from + at;
+        let ok = !boundary
+            || abs == 0
+            || !line[..abs].chars().next_back().map(is_ident_char).unwrap_or(false);
+        if ok {
+            hits += 1;
+        }
+        from = abs + needle.len();
+    }
+    hits
+}
+
+/// Runs the source-level rules (R2/R3/R4) over one file.
+pub fn check_source(file: &str, source: &str, which: SourceRules) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let mut out = Vec::new();
+    let mut table: Vec<(&str, &[(&str, bool)], &str)> = Vec::new();
+    if which.no_panic {
+        table.push((rules::NO_PANIC_PATHS, PANIC_TOKENS, "panicking call in library code"));
+    }
+    if which.deterministic_time {
+        table.push((
+            rules::DETERMINISTIC_TIME,
+            TIME_TOKENS,
+            "wall-clock read outside crates/core/src/clock.rs",
+        ));
+    }
+    if which.no_stray_io {
+        table.push((rules::NO_STRAY_IO, IO_TOKENS, "stray console output in library code"));
+    }
+    for (lineno, line) in lexed.masked.lines().enumerate() {
+        let lineno = lineno + 1;
+        for &(rule, tokens, what) in &table {
+            for &(needle, boundary) in tokens {
+                if token_hits(line, needle, boundary) > 0 && !lexed.allows(rule, lineno) {
+                    out.push(Diagnostic {
+                        rule,
+                        file: file.to_string(),
+                        line: lineno,
+                        message: format!("{what}: `{needle}`"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs R5 over a library root: the file must open with
+/// `#![forbid(unsafe_code)]`.
+pub fn check_lib_root(file: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    if lexed.masked.contains("#![forbid(unsafe_code)]") {
+        return Vec::new();
+    }
+    if lexed.allows(rules::FORBID_UNSAFE, 1) {
+        return Vec::new();
+    }
+    vec![Diagnostic {
+        rule: rules::FORBID_UNSAFE,
+        file: file.to_string(),
+        line: 1,
+        message: "library root is missing `#![forbid(unsafe_code)]`".to_string(),
+    }]
+}
+
+/// Runs R1 over a manifest: every entry of a dependency section must be
+/// a workspace path dep (`path = ...` or `workspace = true`).
+pub fn check_manifest(file: &str, contents: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    let mut dotted_dep_header: Option<usize> = None;
+    let mut dotted_dep_hermetic = false;
+    let mut allows: Vec<(usize, String)> = Vec::new();
+    let flush_dotted = |header: &mut Option<usize>, hermetic: &mut bool,
+                            out: &mut Vec<Diagnostic>| {
+        if let Some(line) = header.take() {
+            if !*hermetic {
+                out.push(Diagnostic {
+                    rule: rules::HERMETIC_DEPS,
+                    file: file.to_string(),
+                    line,
+                    message: "dependency is not a workspace path dep".to_string(),
+                });
+            }
+        }
+        *hermetic = false;
+    };
+    for (lineno, raw) in contents.lines().enumerate() {
+        let lineno = lineno + 1;
+        if let Some(hash) = raw.find('#') {
+            harvest_allows(&raw[hash..], lineno, &mut allows);
+        }
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_dotted(&mut dotted_dep_header, &mut dotted_dep_hermetic, &mut out);
+            let section = line.trim_matches(|c| c == '[' || c == ']');
+            let is_dep_table = |s: &str| {
+                s == "dependencies"
+                    || s == "dev-dependencies"
+                    || s == "build-dependencies"
+                    || s == "workspace.dependencies"
+                    || (s.starts_with("target.") && s.ends_with(".dependencies"))
+            };
+            if is_dep_table(section) {
+                in_dep_section = true;
+            } else if let Some(head) = section.rsplit_once('.').map(|(h, _)| h) {
+                // `[dependencies.foo]`-style dotted section.
+                if is_dep_table(head) {
+                    in_dep_section = false;
+                    dotted_dep_header = Some(lineno);
+                    dotted_dep_hermetic = false;
+                } else {
+                    in_dep_section = false;
+                }
+            } else {
+                in_dep_section = false;
+            }
+            continue;
+        }
+        if dotted_dep_header.is_some() {
+            let key = line.split('=').next().unwrap_or("").trim();
+            let value = line.split_once('=').map(|(_, v)| v.trim()).unwrap_or("");
+            if key == "path" || (key == "workspace" && value == "true") {
+                dotted_dep_hermetic = true;
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        let value = value.trim();
+        let hermetic = value.contains("path")
+            || value.contains("workspace = true")
+            || value.contains("workspace=true")
+            || key.ends_with(".workspace");
+        let allowed = allows
+            .iter()
+            .any(|(l, r)| r == rules::HERMETIC_DEPS && (*l == lineno || *l + 1 == lineno));
+        if !hermetic && !allowed {
+            out.push(Diagnostic {
+                rule: rules::HERMETIC_DEPS,
+                file: file.to_string(),
+                line: lineno,
+                message: format!("`{key}` is not a workspace path dep (registry crates are forbidden)"),
+            });
+        }
+    }
+    flush_dotted(&mut dotted_dep_header, &mut dotted_dep_hermetic, &mut out);
+    out
+}
+
+/// Crates whose non-test code must be panic-free (R2).
+const PANIC_FREE_CRATES: &[&str] = &["store", "graph", "text", "scent", "concept", "core"];
+/// Crates exempt from R4 — printing is their purpose.
+const IO_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+/// The one file allowed to read the wall clock.
+const CLOCK_FILE: &str = "crates/core/src/clock.rs";
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace rooted at `root` and returns every
+/// diagnostic, sorted by file then line.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    let rel = |p: &Path| -> String {
+        p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/")
+    };
+
+    // R1 over the root manifest and every crate manifest.
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates_dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            if path.join("Cargo.toml").is_file() {
+                manifests.push(path.join("Cargo.toml"));
+                crate_dirs.push(path);
+            }
+        }
+    }
+    for manifest in &manifests {
+        let contents = fs::read_to_string(manifest)?;
+        out.extend(check_manifest(&rel(manifest), &contents));
+    }
+
+    for crate_dir in &crate_dirs {
+        let name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        let panic_free = PANIC_FREE_CRATES.contains(&name.as_str());
+        let io_checked = !IO_EXEMPT_CRATES.contains(&name.as_str());
+
+        // R2/R3/R4 over src/; R3 also over benches/ (tests/ are test
+        // code by definition and exempt from all three).
+        let mut sources = Vec::new();
+        rust_files(&crate_dir.join("src"), &mut sources)?;
+        for path in &sources {
+            let file = rel(path);
+            let source = fs::read_to_string(path)?;
+            let which = SourceRules {
+                no_panic: panic_free,
+                deterministic_time: file != CLOCK_FILE,
+                no_stray_io: io_checked,
+            };
+            out.extend(check_source(&file, &source, which));
+        }
+        let mut benches = Vec::new();
+        rust_files(&crate_dir.join("benches"), &mut benches)?;
+        for path in &benches {
+            let source = fs::read_to_string(path)?;
+            let which = SourceRules { deterministic_time: true, ..Default::default() };
+            out.extend(check_source(&rel(path), &source, which));
+        }
+
+        // R5 over the library root, if the crate has one.
+        let lib_rs = crate_dir.join("src/lib.rs");
+        if lib_rs.is_file() {
+            let source = fs::read_to_string(&lib_rs)?;
+            out.extend(check_lib_root(&rel(&lib_rs), &source));
+        }
+    }
+
+    // R3 over the workspace-level integration tests and examples.
+    for extra in ["tests", "examples"] {
+        let mut files = Vec::new();
+        rust_files(&root.join(extra), &mut files)?;
+        for path in &files {
+            let source = fs::read_to_string(path)?;
+            let which = SourceRules { deterministic_time: true, ..Default::default() };
+            out.extend(check_source(&rel(path), &source, which));
+        }
+    }
+
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(out)
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(contents) = fs::read_to_string(&manifest) {
+                if contents.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_blanks_comments_and_strings() {
+        let src = "let a = \"panic!\"; // panic!\nlet b = 1; /* .unwrap() */\n";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("panic!"));
+        assert!(!lexed.masked.contains(".unwrap()"));
+        assert_eq!(lexed.masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn lexer_keeps_lifetimes_but_blanks_chars() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        assert!(lexed.masked.contains("<'a>"));
+        assert!(!lexed.masked.contains("'x'"));
+    }
+
+    #[test]
+    fn lexer_blanks_test_regions() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap() }\n}\n";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(lexed.masked.contains("fn ok()"));
+    }
+
+    #[test]
+    fn allow_marker_suppresses_same_and_next_line() {
+        let src = "let t = Instant::now(); // lint:allow(deterministic-time)\n";
+        let d = check_source(
+            "f.rs",
+            src,
+            SourceRules { deterministic_time: true, ..Default::default() },
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let src2 = "// lint:allow(deterministic-time)\nlet t = Instant::now();\n";
+        assert!(check_source(
+            "f.rs",
+            src2,
+            SourceRules { deterministic_time: true, ..Default::default() }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn boundary_guard_avoids_identifier_suffixes() {
+        assert_eq!(token_hits("my_dbg!(x)", "dbg!", true), 0);
+        assert_eq!(token_hits("dbg!(x)", "dbg!", true), 1);
+        assert_eq!(token_hits("x.unwrap_or(1)", ".unwrap()", false), 0);
+    }
+
+    #[test]
+    fn manifest_accepts_path_and_workspace_deps() {
+        let toml = "[dependencies]\nhive-rng = { path = \"../rng\" }\nhive-core = { workspace = true }\n";
+        assert!(check_manifest("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn manifest_rejects_registry_deps() {
+        let toml = "[dependencies]\nserde = \"1.0\"\n";
+        let d = check_manifest("Cargo.toml", toml);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::HERMETIC_DEPS);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn dotted_dependency_sections_are_checked() {
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\n";
+        let d = check_manifest("Cargo.toml", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        let good = "[dependencies.hive-rng]\npath = \"../rng\"\n";
+        assert!(check_manifest("Cargo.toml", good).is_empty());
+    }
+
+    #[test]
+    fn lib_root_requires_forbid_unsafe() {
+        assert!(check_lib_root("lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n").is_empty());
+        let d = check_lib_root("lib.rs", "pub fn f() {}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::FORBID_UNSAFE);
+    }
+}

@@ -1,0 +1,34 @@
+//! `hive-lint` — runs the workspace static-analysis pass and exits
+//! non-zero on any violation. See the library docs for the rule list.
+//!
+//! Run: `cargo run -p hive-lint` (from anywhere inside the workspace).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = hive_lint::find_workspace_root(&start) else {
+        eprintln!("hive-lint: no workspace root (Cargo.toml with [workspace]) above {start:?}");
+        return ExitCode::FAILURE;
+    };
+    match hive_lint::scan_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("hive-lint: workspace clean (R1-R5)");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("hive-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("hive-lint: scan failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Fixture tests: one deliberate violation per rule R1-R5, asserting
+//! the exact rule id, file label, and line of each diagnostic, plus a
+//! `lint:allow` escape-hatch case that must stay silent.
+
+use hive_lint::{check_lib_root, check_manifest, check_source, rules, SourceRules};
+
+const ALL_SOURCE_RULES: SourceRules = SourceRules {
+    no_panic: true,
+    deterministic_time: true,
+    no_stray_io: true,
+};
+
+#[test]
+fn r1_hermetic_deps_fires_on_registry_dep() {
+    let toml = include_str!("fixtures/r1_registry_dep.toml");
+    let diags = check_manifest("fixtures/r1_registry_dep.toml", toml);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, rules::HERMETIC_DEPS);
+    assert_eq!(diags[0].file, "fixtures/r1_registry_dep.toml");
+    assert_eq!(diags[0].line, 4);
+    assert!(diags[0].message.contains("serde"));
+}
+
+#[test]
+fn r2_no_panic_paths_fires_outside_tests_only() {
+    let src = include_str!("fixtures/r2_panic.rs");
+    let diags = check_source("fixtures/r2_panic.rs", src, ALL_SOURCE_RULES);
+    let panics: Vec<_> = diags.iter().filter(|d| d.rule == rules::NO_PANIC_PATHS).collect();
+    assert_eq!(panics.len(), 2, "{diags:?}");
+    assert_eq!(panics[0].file, "fixtures/r2_panic.rs");
+    assert_eq!(panics[0].line, 6, "the .unwrap() call");
+    assert_eq!(panics[1].line, 7, "the panic! call");
+    // The commented/string/test-module tokens never fire any rule.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn r3_deterministic_time_fires_on_wall_clock() {
+    let src = include_str!("fixtures/r3_time.rs");
+    let diags = check_source("fixtures/r3_time.rs", src, ALL_SOURCE_RULES);
+    let time: Vec<_> = diags.iter().filter(|d| d.rule == rules::DETERMINISTIC_TIME).collect();
+    assert_eq!(time.len(), 1, "{diags:?}");
+    assert_eq!(time[0].file, "fixtures/r3_time.rs");
+    assert_eq!(time[0].line, 4);
+    assert!(time[0].message.contains("SystemTime::now"));
+}
+
+#[test]
+fn r4_no_stray_io_fires_on_println() {
+    let src = include_str!("fixtures/r4_io.rs");
+    let diags = check_source("fixtures/r4_io.rs", src, ALL_SOURCE_RULES);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, rules::NO_STRAY_IO);
+    assert_eq!(diags[0].file, "fixtures/r4_io.rs");
+    assert_eq!(diags[0].line, 4);
+    assert!(diags[0].message.contains("println!"));
+}
+
+#[test]
+fn r5_forbid_unsafe_fires_on_bare_lib_root() {
+    let src = include_str!("fixtures/r5_missing_forbid.rs");
+    let diags = check_lib_root("fixtures/r5_missing_forbid.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, rules::FORBID_UNSAFE);
+    assert_eq!(diags[0].file, "fixtures/r5_missing_forbid.rs");
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn lint_allow_waives_every_rule_at_the_marked_site() {
+    let src = include_str!("fixtures/allowed.rs");
+    let diags = check_source("fixtures/allowed.rs", src, ALL_SOURCE_RULES);
+    assert!(diags.is_empty(), "allow markers must silence all sites: {diags:?}");
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = hive_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let diags = hive_lint::scan_workspace(&root).expect("scan succeeds");
+    assert!(diags.is_empty(), "workspace must pass its own lint: {diags:#?}");
+}

@@ -1,0 +1,8 @@
+// Fixture: every forbidden token below carries a lint:allow escape
+// hatch, so the file must produce zero diagnostics.
+pub fn waived(v: Option<u32>) -> u32 {
+    let t = std::time::Instant::now(); // lint:allow(deterministic-time)
+    // lint:allow(no-stray-io)
+    println!("{t:?}");
+    v.unwrap() // lint:allow(no-panic-paths)
+}

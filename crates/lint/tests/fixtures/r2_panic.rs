@@ -1,0 +1,17 @@
+// Fixture: R2 no-panic-paths must flag the unwrap on line 6 and the
+// panic! on line 7, but nothing in the comment, string, or test module.
+pub fn read(map: &std::collections::HashMap<u32, u32>) -> u32 {
+    // .unwrap() in a comment is fine
+    let s = "panic! in a string is fine";
+    let v = map.get(&1).unwrap();
+    panic!("boom {s} {v}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

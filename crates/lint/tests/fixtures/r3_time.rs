@@ -1,0 +1,6 @@
+// Fixture: R3 deterministic-time must flag the wall-clock read on
+// line 4.
+pub fn now_ms() -> u128 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_millis()).unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+// Fixture: R4 no-stray-io must flag the println! on line 4 only —
+// write!() into a buffer is fine.
+pub fn report(total: usize) {
+    println!("total = {total}");
+    let mut buf = String::new();
+    let _ = std::fmt::Write::write_str(&mut buf, "ok");
+}

@@ -1,0 +1,4 @@
+//! Fixture: a library root without `#![forbid(unsafe_code)]` — R5
+//! forbid-unsafe must flag line 1.
+
+pub fn noop() {}

@@ -1,0 +1,365 @@
+//! # hive-rng — deterministic, dependency-free pseudo-randomness
+//!
+//! Every stochastic component of Hive (world simulation, randomized
+//! graph algorithms, sketching, benchmarks, the property-test runner)
+//! draws from this module, so a seed uniquely determines an experiment.
+//! The workspace is hermetic — no registry crates — and `hive-lint`
+//! rule R3 keeps wall-clock entropy out of library code, so this crate
+//! is the *only* source of randomness in the system.
+//!
+//! The generator is Xoshiro256\*\* (Blackman & Vigna) seeded through
+//! SplitMix64, the same construction the `rand` crate uses for
+//! `StdRng` seeding. It is not cryptographic; it is fast, has 256 bits
+//! of state, and passes BigCrush — exactly what simulation needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: expands a 64-bit seed into a stream of well-mixed
+/// words. Used to initialize the Xoshiro state and usable on its own
+/// for cheap hashing-style mixing.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded Xoshiro256\*\* generator.
+///
+/// The API mirrors the subset of `rand` the codebase used, so call
+/// sites read the same: `gen_range(0..n)`, `gen_bool(p)`, `gen_f64()`,
+/// plus slice helpers via [`SliceRandom`].
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (SplitMix64-expanded).
+    /// Equal seeds yield identical streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from a range, e.g. `rng.gen_range(0..n)` or
+    /// `rng.gen_range(0.1..1.0)`. An empty range returns its start
+    /// rather than panicking (hive-lint R2 keeps library code
+    /// panic-free).
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias
+    /// (Lemire's multiply-shift rejection method). `bound == 0`
+    /// returns 0.
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle_slice<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, `None` on an empty slice.
+    pub fn choose_from<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            slice.get(self.bounded_u64(slice.len() as u64) as usize)
+        }
+    }
+
+    /// Derives an independent generator (for splitting one seed across
+    /// subsystems without correlated streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample a `T` from. The generic
+/// parameter (rather than an associated type) lets the *expected output
+/// type* drive integer-literal inference at call sites, exactly as
+/// `rand::Rng::gen_range` did.
+pub trait SampleRange<T> {
+    /// Draws one uniform value.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                if self.start >= self.end {
+                    return self.start;
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if start >= end {
+                    return start;
+                }
+                let span = (end as i128 - start as i128) as u64;
+                // span + 1 may wrap only for a full 64-bit domain, which
+                // no caller uses; saturate to stay safe.
+                (start as i128 + rng.bounded_u64(span.saturating_add(1)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Rng) -> f64 {
+        if !(self.start < self.end) {
+            return self.start;
+        }
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+/// Slice extension trait mirroring `rand::seq::SliceRandom`, so call
+/// sites keep the familiar `xs.shuffle(&mut rng)` shape.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+    /// Shuffles in place (Fisher–Yates).
+    fn shuffle(&mut self, rng: &mut Rng);
+    /// Uniformly chosen element, `None` if empty.
+    fn choose<'a>(&'a self, rng: &mut Rng) -> Option<&'a Self::Item>;
+    /// Up to `amount` distinct elements, sampled without replacement in
+    /// random order (partial Fisher–Yates over indices). Returns an
+    /// iterator so call sites can `.copied()` / `.cloned()` as with
+    /// `rand::seq::SliceRandom`.
+    fn choose_multiple<'a>(&'a self, rng: &mut Rng, amount: usize)
+        -> std::vec::IntoIter<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+    fn shuffle(&mut self, rng: &mut Rng) {
+        rng.shuffle_slice(self);
+    }
+    fn choose<'a>(&'a self, rng: &mut Rng) -> Option<&'a T> {
+        rng.choose_from(self)
+    }
+    fn choose_multiple<'a>(&'a self, rng: &mut Rng, amount: usize)
+        -> std::vec::IntoIter<&'a T> {
+        let n = self.len();
+        let k = amount.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + rng.bounded_u64((n - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        let picked: Vec<&'a T> = idx.into_iter().filter_map(|i| self.get(i)).collect();
+        picked.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference vector for the zero seed (Vigna's splitmix64.c).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(&mut s), 0x6e789e6aa1b965f4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_centered() {
+        let mut rng = Rng::seed_from_u64(4);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn int_range_bounds_and_coverage() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..10usize);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..500 {
+            match rng.gen_range(1..=3usize) {
+                1 => lo = true,
+                3 => hi = true,
+                2 => {}
+                v => panic!("out of range: {v}"),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn empty_ranges_do_not_panic() {
+        let mut rng = Rng::seed_from_u64(7);
+        assert_eq!(rng.gen_range(5..5usize), 5);
+        assert_eq!(rng.gen_range(5..3usize), 5);
+        assert_eq!(rng.gen_range(2.0..2.0f64), 2.0);
+    }
+
+    #[test]
+    fn float_range_bounds() {
+        let mut rng = Rng::seed_from_u64(8);
+        for _ in 0..5000 {
+            let v = rng.gen_range(0.1..1.0);
+            assert!((0.1..1.0).contains(&v));
+            let w = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = Rng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(10);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // Identical seeds give identical permutations.
+        let mut rng2 = Rng::seed_from_u64(10);
+        let mut v2: Vec<u32> = (0..50).collect();
+        v2.shuffle(&mut rng2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn choose_behaviour() {
+        let mut rng = Rng::seed_from_u64(11);
+        let empty: [u32; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let xs = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(xs.contains(xs.choose(&mut rng).expect("non-empty")));
+        }
+    }
+
+    #[test]
+    fn bounded_u64_zero_bound() {
+        let mut rng = Rng::seed_from_u64(12);
+        assert_eq!(rng.bounded_u64(0), 0);
+        assert_eq!(rng.bounded_u64(1), 0);
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut a = Rng::seed_from_u64(13);
+        let mut b = a.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+}

@@ -6,8 +6,7 @@
 //! well conditioned.
 
 use crate::tensor::SparseTensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hive_rng::Rng;
 
 /// A rank-R CP model of a 3-mode tensor.
 #[derive(Clone, Debug)]
@@ -60,13 +59,8 @@ fn solve_spd(g: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let piv = (col..n)
-            .max_by(|&a, &b2| {
-                m[a][col]
-                    .abs()
-                    .partial_cmp(&m[b2][col].abs())
-                    .expect("finite")
-            })
-            .expect("non-empty");
+            .max_by(|&a, &b2| m[a][col].abs().total_cmp(&m[b2][col].abs()))
+            .unwrap_or(col);
         m.swap(col, piv);
         let pivot = m[col][col];
         if pivot.abs() < 1e-300 {
@@ -131,7 +125,7 @@ pub fn cp_als(t: &SparseTensor, rank: usize, iters: usize, seed: u64) -> CpModel
     assert_eq!(t.order(), 3, "cp_als requires a 3-mode tensor");
     assert!(rank > 0, "rank must be positive");
     let dims = [t.shape()[0], t.shape()[1], t.shape()[2]];
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut factors: [Vec<Vec<f64>>; 3] = [
         (0..dims[0])
             .map(|_| (0..rank).map(|_| rng.gen_range(0.0..1.0)).collect())

@@ -196,15 +196,14 @@ pub fn f1_score(detected: &[usize], planted: &[usize], tolerance: usize) -> (f64
 mod tests {
     use super::*;
     use crate::tensor::SparseTensor;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use hive_rng::Rng;
 
     /// A stream of noisy epochs with a planted structural shift: a dense
     /// block appears at the given epochs.
     fn planted_stream(epochs: usize, change_at: &[usize], seed: u64) -> TensorStream {
         let shape = vec![20, 20, 3];
         let mut stream = TensorStream::new(shape.clone());
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         // A stable background pattern with small per-epoch jitter.
         let background: Vec<(Vec<usize>, f64)> = (0..150)
             .map(|_| {

@@ -12,10 +12,9 @@
 //! tensors.
 
 use crate::tensor::SparseTensor;
-use serde::{Deserialize, Serialize};
 
 /// Sketch parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SketchConfig {
     /// Ensemble size (number of measurements).
     pub measurements: usize,
@@ -30,7 +29,7 @@ impl Default for SketchConfig {
 }
 
 /// A fixed-size sketch of one tensor epoch.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TensorSketch {
     values: Vec<f64>,
     seed: u64,
@@ -120,12 +119,11 @@ impl TensorSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use hive_rng::Rng;
 
     fn random_tensor(shape: &[usize], nnz: usize, seed: u64) -> SparseTensor {
         let mut t = SparseTensor::new(shape.to_vec());
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..nnz {
             let idx: Vec<usize> = shape.iter().map(|&d| rng.gen_range(0..d)).collect();
             t.set(&idx, rng.gen_range(-1.0..1.0));
@@ -148,7 +146,7 @@ mod tests {
         let a = random_tensor(&[30, 30, 5], 400, 1);
         let mut b = a.clone();
         // Perturb ~40 cells.
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         for _ in 0..40 {
             let idx = vec![
                 rng.gen_range(0..30),

@@ -1,11 +1,10 @@
 //! Sparse COO tensors of arbitrary order.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A sparse tensor: a shape and a coordinate->value map. Zero values are
 /// never stored.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SparseTensor {
     shape: Vec<usize>,
     data: HashMap<Vec<usize>, f64>,

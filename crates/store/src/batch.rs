@@ -89,9 +89,10 @@ impl TripleStore {
         for op in ops {
             match op {
                 Op::Insert { s, p, o, weight } => {
-                    let fresh = self
-                        .insert(s.clone(), p.clone(), o.clone(), *weight)
-                        .expect("validated above");
+                    // Already validated above; propagating (rather than
+                    // panicking) keeps the path panic-free if the two
+                    // phases ever drift apart.
+                    let fresh = self.insert(s.clone(), p.clone(), o.clone(), *weight)?;
                     if fresh {
                         result.inserted += 1;
                     } else {

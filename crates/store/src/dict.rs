@@ -5,13 +5,14 @@
 //! design in RDF stores.
 
 use crate::term::Term;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Dense identifier for an interned term. Ids are assigned sequentially
 /// starting at 0 and are stable for the lifetime of the dictionary.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TermId(pub u32);
+
+hive_json::impl_json_newtype!(TermId);
 
 impl TermId {
     /// The raw index value.
@@ -21,7 +22,7 @@ impl TermId {
 }
 
 /// Two-way dictionary: `Term -> TermId` and `TermId -> Term`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TermDict {
     forward: HashMap<Term, TermId>,
     reverse: Vec<Term>,
@@ -38,7 +39,10 @@ impl TermDict {
         if let Some(&id) = self.forward.get(&term) {
             return id;
         }
-        let id = TermId(u32::try_from(self.reverse.len()).expect("term dictionary overflow"));
+        // Capacity invariant: ids are u32, so a dictionary holds at most
+        // 2^32 distinct terms. Exceeding that is unrecoverable corruption
+        // territory, not a caller error — panic with a clear message.
+        let id = TermId(u32::try_from(self.reverse.len()).expect("term dictionary overflow")); // lint:allow(no-panic-paths)
         self.forward.insert(term.clone(), id);
         self.reverse.push(term);
         id

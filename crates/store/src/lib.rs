@@ -13,7 +13,7 @@
 //! * **ranked path queries**: cheapest and top-k weighted paths between two
 //!   terms (the primitive behind Hive's relationship discovery and
 //!   explanation, Figure 2 of the paper),
-//! * snapshot persistence via serde.
+//! * snapshot persistence via the in-tree `hive-json` serializer.
 //!
 //! Weights are probabilities/strengths in `(0, 1]`; path cost composes
 //! multiplicatively (implemented additively over `-ln w`).

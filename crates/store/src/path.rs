@@ -197,11 +197,11 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; costs are finite (weights > 0).
+        // Reverse for a min-heap; costs are finite (weights > 0), so
+        // the IEEE total order agrees with the numeric order here.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("finite costs")
+            .total_cmp(&self.cost)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -286,7 +286,9 @@ fn yen_top_k(
     paths.push(first);
     let mut candidates: Vec<RankedPath> = Vec::new();
     while paths.len() < k {
-        let last = paths.last().expect("at least one path").clone();
+        let Some(last) = paths.last().cloned() else {
+            break;
+        };
         for spur_idx in 0..last.nodes.len() - 1 {
             let spur_node = last.nodes[spur_idx];
             let root_nodes = &last.nodes[..=spur_idx];
@@ -327,12 +329,14 @@ fn yen_top_k(
             break;
         }
         // Take the strongest candidate (max score = min cost).
-        let best_idx = candidates
+        let Some(best_idx) = candidates
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.score.partial_cmp(&b.score).expect("finite"))
+            .max_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
             .map(|(i, _)| i)
-            .expect("non-empty");
+        else {
+            break;
+        };
         paths.push(candidates.swap_remove(best_idx));
     }
     paths

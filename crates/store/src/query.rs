@@ -145,18 +145,20 @@ impl BgpQuery {
                 continue;
             }
             // Pick the remaining pattern with the smallest estimate.
-            let (pos, &pat_idx) = remaining
+            let Some((pos, &pat_idx)) = remaining
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &i)| Self::estimate(store, &self.patterns[i], &binding))
-                .expect("remaining is non-empty");
+            else {
+                continue;
+            };
             let mut rest = remaining.clone();
             rest.remove(pos);
             for (nb, w) in Self::match_pattern(store, &self.patterns[pat_idx], &binding) {
                 frontier.push((nb, score * w, rest.clone()));
             }
         }
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        results.sort_by(|a, b| b.score.total_cmp(&a.score));
         if let Some(limit) = self.limit {
             results.truncate(limit);
         }

@@ -9,16 +9,17 @@
 use crate::error::StoreError;
 use crate::store::TripleStore;
 use crate::term::Term;
-use serde::{Deserialize, Serialize};
 
 /// Serializable form of a store: term-level triples with weights.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Snapshot {
     /// Format version for forward compatibility.
     pub version: u32,
     /// All triples as `(s, p, o, weight)`.
     pub triples: Vec<(Term, Term, Term, f64)>,
 }
+
+hive_json::impl_json_struct!(Snapshot { version, triples });
 
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
@@ -53,13 +54,13 @@ impl TripleStore {
 
     /// Serializes the store to a JSON string.
     pub fn to_json(&self) -> Result<String, StoreError> {
-        serde_json::to_string(&self.snapshot()).map_err(|e| StoreError::Snapshot(e.to_string()))
+        Ok(hive_json::to_string(&self.snapshot()))
     }
 
     /// Restores a store from a JSON string produced by [`Self::to_json`].
     pub fn from_json(json: &str) -> Result<Self, StoreError> {
         let snap: Snapshot =
-            serde_json::from_str(json).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+            hive_json::from_str(json).map_err(|e| StoreError::Snapshot(e.to_string()))?;
         Self::from_snapshot(&snap)
     }
 }

@@ -3,7 +3,6 @@
 use crate::dict::{TermDict, TermId};
 use crate::error::StoreError;
 use crate::term::Term;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
 
@@ -24,7 +23,7 @@ pub struct StoredTriple {
 ///
 /// The store keeps three of these (SPO, POS, OSP) so that any combination
 /// of bound positions can be answered with a range scan over a prefix.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct PermIndex {
     set: BTreeSet<(u32, u32, u32)>,
 }
@@ -298,12 +297,18 @@ impl TripleStore {
     }
 
     /// Resolves a stored triple's ids back to terms.
+    ///
+    /// Ids unknown to the dictionary (impossible for triples obtained
+    /// from this store's own iterators) resolve to blank nodes rather
+    /// than panicking.
     pub fn resolve_triple(&self, t: &StoredTriple) -> (Term, Term, Term) {
-        (
-            self.dict.resolve(t.s).expect("dangling subject id").clone(),
-            self.dict.resolve(t.p).expect("dangling predicate id").clone(),
-            self.dict.resolve(t.o).expect("dangling object id").clone(),
-        )
+        let resolve = |id: TermId| {
+            self.dict
+                .resolve(id)
+                .cloned()
+                .unwrap_or(Term::Blank(u64::from(id.0)))
+        };
+        (resolve(t.s), resolve(t.p), resolve(t.o))
     }
 
     /// Iterates every stored triple in SPO order.

@@ -3,14 +3,14 @@
 //! Floats are stored bit-exact so `Term` can be `Eq + Hash + Ord` and used
 //! as a dictionary key. NaN is rejected at construction.
 
-use serde::{Deserialize, Serialize};
+use hive_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Bit-exact wrapper for an `f64` literal so terms are hashable/orderable.
 ///
 /// Total order is the IEEE-754 total order restricted to non-NaN values
 /// (NaN is rejected by [`Term::float`]).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FloatBits(u64);
 
 impl FloatBits {
@@ -46,7 +46,7 @@ impl fmt::Debug for FloatBits {
 /// Hive encodes every knowledge-network node (users, papers, sessions,
 /// concepts) as an IRI and attaches literals for names, scores, and
 /// timestamps.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A named resource, e.g. `user:ann` or `rel:coauthor`.
     Iri(String),
@@ -76,9 +76,11 @@ impl Term {
         Term::Int(v)
     }
 
-    /// Convenience constructor for a float literal. Panics on NaN.
+    /// Convenience constructor for a float literal. Panics on NaN
+    /// (documented contract: NaN is not a valid RDF literal; use
+    /// [`FloatBits::new`] directly for fallible construction).
     pub fn float(v: f64) -> Self {
-        Term::Float(FloatBits::new(v).expect("NaN literal is not a valid RDF term"))
+        Term::Float(FloatBits::new(v).expect("NaN literal is not a valid RDF term")) // lint:allow(no-panic-paths)
     }
 
     /// True if this term may appear in subject position (IRI or blank).
@@ -94,6 +96,23 @@ impl Term {
         }
     }
 }
+
+// Serialized as the float *value*: hive-json's writer emits the
+// shortest decimal that round-trips bit-exactly, so dump/load
+// preserves the exact bits (NaN can never occur by construction).
+impl ToJson for FloatBits {
+    fn to_json(&self) -> Json {
+        Json::Float(self.value())
+    }
+}
+
+impl FromJson for FloatBits {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        FloatBits::new(v.as_f64()?).ok_or_else(|| JsonError::new("NaN is not a valid float term"))
+    }
+}
+
+hive_json::impl_json_enum_payload!(Term { Iri, Str, Int, Float, Blank });
 
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

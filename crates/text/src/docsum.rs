@@ -135,7 +135,7 @@ pub fn summarize_document(
     }
     // Top-k by rank, then restore document order.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| rank[b].partial_cmp(&rank[a]).expect("finite").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| rank[b].total_cmp(&rank[a]).then(a.cmp(&b)));
     let mut picked: Vec<usize> = order.into_iter().take(cfg.sentences.max(1)).collect();
     picked.sort_unstable();
     Some(DocumentSummary {

@@ -117,8 +117,7 @@ pub fn extract_keyphrases(text: &str, cfg: KeyphraseConfig) -> Vec<Keyphrase> {
         .collect();
     out.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("finite")
+            .total_cmp(&a.score)
             .then_with(|| a.phrase.cmp(&b.phrase))
     });
     out.truncate(cfg.top_k);

@@ -12,9 +12,7 @@
 //!   quality ceiling),
 //! * `RandomMerge` — seeded random merges (the floor).
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use hive_rng::Rng;
 use std::collections::HashMap;
 
 /// A value hierarchy for one column: every value has a parent chain
@@ -222,7 +220,9 @@ impl CompiledColumn {
             };
             parent_id = Some(next_id);
         }
-        parent_id.expect("chain is non-empty")
+        // `chain` always yields at least the root, so this is Some; fall
+        // back to the root id 0 rather than panicking.
+        parent_id.unwrap_or(0)
     }
 
     fn lca(&self, mut a: u32, mut b: u32) -> u32 {
@@ -395,8 +395,7 @@ impl Ord for MergeCandidate {
         // Reversed: BinaryHeap is a max-heap, we want the cheapest merge.
         other
             .added
-            .partial_cmp(&self.added)
-            .expect("finite costs")
+            .total_cmp(&self.added)
             .then_with(|| (other.a, other.b).cmp(&(self.a, self.b)))
     }
 }
@@ -412,7 +411,8 @@ fn greedy(compiled: &Compiled, groups: Vec<Group>, k: usize) -> TableSummary {
     let mut slots: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
     let mut losses: Vec<f64> = slots
         .iter()
-        .map(|g| compiled.group_loss(g.as_ref().expect("fresh slot")))
+        .flatten()
+        .map(|g| compiled.group_loss(g))
         .collect();
     let mut alive = slots.len();
     let mut heap = BinaryHeap::new();
@@ -442,12 +442,15 @@ fn greedy(compiled: &Compiled, groups: Vec<Group>, k: usize) -> TableSummary {
         }
     }
     while alive > k {
-        let cand = heap.pop().expect("candidates exist while alive > k");
+        let Some(cand) = heap.pop() else {
+            break; // no mergeable pair left (can't happen while alive > k)
+        };
         if slots[cand.a].is_none() || slots[cand.b].is_none() {
             continue; // stale: an endpoint was already merged away
         }
-        let ga = slots[cand.a].take().expect("checked");
-        let gb = slots[cand.b].take().expect("checked");
+        let (Some(ga), Some(gb)) = (slots[cand.a].take(), slots[cand.b].take()) else {
+            continue; // unreachable given the check above
+        };
         let merged = compiled.merge_groups(&ga, &gb);
         let new_loss = compiled.group_loss(&merged);
         slots.push(Some(merged));
@@ -460,7 +463,7 @@ fn greedy(compiled: &Compiled, groups: Vec<Group>, k: usize) -> TableSummary {
 }
 
 fn random_merge(compiled: &Compiled, mut groups: Vec<Group>, k: usize, seed: u64) -> TableSummary {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     while groups.len() > k {
         let i = rng.gen_range(0..groups.len());
         let mut j = rng.gen_range(0..groups.len() - 1);
@@ -536,7 +539,11 @@ fn exact(compiled: &Compiled, groups: Vec<Group>, k: usize) -> TableSummary {
         }
     }
     rec(0, 0, k, n, &mut assignment, &mut best, compiled, &groups);
-    let (_, assignment) = best.expect("at least one partition");
+    let Some((_, assignment)) = best else {
+        // n >= 1 guarantees at least one partition; empty input returns
+        // an empty summary.
+        return compiled.finish(Vec::new());
+    };
     let (_, out) = partition_loss(compiled, &groups, &assignment);
     compiled.finish(out)
 }

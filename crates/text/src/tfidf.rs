@@ -5,13 +5,12 @@
 //! this module provides the vector-space machinery behind it and behind
 //! the activity-context vectors of §2.1.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::tokenize::tokenize_filtered;
 
 /// A sparse term-weight vector keyed by corpus term ids.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SparseVector {
     entries: HashMap<u32, f64>,
 }
@@ -117,7 +116,7 @@ impl SparseVector {
     /// The `k` highest-weighted terms, descending.
     pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
         let mut all: Vec<(u32, f64)> = self.iter().collect();
-        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
     }
@@ -125,7 +124,7 @@ impl SparseVector {
 
 /// A TF-IDF corpus: term dictionary, document frequencies, and document
 /// vectors, built incrementally.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Corpus {
     terms: HashMap<String, u32>,
     term_names: Vec<String>,
@@ -154,7 +153,9 @@ impl Corpus {
         if let Some(&id) = self.terms.get(term) {
             return id;
         }
-        let id = u32::try_from(self.term_names.len()).expect("term overflow");
+        // Capacity invariant: term ids are u32 (same rationale as
+        // TermDict::intern).
+        let id = u32::try_from(self.term_names.len()).expect("term overflow"); // lint:allow(no-panic-paths)
         self.terms.insert(term.to_string(), id);
         self.term_names.push(term.to_string());
         self.doc_freq.push(0);

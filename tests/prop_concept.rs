@@ -1,102 +1,133 @@
 //! Property tests for the concept-map substrate: bootstrap invariants,
-//! alignment bounds, and evolution-diff algebra.
+//! alignment bounds, and evolution-diff algebra. Driven by the in-tree
+//! seeded runner (`hive_bench::prop`).
 
+use hive_bench::prop::{check, DEFAULT_CASES};
+use hive_bench::{prop_ensure, prop_ensure_eq};
 use hive_concept::{
     align_maps, bootstrap_concept_map, diff_maps, AlignConfig, BootstrapConfig, ConceptMap,
 };
-use proptest::prelude::*;
+use hive_rng::{Rng, SliceRandom};
+
+const WORDS: [&str; 10] = [
+    "tensor", "stream", "graph", "community", "query", "index", "social", "network",
+    "detection", "sketch",
+];
 
 /// Small synthetic documents over a limited vocabulary so concepts repeat.
-fn arb_docs() -> impl Strategy<Value = Vec<String>> {
-    let word = prop::sample::select(vec![
-        "tensor", "stream", "graph", "community", "query", "index", "social", "network",
-        "detection", "sketch",
-    ]);
-    let sentence = prop::collection::vec(word, 4..10)
-        .prop_map(|ws| format!("{}.", ws.join(" ")));
-    prop::collection::vec(sentence, 1..6)
+fn gen_docs(rng: &mut Rng) -> Vec<String> {
+    let n_sentences = rng.gen_range(1..6usize);
+    (0..n_sentences)
+        .map(|_| {
+            let n_words = rng.gen_range(4..10usize);
+            let ws: Vec<&str> = (0..n_words)
+                .filter_map(|_| WORDS.choose(rng).copied())
+                .collect();
+            format!("{}.", ws.join(" "))
+        })
+        .collect()
 }
 
 /// Random concept maps built from a tiny name pool.
-fn arb_map() -> impl Strategy<Value = ConceptMap> {
-    prop::collection::vec((0usize..8, 1u32..=100), 1..12).prop_map(|entries| {
-        let names = [
-            "tensor stream", "graph community", "query index", "social network",
-            "change detection", "sketch ensemble", "stream window", "network layer",
-        ];
-        let mut m = ConceptMap::new("m");
-        for (i, s) in &entries {
-            m.add_concept(names[*i], *s as f64 / 100.0);
-        }
-        let present: Vec<String> = m.concepts().map(|(c, _)| c.to_string()).collect();
-        for w in present.windows(2) {
-            m.add_relation(&w[0], &w[1], 0.5);
-        }
-        m
-    })
+fn gen_map(rng: &mut Rng) -> ConceptMap {
+    let names = [
+        "tensor stream", "graph community", "query index", "social network",
+        "change detection", "sketch ensemble", "stream window", "network layer",
+    ];
+    let mut m = ConceptMap::new("m");
+    let n = rng.gen_range(1..12usize);
+    for _ in 0..n {
+        let i = rng.gen_range(0..8usize);
+        let s = rng.gen_range(1..=100u32);
+        m.add_concept(names[i], s as f64 / 100.0);
+    }
+    let present: Vec<String> = m.concepts().map(|(c, _)| c.to_string()).collect();
+    for w in present.windows(2) {
+        m.add_relation(&w[0], &w[1], 0.5);
+    }
+    m
 }
 
-proptest! {
-    /// Bootstrap output is always a well-formed concept map: significances
-    /// and strengths in (0,1], relations only between existing concepts.
-    #[test]
-    fn bootstrap_invariants(docs in arb_docs()) {
+/// Bootstrap output is always a well-formed concept map: significances
+/// and strengths in (0,1], relations only between existing concepts.
+#[test]
+fn bootstrap_invariants() {
+    check("concept::bootstrap_invariants", DEFAULT_CASES, |rng| {
+        let docs = gen_docs(rng);
         let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
         let map = bootstrap_concept_map("p", &refs, BootstrapConfig::default());
         for (_, s) in map.concepts() {
-            prop_assert!(s > 0.0 && s <= 1.0);
+            prop_ensure!(s > 0.0 && s <= 1.0, "significance {s} out of range");
         }
         for (a, b, w) in map.relations() {
-            prop_assert!(w > 0.0 && w <= 1.0);
-            prop_assert!(map.contains(a) && map.contains(b));
+            prop_ensure!(w > 0.0 && w <= 1.0, "relation weight {w} out of range");
+            prop_ensure!(map.contains(a) && map.contains(b), "dangling relation");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Alignment scores are bounded, links respect the threshold, and the
-    /// alignment is symmetric up to link direction.
-    #[test]
-    fn alignment_bounds(a in arb_map(), b in arb_map(), thr in 1u32..9) {
+/// Alignment scores are bounded, links respect the threshold, and the
+/// alignment is symmetric up to link direction.
+#[test]
+fn alignment_bounds() {
+    check("concept::alignment_bounds", DEFAULT_CASES, |rng| {
+        let a = gen_map(rng);
+        let b = gen_map(rng);
+        let thr = rng.gen_range(1..9u32);
         let cfg = AlignConfig { threshold: thr as f64 / 10.0, ..Default::default() };
         let al = align_maps(&a, &b, cfg);
         for link in &al.links {
-            prop_assert!(link.score >= cfg.threshold - 1e-12);
-            prop_assert!(link.score <= 1.0 + 1e-12);
-            prop_assert!(a.contains(&link.a));
-            prop_assert!(b.contains(&link.b));
+            prop_ensure!(link.score >= cfg.threshold - 1e-12, "link below threshold");
+            prop_ensure!(link.score <= 1.0 + 1e-12, "link score above 1");
+            prop_ensure!(a.contains(&link.a) && b.contains(&link.b), "dangling link");
         }
         let rev = align_maps(&b, &a, cfg);
-        prop_assert_eq!(al.links.len(), rev.links.len(), "alignment is symmetric");
-    }
+        prop_ensure_eq!(al.links.len(), rev.links.len(), "alignment is symmetric");
+        Ok(())
+    });
+}
 
-    /// Diff algebra: diff(x, x) is empty; diff is anti-symmetric in
-    /// adds/removes; magnitude is non-negative and zero iff empty.
-    #[test]
-    fn diff_algebra(a in arb_map(), b in arb_map()) {
+/// Diff algebra: diff(x, x) is empty; diff is anti-symmetric in
+/// adds/removes; magnitude is non-negative and zero iff empty.
+#[test]
+fn diff_algebra() {
+    check("concept::diff_algebra", DEFAULT_CASES, |rng| {
+        let a = gen_map(rng);
+        let b = gen_map(rng);
         let self_diff = diff_maps(&a, &a, 1e-9);
-        prop_assert!(self_diff.is_empty());
-        prop_assert_eq!(self_diff.magnitude(), 0.0);
+        prop_ensure!(self_diff.is_empty(), "diff(x, x) not empty");
+        prop_ensure_eq!(self_diff.magnitude(), 0.0);
         let ab = diff_maps(&a, &b, 1e-9);
         let ba = diff_maps(&b, &a, 1e-9);
-        prop_assert_eq!(ab.added_concepts.len(), ba.removed_concepts.len());
-        prop_assert_eq!(ab.removed_concepts.len(), ba.added_concepts.len());
-        prop_assert_eq!(ab.added_relations.len(), ba.removed_relations.len());
-        prop_assert!((ab.magnitude() - ba.magnitude()).abs() < 1e-9);
-        prop_assert!(ab.magnitude() >= 0.0);
-        prop_assert_eq!(ab.is_empty(), ab.magnitude() == 0.0);
-    }
+        prop_ensure_eq!(ab.added_concepts.len(), ba.removed_concepts.len());
+        prop_ensure_eq!(ab.removed_concepts.len(), ba.added_concepts.len());
+        prop_ensure_eq!(ab.added_relations.len(), ba.removed_relations.len());
+        prop_ensure!((ab.magnitude() - ba.magnitude()).abs() < 1e-9, "magnitude asymmetric");
+        prop_ensure!(ab.magnitude() >= 0.0, "negative magnitude");
+        prop_ensure_eq!(ab.is_empty(), ab.magnitude() == 0.0);
+        Ok(())
+    });
+}
 
-    /// Merging `b` into `a` leaves every concept at max significance and
-    /// never loses a concept from either side.
-    #[test]
-    fn merge_is_max_union(a in arb_map(), b in arb_map()) {
+/// Merging `b` into `a` leaves every concept at max significance and
+/// never loses a concept from either side.
+#[test]
+fn merge_is_max_union() {
+    check("concept::merge_is_max_union", DEFAULT_CASES, |rng| {
+        let a = gen_map(rng);
+        let b = gen_map(rng);
         let mut merged = a.clone();
         merged.merge(&b);
         for (c, s) in a.concepts() {
-            prop_assert!(merged.significance(c).expect("kept") >= s - 1e-12);
+            let kept = merged.significance(c).ok_or_else(|| format!("lost concept {c}"))?;
+            prop_ensure!(kept >= s - 1e-12, "significance dropped for {c}");
         }
         for (c, s) in b.concepts() {
-            prop_assert!(merged.significance(c).expect("kept") >= s - 1e-12);
+            let kept = merged.significance(c).ok_or_else(|| format!("lost concept {c}"))?;
+            prop_ensure!(kept >= s - 1e-12, "significance dropped for {c}");
         }
-        prop_assert!(merged.concept_count() <= a.concept_count() + b.concept_count());
-    }
+        prop_ensure!(merged.concept_count() <= a.concept_count() + b.concept_count());
+        Ok(())
+    });
 }

@@ -1,90 +1,117 @@
 //! Property tests for the SCENT substrate: sketch estimator guarantees
-//! and tensor algebra invariants.
+//! and tensor algebra invariants. Driven by the in-tree seeded runner
+//! (`hive_bench::prop`).
 
+use hive_bench::prop::{check, DEFAULT_CASES};
+use hive_bench::{prop_ensure, prop_ensure_eq};
+use hive_rng::Rng;
 use hive_scent::{SketchConfig, SparseTensor, TensorSketch};
-use proptest::prelude::*;
 
-fn arb_tensor() -> impl Strategy<Value = SparseTensor> {
-    prop::collection::vec(
-        ((0usize..8, 0usize..8, 0usize..2), -100i32..100),
-        0..40,
-    )
-    .prop_map(|cells| {
-        let mut t = SparseTensor::new(vec![8, 8, 2]);
-        for ((i, j, k), v) in cells {
-            if v != 0 {
-                t.set(&[i, j, k], v as f64 / 10.0);
-            }
+fn gen_tensor(rng: &mut Rng) -> SparseTensor {
+    let mut t = SparseTensor::new(vec![8, 8, 2]);
+    let n = rng.gen_range(0..40usize);
+    for _ in 0..n {
+        let i = rng.gen_range(0..8usize);
+        let j = rng.gen_range(0..8usize);
+        let k = rng.gen_range(0..2usize);
+        let v = rng.gen_range(-100..100i32);
+        if v != 0 {
+            t.set(&[i, j, k], v as f64 / 10.0);
         }
-        t
-    })
+    }
+    t
 }
 
-proptest! {
-    /// Frobenius distance is a metric-ish: symmetric, zero on self, and
-    /// satisfies the triangle inequality.
-    #[test]
-    fn frobenius_metric(a in arb_tensor(), b in arb_tensor(), c in arb_tensor()) {
-        prop_assert!((a.frobenius_distance(&b) - b.frobenius_distance(&a)).abs() < 1e-9);
-        prop_assert!(a.frobenius_distance(&a) < 1e-12);
+/// Frobenius distance is a metric-ish: symmetric, zero on self, and
+/// satisfies the triangle inequality.
+#[test]
+fn frobenius_metric() {
+    check("scent::frobenius_metric", DEFAULT_CASES, |rng| {
+        let a = gen_tensor(rng);
+        let b = gen_tensor(rng);
+        let c = gen_tensor(rng);
+        prop_ensure!((a.frobenius_distance(&b) - b.frobenius_distance(&a)).abs() < 1e-9);
+        prop_ensure!(a.frobenius_distance(&a) < 1e-12);
         let ab = a.frobenius_distance(&b);
         let bc = b.frobenius_distance(&c);
         let ac = a.frobenius_distance(&c);
-        prop_assert!(ac <= ab + bc + 1e-9);
-    }
+        prop_ensure!(ac <= ab + bc + 1e-9, "triangle inequality violated");
+        Ok(())
+    });
+}
 
-    /// The sketch is linear: sketching after a delta equals applying the
-    /// delta to the sketch.
-    #[test]
-    fn sketch_linearity(t in arb_tensor(), i in 0usize..8, j in 0usize..8, k in 0usize..2, dv in -50i32..50) {
+/// The sketch is linear: sketching after a delta equals applying the
+/// delta to the sketch.
+#[test]
+fn sketch_linearity() {
+    check("scent::sketch_linearity", DEFAULT_CASES, |rng| {
+        let t = gen_tensor(rng);
+        let i = rng.gen_range(0..8usize);
+        let j = rng.gen_range(0..8usize);
+        let k = rng.gen_range(0..2usize);
+        let dv = rng.gen_range(-50..50i32);
         let cfg = SketchConfig { measurements: 32, seed: 11 };
         let mut sk = TensorSketch::compute(&t, cfg);
         let mut t2 = t.clone();
         t2.add(&[i, j, k], dv as f64 / 10.0);
         sk.apply_delta(&[i, j, k], dv as f64 / 10.0);
         let fresh = TensorSketch::compute(&t2, cfg);
-        prop_assert!((sk.estimate_distance(&fresh)) < 1e-9, "incremental == recompute");
-    }
+        prop_ensure!(sk.estimate_distance(&fresh) < 1e-9, "incremental != recompute");
+        Ok(())
+    });
+}
 
-    /// The distance estimator is unbiased enough: with a large ensemble,
-    /// the estimate is within 60% of the true distance (JL concentration;
-    /// loose bound to keep the test deterministic-ish over seeds).
-    #[test]
-    fn sketch_estimates_distance(a in arb_tensor(), b in arb_tensor(), seed in 0u64..20) {
+/// The distance estimator is unbiased enough: with a large ensemble,
+/// the estimate is within 60% of the true distance (JL concentration;
+/// loose bound to keep the test deterministic-ish over seeds).
+#[test]
+fn sketch_estimates_distance() {
+    check("scent::sketch_estimates_distance", DEFAULT_CASES, |rng| {
+        let a = gen_tensor(rng);
+        let b = gen_tensor(rng);
+        let seed = rng.gen_range(0..20u64);
         let exact = a.frobenius_distance(&b);
-        prop_assume!(exact > 0.5); // skip near-identical pairs
+        if exact <= 0.5 {
+            return Ok(()); // skip near-identical pairs
+        }
         let cfg = SketchConfig { measurements: 1024, seed };
         let sa = TensorSketch::compute(&a, cfg);
         let sb = TensorSketch::compute(&b, cfg);
         let est = sa.estimate_distance(&sb);
         let rel = (est - exact).abs() / exact;
-        prop_assert!(rel < 0.6, "estimate {est} vs exact {exact} (rel {rel})");
-    }
+        prop_ensure!(rel < 0.6, "estimate {est} vs exact {exact} (rel {rel})");
+        Ok(())
+    });
+}
 
-    /// Identical tensors always sketch identically (estimate = 0).
-    #[test]
-    fn identical_sketches(t in arb_tensor(), seed in 0u64..20) {
+/// Identical tensors always sketch identically (estimate = 0).
+#[test]
+fn identical_sketches() {
+    check("scent::identical_sketches", DEFAULT_CASES, |rng| {
+        let t = gen_tensor(rng);
+        let seed = rng.gen_range(0..20u64);
         let cfg = SketchConfig { measurements: 16, seed };
         let s1 = TensorSketch::compute(&t, cfg);
         let s2 = TensorSketch::compute(&t, cfg);
-        prop_assert_eq!(s1.estimate_distance(&s2), 0.0);
-    }
+        prop_ensure_eq!(s1.estimate_distance(&s2), 0.0);
+        Ok(())
+    });
 }
 
-proptest! {
-    /// CUSUM on a constant score stream never fires, regardless of the
-    /// (positive) threshold and drift.
-    #[test]
-    fn cusum_quiet_on_constant_streams(
-        level in 1u32..100,
-        threshold in 1u32..10,
-        n in 8usize..40,
-    ) {
+/// CUSUM on a constant score stream never fires, regardless of the
+/// (positive) threshold and drift.
+#[test]
+fn cusum_quiet_on_constant_streams() {
+    check("scent::cusum_quiet_on_constant_streams", DEFAULT_CASES, |rng| {
         use hive_scent::{detect_changes_cusum, EpochScore};
+        let level = rng.gen_range(1..100u32);
+        let threshold = rng.gen_range(1..10u32);
+        let n = rng.gen_range(8..40usize);
         let scores: Vec<EpochScore> = (1..=n)
             .map(|e| EpochScore { epoch: e, score: level as f64 })
             .collect();
         let hits = detect_changes_cusum(&scores, threshold as f64, 0.5, 5);
-        prop_assert!(hits.is_empty(), "constant stream fired: {:?}", hits);
-    }
+        prop_ensure!(hits.is_empty(), "constant stream fired: {hits:?}");
+        Ok(())
+    });
 }

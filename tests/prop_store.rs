@@ -1,58 +1,73 @@
-//! Property tests for the weighted triple store (R2DB substrate).
+//! Property tests for the weighted triple store (R2DB substrate),
+//! driven by the in-tree seeded runner (`hive_bench::prop`).
 
+use hive_bench::prop::{check, DEFAULT_CASES};
+use hive_bench::{prop_ensure, prop_ensure_eq};
+use hive_rng::Rng;
 use hive_store::{PathQuery, Term, TripleStore};
-use proptest::prelude::*;
 
 /// A small universe of terms so collisions (and thus interesting
 /// overwrite/remove behaviour) actually happen.
-fn arb_entity() -> impl Strategy<Value = Term> {
-    (0u32..12).prop_map(|i| Term::iri(format!("e{i}")))
+fn gen_entity(rng: &mut Rng) -> Term {
+    Term::iri(format!("e{}", rng.gen_range(0..12u32)))
 }
 
-fn arb_pred() -> impl Strategy<Value = Term> {
-    (0u32..4).prop_map(|i| Term::iri(format!("p{i}")))
+fn gen_pred(rng: &mut Rng) -> Term {
+    Term::iri(format!("p{}", rng.gen_range(0..4u32)))
 }
 
-fn arb_weight() -> impl Strategy<Value = f64> {
-    (1u32..=100).prop_map(|w| w as f64 / 100.0)
+fn gen_weight(rng: &mut Rng) -> f64 {
+    rng.gen_range(1..=100u32) as f64 / 100.0
 }
 
-fn arb_triples() -> impl Strategy<Value = Vec<(Term, Term, Term, f64)>> {
-    prop::collection::vec(
-        (arb_entity(), arb_pred(), arb_entity(), arb_weight()),
-        0..60,
-    )
+fn gen_triples(rng: &mut Rng) -> Vec<(Term, Term, Term, f64)> {
+    let n = rng.gen_range(0..60usize);
+    (0..n)
+        .map(|_| (gen_entity(rng), gen_pred(rng), gen_entity(rng), gen_weight(rng)))
+        .collect()
 }
 
-proptest! {
-    /// Inserting then querying: every inserted triple is found with its
-    /// latest weight, and the indexes stay consistent.
-    #[test]
-    fn insert_then_lookup(triples in arb_triples()) {
+fn fill(st: &mut TripleStore, triples: &[(Term, Term, Term, f64)]) -> Result<(), String> {
+    for (s, p, o, w) in triples {
+        st.insert(s.clone(), p.clone(), o.clone(), *w)
+            .map_err(|e| format!("insert failed: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Inserting then querying: every inserted triple is found with its
+/// latest weight, and the indexes stay consistent.
+#[test]
+fn insert_then_lookup() {
+    check("store::insert_then_lookup", DEFAULT_CASES, |rng| {
+        let triples = gen_triples(rng);
         let mut st = TripleStore::new();
         let mut expected = std::collections::HashMap::new();
         for (s, p, o, w) in &triples {
-            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
+            st.insert(s.clone(), p.clone(), o.clone(), *w)
+                .map_err(|e| format!("insert failed: {e}"))?;
             expected.insert((s.clone(), p.clone(), o.clone()), *w);
         }
-        prop_assert_eq!(st.len(), expected.len());
-        prop_assert!(st.check_invariants());
+        prop_ensure_eq!(st.len(), expected.len());
+        prop_ensure!(st.check_invariants());
         for ((s, p, o), w) in &expected {
-            prop_assert_eq!(st.weight(s, p, o), Some(*w));
+            prop_ensure_eq!(st.weight(s, p, o), Some(*w));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every pattern scan returns exactly the matching subset of a full
-    /// scan, for all eight bound/unbound combinations.
-    #[test]
-    fn scans_agree_with_full_scan(triples in arb_triples(), si in 0u32..12, pi in 0u32..4, oi in 0u32..12) {
+/// Every pattern scan returns exactly the matching subset of a full
+/// scan, for all eight bound/unbound combinations.
+#[test]
+fn scans_agree_with_full_scan() {
+    check("store::scans_agree_with_full_scan", DEFAULT_CASES, |rng| {
+        let triples = gen_triples(rng);
+        let s = gen_entity(rng);
+        let p = gen_pred(rng);
+        let o = gen_entity(rng);
         let mut st = TripleStore::new();
-        for (s, p, o, w) in &triples {
-            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
-        }
-        let s = Term::iri(format!("e{si}"));
-        let p = Term::iri(format!("p{pi}"));
-        let o = Term::iri(format!("e{oi}"));
+        fill(&mut st, &triples)?;
         let full: Vec<(Term, Term, Term)> = st
             .triples_matching(None, None, None)
             .map(|t| st.resolve_triple(&t))
@@ -78,76 +93,112 @@ proptest! {
             let mut want_sorted = want;
             got_sorted.sort();
             want_sorted.sort();
-            prop_assert_eq!(got_sorted, want_sorted, "mask {}", mask);
+            prop_ensure_eq!(got_sorted, want_sorted, "mask {mask}");
         }
-    }
-
-    /// Remove undoes insert: after removing everything, the store is
-    /// empty and invariants hold at every step.
-    #[test]
-    fn remove_restores_empty(triples in arb_triples()) {
-        let mut st = TripleStore::new();
-        for (s, p, o, w) in &triples {
-            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
-        }
-        for (s, p, o, _) in &triples {
-            st.remove(s, p, o);
-            prop_assert!(st.check_invariants());
-        }
-        prop_assert!(st.is_empty());
-    }
-
-    /// Snapshot round trip is the identity on contents.
-    #[test]
-    fn snapshot_roundtrip(triples in arb_triples()) {
-        let mut st = TripleStore::new();
-        for (s, p, o, w) in &triples {
-            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
-        }
-        let restored = TripleStore::from_json(&st.to_json().unwrap()).unwrap();
-        prop_assert_eq!(restored.len(), st.len());
-        for t in st.iter() {
-            let (s, p, o) = st.resolve_triple(&t);
-            prop_assert_eq!(restored.weight(&s, &p, &o), Some(t.weight));
-        }
-    }
-
-    /// Ranked paths: scores are sorted descending, within (0,1], and each
-    /// path's score equals the product of its hop weights; paths are
-    /// loop-free.
-    #[test]
-    fn ranked_paths_invariants(triples in arb_triples()) {
-        let mut st = TripleStore::new();
-        for (s, p, o, w) in &triples {
-            st.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
-        }
-        let src = Term::iri("e0");
-        let dst = Term::iri("e1");
-        if st.dict().get(&src).is_none() || st.dict().get(&dst).is_none() {
-            return Ok(());
-        }
-        let paths = PathQuery::new(src, dst).top_k(4).max_hops(4).run(&st).unwrap();
-        for w in paths.windows(2) {
-            prop_assert!(w[0].score >= w[1].score - 1e-12);
-        }
-        for path in &paths {
-            prop_assert!(path.score > 0.0 && path.score <= 1.0 + 1e-12);
-            let product: f64 = path.triples.iter().map(|t| t.weight).product();
-            prop_assert!((path.score - product).abs() < 1e-9);
-            let mut nodes = path.nodes.clone();
-            nodes.sort();
-            nodes.dedup();
-            prop_assert_eq!(nodes.len(), path.nodes.len(), "loop-free");
-        }
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    /// A batch of inserts+removes leaves the store exactly as the same
-    /// operations applied one by one, and invariants always hold.
-    #[test]
-    fn batch_equals_sequential(triples in arb_triples()) {
+/// Remove undoes insert: after removing everything, the store is empty
+/// and invariants hold at every step.
+#[test]
+fn remove_restores_empty() {
+    check("store::remove_restores_empty", DEFAULT_CASES, |rng| {
+        let triples = gen_triples(rng);
+        let mut st = TripleStore::new();
+        fill(&mut st, &triples)?;
+        for (s, p, o, _) in &triples {
+            st.remove(s, p, o);
+            prop_ensure!(st.check_invariants());
+        }
+        prop_ensure!(st.is_empty());
+        Ok(())
+    });
+}
+
+/// Snapshot round trip is the identity on contents.
+#[test]
+fn snapshot_roundtrip() {
+    check("store::snapshot_roundtrip", DEFAULT_CASES, |rng| {
+        let triples = gen_triples(rng);
+        let mut st = TripleStore::new();
+        fill(&mut st, &triples)?;
+        let json = st.to_json().map_err(|e| format!("to_json: {e}"))?;
+        let restored = TripleStore::from_json(&json).map_err(|e| format!("from_json: {e}"))?;
+        prop_ensure_eq!(restored.len(), st.len());
+        for t in st.iter() {
+            let (s, p, o) = st.resolve_triple(&t);
+            prop_ensure_eq!(restored.weight(&s, &p, &o), Some(t.weight));
+        }
+        Ok(())
+    });
+}
+
+/// Shared body of the ranked-path invariants: scores sorted descending,
+/// within (0,1], equal to the product of hop weights, and loop-free.
+fn ranked_paths_hold(triples: &[(Term, Term, Term, f64)]) -> Result<(), String> {
+    let mut st = TripleStore::new();
+    fill(&mut st, triples)?;
+    let src = Term::iri("e0");
+    let dst = Term::iri("e1");
+    if st.dict().get(&src).is_none() || st.dict().get(&dst).is_none() {
+        return Ok(());
+    }
+    let paths = PathQuery::new(src, dst)
+        .top_k(4)
+        .max_hops(4)
+        .run(&st)
+        .map_err(|e| format!("path query: {e}"))?;
+    for w in paths.windows(2) {
+        prop_ensure!(w[0].score >= w[1].score - 1e-12, "scores not sorted");
+    }
+    for path in &paths {
+        prop_ensure!(path.score > 0.0 && path.score <= 1.0 + 1e-12, "score out of range");
+        let product: f64 = path.triples.iter().map(|t| t.weight).product();
+        prop_ensure!(
+            (path.score - product).abs() < 1e-9,
+            "score {} != hop product {}",
+            path.score,
+            product
+        );
+        let mut nodes = path.nodes.clone();
+        nodes.sort();
+        nodes.dedup();
+        prop_ensure_eq!(nodes.len(), path.nodes.len(), "path has a loop");
+    }
+    Ok(())
+}
+
+/// Ranked paths: randomized invariant sweep.
+#[test]
+fn ranked_paths_invariants() {
+    check("store::ranked_paths_invariants", DEFAULT_CASES, |rng| {
+        let triples = gen_triples(rng);
+        ranked_paths_hold(&triples)
+    });
+}
+
+/// Pinned counterexample ported from the retired
+/// `prop_store.proptest-regressions` file: a low-weight 2-hop chain
+/// `e1 -> e8 -> e0` coexisting with a heavier edge into `e8` once broke
+/// the ranked-path score ordering.
+#[test]
+fn ranked_paths_regression_low_weight_chain() {
+    let triples = [
+        (Term::iri("e1"), Term::iri("p0"), Term::iri("e8"), 0.01),
+        (Term::iri("e8"), Term::iri("p0"), Term::iri("e0"), 0.01),
+        (Term::iri("e2"), Term::iri("p0"), Term::iri("e8"), 1.0),
+    ];
+    ranked_paths_hold(&triples).expect("regression case holds");
+}
+
+/// A batch of inserts leaves the store exactly as the same operations
+/// applied one by one, and invariants always hold.
+#[test]
+fn batch_equals_sequential() {
+    check("store::batch_equals_sequential", DEFAULT_CASES, |rng| {
         use hive_store::Op;
+        let triples = gen_triples(rng);
         let ops: Vec<Op> = triples
             .iter()
             .map(|(s, p, o, w)| Op::Insert {
@@ -158,16 +209,15 @@ proptest! {
             })
             .collect();
         let mut batched = TripleStore::new();
-        batched.apply_batch(&ops).unwrap();
+        batched.apply_batch(&ops).map_err(|e| format!("batch: {e}"))?;
         let mut sequential = TripleStore::new();
-        for (s, p, o, w) in &triples {
-            sequential.insert(s.clone(), p.clone(), o.clone(), *w).unwrap();
-        }
-        prop_assert_eq!(batched.len(), sequential.len());
-        prop_assert!(batched.check_invariants());
+        fill(&mut sequential, &triples)?;
+        prop_ensure_eq!(batched.len(), sequential.len());
+        prop_ensure!(batched.check_invariants());
         for t in sequential.iter() {
             let (s, p, o) = sequential.resolve_triple(&t);
-            prop_assert_eq!(batched.weight(&s, &p, &o), Some(t.weight));
+            prop_ensure_eq!(batched.weight(&s, &p, &o), Some(t.weight));
         }
-    }
+        Ok(())
+    });
 }

@@ -1,147 +1,210 @@
 //! Property tests for the text substrate: tokenization, TF-IDF, and the
-//! AlphaSum summarizer's core invariants.
+//! AlphaSum summarizer's core invariants. Driven by the in-tree seeded
+//! runner (`hive_bench::prop`).
 
-use hive_text::summarize::{summarize_table, Strategy as SumStrategy, SummaryConfig, Table, ValueLattice};
+use hive_bench::prop::{check, DEFAULT_CASES};
+use hive_bench::{prop_ensure, prop_ensure_eq};
+use hive_rng::{Rng, SliceRandom};
+use hive_text::summarize::{
+    summarize_table, Strategy as SumStrategy, SummaryConfig, Table, ValueLattice,
+};
 use hive_text::tfidf::{Corpus, SparseVector};
 use hive_text::tokenize::{tokenize, tokenize_filtered};
-use proptest::prelude::*;
 
-proptest! {
-    /// Tokenization is deterministic, produces lowercase tokens of
-    /// length >= 2, and filtered output is a subset-transform of raw.
-    #[test]
-    fn tokenize_invariants(text in ".{0,200}") {
+/// Arbitrary text over a messy character pool (letters, digits,
+/// punctuation, whitespace, a few non-ASCII letters).
+fn gen_text(rng: &mut Rng) -> String {
+    const POOL: &[char] = &[
+        'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Q', '0', '7', ' ', ' ', '\t', '\n', '.', ',', '!',
+        '-', '_', '(', ')', '"', '\'', 'é', 'ß', 'λ', '中',
+    ];
+    let n = rng.gen_range(0..200usize);
+    (0..n)
+        .filter_map(|_| POOL.choose(rng).copied())
+        .collect()
+}
+
+/// A lowercase word of 3..=8 letters.
+fn gen_word(rng: &mut Rng) -> String {
+    let n = rng.gen_range(3..=8usize);
+    (0..n)
+        .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
+        .collect()
+}
+
+/// A sentence of 1..=11 such words.
+fn gen_word_text(rng: &mut Rng, max_extra_words: usize) -> String {
+    let n = 1 + rng.gen_range(0..=max_extra_words);
+    (0..n).map(|_| gen_word(rng)).collect::<Vec<_>>().join(" ")
+}
+
+/// Tokenization is deterministic, produces lowercase alphanumeric tokens
+/// of length >= 2, and filtered output is a subset-transform of raw.
+#[test]
+fn tokenize_invariants() {
+    check("text::tokenize_invariants", DEFAULT_CASES, |rng| {
+        let text = gen_text(rng);
         let a = tokenize(&text);
         let b = tokenize(&text);
-        prop_assert_eq!(&a, &b);
+        prop_ensure_eq!(a, b);
         for t in &a {
-            prop_assert!(t.chars().count() >= 2);
-            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
-            prop_assert_eq!(t.clone(), t.to_lowercase());
+            prop_ensure!(t.chars().count() >= 2, "short token {t:?}");
+            prop_ensure!(t.chars().all(|c| c.is_alphanumeric()), "bad token {t:?}");
+            prop_ensure_eq!(t.clone(), t.to_lowercase());
         }
-        prop_assert!(tokenize_filtered(&text).len() <= a.len());
-    }
+        prop_ensure!(tokenize_filtered(&text).len() <= a.len());
+        Ok(())
+    });
+}
 
-    /// Cosine is symmetric, bounded, and 1 on self for non-zero vectors.
-    #[test]
-    fn cosine_properties(
-        entries_a in prop::collection::vec((0u32..40, 1u32..100), 0..20),
-        entries_b in prop::collection::vec((0u32..40, 1u32..100), 0..20),
-    ) {
-        let a = SparseVector::from_entries(
-            entries_a.into_iter().map(|(t, w)| (t, w as f64)),
-        );
-        let b = SparseVector::from_entries(
-            entries_b.into_iter().map(|(t, w)| (t, w as f64)),
-        );
+/// Cosine is symmetric, bounded, and 1 on self for non-zero vectors.
+#[test]
+fn cosine_properties() {
+    check("text::cosine_properties", DEFAULT_CASES, |rng| {
+        let gen_entries = |rng: &mut Rng| -> Vec<(u32, f64)> {
+            let n = rng.gen_range(0..20usize);
+            (0..n)
+                .map(|_| (rng.gen_range(0..40u32), rng.gen_range(1..100u32) as f64))
+                .collect()
+        };
+        let a = SparseVector::from_entries(gen_entries(rng));
+        let b = SparseVector::from_entries(gen_entries(rng));
         let ab = a.cosine(&b);
         let ba = b.cosine(&a);
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&ab));
+        prop_ensure!((ab - ba).abs() < 1e-12, "cosine not symmetric");
+        prop_ensure!((-1e-12..=1.0 + 1e-12).contains(&ab), "cosine {ab} out of range");
         if !a.is_empty() {
-            prop_assert!((a.cosine(&a) - 1.0).abs() < 1e-9);
+            prop_ensure!((a.cosine(&a) - 1.0).abs() < 1e-9, "self-cosine != 1");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// TF-IDF vectors are unit length (or empty) and IDF is positive.
-    #[test]
-    fn tfidf_normalization(docs in prop::collection::vec("[a-z]{3,8}( [a-z]{3,8}){0,10}", 1..10)) {
+/// TF-IDF vectors are unit length (or empty) and IDF is positive.
+#[test]
+fn tfidf_normalization() {
+    check("text::tfidf_normalization", DEFAULT_CASES, |rng| {
+        let n_docs = rng.gen_range(1..10usize);
+        let docs: Vec<String> = (0..n_docs).map(|_| gen_word_text(rng, 10)).collect();
         let mut corpus = Corpus::new();
         let tfs: Vec<_> = docs.iter().map(|d| corpus.index_document(d)).collect();
         for tf in &tfs {
             let v = corpus.tfidf(tf);
             if !v.is_empty() {
-                prop_assert!((v.norm() - 1.0).abs() < 1e-9);
+                prop_ensure!((v.norm() - 1.0).abs() < 1e-9, "tfidf not unit norm");
             }
         }
         for t in 0..corpus.term_count() as u32 {
-            prop_assert!(corpus.idf(t) > 0.0);
+            prop_ensure!(corpus.idf(t) > 0.0, "non-positive idf for term {t}");
+        }
+        Ok(())
+    });
+}
+
+/// Random small activity tables over a fixed 2-level lattice.
+fn gen_table(rng: &mut Rng) -> Table {
+    let mut place = ValueLattice::new("*");
+    for t in 0..2 {
+        place.add_child("*", format!("track{t}"));
+        for s in 0..2 {
+            place.add_child(format!("track{t}"), format!("s{t}_{s}"));
         }
     }
+    let mut who = ValueLattice::new("*");
+    for u in 0..4 {
+        who.add_child("*", format!("u{u}"));
+    }
+    let mut what = ValueLattice::new("*");
+    for a in ["checkin", "view", "ask"] {
+        what.add_child("*", a);
+    }
+    let mut table = Table::new(
+        vec!["who".into(), "where".into(), "what".into()],
+        vec![who, place, what],
+    );
+    let rows = 1 + rng.gen_range(0..39usize);
+    for _ in 0..rows {
+        let u = rng.gen_range(0..4usize);
+        let s = rng.gen_range(0..3usize);
+        let a = rng.gen_range(0..3usize);
+        table.push_row(vec![
+            format!("u{u}"),
+            format!("s{}_{}", s % 2, s % 2),
+            ["checkin", "view", "ask"][a].to_string(),
+        ]);
+    }
+    table
 }
 
-/// Strategy for random small activity tables over a fixed 2-level lattice.
-fn arb_table() -> impl Strategy<Value = Table> {
-    prop::collection::vec((0usize..4, 0usize..3, 0usize..3), 1..40).prop_map(|rows| {
-        let mut place = ValueLattice::new("*");
-        for t in 0..2 {
-            place.add_child("*", format!("track{t}"));
-            for s in 0..2 {
-                place.add_child(format!("track{t}"), format!("s{t}_{s}"));
-            }
-        }
-        let mut who = ValueLattice::new("*");
-        for u in 0..4 {
-            who.add_child("*", format!("u{u}"));
-        }
-        let mut what = ValueLattice::new("*");
-        for a in ["checkin", "view", "ask"] {
-            what.add_child("*", a);
-        }
-        let mut table = Table::new(
-            vec!["who".into(), "where".into(), "what".into()],
-            vec![who, place, what],
-        );
-        for (u, s, a) in rows {
-            table.push_row(vec![
-                format!("u{u}"),
-                format!("s{}_{}", s % 2, s % 2),
-                ["checkin", "view", "ask"][a].to_string(),
-            ]);
-        }
-        table
-    })
-}
-
-proptest! {
-    /// AlphaSum invariants, any strategy: the budget is respected, every
-    /// source row is covered exactly once, loss is non-negative and
-    /// monotonically non-increasing in k, and retained is in [0,1].
-    #[test]
-    fn summarizer_invariants(table in arb_table(), k in 1usize..6) {
+/// AlphaSum invariants, any strategy: the budget is respected, every
+/// source row is covered exactly once, loss is non-negative and
+/// monotonically non-increasing in k, and retained is in [0,1].
+#[test]
+fn summarizer_invariants() {
+    check("text::summarizer_invariants", DEFAULT_CASES, |rng| {
+        let table = gen_table(rng);
+        let k = rng.gen_range(1..6usize);
         for strategy in [SumStrategy::Greedy, SumStrategy::RandomMerge(7)] {
             let s = summarize_table(&table, SummaryConfig { max_rows: k, strategy });
-            prop_assert!(s.rows.len() <= k);
+            prop_ensure!(s.rows.len() <= k, "budget exceeded");
             let covered: usize = s.rows.iter().map(|(_, c)| c).sum();
-            prop_assert_eq!(covered, table.rows.len());
-            prop_assert!(s.loss >= -1e-12);
-            prop_assert!((0.0..=1.0).contains(&s.retained));
+            prop_ensure_eq!(covered, table.rows.len());
+            prop_ensure!(s.loss >= -1e-12, "negative loss");
+            prop_ensure!((0.0..=1.0).contains(&s.retained), "retained out of range");
         }
         // Greedy loss is monotone non-increasing in the budget.
-        let l1 = summarize_table(&table, SummaryConfig { max_rows: k, strategy: SumStrategy::Greedy }).loss;
-        let l2 = summarize_table(&table, SummaryConfig { max_rows: k + 1, strategy: SumStrategy::Greedy }).loss;
-        prop_assert!(l2 <= l1 + 1e-9, "more budget cannot hurt: {} vs {}", l2, l1);
-    }
+        let l1 = summarize_table(
+            &table,
+            SummaryConfig { max_rows: k, strategy: SumStrategy::Greedy },
+        )
+        .loss;
+        let l2 = summarize_table(
+            &table,
+            SummaryConfig { max_rows: k + 1, strategy: SumStrategy::Greedy },
+        )
+        .loss;
+        prop_ensure!(l2 <= l1 + 1e-9, "more budget cannot hurt: {l2} vs {l1}");
+        Ok(())
+    });
+}
 
-    /// Generalized cells are always ancestors of the cells they cover.
-    #[test]
-    fn summary_cells_are_ancestors(table in arb_table(), k in 1usize..4) {
-        let s = summarize_table(&table, SummaryConfig { max_rows: k, strategy: SumStrategy::Greedy });
-        // Reconstruct which original rows each summary row covers is not
-        // exposed; instead check that every summary cell is a valid
-        // lattice value (an ancestor of *some* leaf or the root).
+/// Generalized cells are always ancestors of the cells they cover.
+#[test]
+fn summary_cells_are_ancestors() {
+    check("text::summary_cells_are_ancestors", DEFAULT_CASES, |rng| {
+        let table = gen_table(rng);
+        let k = rng.gen_range(1..4usize);
+        let s = summarize_table(
+            &table,
+            SummaryConfig { max_rows: k, strategy: SumStrategy::Greedy },
+        );
+        // Which original rows each summary row covers is not exposed;
+        // instead check that every summary cell is a valid lattice value
+        // (an ancestor of *some* leaf or the root).
         for (row, _) in &s.rows {
             for (c, val) in row.iter().enumerate() {
                 let lat = &table.lattices[c];
-                let known = table.rows.iter().any(|r| {
-                    lat.ancestors(&r[c]).contains(val)
-                });
-                prop_assert!(known, "cell {val:?} is not on any leaf's ancestor chain");
+                let known = table.rows.iter().any(|r| lat.ancestors(&r[c]).contains(val));
+                prop_ensure!(known, "cell {val:?} is not on any leaf's ancestor chain");
             }
         }
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    /// MinHash similarity is symmetric, in [0,1], and 1 on self.
-    #[test]
-    fn minhash_properties(a in "[a-z]{3,7}( [a-z]{3,7}){0,15}", b in "[a-z]{3,7}( [a-z]{3,7}){0,15}") {
+/// MinHash similarity is symmetric, in [0,1], and 1 on self.
+#[test]
+fn minhash_properties() {
+    check("text::minhash_properties", DEFAULT_CASES, |rng| {
         use hive_text::MinHashSignature;
+        let a = gen_word_text(rng, 15);
+        let b = gen_word_text(rng, 15);
         let sa = MinHashSignature::compute(&a, 2, 64);
         let sb = MinHashSignature::compute(&b, 2, 64);
         let ab = sa.similarity(&sb);
-        prop_assert!((0.0..=1.0).contains(&ab));
-        prop_assert!((ab - sb.similarity(&sa)).abs() < 1e-12);
-        prop_assert_eq!(sa.similarity(&sa), 1.0);
-    }
+        prop_ensure!((0.0..=1.0).contains(&ab), "similarity {ab} out of range");
+        prop_ensure!((ab - sb.similarity(&sa)).abs() < 1e-12, "not symmetric");
+        prop_ensure_eq!(sa.similarity(&sa), 1.0);
+        Ok(())
+    });
 }
