@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo bench -p hive-bench --bench bench_concept`
 
-use hive_bench::{header, report, report_header, time_n};
+use hive_bench::{header, iters, report, report_header, time_n, write_json_fragment};
 use hive_concept::{
     align_maps, bootstrap_concept_map, propagate, AlignConfig, BootstrapConfig, ConceptMap,
     ContextNetwork, PropagationConfig,
@@ -25,10 +25,10 @@ fn corpus(docs: usize) -> Vec<String> {
 fn bench_bootstrap() {
     header("concept_bootstrap");
     report_header();
-    for (docs, iters) in [(5usize, 50), (40, 10)] {
+    for (docs, n) in [(5usize, 50), (40, 10)] {
         let texts = corpus(docs);
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-        let samples = time_n(iters, || {
+        let samples = time_n(iters(n, 3), || {
             std::hint::black_box(bootstrap_concept_map("bench", &refs, BootstrapConfig::default()));
         });
         report(&format!("{docs}_docs"), &samples);
@@ -53,10 +53,10 @@ fn synthetic_map(name: &str, concepts: usize) -> ConceptMap {
 fn bench_align() {
     header("concept_align");
     report_header();
-    for (n, iters) in [(20usize, 50), (80, 10)] {
+    for (n, reps) in [(20usize, 50), (80, 10)] {
         let a = synthetic_map("a", n);
         let b = synthetic_map("b", n);
-        let samples = time_n(iters, || {
+        let samples = time_n(iters(reps, 3), || {
             std::hint::black_box(align_maps(&a, &b, AlignConfig::default()));
         });
         report(&format!("{n}_concepts"), &samples);
@@ -66,7 +66,7 @@ fn bench_align() {
 fn bench_propagation() {
     header("concept_propagation");
     report_header();
-    for (n, iters) in [(50usize, 20), (200, 5)] {
+    for (n, reps) in [(50usize, 20), (200, 5)] {
         let mut net = ContextNetwork::new();
         net.add_layer(synthetic_map("papers", n), 1.0);
         net.add_layer(synthetic_map("sessions", n / 2), 0.8);
@@ -75,7 +75,7 @@ fn bench_propagation() {
         let seed_key = g.key(hive_graph::NodeId(0)).to_string();
         let mut seeds = HashMap::new();
         seeds.insert(seed_key, 1.0);
-        let samples = time_n(iters, || {
+        let samples = time_n(iters(reps, 2), || {
             std::hint::black_box(propagate(&g, &seeds, PropagationConfig::default()));
         });
         report(&format!("{n}_concepts"), &samples);
@@ -87,4 +87,5 @@ fn main() {
     bench_bootstrap();
     bench_align();
     bench_propagation();
+    write_json_fragment("bench_concept");
 }

@@ -3,11 +3,15 @@
 //!
 //! Run: `cargo bench -p hive-bench --bench bench_ini`
 
-use hive_bench::{header, report, report_header, time_n, time_once};
+use hive_bench::{
+    header, iters, mean, metric, report, report_header, time_n, time_once, write_json_fragment,
+};
 use hive_graph::{
-    diffuse, DiffusionParams, Graph, ImpactIndex, ImpactQueryEngine, NodeId, RecomputeEngine,
+    diffuse, personalized_pagerank_csr, CsrView, DiffusionParams, Graph, ImpactIndex,
+    ImpactQueryEngine, NodeId, PprConfig, RecomputeEngine,
 };
 use hive_rng::Rng;
+use std::collections::HashMap;
 
 fn random_graph(n: usize, seed: u64) -> Graph {
     let mut g = Graph::new();
@@ -29,11 +33,47 @@ fn bench_diffusion() {
     let g = random_graph(2_000, 1);
     for eps in [1e-2f64, 1e-4] {
         let params = DiffusionParams { alpha: 0.5, epsilon: eps };
-        let samples = time_n(20, || {
+        let samples = time_n(iters(20, 3), || {
             std::hint::black_box(diffuse(&g, NodeId(3), params));
         });
         report(&format!("eps_{eps:.0e}"), &samples);
     }
+}
+
+fn bench_ppr_scaling() {
+    header("ini_ppr");
+    report_header();
+    // Big enough to clear the hive-par edge-count gate (32_768 edges),
+    // so the pool really engages: ~160k directed edges.
+    let g = random_graph(20_000, 4);
+    let csr = CsrView::build(&g);
+    let mut seeds = HashMap::new();
+    seeds.insert(NodeId(3), 1.0);
+    let cfg = PprConfig::default();
+    let n = iters(10, 3);
+    let cold = time_n(n, || {
+        std::hint::black_box(personalized_pagerank_csr(
+            &CsrView::build(&g),
+            &seeds,
+            cfg,
+        ));
+    });
+    report("cold_rebuild_csr", &cold);
+    let serial = time_n(n, || {
+        hive_par::with_threads(1, || {
+            std::hint::black_box(personalized_pagerank_csr(&csr, &seeds, cfg));
+        });
+    });
+    report("warm_serial_t1", &serial);
+    let par = time_n(n, || {
+        hive_par::with_threads(4, || {
+            std::hint::black_box(personalized_pagerank_csr(&csr, &seeds, cfg));
+        });
+    });
+    report("warm_parallel_t4", &par);
+    metric("host_threads", std::thread::available_parallelism().map_or(1.0, |p| p.get() as f64));
+    metric("ppr_warm_vs_cold_speedup", mean(&cold) / mean(&serial));
+    metric("ppr_t4_vs_t1_speedup", mean(&serial) / mean(&par));
 }
 
 fn bench_query_paths() {
@@ -44,11 +84,11 @@ fn bench_query_paths() {
     let mut base = RecomputeEngine::new(g.clone(), params);
     let mut idx = ImpactIndex::new(g, params);
     idx.build_full();
-    let samples = time_n(20, || {
+    let samples = time_n(iters(20, 3), || {
         std::hint::black_box(base.impact(NodeId(7)));
     });
     report("recompute", &samples);
-    let samples = time_n(200, || {
+    let samples = time_n(iters(200, 20), || {
         std::hint::black_box(idx.impact(NodeId(7)));
     });
     report("indexed_hit", &samples);
@@ -62,7 +102,7 @@ fn bench_update() {
     // Setup (warming a slice of the cache) is excluded from the timing:
     // only the edge insertion with its invalidation work is measured.
     let mut samples = Vec::new();
-    for _ in 0..10 {
+    for _ in 0..iters(10, 2) {
         let mut idx = ImpactIndex::new(g.clone(), params);
         for s in 0..50u32 {
             idx.impact(NodeId(s));
@@ -78,6 +118,8 @@ fn bench_update() {
 fn main() {
     println!("bench_ini — incremental impact-index microbenchmarks");
     bench_diffusion();
+    bench_ppr_scaling();
     bench_query_paths();
     bench_update();
+    write_json_fragment("bench_ini");
 }

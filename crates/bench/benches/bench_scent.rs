@@ -3,7 +3,9 @@
 //!
 //! Run: `cargo bench -p hive-bench --bench bench_scent`
 
-use hive_bench::{header, report, report_header, time_n};
+use hive_bench::{
+    header, iters, mean, metric, report, report_header, time_n, write_json_fragment,
+};
 use hive_rng::Rng;
 use hive_scent::{cp_als, SketchConfig, SparseTensor, TensorSketch};
 
@@ -20,10 +22,10 @@ fn random_tensor(dim: usize, nnz: usize, seed: u64) -> SparseTensor {
 fn bench_sketch_compute() {
     header("scent_sketch_compute");
     report_header();
-    for (nnz, iters) in [(500usize, 50), (5_000, 10)] {
+    for (nnz, n) in [(500usize, 50), (5_000, 10)] {
         let t = random_tensor(100, nnz, 1);
         let cfg = SketchConfig { measurements: 256, seed: 7 };
-        let samples = time_n(iters, || {
+        let samples = time_n(iters(n, 3), || {
             std::hint::black_box(TensorSketch::compute(&t, cfg));
         });
         report(&format!("{nnz}_nnz_r256"), &samples);
@@ -36,7 +38,7 @@ fn bench_incremental_update() {
     let t = random_tensor(100, 2_000, 2);
     let cfg = SketchConfig { measurements: 256, seed: 7 };
     let sketch = TensorSketch::compute(&t, cfg);
-    let samples = time_n(50, || {
+    let samples = time_n(iters(50, 5), || {
         let mut s = sketch.clone();
         for i in 0..100usize {
             s.apply_delta(&[i % 100, (i * 7) % 100, i % 3], 0.01);
@@ -54,11 +56,11 @@ fn bench_compare() {
     let cfg = SketchConfig { measurements: 256, seed: 7 };
     let sa = TensorSketch::compute(&a, cfg);
     let sb = TensorSketch::compute(&b, cfg);
-    let samples = time_n(500, || {
+    let samples = time_n(iters(500, 50), || {
         std::hint::black_box(sa.estimate_distance(&sb));
     });
     report("sketch_distance_r256", &samples);
-    let samples = time_n(50, || {
+    let samples = time_n(iters(50, 5), || {
         std::hint::black_box(a.frobenius_distance(&b));
     });
     report("exact_frobenius_5k_nnz", &samples);
@@ -68,10 +70,27 @@ fn bench_cp() {
     header("scent_cp_als");
     report_header();
     let t = random_tensor(40, 1_000, 5);
-    let samples = time_n(5, || {
+    let samples = time_n(iters(5, 2), || {
         std::hint::black_box(cp_als(&t, 3, 6, 1));
     });
     report("cp_als_rank3_iters6", &samples);
+    // Above the hive-par entry gate (2_048 nnz): the ALS sweeps fan the
+    // MTTKRP and row solves over the pool.
+    let big = random_tensor(100, 6_000, 6);
+    let n = iters(5, 2);
+    let serial = time_n(n, || {
+        hive_par::with_threads(1, || {
+            std::hint::black_box(cp_als(&big, 3, 6, 1));
+        });
+    });
+    report("cp_als_6k_nnz_t1", &serial);
+    let par = time_n(n, || {
+        hive_par::with_threads(4, || {
+            std::hint::black_box(cp_als(&big, 3, 6, 1));
+        });
+    });
+    report("cp_als_6k_nnz_t4", &par);
+    metric("cp_t4_vs_t1_speedup", mean(&serial) / mean(&par));
 }
 
 fn main() {
@@ -80,4 +99,5 @@ fn main() {
     bench_incremental_update();
     bench_compare();
     bench_cp();
+    write_json_fragment("bench_scent");
 }

@@ -3,7 +3,9 @@
 //!
 //! Run: `cargo bench -p hive-bench --bench bench_store`
 
-use hive_bench::{header, report, report_header, time_n};
+use hive_bench::{
+    header, iters, mean, metric, report, report_header, time_n, write_json_fragment,
+};
 use hive_rng::Rng;
 use hive_store::{BgpQuery, PathQuery, Pattern, PatternTerm, Term, TripleStore};
 
@@ -30,8 +32,8 @@ fn build_store(n_triples: usize, seed: u64) -> TripleStore {
 fn bench_ingest() {
     header("store_ingest");
     report_header();
-    for (size, iters) in [(1_000usize, 20), (10_000, 5)] {
-        let samples = time_n(iters, || {
+    for (size, n) in [(1_000usize, 20), (10_000, 5)] {
+        let samples = time_n(iters(n, 2), || {
             std::hint::black_box(build_store(size, 1));
         });
         report(&format!("{size}_triples"), &samples);
@@ -44,14 +46,31 @@ fn bench_scan() {
     let st = build_store(10_000, 2);
     let subject = Term::iri("user:5");
     let pred = Term::iri("rel:cites");
-    let samples = time_n(200, || {
+    let samples = time_n(iters(200, 20), || {
         std::hint::black_box(st.triples_matching(Some(&subject), None, None).count());
     });
     report("by_subject", &samples);
-    let samples = time_n(50, || {
+    let samples = time_n(iters(50, 10), || {
         std::hint::black_box(st.triples_matching(None, Some(&pred), None).count());
     });
     report("by_predicate", &samples);
+}
+
+fn bench_count() {
+    header("store_count");
+    report_header();
+    let st = build_store(10_000, 5);
+    let pred = st.dict().get(&Term::iri("rel:cites")).expect("interned predicate");
+    let n = iters(200, 20);
+    let scan = time_n(n, || {
+        std::hint::black_box(st.scan_ids(None, Some(pred), None).len());
+    });
+    report("scan_then_len", &scan);
+    let count = time_n(n, || {
+        std::hint::black_box(st.count_ids(None, Some(pred), None));
+    });
+    report("count_prefix", &count);
+    metric("count_prefix_speedup", mean(&scan) / mean(&count));
 }
 
 fn bench_bgp() {
@@ -71,7 +90,7 @@ fn bench_bgp() {
             PatternTerm::var("y"),
         ))
         .limit(50);
-    let samples = time_n(50, || {
+    let samples = time_n(iters(50, 5), || {
         std::hint::black_box(q.evaluate(&st).len());
     });
     report("two_hop_join", &samples);
@@ -80,18 +99,23 @@ fn bench_bgp() {
 fn bench_paths() {
     header("store_ranked_paths");
     report_header();
-    for (size, iters) in [(2_000usize, 20), (10_000, 5)] {
+    for (size, n) in [(2_000usize, 20), (10_000, 5)] {
         let st = build_store(size, 4);
-        let samples = time_n(iters, || {
-            std::hint::black_box(
-                PathQuery::new(Term::iri("user:1"), Term::iri("user:2"))
-                    .top_k(3)
-                    .max_hops(4)
-                    .run(&st)
-                    .ok(),
-            );
+        let q = PathQuery::new(Term::iri("user:1"), Term::iri("user:2"))
+            .top_k(3)
+            .max_hops(4);
+        let samples = time_n(iters(n, 2), || {
+            std::hint::black_box(q.run(&st).ok());
         });
         report(&format!("{size}_triples"), &samples);
+        // Same query against a pre-built GraphView snapshot: what the
+        // facade's generation-keyed cache saves on repeated queries.
+        let view = hive_store::GraphView::build(&st);
+        let warm = time_n(iters(n, 2), || {
+            std::hint::black_box(q.run_on(&st, &view).ok());
+        });
+        report(&format!("{size}_triples_warm_view"), &warm);
+        metric(&format!("warm_view_speedup_{size}"), mean(&samples) / mean(&warm));
     }
 }
 
@@ -99,6 +123,8 @@ fn main() {
     println!("bench_store — R2DB substrate microbenchmarks");
     bench_ingest();
     bench_scan();
+    bench_count();
     bench_bgp();
     bench_paths();
+    write_json_fragment("bench_store");
 }

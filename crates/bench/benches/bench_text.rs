@@ -3,7 +3,9 @@
 //!
 //! Run: `cargo bench -p hive-bench --bench bench_text`
 
-use hive_bench::{header, report, report_header, time_n};
+use hive_bench::{
+    header, iters, mean, metric, report, report_header, time_n, write_json_fragment,
+};
 use hive_rng::Rng;
 use hive_text::keyphrase::{extract_keyphrases, KeyphraseConfig};
 use hive_text::snippet::{extract_snippet, SnippetConfig};
@@ -31,7 +33,7 @@ fn bench_tokenize() {
     header("text_tokenize");
     report_header();
     let doc = long_document(20);
-    let samples = time_n(100, || {
+    let samples = time_n(iters(100, 10), || {
         std::hint::black_box(tokenize_filtered(&doc).len());
     });
     report("tokenize_filtered_20p", &samples);
@@ -44,18 +46,37 @@ fn bench_tfidf() {
     for i in 0..200 {
         corpus.index_document(&format!("{ABSTRACT} variant {i}"));
     }
-    let samples = time_n(200, || {
+    let samples = time_n(iters(200, 20), || {
         std::hint::black_box(corpus.vectorize_known(ABSTRACT));
     });
     report("vectorize_known", &samples);
+    // Whole-corpus re-weighting, the path the knowledge network build
+    // fans out over the pool.
+    let tfs: Vec<_> = (0..200)
+        .map(|i| corpus.vectorize_known(&format!("{ABSTRACT} variant {i}")))
+        .collect();
+    let n = iters(20, 3);
+    let serial = time_n(n, || {
+        hive_par::with_threads(1, || {
+            std::hint::black_box(corpus.tfidf_batch(&tfs));
+        });
+    });
+    report("tfidf_batch_200_t1", &serial);
+    let par = time_n(n, || {
+        hive_par::with_threads(4, || {
+            std::hint::black_box(corpus.tfidf_batch(&tfs));
+        });
+    });
+    report("tfidf_batch_200_t4", &par);
+    metric("tfidf_t4_vs_t1_speedup", mean(&serial) / mean(&par));
 }
 
 fn bench_keyphrases() {
     header("text_keyphrases");
     report_header();
-    for (paragraphs, iters) in [(1usize, 100), (10, 20)] {
+    for (paragraphs, n) in [(1usize, 100), (10, 20)] {
         let doc = long_document(paragraphs);
-        let samples = time_n(iters, || {
+        let samples = time_n(iters(n, 5), || {
             std::hint::black_box(extract_keyphrases(&doc, KeyphraseConfig::default()));
         });
         report(&format!("{paragraphs}_paragraphs"), &samples);
@@ -65,9 +86,9 @@ fn bench_keyphrases() {
 fn bench_snippets() {
     header("text_snippets");
     report_header();
-    for (paragraphs, iters) in [(5usize, 100), (40, 20)] {
+    for (paragraphs, n) in [(5usize, 100), (40, 20)] {
         let doc = long_document(paragraphs);
-        let samples = time_n(iters, || {
+        let samples = time_n(iters(n, 5), || {
             std::hint::black_box(extract_snippet(
                 &doc,
                 &["tensor streams", "change detection"],
@@ -115,9 +136,9 @@ fn random_activity_table(rows: usize, seed: u64) -> Table {
 fn bench_alphasum() {
     header("text_alphasum_greedy_k8");
     report_header();
-    for (rows, iters) in [(100usize, 10), (400, 5)] {
+    for (rows, n) in [(100usize, 10), (400, 5)] {
         let table = random_activity_table(rows, 1);
-        let samples = time_n(iters, || {
+        let samples = time_n(iters(n, 2), || {
             std::hint::black_box(summarize_table(
                 &table,
                 SummaryConfig { max_rows: 8, strategy: Strategy::Greedy },
@@ -134,4 +155,5 @@ fn main() {
     bench_keyphrases();
     bench_snippets();
     bench_alphasum();
+    write_json_fragment("bench_text");
 }

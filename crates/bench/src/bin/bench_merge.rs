@@ -1,0 +1,64 @@
+//! Merges the per-bench JSON fragments produced under
+//! `HIVE_BENCH_JSON_DIR` into one `BENCH_hive.json` document.
+//!
+//! Run: `bench_merge <fragment-dir> <output-file>` (normally invoked by
+//! `tools/bench.sh`, not by hand).
+
+#![forbid(unsafe_code)]
+
+use hive_json::Json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(dir), Some(out)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_merge <fragment-dir> <output-file>");
+        return ExitCode::FAILURE;
+    };
+    let mut fragments: Vec<(String, Json)> = Vec::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench_merge: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().map_or(true, |e| e != "json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            eprintln!("bench_merge: skipping unparseable {path:?}");
+            continue;
+        };
+        let Json::Obj(fields) = doc else { continue };
+        let mut bench = None;
+        let mut metrics = None;
+        for (k, v) in fields {
+            match (k.as_str(), v) {
+                ("bench", Json::Str(s)) => bench = Some(s),
+                ("metrics", m @ Json::Obj(_)) => metrics = Some(m),
+                _ => {}
+            }
+        }
+        if let (Some(b), Some(m)) = (bench, metrics) {
+            fragments.push((b, m));
+        }
+    }
+    // Stable output regardless of directory iteration order.
+    fragments.sort_by(|a, b| a.0.cmp(&b.0));
+    let doc = Json::Obj(vec![
+        ("unit".to_string(), Json::Str("ns_per_op (metrics ending _ns_per_op); plain ratios otherwise".to_string())),
+        ("benches".to_string(), Json::Obj(fragments)),
+    ]);
+    if let Err(e) = std::fs::write(&out, doc.render() + "\n") {
+        eprintln!("bench_merge: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_merge: wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -20,7 +20,68 @@
 
 pub mod prop;
 
+use std::sync::Mutex;
 use std::time::Instant; // lint:allow(deterministic-time) -- wall-clock is the measurement
+
+/// True when `HIVE_BENCH_SMOKE` is set: benches shrink their iteration
+/// counts so `tools/bench.sh` can sweep every binary in seconds while
+/// still exercising the real code paths.
+pub fn smoke() -> bool {
+    std::env::var_os("HIVE_BENCH_SMOKE").is_some()
+}
+
+/// Picks an iteration count: `full` normally, `quick` in smoke mode.
+pub fn iters(full: usize, quick: usize) -> usize {
+    if smoke() {
+        quick.min(full)
+    } else {
+        full
+    }
+}
+
+/// (metric name, value) pairs accumulated by [`report`] and [`metric`],
+/// flushed by [`write_json_fragment`]. The section prefix comes from the
+/// most recent [`header`] call.
+static RECORDS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+static SECTION: Mutex<String> = Mutex::new(String::new());
+
+fn push_record(name: String, value: f64) {
+    if let Ok(mut recs) = RECORDS.lock() {
+        recs.push((name, value));
+    }
+}
+
+/// Records a scalar metric (e.g. a speedup ratio) under the current
+/// section for the JSON fragment, and prints it.
+pub fn metric(name: &str, value: f64) {
+    let section = SECTION.lock().map(|s| s.clone()).unwrap_or_default();
+    println!("{section}/{name} = {value:.3}");
+    push_record(format!("{section}/{name}"), value);
+}
+
+/// Writes every metric recorded so far to
+/// `$HIVE_BENCH_JSON_DIR/<bench>.json` as a flat object of
+/// `"section/case_ns_per_op"` (or scalar metric) entries. No-op when the
+/// env var is unset, so plain `cargo bench` runs stay file-free.
+pub fn write_json_fragment(bench: &str) {
+    let Some(dir) = std::env::var_os("HIVE_BENCH_JSON_DIR") else {
+        return;
+    };
+    let records = RECORDS.lock().map(|r| r.clone()).unwrap_or_default();
+    let pairs: Vec<(String, hive_json::Json)> = records
+        .into_iter()
+        .map(|(k, v)| (k, hive_json::Json::Float(v)))
+        .collect();
+    let doc = hive_json::Json::Obj(vec![
+        ("bench".to_string(), hive_json::Json::Str(bench.to_string())),
+        ("metrics".to_string(), hive_json::Json::Obj(pairs)),
+    ]);
+    let dir = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    if let Err(e) = std::fs::write(dir.join(format!("{bench}.json")), doc.render()) {
+        eprintln!("bench: failed to write json fragment: {e}");
+    }
+}
 
 /// Runs `f` once and returns (result, elapsed microseconds).
 pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -60,9 +121,13 @@ pub fn mean(samples: &[f64]) -> f64 {
     }
 }
 
-/// Prints a section header.
+/// Prints a section header and makes `title` the current section prefix
+/// for metrics recorded by [`report`] and [`metric`].
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
+    if let Ok(mut s) = SECTION.lock() {
+        *s = title.to_string();
+    }
 }
 
 /// Prints an aligned row of cells.
@@ -87,7 +152,8 @@ pub fn report_header() {
     ]);
 }
 
-/// Prints one `case  mean  p50  p95  n` row for a latency sample.
+/// Prints one `case  mean  p50  p95  n` row for a latency sample and
+/// records the mean as `section/name_ns_per_op` for the JSON fragment.
 pub fn report(name: &str, samples: &[f64]) {
     row(&[
         name.to_string(),
@@ -96,6 +162,8 @@ pub fn report(name: &str, samples: &[f64]) {
         fmt_us(percentile(samples, 95.0)),
         samples.len().to_string(),
     ]);
+    let section = SECTION.lock().map(|s| s.clone()).unwrap_or_default();
+    push_record(format!("{section}/{name}_ns_per_op"), mean(samples) * 1e3);
 }
 
 /// Formats microseconds human-readably.

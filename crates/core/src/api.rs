@@ -34,16 +34,27 @@ use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Generation-stamped relationship-graph snapshot: the `rel:*` triple
+/// export of the knowledge network plus its [`hive_store::GraphView`]
+/// CSR adjacency, built once per database generation so repeated
+/// explanation queries skip both the export and the store scan.
+struct RelSnapshot {
+    generation: u64,
+    store: hive_store::TripleStore,
+    view: hive_store::GraphView,
+}
+
 /// The Hive platform facade.
 pub struct Hive {
     db: HiveDb,
     kn_cache: Mutex<Option<Arc<KnowledgeNetwork>>>,
+    rel_cache: Mutex<Option<Arc<RelSnapshot>>>,
 }
 
 impl Hive {
     /// Wraps a (possibly pre-populated) platform database.
     pub fn new(db: HiveDb) -> Self {
-        Hive { db, kn_cache: Mutex::new(None) }
+        Hive { db, kn_cache: Mutex::new(None), rel_cache: Mutex::new(None) }
     }
 
     /// Read access to the platform database.
@@ -52,11 +63,18 @@ impl Hive {
     }
 
     /// Write access to the database; invalidates the derived knowledge
-    /// network.
+    /// network and the relationship-graph snapshot. (The relationship
+    /// snapshot is additionally keyed by [`HiveDb::generation`], so even
+    /// a mutation that slipped past this method cannot serve stale
+    /// paths.)
     pub fn db_mut(&mut self) -> &mut HiveDb {
         // A poisoned cache mutex only means a panic elsewhere mid-build;
         // the cache is safely rebuildable, so recover the guard.
         match self.kn_cache.get_mut() {
+            Ok(cache) => *cache = None,
+            Err(poisoned) => *poisoned.into_inner() = None,
+        }
+        match self.rel_cache.get_mut() {
             Ok(cache) => *cache = None,
             Err(poisoned) => *poisoned.into_inner() = None,
         }
@@ -75,6 +93,26 @@ impl Hive {
         let kn = Arc::new(KnowledgeNetwork::build(&self.db));
         *guard = Some(Arc::clone(&kn));
         kn
+    }
+
+    /// The current relationship-graph snapshot, rebuilt when the
+    /// database generation moved past the cached one.
+    fn relationship_graph(&self, kn: &KnowledgeNetwork) -> Arc<RelSnapshot> {
+        let mut guard = match self.rel_cache.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let generation = self.db.generation();
+        if let Some(snap) = guard.as_ref() {
+            if snap.generation == generation {
+                return Arc::clone(snap);
+            }
+        }
+        let store = kn.to_store(&self.db);
+        let view = hive_store::GraphView::build(&store);
+        let snap = Arc::new(RelSnapshot { generation, store, view });
+        *guard = Some(Arc::clone(&snap));
+        snap
     }
 
     // ---- concept map & personalization services ---------------------------
@@ -168,10 +206,13 @@ impl Hive {
     }
 
     /// Figure 2: relationship discovery and explanation between peers.
+    /// The underlying `rel:*` store and its CSR view are cached per
+    /// database generation, so repeated explanations only pay for the
+    /// path search itself.
     pub fn explain_relationship(&self, a: UserId, b: UserId) -> RelationshipExplanation {
         let kn = self.knowledge();
-        let store = kn.to_store(&self.db);
-        evidence::explain_relationship(&self.db, &kn, &store, a, b, 3)
+        let rel = self.relationship_graph(&kn);
+        evidence::explain_relationship_with_view(&self.db, &kn, &rel.store, &rel.view, a, b, 3)
     }
 
     /// Community discovery over the social + co-authorship layers.
@@ -366,6 +407,22 @@ mod tests {
         h.follow(users[0], users[5]).ok();
         let k3 = h.knowledge();
         assert!(!Arc::ptr_eq(&k1, &k3), "mutation invalidates");
+    }
+
+    #[test]
+    fn relationship_graph_cached_per_generation() {
+        let mut h = hive();
+        let kn = h.knowledge();
+        let r1 = h.relationship_graph(&kn);
+        let r2 = h.relationship_graph(&kn);
+        assert!(Arc::ptr_eq(&r1, &r2), "warm snapshot reused");
+        let gen_before = h.db().generation();
+        let users = h.db().user_ids();
+        h.follow(users[1], users[2]).unwrap();
+        assert!(h.db().generation() > gen_before, "mutation bumps generation");
+        let kn2 = h.knowledge();
+        let r3 = h.relationship_graph(&kn2);
+        assert!(!Arc::ptr_eq(&r1, &r3), "generation move invalidates");
     }
 
     #[test]

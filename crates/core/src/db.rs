@@ -45,6 +45,11 @@ pub struct HiveDb {
     // Activity log.
     log: Vec<ActivityRecord>,
     log_by_user: HashMap<UserId, Vec<usize>>,
+    /// Monotone mutation counter. Bumped by every content mutation (but
+    /// not by clock advancement), so derived caches — the knowledge
+    /// network, the relationship [`hive_store::GraphView`] — can detect
+    /// staleness with one integer compare.
+    generation: u64,
     // Secondary indexes.
     sessions_by_conf: HashMap<ConferenceId, Vec<SessionId>>,
     papers_by_author: HashMap<UserId, Vec<PaperId>>,
@@ -93,7 +98,15 @@ impl HiveDb {
         self.clock.advance_to(t);
     }
 
+    /// The current mutation generation. Strictly increases on every
+    /// content mutation; clock advancement does not count. Derived
+    /// caches snapshot this value and compare to detect staleness.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     fn record(&mut self, user: UserId, event: ActivityEvent) {
+        self.generation += 1;
         let at = self.clock.now();
         let idx = self.log.len();
         self.log.push(ActivityRecord { user, event, at });
@@ -106,6 +119,7 @@ impl HiveDb {
     pub fn add_user(&mut self, user: User) -> UserId {
         let id = UserId(self.users.len() as u32);
         self.users.push(user);
+        self.generation += 1;
         id
     }
 
@@ -113,6 +127,7 @@ impl HiveDb {
     pub fn add_conference(&mut self, conf: Conference) -> ConferenceId {
         let id = ConferenceId(self.conferences.len() as u32);
         self.conferences.push(conf);
+        self.generation += 1;
         id
     }
 
@@ -129,6 +144,7 @@ impl HiveDb {
             .or_default()
             .push(id);
         self.sessions.push(session);
+        self.generation += 1;
         Ok(id)
     }
 
@@ -157,6 +173,7 @@ impl HiveDb {
             self.cited_by.entry(c).or_default().push(id);
         }
         self.papers.push(paper);
+        self.generation += 1;
         Ok(id)
     }
 
@@ -407,6 +424,7 @@ impl HiveDb {
         } else {
             self.follow_filters.insert((follower, followee), categories);
         }
+        self.generation += 1;
         Ok(())
     }
 
@@ -512,6 +530,9 @@ impl HiveDb {
         }
         if accept {
             self.record(to, ActivityEvent::ConnectAccept(from));
+        } else {
+            // Declines don't log activity but still change state.
+            self.generation += 1;
         }
         Ok(())
     }
@@ -656,6 +677,7 @@ impl HiveDb {
             at: self.clock.now(),
         });
         self.tweets_by_session.entry(session).or_default().push(id);
+        self.generation += 1;
         Ok(id)
     }
 
@@ -701,6 +723,7 @@ impl HiveDb {
         let id = WorkpadId(self.workpads.len() as u32);
         self.workpads.push(Workpad::new(owner, name));
         self.workpads_by_user.entry(owner).or_default().push(id);
+        self.generation += 1;
         if let std::collections::hash_map::Entry::Vacant(e) = self.active_workpad.entry(owner) {
             e.insert(id);
             self.record(owner, ActivityEvent::ActivateWorkpad(id));
@@ -771,6 +794,7 @@ impl HiveDb {
         if !self.workpads[pad.index()].remove(item) {
             return Err(HiveError::not_found("workpad item", format!("{item:?}")));
         }
+        self.generation += 1;
         Ok(())
     }
 
@@ -801,6 +825,7 @@ impl HiveDb {
         let col = Collection::from_workpad(p);
         let id = CollectionId(self.collections.len() as u32);
         self.collections.push(col);
+        self.generation += 1;
         Ok(id)
     }
 
@@ -817,6 +842,7 @@ impl HiveDb {
         }
         let id = CollectionId(self.collections.len() as u32);
         self.collections.push(col);
+        self.generation += 1;
         Ok(id)
     }
 
@@ -902,6 +928,7 @@ impl HiveDb {
         db.active_workpad = snap.active_workpads.iter().copied().collect();
         db.log = snap.log.clone();
         db.rebuild_indexes()?;
+        db.generation = 1;
         Ok(db)
     }
 

@@ -16,7 +16,7 @@ use crate::context::ActivityContext;
 use crate::db::HiveDb;
 use crate::ids::{PaperId, PresentationId, SessionId, UserId};
 use crate::knowledge::KnowledgeNetwork;
-use hive_graph::{personalized_pagerank, NodeId, PprConfig};
+use hive_graph::{personalized_pagerank_csr, NodeId, PprConfig};
 use hive_text::keyphrase::{extract_keyphrases, KeyphraseConfig};
 use hive_text::snippet::{extract_snippet, SnippetConfig};
 use hive_text::tfidf::SparseVector;
@@ -160,7 +160,7 @@ fn graph_activation(kn: &KnowledgeNetwork, ctx: &ActivityContext) -> HashMap<Str
     if seeds.is_empty() {
         return HashMap::new();
     }
-    let ppr = personalized_pagerank(g, &seeds, PprConfig::default());
+    let ppr = personalized_pagerank_csr(&kn.unified_csr, &seeds, PprConfig::default());
     let max = ppr.iter().cloned().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
     g.nodes()
         .filter(|n| ppr[n.index()] > 0.0)

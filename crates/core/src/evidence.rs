@@ -20,7 +20,7 @@ use crate::db::HiveDb;
 use crate::ids::{PaperId, UserId};
 use crate::knowledge::KnowledgeNetwork;
 use crate::model::QaTarget;
-use hive_store::{PathQuery, Term, TripleStore};
+use hive_store::{GraphView, PathQuery, Term, TripleStore};
 use hive_text::tokenize::tokenize_filtered;
 use std::collections::HashSet;
 
@@ -479,12 +479,42 @@ pub fn combined_score(items: &[EvidenceItem]) -> f64 {
     1.0 - items.iter().map(|i| 1.0 - i.score).product::<f64>()
 }
 
+/// [`relationship_evidence`] against every peer in `peers`, fanned out
+/// over the worker pool (each pair's evidence scan is independent).
+/// Results come back in `peers` order, identical for any `HIVE_THREADS`.
+pub fn batch_relationship_evidence(
+    db: &HiveDb,
+    kn: &KnowledgeNetwork,
+    user: UserId,
+    peers: &[UserId],
+) -> Vec<Vec<EvidenceItem>> {
+    hive_par::par_map(peers, |&peer| relationship_evidence(db, kn, user, peer))
+}
+
 /// Full Figure 2 output: evidence list + strongest knowledge-network
-/// paths between the two users (rendered).
+/// paths between the two users (rendered). Builds a throwaway
+/// [`GraphView`] of `store`; callers holding a cached view should use
+/// [`explain_relationship_with_view`].
 pub fn explain_relationship(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
     store: &TripleStore,
+    a: UserId,
+    b: UserId,
+    top_paths: usize,
+) -> RelationshipExplanation {
+    let view = GraphView::build(store);
+    explain_relationship_with_view(db, kn, store, &view, a, b, top_paths)
+}
+
+/// [`explain_relationship`] over a pre-built [`GraphView`] snapshot of
+/// `store` — the cached fast path used by the `Hive` facade, which keys
+/// the view by database generation.
+pub fn explain_relationship_with_view(
+    db: &HiveDb,
+    kn: &KnowledgeNetwork,
+    store: &TripleStore,
+    view: &GraphView,
     a: UserId,
     b: UserId,
     top_paths: usize,
@@ -494,7 +524,7 @@ pub fn explain_relationship(
     let paths = PathQuery::new(Term::iri(a.iri()), Term::iri(b.iri()))
         .top_k(top_paths.max(1))
         .max_hops(4)
-        .run(store)
+        .run_on(store, view)
         .map(|ps| ps.iter().map(|p| p.explain(store)).collect())
         .unwrap_or_default();
     RelationshipExplanation { a, b, items, combined, paths }

@@ -25,7 +25,7 @@ use crate::db::HiveDb;
 use crate::ids::{PaperId, PresentationId, SessionId, UserId};
 use crate::model::QaTarget;
 use hive_concept::{bootstrap_concept_map, AlignConfig, BootstrapConfig, ContextNetwork};
-use hive_graph::Graph;
+use hive_graph::{CsrView, Graph};
 use hive_store::{Term, TripleStore};
 use hive_text::tfidf::{Corpus, SparseVector};
 use std::collections::HashMap;
@@ -85,6 +85,10 @@ pub struct KnowledgeNetwork {
     pub citation: Graph,
     /// Unified multi-layer graph over all entity IRIs (undirected).
     pub unified: Graph,
+    /// CSR snapshot of [`Self::unified`], built once so every PPR run
+    /// (peer recommendation, contextual search, session prediction)
+    /// skips the per-call adjacency flattening.
+    pub unified_csr: CsrView,
     /// Content corpus over papers, presentations, sessions, and profiles.
     pub corpus: Corpus,
     /// TF-IDF vectors per paper.
@@ -112,6 +116,7 @@ impl KnowledgeNetwork {
         let coauthor = build_coauthor(db, &w);
         let citation = build_citation(db, &w);
         let unified = build_unified(db, &w);
+        let unified_csr = CsrView::build(&unified);
         let (corpus, paper_vectors, presentation_vectors, session_vectors, user_vectors) =
             build_content(db);
         let concepts = build_concepts(db);
@@ -120,6 +125,7 @@ impl KnowledgeNetwork {
             coauthor,
             citation,
             unified,
+            unified_csr,
             corpus,
             paper_vectors,
             presentation_vectors,
@@ -375,13 +381,19 @@ fn build_content(db: &HiveDb) -> ContentIndexes {
         let Ok(session) = db.get_session(s) else { continue; };
         sess_tf.insert(s, corpus.index_document(&session.text()));
     }
-    // ...then weight.
-    let paper_vectors: HashMap<PaperId, SparseVector> =
-        paper_tf.iter().map(|(&p, tf)| (p, corpus.tfidf(tf))).collect();
-    let presentation_vectors: HashMap<PresentationId, SparseVector> =
-        pres_tf.iter().map(|(&p, tf)| (p, corpus.tfidf(tf))).collect();
-    let session_vectors: HashMap<SessionId, SparseVector> =
-        sess_tf.iter().map(|(&s, tf)| (s, corpus.tfidf(tf))).collect();
+    // ...then weight, batching each arena through the parallel
+    // vectorizer (per-document TF-IDF is independent work).
+    fn weighted<K: Copy + std::hash::Hash + Eq>(
+        corpus: &Corpus,
+        tf: &HashMap<K, SparseVector>,
+    ) -> HashMap<K, SparseVector> {
+        let (keys, tfs): (Vec<K>, Vec<SparseVector>) =
+            tf.iter().map(|(&k, v)| (k, v.clone())).unzip();
+        keys.into_iter().zip(corpus.tfidf_batch(&tfs)).collect()
+    }
+    let paper_vectors = weighted(&corpus, &paper_tf);
+    let presentation_vectors = weighted(&corpus, &pres_tf);
+    let session_vectors = weighted(&corpus, &sess_tf);
     // User vectors: declared interests + authored papers, renormalized.
     let mut user_vectors = HashMap::new();
     for u in db.user_ids() {

@@ -19,10 +19,11 @@
 
 use crate::context::ActivityContext;
 use crate::db::HiveDb;
-use crate::evidence::{combined_score, relationship_evidence, EvidenceItem};
+use crate::evidence::{batch_relationship_evidence, combined_score, EvidenceItem};
 use crate::ids::{SessionId, UserId};
 use crate::knowledge::KnowledgeNetwork;
-use hive_graph::{personalized_pagerank, NodeId, PprConfig};
+use hive_graph::{personalized_pagerank_csr, NodeId, PprConfig};
+use hive_par::par_map;
 use std::collections::HashMap;
 
 /// How the two signals are blended (ablation axis for experiment E4).
@@ -108,8 +109,8 @@ pub fn recommend_peers(
             seeds.insert(n, 1.0);
         }
     }
-    let ppr = personalized_pagerank(
-        g,
+    let ppr = personalized_pagerank_csr(
+        &kn.unified_csr,
         &seeds,
         PprConfig { damping: cfg.damping, ..Default::default() },
     );
@@ -128,11 +129,14 @@ pub fn recommend_peers(
         .map(|(_, s)| *s)
         .filter(|s| *s > 0.0)
         .unwrap_or(1.0);
-    // Blend with evidence.
+    // Blend with evidence — the expensive pass. Each candidate's
+    // evidence scan is independent, so fan it out over the pool.
+    let peer_ids: Vec<UserId> = candidates.iter().map(|&(u, _)| u).collect();
+    let evidence = batch_relationship_evidence(db, kn, user, &peer_ids);
     let mut scored: Vec<PeerRecommendation> = candidates
         .into_iter()
-        .map(|(peer, ppr_score)| {
-            let reasons = relationship_evidence(db, kn, user, peer);
+        .zip(evidence)
+        .map(|((peer, ppr_score), reasons)| {
             let ev = combined_score(&reasons);
             let ppr_norm = ppr_score / max_ppr;
             let score = match cfg.strategy {
@@ -149,8 +153,11 @@ pub fn recommend_peers(
             .then_with(|| a.user.cmp(&b.user))
     });
     scored.truncate(cfg.top_k);
-    for rec in &mut scored {
-        rec.likely_sessions = predict_sessions(db, kn, rec.user, cfg.sessions_per_peer);
+    let predicted = par_map(&scored, |rec| {
+        predict_sessions(db, kn, rec.user, cfg.sessions_per_peer)
+    });
+    for (rec, sessions) in scored.iter_mut().zip(predicted) {
+        rec.likely_sessions = sessions;
     }
     scored
 }

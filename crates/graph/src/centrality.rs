@@ -2,7 +2,22 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::shortest::dijkstra;
+use hive_par::{par_map, par_reduce, with_threads};
 use hive_rng::{Rng, SliceRandom};
+
+/// Below this many sources the per-source sweeps stay serial; the gate
+/// depends only on input size, and hive-par's chunk-ordered merge keeps
+/// serial and parallel results bit-identical anyway.
+const PAR_SOURCE_THRESHOLD: usize = 16;
+
+/// Elementwise vector add, used to merge per-chunk score partials in
+/// chunk order.
+fn merge_scores(mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+    a
+}
 
 /// Weighted degree centrality (sum of out-edge weights) per node.
 pub fn degree_centrality(g: &Graph) -> Vec<f64> {
@@ -14,22 +29,26 @@ pub fn degree_centrality(g: &Graph) -> Vec<f64> {
 /// Edge weights are treated as *costs*. Exact (all-sources) — prefer
 /// [`harmonic_centrality_sampled`] on large graphs.
 pub fn harmonic_centrality(g: &Graph) -> Vec<f64> {
-    g.nodes()
-        .map(|u| {
-            let dm = dijkstra(g, u);
-            g.nodes()
-                .filter(|&v| v != u)
-                .map(|v| {
-                    let d = dm.distance(v);
-                    if d.is_finite() && d > 0.0 {
-                        1.0 / d
-                    } else {
-                        0.0
-                    }
-                })
-                .sum()
-        })
-        .collect()
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let one_source = |&u: &NodeId| -> f64 {
+        let dm = dijkstra(g, u);
+        g.nodes()
+            .filter(|&v| v != u)
+            .map(|v| {
+                let d = dm.distance(v);
+                if d.is_finite() && d > 0.0 {
+                    1.0 / d
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    };
+    if nodes.len() < PAR_SOURCE_THRESHOLD {
+        with_threads(1, || par_map(&nodes, one_source))
+    } else {
+        par_map(&nodes, one_source)
+    }
 }
 
 /// Sampled approximation of *inbound* harmonic centrality.
@@ -47,7 +66,7 @@ pub fn harmonic_centrality_sampled(g: &Graph, samples: usize, seed: u64) -> Vec<
     pivots.shuffle(&mut rng);
     pivots.truncate(samples.min(n));
     let scale = n as f64 / pivots.len() as f64;
-    for &p in &pivots {
+    let fold = |mut acc: Vec<f64>, &p: &NodeId| -> Vec<f64> {
         let dm = dijkstra(g, p);
         for v in g.nodes() {
             if v == p {
@@ -55,10 +74,13 @@ pub fn harmonic_centrality_sampled(g: &Graph, samples: usize, seed: u64) -> Vec<
             }
             let d = dm.distance(v);
             if d.is_finite() && d > 0.0 {
-                scores[v.index()] += scale / d;
+                acc[v.index()] += scale / d;
             }
         }
-    }
+        acc
+    };
+    let reduce = || par_reduce(&pivots, || vec![0.0f64; n], fold, merge_scores);
+    scores = if pivots.len() < PAR_SOURCE_THRESHOLD { with_threads(1, reduce) } else { reduce() };
     scores
 }
 
@@ -80,7 +102,7 @@ pub fn betweenness_sampled(g: &Graph, samples: usize, seed: u64) -> Vec<f64> {
     pivots.shuffle(&mut rng);
     pivots.truncate(samples.min(n));
     let scale = n as f64 / pivots.len() as f64;
-    for &s in &pivots {
+    let fold = |mut acc: Vec<f64>, &s: &NodeId| -> Vec<f64> {
         // Brandes' single-source accumulation (unweighted).
         let mut stack: Vec<usize> = Vec::new();
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -110,10 +132,13 @@ pub fn betweenness_sampled(g: &Graph, samples: usize, seed: u64) -> Vec<f64> {
                 delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
             }
             if w != s.index() {
-                score[w] += delta[w] * scale;
+                acc[w] += delta[w] * scale;
             }
         }
-    }
+        acc
+    };
+    let reduce = || par_reduce(&pivots, || vec![0.0f64; n], fold, merge_scores);
+    score = if pivots.len() < PAR_SOURCE_THRESHOLD { with_threads(1, reduce) } else { reduce() };
     score
 }
 

@@ -31,6 +31,7 @@
 
 pub mod centrality;
 pub mod community;
+pub mod csr;
 pub mod graph;
 pub mod ini;
 pub mod kcore;
@@ -43,7 +44,10 @@ pub use community::{label_propagation, louvain, modularity, nmi, nmi_of_partitio
 pub use graph::{EdgeRef, Graph, NodeId};
 pub use ini::{ImpactIndex, ImpactQueryEngine, RecomputeEngine};
 pub use linkpred::{adamic_adar, common_neighbors, jaccard, preferential_attachment};
-pub use ppr::{pagerank, personalized_pagerank, top_k_excluding_seeds, PprConfig};
+pub use csr::CsrView;
+pub use ppr::{
+    pagerank, personalized_pagerank, personalized_pagerank_csr, top_k_excluding_seeds, PprConfig,
+};
 pub use centrality::{betweenness_sampled, degree_centrality, harmonic_centrality, harmonic_centrality_sampled};
 pub use ini::{diffuse, DiffusionParams};
 pub use kcore::{core_numbers, k_core};

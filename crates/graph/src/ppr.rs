@@ -6,8 +6,19 @@
 //! §2.3 "Hive propagates the concepts within the relevant neighborhoods of
 //! the knowledge network ... based on the current active context").
 
+use crate::csr::CsrView;
 use crate::graph::{Graph, NodeId};
+use hive_par::{atomic_vec, chunk_count, par_map, par_rounds, plain_vec, with_threads, AtomicF64};
 use std::collections::HashMap;
+
+/// Below this many edges a power iteration runs on the calling thread:
+/// the per-round barrier cost would exceed the per-round work. The gate
+/// depends only on graph size, and the serial path is bit-identical to
+/// the parallel one, so results never change — only scheduling.
+const PAR_EDGE_THRESHOLD: usize = 32_768;
+
+/// Below this many nodes the top-k scoring pass stays serial.
+const PAR_TOPK_THRESHOLD: usize = 4_096;
 
 /// Parameters for (personalized) PageRank.
 #[derive(Clone, Copy, Debug)]
@@ -36,7 +47,23 @@ pub fn personalized_pagerank(
     seeds: &HashMap<NodeId, f64>,
     cfg: PprConfig,
 ) -> Vec<f64> {
-    let n = g.node_count();
+    personalized_pagerank_csr(&CsrView::build(g), seeds, cfg)
+}
+
+/// Power-iteration PPR over a prebuilt [`CsrView`] snapshot.
+///
+/// The iteration is *pull-based*: `next[v]` is assembled from `v`'s
+/// incoming edges, so every element of `next` is an independent
+/// computation and the hive-par chunked schedule cannot change any
+/// value. The per-iteration L1 delta and the next round's dangling mass
+/// are folded per chunk and merged in chunk order, keeping the whole
+/// run bit-identical for any `HIVE_THREADS`.
+pub fn personalized_pagerank_csr(
+    csr: &CsrView,
+    seeds: &HashMap<NodeId, f64>,
+    cfg: PprConfig,
+) -> Vec<f64> {
+    let n = csr.node_count();
     if n == 0 {
         return Vec::new();
     }
@@ -52,36 +79,61 @@ pub fn personalized_pagerank(
             restart[node.index()] += mass / seed_sum;
         }
     }
-    let out_weight: Vec<f64> = g.nodes().map(|u| g.out_weight(u)).collect();
-    let mut rank = restart.clone();
-    let mut next = vec![0.0f64; n];
-    for _ in 0..cfg.max_iters {
-        // Start from restart mass plus redistributed dangling mass.
-        let dangling: f64 = g
-            .nodes()
-            .filter(|u| out_weight[u.index()] == 0.0)
-            .map(|u| rank[u.index()])
-            .sum();
-        for i in 0..n {
-            next[i] = (1.0 - cfg.damping + cfg.damping * dangling) * restart[i];
-        }
-        for u in g.nodes() {
-            let ow = out_weight[u.index()];
-            if ow == 0.0 {
-                continue;
-            }
-            let share = cfg.damping * rank[u.index()] / ow;
-            for e in g.out_edges(u) {
-                next[e.neighbor.index()] += share * e.weight;
-            }
-        }
-        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
-        std::mem::swap(&mut rank, &mut next);
-        if delta < cfg.tolerance {
-            break;
-        }
+    let d = cfg.damping;
+    // Double-buffered rank state; round parity picks source and
+    // destination. Atomic cells let disjoint chunks write through `&`.
+    let bufs = [atomic_vec(&restart), atomic_vec(&vec![0.0; n])];
+    let n_chunks = chunk_count(n);
+    let deltas = atomic_vec(&vec![0.0; n_chunks]);
+    let dangle_parts = atomic_vec(&vec![0.0; n_chunks]);
+    let dangling0: f64 =
+        (0..n).filter(|&i| csr.out_weight[i] == 0.0).map(|i| restart[i]).sum();
+    let cur_dangling = AtomicF64::new(dangling0);
+    let mut executed = 0usize;
+    let mut run = || {
+        par_rounds(
+            n,
+            cfg.max_iters,
+            |r, ci, range| {
+                let (src, dst) =
+                    if r % 2 == 0 { (&bufs[0], &bufs[1]) } else { (&bufs[1], &bufs[0]) };
+                // Restart mass plus redistributed dangling mass.
+                let base = 1.0 - d + d * cur_dangling.load();
+                let mut delta = 0.0;
+                let mut dangle = 0.0;
+                for i in range {
+                    let lo = csr.in_off[i] as usize;
+                    let hi = csr.in_off[i + 1] as usize;
+                    let mut pulled = 0.0;
+                    for e in lo..hi {
+                        pulled += src[csr.in_src[e] as usize].load() * csr.in_coef[e];
+                    }
+                    let v = base * restart[i] + d * pulled;
+                    dst[i].store(v);
+                    delta += (v - src[i].load()).abs();
+                    if csr.out_weight[i] == 0.0 {
+                        dangle += v;
+                    }
+                }
+                deltas[ci].store(delta);
+                dangle_parts[ci].store(dangle);
+            },
+            |_r| {
+                executed += 1;
+                let delta: f64 = deltas.iter().map(AtomicF64::load).sum();
+                cur_dangling.store(dangle_parts.iter().map(AtomicF64::load).sum());
+                delta >= cfg.tolerance
+            },
+        );
+    };
+    if csr.edge_count() < PAR_EDGE_THRESHOLD {
+        with_threads(1, run);
+    } else {
+        run();
     }
-    rank
+    // Round r writes bufs[(r + 1) % 2]; after `executed` rounds the
+    // freshest ranks live in bufs[executed % 2] (restart itself if 0).
+    plain_vec(&bufs[executed % 2])
 }
 
 /// Classic PageRank (uniform restart).
@@ -97,11 +149,15 @@ pub fn top_k_excluding_seeds(
     cfg: PprConfig,
 ) -> Vec<(NodeId, f64)> {
     let scores = personalized_pagerank(g, seeds, cfg);
-    let mut ranked: Vec<(NodeId, f64)> = g
-        .nodes()
-        .filter(|n| !seeds.contains_key(n))
-        .map(|n| (n, scores[n.index()]))
-        .collect();
+    let mut ranked: Vec<(NodeId, f64)> = if g.node_count() >= PAR_TOPK_THRESHOLD {
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        par_map(&nodes, |&u| (u, scores[u.index()]))
+            .into_iter()
+            .filter(|(u, _)| !seeds.contains_key(u))
+            .collect()
+    } else {
+        g.nodes().filter(|n| !seeds.contains_key(n)).map(|n| (n, scores[n.index()])).collect()
+    };
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked.truncate(k);
     ranked

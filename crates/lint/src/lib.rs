@@ -19,6 +19,10 @@
 //!   itself are exempt — printing is their job).
 //! * **R5 `forbid-unsafe`** — every library `lib.rs` carries
 //!   `#![forbid(unsafe_code)]`.
+//! * **R6 `no-raw-threads`** — no `thread::spawn` / `thread::scope` /
+//!   `thread::Builder` outside `crates/par`; all concurrency goes
+//!   through the deterministic `hive-par` pool so parallel output stays
+//!   bit-identical to serial.
 //!
 //! Matching runs on *lexed* source: a minimal Rust lexer first blanks
 //! `//` and `/* */` comments, string and char literals, and
@@ -66,6 +70,8 @@ pub mod rules {
     pub const NO_STRAY_IO: &str = "no-stray-io";
     /// R5: library roots must forbid unsafe code.
     pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+    /// R6: raw thread primitives are forbidden outside `crates/par`.
+    pub const NO_RAW_THREADS: &str = "no-raw-threads";
 }
 
 /// Lexed view of one source file: the original text with comments,
@@ -321,6 +327,8 @@ pub struct SourceRules {
     pub deterministic_time: bool,
     /// Apply R4 `no-stray-io`.
     pub no_stray_io: bool,
+    /// Apply R6 `no-raw-threads`.
+    pub no_raw_threads: bool,
 }
 
 /// Forbidden-token tables: (needle, needs ident-boundary before it).
@@ -333,6 +341,8 @@ const PANIC_TOKENS: &[(&str, bool)] = &[
 ];
 const TIME_TOKENS: &[(&str, bool)] = &[("Instant::now", true), ("SystemTime::now", true)];
 const IO_TOKENS: &[(&str, bool)] = &[("println!", true), ("eprintln!", true), ("dbg!", true)];
+const THREAD_TOKENS: &[(&str, bool)] =
+    &[("thread::spawn", true), ("thread::scope", true), ("thread::Builder", true)];
 
 fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
@@ -374,6 +384,13 @@ pub fn check_source(file: &str, source: &str, which: SourceRules) -> Vec<Diagnos
     }
     if which.no_stray_io {
         table.push((rules::NO_STRAY_IO, IO_TOKENS, "stray console output in library code"));
+    }
+    if which.no_raw_threads {
+        table.push((
+            rules::NO_RAW_THREADS,
+            THREAD_TOKENS,
+            "raw thread primitive outside crates/par (use the hive-par pool)",
+        ));
     }
     for (lineno, line) in lexed.masked.lines().enumerate() {
         let lineno = lineno + 1;
@@ -508,6 +525,8 @@ const PANIC_FREE_CRATES: &[&str] = &["store", "graph", "text", "scent", "concept
 const IO_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
 /// The one file allowed to read the wall clock.
 const CLOCK_FILE: &str = "crates/core/src/clock.rs";
+/// The one crate allowed to touch raw thread primitives (R6).
+const THREAD_CRATE: &str = "par";
 
 /// Recursively collects `.rs` files under `dir`.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -562,9 +581,10 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .unwrap_or_default();
         let panic_free = PANIC_FREE_CRATES.contains(&name.as_str());
         let io_checked = !IO_EXEMPT_CRATES.contains(&name.as_str());
+        let threads_checked = name != THREAD_CRATE;
 
-        // R2/R3/R4 over src/; R3 also over benches/ (tests/ are test
-        // code by definition and exempt from all three).
+        // R2/R3/R4/R6 over src/; R3+R6 also over benches/ (tests/ are
+        // test code by definition and exempt from the panic/io rules).
         let mut sources = Vec::new();
         rust_files(&crate_dir.join("src"), &mut sources)?;
         for path in &sources {
@@ -574,6 +594,7 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
                 no_panic: panic_free,
                 deterministic_time: file != CLOCK_FILE,
                 no_stray_io: io_checked,
+                no_raw_threads: threads_checked,
             };
             out.extend(check_source(&file, &source, which));
         }
@@ -581,7 +602,11 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         rust_files(&crate_dir.join("benches"), &mut benches)?;
         for path in &benches {
             let source = fs::read_to_string(path)?;
-            let which = SourceRules { deterministic_time: true, ..Default::default() };
+            let which = SourceRules {
+                deterministic_time: true,
+                no_raw_threads: threads_checked,
+                ..Default::default()
+            };
             out.extend(check_source(&rel(path), &source, which));
         }
 
@@ -593,13 +618,17 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         }
     }
 
-    // R3 over the workspace-level integration tests and examples.
+    // R3+R6 over the workspace-level integration tests and examples.
     for extra in ["tests", "examples"] {
         let mut files = Vec::new();
         rust_files(&root.join(extra), &mut files)?;
         for path in &files {
             let source = fs::read_to_string(path)?;
-            let which = SourceRules { deterministic_time: true, ..Default::default() };
+            let which = SourceRules {
+                deterministic_time: true,
+                no_raw_threads: true,
+                ..Default::default()
+            };
             out.extend(check_source(&rel(path), &source, which));
         }
     }

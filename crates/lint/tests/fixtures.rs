@@ -1,4 +1,4 @@
-//! Fixture tests: one deliberate violation per rule R1-R5, asserting
+//! Fixture tests: one deliberate violation per rule R1-R6, asserting
 //! the exact rule id, file label, and line of each diagnostic, plus a
 //! `lint:allow` escape-hatch case that must stay silent.
 
@@ -8,6 +8,7 @@ const ALL_SOURCE_RULES: SourceRules = SourceRules {
     no_panic: true,
     deterministic_time: true,
     no_stray_io: true,
+    no_raw_threads: true,
 };
 
 #[test]
@@ -64,6 +65,19 @@ fn r5_forbid_unsafe_fires_on_bare_lib_root() {
     assert_eq!(diags[0].rule, rules::FORBID_UNSAFE);
     assert_eq!(diags[0].file, "fixtures/r5_missing_forbid.rs");
     assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn r6_no_raw_threads_fires_on_spawn_and_scope() {
+    let src = include_str!("fixtures/r6_thread.rs");
+    let diags = check_source("fixtures/r6_thread.rs", src, ALL_SOURCE_RULES);
+    let threads: Vec<_> = diags.iter().filter(|d| d.rule == rules::NO_RAW_THREADS).collect();
+    assert_eq!(threads.len(), 2, "{diags:?}");
+    assert_eq!(threads[0].file, "fixtures/r6_thread.rs");
+    assert_eq!(threads[0].line, 5, "the thread::spawn call");
+    assert_eq!(threads[1].line, 10, "the thread::scope call");
+    assert!(threads[0].message.contains("hive-par"));
+    assert_eq!(diags.len(), 2, "{diags:?}");
 }
 
 #[test]

@@ -4,5 +4,7 @@ pub fn waived(v: Option<u32>) -> u32 {
     let t = std::time::Instant::now(); // lint:allow(deterministic-time)
     // lint:allow(no-stray-io)
     println!("{t:?}");
+    let h = std::thread::spawn(|| 0u32); // lint:allow(no-raw-threads)
+    drop(h);
     v.unwrap() // lint:allow(no-panic-paths)
 }

@@ -1,0 +1,11 @@
+// Fixture: R6 no-raw-threads must flag the spawn on line 5 and the
+// scope on line 10; "thread::spawn" in this comment stays silent.
+pub fn fan_out(n: u32) -> u32 {
+    let handle =
+        std::thread::spawn(move || n);
+    let base = match handle.join() {
+        Ok(v) => v,
+        Err(_) => 0,
+    };
+    std::thread::scope(|_s| base + 1)
+}

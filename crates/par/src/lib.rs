@@ -1,0 +1,597 @@
+//! # hive-par — deterministic scoped worker pool
+//!
+//! All concurrency in the workspace flows through this crate (enforced
+//! by lint rule R6): a small set of data-parallel primitives built on
+//! `std::thread::scope`, designed so that **parallel output is
+//! bit-identical to serial output**.
+//!
+//! The determinism contract:
+//!
+//! * Work is split into **fixed chunks whose layout depends only on the
+//!   item count** (`chunk_len`), never on the worker count. Which
+//!   worker executes a chunk is scheduling noise; what each chunk
+//!   computes is not.
+//! * [`par_map`] / [`par_for_each_chunk`] / [`par_map_chunks_mut`]
+//!   write per-element / per-chunk results into pre-assigned slots, so
+//!   reassembly order is fixed.
+//! * [`par_reduce`] folds each chunk independently and merges the
+//!   partials **in chunk order** — and the serial fallback performs the
+//!   exact same chunked merge, so `HIVE_THREADS=1` and `HIVE_THREADS=64`
+//!   produce the same bits (floating-point association included).
+//! * [`par_rounds`] runs iterative algorithms (power iteration, ALS
+//!   sweeps) with a pool of persistent workers synchronized by a
+//!   barrier per round, avoiding per-iteration spawn cost; per-chunk
+//!   scratch is merged in chunk order by the caller between rounds.
+//!
+//! Pool size comes from the `HIVE_THREADS` environment variable (read
+//! once), defaulting to `min(available_parallelism, 8)`. Tests and
+//! benches use [`with_threads`] for a scoped, thread-local override
+//! instead of mutating the environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, OnceLock};
+use std::thread;
+
+/// Hard ceiling on the pool size, to keep a typo'd `HIVE_THREADS` sane.
+pub const MAX_THREADS: usize = 256;
+
+/// Maximum number of chunks a slice is split into. Chunk layout is a
+/// pure function of the item count so results never depend on the
+/// worker count.
+pub const MAX_CHUNKS: usize = 64;
+
+static POOL_SIZE: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    let avail = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let configured = std::env::var("HIVE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    configured.unwrap_or_else(|| avail.min(8)).min(MAX_THREADS)
+}
+
+/// The effective worker count for parallel primitives on this thread:
+/// the innermost [`with_threads`] override if one is active, else the
+/// process-wide pool size (`HIVE_THREADS`, read once, defaulting to
+/// `min(available_parallelism, 8)`).
+pub fn threads() -> usize {
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    *POOL_SIZE.get_or_init(default_threads)
+}
+
+struct OverrideGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread
+/// (restored on exit, panic-safe). `with_threads(1, f)` is the
+/// canonical "force serial" gate — callers use it to skip pool
+/// overhead on inputs too small to amortize a spawn, which is safe
+/// precisely because parallel and serial results are bit-identical.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = OVERRIDE.with(|c| c.replace(Some(n.clamp(1, MAX_THREADS))));
+    let _guard = OverrideGuard { prev };
+    f()
+}
+
+/// The fixed chunk length for `n` items: `ceil(n / MAX_CHUNKS)`, at
+/// least 1. Depends only on `n`.
+pub fn chunk_len(n: usize) -> usize {
+    ((n + MAX_CHUNKS - 1) / MAX_CHUNKS).max(1)
+}
+
+/// Number of chunks `n` items split into under [`chunk_len`].
+pub fn chunk_count(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        (n + chunk_len(n) - 1) / chunk_len(n)
+    }
+}
+
+fn lock_set<T>(slot: &Mutex<T>, value: T) {
+    match slot.lock() {
+        Ok(mut guard) => *guard = value,
+        Err(poisoned) => *poisoned.into_inner() = value,
+    }
+}
+
+fn unlock<T>(slot: Mutex<T>) -> T {
+    match slot.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Pins nested parallel calls inside worker closures to serial, so a
+/// mapped function that itself uses hive-par does not oversubscribe.
+fn pin_serial() {
+    OVERRIDE.with(|c| c.set(Some(1)));
+}
+
+/// Applies `f` to every element, in parallel over fixed chunks, and
+/// returns the results in input order. Element results are independent,
+/// so output is identical for any worker count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let t = threads();
+    if t <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunks: Vec<&[T]> = items.chunks(chunk_len(items.len())).collect();
+    let results: Vec<Mutex<Vec<U>>> = chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let chunks_ref = &chunks;
+    let results_ref = &results;
+    let next_ref = &next;
+    thread::scope(|s| {
+        for _ in 0..t.min(chunks.len()) {
+            s.spawn(move || {
+                pin_serial();
+                loop {
+                    let ci = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if ci >= chunks_ref.len() {
+                        break;
+                    }
+                    let out: Vec<U> = chunks_ref[ci].iter().map(f).collect();
+                    lock_set(&results_ref[ci], out);
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for slot in results {
+        out.extend(unlock(slot));
+    }
+    out
+}
+
+/// Runs `f(offset, chunk)` over fixed mutable chunks of `data`, in
+/// parallel. Chunks are disjoint, so any worker count writes the same
+/// bytes.
+pub fn par_for_each_chunk<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let chunk = chunk_len(n);
+    let t = threads();
+    if t <= 1 || n <= chunk {
+        for (ci, c) in data.chunks_mut(chunk).enumerate() {
+            f(ci * chunk, c);
+        }
+        return;
+    }
+    let queue = Mutex::new(data.chunks_mut(chunk).enumerate());
+    let f = &f;
+    let queue = &queue;
+    thread::scope(|s| {
+        for _ in 0..t.min(chunk_count(n)) {
+            s.spawn(move || {
+                pin_serial();
+                loop {
+                    let job = match queue.lock() {
+                        Ok(mut q) => q.next(),
+                        Err(poisoned) => poisoned.into_inner().next(),
+                    };
+                    match job {
+                        Some((ci, c)) => f(ci * chunk, c),
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Like [`par_for_each_chunk`] but each chunk also produces a value;
+/// the values come back **in chunk order**. This is the workhorse for
+/// fused passes: write a disjoint output chunk and return the chunk's
+/// partial statistics (delta, mass, ...) in one parallel region.
+pub fn par_map_chunks_mut<T, U, F>(data: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T]) -> U + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk_len(n);
+    let t = threads();
+    if t <= 1 || n <= chunk {
+        return data.chunks_mut(chunk).enumerate().map(|(ci, c)| f(ci * chunk, c)).collect();
+    }
+    let slots: Vec<Mutex<Option<U>>> = (0..chunk_count(n)).map(|_| Mutex::new(None)).collect();
+    let queue = Mutex::new(data.chunks_mut(chunk).enumerate());
+    let f = &f;
+    let queue = &queue;
+    let slots_ref = &slots;
+    thread::scope(|s| {
+        for _ in 0..t.min(chunk_count(n)) {
+            s.spawn(move || {
+                pin_serial();
+                loop {
+                    let job = match queue.lock() {
+                        Ok(mut q) => q.next(),
+                        Err(poisoned) => poisoned.into_inner().next(),
+                    };
+                    match job {
+                        Some((ci, c)) => {
+                            let out = f(ci * chunk, c);
+                            lock_set(&slots_ref[ci], Some(out));
+                        }
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+    slots.into_iter().filter_map(unlock).collect()
+}
+
+/// Chunked reduction: folds each fixed chunk with `fold` starting from
+/// `init()`, then merges the chunk partials **in chunk order** with
+/// `merge`. The serial path performs the identical chunked merge, so
+/// the result (floating-point association included) never depends on
+/// the worker count. Returns `init()` for empty input.
+pub fn par_reduce<T, A, I, F, M>(items: &[T], init: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let n = items.len();
+    if n == 0 {
+        return init();
+    }
+    let chunk = chunk_len(n);
+    let t = threads();
+    let partials: Vec<A> = if t <= 1 || n <= chunk {
+        items.chunks(chunk).map(|c| c.iter().fold(init(), &fold)).collect()
+    } else {
+        let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+        let slots: Vec<Mutex<Option<A>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let init = &init;
+        let fold = &fold;
+        let chunks = &chunks;
+        let slots_ref = &slots;
+        let next_ref = &next;
+        thread::scope(|s| {
+            for _ in 0..t.min(chunks.len()) {
+                s.spawn(move || {
+                    pin_serial();
+                    loop {
+                        let ci = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if ci >= chunks.len() {
+                            break;
+                        }
+                        let acc = chunks[ci].iter().fold(init(), fold);
+                        lock_set(&slots_ref[ci], Some(acc));
+                    }
+                });
+            }
+        });
+        slots.into_iter().filter_map(unlock).collect()
+    };
+    let mut iter = partials.into_iter();
+    match iter.next() {
+        Some(first) => iter.fold(first, merge),
+        None => init(),
+    }
+}
+
+/// Persistent-worker round loop for iterative algorithms.
+///
+/// Spawns the pool **once**, then repeats up to `max_rounds` rounds: in
+/// each round every fixed chunk of `0..n_items` is processed exactly
+/// once by `step(round, chunk_index, range)`, workers synchronize on a
+/// barrier, and `after(round)` runs alone between rounds, returning
+/// `true` to continue. Compared to re-spawning a scope per iteration
+/// this costs two barrier waits per round instead of a pool spawn,
+/// which is what makes parallel power iteration profitable.
+///
+/// `step` must confine its writes to state owned by its chunk (disjoint
+/// slices expressed through [`AtomicF64`] cells, per-chunk scratch
+/// slots, ...). `after` may read and fold the per-chunk scratch — in
+/// chunk order, to preserve the determinism contract.
+pub fn par_rounds<F, G>(n_items: usize, max_rounds: usize, step: F, mut after: G)
+where
+    F: Fn(usize, usize, Range<usize>) + Sync,
+    G: FnMut(usize) -> bool,
+{
+    if max_rounds == 0 {
+        return;
+    }
+    let chunk = chunk_len(n_items);
+    let n_chunks = chunk_count(n_items);
+    let t = threads();
+    if t <= 1 || n_chunks <= 1 {
+        for r in 0..max_rounds {
+            for ci in 0..n_chunks {
+                let start = ci * chunk;
+                step(r, ci, start..(start + chunk).min(n_items));
+            }
+            if !after(r) {
+                break;
+            }
+        }
+        return;
+    }
+    let workers = t.min(n_chunks);
+    let barrier = Barrier::new(workers + 1);
+    let stop = AtomicBool::new(false);
+    let step = &step;
+    let barrier_ref = &barrier;
+    let stop_ref = &stop;
+    thread::scope(|s| {
+        for w in 0..workers {
+            s.spawn(move || {
+                pin_serial();
+                for r in 0..max_rounds {
+                    barrier_ref.wait();
+                    if stop_ref.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let mut ci = w;
+                    while ci < n_chunks {
+                        let start = ci * chunk;
+                        step(r, ci, start..(start + chunk).min(n_items));
+                        ci += workers;
+                    }
+                    barrier_ref.wait();
+                }
+            });
+        }
+        let mut executed = 0;
+        while executed < max_rounds {
+            barrier_ref.wait(); // release workers into the round
+            barrier_ref.wait(); // round complete
+            executed += 1;
+            let proceed = after(executed - 1) && executed < max_rounds;
+            if !proceed {
+                stop_ref.store(true, Ordering::Release);
+                if executed < max_rounds {
+                    barrier_ref.wait(); // wake workers so they observe stop
+                }
+                break;
+            }
+        }
+    });
+}
+
+/// An `f64` cell with atomic load/store (bit-preserving, relaxed
+/// ordering — synchronization comes from the surrounding barrier or
+/// scope join). Lets disjoint chunks of a shared vector be written
+/// through `&self` without `unsafe`.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// A new cell holding `v`.
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Reads the value (relaxed).
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Writes the value (relaxed).
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Wraps a plain vector into atomic cells (for shared iterative state).
+pub fn atomic_vec(values: &[f64]) -> Vec<AtomicF64> {
+    values.iter().map(|&v| AtomicF64::new(v)).collect()
+}
+
+/// Unwraps atomic cells back into a plain vector.
+pub fn plain_vec(values: &[AtomicF64]) -> Vec<f64> {
+    values.iter().map(AtomicF64::load).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunk_layout_depends_only_on_n() {
+        assert_eq!(chunk_len(0), 1);
+        assert_eq!(chunk_len(1), 1);
+        assert_eq!(chunk_len(64), 1);
+        assert_eq!(chunk_len(65), 2);
+        assert_eq!(chunk_count(0), 0);
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(65), 33);
+        for n in [0usize, 1, 7, 63, 64, 65, 1000, 4097] {
+            let total: usize = (0..chunk_count(n))
+                .map(|ci| (n - ci * chunk_len(n)).min(chunk_len(n)))
+                .sum();
+            assert_eq!(total, n, "chunks must tile exactly for n={n}");
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = threads();
+        with_threads(3, || {
+            assert_eq!(threads(), 3);
+            with_threads(1, || assert_eq!(threads(), 1));
+            assert_eq!(threads(), 3);
+        });
+        assert_eq!(threads(), outer);
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..997).collect();
+        let serial = with_threads(1, || par_map(&items, |&x| x * x + 1));
+        let parallel = with_threads(4, || par_map(&items, |&x| x * x + 1));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), items.len());
+        assert_eq!(serial[10], 101);
+    }
+
+    #[test]
+    fn par_reduce_is_bit_identical_across_thread_counts() {
+        let xs = lcg(42, 10_001);
+        let sum = |t: usize| {
+            with_threads(t, || par_reduce(&xs, || 0.0f64, |a, &x| a + x.sin(), |a, b| a + b))
+        };
+        let s1 = sum(1);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(s1.to_bits(), sum(t).to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_chunk_covers_every_element_once() {
+        let mut data = vec![0u32; 513];
+        with_threads(4, || {
+            par_for_each_chunk(&mut data, |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v += (offset + i) as u32;
+                }
+            });
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_mut_returns_partials_in_chunk_order() {
+        let mut data: Vec<f64> = lcg(7, 2048);
+        let expect = data.clone();
+        let partials = with_threads(4, || {
+            par_map_chunks_mut(&mut data, |offset, chunk| {
+                let s: f64 = chunk.iter().sum();
+                (offset, s)
+            })
+        });
+        assert_eq!(partials.len(), chunk_count(expect.len()));
+        let mut prev = None;
+        for (offset, _) in &partials {
+            assert!(prev.map_or(true, |p: usize| p < *offset));
+            prev = Some(*offset);
+        }
+        let total: f64 = partials.iter().map(|&(_, s)| s).sum();
+        let serial_total: f64 = expect
+            .chunks(chunk_len(expect.len()))
+            .map(|c| c.iter().sum::<f64>())
+            .sum();
+        assert_eq!(total.to_bits(), serial_total.to_bits());
+    }
+
+    #[test]
+    fn par_rounds_matches_serial_and_stops_early() {
+        // Jacobi-style smoothing: x'[i] = avg of neighbors; run until
+        // the per-round movement (chunk-merged) is tiny.
+        let run = |t: usize| {
+            with_threads(t, || {
+                let n = 300;
+                let xs = atomic_vec(&lcg(9, n));
+                let ys = atomic_vec(&vec![0.0; n]);
+                let deltas = atomic_vec(&vec![0.0; chunk_count(n)]);
+                let mut rounds = 0usize;
+                par_rounds(
+                    n,
+                    50,
+                    |r, ci, range| {
+                        let (src, dst) = if r % 2 == 0 { (&xs, &ys) } else { (&ys, &xs) };
+                        let mut delta = 0.0;
+                        for i in range {
+                            let left = src[i.saturating_sub(1)].load();
+                            let right = src[(i + 1).min(n - 1)].load();
+                            let v = 0.3 * src[i].load() + 0.1 * (left + right);
+                            dst[i].store(v);
+                            delta += (v - src[i].load()).abs();
+                        }
+                        deltas[ci].store(delta);
+                    },
+                    |_r| {
+                        rounds += 1;
+                        let total: f64 = deltas.iter().map(AtomicF64::load).sum();
+                        total > 1e-3
+                    },
+                );
+                let fin = if rounds % 2 == 0 { &xs } else { &ys };
+                (rounds, plain_vec(fin))
+            })
+        };
+        let (r1, v1) = run(1);
+        let (r4, v4) = run(4);
+        assert_eq!(r1, r4);
+        assert!(r1 < 50, "must converge before the round cap");
+        assert_eq!(v1.len(), v4.len());
+        for (a, b) in v1.iter().zip(&v4) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_parallel_calls_are_pinned_serial() {
+        let items: Vec<u32> = (0..8).collect();
+        let out = with_threads(4, || {
+            par_map(&items, |&x| {
+                // Inside a worker the pool pins nested calls to serial.
+                let inner: Vec<u32> = par_map(&[x], |&y| y + threads() as u32);
+                inner[0]
+            })
+        });
+        assert_eq!(out, (1..9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn atomic_f64_roundtrips_bits() {
+        let cell = AtomicF64::new(-0.0);
+        assert_eq!(cell.load().to_bits(), (-0.0f64).to_bits());
+        cell.store(f64::MIN_POSITIVE);
+        assert_eq!(cell.load(), f64::MIN_POSITIVE);
+    }
+}

@@ -45,6 +45,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod term;
+pub mod view;
 
 pub use batch::{BatchResult, Op};
 pub use dict::{TermDict, TermId};
@@ -56,3 +57,4 @@ pub use query::{BgpQuery, Solution};
 pub use stats::StoreStats;
 pub use store::{StoredTriple, TripleStore};
 pub use term::Term;
+pub use view::{GraphView, ViewEdge};

@@ -9,11 +9,17 @@
 //! Path strength is the product of hop weights; internally we run Dijkstra
 //! over additive costs `-ln(w)` (weights are in `(0,1]`, so costs are
 //! non-negative). Top-k paths use Yen's algorithm with loop-free paths.
+//!
+//! Traversal runs over a [`GraphView`] CSR snapshot. [`PathQuery::run`]
+//! builds one on the fly (one full store scan); repeated queries should
+//! build the view once and call [`PathQuery::run_on`], which skips the
+//! scan entirely while the view stays current.
 
 use crate::dict::TermId;
 use crate::error::StoreError;
 use crate::store::{StoredTriple, TripleStore};
 use crate::term::Term;
+use crate::view::{GraphView, ViewEdge};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -101,8 +107,24 @@ impl PathQuery {
         self
     }
 
-    /// Runs the search.
+    /// Runs the search, building a fresh [`GraphView`] snapshot (one
+    /// full store scan). For repeated queries over an unchanged store,
+    /// build the view once and use [`Self::run_on`].
     pub fn run(&self, store: &TripleStore) -> Result<Vec<RankedPath>, StoreError> {
+        let view = GraphView::build(store);
+        self.run_on(store, &view)
+    }
+
+    /// Runs the search over a pre-built [`GraphView`] — the cached-query
+    /// fast path. `store` is only consulted to resolve the query terms;
+    /// the caller is responsible for the view being current for that
+    /// store (see [`GraphView::is_current`]): a stale view answers from
+    /// its snapshot.
+    pub fn run_on(
+        &self,
+        store: &TripleStore,
+        view: &GraphView,
+    ) -> Result<Vec<RankedPath>, StoreError> {
         if self.source == self.target {
             return Err(StoreError::BadPathQuery("source equals target".into()));
         }
@@ -119,62 +141,26 @@ impl PathQuery {
         } else {
             Some(self.predicates.iter().filter_map(|p| store.dict().get(p)).collect())
         };
-        let adj = Adjacency::build(store, pred_ids.as_ref(), self.undirected);
-        Ok(yen_top_k(&adj, src, dst, self.k, self.max_hops))
+        let trav = Traversal { view, preds: pred_ids, undirected: self.undirected };
+        Ok(yen_top_k(&trav, src, dst, self.k, self.max_hops))
     }
 }
 
-/// Tiny strictly-positive per-hop cost; see [`Adjacency::build`].
-const HOP_EPSILON: f64 = 1e-9;
-
-/// One traversable edge: neighbor node, the underlying stored triple, and
-/// the additive cost `-ln(weight) + HOP_EPSILON`.
-#[derive(Clone, Copy, Debug)]
-struct Edge {
-    to: TermId,
-    triple: StoredTriple,
-    cost: f64,
+/// Per-query lens over a shared [`GraphView`]: applies the predicate
+/// restriction and directedness at traversal time, so one cached
+/// snapshot serves every query shape.
+struct Traversal<'a> {
+    view: &'a GraphView,
+    preds: Option<HashSet<TermId>>,
+    undirected: bool,
 }
 
-/// Transient adjacency view over the store for path search.
-struct Adjacency {
-    adj: HashMap<TermId, Vec<Edge>>,
-}
-
-impl Adjacency {
-    fn build(store: &TripleStore, preds: Option<&HashSet<TermId>>, undirected: bool) -> Self {
-        let mut adj: HashMap<TermId, Vec<Edge>> = HashMap::new();
-        for t in store.iter() {
-            if let Some(ps) = preds {
-                if !ps.contains(&t.p) {
-                    continue;
-                }
-            }
-            // Only resource-to-resource edges are traversable; literal
-            // objects are attributes, not graph hops.
-            let obj_is_resource = store
-                .dict()
-                .resolve(t.o)
-                .map(Term::is_resource)
-                .unwrap_or(false);
-            if !obj_is_resource {
-                continue;
-            }
-            // Strictly positive per-hop epsilon: weight-1.0 edges would
-            // otherwise cost 0 and let Dijkstra return zero-cost *walks*
-            // containing loops. With every hop > 0, the cheapest walk is
-            // always a simple path and ties break toward fewer hops.
-            let cost = -t.weight.ln() + HOP_EPSILON;
-            adj.entry(t.s).or_default().push(Edge { to: t.o, triple: t, cost });
-            if undirected {
-                adj.entry(t.o).or_default().push(Edge { to: t.s, triple: t, cost });
-            }
-        }
-        Adjacency { adj }
-    }
-
-    fn edges(&self, n: TermId) -> &[Edge] {
-        self.adj.get(&n).map(Vec::as_slice).unwrap_or(&[])
+impl Traversal<'_> {
+    fn edges(&self, n: TermId) -> impl Iterator<Item = &ViewEdge> + '_ {
+        self.view.edges_of(n).iter().filter(move |e| {
+            (self.undirected || e.forward)
+                && self.preds.as_ref().map_or(true, |ps| ps.contains(&e.triple.p))
+        })
     }
 }
 
@@ -209,7 +195,7 @@ impl Ord for HeapEntry {
 /// Dijkstra shortest (cheapest) path from `src` to `dst`, avoiding
 /// `banned_nodes` and `banned_edges`, within `max_hops`.
 fn dijkstra(
-    adj: &Adjacency,
+    adj: &Traversal<'_>,
     src: TermId,
     dst: TermId,
     banned_nodes: &HashSet<TermId>,
@@ -273,7 +259,7 @@ fn dijkstra(
 
 /// Yen's algorithm for the k cheapest loop-free paths.
 fn yen_top_k(
-    adj: &Adjacency,
+    adj: &Traversal<'_>,
     src: TermId,
     dst: TermId,
     k: usize,
@@ -464,6 +450,23 @@ mod tests {
         assert!(text.contains("<a>"));
         assert!(text.contains("<d>"));
         assert!(text.contains("->"));
+    }
+
+    #[test]
+    fn cached_view_matches_fresh_run() {
+        let st = diamond();
+        let view = GraphView::build(&st);
+        let q = PathQuery::new(Term::iri("a"), Term::iri("d")).top_k(3);
+        let fresh = q.run(&st).unwrap();
+        let cached = q.run_on(&st, &view).unwrap();
+        assert_eq!(fresh, cached);
+        // The same snapshot serves directed queries: every edge points
+        // away from `a`, so nothing is reachable from `d`.
+        let directed = PathQuery::new(Term::iri("d"), Term::iri("a"))
+            .directed()
+            .run_on(&st, &view)
+            .unwrap();
+        assert!(directed.is_empty());
     }
 
     #[test]

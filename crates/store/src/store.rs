@@ -49,6 +49,20 @@ impl PermIndex {
         first: Option<u32>,
         second: Option<u32>,
     ) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.set.range(Self::prefix_bounds(first, second)).copied()
+    }
+
+    /// Counts keys matching the prefix without materializing them —
+    /// a pure range walk, no per-key tuple collection.
+    fn count_prefix(&self, first: Option<u32>, second: Option<u32>) -> usize {
+        self.set.range(Self::prefix_bounds(first, second)).count()
+    }
+
+    /// The `(Bound, Bound)` pair type is spelled out for clarity.
+    fn prefix_bounds(
+        first: Option<u32>,
+        second: Option<u32>,
+    ) -> (Bound<(u32, u32, u32)>, Bound<(u32, u32, u32)>) {
         type KeyBound = Bound<(u32, u32, u32)>;
         let (lo, hi): (KeyBound, KeyBound) = match (first, second) {
             (None, _) => (Bound::Unbounded, Bound::Unbounded),
@@ -61,7 +75,7 @@ impl PermIndex {
                 Bound::Included((a, b, u32::MAX)),
             ),
         };
-        self.set.range((lo, hi)).copied()
+        (lo, hi)
     }
 
     fn len(&self) -> usize {
@@ -82,6 +96,9 @@ pub struct TripleStore {
     pos: PermIndex,
     osp: PermIndex,
     next_blank: u64,
+    /// Bumped on every mutation of the triple set or a weight; lets
+    /// derived snapshots (e.g. [`crate::GraphView`]) detect staleness.
+    generation: u64,
 }
 
 impl TripleStore {
@@ -103,6 +120,13 @@ impl TripleStore {
     /// Access to the term dictionary.
     pub fn dict(&self) -> &TermDict {
         &self.dict
+    }
+
+    /// Mutation counter: any successful `insert` / `remove` /
+    /// `set_weight` / `remove_matching` advances it. Snapshots stamped
+    /// with an older generation are stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Mints a fresh blank node unique within this store.
@@ -143,6 +167,7 @@ impl TripleStore {
             self.pos.insert((p.0, o.0, s.0));
             self.osp.insert((o.0, s.0, p.0));
         }
+        self.generation += 1; // re-weighting an existing triple also mutates
         fresh
     }
 
@@ -157,6 +182,7 @@ impl TripleStore {
             self.spo.remove(&(si.0, pi.0, oi.0));
             self.pos.remove(&(pi.0, oi.0, si.0));
             self.osp.remove(&(oi.0, si.0, pi.0));
+            self.generation += 1;
             true
         } else {
             false
@@ -194,6 +220,7 @@ impl TripleStore {
         match self.weights.get_mut(&(si, pi, oi)) {
             Some(w) => {
                 *w = weight;
+                self.generation += 1;
                 Ok(true)
             }
             None => Ok(false),
@@ -217,6 +244,9 @@ impl TripleStore {
             self.spo.remove(&(t.s.0, t.p.0, t.o.0));
             self.pos.remove(&(t.p.0, t.o.0, t.s.0));
             self.osp.remove(&(t.o.0, t.s.0, t.p.0));
+        }
+        if !victims.is_empty() {
+            self.generation += 1;
         }
         victims.len()
     }
@@ -270,8 +300,23 @@ impl TripleStore {
 
     /// Counts matches for a pattern without materializing terms (used by
     /// the BGP optimizer for selectivity ordering).
+    ///
+    /// Every binding combination maps to a pure prefix count on one of
+    /// the three permutation indexes (or a hash probe when fully
+    /// bound) — no key tuples or `StoredTriple`s are allocated.
     pub fn count_ids(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
-        self.scan_ids(s, p, o).len()
+        match (s, p, o) {
+            (Some(si), Some(pi), Some(oi)) => {
+                usize::from(self.weights.contains_key(&(si, pi, oi)))
+            }
+            (Some(si), Some(pi), None) => self.spo.count_prefix(Some(si.0), Some(pi.0)),
+            (Some(si), None, Some(oi)) => self.osp.count_prefix(Some(oi.0), Some(si.0)),
+            (Some(si), None, None) => self.spo.count_prefix(Some(si.0), None),
+            (None, Some(pi), Some(oi)) => self.pos.count_prefix(Some(pi.0), Some(oi.0)),
+            (None, Some(pi), None) => self.pos.count_prefix(Some(pi.0), None),
+            (None, None, Some(oi)) => self.osp.count_prefix(Some(oi.0), None),
+            (None, None, None) => self.weights.len(),
+        }
     }
 
     /// Term-level pattern scan. Unknown terms match nothing.
@@ -478,6 +523,65 @@ mod tests {
         let b1 = st.fresh_blank();
         let b2 = st.fresh_blank();
         assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn count_ids_matches_scan_for_every_binding_pattern() {
+        let st = store_with(&[
+            ("a", "p", "b", 0.5),
+            ("a", "p", "c", 0.5),
+            ("b", "p", "c", 0.5),
+            ("a", "q", "c", 0.5),
+        ]);
+        let ids = |name: &str| st.dict().get(&Term::iri(name));
+        let (a, p, c) = (ids("a"), ids("p"), ids("c"));
+        let cases = [
+            (a, p, c),
+            (a, p, None),
+            (a, None, c),
+            (a, None, None),
+            (None, p, c),
+            (None, p, None),
+            (None, None, c),
+            (None, None, None),
+        ];
+        for (s, pp, o) in cases {
+            assert_eq!(
+                st.count_ids(s, pp, o),
+                st.scan_ids(s, pp, o).len(),
+                "pattern ({s:?}, {pp:?}, {o:?})"
+            );
+        }
+        // Absent fully-bound triple counts zero.
+        assert_eq!(st.count_ids(c, p, a), 0);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation_kind() {
+        let mut st = TripleStore::new();
+        let g0 = st.generation();
+        st.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"), 0.5).unwrap();
+        let g1 = st.generation();
+        assert!(g1 > g0, "insert must bump");
+        st.set_weight(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"), 0.9).unwrap();
+        let g2 = st.generation();
+        assert!(g2 > g1, "set_weight must bump");
+        // A failed set_weight (absent triple) does not bump.
+        st.set_weight(&Term::iri("a"), &Term::iri("q"), &Term::iri("b"), 0.9).unwrap();
+        assert_eq!(st.generation(), g2);
+        st.remove(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        let g3 = st.generation();
+        assert!(g3 > g2, "remove must bump");
+        // Removing an absent triple does not bump.
+        st.remove(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        assert_eq!(st.generation(), g3);
+        st.insert(Term::iri("x"), Term::iri("p"), Term::iri("y"), 0.5).unwrap();
+        let g4 = st.generation();
+        assert!(st.remove_matching(None, None, None) > 0);
+        assert!(st.generation() > g4, "remove_matching must bump");
+        let g5 = st.generation();
+        assert_eq!(st.remove_matching(None, None, None), 0);
+        assert_eq!(st.generation(), g5, "no-op remove_matching must not bump");
     }
 
     #[test]

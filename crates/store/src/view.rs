@@ -1,0 +1,164 @@
+//! `GraphView` — a generation-stamped CSR snapshot of the triple graph.
+//!
+//! Path search and relationship explanation used to rebuild a transient
+//! adjacency map from a full store scan on **every query**. A
+//! [`GraphView`] does that scan once, flattening the resource-to-resource
+//! edges into a dictionary-encoded CSR layout (dense node index +
+//! offsets + flat edge array, as in RDF-3X-style in-memory RDF engines),
+//! and stamps itself with the store's mutation [`TripleStore::generation`].
+//! Callers cache the view and check [`GraphView::is_current`]: any
+//! insert / remove / re-weight bumps the store generation and
+//! invalidates the snapshot.
+//!
+//! Both edge directions are materialized (reverse hops carry
+//! `forward = false`), so one view serves directed and undirected
+//! queries; per-query predicate filters apply at traversal time.
+
+use crate::dict::TermId;
+use crate::store::{StoredTriple, TripleStore};
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// Tiny strictly-positive per-hop cost; see [`GraphView::build`].
+pub(crate) const HOP_EPSILON: f64 = 1e-9;
+
+/// One traversable hop in a [`GraphView`]: neighbor node, the
+/// underlying stored triple, the additive cost `-ln(weight) +
+/// HOP_EPSILON`, and whether the hop follows the stored direction.
+#[derive(Clone, Copy, Debug)]
+pub struct ViewEdge {
+    /// Neighbor term id.
+    pub to: TermId,
+    /// The stored triple this hop traverses (direction as stored).
+    pub triple: StoredTriple,
+    /// Additive search cost of the hop.
+    pub cost: f64,
+    /// True for subject→object hops, false for reverse traversal.
+    pub forward: bool,
+}
+
+/// Dictionary-encoded CSR adjacency snapshot of a [`TripleStore`],
+/// stamped with the generation it was built from.
+#[derive(Clone, Debug, Default)]
+pub struct GraphView {
+    generation: u64,
+    index: HashMap<TermId, u32>,
+    nodes: Vec<TermId>,
+    off: Vec<u32>,
+    edges: Vec<ViewEdge>,
+}
+
+impl GraphView {
+    /// Scans `store` once and flattens every resource-to-resource edge
+    /// (literal objects are attributes, not hops) in SPO order, both
+    /// directions. The per-hop cost gets a strictly positive epsilon:
+    /// weight-1.0 edges would otherwise cost 0 and let shortest-path
+    /// search return zero-cost *walks* containing loops.
+    pub fn build(store: &TripleStore) -> Self {
+        let mut index: HashMap<TermId, u32> = HashMap::new();
+        let mut nodes: Vec<TermId> = Vec::new();
+        let mut per: Vec<Vec<ViewEdge>> = Vec::new();
+        let mut intern = |t: TermId, nodes: &mut Vec<TermId>, per: &mut Vec<Vec<ViewEdge>>| {
+            *index.entry(t).or_insert_with(|| {
+                nodes.push(t);
+                per.push(Vec::new());
+                (nodes.len() - 1) as u32
+            }) as usize
+        };
+        for t in store.iter() {
+            let obj_is_resource =
+                store.dict().resolve(t.o).map(Term::is_resource).unwrap_or(false);
+            if !obj_is_resource {
+                continue;
+            }
+            let cost = -t.weight.ln() + HOP_EPSILON;
+            let si = intern(t.s, &mut nodes, &mut per);
+            per[si].push(ViewEdge { to: t.o, triple: t, cost, forward: true });
+            let oi = intern(t.o, &mut nodes, &mut per);
+            per[oi].push(ViewEdge { to: t.s, triple: t, cost, forward: false });
+        }
+        let mut off = Vec::with_capacity(nodes.len() + 1);
+        let mut edges = Vec::with_capacity(per.iter().map(Vec::len).sum());
+        off.push(0u32);
+        for list in per {
+            edges.extend(list);
+            off.push(edges.len() as u32);
+        }
+        GraphView { generation: store.generation(), index, nodes, off, edges }
+    }
+
+    /// The store generation this snapshot was built from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True while no mutation has touched `store` since this view was
+    /// built — the cache-validity check.
+    pub fn is_current(&self, store: &TripleStore) -> bool {
+        self.generation == store.generation()
+    }
+
+    /// Number of graph nodes (resources that take part in at least one
+    /// traversable edge).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed hops (2× the traversable triples).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All hops leaving `n`, forward and reverse; empty for nodes
+    /// without traversable edges.
+    pub fn edges_of(&self, n: TermId) -> &[ViewEdge] {
+        match self.index.get(&n) {
+            Some(&i) => {
+                let (lo, hi) = (self.off[i as usize] as usize, self.off[i as usize + 1] as usize);
+                &self.edges[lo..hi]
+            }
+            None => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn small_store() -> TripleStore {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri("rel"), Term::iri("b"), 0.9).unwrap();
+        st.insert(Term::iri("b"), Term::iri("rel"), Term::iri("c"), 0.5).unwrap();
+        st.insert(Term::iri("a"), Term::iri("name"), Term::str("Ann"), 1.0).unwrap();
+        st
+    }
+
+    #[test]
+    fn view_flattens_both_directions_and_skips_literals() {
+        let st = small_store();
+        let view = GraphView::build(&st);
+        // a, b, c — the literal "Ann" is not a node.
+        assert_eq!(view.node_count(), 3);
+        assert_eq!(view.edge_count(), 4, "two triples, both directions");
+        let b = st.dict().get(&Term::iri("b")).unwrap();
+        let hops = view.edges_of(b);
+        assert_eq!(hops.len(), 2);
+        assert!(hops.iter().any(|e| e.forward) && hops.iter().any(|e| !e.forward));
+        let unknown = view.edges_of(TermId(9999));
+        assert!(unknown.is_empty());
+    }
+
+    #[test]
+    fn view_staleness_tracks_store_generation() {
+        let mut st = small_store();
+        let view = GraphView::build(&st);
+        assert!(view.is_current(&st));
+        st.set_weight(&Term::iri("a"), &Term::iri("rel"), &Term::iri("b"), 0.1).unwrap();
+        assert!(!view.is_current(&st), "re-weighting must invalidate");
+        let rebuilt = GraphView::build(&st);
+        assert!(rebuilt.is_current(&st));
+        assert!(rebuilt.generation() > view.generation());
+    }
+}
