@@ -1042,6 +1042,41 @@ impl HiveDb {
         Ok(())
     }
 
+    /// Test-support hook: deliberately corrupts the secondary indexes
+    /// without touching the primary arenas, the log, the clock, or the
+    /// generation counter. Snapshots store only primary data, so a
+    /// corrupted index must never survive a dump/reload cycle — the
+    /// persist tests and the sim-harness recovery checkers use this to
+    /// exercise the "index bug can't be frozen" invariant documented in
+    /// `persist.rs`.
+    #[doc(hidden)]
+    pub fn debug_scramble_indexes(&mut self) {
+        self.follow_index.clear();
+        self.connection_index.clear();
+        self.checkin_by_user.clear();
+        self.checkin_by_session.clear();
+        self.sessions_by_conf.clear();
+        self.papers_by_author.clear();
+        self.papers_by_venue.clear();
+        self.cited_by.clear();
+        self.presentations_by_session.clear();
+        self.presentations_by_paper.clear();
+        self.questions_by_target.clear();
+        self.answers_by_question.clear();
+        self.comments_by_target.clear();
+        self.workpads_by_user.clear();
+        self.tweets_by_session.clear();
+        self.log_by_user.clear();
+        // Plant wrong entries so "cleared" is not mistaken for "absent".
+        if self.users.len() >= 2 {
+            self.follow_index.insert((UserId(0), UserId(1)));
+            self.papers_by_author
+                .entry(UserId(0))
+                .or_default()
+                .push(PaperId(u32::MAX));
+        }
+    }
+
     // ---- activity log -------------------------------------------------------
 
     /// Full activity log, in order.

@@ -19,6 +19,13 @@ pub enum HiveError {
     Invalid(String),
     /// The caller lacks a prerequisite (e.g. no active workpad).
     Precondition(String),
+    /// A platform snapshot was written by an incompatible format version.
+    SnapshotVersion {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl HiveError {
@@ -35,6 +42,10 @@ impl fmt::Display for HiveError {
             HiveError::Conflict(msg) => write!(f, "conflict: {msg}"),
             HiveError::Invalid(msg) => write!(f, "invalid input: {msg}"),
             HiveError::Precondition(msg) => write!(f, "precondition failed: {msg}"),
+            HiveError::SnapshotVersion { found, expected } => write!(
+                f,
+                "unsupported platform snapshot version {found} (this build reads version {expected})"
+            ),
         }
     }
 }
@@ -58,5 +69,7 @@ mod tests {
         assert!(HiveError::Conflict("x".into()).to_string().contains("conflict"));
         assert!(HiveError::Invalid("y".into()).to_string().contains("invalid"));
         assert!(HiveError::Precondition("z".into()).to_string().contains("precondition"));
+        let v = HiveError::SnapshotVersion { found: 4, expected: 1 };
+        assert!(v.to_string().contains('4') && v.to_string().contains('1'));
     }
 }

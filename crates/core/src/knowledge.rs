@@ -178,6 +178,14 @@ impl KnowledgeNetwork {
                 }
             }
         }
+        // Sort by author pair: HashMap iteration order varies between
+        // instances, and store insertion order fixes term-id assignment,
+        // which downstream path ranking must not depend on. Keeping the
+        // export order canonical makes two equal databases produce
+        // byte-identical stores (the recovery-equivalence oracle relies
+        // on this).
+        let mut coauth: Vec<_> = coauth.into_iter().collect();
+        coauth.sort_by_key(|&(pair, _)| pair);
         for ((a, b), n) in coauth {
             ins(&mut st, a.iri(), "rel:coauthor", b.iri(), (0.5 + 0.1 * n).min(1.0));
         }

@@ -99,10 +99,10 @@ impl HiveDb {
     /// index through the live insertion paths.
     pub fn from_snapshot(snap: &PlatformSnapshot) -> Result<Self> {
         if snap.version != SNAPSHOT_VERSION {
-            return Err(HiveError::Invalid(format!(
-                "unsupported platform snapshot version {}",
-                snap.version
-            )));
+            return Err(HiveError::SnapshotVersion {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
         }
         Self::restore_snapshot(snap)
     }
@@ -197,11 +197,73 @@ mod tests {
     }
 
     #[test]
+    fn index_corruption_cannot_be_frozen_into_a_snapshot() {
+        let world = WorldBuilder::new(SimConfig::small()).build();
+        let pristine_json = world.db.to_json().expect("serializes");
+        let clean = HiveDb::from_json(&pristine_json).expect("restores");
+
+        // Corrupt the secondary indexes of a loaded instance. The
+        // corruption must be observable live (so the hook is not a
+        // no-op) ...
+        let mut corrupted = HiveDb::from_json(&pristine_json).expect("restores");
+        corrupted.debug_scramble_indexes();
+        let users = corrupted.user_ids();
+        assert!(
+            corrupted.is_following(users[0], users[1])
+                || users.iter().any(|&u| corrupted.papers_of(u) != clean.papers_of(u))
+                || users.iter().any(|&u| corrupted.following(u) != clean.following(u)),
+            "scrambling must visibly corrupt index-backed queries"
+        );
+
+        // ... but snapshots store only primary data, so the corrupted
+        // instance serializes byte-identically to the pristine one ...
+        let corrupted_json = corrupted.to_json().expect("serializes");
+        assert_eq!(corrupted_json, pristine_json, "indexes must not leak into snapshots");
+
+        // ... and a fresh reload rebuilds every index identically.
+        let reloaded = HiveDb::from_json(&corrupted_json).expect("restores");
+        for &u in &clean.user_ids() {
+            assert_eq!(reloaded.papers_of(u), clean.papers_of(u));
+            assert_eq!(reloaded.following(u), clean.following(u));
+            assert_eq!(reloaded.connections_of(u), clean.connections_of(u));
+            assert_eq!(reloaded.checkins_of(u).len(), clean.checkins_of(u).len());
+            assert_eq!(reloaded.workpads_of(u), clean.workpads_of(u));
+            assert_eq!(reloaded.activities_of(u).len(), clean.activities_of(u).len());
+        }
+        for p in clean.paper_ids() {
+            assert_eq!(reloaded.citing(p), clean.citing(p));
+        }
+        for s in clean.session_ids() {
+            assert_eq!(reloaded.presentations_in(s), clean.presentations_in(s));
+            assert_eq!(reloaded.checkins_in(s).len(), clean.checkins_in(s).len());
+            assert_eq!(reloaded.tweets_in(s), clean.tweets_in(s));
+        }
+        for q in clean.question_ids() {
+            assert_eq!(reloaded.answers_to(q), clean.answers_to(q));
+        }
+    }
+
+    #[test]
     fn bad_version_and_bad_json_rejected() {
         let world = WorldBuilder::new(SimConfig::small()).build();
         let mut snap = world.db.snapshot();
         snap.version = 99;
-        assert!(HiveDb::from_snapshot(&snap).is_err());
+        assert_eq!(
+            HiveDb::from_snapshot(&snap).err(),
+            Some(HiveError::SnapshotVersion { found: 99, expected: SNAPSHOT_VERSION })
+        );
+        // The same typed error surfaces through the JSON load path.
+        let json = world.db.to_json().unwrap().replace(
+            &format!("\"version\":{SNAPSHOT_VERSION}"),
+            &format!("\"version\":{}", SNAPSHOT_VERSION + 3),
+        );
+        assert_eq!(
+            HiveDb::from_json(&json).err(),
+            Some(HiveError::SnapshotVersion {
+                found: SNAPSHOT_VERSION + 3,
+                expected: SNAPSHOT_VERSION
+            })
+        );
         assert!(HiveDb::from_json("{").is_err());
     }
 }

@@ -23,7 +23,10 @@ use hive_graph::Graph;
 use hive_rng::{Rng, SliceRandom};
 
 mod text_gen;
-pub use text_gen::{topic_count, topic_phrase, topic_sentence, TOPIC_NAMES};
+pub use text_gen::{
+    topic_abstract, topic_count, topic_phrase, topic_question, topic_sentence, topic_title,
+    TOPIC_NAMES,
+};
 
 /// Simulation parameters.
 #[derive(Clone, Copy, Debug)]

@@ -67,15 +67,21 @@ pub fn personalized_pagerank_csr(
     if n == 0 {
         return Vec::new();
     }
-    // Restart vector.
+    // Restart vector. The seed map is materialized in node order
+    // before any mass is summed: floating-point addition is
+    // order-sensitive, and iterating the map directly would make the
+    // normalizer (and through it every rank) drift by an ulp between
+    // otherwise identical runs.
     let mut restart = vec![0.0f64; n];
-    let seed_sum: f64 = seeds.values().sum();
-    if seeds.is_empty() || seed_sum <= 0.0 {
+    let mut seed_list: Vec<(NodeId, f64)> = seeds.iter().map(|(&k, &v)| (k, v)).collect();
+    seed_list.sort_by_key(|&(node, _)| node.index());
+    let seed_sum: f64 = seed_list.iter().map(|&(_, mass)| mass).sum();
+    if seed_list.is_empty() || seed_sum <= 0.0 {
         for r in &mut restart {
             *r = 1.0 / n as f64;
         }
     } else {
-        for (&node, &mass) in seeds {
+        for &(node, mass) in &seed_list {
             restart[node.index()] += mass / seed_sum;
         }
     }

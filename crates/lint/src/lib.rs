@@ -520,9 +520,10 @@ pub fn check_manifest(file: &str, contents: &str) -> Vec<Diagnostic> {
 }
 
 /// Crates whose non-test code must be panic-free (R2).
-const PANIC_FREE_CRATES: &[&str] = &["store", "graph", "text", "scent", "concept", "core"];
+const PANIC_FREE_CRATES: &[&str] =
+    &["store", "graph", "text", "scent", "concept", "core", "sim-harness"];
 /// Crates exempt from R4 — printing is their purpose.
-const IO_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+const IO_EXEMPT_CRATES: &[&str] = &["bench", "lint", "sim-harness"];
 /// The one file allowed to read the wall clock.
 const CLOCK_FILE: &str = "crates/core/src/clock.rs";
 /// The one crate allowed to touch raw thread primitives (R6).

@@ -1,0 +1,62 @@
+//! Soak-runner binary: `cargo run -p hive-sim-harness -- --seed N --steps M`.
+//!
+//! Exits 0 when every oracle held, 1 on violations (after printing the
+//! failing seed and the exact reproduction command), 2 on usage errors.
+
+use hive_sim_harness::{HarnessConfig, SimHarness};
+
+const USAGE: &str = "usage: hive-sim-harness [--seed N] [--steps M] [--crashes K] \
+[--users U] [--diff-every D] [--threads T] [--sweep S]\n\
+  --sweep S runs S consecutive seeds starting at --seed and stops at the first failure";
+
+fn parse_flag(name: &str, value: Option<String>) -> Result<u64, String> {
+    let Some(v) = value else {
+        return Err(format!("missing value for {name}"));
+    };
+    v.parse::<u64>().map_err(|_| format!("invalid value for {name}: {v}"))
+}
+
+fn parse_config() -> Result<(HarnessConfig, u64), String> {
+    let mut cfg = HarnessConfig::default();
+    let mut sweep = 1u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => cfg.seed = parse_flag(&arg, args.next())?,
+            "--steps" => cfg.steps = parse_flag(&arg, args.next())? as usize,
+            "--crashes" => cfg.crash_points = parse_flag(&arg, args.next())? as usize,
+            "--users" => cfg.users = parse_flag(&arg, args.next())? as usize,
+            "--diff-every" => cfg.diff_every = parse_flag(&arg, args.next())? as usize,
+            "--threads" => cfg.threads = (parse_flag(&arg, args.next())? as usize).max(2),
+            "--sweep" => sweep = parse_flag(&arg, args.next())?.max(1),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok((cfg, sweep))
+}
+
+fn main() {
+    let (base, sweep) = match parse_config() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    for seed in base.seed..base.seed.saturating_add(sweep) {
+        let cfg = HarnessConfig { seed, ..base };
+        let report = SimHarness::new(cfg).run();
+        println!("{}", report.render());
+        if !report.ok() {
+            println!(
+                "reproduce with: cargo run -p hive-sim-harness -- --seed {} --steps {} --crashes {} --users {} --diff-every {}",
+                seed, cfg.steps, cfg.crash_points, cfg.users, cfg.diff_every
+            );
+            std::process::exit(1);
+        }
+    }
+}

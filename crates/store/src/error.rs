@@ -13,6 +13,13 @@ pub enum StoreError {
     UnknownTerm(String),
     /// Snapshot (de)serialization failure.
     Snapshot(String),
+    /// A snapshot was written by an incompatible format version.
+    SnapshotVersion {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
     /// A path query referenced identical or unknown endpoints.
     BadPathQuery(String),
 }
@@ -28,6 +35,10 @@ impl fmt::Display for StoreError {
             }
             StoreError::UnknownTerm(t) => write!(f, "unknown term: {t}"),
             StoreError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            StoreError::SnapshotVersion { found, expected } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {expected})"
+            ),
             StoreError::BadPathQuery(msg) => write!(f, "bad path query: {msg}"),
         }
     }
@@ -46,5 +57,7 @@ mod tests {
             .to_string()
             .contains("predicate"));
         assert!(StoreError::UnknownTerm("x".into()).to_string().contains('x'));
+        let v = StoreError::SnapshotVersion { found: 9, expected: 1 };
+        assert!(v.to_string().contains('9') && v.to_string().contains('1'));
     }
 }

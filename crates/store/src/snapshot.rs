@@ -40,10 +40,10 @@ impl TripleStore {
     /// Restores a store from a snapshot.
     pub fn from_snapshot(snap: &Snapshot) -> Result<Self, StoreError> {
         if snap.version != SNAPSHOT_VERSION {
-            return Err(StoreError::Snapshot(format!(
-                "unsupported snapshot version {}",
-                snap.version
-            )));
+            return Err(StoreError::SnapshotVersion {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
         }
         let mut st = TripleStore::new();
         for (s, p, o, w) in &snap.triples {
@@ -91,12 +91,25 @@ mod tests {
     }
 
     #[test]
-    fn bad_version_rejected() {
+    fn bad_version_rejected_with_found_and_expected() {
         let snap = Snapshot { version: 99, triples: vec![] };
-        assert!(matches!(
-            TripleStore::from_snapshot(&snap),
-            Err(StoreError::Snapshot(_))
-        ));
+        assert_eq!(
+            TripleStore::from_snapshot(&snap).err(),
+            Some(StoreError::SnapshotVersion { found: 99, expected: SNAPSHOT_VERSION })
+        );
+        // The same typed error surfaces through the JSON load path.
+        let mut json = TripleStore::new().to_json().unwrap();
+        json = json.replace(
+            &format!("\"version\":{SNAPSHOT_VERSION}"),
+            &format!("\"version\":{}", SNAPSHOT_VERSION + 7),
+        );
+        assert_eq!(
+            TripleStore::from_json(&json).err(),
+            Some(StoreError::SnapshotVersion {
+                found: SNAPSHOT_VERSION + 7,
+                expected: SNAPSHOT_VERSION
+            })
+        );
     }
 
     #[test]

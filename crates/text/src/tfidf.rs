@@ -10,9 +10,18 @@ use std::collections::HashMap;
 use crate::tokenize::tokenize_filtered;
 
 /// A sparse term-weight vector keyed by corpus term ids.
+///
+/// Entries are kept sorted by term id with no explicit zeros — a
+/// *canonical* form, so equal vectors are structurally equal and every
+/// reduction (norm, dot, accumulate) sums in term-id order. That makes
+/// all derived scores bit-reproducible across instances and thread
+/// counts, which the platform's determinism contract (and the
+/// simulation harness's recovery/differential oracles) depend on; a
+/// hash-keyed representation would sum in per-instance iteration order
+/// and drift by an ulp between otherwise identical runs.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SparseVector {
-    entries: HashMap<u32, f64>,
+    entries: Vec<(u32, f64)>,
 }
 
 impl SparseVector {
@@ -21,23 +30,39 @@ impl SparseVector {
         Self::default()
     }
 
-    /// Builds from raw entries, dropping zeros.
+    /// Builds from raw entries, dropping zeros (later duplicates win,
+    /// matching map-insert semantics).
     pub fn from_entries(entries: impl IntoIterator<Item = (u32, f64)>) -> Self {
-        let entries = entries.into_iter().filter(|(_, v)| *v != 0.0).collect();
-        SparseVector { entries }
+        let mut out = SparseVector::new();
+        for (t, v) in entries {
+            out.set(t, v);
+        }
+        out
     }
 
     /// Weight of term `t` (0 if absent).
     pub fn get(&self, t: u32) -> f64 {
-        self.entries.get(&t).copied().unwrap_or(0.0)
+        match self.entries.binary_search_by_key(&t, |e| e.0) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
     }
 
     /// Sets term `t`'s weight (removing it when zero).
     pub fn set(&mut self, t: u32, v: f64) {
-        if v == 0.0 {
-            self.entries.remove(&t);
-        } else {
-            self.entries.insert(t, v);
+        match self.entries.binary_search_by_key(&t, |e| e.0) {
+            Ok(i) => {
+                if v == 0.0 {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = v;
+                }
+            }
+            Err(i) => {
+                if v != 0.0 {
+                    self.entries.insert(i, (t, v));
+                }
+            }
         }
     }
 
@@ -57,24 +82,33 @@ impl SparseVector {
         self.entries.is_empty()
     }
 
-    /// Iterates `(term, weight)`.
+    /// Iterates `(term, weight)` in ascending term order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.entries.iter().map(|(&k, &v)| (k, v))
+        self.entries.iter().copied()
     }
 
-    /// Euclidean norm.
+    /// Euclidean norm (summed in term order).
     pub fn norm(&self) -> f64 {
-        self.entries.values().map(|v| v * v).sum::<f64>().sqrt()
+        self.entries.iter().map(|(_, v)| v * v).sum::<f64>().sqrt()
     }
 
-    /// Dot product with another vector.
+    /// Dot product with another vector: a merge join over the two
+    /// sorted entry lists, accumulated in term order.
     pub fn dot(&self, other: &SparseVector) -> f64 {
-        let (small, large) = if self.nnz() <= other.nnz() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        small.iter().map(|(t, v)| v * large.get(t)).sum()
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j, mut acc) = (0, 0, 0.0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
     }
 
     /// Cosine similarity in `[0, 1]` for non-negative vectors.
@@ -99,7 +133,7 @@ impl SparseVector {
         if s == 0.0 {
             self.entries.clear();
         } else {
-            for v in self.entries.values_mut() {
+            for (_, v) in self.entries.iter_mut() {
                 *v *= s;
             }
         }

@@ -9,3 +9,6 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo run -p hive-lint --offline
+# Bounded crash/recovery soak (fixed seed, seconds): recovery
+# equivalence + fault injection + differential oracles must all hold.
+./target/release/hive-sim-harness --seed 42 --steps 60 --crashes 2

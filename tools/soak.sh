@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Long-running crash/recovery soak: sweeps consecutive seeds through
+# the deterministic simulation harness and stops at the first failure,
+# printing the failing seed and the exact reproduction command (the
+# harness binary already emits it). Usage:
+#
+#   tools/soak.sh [SWEEP] [STEPS] [CRASHES] [START_SEED]
+#
+# Defaults: 100 seeds x 200 steps x 5 crash points, starting at seed 1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SWEEP="${1:-100}"
+STEPS="${2:-200}"
+CRASHES="${3:-5}"
+START="${4:-1}"
+
+cargo build --release --offline -p hive-sim-harness
+echo "soak: seeds ${START}..$((START + SWEEP - 1)), ${STEPS} steps, ${CRASHES} crash points each"
+if ./target/release/hive-sim-harness \
+    --seed "$START" --sweep "$SWEEP" --steps "$STEPS" --crashes "$CRASHES"; then
+    echo "soak: all ${SWEEP} seeds clean"
+else
+    status=$?
+    echo "soak: FAILED (see the failing seed and reproduction command above)" >&2
+    exit "$status"
+fi
