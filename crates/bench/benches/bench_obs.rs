@@ -1,0 +1,78 @@
+//! hive-obs benchmarks: per-service call counters over a fixed service
+//! battery, and the wall-clock cost of recording at each level.
+//!
+//! Run: `cargo bench -p hive-bench --bench bench_obs`
+
+use hive_bench::{header, iters, mean, metric, report, report_header, time_n, write_json_fragment};
+use hive_core::discover::DiscoverConfig;
+use hive_core::peers::PeerRecConfig;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_core::Hive;
+use hive_obs::Level;
+
+/// A fixed slice of the Table-1 service surface, so counter totals are
+/// stable run-to-run.
+fn battery(hive: &Hive) {
+    let users = hive.db().user_ids();
+    let zach = users[0];
+    std::hint::black_box(hive.search(zach, "tensor stream sketch", DiscoverConfig::default()));
+    std::hint::black_box(hive.recommend_peers(zach, PeerRecConfig::default()));
+    std::hint::black_box(hive.similar_peers(zach, 5));
+    std::hint::black_box(hive.explain_relationship(users[0], users[1]));
+    std::hint::black_box(hive.activity_context(zach));
+}
+
+/// Records the battery at `Full` and exports every per-service call
+/// count and raw counter into the JSON fragment.
+fn bench_counters() {
+    header("obs_counters");
+    let world = WorldBuilder::new(SimConfig::medium()).build();
+    let hive = Hive::new(world.db);
+    let _ = hive.knowledge(); // warm
+    hive_obs::with_level(Level::Full, || {
+        hive_obs::reset();
+        battery(&hive);
+        let snap = hive_obs::snapshot();
+        for (kind, stats) in snap.services() {
+            metric(&format!("calls.{}", kind.label()), stats.calls as f64);
+            metric(&format!("ticks.{}", kind.label()), stats.ticks as f64);
+        }
+        for (name, value) in snap.counters() {
+            metric(name, value as f64);
+        }
+    });
+}
+
+/// Times the hottest read service at every obs level; the off-vs-full
+/// ratio is the recording overhead the facade pays per call.
+fn bench_overhead() {
+    header("obs_overhead");
+    report_header();
+    let world = WorldBuilder::new(SimConfig::medium()).build();
+    let hive = Hive::new(world.db);
+    let zach = hive.db().user_ids()[0];
+    let _ = hive.knowledge(); // warm
+    let n = iters(20, 3);
+    let run = |level: Level| {
+        hive_obs::with_level(level, || {
+            hive_obs::reset();
+            time_n(n, || {
+                std::hint::black_box(hive.search(zach, "tensor stream sketch", DiscoverConfig::default()));
+            })
+        })
+    };
+    let off = run(Level::Off);
+    report("search_obs_off", &off);
+    let counts = run(Level::Counts);
+    report("search_obs_counts", &counts);
+    let full = run(Level::Full);
+    report("search_obs_full", &full);
+    metric("full_vs_off_overhead", mean(&full) / mean(&off));
+}
+
+fn main() {
+    println!("bench_obs — observability counters and recording overhead");
+    bench_counters();
+    bench_overhead();
+    write_json_fragment("bench_obs");
+}

@@ -72,7 +72,7 @@ fn bench_peer_scaling() {
     let _ = hive.knowledge(); // warm
     // A wide candidate pool makes the per-peer evidence fan-out the
     // dominant cost, which is what the pool parallelizes.
-    let cfg = PeerRecConfig { candidate_pool: 60, ..Default::default() };
+    let cfg = PeerRecConfig::defaults().with_candidate_pool(60);
     let n = iters(10, 3);
     let serial = time_n(n, || {
         hive_par::with_threads(1, || {

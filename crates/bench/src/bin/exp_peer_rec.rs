@@ -46,7 +46,7 @@ fn main() {
             Box::new(|u| {
                 hive.recommend_peers(
                     u,
-                    PeerRecConfig { top_k: k, strategy: PeerStrategy::Blend, ..Default::default() },
+                    PeerRecConfig::defaults().with_top_k(k).with_strategy(PeerStrategy::Blend),
                 )
                 .into_iter()
                 .map(|r| r.user)
@@ -58,7 +58,7 @@ fn main() {
             Box::new(|u| {
                 hive.recommend_peers(
                     u,
-                    PeerRecConfig { top_k: k, strategy: PeerStrategy::PprOnly, ..Default::default() },
+                    PeerRecConfig::defaults().with_top_k(k).with_strategy(PeerStrategy::PprOnly),
                 )
                 .into_iter()
                 .map(|r| r.user)
@@ -70,11 +70,9 @@ fn main() {
             Box::new(|u| {
                 hive.recommend_peers(
                     u,
-                    PeerRecConfig {
-                        top_k: k,
-                        strategy: PeerStrategy::EvidenceOnly,
-                        ..Default::default()
-                    },
+                    PeerRecConfig::defaults()
+                        .with_top_k(k)
+                        .with_strategy(PeerStrategy::EvidenceOnly),
                 )
                 .into_iter()
                 .map(|r| r.user)
@@ -137,7 +135,7 @@ fn main() {
             let recs: Vec<UserId> = hive
                 .recommend_peers(
                     u,
-                    PeerRecConfig { top_k: kk, strategy: PeerStrategy::Blend, ..Default::default() },
+                    PeerRecConfig::defaults().with_top_k(kk).with_strategy(PeerStrategy::Blend),
                 )
                 .into_iter()
                 .map(|r| r.user)

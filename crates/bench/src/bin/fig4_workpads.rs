@@ -45,7 +45,7 @@ fn main() {
 
     let query = "scalable processing";
     let run = |hive: &Hive| -> Vec<String> {
-        hive.search(zach, query, DiscoverConfig { include_users: false, top_k: 15, ..Default::default() })
+        hive.search(zach, query, DiscoverConfig::defaults().with_include_users(false).with_top_k(15))
             .into_iter()
             .map(|h| h.resource.iri())
             .collect()
@@ -103,7 +103,6 @@ fn main() {
         // Swap one topic-B item for a topic-A item.
         if let Some(&out) = topic_b_sessions.get(shared) {
             let _ = hive
-                .db_mut()
                 .workpad_remove(zach, pad_b, &WorkpadItem::Session(out));
         }
         hive.workpad_add(zach, pad_b, WorkpadItem::Session(topic_a_sessions[shared]))

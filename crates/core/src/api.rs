@@ -13,6 +13,14 @@
 //! knowledge-backed call rebuilds it. (A production deployment would
 //! update incrementally; rebuild-on-dirty keeps the semantics obvious
 //! and is plenty fast at demo scale.)
+//!
+//! Every public service entry point routes through the instrumented
+//! [`Hive::service`] / [`Hive::service_mut`] choke point (enforced by
+//! lint rule R7): one place opens the `hive-obs` span, stamps logical
+//! enter/exit ticks, and bumps the per-[`ServiceKind`] counters — and
+//! the one place where admission control would later live. Observability
+//! is recording-only: with `HIVE_OBS=off` (the default) the choke point
+//! is a plain closure call and results are bit-identical to `full`.
 
 use crate::clock::Timestamp;
 use crate::collab::CfModel;
@@ -26,10 +34,11 @@ use crate::feed::{self, FeedDigest, Update};
 use crate::history::{self, HistoryHit, HistoryQuery};
 use crate::ids::*;
 use crate::knowledge::KnowledgeNetwork;
-use crate::model::{QaTarget, WorkpadItem};
+use crate::model::{Paper, Presentation, QaTarget, User, WorkpadItem};
 use crate::peers::{self, PeerRecConfig, PeerRecommendation};
 use crate::reports::{self, ReportScope, UpdateReport};
 use hive_concept::{bootstrap_concept_map, BootstrapConfig, ConceptMap};
+use hive_obs::ServiceKind;
 use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -67,6 +76,12 @@ impl Hive {
     /// snapshot is additionally keyed by [`HiveDb::generation`], so even
     /// a mutation that slipped past this method cannot serve stale
     /// paths.)
+    ///
+    /// Internal plumbing: external callers should use the typed
+    /// mutation methods ([`Hive::add_user`], [`Hive::workpad_note`],
+    /// [`Hive::advance_clock`], ...), which route through the
+    /// instrumented choke point and keep the cache coherent.
+    #[doc(hidden)]
     pub fn db_mut(&mut self) -> &mut HiveDb {
         // A poisoned cache mutex only means a panic elsewhere mid-build;
         // the cache is safely rebuildable, so recover the guard.
@@ -81,6 +96,28 @@ impl Hive {
         &mut self.db
     }
 
+    /// Runs a read-only Table-1 service through the instrumented choke
+    /// point: opens the service span at the current logical tick, bumps
+    /// the per-service call counter, runs `f`, and closes the span.
+    /// Durations are *logical* ticks from the injectable clock (lint R3),
+    /// so recorded values are deterministic for a given workload.
+    pub fn service<T>(&self, kind: ServiceKind, f: impl FnOnce(&Self) -> T) -> T {
+        let token = hive_obs::service_enter(kind, self.db.now().ticks());
+        let out = f(self);
+        hive_obs::service_exit(kind, token, self.db.now().ticks());
+        out
+    }
+
+    /// Mutating variant of [`Hive::service`]: same span/counter
+    /// protocol, `f` gets `&mut Hive` (and typically goes through
+    /// [`Hive::db_mut`], which invalidates the derived caches).
+    pub fn service_mut<T>(&mut self, kind: ServiceKind, f: impl FnOnce(&mut Self) -> T) -> T {
+        let token = hive_obs::service_enter(kind, self.db.now().ticks());
+        let out = f(self);
+        hive_obs::service_exit(kind, token, self.db.now().ticks());
+        out
+    }
+
     /// The current knowledge network (rebuilt if stale).
     pub fn knowledge(&self) -> Arc<KnowledgeNetwork> {
         let mut guard = match self.kn_cache.lock() {
@@ -88,9 +125,13 @@ impl Hive {
             Err(poisoned) => poisoned.into_inner(),
         };
         if let Some(kn) = guard.as_ref() {
+            hive_obs::count("core.kn.hit", 1);
             return Arc::clone(kn);
         }
+        hive_obs::count("core.kn.miss", 1);
+        let span = hive_obs::span_enter("kn-build", self.db.now().ticks());
         let kn = Arc::new(KnowledgeNetwork::build(&self.db));
+        hive_obs::span_exit(span, self.db.now().ticks());
         *guard = Some(Arc::clone(&kn));
         kn
     }
@@ -105,11 +146,15 @@ impl Hive {
         let generation = self.db.generation();
         if let Some(snap) = guard.as_ref() {
             if snap.generation == generation {
+                hive_obs::count("core.rel.hit", 1);
                 return Arc::clone(snap);
             }
         }
+        hive_obs::count("core.rel.miss", 1);
+        let span = hive_obs::span_enter("rel-snapshot-build", self.db.now().ticks());
         let store = kn.to_store(&self.db);
         let view = hive_store::GraphView::build(&store);
+        hive_obs::span_exit(span, self.db.now().ticks());
         let snap = Arc::new(RelSnapshot { generation, store, view });
         *guard = Some(Arc::clone(&snap));
         snap
@@ -119,57 +164,71 @@ impl Hive {
 
     /// Bootstraps a concept map from user-supplied documents (§2.1).
     pub fn bootstrap_concepts(&self, name: &str, documents: &[&str]) -> ConceptMap {
-        bootstrap_concept_map(name, documents, BootstrapConfig::default())
+        self.service(ServiceKind::ConceptBootstrap, |_| {
+            bootstrap_concept_map(name, documents, BootstrapConfig::default())
+        })
     }
 
     /// The user's current activity context (active workpad + history).
     pub fn activity_context(&self, user: UserId) -> ActivityContext {
-        build_context(&self.db, &self.knowledge(), user, ContextConfig::default())
+        self.service(ServiceKind::ActivityContext, |h| {
+            build_context(&h.db, &h.knowledge(), user, ContextConfig::default())
+        })
     }
 
     // ---- peer network services ---------------------------------------------
 
     /// Recommends new peers, contextualized by the active workpad.
     pub fn recommend_peers(&self, user: UserId, cfg: PeerRecConfig) -> Vec<PeerRecommendation> {
-        let kn = self.knowledge();
-        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
-        peers::recommend_peers(&self.db, &kn, user, &ctx, cfg)
+        self.service(ServiceKind::PeerRecommendation, |h| {
+            let kn = h.knowledge();
+            let ctx = build_context(&h.db, &kn, user, cfg.common.context);
+            peers::recommend_peers(&h.db, &kn, user, &ctx, cfg)
+        })
     }
 
     /// Locates peers with the most similar content profile.
     pub fn similar_peers(&self, user: UserId, k: usize) -> Vec<(UserId, f64)> {
-        let kn = self.knowledge();
-        let mut out: Vec<(UserId, f64)> = self
-            .db
-            .user_ids()
-            .into_iter()
-            .filter(|&v| v != user)
-            .map(|v| (v, kn.user_similarity(user, v)))
-            .filter(|(_, s)| *s > 0.0)
-            .collect();
-        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        out.truncate(k);
-        out
+        self.service(ServiceKind::SimilarPeers, |h| {
+            let kn = h.knowledge();
+            let mut out: Vec<(UserId, f64)> = h
+                .db
+                .user_ids()
+                .into_iter()
+                .filter(|&v| v != user)
+                .map(|v| (v, kn.user_similarity(user, v)))
+                .filter(|(_, s)| *s > 0.0)
+                .collect();
+            out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            out.truncate(k);
+            out
+        })
     }
 
     /// Predicts the sessions a researcher will likely attend.
     pub fn predict_sessions(&self, user: UserId, k: usize) -> Vec<(SessionId, f64)> {
-        peers::predict_sessions(&self.db, &self.knowledge(), user, k)
+        self.service(ServiceKind::SessionPrediction, |h| {
+            peers::predict_sessions(&h.db, &h.knowledge(), user, k)
+        })
     }
 
     /// Sends a connection request.
     pub fn request_connection(&mut self, from: UserId, to: UserId) -> Result<()> {
-        self.db_mut().request_connection(from, to)
+        self.service_mut(ServiceKind::ConnectionManagement, |h| {
+            h.db_mut().request_connection(from, to)
+        })
     }
 
     /// Accepts or declines a pending connection request.
     pub fn respond_connection(&mut self, to: UserId, from: UserId, accept: bool) -> Result<()> {
-        self.db_mut().respond_connection(to, from, accept)
+        self.service_mut(ServiceKind::ConnectionManagement, |h| {
+            h.db_mut().respond_connection(to, from, accept)
+        })
     }
 
     /// Starts following another researcher.
     pub fn follow(&mut self, follower: UserId, followee: UserId) -> Result<()> {
-        self.db_mut().follow(follower, followee)
+        self.service_mut(ServiceKind::FollowManagement, |h| h.db_mut().follow(follower, followee))
     }
 
     /// Restricts which of a followee's activity categories reach this
@@ -180,29 +239,37 @@ impl Hive {
         followee: UserId,
         categories: Vec<String>,
     ) -> Result<()> {
-        self.db_mut().set_follow_filter(follower, followee, categories)
+        self.service_mut(ServiceKind::FollowManagement, |h| {
+            h.db_mut().set_follow_filter(follower, followee, categories)
+        })
     }
 
     // ---- discovery, recommendation, preview ---------------------------------
 
     /// Context-aware search over papers, presentations, sessions, users.
     pub fn search(&self, user: UserId, query: &str, cfg: DiscoverConfig) -> Vec<SearchHit> {
-        let kn = self.knowledge();
-        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
-        discover::search(&self.db, &kn, &ctx, query, cfg)
+        self.service(ServiceKind::Search, |h| {
+            let kn = h.knowledge();
+            let ctx = build_context(&h.db, &kn, user, cfg.common.context);
+            discover::search(&h.db, &kn, &ctx, query, cfg)
+        })
     }
 
     /// Pure contextual resource recommendation (empty query).
     pub fn recommend_resources(&self, user: UserId, cfg: DiscoverConfig) -> Vec<SearchHit> {
-        let kn = self.knowledge();
-        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
-        discover::recommend_resources(&self.db, &kn, &ctx, cfg)
+        self.service(ServiceKind::ResourceRecommendation, |h| {
+            let kn = h.knowledge();
+            let ctx = build_context(&h.db, &kn, user, cfg.common.context);
+            discover::recommend_resources(&h.db, &kn, &ctx, cfg)
+        })
     }
 
     /// Collaborative-filtering recommendations from the activity matrix.
     pub fn collaborative_recommendations(&self, user: UserId, k: usize) -> Vec<(Resource, f64)> {
-        let cf = CfModel::build(&self.db);
-        cf.recommend_user_based(user, 10, k)
+        self.service(ServiceKind::CollaborativeFiltering, |h| {
+            let cf = CfModel::build(&h.db);
+            cf.recommend_user_based(user, 10, k)
+        })
     }
 
     /// Figure 2: relationship discovery and explanation between peers.
@@ -210,14 +277,18 @@ impl Hive {
     /// database generation, so repeated explanations only pay for the
     /// path search itself.
     pub fn explain_relationship(&self, a: UserId, b: UserId) -> RelationshipExplanation {
-        let kn = self.knowledge();
-        let rel = self.relationship_graph(&kn);
-        evidence::explain_relationship_with_view(&self.db, &kn, &rel.store, &rel.view, a, b, 3)
+        self.service(ServiceKind::RelationshipExplanation, |h| {
+            let kn = h.knowledge();
+            let rel = h.relationship_graph(&kn);
+            evidence::explain_relationship_with_view(&h.db, &kn, &rel.store, &rel.view, a, b, 3)
+        })
     }
 
     /// Community discovery over the social + co-authorship layers.
     pub fn discover_communities(&self) -> Communities {
-        communities::discover(&self.knowledge(), Method::Louvain)
+        self.service(ServiceKind::CommunityDiscovery, |h| {
+            communities::discover(&h.knowledge(), Method::Louvain)
+        })
     }
 
     /// Context-aware extractive summary of a resource's text (the §2.3
@@ -229,20 +300,22 @@ impl Hive {
         resource: Resource,
         sentences: usize,
     ) -> Option<hive_text::DocumentSummary> {
-        let kn = self.knowledge();
-        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
-        let text = match resource {
-            Resource::Paper(p) => self.db.get_paper(p).ok()?.text(),
-            Resource::Presentation(p) => self.db.get_presentation(p).ok()?.slides_text.clone(),
-            Resource::Session(s) => self.db.get_session(s).ok()?.text(),
-            Resource::User(u) => self.db.get_user(u).ok()?.profile_text(),
-        };
-        let terms: Vec<&str> = ctx.terms.iter().map(String::as_str).collect();
-        hive_text::summarize_document(
-            &text,
-            &terms,
-            hive_text::DocSumConfig { sentences, ..Default::default() },
-        )
+        self.service(ServiceKind::Summarization, |h| {
+            let kn = h.knowledge();
+            let ctx = build_context(&h.db, &kn, user, ContextConfig::default());
+            let text = match resource {
+                Resource::Paper(p) => h.db.get_paper(p).ok()?.text(),
+                Resource::Presentation(p) => h.db.get_presentation(p).ok()?.slides_text.clone(),
+                Resource::Session(s) => h.db.get_session(s).ok()?.text(),
+                Resource::User(u) => h.db.get_user(u).ok()?.profile_text(),
+            };
+            let terms: Vec<&str> = ctx.terms.iter().map(String::as_str).collect();
+            hive_text::summarize_document(
+                &text,
+                &terms,
+                hive_text::DocSumConfig { sentences, ..Default::default() },
+            )
+        })
     }
 
     /// Scheduled, size-constrained update report (AlphaSum-backed).
@@ -253,7 +326,9 @@ impl Hive {
         to: Timestamp,
         max_rows: usize,
     ) -> UpdateReport {
-        reports::update_report(&self.db, scope, from, to, max_rows)
+        self.service(ServiceKind::UpdateReport, |h| {
+            reports::update_report(&h.db, scope, from, to, max_rows)
+        })
     }
 
     /// Sessions ranked by live activity in a window.
@@ -263,7 +338,15 @@ impl Hive {
         to: Timestamp,
         k: usize,
     ) -> Vec<(SessionId, f64)> {
-        crate::trends::trending_sessions(&self.db, from, to, k, crate::trends::HeatWeights::default())
+        self.service(ServiceKind::Trends, |h| {
+            crate::trends::trending_sessions(
+                &h.db,
+                from,
+                to,
+                k,
+                crate::trends::HeatWeights::default(),
+            )
+        })
     }
 
     /// Topics whose discussion rose the most between two windows.
@@ -273,40 +356,45 @@ impl Hive {
         cur: (Timestamp, Timestamp),
         k: usize,
     ) -> Vec<(String, f64)> {
-        crate::trends::rising_topics(&self.db, prev, cur, k, 2)
+        self.service(ServiceKind::Trends, |h| crate::trends::rising_topics(&h.db, prev, cur, k, 2))
     }
 
     // ---- feeds ---------------------------------------------------------------
 
     /// Real-time updates for a user since a timestamp.
     pub fn updates_for(&self, user: UserId, since: Timestamp) -> Vec<Update> {
-        feed::updates_for(&self.db, user, since)
+        self.service(ServiceKind::Feed, |h| feed::updates_for(&h.db, user, since))
     }
 
     /// Context-ranked highlights over the update stream.
     pub fn highlights(&self, user: UserId, since: Timestamp, k: usize) -> Vec<(Update, f64)> {
-        let kn = self.knowledge();
-        let ctx = build_context(&self.db, &kn, user, ContextConfig::default());
-        feed::highlights(&self.db, &kn, &ctx, user, since, k)
+        self.service(ServiceKind::Feed, |h| {
+            let kn = h.knowledge();
+            let ctx = build_context(&h.db, &kn, user, ContextConfig::default());
+            feed::highlights(&h.db, &kn, &ctx, user, since, k)
+        })
     }
 
     /// Digest (updates + per-category counts).
     pub fn digest(&self, user: UserId, since: Timestamp) -> FeedDigest {
-        feed::digest(&self.db, user, since)
+        self.service(ServiceKind::Feed, |h| feed::digest(&h.db, user, since))
     }
 
     /// The merged Hive/Twitter timeline of a session.
     pub fn session_ticker(&self, session: SessionId, since: Timestamp) -> Vec<String> {
-        feed::session_ticker(&self.db, session, since)
+        self.service(ServiceKind::Feed, |h| feed::session_ticker(&h.db, session, since))
     }
 
     // ---- activity history ------------------------------------------------------
 
     /// Searches the activity history, optionally context-ranked.
     pub fn search_history(&self, query: &HistoryQuery, contextual_for: Option<UserId>) -> Vec<HistoryHit> {
-        let kn = self.knowledge();
-        let ctx = contextual_for.map(|u| build_context(&self.db, &kn, u, ContextConfig::default()));
-        history::search_history(&self.db, &kn, query, ctx.as_ref())
+        self.service(ServiceKind::HistorySearch, |h| {
+            let kn = h.knowledge();
+            let ctx =
+                contextual_for.map(|u| build_context(&h.db, &kn, u, ContextConfig::default()));
+            history::search_history(&h.db, &kn, query, ctx.as_ref())
+        })
     }
 
     /// Bucketed activity timeline for visualization.
@@ -315,7 +403,7 @@ impl Hive {
         actors: &[UserId],
         bucket_width: u64,
     ) -> Vec<(Timestamp, HashMap<&'static str, usize>)> {
-        history::timeline(&self.db, actors, bucket_width)
+        self.service(ServiceKind::Timeline, |h| history::timeline(&h.db, actors, bucket_width))
     }
 
     // ---- content & workpad conveniences ------------------------------------------
@@ -329,62 +417,155 @@ impl Hive {
         text: &str,
         broadcast: bool,
     ) -> Result<QuestionId> {
-        self.db_mut().ask_question(author, target, text, broadcast)
+        self.service_mut(ServiceKind::QuestionAnswering, |h| {
+            h.db_mut().ask_question(author, target, text, broadcast)
+        })
     }
 
     /// Answers a question.
     pub fn answer_question(&mut self, author: UserId, q: QuestionId, text: &str) -> Result<AnswerId> {
-        self.db_mut().answer_question(author, q, text)
+        self.service_mut(ServiceKind::QuestionAnswering, |h| {
+            h.db_mut().answer_question(author, q, text)
+        })
     }
 
     /// Checks into a session.
     pub fn check_in(&mut self, user: UserId, session: SessionId) -> Result<()> {
-        self.db_mut().check_in(user, session)
+        self.service_mut(ServiceKind::CheckIn, |h| h.db_mut().check_in(user, session))
     }
 
     /// Creates a workpad.
     pub fn create_workpad(&mut self, owner: UserId, name: &str) -> Result<WorkpadId> {
-        self.db_mut().create_workpad(owner, name)
+        self.service_mut(ServiceKind::Workpad, |h| h.db_mut().create_workpad(owner, name))
     }
 
     /// Drops an item onto a workpad.
     pub fn workpad_add(&mut self, user: UserId, pad: WorkpadId, item: WorkpadItem) -> Result<()> {
-        self.db_mut().workpad_add(user, pad, item)
+        self.service_mut(ServiceKind::Workpad, |h| h.db_mut().workpad_add(user, pad, item))
+    }
+
+    /// Attaches a free-text note to a workpad.
+    pub fn workpad_note(
+        &mut self,
+        user: UserId,
+        pad: WorkpadId,
+        text: impl Into<String>,
+    ) -> Result<WorkpadItem> {
+        self.service_mut(ServiceKind::Workpad, |h| h.db_mut().workpad_note(user, pad, text))
+    }
+
+    /// Removes an item from a workpad.
+    pub fn workpad_remove(
+        &mut self,
+        user: UserId,
+        pad: WorkpadId,
+        item: &WorkpadItem,
+    ) -> Result<()> {
+        self.service_mut(ServiceKind::Workpad, |h| h.db_mut().workpad_remove(user, pad, item))
     }
 
     /// Switches the active workpad (and therefore the context).
     pub fn activate_workpad(&mut self, user: UserId, pad: WorkpadId) -> Result<()> {
-        self.db_mut().activate_workpad(user, pad)
+        self.service_mut(ServiceKind::Workpad, |h| h.db_mut().activate_workpad(user, pad))
     }
 
     /// Exports a workpad as a shared collection.
     pub fn export_workpad(&mut self, user: UserId, pad: WorkpadId) -> Result<CollectionId> {
-        self.db_mut().export_workpad(user, pad)
+        self.service_mut(ServiceKind::Workpad, |h| h.db_mut().export_workpad(user, pad))
     }
 
     /// Imports a shared collection as the active workpad.
     pub fn import_collection(&mut self, user: UserId, col: CollectionId) -> Result<WorkpadId> {
-        self.db_mut().import_collection(user, col)
+        self.service_mut(ServiceKind::Workpad, |h| h.db_mut().import_collection(user, col))
     }
 
     /// Serializes a shared collection to JSON — the paper's "export
     /// workpads as collections accessible to others" across deployments.
     pub fn export_collection_json(&self, col: CollectionId) -> Result<String> {
-        let c = self.db.get_collection(col)?;
-        Ok(hive_json::to_string(c))
+        self.service(ServiceKind::Workpad, |h| {
+            let c = h.db.get_collection(col)?;
+            Ok(hive_json::to_string(c))
+        })
     }
 
     /// Imports a JSON collection export for `user`: validates every item
     /// against this platform, registers the collection, and activates it
     /// as a fresh workpad.
     pub fn import_collection_json(&mut self, user: UserId, json: &str) -> Result<WorkpadId> {
-        let mut col: crate::model::Collection = hive_json::from_str(json)
-            .map_err(|e| crate::error::HiveError::Invalid(format!("parse: {e}")))?;
-        // The importing user owns their copy.
-        col.owner = user;
-        let db = self.db_mut();
-        let id = db.add_collection(col)?;
-        db.import_collection(user, id)
+        self.service_mut(ServiceKind::Workpad, |h| {
+            let mut col: crate::model::Collection = hive_json::from_str(json)
+                .map_err(|e| crate::error::HiveError::Invalid(format!("parse: {e}")))?;
+            // The importing user owns their copy.
+            col.owner = user;
+            let db = h.db_mut();
+            let id = db.add_collection(col)?;
+            db.import_collection(user, id)
+        })
+    }
+
+    // ---- ingest, engagement & platform administration -------------------------
+
+    /// Advances the logical platform clock by `dt` ticks.
+    pub fn advance_clock(&mut self, dt: u64) -> Timestamp {
+        self.service_mut(ServiceKind::Admin, |h| h.db_mut().advance_clock(dt))
+    }
+
+    /// Registers a researcher profile.
+    pub fn add_user(&mut self, user: User) -> UserId {
+        self.service_mut(ServiceKind::Ingest, |h| h.db_mut().add_user(user))
+    }
+
+    /// Uploads a paper.
+    pub fn add_paper(&mut self, paper: Paper) -> Result<PaperId> {
+        self.service_mut(ServiceKind::Ingest, |h| h.db_mut().add_paper(paper))
+    }
+
+    /// Uploads a presentation (slides attached to a paper + session).
+    pub fn add_presentation(&mut self, pres: Presentation) -> Result<PresentationId> {
+        self.service_mut(ServiceKind::Ingest, |h| h.db_mut().add_presentation(pres))
+    }
+
+    /// Revises the slides of an existing presentation.
+    pub fn revise_slides(
+        &mut self,
+        user: UserId,
+        pres: PresentationId,
+        text: impl Into<String>,
+    ) -> Result<()> {
+        self.service_mut(ServiceKind::Ingest, |h| h.db_mut().revise_slides(user, pres, text))
+    }
+
+    /// Comments on a paper, presentation, session, or question.
+    pub fn comment(
+        &mut self,
+        author: UserId,
+        target: QaTarget,
+        text: impl Into<String>,
+    ) -> Result<CommentId> {
+        self.service_mut(ServiceKind::Engagement, |h| h.db_mut().comment(author, target, text))
+    }
+
+    /// Posts a (possibly external) tweet into a session's stream.
+    pub fn post_tweet(
+        &mut self,
+        author: Option<UserId>,
+        handle: impl Into<String>,
+        text: impl Into<String>,
+        session: SessionId,
+    ) -> Result<TweetId> {
+        self.service_mut(ServiceKind::Engagement, |h| {
+            h.db_mut().post_tweet(author, handle, text, session)
+        })
+    }
+
+    /// Records that `user` viewed a paper.
+    pub fn view_paper(&mut self, user: UserId, paper: PaperId) -> Result<()> {
+        self.service_mut(ServiceKind::Engagement, |h| h.db_mut().view_paper(user, paper))
+    }
+
+    /// Registers conference attendance.
+    pub fn attend(&mut self, user: UserId, conf: ConferenceId) -> Result<()> {
+        self.service_mut(ServiceKind::Engagement, |h| h.db_mut().attend(user, conf))
     }
 }
 
@@ -453,6 +634,47 @@ mod tests {
     }
 
     #[test]
+    fn services_record_per_kind_counters() {
+        hive_obs::with_level(hive_obs::Level::Full, || {
+            hive_obs::reset();
+            let h = hive();
+            let u = h.db().user_ids()[0];
+            let _ = h.search(u, "tensor", DiscoverConfig::default());
+            let _ = h.search(u, "stream", DiscoverConfig::default());
+            let _ = h.activity_context(u);
+            let snap = hive_obs::snapshot();
+            assert_eq!(snap.service(ServiceKind::Search).map(|s| s.calls), Some(2));
+            assert_eq!(
+                snap.service(ServiceKind::ActivityContext).map(|s| s.calls),
+                Some(1)
+            );
+            // First knowledge-backed call missed the cache and built the
+            // network under a child span of the service span.
+            assert_eq!(snap.counter("core.kn.miss"), 1);
+            assert!(snap.counter("core.kn.hit") >= 2);
+            assert!(snap.spans().any(|(p, _)| p == "search/kn-build"));
+            hive_obs::reset();
+        });
+    }
+
+    #[test]
+    fn observability_has_no_observer_effect() {
+        let run = |level: hive_obs::Level| {
+            hive_obs::with_level(level, || {
+                hive_obs::reset();
+                let h = hive();
+                let u = h.db().user_ids()[0];
+                let hits = h.search(u, "tensor stream sketch", DiscoverConfig::default());
+                let out: Vec<(String, u64)> =
+                    hits.into_iter().map(|x| (x.title, x.score.to_bits())).collect();
+                hive_obs::reset();
+                out
+            })
+        };
+        assert_eq!(run(hive_obs::Level::Off), run(hive_obs::Level::Full));
+    }
+
+    #[test]
     fn explanation_between_simulated_coauthors() {
         let h = hive();
         // Find a pair of co-authors.
@@ -497,7 +719,7 @@ mod tests {
         let paper = h.db().paper_ids()[0];
         let pad = h.create_workpad(users[0], "shared").unwrap();
         h.workpad_add(users[0], pad, crate::model::WorkpadItem::Paper(paper)).unwrap();
-        h.db_mut().workpad_note(users[0], pad, "read this").unwrap();
+        h.workpad_note(users[0], pad, "read this").unwrap();
         let col = h.export_workpad(users[0], pad).unwrap();
         let json = h.export_collection_json(col).unwrap();
         let imported = h.import_collection_json(users[1], &json).unwrap();

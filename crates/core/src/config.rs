@@ -1,0 +1,55 @@
+//! Shared service-configuration plumbing.
+//!
+//! Every ranked Table-1 service takes "how many results" and "how is
+//! the caller's activity context built" — [`CommonConfig`] carries
+//! those two fields once, and the per-service configs
+//! ([`crate::peers::PeerRecConfig`], [`crate::discover::DiscoverConfig`])
+//! embed it. The configs share the builder idiom: `::defaults()` for
+//! the documented baseline, then chainable `with_*` setters.
+
+use crate::context::ContextConfig;
+
+/// The fields shared by every ranked service: result count and the
+/// activity-context construction parameters. The facade builds the
+/// caller's context from `context`, so tuning (say) the history window
+/// flows into search, recommendation, and peer discovery uniformly.
+#[derive(Clone, Copy, Debug)]
+pub struct CommonConfig {
+    /// Results to return.
+    pub top_k: usize,
+    /// How the caller's activity context is built.
+    pub context: ContextConfig,
+}
+
+impl CommonConfig {
+    /// The shared baseline: `top_k` results over a default-built context.
+    pub fn defaults(top_k: usize) -> Self {
+        CommonConfig { top_k, context: ContextConfig::default() }
+    }
+
+    /// Sets the result count.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Sets the context-construction parameters.
+    pub fn with_context(mut self, cfg: ContextConfig) -> Self {
+        self.context = cfg;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = CommonConfig::defaults(7)
+            .with_top_k(3)
+            .with_context(ContextConfig { top_terms: 4, ..Default::default() });
+        assert_eq!(c.top_k, 3);
+        assert_eq!(c.context.top_terms, 4);
+    }
+}

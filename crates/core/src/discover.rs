@@ -72,11 +72,19 @@ pub struct SearchHit {
     pub key_concepts: Vec<String>,
 }
 
-/// Search parameters.
+/// Search parameters. Build with [`DiscoverConfig::defaults`] and the
+/// chainable `with_*` setters:
+///
+/// ```
+/// use hive_core::discover::DiscoverConfig;
+/// let cfg = DiscoverConfig::defaults().with_top_k(15).with_include_users(false);
+/// assert_eq!(cfg.common.top_k, 15);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct DiscoverConfig {
-    /// Results to return.
-    pub top_k: usize,
+    /// Shared result-count / context fields (`common.top_k` = hits to
+    /// return).
+    pub common: crate::config::CommonConfig,
     /// Weight of the query-match signal.
     pub query_weight: f64,
     /// Weight of the context-similarity signal.
@@ -89,16 +97,67 @@ pub struct DiscoverConfig {
     pub concepts_per_hit: usize,
 }
 
-impl Default for DiscoverConfig {
-    fn default() -> Self {
+impl DiscoverConfig {
+    /// The documented baseline: 10 hits, signal weights 0.5 query /
+    /// 0.3 context / 0.2 graph, user profiles included, 3 key concepts
+    /// per preview.
+    pub fn defaults() -> Self {
         DiscoverConfig {
-            top_k: 10,
+            common: crate::config::CommonConfig::defaults(10),
             query_weight: 0.5,
             context_weight: 0.3,
             graph_weight: 0.2,
             include_users: true,
             concepts_per_hit: 3,
         }
+    }
+
+    /// Sets the number of hits to return.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.common.top_k = k;
+        self
+    }
+
+    /// Sets the activity-context construction parameters.
+    pub fn with_context(mut self, cfg: crate::context::ContextConfig) -> Self {
+        self.common.context = cfg;
+        self
+    }
+
+    /// Sets the query-match signal weight.
+    pub fn with_query_weight(mut self, w: f64) -> Self {
+        self.query_weight = w;
+        self
+    }
+
+    /// Sets the context-similarity signal weight.
+    pub fn with_context_weight(mut self, w: f64) -> Self {
+        self.context_weight = w;
+        self
+    }
+
+    /// Sets the graph-activation signal weight.
+    pub fn with_graph_weight(mut self, w: f64) -> Self {
+        self.graph_weight = w;
+        self
+    }
+
+    /// Includes or excludes user profiles among results.
+    pub fn with_include_users(mut self, yes: bool) -> Self {
+        self.include_users = yes;
+        self
+    }
+
+    /// Sets the number of key concepts extracted per preview.
+    pub fn with_concepts_per_hit(mut self, n: usize) -> Self {
+        self.concepts_per_hit = n;
+        self
+    }
+}
+
+impl Default for DiscoverConfig {
+    fn default() -> Self {
+        Self::defaults()
     }
 }
 
@@ -205,7 +264,7 @@ pub fn search(
             .total_cmp(&a.score)
             .then_with(|| a.resource.cmp(&b.resource))
     });
-    hits.truncate(cfg.top_k);
+    hits.truncate(cfg.common.top_k);
     // Generate previews only for returned hits (lazy, per the perf guide).
     let context_terms: Vec<&str> = ctx.terms.iter().map(String::as_str).collect();
     let query_terms: Vec<&str> = query.split_whitespace().collect();
@@ -366,7 +425,7 @@ mod tests {
             &kn,
             &ctx,
             "tensor",
-            DiscoverConfig { include_users: false, ..Default::default() },
+            DiscoverConfig::defaults().with_include_users(false),
         );
         assert!(without.iter().all(|h| !matches!(h.resource, Resource::User(_))));
         assert!(with.len() >= without.len());
@@ -382,7 +441,7 @@ mod tests {
             &kn,
             &ctx,
             "tensor",
-            DiscoverConfig { top_k: 2, ..Default::default() },
+            DiscoverConfig::defaults().with_top_k(2),
         );
         assert!(hits.len() <= 2);
         for w in hits.windows(2) {

@@ -46,6 +46,7 @@ pub mod api;
 pub mod clock;
 pub mod collab;
 pub mod communities;
+pub mod config;
 pub mod context;
 pub mod db;
 pub mod discover;

@@ -37,11 +37,19 @@ pub enum PeerStrategy {
     EvidenceOnly,
 }
 
-/// Peer recommendation parameters.
+/// Peer recommendation parameters. Build with [`PeerRecConfig::defaults`]
+/// and the chainable `with_*` setters:
+///
+/// ```
+/// use hive_core::peers::{PeerRecConfig, PeerStrategy};
+/// let cfg = PeerRecConfig::defaults().with_top_k(3).with_strategy(PeerStrategy::PprOnly);
+/// assert_eq!(cfg.common.top_k, 3);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct PeerRecConfig {
-    /// Number of peers to return.
-    pub top_k: usize,
+    /// Shared result-count / context fields (`common.top_k` = peers to
+    /// return, paper default 5: "Hive proposes five other researchers").
+    pub common: crate::config::CommonConfig,
     /// Weight of the PPR signal in the blend (evidence gets `1 - w`).
     pub ppr_weight: f64,
     /// Candidate pool size taken from the PPR ranking before evidence
@@ -55,16 +63,67 @@ pub struct PeerRecConfig {
     pub damping: f64,
 }
 
-impl Default for PeerRecConfig {
-    fn default() -> Self {
+impl PeerRecConfig {
+    /// The documented baseline: 5 peers, 0.6 PPR weight over a
+    /// 25-candidate pool, blended strategy, 3 sessions per peer,
+    /// damping 0.85.
+    pub fn defaults() -> Self {
         PeerRecConfig {
-            top_k: 5,
+            common: crate::config::CommonConfig::defaults(5),
             ppr_weight: 0.6,
             candidate_pool: 25,
             strategy: PeerStrategy::Blend,
             sessions_per_peer: 3,
             damping: 0.85,
         }
+    }
+
+    /// Sets the number of peers to return.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.common.top_k = k;
+        self
+    }
+
+    /// Sets the activity-context construction parameters.
+    pub fn with_context(mut self, cfg: crate::context::ContextConfig) -> Self {
+        self.common.context = cfg;
+        self
+    }
+
+    /// Sets the PPR weight in the blend.
+    pub fn with_ppr_weight(mut self, w: f64) -> Self {
+        self.ppr_weight = w;
+        self
+    }
+
+    /// Sets the PPR candidate pool size.
+    pub fn with_candidate_pool(mut self, n: usize) -> Self {
+        self.candidate_pool = n;
+        self
+    }
+
+    /// Sets the blending strategy.
+    pub fn with_strategy(mut self, s: PeerStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Sets how many sessions are predicted per recommended peer.
+    pub fn with_sessions_per_peer(mut self, n: usize) -> Self {
+        self.sessions_per_peer = n;
+        self
+    }
+
+    /// Sets the PPR damping factor.
+    pub fn with_damping(mut self, d: f64) -> Self {
+        self.damping = d;
+        self
+    }
+}
+
+impl Default for PeerRecConfig {
+    fn default() -> Self {
+        Self::defaults()
     }
 }
 
@@ -123,7 +182,7 @@ pub fn recommend_peers(
         .filter(|(u, _)| *u != user && !connected.contains(u))
         .collect();
     candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    candidates.truncate(cfg.candidate_pool.max(cfg.top_k));
+    candidates.truncate(cfg.candidate_pool.max(cfg.common.top_k));
     let max_ppr = candidates
         .first()
         .map(|(_, s)| *s)
@@ -152,7 +211,7 @@ pub fn recommend_peers(
             .total_cmp(&a.score)
             .then_with(|| a.user.cmp(&b.user))
     });
-    scored.truncate(cfg.top_k);
+    scored.truncate(cfg.common.top_k);
     let predicted = par_map(&scored, |rec| {
         predict_sessions(db, kn, rec.user, cfg.sessions_per_peer)
     });
@@ -309,7 +368,7 @@ mod tests {
                 &kn,
                 users[0],
                 &ctx,
-                PeerRecConfig { strategy: strat, ..Default::default() },
+                PeerRecConfig::defaults().with_strategy(strat),
             );
             assert!(!recs.is_empty(), "{strat:?} returns results");
             for w in recs.windows(2) {
@@ -340,7 +399,7 @@ mod tests {
             &kn,
             users[0],
             &ctx,
-            PeerRecConfig { top_k: 1, ..Default::default() },
+            PeerRecConfig::defaults().with_top_k(1),
         );
         assert_eq!(recs.len(), 1);
     }

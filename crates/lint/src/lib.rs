@@ -23,6 +23,12 @@
 //!   `thread::Builder` outside `crates/par`; all concurrency goes
 //!   through the deterministic `hive-par` pool so parallel output stays
 //!   bit-identical to serial.
+//! * **R7 `instrumented-facade`** — every `pub fn` of the service
+//!   facade (`crates/core/src/api.rs`) routes through the instrumented
+//!   `Hive::service(..)` / `Hive::service_mut(..)` choke point, so no
+//!   Table-1 service can silently bypass the hive-obs span/counter
+//!   layer; construction and cache plumbing (`new`, `db`, `db_mut`,
+//!   `knowledge`, the choke points themselves) are exempt.
 //!
 //! Matching runs on *lexed* source: a minimal Rust lexer first blanks
 //! `//` and `/* */` comments, string and char literals, and
@@ -72,6 +78,8 @@ pub mod rules {
     pub const FORBID_UNSAFE: &str = "forbid-unsafe";
     /// R6: raw thread primitives are forbidden outside `crates/par`.
     pub const NO_RAW_THREADS: &str = "no-raw-threads";
+    /// R7: facade services must route through `Hive::service(..)`.
+    pub const INSTRUMENTED_FACADE: &str = "instrumented-facade";
 }
 
 /// Lexed view of one source file: the original text with comments,
@@ -428,6 +436,95 @@ pub fn check_lib_root(file: &str, source: &str) -> Vec<Diagnostic> {
     }]
 }
 
+/// Char offset of `pat` in `chars` at or after `from`, if any.
+fn find_sub(chars: &[char], from: usize, pat: &str) -> Option<usize> {
+    let matches_at =
+        |i: usize| pat.chars().enumerate().all(|(k, pc)| chars.get(i + k) == Some(&pc));
+    (from..chars.len()).find(|&i| matches_at(i))
+}
+
+/// Facade functions exempt from R7: construction and cache plumbing
+/// that runs no Table-1 service, plus the choke points themselves.
+const FACADE_EXEMPT: &[&str] = &["new", "db", "db_mut", "knowledge", "service", "service_mut"];
+
+/// Runs R7 over the service facade: every `pub fn` body (in masked
+/// source, so tests and doc examples never fire) must contain a
+/// `self.service(` or `self.service_mut(` call, unless the function is
+/// named in [`FACADE_EXEMPT`] or waived with
+/// `// lint:allow(instrumented-facade)`.
+pub fn check_facade(file: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let chars: Vec<char> = lexed.masked.chars().collect();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = find_sub(&chars, from, "pub fn ") {
+        // Ident boundary: don't fire inside e.g. `repub fn`-like text.
+        if at > 0 && is_ident_char(chars[at - 1]) {
+            from = at + 1;
+            continue;
+        }
+        let line = chars[..at].iter().filter(|&&c| c == '\n').count() + 1;
+        let mut j = at + "pub fn ".len();
+        while j < chars.len() && chars[j].is_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < chars.len() && is_ident_char(chars[j]) {
+            j += 1;
+        }
+        let name: String = chars[name_start..j].iter().collect();
+        // Body start: the first `{` of the item; a `;` first means a
+        // body-less declaration (trait method), which R7 skips.
+        let mut body_start = None;
+        while j < chars.len() {
+            match chars[j] {
+                '{' => {
+                    body_start = Some(j);
+                    break;
+                }
+                ';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = body_start else {
+            from = j.max(at + 1);
+            continue;
+        };
+        let mut depth = 0;
+        let mut k = open;
+        while k < chars.len() {
+            match chars[k] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let body: String = chars[open..k.min(chars.len())].iter().collect();
+        let routed = body.contains("self.service(") || body.contains("self.service_mut(");
+        if !routed
+            && !FACADE_EXEMPT.contains(&name.as_str())
+            && !lexed.allows(rules::INSTRUMENTED_FACADE, line)
+        {
+            out.push(Diagnostic {
+                rule: rules::INSTRUMENTED_FACADE,
+                file: file.to_string(),
+                line,
+                message: format!(
+                    "`pub fn {name}` does not route through `Hive::service(..)` / `Hive::service_mut(..)`"
+                ),
+            });
+        }
+        from = k.max(at + 1);
+    }
+    out
+}
+
 /// Runs R1 over a manifest: every entry of a dependency section must be
 /// a workspace path dep (`path = ...` or `workspace = true`).
 pub fn check_manifest(file: &str, contents: &str) -> Vec<Diagnostic> {
@@ -521,13 +618,15 @@ pub fn check_manifest(file: &str, contents: &str) -> Vec<Diagnostic> {
 
 /// Crates whose non-test code must be panic-free (R2).
 const PANIC_FREE_CRATES: &[&str] =
-    &["store", "graph", "text", "scent", "concept", "core", "sim-harness"];
+    &["store", "graph", "text", "scent", "concept", "core", "obs", "sim-harness"];
 /// Crates exempt from R4 — printing is their purpose.
 const IO_EXEMPT_CRATES: &[&str] = &["bench", "lint", "sim-harness"];
 /// The one file allowed to read the wall clock.
 const CLOCK_FILE: &str = "crates/core/src/clock.rs";
 /// The one crate allowed to touch raw thread primitives (R6).
 const THREAD_CRATE: &str = "par";
+/// The service facade checked by R7.
+const FACADE_FILE: &str = "crates/core/src/api.rs";
 
 /// Recursively collects `.rs` files under `dir`.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -598,6 +697,9 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
                 no_raw_threads: threads_checked,
             };
             out.extend(check_source(&file, &source, which));
+            if file == FACADE_FILE {
+                out.extend(check_facade(&file, &source));
+            }
         }
         let mut benches = Vec::new();
         rust_files(&crate_dir.join("benches"), &mut benches)?;

@@ -1,8 +1,8 @@
-//! Fixture tests: one deliberate violation per rule R1-R6, asserting
+//! Fixture tests: one deliberate violation per rule R1-R7, asserting
 //! the exact rule id, file label, and line of each diagnostic, plus a
 //! `lint:allow` escape-hatch case that must stay silent.
 
-use hive_lint::{check_lib_root, check_manifest, check_source, rules, SourceRules};
+use hive_lint::{check_facade, check_lib_root, check_manifest, check_source, rules, SourceRules};
 
 const ALL_SOURCE_RULES: SourceRules = SourceRules {
     no_panic: true,
@@ -78,6 +78,26 @@ fn r6_no_raw_threads_fires_on_spawn_and_scope() {
     assert_eq!(threads[1].line, 10, "the thread::scope call");
     assert!(threads[0].message.contains("hive-par"));
     assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn r7_instrumented_facade_fires_on_unrouted_services() {
+    let src = include_str!("fixtures/r7_facade_fail.rs");
+    let diags = check_facade("fixtures/r7_facade_fail.rs", src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert_eq!(diags[0].rule, rules::INSTRUMENTED_FACADE);
+    assert_eq!(diags[0].file, "fixtures/r7_facade_fail.rs");
+    assert_eq!(diags[0].line, 4, "the direct-search entry");
+    assert!(diags[0].message.contains("search"));
+    assert_eq!(diags[1].line, 8, "the direct-check-in entry");
+    assert!(diags[1].message.contains("check_in"));
+}
+
+#[test]
+fn r7_instrumented_facade_passes_routed_exempt_and_waived_fns() {
+    let src = include_str!("fixtures/r7_facade_pass.rs");
+    let diags = check_facade("fixtures/r7_facade_pass.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 #[test]

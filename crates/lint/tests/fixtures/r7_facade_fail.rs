@@ -1,0 +1,11 @@
+//! R7 fixture (fail): service entries that bypass the instrumented
+//! choke point and hit the substrate directly.
+impl Hive {
+    pub fn search(&self, user: UserId, query: &str) -> Vec<SearchHit> {
+        discover::search(&self.db, query)
+    }
+
+    pub fn check_in(&mut self, user: UserId, session: SessionId) -> Result<()> {
+        self.db.check_in(user, session)
+    }
+}

@@ -1,0 +1,25 @@
+//! R7 fixture (pass): every service entry routes through the
+//! instrumented choke point; plumbing names and a `lint:allow` waiver
+//! stay silent.
+impl Hive {
+    pub fn new(db: HiveDb) -> Self {
+        Hive { db }
+    }
+
+    pub fn db(&self) -> &HiveDb {
+        &self.db
+    }
+
+    pub fn search(&self, user: UserId, query: &str) -> Vec<SearchHit> {
+        self.service(ServiceKind::Search, |h| discover::search(&h.db, query))
+    }
+
+    pub fn check_in(&mut self, user: UserId, session: SessionId) -> Result<()> {
+        self.service_mut(ServiceKind::CheckIn, |h| h.db.check_in(user, session))
+    }
+
+    // lint:allow(instrumented-facade)
+    pub fn raw_probe(&self) -> usize {
+        self.db.user_ids().len()
+    }
+}

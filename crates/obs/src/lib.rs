@@ -1,0 +1,477 @@
+//! # hive-obs — deterministic observability for the Hive platform
+//!
+//! A zero-registry-dependency metrics/tracing substrate: hierarchical
+//! spans with enter/exit timing, named counters, and fixed-bucket
+//! latency histograms, keyed by [`ServiceKind`] — the paper's Table 1
+//! service inventory. Everything the layer records derives from the
+//! platform's **logical clock** (ticks, never wall time — lint rule R3
+//! holds here too), so two runs of the same seeded workload produce
+//! **byte-identical** reports, and an obs-on run returns bit-identical
+//! query results to an obs-off run (the observer-effect contract; see
+//! `tests/obs_determinism.rs`).
+//!
+//! Recording is per-thread: each thread owns a [`Registry`] and the
+//! deterministic workload drivers are single-threaded, so reports never
+//! depend on scheduling. Counters recorded *inside* `hive-par` pool
+//! workers are harvested by the pool via [`drain_counters`] /
+//! [`merge_counters`] and folded into the caller's registry — counter
+//! sums are order-independent, so parallel runs report the same counts
+//! as serial runs.
+//!
+//! The recording level comes from the `HIVE_OBS` environment variable
+//! (read once): `off` (default, near-zero overhead), `counts`
+//! (counters only), or `full` (counters + spans + histograms). Tests
+//! use [`with_level`] for a scoped, thread-local override instead of
+//! mutating the environment.
+//!
+//! ```
+//! use hive_obs as obs;
+//! obs::with_level(obs::Level::Full, || {
+//!     obs::reset();
+//!     let t = obs::service_enter(obs::ServiceKind::Search, 10);
+//!     obs::count("store.pattern_scan", 3);
+//!     obs::service_exit(obs::ServiceKind::Search, t, 12);
+//!     let report = obs::report_text();
+//!     assert!(report.contains("search"));
+//!     assert!(report.contains("store.pattern_scan"));
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+
+pub use registry::{Histogram, Registry, ServiceStats, SpanStats, BUCKET_LABELS, N_BUCKETS};
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// How much the layer records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Record nothing (the default; every hook is a cheap no-op).
+    #[default]
+    Off,
+    /// Counters and per-service call counts only.
+    Counts,
+    /// Counters, hierarchical spans, and latency histograms.
+    Full,
+}
+
+impl Level {
+    /// Parses a `HIVE_OBS` value; anything unrecognized is `Off`.
+    pub fn parse(s: &str) -> Level {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "counts" => Level::Counts,
+            "full" => Level::Full,
+            _ => Level::Off,
+        }
+    }
+
+    /// Stable label (`off` / `counts` / `full`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Counts => "counts",
+            Level::Full => "full",
+        }
+    }
+}
+
+/// The paper's Table 1 service inventory, one variant per instrumented
+/// facade entry-point family. [`ServiceKind::table1_group`] maps each
+/// back to its Table 1 row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceKind {
+    /// Concept-map bootstrapping from user documents (§2.1).
+    ConceptBootstrap,
+    /// Activity-context construction (active workpad + history).
+    ActivityContext,
+    /// Contextualized peer recommendation (§2.4).
+    PeerRecommendation,
+    /// Content-profile peer similarity.
+    SimilarPeers,
+    /// Session-attendance prediction per peer.
+    SessionPrediction,
+    /// Connection request/response management.
+    ConnectionManagement,
+    /// Follow relationships and follow filters.
+    FollowManagement,
+    /// Context-aware search (§2.3).
+    Search,
+    /// Pure contextual resource recommendation.
+    ResourceRecommendation,
+    /// Collaborative-filtering recommendations.
+    CollaborativeFiltering,
+    /// Relationship discovery and explanation (Figure 2).
+    RelationshipExplanation,
+    /// Community discovery over the social layers.
+    CommunityDiscovery,
+    /// Context-biased extractive summarization.
+    Summarization,
+    /// Scheduled, size-constrained update reports.
+    UpdateReport,
+    /// Trending sessions / rising topics.
+    Trends,
+    /// Real-time update feeds, highlights, digests, tickers.
+    Feed,
+    /// Activity-history search.
+    HistorySearch,
+    /// Bucketed activity timelines.
+    Timeline,
+    /// Question asking and answering.
+    QuestionAnswering,
+    /// Session check-ins.
+    CheckIn,
+    /// Workpad curation and collection exchange.
+    Workpad,
+    /// Content registration (users, papers, presentations, slides).
+    Ingest,
+    /// Engagement events (comments, tweets, views, attendance).
+    Engagement,
+    /// Platform administration (clock advancement).
+    Admin,
+}
+
+impl ServiceKind {
+    /// Every kind, in declaration order.
+    pub const ALL: &'static [ServiceKind] = &[
+        ServiceKind::ConceptBootstrap,
+        ServiceKind::ActivityContext,
+        ServiceKind::PeerRecommendation,
+        ServiceKind::SimilarPeers,
+        ServiceKind::SessionPrediction,
+        ServiceKind::ConnectionManagement,
+        ServiceKind::FollowManagement,
+        ServiceKind::Search,
+        ServiceKind::ResourceRecommendation,
+        ServiceKind::CollaborativeFiltering,
+        ServiceKind::RelationshipExplanation,
+        ServiceKind::CommunityDiscovery,
+        ServiceKind::Summarization,
+        ServiceKind::UpdateReport,
+        ServiceKind::Trends,
+        ServiceKind::Feed,
+        ServiceKind::HistorySearch,
+        ServiceKind::Timeline,
+        ServiceKind::QuestionAnswering,
+        ServiceKind::CheckIn,
+        ServiceKind::Workpad,
+        ServiceKind::Ingest,
+        ServiceKind::Engagement,
+        ServiceKind::Admin,
+    ];
+
+    /// Stable kebab-case label used as the report/JSON key.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceKind::ConceptBootstrap => "concept-bootstrap",
+            ServiceKind::ActivityContext => "activity-context",
+            ServiceKind::PeerRecommendation => "peer-recommendation",
+            ServiceKind::SimilarPeers => "similar-peers",
+            ServiceKind::SessionPrediction => "session-prediction",
+            ServiceKind::ConnectionManagement => "connection-management",
+            ServiceKind::FollowManagement => "follow-management",
+            ServiceKind::Search => "search",
+            ServiceKind::ResourceRecommendation => "resource-recommendation",
+            ServiceKind::CollaborativeFiltering => "collaborative-filtering",
+            ServiceKind::RelationshipExplanation => "relationship-explanation",
+            ServiceKind::CommunityDiscovery => "community-discovery",
+            ServiceKind::Summarization => "summarization",
+            ServiceKind::UpdateReport => "update-report",
+            ServiceKind::Trends => "trends",
+            ServiceKind::Feed => "feed",
+            ServiceKind::HistorySearch => "history-search",
+            ServiceKind::Timeline => "timeline",
+            ServiceKind::QuestionAnswering => "question-answering",
+            ServiceKind::CheckIn => "check-in",
+            ServiceKind::Workpad => "workpad",
+            ServiceKind::Ingest => "ingest",
+            ServiceKind::Engagement => "engagement",
+            ServiceKind::Admin => "admin",
+        }
+    }
+
+    /// The Table 1 row this service belongs to (content/registration
+    /// plumbing that Table 1 implies but does not list is grouped under
+    /// `content-and-platform`).
+    pub fn table1_group(self) -> &'static str {
+        match self {
+            ServiceKind::ConceptBootstrap | ServiceKind::ActivityContext => {
+                "concept-map-and-personalization"
+            }
+            ServiceKind::PeerRecommendation
+            | ServiceKind::SimilarPeers
+            | ServiceKind::SessionPrediction
+            | ServiceKind::ConnectionManagement
+            | ServiceKind::FollowManagement => "peer-network-services",
+            ServiceKind::Search
+            | ServiceKind::ResourceRecommendation
+            | ServiceKind::CollaborativeFiltering
+            | ServiceKind::RelationshipExplanation
+            | ServiceKind::CommunityDiscovery
+            | ServiceKind::Summarization
+            | ServiceKind::UpdateReport
+            | ServiceKind::Trends => "discovery-recommendation-preview",
+            ServiceKind::HistorySearch | ServiceKind::Timeline => "personal-activity-history",
+            ServiceKind::Feed
+            | ServiceKind::QuestionAnswering
+            | ServiceKind::CheckIn
+            | ServiceKind::Workpad
+            | ServiceKind::Ingest
+            | ServiceKind::Engagement
+            | ServiceKind::Admin => "content-and-platform",
+        }
+    }
+}
+
+/// Opaque handle returned by [`service_enter`] / [`span_enter`] and
+/// consumed by the matching exit call. Carries the span-stack depth so
+/// a missed exit (panic unwound past it) cannot corrupt later spans.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanToken {
+    depth: Option<usize>,
+}
+
+impl SpanToken {
+    /// A token that records nothing on exit.
+    pub const NONE: SpanToken = SpanToken { depth: None };
+}
+
+fn env_level() -> Level {
+    static ENV: OnceLock<Level> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("HIVE_OBS").map(|v| Level::parse(&v)).unwrap_or(Level::Off)
+    })
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::new(env_level()));
+}
+
+/// Runs `f` with mutable access to this thread's registry. Recording is
+/// best-effort and panic-free: a re-entrant borrow (impossible in the
+/// current call graph, but cheap to guard) silently skips the record.
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> Option<R> {
+    REGISTRY.with(|cell| cell.try_borrow_mut().ok().map(|mut r| f(&mut r)))
+}
+
+/// The active recording level on this thread.
+pub fn level() -> Level {
+    with_registry(|r| r.level()).unwrap_or(Level::Off)
+}
+
+/// Sets the recording level for this thread (the `hive-par` pool uses
+/// this to propagate the caller's level into scoped workers).
+pub fn set_level(level: Level) {
+    with_registry(|r| r.set_level(level));
+}
+
+/// Runs `f` with the level pinned on this thread, restoring the
+/// previous level afterwards (panic-safe). The canonical test hook.
+pub fn with_level<R>(new: Level, f: impl FnOnce() -> R) -> R {
+    struct Restore(Level);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_level(self.0);
+        }
+    }
+    let prev = level();
+    set_level(new);
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Clears every recorded value on this thread (level is kept). Call at
+/// deployment start so reports describe exactly one platform lifetime.
+pub fn reset() {
+    with_registry(Registry::clear);
+}
+
+/// Adds `delta` to the named counter. No-op at `Level::Off`.
+pub fn count(name: &str, delta: u64) {
+    with_registry(|r| r.count(name, delta));
+}
+
+/// Opens a service span: bumps the per-service call counter (`counts`
+/// and up) and pushes a span frame stamped with the logical-clock tick
+/// `now` (`full` only). Pair with [`service_exit`].
+pub fn service_enter(kind: ServiceKind, now: u64) -> SpanToken {
+    with_registry(|r| r.service_enter(kind, now)).unwrap_or(SpanToken::NONE)
+}
+
+/// Closes a service span opened by [`service_enter`], recording the
+/// tick duration into the service's histogram and the span tree.
+pub fn service_exit(kind: ServiceKind, token: SpanToken, now: u64) {
+    with_registry(|r| r.span_exit_at(token.depth, Some(kind), now));
+}
+
+/// Opens a plain hierarchical span (internal phases like a knowledge
+/// network rebuild). Records only at `Level::Full`.
+pub fn span_enter(label: &'static str, now: u64) -> SpanToken {
+    with_registry(|r| r.span_enter(label, now)).unwrap_or(SpanToken::NONE)
+}
+
+/// Closes a span opened by [`span_enter`].
+pub fn span_exit(token: SpanToken, now: u64) {
+    with_registry(|r| r.span_exit_at(token.depth, None, now));
+}
+
+/// Takes (and clears) this thread's named counters. Pool workers call
+/// this at the end of their run so the pool can fold worker-side counts
+/// back into the caller's registry.
+pub fn drain_counters() -> Vec<(String, u64)> {
+    with_registry(Registry::drain_counters).unwrap_or_default()
+}
+
+/// Adds a batch of drained counters into this thread's registry.
+/// Addition commutes, so merge order (worker scheduling) cannot affect
+/// the totals.
+pub fn merge_counters(items: &[(String, u64)]) {
+    with_registry(|r| {
+        for (name, delta) in items {
+            r.count(name, *delta);
+        }
+    });
+}
+
+/// A deep copy of this thread's registry (for assertions and renders).
+pub fn snapshot() -> Registry {
+    with_registry(|r| r.clone()).unwrap_or_default()
+}
+
+/// The stable, sorted plain-text report of this thread's registry.
+pub fn report_text() -> String {
+    snapshot().render_report()
+}
+
+/// The stable, sorted JSON report of this thread's registry.
+pub fn report_json() -> String {
+    snapshot().render_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("full"), Level::Full);
+        assert_eq!(Level::parse(" Counts "), Level::Counts);
+        assert_eq!(Level::parse("off"), Level::Off);
+        assert_eq!(Level::parse("banana"), Level::Off);
+        assert_eq!(Level::Full.label(), "full");
+    }
+
+    #[test]
+    fn every_kind_has_unique_label_and_a_group() {
+        let mut labels: Vec<&str> = ServiceKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort();
+        let n = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), n, "labels must be unique");
+        for k in ServiceKind::ALL {
+            assert!(!k.table1_group().is_empty());
+        }
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        with_level(Level::Off, || {
+            reset();
+            count("x", 3);
+            let t = service_enter(ServiceKind::Search, 0);
+            service_exit(ServiceKind::Search, t, 5);
+            let snap = snapshot();
+            assert!(snap.is_empty());
+            assert!(snap.render_report().contains("no data recorded"));
+        });
+    }
+
+    #[test]
+    fn counts_level_skips_spans() {
+        with_level(Level::Counts, || {
+            reset();
+            let t = service_enter(ServiceKind::Search, 0);
+            count("store.pattern_scan", 2);
+            service_exit(ServiceKind::Search, t, 7);
+            let snap = snapshot();
+            assert_eq!(snap.service(ServiceKind::Search).map(|s| s.calls), Some(1));
+            assert!(snap.spans().next().is_none(), "no spans at counts level");
+            assert_eq!(snap.counter("store.pattern_scan"), 2);
+        });
+    }
+
+    #[test]
+    fn full_level_builds_a_span_tree() {
+        with_level(Level::Full, || {
+            reset();
+            let outer = service_enter(ServiceKind::Search, 10);
+            let inner = span_enter("kn-build", 10);
+            span_exit(inner, 13);
+            service_exit(ServiceKind::Search, outer, 14);
+            let snap = snapshot();
+            let spans: Vec<(String, SpanStats)> =
+                snap.spans().map(|(p, s)| (p.to_string(), *s)).collect();
+            assert_eq!(spans.len(), 2);
+            assert_eq!(spans[0].0, "search");
+            assert_eq!(spans[0].1.ticks, 4);
+            assert_eq!(spans[1].0, "search/kn-build");
+            assert_eq!(spans[1].1.ticks, 3);
+            let svc = snap.service(ServiceKind::Search).copied().unwrap_or_default();
+            assert_eq!(svc.calls, 1);
+            assert_eq!(svc.ticks, 4);
+        });
+    }
+
+    #[test]
+    fn reports_are_stable_and_sorted() {
+        let render = || {
+            with_level(Level::Full, || {
+                reset();
+                count("zeta", 1);
+                count("alpha", 2);
+                let t = service_enter(ServiceKind::Timeline, 0);
+                service_exit(ServiceKind::Timeline, t, 1);
+                (report_text(), report_json())
+            })
+        };
+        let (t1, j1) = render();
+        let (t2, j2) = render();
+        assert_eq!(t1, t2);
+        assert_eq!(j1, j2);
+        let alpha = t1.find("alpha").unwrap();
+        let zeta = t1.find("zeta").unwrap();
+        assert!(alpha < zeta, "counters sorted by name");
+        assert!(hive_json::Json::parse(&j1).is_ok(), "json report parses");
+    }
+
+    #[test]
+    fn drained_counters_merge_commutatively() {
+        with_level(Level::Counts, || {
+            reset();
+            count("a", 1);
+            let drained = drain_counters();
+            assert_eq!(drained, vec![("a".to_string(), 1)]);
+            assert_eq!(snapshot().counter("a"), 0, "drain clears");
+            merge_counters(&[("a".to_string(), 2), ("b".to_string(), 5)]);
+            merge_counters(&[("b".to_string(), 1)]);
+            assert_eq!(snapshot().counter("a"), 2);
+            assert_eq!(snapshot().counter("b"), 6);
+        });
+    }
+
+    #[test]
+    fn unbalanced_exits_are_harmless() {
+        with_level(Level::Full, || {
+            reset();
+            let t = span_enter("only", 0);
+            span_exit(t, 1);
+            // A second exit with the same token must not underflow.
+            span_exit(t, 2);
+            span_exit(SpanToken::NONE, 3);
+            assert_eq!(snapshot().spans().count(), 1);
+        });
+    }
+}

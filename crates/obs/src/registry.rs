@@ -1,0 +1,351 @@
+//! The per-thread metric store: counters, per-service stats, span tree.
+
+use crate::{Level, ServiceKind, SpanToken};
+use hive_json::Json;
+use std::collections::BTreeMap;
+
+/// Number of fixed histogram buckets.
+pub const N_BUCKETS: usize = 8;
+
+/// Human-readable tick ranges of the fixed buckets, in order.
+pub const BUCKET_LABELS: [&str; N_BUCKETS] =
+    ["0", "1", "2", "3-4", "5-8", "9-16", "17-32", "33+"];
+
+/// A fixed-bucket histogram over logical-tick durations. The bucket
+/// layout is compiled in (never data-dependent), so two runs of the
+/// same workload fill identical buckets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Histogram {
+    /// Records one duration (in ticks).
+    pub fn record(&mut self, ticks: u64) {
+        let idx = match ticks {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3..=4 => 3,
+            5..=8 => 4,
+            9..=16 => 5,
+            17..=32 => 6,
+            _ => 7,
+        };
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+    }
+
+    /// The bucket counts, ordered as [`BUCKET_LABELS`].
+    pub fn buckets(&self) -> &[u64; N_BUCKETS] {
+        &self.buckets
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    fn render(&self) -> String {
+        let cells: Vec<String> = self.buckets.iter().map(u64::to_string).collect();
+        format!("[{}]", cells.join(","))
+    }
+}
+
+/// Aggregated per-service statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Completed + in-flight invocations (bumped at enter).
+    pub calls: u64,
+    /// Total logical ticks spent inside the service span (`full` only).
+    pub ticks: u64,
+    /// Latency histogram over per-call tick durations (`full` only).
+    pub hist: Histogram,
+}
+
+/// Aggregated statistics for one span-tree path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Total logical ticks across those spans.
+    pub ticks: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    path: String,
+    enter: u64,
+}
+
+/// One thread's recorded observability state. Obtain a copy of the
+/// active registry with [`crate::snapshot`]; render it with
+/// [`Registry::render_report`] / [`Registry::render_json`] — both are
+/// stable and sorted, so tests can assert on them byte-exactly.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    level: Level,
+    counters: BTreeMap<String, u64>,
+    services: BTreeMap<ServiceKind, ServiceStats>,
+    spans: BTreeMap<String, SpanStats>,
+    stack: Vec<Frame>,
+}
+
+impl Registry {
+    /// A fresh registry recording at `level`.
+    pub fn new(level: Level) -> Self {
+        Registry { level, ..Registry::default() }
+    }
+
+    /// The active recording level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Changes the recording level (existing data is kept).
+    pub fn set_level(&mut self, level: Level) {
+        self.level = level;
+    }
+
+    /// Drops every recorded value, keeping the level.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.services.clear();
+        self.spans.clear();
+        self.stack.clear();
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.services.is_empty() && self.spans.is_empty()
+    }
+
+    /// Adds `delta` to a named counter (no-op at `Level::Off`).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        if self.level == Level::Off || delta == 0 {
+            return;
+        }
+        let slot = match self.counters.get_mut(name) {
+            Some(v) => v,
+            None => self.counters.entry(name.to_string()).or_insert(0),
+        };
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// The current value of a named counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sorted iterator over the named counters.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Stats recorded for one service, if any.
+    pub fn service(&self, kind: ServiceKind) -> Option<&ServiceStats> {
+        self.services.get(&kind)
+    }
+
+    /// Iterator over `(kind, stats)` for every touched service.
+    pub fn services(&self) -> impl Iterator<Item = (ServiceKind, &ServiceStats)> {
+        self.services.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Sorted iterator over the aggregated span tree.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, &SpanStats)> {
+        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Takes (and clears) the named counters as sorted pairs.
+    pub fn drain_counters(&mut self) -> Vec<(String, u64)> {
+        std::mem::take(&mut self.counters).into_iter().collect()
+    }
+
+    /// Opens a service span (see [`crate::service_enter`]).
+    pub fn service_enter(&mut self, kind: ServiceKind, now: u64) -> SpanToken {
+        if self.level == Level::Off {
+            return SpanToken::NONE;
+        }
+        self.services.entry(kind).or_default().calls += 1;
+        self.push_frame(kind.label(), now)
+    }
+
+    /// Opens a plain span (see [`crate::span_enter`]).
+    pub fn span_enter(&mut self, label: &'static str, now: u64) -> SpanToken {
+        if self.level != Level::Full {
+            return SpanToken::NONE;
+        }
+        self.push_frame(label, now)
+    }
+
+    fn push_frame(&mut self, label: &'static str, now: u64) -> SpanToken {
+        if self.level != Level::Full {
+            return SpanToken::NONE;
+        }
+        let path = match self.stack.last() {
+            Some(parent) => format!("{}/{label}", parent.path),
+            None => label.to_string(),
+        };
+        self.stack.push(Frame { path, enter: now });
+        SpanToken { depth: Some(self.stack.len() - 1) }
+    }
+
+    /// Closes the span opened at stack depth `depth`, attributing its
+    /// tick duration to the span tree (and, when `kind` is given, to
+    /// that service's histogram). Stale or `NONE` tokens are ignored;
+    /// abandoned child frames above `depth` are discarded unrecorded.
+    pub fn span_exit_at(&mut self, depth: Option<usize>, kind: Option<ServiceKind>, now: u64) {
+        let Some(depth) = depth else { return };
+        if depth >= self.stack.len() {
+            return;
+        }
+        self.stack.truncate(depth + 1);
+        let Some(frame) = self.stack.pop() else { return };
+        let ticks = now.saturating_sub(frame.enter);
+        let agg = self.spans.entry(frame.path).or_default();
+        agg.count += 1;
+        agg.ticks = agg.ticks.saturating_add(ticks);
+        if let Some(kind) = kind {
+            let svc = self.services.entry(kind).or_default();
+            svc.ticks = svc.ticks.saturating_add(ticks);
+            svc.hist.record(ticks);
+        }
+    }
+
+    /// Renders the stable, sorted plain-text report: services (by
+    /// label), then span paths, then counters — each section omitted
+    /// when empty.
+    pub fn render_report(&self) -> String {
+        let mut out = format!("hive-obs report (level={})\n", self.level.label());
+        if self.is_empty() {
+            out.push_str("(no data recorded)\n");
+            return out;
+        }
+        let mut services: Vec<(&'static str, ServiceKind, &ServiceStats)> =
+            self.services.iter().map(|(k, v)| (k.label(), *k, v)).collect();
+        services.sort_by(|a, b| a.0.cmp(b.0));
+        if !services.is_empty() {
+            out.push_str("services:\n");
+            for (label, _kind, stats) in &services {
+                if stats.hist.is_empty() {
+                    out.push_str(&format!("  {label:<28} calls={}\n", stats.calls));
+                } else {
+                    out.push_str(&format!(
+                        "  {label:<28} calls={:<6} ticks={:<8} hist={}\n",
+                        stats.calls,
+                        stats.ticks,
+                        stats.hist.render()
+                    ));
+                }
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for (path, s) in &self.spans {
+                out.push_str(&format!("  {path:<40} count={:<6} ticks={}\n", s.count, s.ticks));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<40} = {v}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the same snapshot as sorted JSON (via `hive-json`).
+    pub fn render_json(&self) -> String {
+        let int = |v: u64| Json::Int(v.min(i64::MAX as u64) as i64);
+        let mut services: Vec<(&'static str, ServiceKind, &ServiceStats)> =
+            self.services.iter().map(|(k, v)| (k.label(), *k, v)).collect();
+        services.sort_by(|a, b| a.0.cmp(b.0));
+        let services_json = Json::Obj(
+            services
+                .into_iter()
+                .map(|(label, kind, s)| {
+                    (
+                        label.to_string(),
+                        Json::Obj(vec![
+                            ("group".to_string(), Json::Str(kind.table1_group().to_string())),
+                            ("calls".to_string(), int(s.calls)),
+                            ("ticks".to_string(), int(s.ticks)),
+                            (
+                                "hist".to_string(),
+                                Json::Arr(s.hist.buckets().iter().map(|&b| int(b)).collect()),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let spans_json = Json::Obj(
+            self.spans
+                .iter()
+                .map(|(path, s)| {
+                    (
+                        path.clone(),
+                        Json::Obj(vec![
+                            ("count".to_string(), int(s.count)),
+                            ("ticks".to_string(), int(s.ticks)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let counters_json =
+            Json::Obj(self.counters.iter().map(|(k, v)| (k.clone(), int(*v))).collect());
+        Json::Obj(vec![
+            ("level".to_string(), Json::Str(self.level.label().to_string())),
+            ("services".to_string(), services_json),
+            ("spans".to_string(), spans_json),
+            ("counters".to_string(), counters_json),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_all_ticks() {
+        let mut h = Histogram::default();
+        for t in [0u64, 1, 2, 3, 4, 5, 8, 9, 16, 17, 32, 33, 1_000_000] {
+            h.record(t);
+        }
+        assert_eq!(h.buckets().iter().sum::<u64>(), 13);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[3], 2, "3 and 4 share a bucket");
+        assert_eq!(h.buckets()[7], 2, "33+ is the overflow bucket");
+    }
+
+    #[test]
+    fn registry_counts_and_renders() {
+        let mut r = Registry::new(Level::Full);
+        r.count("b", 2);
+        r.count("a", 1);
+        let t = r.service_enter(ServiceKind::Search, 5);
+        r.span_exit_at(t.depth, Some(ServiceKind::Search), 9);
+        let text = r.render_report();
+        assert!(text.contains("search"));
+        assert!(text.contains("calls=1"));
+        let json = r.render_json();
+        let parsed = hive_json::Json::parse(&json).expect("valid json");
+        assert!(matches!(parsed, Json::Obj(_)));
+        // Off-level registries refuse counts.
+        let mut off = Registry::new(Level::Off);
+        off.count("a", 1);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_level() {
+        let mut r = Registry::new(Level::Counts);
+        r.count("a", 1);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.level(), Level::Counts);
+    }
+}

@@ -127,6 +127,70 @@ fn pin_serial() {
     OVERRIDE.with(|c| c.set(Some(1)));
 }
 
+/// Carries the caller's observability level into scoped workers and
+/// collects the named counters they record, so per-operation counts
+/// (store scans inside a `par_map` closure, say) survive the scope
+/// join. Only counters are harvested: counter merge is a commutative
+/// sum, so totals are identical for any worker count or chunk
+/// scheduling — spans opened inside workers stay worker-local and are
+/// deliberately dropped.
+struct ObsHarvest {
+    level: hive_obs::Level,
+    sink: Mutex<Vec<(String, u64)>>,
+}
+
+impl ObsHarvest {
+    fn new() -> Self {
+        ObsHarvest { level: hive_obs::level(), sink: Mutex::new(Vec::new()) }
+    }
+
+    /// Called inside a fresh worker thread, after [`pin_serial`].
+    fn enter_worker(&self) {
+        hive_obs::set_level(self.level);
+    }
+
+    /// Called as the worker finishes: drains its thread-local counters
+    /// into the shared sink.
+    fn exit_worker(&self) {
+        if self.level == hive_obs::Level::Off {
+            return;
+        }
+        let drained = hive_obs::drain_counters();
+        if drained.is_empty() {
+            return;
+        }
+        match self.sink.lock() {
+            Ok(mut g) => g.extend(drained),
+            Err(poisoned) => poisoned.into_inner().extend(drained),
+        }
+    }
+
+    /// Called on the caller thread after the scope join: folds every
+    /// harvested counter back into the caller's registry.
+    fn merge(self) {
+        if self.level == hive_obs::Level::Off {
+            return;
+        }
+        let pairs = unlock(self.sink);
+        hive_obs::merge_counters(&pairs);
+    }
+}
+
+/// Records the shared entry counters for one pool primitive: the call
+/// itself, items submitted, fixed chunks dispatched, and the tail
+/// slack (how many item slots the last chunk leaves idle — the
+/// chunk-imbalance measure for a fixed layout).
+fn count_dispatch(primitive: &str, n_items: usize) {
+    hive_obs::count(&format!("par.{primitive}.calls"), 1);
+    hive_obs::count(&format!("par.{primitive}.items"), n_items as u64);
+    let chunks = chunk_count(n_items);
+    hive_obs::count("par.chunks", chunks as u64);
+    if chunks > 0 {
+        let slack = chunks * chunk_len(n_items) - n_items;
+        hive_obs::count("par.chunk_slack", slack as u64);
+    }
+}
+
 /// Applies `f` to every element, in parallel over fixed chunks, and
 /// returns the results in input order. Element results are independent,
 /// so output is identical for any worker count.
@@ -136,6 +200,7 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    count_dispatch("map", items.len());
     let t = threads();
     if t <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
@@ -143,14 +208,17 @@ where
     let chunks: Vec<&[T]> = items.chunks(chunk_len(items.len())).collect();
     let results: Vec<Mutex<Vec<U>>> = chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
+    let harvest = ObsHarvest::new();
     let f = &f;
     let chunks_ref = &chunks;
     let results_ref = &results;
     let next_ref = &next;
+    let harvest_ref = &harvest;
     thread::scope(|s| {
         for _ in 0..t.min(chunks.len()) {
             s.spawn(move || {
                 pin_serial();
+                harvest_ref.enter_worker();
                 loop {
                     let ci = next_ref.fetch_add(1, Ordering::Relaxed);
                     if ci >= chunks_ref.len() {
@@ -159,9 +227,11 @@ where
                     let out: Vec<U> = chunks_ref[ci].iter().map(f).collect();
                     lock_set(&results_ref[ci], out);
                 }
+                harvest_ref.exit_worker();
             });
         }
     });
+    harvest.merge();
     let mut out = Vec::with_capacity(items.len());
     for slot in results {
         out.extend(unlock(slot));
@@ -178,6 +248,7 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     let n = data.len();
+    count_dispatch("for_each_chunk", n);
     if n == 0 {
         return;
     }
@@ -190,12 +261,15 @@ where
         return;
     }
     let queue = Mutex::new(data.chunks_mut(chunk).enumerate());
+    let harvest = ObsHarvest::new();
     let f = &f;
     let queue = &queue;
+    let harvest_ref = &harvest;
     thread::scope(|s| {
         for _ in 0..t.min(chunk_count(n)) {
             s.spawn(move || {
                 pin_serial();
+                harvest_ref.enter_worker();
                 loop {
                     let job = match queue.lock() {
                         Ok(mut q) => q.next(),
@@ -206,9 +280,11 @@ where
                         None => break,
                     }
                 }
+                harvest_ref.exit_worker();
             });
         }
     });
+    harvest.merge();
 }
 
 /// Like [`par_for_each_chunk`] but each chunk also produces a value;
@@ -222,6 +298,7 @@ where
     F: Fn(usize, &mut [T]) -> U + Sync,
 {
     let n = data.len();
+    count_dispatch("map_chunks_mut", n);
     if n == 0 {
         return Vec::new();
     }
@@ -232,13 +309,16 @@ where
     }
     let slots: Vec<Mutex<Option<U>>> = (0..chunk_count(n)).map(|_| Mutex::new(None)).collect();
     let queue = Mutex::new(data.chunks_mut(chunk).enumerate());
+    let harvest = ObsHarvest::new();
     let f = &f;
     let queue = &queue;
     let slots_ref = &slots;
+    let harvest_ref = &harvest;
     thread::scope(|s| {
         for _ in 0..t.min(chunk_count(n)) {
             s.spawn(move || {
                 pin_serial();
+                harvest_ref.enter_worker();
                 loop {
                     let job = match queue.lock() {
                         Ok(mut q) => q.next(),
@@ -252,9 +332,11 @@ where
                         None => break,
                     }
                 }
+                harvest_ref.exit_worker();
             });
         }
     });
+    harvest.merge();
     slots.into_iter().filter_map(unlock).collect()
 }
 
@@ -272,6 +354,7 @@ where
     M: Fn(A, A) -> A,
 {
     let n = items.len();
+    count_dispatch("reduce", n);
     if n == 0 {
         return init();
     }
@@ -283,15 +366,18 @@ where
         let chunks: Vec<&[T]> = items.chunks(chunk).collect();
         let slots: Vec<Mutex<Option<A>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let harvest = ObsHarvest::new();
         let init = &init;
         let fold = &fold;
         let chunks = &chunks;
         let slots_ref = &slots;
         let next_ref = &next;
+        let harvest_ref = &harvest;
         thread::scope(|s| {
             for _ in 0..t.min(chunks.len()) {
                 s.spawn(move || {
                     pin_serial();
+                    harvest_ref.enter_worker();
                     loop {
                         let ci = next_ref.fetch_add(1, Ordering::Relaxed);
                         if ci >= chunks.len() {
@@ -300,9 +386,11 @@ where
                         let acc = chunks[ci].iter().fold(init(), fold);
                         lock_set(&slots_ref[ci], Some(acc));
                     }
+                    harvest_ref.exit_worker();
                 });
             }
         });
+        harvest.merge();
         slots.into_iter().filter_map(unlock).collect()
     };
     let mut iter = partials.into_iter();
@@ -331,34 +419,41 @@ where
     F: Fn(usize, usize, Range<usize>) + Sync,
     G: FnMut(usize) -> bool,
 {
+    count_dispatch("rounds", n_items);
     if max_rounds == 0 {
         return;
     }
     let chunk = chunk_len(n_items);
     let n_chunks = chunk_count(n_items);
     let t = threads();
+    let mut rounds_run: u64 = 0;
     if t <= 1 || n_chunks <= 1 {
         for r in 0..max_rounds {
             for ci in 0..n_chunks {
                 let start = ci * chunk;
                 step(r, ci, start..(start + chunk).min(n_items));
             }
+            rounds_run = r as u64 + 1;
             if !after(r) {
                 break;
             }
         }
+        hive_obs::count("par.rounds.rounds", rounds_run);
         return;
     }
     let workers = t.min(n_chunks);
     let barrier = Barrier::new(workers + 1);
     let stop = AtomicBool::new(false);
+    let harvest = ObsHarvest::new();
     let step = &step;
     let barrier_ref = &barrier;
     let stop_ref = &stop;
+    let harvest_ref = &harvest;
     thread::scope(|s| {
         for w in 0..workers {
             s.spawn(move || {
                 pin_serial();
+                harvest_ref.enter_worker();
                 for r in 0..max_rounds {
                     barrier_ref.wait();
                     if stop_ref.load(Ordering::Acquire) {
@@ -372,6 +467,7 @@ where
                     }
                     barrier_ref.wait();
                 }
+                harvest_ref.exit_worker();
             });
         }
         let mut executed = 0;
@@ -388,7 +484,10 @@ where
                 break;
             }
         }
+        rounds_run = executed as u64;
     });
+    harvest.merge();
+    hive_obs::count("par.rounds.rounds", rounds_run);
 }
 
 /// An `f64` cell with atomic load/store (bit-preserving, relaxed
@@ -585,6 +684,29 @@ mod tests {
             })
         });
         assert_eq!(out, (1..9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn worker_counters_are_harvested_across_thread_counts() {
+        let items: Vec<u64> = (0..300).collect();
+        let run = |t: usize| {
+            hive_obs::with_level(hive_obs::Level::Counts, || {
+                hive_obs::reset();
+                with_threads(t, || {
+                    par_map(&items, |&x| {
+                        hive_obs::count("test.work", 1);
+                        x
+                    })
+                });
+                let snap = hive_obs::snapshot();
+                let r = (snap.counter("test.work"), snap.counter("par.map.items"));
+                hive_obs::reset();
+                r
+            })
+        };
+        // Worker-side counts survive the scope join and match serial.
+        assert_eq!(run(1), (300, 300));
+        assert_eq!(run(4), (300, 300));
     }
 
     #[test]

@@ -143,8 +143,11 @@ impl SimHarness {
         SimHarness { cfg }
     }
 
-    /// Runs the full soak and reports.
+    /// Runs the full soak and reports. Observability is reset up front
+    /// so a run's `hive_obs::report_text()` reflects exactly this soak
+    /// and two equal-seed runs render byte-identical reports.
     pub fn run(&self) -> SoakReport {
+        hive_obs::reset();
         let cfg = self.cfg;
         // One master seed fans out into independent streams, so e.g.
         // changing the number of crash points cannot shift the

@@ -51,6 +51,9 @@ fn main() {
         let cfg = HarnessConfig { seed, ..base };
         let report = SimHarness::new(cfg).run();
         println!("{}", report.render());
+        if hive_obs::level() != hive_obs::Level::Off {
+            println!("{}", hive_obs::report_text());
+        }
         if !report.ok() {
             println!(
                 "reproduce with: cargo run -p hive-sim-harness -- --seed {} --steps {} --crashes {} --users {} --diff-every {}",

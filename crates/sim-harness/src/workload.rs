@@ -64,7 +64,7 @@ pub fn step(hive: &mut Hive, rng: &mut Rng, step_no: usize, stats: &mut Workload
     // Time always moves between operations so feeds, reports, and
     // trending windows see a spread-out history.
     let dt = rng.gen_range(1..4u64);
-    hive.db_mut().advance_clock(dt);
+    hive.advance_clock(dt);
     let roll = rng.gen_range(0..100u32);
     match roll {
         0..=4 => {
@@ -72,7 +72,7 @@ pub fn step(hive: &mut Hive, rng: &mut Rng, step_no: usize, stats: &mut Workload
             let name = format!("Sim Researcher {step_no}");
             let user = User::new(name, "Simulated Institute")
                 .with_interests(vec![topic_phrase(t, rng)]);
-            hive.db_mut().add_user(user);
+            hive.add_user(user);
             stats.applied += 1;
             "register"
         }
@@ -133,7 +133,7 @@ pub fn step(hive: &mut Hive, rng: &mut Rng, step_no: usize, stats: &mut Workload
             if let Some(v) = venue {
                 paper = paper.at_venue(v);
             }
-            stats.tally(hive.db_mut().add_paper(paper));
+            stats.tally(hive.add_paper(paper));
             "upload-paper"
         }
         44..=53 => {
@@ -180,7 +180,7 @@ pub fn step(hive: &mut Hive, rng: &mut Rng, step_no: usize, stats: &mut Workload
                 }
                 Some(pad) => {
                     let note = topic_phrase(topic(rng), rng);
-                    stats.tally(hive.db_mut().workpad_note(u, pad, note))
+                    stats.tally(hive.workpad_note(u, pad, note))
                 }
                 None => {
                     stats.tally(hive.create_workpad(u, format!("pad {step_no}").as_str()))
@@ -196,7 +196,7 @@ pub fn step(hive: &mut Hive, rng: &mut Rng, step_no: usize, stats: &mut Workload
                     match (pick_user(hive, rng), target) {
                         (Some(u), Some(t)) => {
                             let text = topic_phrase(topic(rng), rng);
-                            stats.tally(hive.db_mut().comment(u, t, text))
+                            stats.tally(hive.comment(u, t, text))
                         }
                         _ => stats.skip(),
                     }
@@ -205,14 +205,14 @@ pub fn step(hive: &mut Hive, rng: &mut Rng, step_no: usize, stats: &mut Workload
                     match (pick_user(hive, rng), hive.db().session_ids().choose(rng).copied()) {
                         (Some(u), Some(s)) => {
                             let text = topic_phrase(topic(rng), rng);
-                            stats.tally(hive.db_mut().post_tweet(Some(u), "@sim", text, s))
+                            stats.tally(hive.post_tweet(Some(u), "@sim", text, s))
                         }
                         _ => stats.skip(),
                     }
                 }
                 _ => {
                     match (pick_user(hive, rng), hive.db().paper_ids().choose(rng).copied()) {
-                        (Some(u), Some(p)) => stats.tally(hive.db_mut().view_paper(u, p)),
+                        (Some(u), Some(p)) => stats.tally(hive.view_paper(u, p)),
                         _ => stats.skip(),
                     }
                 }
@@ -222,7 +222,7 @@ pub fn step(hive: &mut Hive, rng: &mut Rng, step_no: usize, stats: &mut Workload
         78..=83 => {
             let confs: Vec<ConferenceId> = hive.db().conference_ids();
             match (pick_user(hive, rng), confs.choose(rng).copied()) {
-                (Some(u), Some(c)) => stats.tally(hive.db_mut().attend(u, c)),
+                (Some(u), Some(c)) => stats.tally(hive.attend(u, c)),
                 _ => stats.skip(),
             }
             "attend"

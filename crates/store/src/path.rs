@@ -125,6 +125,7 @@ impl PathQuery {
         store: &TripleStore,
         view: &GraphView,
     ) -> Result<Vec<RankedPath>, StoreError> {
+        hive_obs::count("store.path_query", 1);
         if self.source == self.target {
             return Err(StoreError::BadPathQuery("source equals target".into()));
         }

@@ -129,6 +129,7 @@ impl BgpQuery {
     /// Evaluates the query against `store`, returning all solutions sorted
     /// by descending score.
     pub fn evaluate(&self, store: &TripleStore) -> Vec<Solution> {
+        hive_obs::count("store.bgp_query", 1);
         let all_patterns: Vec<usize> = (0..self.patterns.len()).collect();
         let mut frontier = vec![(Binding::new(), 1.0f64, all_patterns)];
         let mut results = Vec::new();

@@ -326,6 +326,7 @@ impl TripleStore {
         p: Option<&Term>,
         o: Option<&Term>,
     ) -> impl Iterator<Item = StoredTriple> + 'a {
+        hive_obs::count("store.pattern_scan", 1);
         let ids = [
             s.map(|t| self.dict.get(t)),
             p.map(|t| self.dict.get(t)),

@@ -55,6 +55,7 @@ impl GraphView {
     /// weight-1.0 edges would otherwise cost 0 and let shortest-path
     /// search return zero-cost *walks* containing loops.
     pub fn build(store: &TripleStore) -> Self {
+        hive_obs::count("store.view.build", 1);
         let mut index: HashMap<TermId, u32> = HashMap::new();
         let mut nodes: Vec<TermId> = Vec::new();
         let mut per: Vec<Vec<ViewEdge>> = Vec::new();
@@ -95,7 +96,9 @@ impl GraphView {
     /// True while no mutation has touched `store` since this view was
     /// built — the cache-validity check.
     pub fn is_current(&self, store: &TripleStore) -> bool {
-        self.generation == store.generation()
+        let current = self.generation == store.generation();
+        hive_obs::count(if current { "store.view.hit" } else { "store.view.miss" }, 1);
+        current
     }
 
     /// Number of graph nodes (resources that take part in at least one

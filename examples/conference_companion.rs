@@ -29,7 +29,6 @@ fn main() {
         .expect("the simulator gives everyone a paper eventually — pick any");
     let session = hive.db().session_ids()[0];
     let pres = hive
-        .db_mut()
         .add_presentation(
             Presentation::new(my_paper, zach, session)
                 .with_slides("motivation; model; equation (with a typo); evaluation"),
@@ -64,7 +63,7 @@ fn main() {
 
     // --- Day 1: follow the keynote traffic, join a trending session --------
     let t0 = hive.db().now();
-    hive.db_mut().advance_clock(10);
+    hive.advance_clock(10);
     let followees = hive.db().following(zach);
     let graph_session = hive.db().session_ids()[1];
     for &f in followees.iter().take(2) {
@@ -85,7 +84,7 @@ fn main() {
         )
         .expect("valid");
     if let Some(&answerer) = followees.first() {
-        hive.db_mut().advance_clock(3);
+        hive.advance_clock(3);
         hive.answer_question(answerer, q, "lazily, with bounded staleness")
             .expect("valid");
     }
@@ -96,7 +95,7 @@ fn main() {
 
     // --- Break: a question on Zach's own talk; fix the typo ----------------
     let t1 = hive.db().now();
-    hive.db_mut().advance_clock(5);
+    hive.advance_clock(5);
     let asker = users[3];
     hive.ask_question(
         asker,
@@ -108,8 +107,7 @@ fn main() {
     for u in hive.updates_for(zach, t1) {
         println!("\n[break] {}", u.text);
     }
-    hive.db_mut()
-        .revise_slides(zach, pres, "motivation; model; equation (fixed); evaluation")
+    hive.revise_slides(zach, pres, "motivation; model; equation (fixed); evaluation")
         .expect("presenter");
     println!("[break] typo fixed (slides revision {})", hive.db().get_presentation(pres).unwrap().revision);
     // Thank the reporter and connect.

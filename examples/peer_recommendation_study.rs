@@ -23,7 +23,7 @@ fn main() {
     for strategy in [PeerStrategy::Blend, PeerStrategy::PprOnly, PeerStrategy::EvidenceOnly] {
         let recs = hive.recommend_peers(
             me,
-            PeerRecConfig { strategy, ..Default::default() },
+            PeerRecConfig::defaults().with_strategy(strategy),
         );
         let list: Vec<String> = recs
             .iter()
@@ -63,7 +63,7 @@ fn main() {
     );
     // Attend the same session and exchange a question/answer.
     let session = hive.db().session_ids()[0];
-    hive.db_mut().advance_clock(1);
+    hive.advance_clock(1);
     hive.check_in(me, session).expect("valid");
     hive.check_in(low, session).expect("valid");
     let q = hive

@@ -30,15 +30,14 @@ fn main() {
     for s in topic_sessions(0) {
         hive.workpad_add(me, pad_tensors, WorkpadItem::Session(s)).expect("valid");
     }
-    hive.db_mut()
-        .workpad_note(me, pad_tensors, "ask about sketch ensemble sizes")
+    hive.workpad_note(me, pad_tensors, "ask about sketch ensemble sizes")
         .expect("owner");
     let pad_graphs = hive.create_workpad(me, "graphs mindset").expect("valid");
     for s in topic_sessions(1) {
         hive.workpad_add(me, pad_graphs, WorkpadItem::Session(s)).expect("valid");
     }
 
-    let cfg = DiscoverConfig { top_k: 5, include_users: false, ..Default::default() };
+    let cfg = DiscoverConfig::defaults().with_top_k(5).with_include_users(false);
     for pad in [pad_tensors, pad_graphs] {
         hive.activate_workpad(me, pad).expect("owner");
         let pad_name = hive.db().get_workpad(pad).expect("exists").name.clone();
@@ -54,7 +53,7 @@ fn main() {
         for h in hive.recommend_resources(me, cfg).into_iter().take(3) {
             println!("  [{}] {}", h.resource.kind(), h.title);
         }
-        let peers = hive.recommend_peers(me, PeerRecConfig { top_k: 3, ..Default::default() });
+        let peers = hive.recommend_peers(me, PeerRecConfig::defaults().with_top_k(3));
         let names: Vec<String> = peers
             .iter()
             .map(|r| hive.db().get_user(r.user).expect("exists").name.clone())

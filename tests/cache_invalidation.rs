@@ -51,12 +51,12 @@ fn db_generation_bumps_on_content_mutations_only() {
     let mut hive = Hive::new(world.db);
     let g0 = hive.db().generation();
     let users = hive.db().user_ids();
-    hive.db_mut().follow(users[0], users[2]).unwrap();
+    hive.follow(users[0], users[2]).unwrap();
     let g1 = hive.db().generation();
     assert!(g1 > g0, "follow must bump the generation");
     let _ = hive.db().generation();
     assert_eq!(hive.db().generation(), g1, "reads must not bump the generation");
-    hive.db_mut().add_user(User::new("Newcomer", "ASU"));
+    hive.add_user(User::new("Newcomer", "ASU"));
     assert!(hive.db().generation() > g1, "add_user must bump the generation");
 }
 
@@ -69,7 +69,7 @@ fn explain_relationship_never_serves_a_stale_view() {
     // Warm the generation-keyed cache.
     let before = hive.explain_relationship(a, b);
     // Mutate: a now follows b (new edge + new evidence).
-    let followed = hive.db_mut().follow(a, b).is_ok();
+    let followed = hive.follow(a, b).is_ok();
     let after = hive.explain_relationship(a, b);
     if followed {
         assert!(

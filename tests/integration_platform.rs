@@ -72,7 +72,7 @@ fn connection_flow_updates_recommendations_and_feeds() {
     hive.follow(u, followee).expect("not following yet");
     let since = hive.db().now();
     let session = hive.db().session_ids()[0];
-    hive.db_mut().advance_clock(1);
+    hive.advance_clock(1);
     hive.check_in(followee, session).expect("valid session");
     let updates = hive.updates_for(u, since);
     assert!(
@@ -129,7 +129,7 @@ fn qa_broadcast_reaches_the_session_ticker() {
     let pres = hive.db().presentation_ids()[0];
     let session = hive.db().get_presentation(pres).unwrap().session;
     let since = hive.db().now();
-    hive.db_mut().advance_clock(1);
+    hive.advance_clock(1);
     let q = hive
         .ask_question(users[2], QaTarget::Presentation(pres), "why this decay?", true)
         .unwrap();
@@ -147,7 +147,7 @@ fn trends_and_highlights_follow_live_activity() {
     let users = hive.db().user_ids();
     let session = hive.db().session_ids()[0];
     let since = hive.db().now();
-    hive.db_mut().advance_clock(1);
+    hive.advance_clock(1);
     // A burst of activity on one session makes it trend.
     for &u in users.iter().take(6) {
         hive.check_in(u, session).expect("valid");

@@ -136,7 +136,6 @@ fn zach_scenario_end_to_end() {
 
     // "Before leaving for EDBT'13, Zach uploads his presentation slides."
     let pres = hive
-        .db_mut()
         .add_presentation(
             Presentation::new(ids.zach_edbt13, ids.zach, ids.my_session)
                 .with_slides("slide 1: model; slide 2: equation E = mc3 (typo); slide 3: results"),
@@ -172,7 +171,7 @@ fn zach_scenario_end_to_end() {
     // session on large scale graph processing."
     hive.follow(ids.zach, ids.aaron).unwrap();
     let since = hive.db().now();
-    hive.db_mut().advance_clock(2);
+    hive.advance_clock(2);
     hive.check_in(ids.aaron, ids.graph_session).unwrap();
     let updates = hive.updates_for(ids.zach, since);
     assert!(
@@ -197,7 +196,7 @@ fn zach_scenario_end_to_end() {
     // "There is already a question posted regarding the presentation he
     // had uploaded... he notices a typo and corrects the slide."
     let q_since = hive.db().now();
-    hive.db_mut().advance_clock(1);
+    hive.advance_clock(1);
     hive.ask_question(
         ids.ann,
         QaTarget::Presentation(pres),
@@ -207,8 +206,7 @@ fn zach_scenario_end_to_end() {
     .unwrap();
     let my_updates = hive.updates_for(ids.zach, q_since);
     assert!(my_updates.iter().any(|u| u.text.contains("your presentation")));
-    hive.db_mut()
-        .revise_slides(ids.zach, pres, "slide 2: equation E = mc2 (fixed)")
+    hive.revise_slides(ids.zach, pres, "slide 2: equation E = mc2 (fixed)")
         .unwrap();
     assert_eq!(hive.db().get_presentation(pres).unwrap().revision, 1);
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verify: offline build + tests + the hive-lint static-analysis
 # pass (R1 hermetic-deps, R2 no-panic-paths, R3 deterministic-time,
-# R4 no-stray-io, R5 forbid-unsafe). Everything must work with no
-# network access — the workspace has zero registry dependencies.
+# R4 no-stray-io, R5 forbid-unsafe, R6 no-raw-threads,
+# R7 instrumented-facade). Everything must work with no network access —
+# the workspace has zero registry dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
