@@ -1,0 +1,137 @@
+//! Bench regression gate: fails when any `*_speedup` metric in the
+//! merged `BENCH_hive.json` fell below 1.0 — a cache, an index, or a
+//! parallel path that now costs more than the baseline it claims to
+//! beat.
+//!
+//! Run: `bench_gate <BENCH_hive.json> [allowlist-file]` (normally
+//! invoked by `tools/bench.sh` right after `bench_merge`).
+//!
+//! Two escape hatches keep the gate honest instead of noisy:
+//!
+//! * the allowlist file names metrics (one `section/name` — or bare
+//!   `name` — per line, `#` comments) that are *expected* to sit below
+//!   1.0, e.g. known-serial configurations kept for comparison;
+//! * `*_t4_vs_t1_*` metrics are auto-exempt when the recorded
+//!   `host_threads` is below 4 — on a small host the pool clamps to the
+//!   hardware and a "4-thread" run measures the same serial execution
+//!   plus noise, so the ratio carries no signal.
+
+#![forbid(unsafe_code)]
+
+use hive_json::Json;
+use std::process::ExitCode;
+
+/// A speedup metric flattened out of the merged document.
+struct SpeedupMetric {
+    bench: String,
+    name: String, // "section/metric"
+    value: f64,
+}
+
+fn load_allowlist(path: &str) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read allowlist {path}: {e}"))?;
+    Ok(text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect())
+}
+
+fn allowlisted(metric: &SpeedupMetric, allowlist: &[String]) -> bool {
+    let bare = metric.name.rsplit('/').next().unwrap_or(&metric.name);
+    allowlist.iter().any(|a| a == &metric.name || a == bare)
+}
+
+/// Collects every `*_speedup` metric and the largest recorded
+/// `host_threads` out of the merged document.
+fn collect(doc: &Json) -> (Vec<SpeedupMetric>, f64) {
+    let mut speedups = Vec::new();
+    let mut host_threads: f64 = 0.0;
+    let Json::Obj(top) = doc else {
+        return (speedups, host_threads);
+    };
+    let benches = top.iter().find_map(|(k, v)| (k == "benches").then_some(v));
+    let Some(Json::Obj(benches)) = benches else {
+        return (speedups, host_threads);
+    };
+    for (bench, metrics) in benches {
+        let Json::Obj(metrics) = metrics else { continue };
+        for (name, value) in metrics {
+            let value = match value {
+                Json::Float(f) => *f,
+                Json::Int(i) => *i as f64,
+                _ => continue,
+            };
+            if name.ends_with("/host_threads") || name == "host_threads" {
+                host_threads = host_threads.max(value);
+            }
+            if name.contains("_speedup") {
+                speedups.push(SpeedupMetric {
+                    bench: bench.clone(),
+                    name: name.clone(),
+                    value,
+                });
+            }
+        }
+    }
+    (speedups, host_threads)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(bench_json) = args.next() else {
+        eprintln!("usage: bench_gate <BENCH_hive.json> [allowlist-file]");
+        return ExitCode::FAILURE;
+    };
+    let allowlist = match args.next().map(|p| load_allowlist(&p)) {
+        Some(Ok(a)) => a,
+        Some(Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+        None => Vec::new(),
+    };
+    let text = match std::fs::read_to_string(&bench_json) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {bench_json}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_gate: {bench_json} is not valid JSON: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (speedups, host_threads) = collect(&doc);
+    if speedups.is_empty() {
+        eprintln!("bench_gate: no *_speedup metrics found in {bench_json}");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for m in &speedups {
+        let label = format!("{}:{}", m.bench, m.name);
+        if m.value >= 1.0 {
+            println!("bench_gate: ok      {label} = {:.3}", m.value);
+        } else if allowlisted(m, &allowlist) {
+            println!("bench_gate: allowed {label} = {:.3} (allowlist)", m.value);
+        } else if m.name.contains("_t4_vs_t1_") && host_threads < 4.0 {
+            println!(
+                "bench_gate: exempt  {label} = {:.3} (host_threads = {host_threads}, needs >= 4)",
+                m.value
+            );
+        } else {
+            println!("bench_gate: FAIL    {label} = {:.3} < 1.0", m.value);
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        println!("bench_gate: {failures} speedup regression(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: all {} speedup metrics pass", speedups.len());
+    ExitCode::SUCCESS
+}

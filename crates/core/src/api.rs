@@ -46,17 +46,34 @@ use std::sync::Arc;
 /// Generation-stamped relationship-graph snapshot: the `rel:*` triple
 /// export of the knowledge network plus its [`hive_store::GraphView`]
 /// CSR adjacency, built once per database generation so repeated
-/// explanation queries skip both the export and the store scan.
+/// explanation queries skip both the export and the store scan. When
+/// the generation moves by patchable mutations only, the snapshot is
+/// delta-patched in place instead of rebuilt (see
+/// [`Hive::relationship_graph`]).
+#[derive(Clone)]
 struct RelSnapshot {
     generation: u64,
     store: hive_store::TripleStore,
     view: hive_store::GraphView,
 }
 
+/// The journaled mutation suffix since `since`, provided the whole
+/// window is patchable: the journal still covers it and no structural
+/// mutation (entity creation, content revision) occurred. Copied out so
+/// callers can patch cached structures while the borrow on the journal
+/// is released.
+fn patchable_deltas(db: &HiveDb, since: u64) -> Option<Vec<crate::db::DbDelta>> {
+    let deltas = db.deltas_since(since)?;
+    if deltas.iter().any(|d| matches!(d, crate::db::DbDelta::Structural)) {
+        return None;
+    }
+    Some(deltas.to_vec())
+}
+
 /// The Hive platform facade.
 pub struct Hive {
     db: HiveDb,
-    kn_cache: Mutex<Option<Arc<KnowledgeNetwork>>>,
+    kn_cache: Mutex<Option<(u64, Arc<KnowledgeNetwork>)>>,
     rel_cache: Mutex<Option<Arc<RelSnapshot>>>,
 }
 
@@ -71,28 +88,19 @@ impl Hive {
         &self.db
     }
 
-    /// Write access to the database; invalidates the derived knowledge
-    /// network and the relationship-graph snapshot. (The relationship
-    /// snapshot is additionally keyed by [`HiveDb::generation`], so even
-    /// a mutation that slipped past this method cannot serve stale
-    /// paths.)
+    /// Write access to the database. The derived caches (knowledge
+    /// network, relationship-graph snapshot) are generation-stamped and
+    /// delta-maintained, so mutations need no explicit invalidation:
+    /// the next knowledge-backed call consumes
+    /// [`HiveDb::deltas_since`] and patches the cached structures in
+    /// place (or rebuilds on structural change).
     ///
     /// Internal plumbing: external callers should use the typed
     /// mutation methods ([`Hive::add_user`], [`Hive::workpad_note`],
     /// [`Hive::advance_clock`], ...), which route through the
-    /// instrumented choke point and keep the cache coherent.
+    /// instrumented choke point.
     #[doc(hidden)]
     pub fn db_mut(&mut self) -> &mut HiveDb {
-        // A poisoned cache mutex only means a panic elsewhere mid-build;
-        // the cache is safely rebuildable, so recover the guard.
-        match self.kn_cache.get_mut() {
-            Ok(cache) => *cache = None,
-            Err(poisoned) => *poisoned.into_inner() = None,
-        }
-        match self.rel_cache.get_mut() {
-            Ok(cache) => *cache = None,
-            Err(poisoned) => *poisoned.into_inner() = None,
-        }
         &mut self.db
     }
 
@@ -118,35 +126,78 @@ impl Hive {
         out
     }
 
-    /// The current knowledge network (rebuilt if stale).
+    /// The current knowledge network.
+    ///
+    /// Three-tier maintenance, cheapest wins: a generation match is a
+    /// pure cache hit (`core.kn.hit`); a generation lag whose
+    /// [`HiveDb::deltas_since`] window is free of structural mutations
+    /// is patched in place in O(|delta|) (`core.kn.delta`) — bit-
+    /// identical to a cold rebuild because fresh builds replay the same
+    /// event sequence; anything else rebuilds (`core.kn.miss`).
     pub fn knowledge(&self) -> Arc<KnowledgeNetwork> {
         let mut guard = match self.kn_cache.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        if let Some(kn) = guard.as_ref() {
-            hive_obs::count("core.kn.hit", 1);
-            return Arc::clone(kn);
+        let generation = self.db.generation();
+        if let Some((cached_gen, kn)) = guard.as_mut() {
+            if *cached_gen == generation {
+                hive_obs::count("core.kn.hit", 1);
+                return Arc::clone(kn);
+            }
+            if let Some(patch) = patchable_deltas(&self.db, *cached_gen) {
+                let span = hive_obs::span_enter("kn-delta", self.db.now().ticks());
+                let net = Arc::make_mut(kn);
+                let w = crate::knowledge::FusionWeights::default();
+                let mut touched = false;
+                for d in &patch {
+                    touched |= !matches!(d, crate::db::DbDelta::Neutral);
+                    net.apply_delta(d, &w);
+                }
+                if touched {
+                    net.refresh_unified_csr();
+                }
+                hive_obs::span_exit(span, self.db.now().ticks());
+                *cached_gen = generation;
+                hive_obs::count("core.kn.delta", 1);
+                return Arc::clone(kn);
+            }
         }
         hive_obs::count("core.kn.miss", 1);
         let span = hive_obs::span_enter("kn-build", self.db.now().ticks());
         let kn = Arc::new(KnowledgeNetwork::build(&self.db));
         hive_obs::span_exit(span, self.db.now().ticks());
-        *guard = Some(Arc::clone(&kn));
+        *guard = Some((generation, Arc::clone(&kn)));
         kn
     }
 
-    /// The current relationship-graph snapshot, rebuilt when the
-    /// database generation moved past the cached one.
+    /// The current relationship-graph snapshot: generation hit, delta
+    /// patch (`core.rel.delta` — the triple export is extended with the
+    /// missed events, then the CSR view consumes the store's own delta
+    /// log), or full rebuild, in that order of preference.
     fn relationship_graph(&self, kn: &KnowledgeNetwork) -> Arc<RelSnapshot> {
         let mut guard = match self.rel_cache.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
         let generation = self.db.generation();
-        if let Some(snap) = guard.as_ref() {
+        if let Some(snap) = guard.as_mut() {
             if snap.generation == generation {
                 hive_obs::count("core.rel.hit", 1);
+                return Arc::clone(snap);
+            }
+            if let Some(patch) = patchable_deltas(&self.db, snap.generation) {
+                let span = hive_obs::span_enter("rel-delta", self.db.now().ticks());
+                let s = Arc::make_mut(snap);
+                for d in &patch {
+                    crate::knowledge::apply_rel_delta(&mut s.store, d);
+                }
+                if !s.view.apply_delta(&s.store) {
+                    s.view = hive_store::GraphView::build(&s.store);
+                }
+                s.generation = generation;
+                hive_obs::span_exit(span, self.db.now().ticks());
+                hive_obs::count("core.rel.delta", 1);
                 return Arc::clone(snap);
             }
         }

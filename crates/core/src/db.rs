@@ -11,6 +11,73 @@ use crate::ids::*;
 use crate::model::*;
 use std::collections::{HashMap, HashSet};
 
+/// Ring capacity of the mutation delta journal. A derived cache that
+/// falls further than this behind the database can no longer be patched
+/// and must rebuild.
+pub const DB_DELTA_LOG_CAP: usize = 4096;
+
+/// One database mutation, classified for delta cache maintenance.
+///
+/// Every generation bump appends exactly one `DbDelta`, so a derived
+/// cache stamped with generation `g` can ask [`HiveDb::deltas_since`]
+/// for the precise mutation suffix it missed. The patchable variants
+/// carry enough context to derive the knowledge-network and
+/// relationship-store edges without re-reading the database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbDelta {
+    /// No derived graph edge depends on this mutation (workpads, tweets,
+    /// answers, filters, ...): caches re-stamp and move on.
+    Neutral,
+    /// Entity creation or content revision: derived caches (content
+    /// vectors, concept maps, static graph layers) must rebuild.
+    Structural,
+    /// `follower` started following `followee`.
+    Follow {
+        /// The user who followed.
+        follower: UserId,
+        /// The user being followed.
+        followee: UserId,
+    },
+    /// A connection request was accepted (`a <= b`, pair-normalized).
+    Connect {
+        /// Smaller user id of the pair.
+        a: UserId,
+        /// Larger user id of the pair.
+        b: UserId,
+    },
+    /// `user` checked into `session`.
+    CheckIn {
+        /// The user who checked in.
+        user: UserId,
+        /// The session checked into.
+        session: SessionId,
+    },
+    /// `user` registered attendance at `conf` (first time only).
+    Attend {
+        /// The attendee.
+        user: UserId,
+        /// The conference edition.
+        conf: ConferenceId,
+    },
+    /// `author` asked a question in `session`; `paper` is set when the
+    /// question targeted a presentation.
+    Discuss {
+        /// The question author.
+        author: UserId,
+        /// The session hosting the discussion.
+        session: SessionId,
+        /// The presented paper, when the target was a presentation.
+        paper: Option<PaperId>,
+    },
+    /// `user` viewed `paper`.
+    ViewPaper {
+        /// The viewer.
+        user: UserId,
+        /// The viewed paper.
+        paper: PaperId,
+    },
+}
+
 /// The platform database.
 #[derive(Clone, Debug, Default)]
 pub struct HiveDb {
@@ -50,6 +117,13 @@ pub struct HiveDb {
     /// network, the relationship [`hive_store::GraphView`] — can detect
     /// staleness with one integer compare.
     generation: u64,
+    /// Delta journal: one entry per generation bump, so entry `i`
+    /// describes the mutation that moved the counter from
+    /// `delta_base + i` to `delta_base + i + 1`. Ring-capped at
+    /// [`DB_DELTA_LOG_CAP`]; `delta_base` tracks how many entries have
+    /// been compacted away.
+    deltas: Vec<DbDelta>,
+    delta_base: u64,
     // Secondary indexes.
     sessions_by_conf: HashMap<ConferenceId, Vec<SessionId>>,
     papers_by_author: HashMap<UserId, Vec<PaperId>>,
@@ -105,12 +179,78 @@ impl HiveDb {
         self.generation
     }
 
-    fn record(&mut self, user: UserId, event: ActivityEvent) {
-        self.generation += 1;
+    /// The sole generation bump site: advances the counter and journals
+    /// the classified delta, compacting the journal past its ring cap.
+    fn bump(&mut self, delta: DbDelta) {
+        self.generation += 1; // lint:allow(delta-log) -- the one legal bump
+        self.deltas.push(delta);
+        if self.deltas.len() > DB_DELTA_LOG_CAP {
+            let excess = self.deltas.len() - DB_DELTA_LOG_CAP;
+            self.deltas.drain(..excess);
+            self.delta_base += excess as u64;
+        }
+    }
+
+    /// The mutation deltas applied after generation `generation`, in
+    /// order, or `None` when that window has been compacted away (or
+    /// never existed) and the caller must rebuild.
+    pub fn deltas_since(&self, generation: u64) -> Option<&[DbDelta]> {
+        if generation > self.generation || generation < self.delta_base {
+            return None;
+        }
+        Some(&self.deltas[(generation - self.delta_base) as usize..])
+    }
+
+    fn record(&mut self, user: UserId, event: ActivityEvent, delta: DbDelta) {
+        self.bump(delta);
         let at = self.clock.now();
         let idx = self.log.len();
         self.log.push(ActivityRecord { user, event, at });
         self.log_by_user.entry(user).or_default().push(idx);
+    }
+
+    /// Classifies an activity record exactly as [`Self::record`] journals
+    /// it, resolving question targets through the current indexes.
+    fn classify(&self, rec: &ActivityRecord) -> Option<DbDelta> {
+        match rec.event {
+            ActivityEvent::Follow(followee) => {
+                Some(DbDelta::Follow { follower: rec.user, followee })
+            }
+            ActivityEvent::ConnectAccept(from) => {
+                let (a, b) = Self::pair_key(rec.user, from);
+                Some(DbDelta::Connect { a, b })
+            }
+            ActivityEvent::CheckIn(session) => {
+                Some(DbDelta::CheckIn { user: rec.user, session })
+            }
+            ActivityEvent::AttendConference(conf) => {
+                Some(DbDelta::Attend { user: rec.user, conf })
+            }
+            ActivityEvent::AskQuestion(q) => {
+                let question = self.get_question(q).ok()?;
+                let (session, paper) = match question.target {
+                    QaTarget::Presentation(p) => {
+                        let pres = self.get_presentation(p).ok()?;
+                        (pres.session, Some(pres.paper))
+                    }
+                    QaTarget::Session(s) => (s, None),
+                };
+                Some(DbDelta::Discuss { author: rec.user, session, paper })
+            }
+            ActivityEvent::ViewPaper(paper) => {
+                Some(DbDelta::ViewPaper { user: rec.user, paper })
+            }
+            _ => None,
+        }
+    }
+
+    /// The patchable graph events of the full activity log, in
+    /// chronological order. Fresh knowledge-network builds replay exactly
+    /// this sequence, so a cache patched with [`Self::deltas_since`]
+    /// converges on the same node interning, adjacency order, and float
+    /// accumulation order as a cold rebuild — bit for bit.
+    pub fn replay_deltas(&self) -> Vec<DbDelta> {
+        self.log.iter().filter_map(|rec| self.classify(rec)).collect()
     }
 
     // ---- entity creation ---------------------------------------------
@@ -119,7 +259,7 @@ impl HiveDb {
     pub fn add_user(&mut self, user: User) -> UserId {
         let id = UserId(self.users.len() as u32);
         self.users.push(user);
-        self.generation += 1;
+        self.bump(DbDelta::Structural);
         id
     }
 
@@ -127,7 +267,7 @@ impl HiveDb {
     pub fn add_conference(&mut self, conf: Conference) -> ConferenceId {
         let id = ConferenceId(self.conferences.len() as u32);
         self.conferences.push(conf);
-        self.generation += 1;
+        self.bump(DbDelta::Structural);
         id
     }
 
@@ -144,7 +284,7 @@ impl HiveDb {
             .or_default()
             .push(id);
         self.sessions.push(session);
-        self.generation += 1;
+        self.bump(DbDelta::Structural);
         Ok(id)
     }
 
@@ -173,7 +313,7 @@ impl HiveDb {
             self.cited_by.entry(c).or_default().push(id);
         }
         self.papers.push(paper);
-        self.generation += 1;
+        self.bump(DbDelta::Structural);
         Ok(id)
     }
 
@@ -199,7 +339,7 @@ impl HiveDb {
             .push(id);
         let presenter = pres.presenter;
         self.presentations.push(pres);
-        self.record(presenter, ActivityEvent::UploadPresentation(id));
+        self.record(presenter, ActivityEvent::UploadPresentation(id), DbDelta::Structural);
         Ok(id)
     }
 
@@ -319,7 +459,7 @@ impl HiveDb {
         self.get_user(user)?;
         self.get_conference(conf)?;
         if self.attendance.insert((user, conf)) {
-            self.record(user, ActivityEvent::AttendConference(conf));
+            self.record(user, ActivityEvent::AttendConference(conf), DbDelta::Attend { user, conf });
         }
         Ok(())
     }
@@ -362,7 +502,7 @@ impl HiveDb {
         self.checkins.push(CheckIn { user, session, at });
         self.checkin_by_user.entry(user).or_default().push(idx);
         self.checkin_by_session.entry(session).or_default().push(idx);
-        self.record(user, ActivityEvent::CheckIn(session));
+        self.record(user, ActivityEvent::CheckIn(session), DbDelta::CheckIn { user, session });
         Ok(())
     }
 
@@ -396,7 +536,7 @@ impl HiveDb {
         }
         let since = self.clock.now();
         self.follows.push(Follow { follower, followee, since });
-        self.record(follower, ActivityEvent::Follow(followee));
+        self.record(follower, ActivityEvent::Follow(followee), DbDelta::Follow { follower, followee });
         Ok(())
     }
 
@@ -424,7 +564,7 @@ impl HiveDb {
         } else {
             self.follow_filters.insert((follower, followee), categories);
         }
-        self.generation += 1;
+        self.bump(DbDelta::Neutral);
         Ok(())
     }
 
@@ -486,7 +626,7 @@ impl HiveDb {
                         requested_at: self.clock.now(),
                         resolved_at: None,
                     };
-                    self.record(from, ActivityEvent::ConnectRequest(to));
+                    self.record(from, ActivityEvent::ConnectRequest(to), DbDelta::Neutral);
                     return Ok(());
                 }
                 _ => return Err(HiveError::Conflict("connection already exists".into())),
@@ -501,7 +641,7 @@ impl HiveDb {
             resolved_at: None,
         });
         self.connection_index.insert(key, idx);
-        self.record(from, ActivityEvent::ConnectRequest(to));
+        self.record(from, ActivityEvent::ConnectRequest(to), DbDelta::Neutral);
         Ok(())
     }
 
@@ -529,10 +669,11 @@ impl HiveDb {
             conn.resolved_at = Some(now);
         }
         if accept {
-            self.record(to, ActivityEvent::ConnectAccept(from));
+            let (a, b) = Self::pair_key(from, to);
+            self.record(to, ActivityEvent::ConnectAccept(from), DbDelta::Connect { a, b });
         } else {
             // Declines don't log activity but still change state.
-            self.generation += 1;
+            self.bump(DbDelta::Neutral);
         }
         Ok(())
     }
@@ -601,7 +742,11 @@ impl HiveDb {
             broadcast,
         });
         self.questions_by_target.entry(target).or_default().push(id);
-        self.record(author, ActivityEvent::AskQuestion(id));
+        let paper = match target {
+            QaTarget::Presentation(p) => Some(self.get_presentation(p)?.paper),
+            QaTarget::Session(_) => None,
+        };
+        self.record(author, ActivityEvent::AskQuestion(id), DbDelta::Discuss { author, session, paper });
         if broadcast {
             let handle = format!("@{}", self.get_user(author)?.name.to_lowercase().replace(' ', "_"));
             self.post_tweet(Some(author), handle, text, session)?;
@@ -630,7 +775,7 @@ impl HiveDb {
             answered_at: self.clock.now(),
         });
         self.answers_by_question.entry(question).or_default().push(id);
-        self.record(author, ActivityEvent::AnswerQuestion(id));
+        self.record(author, ActivityEvent::AnswerQuestion(id), DbDelta::Neutral);
         Ok(id)
     }
 
@@ -655,7 +800,7 @@ impl HiveDb {
             commented_at: self.clock.now(),
         });
         self.comments_by_target.entry(target).or_default().push(id);
-        self.record(author, ActivityEvent::Comment(id));
+        self.record(author, ActivityEvent::Comment(id), DbDelta::Neutral);
         Ok(id)
     }
 
@@ -677,7 +822,7 @@ impl HiveDb {
             at: self.clock.now(),
         });
         self.tweets_by_session.entry(session).or_default().push(id);
-        self.generation += 1;
+        self.bump(DbDelta::Neutral);
         Ok(id)
     }
 
@@ -687,7 +832,7 @@ impl HiveDb {
     pub fn view_paper(&mut self, user: UserId, paper: PaperId) -> Result<()> {
         self.get_user(user)?;
         self.get_paper(paper)?;
-        self.record(user, ActivityEvent::ViewPaper(paper));
+        self.record(user, ActivityEvent::ViewPaper(paper), DbDelta::ViewPaper { user, paper });
         Ok(())
     }
 
@@ -695,7 +840,7 @@ impl HiveDb {
     pub fn view_presentation(&mut self, user: UserId, pres: PresentationId) -> Result<()> {
         self.get_user(user)?;
         self.get_presentation(pres)?;
-        self.record(user, ActivityEvent::ViewPresentation(pres));
+        self.record(user, ActivityEvent::ViewPresentation(pres), DbDelta::Neutral);
         Ok(())
     }
 
@@ -711,7 +856,7 @@ impl HiveDb {
             return Err(HiveError::Conflict("only the presenter can revise slides".into()));
         }
         self.presentations[pres.index()].revise(text);
-        self.record(user, ActivityEvent::ReviseSlides(pres));
+        self.record(user, ActivityEvent::ReviseSlides(pres), DbDelta::Structural);
         Ok(())
     }
 
@@ -723,10 +868,10 @@ impl HiveDb {
         let id = WorkpadId(self.workpads.len() as u32);
         self.workpads.push(Workpad::new(owner, name));
         self.workpads_by_user.entry(owner).or_default().push(id);
-        self.generation += 1;
+        self.bump(DbDelta::Neutral);
         if let std::collections::hash_map::Entry::Vacant(e) = self.active_workpad.entry(owner) {
             e.insert(id);
-            self.record(owner, ActivityEvent::ActivateWorkpad(id));
+            self.record(owner, ActivityEvent::ActivateWorkpad(id), DbDelta::Neutral);
         }
         Ok(id)
     }
@@ -760,7 +905,7 @@ impl HiveDb {
         if !self.workpads[pad.index()].add(item) {
             return Err(HiveError::Conflict("item already on workpad".into()));
         }
-        self.record(user, ActivityEvent::WorkpadAdd(pad));
+        self.record(user, ActivityEvent::WorkpadAdd(pad), DbDelta::Neutral);
         Ok(())
     }
 
@@ -776,7 +921,7 @@ impl HiveDb {
             return Err(HiveError::Conflict("not your workpad".into()));
         }
         let item = self.workpads[pad.index()].add_note(text);
-        self.record(user, ActivityEvent::WorkpadAdd(pad));
+        self.record(user, ActivityEvent::WorkpadAdd(pad), DbDelta::Neutral);
         Ok(item)
     }
 
@@ -794,7 +939,7 @@ impl HiveDb {
         if !self.workpads[pad.index()].remove(item) {
             return Err(HiveError::not_found("workpad item", format!("{item:?}")));
         }
-        self.generation += 1;
+        self.bump(DbDelta::Neutral);
         Ok(())
     }
 
@@ -807,7 +952,7 @@ impl HiveDb {
             return Err(HiveError::Conflict("not your workpad".into()));
         }
         self.active_workpad.insert(user, pad);
-        self.record(user, ActivityEvent::ActivateWorkpad(pad));
+        self.record(user, ActivityEvent::ActivateWorkpad(pad), DbDelta::Neutral);
         Ok(())
     }
 
@@ -825,7 +970,7 @@ impl HiveDb {
         let col = Collection::from_workpad(p);
         let id = CollectionId(self.collections.len() as u32);
         self.collections.push(col);
-        self.generation += 1;
+        self.bump(DbDelta::Neutral);
         Ok(id)
     }
 
@@ -842,7 +987,7 @@ impl HiveDb {
         }
         let id = CollectionId(self.collections.len() as u32);
         self.collections.push(col);
-        self.generation += 1;
+        self.bump(DbDelta::Neutral);
         Ok(id)
     }
 
@@ -857,7 +1002,7 @@ impl HiveDb {
         self.workpads.push(pad);
         self.workpads_by_user.entry(user).or_default().push(id);
         self.active_workpad.insert(user, id);
-        self.record(user, ActivityEvent::ActivateWorkpad(id));
+        self.record(user, ActivityEvent::ActivateWorkpad(id), DbDelta::Neutral);
         Ok(id)
     }
 
@@ -928,7 +1073,12 @@ impl HiveDb {
         db.active_workpad = snap.active_workpads.iter().copied().collect();
         db.log = snap.log.clone();
         db.rebuild_indexes()?;
+        // The restored platform starts a fresh delta journal: caches
+        // stamped against the pre-restore instance see `deltas_since`
+        // return `None` and rebuild from the restored state.
         db.generation = 1;
+        db.delta_base = 1;
+        db.deltas.clear();
         Ok(db)
     }
 
@@ -1354,6 +1504,89 @@ mod tests {
         let log_len = db.activity_log().len();
         let fresh = tiny_world().0.activity_log().len();
         assert_eq!(log_len, fresh, "failed operations never log activity");
+    }
+
+    #[test]
+    fn delta_journal_mirrors_every_generation_bump() {
+        let (mut db, users, conf, sessions, papers, pres) = tiny_world();
+        let g0 = db.generation();
+        assert_eq!(db.deltas_since(g0), Some(&[][..]));
+        // Every tiny_world mutation was journaled from generation 0.
+        assert_eq!(db.deltas_since(0).unwrap().len() as u64, g0);
+        db.follow(users[0], users[1]).unwrap();
+        db.attend(users[2], conf).unwrap();
+        db.check_in(users[0], sessions[0]).unwrap();
+        db.view_paper(users[1], papers[0]).unwrap();
+        db.ask_question(users[1], QaTarget::Presentation(pres), "why?", false).unwrap();
+        db.request_connection(users[0], users[2]).unwrap();
+        db.respond_connection(users[2], users[0], true).unwrap();
+        let suffix = db.deltas_since(g0).unwrap().to_vec();
+        assert_eq!(
+            suffix,
+            vec![
+                DbDelta::Follow { follower: users[0], followee: users[1] },
+                DbDelta::Attend { user: users[2], conf },
+                DbDelta::CheckIn { user: users[0], session: sessions[0] },
+                DbDelta::ViewPaper { user: users[1], paper: papers[0] },
+                DbDelta::Discuss {
+                    author: users[1],
+                    session: sessions[1],
+                    paper: Some(papers[0])
+                },
+                DbDelta::Neutral, // connection request
+                DbDelta::Connect { a: users[0], b: users[2] },
+            ]
+        );
+        // Duplicate attendance neither bumps nor journals.
+        let g1 = db.generation();
+        db.attend(users[2], conf).unwrap();
+        assert_eq!(db.generation(), g1);
+        // A future generation is unanswerable.
+        assert_eq!(db.deltas_since(g1 + 1), None);
+        // The replay view of the log agrees with the journal's patchable
+        // suffix (Neutral entries aside).
+        let replay = db.replay_deltas();
+        let patchable: Vec<DbDelta> = db
+            .deltas_since(0)
+            .unwrap()
+            .iter()
+            .copied()
+            .filter(|d| !matches!(d, DbDelta::Neutral | DbDelta::Structural))
+            .collect();
+        let replay_dynamic: Vec<DbDelta> = replay
+            .iter()
+            .copied()
+            .filter(|d| !matches!(d, DbDelta::Neutral | DbDelta::Structural))
+            .collect();
+        assert_eq!(replay_dynamic, patchable);
+    }
+
+    #[test]
+    fn delta_journal_compacts_past_the_cap() {
+        let (mut db, users, _, sessions, ..) = tiny_world();
+        let g0 = db.generation();
+        for _ in 0..(DB_DELTA_LOG_CAP + 10) {
+            db.check_in(users[0], sessions[0]).unwrap();
+        }
+        assert_eq!(db.deltas_since(g0), None, "window compacted away");
+        let recent = db.deltas_since(db.generation() - 5).unwrap();
+        assert_eq!(recent.len(), 5);
+        assert!(recent
+            .iter()
+            .all(|d| *d == DbDelta::CheckIn { user: users[0], session: sessions[0] }));
+    }
+
+    #[test]
+    fn restored_platform_starts_a_fresh_journal() {
+        let (db, users, ..) = tiny_world();
+        let snap = db.capture_snapshot();
+        let restored = HiveDb::restore_snapshot(&snap).unwrap();
+        assert_eq!(restored.generation(), 1);
+        assert_eq!(restored.deltas_since(1), Some(&[][..]));
+        assert_eq!(restored.deltas_since(0), None, "pre-restore stamps rebuild");
+        // Replay still sees the persisted activity log.
+        assert_eq!(restored.replay_deltas(), db.replay_deltas());
+        let _ = users;
     }
 
     #[test]

@@ -21,9 +21,8 @@
 //! * a weighted-RDF export ([`KnowledgeNetwork::to_store`]) for ranked
 //!   path queries (relationship explanation, Figure 2).
 
-use crate::db::HiveDb;
+use crate::db::{DbDelta, HiveDb};
 use crate::ids::{PaperId, PresentationId, SessionId, UserId};
-use crate::model::QaTarget;
 use hive_concept::{bootstrap_concept_map, AlignConfig, BootstrapConfig, ContextNetwork};
 use hive_graph::{CsrView, Graph};
 use hive_store::{Term, TripleStore};
@@ -148,24 +147,14 @@ impl KnowledgeNetwork {
     /// Predicates: `rel:connected`, `rel:follows`, `rel:coauthor`,
     /// `rel:cites`, `rel:authored`, `rel:presented_in`, `rel:checked_in`,
     /// `rel:discussed_in`, `rel:attended`, `rel:session_of`.
+    ///
+    /// The export is **static entities first, then a chronological
+    /// replay of the activity log** ([`HiveDb::replay_deltas`]). That
+    /// exact insertion sequence is what [`apply_rel_delta`] continues,
+    /// so a cached store patched with [`HiveDb::deltas_since`] ends up
+    /// byte-identical (term-id assignment included) to a fresh export.
     pub fn to_store(&self, db: &HiveDb) -> TripleStore {
         let mut st = TripleStore::new();
-        fn ins(st: &mut TripleStore, s: String, p: &str, o: String, w: f64) {
-            let w = w.clamp(f64::MIN_POSITIVE, 1.0);
-            // Weight is clamped into (0, 1] above and both positions are
-            // IRIs, so this cannot fail; ignore rather than panic.
-            let _ = st.insert(Term::iri(s), Term::iri(p), Term::iri(o), w);
-        }
-        for u in db.user_ids() {
-            for v in db.connections_of(u) {
-                if u < v {
-                    ins(&mut st, u.iri(), "rel:connected", v.iri(), 1.0);
-                }
-            }
-            for v in db.following(u) {
-                ins(&mut st, u.iri(), "rel:follows", v.iri(), 0.5);
-            }
-        }
         // Co-authorship with shared-paper counts.
         let mut coauth: HashMap<(UserId, UserId), f64> = HashMap::new();
         for p in db.paper_ids() {
@@ -205,48 +194,100 @@ impl KnowledgeNetwork {
         for s in db.session_ids() {
             let Ok(sess) = db.get_session(s) else { continue; };
             ins(&mut st, s.iri(), "rel:session_of", sess.conference.iri(), 0.8);
-            for ci in db.checkins_in(s) {
-                ins(&mut st, ci.user.iri(), "rel:checked_in", s.iri(), 0.9);
-            }
         }
-        for q in db.question_ids() {
-            let Ok(question) = db.get_question(q) else { continue; };
-            let session = match question.target {
-                QaTarget::Presentation(p) => match db.get_presentation(p) {
-                    Ok(pres) => pres.session,
-                    Err(_) => continue,
-                },
-                QaTarget::Session(s) => s,
-            };
-            ins(&mut st, question.author.iri(), "rel:discussed_in", session.iri(), 0.8);
-        }
-        for c in db.conference_ids() {
-            for u in db.attendees(c) {
-                ins(&mut st, u.iri(), "rel:attended", c.iri(), 0.6);
-            }
+        for d in db.replay_deltas() {
+            apply_rel_delta(&mut st, &d);
         }
         st
     }
+
+    /// Applies one patchable database delta to the dynamic layers in
+    /// place, with the same edge semantics (and insertion order) as a
+    /// fresh [`KnowledgeNetwork::build_with`] replay. Returns `false`
+    /// for [`DbDelta::Structural`] — the caller must rebuild. The static
+    /// layers (co-authorship, citation, content, concepts) never change
+    /// under patchable deltas.
+    ///
+    /// After a batch of applications, call
+    /// [`KnowledgeNetwork::refresh_unified_csr`] once to re-derive the
+    /// CSR snapshot.
+    pub fn apply_delta(&mut self, d: &DbDelta, w: &FusionWeights) -> bool {
+        match d {
+            DbDelta::Structural => false,
+            DbDelta::Neutral => true,
+            _ => {
+                apply_social_delta(&mut self.social, w, d);
+                apply_unified_delta(&mut self.unified, w, d);
+                true
+            }
+        }
+    }
+
+    /// Re-derives [`Self::unified_csr`] from [`Self::unified`]; call once
+    /// after a batch of [`Self::apply_delta`].
+    pub fn refresh_unified_csr(&mut self) {
+        self.unified_csr = CsrView::build(&self.unified);
+    }
 }
+
+fn ins(st: &mut TripleStore, s: String, p: &str, o: String, w: f64) {
+    let w = w.clamp(f64::MIN_POSITIVE, 1.0);
+    // Weight is clamped into (0, 1] above and both positions are
+    // IRIs, so this cannot fail; ignore rather than panic.
+    let _ = st.insert(Term::iri(s), Term::iri(p), Term::iri(o), w);
+}
+
+/// Applies one patchable delta to a `rel:*` triple export, continuing
+/// the insertion sequence of [`KnowledgeNetwork::to_store`]. Neutral and
+/// structural deltas are no-ops (the latter must trigger a rebuild —
+/// see [`KnowledgeNetwork::apply_delta`]).
+pub fn apply_rel_delta(st: &mut TripleStore, d: &DbDelta) {
+    match *d {
+        DbDelta::Connect { a, b } => ins(st, a.iri(), "rel:connected", b.iri(), 1.0),
+        DbDelta::Follow { follower, followee } => {
+            ins(st, follower.iri(), "rel:follows", followee.iri(), 0.5)
+        }
+        DbDelta::CheckIn { user, session } => {
+            ins(st, user.iri(), "rel:checked_in", session.iri(), 0.9)
+        }
+        DbDelta::Discuss { author, session, .. } => {
+            ins(st, author.iri(), "rel:discussed_in", session.iri(), 0.8)
+        }
+        DbDelta::Attend { user, conf } => ins(st, user.iri(), "rel:attended", conf.iri(), 0.6),
+        DbDelta::ViewPaper { .. } | DbDelta::Neutral | DbDelta::Structural => {}
+    }
+}
+
+// The dynamic layers are built as *static entities + chronological
+// activity-log replay* rather than per-category sweeps: the replay
+// sequence is exactly what `apply_*_delta` continues when a cached
+// network is patched forward, so patched and fresh builds share node
+// interning order, adjacency order, and float accumulation order —
+// making them bit-identical (the delta-vs-rebuild oracles rely on it).
 
 fn build_social(db: &HiveDb, w: &FusionWeights) -> Graph {
     let mut g = Graph::new();
     for u in db.user_ids() {
         g.add_node(u.iri());
     }
-    for u in db.user_ids() {
-        for v in db.connections_of(u) {
-            if u < v {
-                let (a, b) = (g.add_node(u.iri()), g.add_node(v.iri()));
-                g.add_undirected_edge(a, b, w.connection);
-            }
-        }
-        for v in db.following(u) {
-            let (a, b) = (g.add_node(u.iri()), g.add_node(v.iri()));
-            g.add_edge(a, b, w.follow);
-        }
+    for d in db.replay_deltas() {
+        apply_social_delta(&mut g, w, &d);
     }
     g
+}
+
+fn apply_social_delta(g: &mut Graph, w: &FusionWeights, d: &DbDelta) {
+    match *d {
+        DbDelta::Connect { a, b } => {
+            let (na, nb) = (g.add_node(a.iri()), g.add_node(b.iri()));
+            g.add_undirected_edge(na, nb, w.connection);
+        }
+        DbDelta::Follow { follower, followee } => {
+            let (na, nb) = (g.add_node(follower.iri()), g.add_node(followee.iri()));
+            g.add_edge(na, nb, w.follow);
+        }
+        _ => {}
+    }
 }
 
 fn build_coauthor(db: &HiveDb, w: &FusionWeights) -> Graph {
@@ -302,23 +343,6 @@ fn build_unified(db: &HiveDb, w: &FusionWeights) -> Graph {
     for c in db.conference_ids() {
         g.add_node(c.iri());
     }
-    for u in db.user_ids() {
-        for v in db.connections_of(u) {
-            if u < v {
-                und(&mut g, u.iri(), v.iri(), w.connection);
-            }
-        }
-        for v in db.following(u) {
-            und(&mut g, u.iri(), v.iri(), w.follow);
-        }
-        for ci in db.checkins_of(u) {
-            let session = ci.session;
-            und(&mut g, u.iri(), session.iri(), w.checkin);
-        }
-        for c in db.conferences_of(u) {
-            und(&mut g, u.iri(), c.iri(), w.attendance);
-        }
-    }
     for p in db.paper_ids() {
         let Ok(paper) = db.get_paper(p).cloned() else { continue; };
         for (i, &a) in paper.authors.iter().enumerate() {
@@ -340,27 +364,31 @@ fn build_unified(db: &HiveDb, w: &FusionWeights) -> Graph {
             let conf = session.conference;
         und(&mut g, s.iri(), conf.iri(), w.attendance);
     }
-    for q in db.question_ids() {
-        let Ok(question) = db.get_question(q).cloned() else { continue; };
-        match question.target {
-            QaTarget::Presentation(p) => {
-                let Ok(pres) = db.get_presentation(p) else { continue; };
-                let (session, paper) = (pres.session, pres.paper);
-                und(&mut g, question.author.iri(), session.iri(), w.discussion);
-                und(&mut g, question.author.iri(), paper.iri(), w.view);
-            }
-            QaTarget::Session(s) => {
-                und(&mut g, question.author.iri(), s.iri(), w.discussion);
-            }
-        }
-    }
-    // Browsing views from the activity log.
-    for rec in db.activity_log().to_vec() {
-        if let crate::model::ActivityEvent::ViewPaper(p) = rec.event {
-            und(&mut g, rec.user.iri(), p.iri(), w.view);
-        }
+    // Dynamic edges (connections, follows, check-ins, attendance,
+    // discussions, browsing views) replay from the activity log.
+    for d in db.replay_deltas() {
+        apply_unified_delta(&mut g, w, &d);
     }
     g
+}
+
+fn apply_unified_delta(g: &mut Graph, w: &FusionWeights, d: &DbDelta) {
+    match *d {
+        DbDelta::Connect { a, b } => und(g, a.iri(), b.iri(), w.connection),
+        DbDelta::Follow { follower, followee } => {
+            und(g, follower.iri(), followee.iri(), w.follow)
+        }
+        DbDelta::CheckIn { user, session } => und(g, user.iri(), session.iri(), w.checkin),
+        DbDelta::Attend { user, conf } => und(g, user.iri(), conf.iri(), w.attendance),
+        DbDelta::Discuss { author, session, paper } => {
+            und(g, author.iri(), session.iri(), w.discussion);
+            if let Some(p) = paper {
+                und(g, author.iri(), p.iri(), w.view);
+            }
+        }
+        DbDelta::ViewPaper { user, paper } => und(g, user.iri(), paper.iri(), w.view),
+        DbDelta::Neutral | DbDelta::Structural => {}
+    }
 }
 
 type ContentIndexes = (

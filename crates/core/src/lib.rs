@@ -64,5 +64,5 @@ pub mod sim;
 pub mod trends;
 
 pub use api::Hive;
-pub use db::HiveDb;
+pub use db::{DbDelta, HiveDb, DB_DELTA_LOG_CAP};
 pub use error::HiveError;

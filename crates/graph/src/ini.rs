@@ -123,6 +123,13 @@ impl ImpactQueryEngine for RecomputeEngine {
 }
 
 /// INI: cached impact vectors with reverse-membership invalidation.
+///
+/// Invalidation is *lazy*: [`ImpactQueryEngine::add_edge`] only marks
+/// the updated endpoint dirty (O(1)), and the reverse-index walk that
+/// evicts touched vectors runs once at the next query
+/// ([`ImpactIndex::sweep`]). A burst of updates between queries pays the
+/// walk once instead of per edge, and sources evicted by one dirty node
+/// are already gone when the next dirty node sweeps.
 pub struct ImpactIndex {
     graph: Graph,
     params: DiffusionParams,
@@ -130,6 +137,9 @@ pub struct ImpactIndex {
     cache: HashMap<NodeId, HashMap<NodeId, f64>>,
     /// Reverse index: node -> sources whose cached neighborhood contains it.
     members: HashMap<NodeId, HashSet<NodeId>>,
+    /// Endpoints of edges added since the last sweep; their touching
+    /// vectors are evicted lazily on the next query.
+    dirty: HashSet<NodeId>,
     /// Cache statistics for experiments.
     hits: u64,
     misses: u64,
@@ -143,6 +153,7 @@ impl ImpactIndex {
             params,
             cache: HashMap::new(),
             members: HashMap::new(),
+            dirty: HashSet::new(),
             hits: 0,
             misses: 0,
         }
@@ -150,6 +161,7 @@ impl ImpactIndex {
 
     /// Eagerly computes impact vectors for all nodes.
     pub fn build_full(&mut self) {
+        self.sweep();
         for src in self.graph.nodes().collect::<Vec<_>>() {
             self.materialize(src);
         }
@@ -179,6 +191,19 @@ impl ImpactIndex {
         }
     }
 
+    /// Drains the dirty set, evicting every cached vector that touches a
+    /// dirty endpoint. Runs before any cache read so queries never see a
+    /// stale vector.
+    fn sweep(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty: Vec<NodeId> = self.dirty.drain().collect();
+        for node in dirty {
+            self.invalidate_touching(node);
+        }
+    }
+
     fn materialize(&mut self, src: NodeId) -> HashMap<NodeId, f64> {
         let vec = diffuse(&self.graph, src, self.params);
         for member in vec.keys() {
@@ -195,11 +220,13 @@ impl ImpactQueryEngine for ImpactIndex {
         // Sources reaching `u` can now reach further through the new edge;
         // `u`'s own vector changes too. Vectors not touching `u` keep the
         // same diffusion and stay valid. (`v` gaining in-mass does not
-        // change any vector that never visited `u`.)
-        self.invalidate_touching(u);
+        // change any vector that never visited `u`.) The eviction walk is
+        // deferred to the next query: updates are O(1).
+        self.dirty.insert(u);
     }
 
     fn impact(&mut self, src: NodeId) -> HashMap<NodeId, f64> {
+        self.sweep();
         if let Some(vec) = self.cache.get(&src) {
             self.hits += 1;
             return vec.clone();
@@ -315,6 +342,33 @@ mod tests {
         idx.add_edge(d, c, 1.0);
         idx.impact(a); // hit
         assert_eq!(idx.stats(), (1, 2));
+    }
+
+    #[test]
+    fn update_bursts_sweep_once_at_the_next_query() {
+        let (g, ids) = line_graph();
+        let params = DiffusionParams { alpha: 0.5, epsilon: 1e-6 };
+        let mut idx = ImpactIndex::new(g, params);
+        idx.impact(ids[0]); // miss
+        // A burst of updates marks endpoints dirty without walking the
+        // reverse index...
+        let extra: Vec<NodeId> = (0..8).map(|i| idx.graph.add_node(format!("x{i}"))).collect();
+        for &x in &extra {
+            idx.add_edge(ids[3], x, 1.0);
+        }
+        assert_eq!(idx.dirty.len(), 1, "burst collapses to one dirty endpoint");
+        // ...and the next query sweeps once, then recomputes.
+        let after = idx.impact(ids[0]);
+        assert!(idx.dirty.is_empty(), "query drained the dirty set");
+        for &x in &extra {
+            assert!(after.contains_key(&x) || after[&ids[3]] >= params.epsilon);
+        }
+        let mut base = RecomputeEngine::new(idx.graph().clone(), params);
+        let fresh = base.impact(ids[0]);
+        assert_eq!(after.len(), fresh.len());
+        for (k, v) in &fresh {
+            assert!((after[k] - v).abs() < 1e-12);
+        }
     }
 
     #[test]

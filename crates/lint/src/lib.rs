@@ -29,6 +29,12 @@
 //!   Table-1 service can silently bypass the hive-obs span/counter
 //!   layer; construction and cache plumbing (`new`, `db`, `db_mut`,
 //!   `knowledge`, the choke points themselves) are exempt.
+//! * **R8 `delta-log`** — no direct `generation +=` bumps anywhere but
+//!   the delta-log APIs (`TripleStore::log_op`, `HiveDb::bump`), each
+//!   marked with `lint:allow(delta-log)`. A generation bump that skips
+//!   the journal silently breaks incremental cache maintenance: the
+//!   stamp advances but no delta is recorded, so a patched cache would
+//!   diverge from a rebuilt one.
 //!
 //! Matching runs on *lexed* source: a minimal Rust lexer first blanks
 //! `//` and `/* */` comments, string and char literals, and
@@ -80,6 +86,8 @@ pub mod rules {
     pub const NO_RAW_THREADS: &str = "no-raw-threads";
     /// R7: facade services must route through `Hive::service(..)`.
     pub const INSTRUMENTED_FACADE: &str = "instrumented-facade";
+    /// R8: generation counters may only be bumped via the delta-log API.
+    pub const DELTA_LOG: &str = "delta-log";
 }
 
 /// Lexed view of one source file: the original text with comments,
@@ -337,6 +345,8 @@ pub struct SourceRules {
     pub no_stray_io: bool,
     /// Apply R6 `no-raw-threads`.
     pub no_raw_threads: bool,
+    /// Apply R8 `delta-log`.
+    pub delta_log: bool,
 }
 
 /// Forbidden-token tables: (needle, needs ident-boundary before it).
@@ -351,6 +361,7 @@ const TIME_TOKENS: &[(&str, bool)] = &[("Instant::now", true), ("SystemTime::now
 const IO_TOKENS: &[(&str, bool)] = &[("println!", true), ("eprintln!", true), ("dbg!", true)];
 const THREAD_TOKENS: &[(&str, bool)] =
     &[("thread::spawn", true), ("thread::scope", true), ("thread::Builder", true)];
+const DELTA_TOKENS: &[(&str, bool)] = &[("generation +=", true), ("generation+=", true)];
 
 fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
@@ -398,6 +409,13 @@ pub fn check_source(file: &str, source: &str, which: SourceRules) -> Vec<Diagnos
             rules::NO_RAW_THREADS,
             THREAD_TOKENS,
             "raw thread primitive outside crates/par (use the hive-par pool)",
+        ));
+    }
+    if which.delta_log {
+        table.push((
+            rules::DELTA_LOG,
+            DELTA_TOKENS,
+            "direct generation bump outside the delta-log API (record a delta instead)",
         ));
     }
     for (lineno, line) in lexed.masked.lines().enumerate() {
@@ -695,6 +713,7 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
                 deterministic_time: file != CLOCK_FILE,
                 no_stray_io: io_checked,
                 no_raw_threads: threads_checked,
+                delta_log: true,
             };
             out.extend(check_source(&file, &source, which));
             if file == FACADE_FILE {
@@ -708,6 +727,7 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             let which = SourceRules {
                 deterministic_time: true,
                 no_raw_threads: threads_checked,
+                delta_log: true,
                 ..Default::default()
             };
             out.extend(check_source(&rel(path), &source, which));
@@ -730,6 +750,7 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             let which = SourceRules {
                 deterministic_time: true,
                 no_raw_threads: true,
+                delta_log: true,
                 ..Default::default()
             };
             out.extend(check_source(&rel(path), &source, which));

@@ -16,7 +16,7 @@ fn main() -> ExitCode {
     };
     match hive_lint::scan_workspace(&root) {
         Ok(diags) if diags.is_empty() => {
-            println!("hive-lint: workspace clean (R1-R7)");
+            println!("hive-lint: workspace clean (R1-R8)");
             ExitCode::SUCCESS
         }
         Ok(diags) => {

@@ -1,4 +1,4 @@
-//! Fixture tests: one deliberate violation per rule R1-R7, asserting
+//! Fixture tests: one deliberate violation per rule R1-R8, asserting
 //! the exact rule id, file label, and line of each diagnostic, plus a
 //! `lint:allow` escape-hatch case that must stay silent.
 
@@ -9,6 +9,7 @@ const ALL_SOURCE_RULES: SourceRules = SourceRules {
     deterministic_time: true,
     no_stray_io: true,
     no_raw_threads: true,
+    delta_log: true,
 };
 
 #[test]
@@ -98,6 +99,21 @@ fn r7_instrumented_facade_passes_routed_exempt_and_waived_fns() {
     let src = include_str!("fixtures/r7_facade_pass.rs");
     let diags = check_facade("fixtures/r7_facade_pass.rs", src);
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn r8_delta_log_fires_on_direct_generation_bumps() {
+    let src = include_str!("fixtures/r8_generation.rs");
+    let diags = check_source("fixtures/r8_generation.rs", src, ALL_SOURCE_RULES);
+    let bumps: Vec<_> = diags.iter().filter(|d| d.rule == rules::DELTA_LOG).collect();
+    assert_eq!(bumps.len(), 2, "{diags:?}");
+    assert_eq!(bumps[0].file, "fixtures/r8_generation.rs");
+    assert_eq!(bumps[0].line, 9, "the spaced bump");
+    assert_eq!(bumps[1].line, 13, "the compact bump");
+    assert!(bumps[0].message.contains("delta-log API"));
+    // The lint:allow'd bump, the plain assignment, and the
+    // `regeneration` identifier stay silent.
+    assert_eq!(diags.len(), 2, "{diags:?}");
 }
 
 #[test]

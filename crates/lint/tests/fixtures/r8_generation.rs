@@ -1,0 +1,26 @@
+//! R8 fixture: a generation counter bumped outside the delta-log API.
+
+pub struct Cache {
+    generation: u64,
+}
+
+impl Cache {
+    pub fn touch(&mut self) {
+        self.generation += 1;
+    }
+
+    pub fn touch_compact(&mut self) {
+        self.generation+=1;
+    }
+
+    pub fn bump_logged(&mut self) {
+        self.generation += 1; // lint:allow(delta-log) -- fixture's one legal bump
+    }
+
+    pub fn regenerate(&mut self) {
+        // An identifier merely *ending* in "generation" must not fire.
+        let mut regeneration = 0u64;
+        regeneration += 1;
+        self.generation = regeneration; // assignment, not a bump: no delta skipped
+    }
+}

@@ -23,10 +23,32 @@
 //!   barrier per round, avoiding per-iteration spawn cost; per-chunk
 //!   scratch is merged in chunk order by the caller between rounds.
 //!
+//! ## Adaptive execution policy
+//!
+//! Determinism makes the execution strategy a pure performance knob,
+//! and the pool exploits that in three ways:
+//!
+//! * **Host clamp** — the effective worker count never exceeds
+//!   [`host_parallelism`], even under [`with_threads`]: requesting four
+//!   workers on a one-core box would serialize through the scheduler
+//!   anyway and pay spawn + contention for nothing. Tests that must
+//!   exercise the pool machinery regardless of the host use
+//!   [`force_workers`].
+//! * **Per-primitive serial cutoff** — each primitive falls back to
+//!   its serial path below a profitability threshold (item counts too
+//!   small to amortize a scope spawn). The serial paths perform the
+//!   identical chunked merge, so the fallback is invisible in the
+//!   output bits; it is visible to observability as the
+//!   `par.serial_fallback` counter.
+//! * **Work-aware chunk sizing** — [`chunk_len`] keeps chunks at or
+//!   above [`MIN_CHUNK`] items (still a pure function of `n`), so
+//!   mid-sized inputs dispatch a handful of substantial chunks instead
+//!   of 64 slivers whose queue/lock traffic eats the speedup.
+//!
 //! Pool size comes from the `HIVE_THREADS` environment variable (read
-//! once), defaulting to `min(available_parallelism, 8)`. Tests and
-//! benches use [`with_threads`] for a scoped, thread-local override
-//! instead of mutating the environment.
+//! once), defaulting to `min(available_parallelism, 8)` and clamped to
+//! the host. Tests and benches use [`with_threads`] for a scoped,
+//! thread-local override instead of mutating the environment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,34 +67,65 @@ pub const MAX_THREADS: usize = 256;
 /// worker count.
 pub const MAX_CHUNKS: usize = 64;
 
+/// Minimum items per chunk once an input is large enough to split.
+/// Chunks below this size cost more in queue/lock traffic than their
+/// work is worth; [`chunk_len`] never goes below `MIN_CHUNK.min(n)`.
+pub const MIN_CHUNK: usize = 256;
+
+/// Serial cutoffs: below these item counts the primitive's serial path
+/// beats spawning a scope. Each is calibrated to the primitive's
+/// per-item overhead profile (element closures for map, chunk folds
+/// for reduce, barrier rounds for the round loop).
+const MAP_SERIAL_CUTOFF: usize = 1_024;
+const CHUNKED_SERIAL_CUTOFF: usize = 1_024;
+const REDUCE_SERIAL_CUTOFF: usize = 2_048;
+const ROUNDS_SERIAL_CUTOFF: usize = 1_024;
+
 static POOL_SIZE: OnceLock<usize> = OnceLock::new();
+static HOST: OnceLock<usize> = OnceLock::new();
+
+/// A scoped worker-count override: `forced` distinguishes
+/// [`force_workers`] (exact count, for pool-machinery tests) from
+/// [`with_threads`] (a request, clamped to the host).
+#[derive(Clone, Copy)]
+struct Override {
+    n: usize,
+    forced: bool,
+}
 
 thread_local! {
-    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static OVERRIDE: Cell<Option<Override>> = const { Cell::new(None) };
+}
+
+/// The host's hardware thread count (cached; 1 if undetectable). The
+/// ceiling for every non-forced worker request.
+pub fn host_parallelism() -> usize {
+    *HOST.get_or_init(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 fn default_threads() -> usize {
-    let avail = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let configured = std::env::var("HIVE_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1);
-    configured.unwrap_or_else(|| avail.min(8)).min(MAX_THREADS)
+    configured.unwrap_or(8).min(host_parallelism()).min(MAX_THREADS)
 }
 
 /// The effective worker count for parallel primitives on this thread:
-/// the innermost [`with_threads`] override if one is active, else the
-/// process-wide pool size (`HIVE_THREADS`, read once, defaulting to
-/// `min(available_parallelism, 8)`).
+/// the innermost [`with_threads`] / [`force_workers`] override if one
+/// is active, else the process-wide pool size (`HIVE_THREADS`, read
+/// once, defaulting to 8). Except under [`force_workers`], the count
+/// is clamped to [`host_parallelism`] — oversubscribing a small host
+/// only adds spawn and contention cost.
 pub fn threads() -> usize {
-    if let Some(n) = OVERRIDE.with(Cell::get) {
-        return n;
+    if let Some(o) = OVERRIDE.with(Cell::get) {
+        return if o.forced { o.n } else { o.n.min(host_parallelism()) };
     }
     *POOL_SIZE.get_or_init(default_threads)
 }
 
 struct OverrideGuard {
-    prev: Option<usize>,
+    prev: Option<Override>,
 }
 
 impl Drop for OverrideGuard {
@@ -81,21 +134,36 @@ impl Drop for OverrideGuard {
     }
 }
 
-/// Runs `f` with the worker count pinned to `n` on this thread
-/// (restored on exit, panic-safe). `with_threads(1, f)` is the
-/// canonical "force serial" gate — callers use it to skip pool
-/// overhead on inputs too small to amortize a spawn, which is safe
-/// precisely because parallel and serial results are bit-identical.
-pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-    let prev = OVERRIDE.with(|c| c.replace(Some(n.clamp(1, MAX_THREADS))));
+fn with_override<R>(o: Override, f: impl FnOnce() -> R) -> R {
+    let prev = OVERRIDE.with(|c| c.replace(Some(o)));
     let _guard = OverrideGuard { prev };
     f()
 }
 
-/// The fixed chunk length for `n` items: `ceil(n / MAX_CHUNKS)`, at
-/// least 1. Depends only on `n`.
+/// Runs `f` with the worker count pinned to at most `n` on this thread
+/// (restored on exit, panic-safe). The request is clamped to the host
+/// parallelism, so `with_threads(4, f)` on a one-core box runs serial
+/// — which is safe precisely because parallel and serial results are
+/// bit-identical. `with_threads(1, f)` is the canonical "force serial"
+/// gate.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    with_override(Override { n: n.clamp(1, MAX_THREADS), forced: false }, f)
+}
+
+/// Runs `f` with **exactly** `n` workers, bypassing the host clamp.
+/// For tests and calibration runs that must exercise the pool
+/// machinery (chunk queues, counter harvest, barrier rounds) even on
+/// hosts with fewer cores; production callers want [`with_threads`].
+pub fn force_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    with_override(Override { n: n.clamp(1, MAX_THREADS), forced: true }, f)
+}
+
+/// The fixed chunk length for `n` items — a pure function of `n`, so
+/// results never depend on the worker count. `ceil(n / MAX_CHUNKS)`,
+/// raised to [`MIN_CHUNK`] (or `n`, if smaller) so mid-sized inputs
+/// split into a few substantial chunks rather than 64 slivers.
 pub fn chunk_len(n: usize) -> usize {
-    ((n + MAX_CHUNKS - 1) / MAX_CHUNKS).max(1)
+    ((n + MAX_CHUNKS - 1) / MAX_CHUNKS).max(MIN_CHUNK.min(n)).max(1)
 }
 
 /// Number of chunks `n` items split into under [`chunk_len`].
@@ -124,7 +192,23 @@ fn unlock<T>(slot: Mutex<T>) -> T {
 /// Pins nested parallel calls inside worker closures to serial, so a
 /// mapped function that itself uses hive-par does not oversubscribe.
 fn pin_serial() {
-    OVERRIDE.with(|c| c.set(Some(1)));
+    OVERRIDE.with(|c| c.set(Some(Override { n: 1, forced: true })));
+}
+
+/// The per-primitive serial gate. True when the pool is already pinned
+/// serial or the item count is below the primitive's profitability
+/// cutoff; in the latter case (workers were available but declined)
+/// the decision is recorded as `par.serial_fallback`. Serial paths
+/// replicate the chunked merge, so this only moves time, never bits.
+fn below_cutoff(t: usize, n: usize, cutoff: usize) -> bool {
+    if t <= 1 {
+        return true;
+    }
+    if n <= cutoff {
+        hive_obs::count("par.serial_fallback", 1);
+        return true;
+    }
+    false
 }
 
 /// Carries the caller's observability level into scoped workers and
@@ -202,7 +286,7 @@ where
 {
     count_dispatch("map", items.len());
     let t = threads();
-    if t <= 1 || items.len() <= 1 {
+    if below_cutoff(t, items.len(), MAP_SERIAL_CUTOFF) {
         return items.iter().map(f).collect();
     }
     let chunks: Vec<&[T]> = items.chunks(chunk_len(items.len())).collect();
@@ -254,7 +338,7 @@ where
     }
     let chunk = chunk_len(n);
     let t = threads();
-    if t <= 1 || n <= chunk {
+    if below_cutoff(t, n, CHUNKED_SERIAL_CUTOFF) {
         for (ci, c) in data.chunks_mut(chunk).enumerate() {
             f(ci * chunk, c);
         }
@@ -304,7 +388,7 @@ where
     }
     let chunk = chunk_len(n);
     let t = threads();
-    if t <= 1 || n <= chunk {
+    if below_cutoff(t, n, CHUNKED_SERIAL_CUTOFF) {
         return data.chunks_mut(chunk).enumerate().map(|(ci, c)| f(ci * chunk, c)).collect();
     }
     let slots: Vec<Mutex<Option<U>>> = (0..chunk_count(n)).map(|_| Mutex::new(None)).collect();
@@ -360,7 +444,7 @@ where
     }
     let chunk = chunk_len(n);
     let t = threads();
-    let partials: Vec<A> = if t <= 1 || n <= chunk {
+    let partials: Vec<A> = if below_cutoff(t, n, REDUCE_SERIAL_CUTOFF) {
         items.chunks(chunk).map(|c| c.iter().fold(init(), &fold)).collect()
     } else {
         let chunks: Vec<&[T]> = items.chunks(chunk).collect();
@@ -427,7 +511,7 @@ where
     let n_chunks = chunk_count(n_items);
     let t = threads();
     let mut rounds_run: u64 = 0;
-    if t <= 1 || n_chunks <= 1 {
+    if below_cutoff(t, n_items, ROUNDS_SERIAL_CUTOFF) || n_chunks <= 1 {
         for r in 0..max_rounds {
             for ci in 0..n_chunks {
                 let start = ci * chunk;
@@ -542,12 +626,21 @@ mod tests {
     fn chunk_layout_depends_only_on_n() {
         assert_eq!(chunk_len(0), 1);
         assert_eq!(chunk_len(1), 1);
-        assert_eq!(chunk_len(64), 1);
-        assert_eq!(chunk_len(65), 2);
+        // Below MIN_CHUNK the whole input is one chunk...
+        assert_eq!(chunk_len(64), 64);
+        assert_eq!(chunk_len(MIN_CHUNK), MIN_CHUNK);
+        assert_eq!(chunk_count(MIN_CHUNK), 1);
+        // ...just past it the floor splits off a second chunk...
+        assert_eq!(chunk_len(MIN_CHUNK + 1), MIN_CHUNK);
+        assert_eq!(chunk_count(MIN_CHUNK + 1), 2);
+        // ...and for large n the MAX_CHUNKS ceiling takes over.
+        assert_eq!(chunk_len(MIN_CHUNK * MAX_CHUNKS), MIN_CHUNK);
+        assert_eq!(chunk_count(MIN_CHUNK * MAX_CHUNKS), MAX_CHUNKS);
+        assert_eq!(chunk_len(100_000), 1_563);
+        assert_eq!(chunk_count(100_000), MAX_CHUNKS);
         assert_eq!(chunk_count(0), 0);
         assert_eq!(chunk_count(1), 1);
-        assert_eq!(chunk_count(65), 33);
-        for n in [0usize, 1, 7, 63, 64, 65, 1000, 4097] {
+        for n in [0usize, 1, 7, 63, 64, 65, 255, 256, 257, 1000, 4097, 100_000] {
             let total: usize = (0..chunk_count(n))
                 .map(|ci| (n - ci * chunk_len(n)).min(chunk_len(n)))
                 .sum();
@@ -558,7 +651,7 @@ mod tests {
     #[test]
     fn with_threads_overrides_and_restores() {
         let outer = threads();
-        with_threads(3, || {
+        force_workers(3, || {
             assert_eq!(threads(), 3);
             with_threads(1, || assert_eq!(threads(), 1));
             assert_eq!(threads(), 3);
@@ -567,10 +660,18 @@ mod tests {
     }
 
     #[test]
+    fn with_threads_clamps_to_the_host_but_force_workers_does_not() {
+        let host = host_parallelism();
+        with_threads(MAX_THREADS, || assert_eq!(threads(), host.min(MAX_THREADS)));
+        force_workers(host + 3, || assert_eq!(threads(), host + 3));
+        assert!(threads() <= host, "default pool must respect the host clamp");
+    }
+
+    #[test]
     fn par_map_matches_serial_map() {
-        let items: Vec<u64> = (0..997).collect();
+        let items: Vec<u64> = (0..4099).collect();
         let serial = with_threads(1, || par_map(&items, |&x| x * x + 1));
-        let parallel = with_threads(4, || par_map(&items, |&x| x * x + 1));
+        let parallel = force_workers(4, || par_map(&items, |&x| x * x + 1));
         assert_eq!(serial, parallel);
         assert_eq!(serial.len(), items.len());
         assert_eq!(serial[10], 101);
@@ -580,7 +681,7 @@ mod tests {
     fn par_reduce_is_bit_identical_across_thread_counts() {
         let xs = lcg(42, 10_001);
         let sum = |t: usize| {
-            with_threads(t, || par_reduce(&xs, || 0.0f64, |a, &x| a + x.sin(), |a, b| a + b))
+            force_workers(t, || par_reduce(&xs, || 0.0f64, |a, &x| a + x.sin(), |a, b| a + b))
         };
         let s1 = sum(1);
         for t in [2, 3, 4, 8] {
@@ -590,8 +691,8 @@ mod tests {
 
     #[test]
     fn par_for_each_chunk_covers_every_element_once() {
-        let mut data = vec![0u32; 513];
-        with_threads(4, || {
+        let mut data = vec![0u32; 4099];
+        force_workers(4, || {
             par_for_each_chunk(&mut data, |offset, chunk| {
                 for (i, v) in chunk.iter_mut().enumerate() {
                     *v += (offset + i) as u32;
@@ -607,7 +708,7 @@ mod tests {
     fn par_map_chunks_mut_returns_partials_in_chunk_order() {
         let mut data: Vec<f64> = lcg(7, 2048);
         let expect = data.clone();
-        let partials = with_threads(4, || {
+        let partials = force_workers(4, || {
             par_map_chunks_mut(&mut data, |offset, chunk| {
                 let s: f64 = chunk.iter().sum();
                 (offset, s)
@@ -632,8 +733,8 @@ mod tests {
         // Jacobi-style smoothing: x'[i] = avg of neighbors; run until
         // the per-round movement (chunk-merged) is tiny.
         let run = |t: usize| {
-            with_threads(t, || {
-                let n = 300;
+            force_workers(t, || {
+                let n = 2_048;
                 let xs = atomic_vec(&lcg(9, n));
                 let ys = atomic_vec(&vec![0.0; n]);
                 let deltas = atomic_vec(&vec![0.0; chunk_count(n)]);
@@ -675,24 +776,24 @@ mod tests {
 
     #[test]
     fn nested_parallel_calls_are_pinned_serial() {
-        let items: Vec<u32> = (0..8).collect();
-        let out = with_threads(4, || {
+        let items: Vec<u32> = (0..2_000).collect();
+        let out = force_workers(4, || {
             par_map(&items, |&x| {
                 // Inside a worker the pool pins nested calls to serial.
                 let inner: Vec<u32> = par_map(&[x], |&y| y + threads() as u32);
                 inner[0]
             })
         });
-        assert_eq!(out, (1..9).collect::<Vec<u32>>());
+        assert_eq!(out, (1..2_001).collect::<Vec<u32>>());
     }
 
     #[test]
     fn worker_counters_are_harvested_across_thread_counts() {
-        let items: Vec<u64> = (0..300).collect();
+        let items: Vec<u64> = (0..3_000).collect();
         let run = |t: usize| {
             hive_obs::with_level(hive_obs::Level::Counts, || {
                 hive_obs::reset();
-                with_threads(t, || {
+                force_workers(t, || {
                     par_map(&items, |&x| {
                         hive_obs::count("test.work", 1);
                         x
@@ -705,8 +806,29 @@ mod tests {
             })
         };
         // Worker-side counts survive the scope join and match serial.
-        assert_eq!(run(1), (300, 300));
-        assert_eq!(run(4), (300, 300));
+        assert_eq!(run(1), (3_000, 3_000));
+        assert_eq!(run(4), (3_000, 3_000));
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_serial_and_count_it() {
+        let items: Vec<u64> = (0..100).collect();
+        hive_obs::with_level(hive_obs::Level::Counts, || {
+            hive_obs::reset();
+            // Workers available, but 100 items are below the map cutoff:
+            // the pool declines them and records the decision.
+            let out = force_workers(4, || par_map(&items, |&x| x + 1));
+            assert_eq!(out, (1..101).collect::<Vec<u64>>());
+            let snap = hive_obs::snapshot();
+            assert_eq!(snap.counter("par.serial_fallback"), 1);
+            hive_obs::reset();
+            // With one worker the serial path is the only path — no
+            // fallback is recorded because nothing was declined.
+            with_threads(1, || par_map(&items, |&x| x + 1));
+            let snap = hive_obs::snapshot();
+            assert_eq!(snap.counter("par.serial_fallback"), 0);
+            hive_obs::reset();
+        });
     }
 
     #[test]

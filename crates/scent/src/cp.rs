@@ -12,8 +12,11 @@ use hive_rng::Rng;
 /// Below this many observed entries an ALS sweep stays serial — the
 /// scoped-pool spawn would cost more than the sweep. The gate depends
 /// only on tensor size, and hive-par's chunk-ordered merges keep serial
-/// and parallel results bit-identical regardless.
-const PAR_ENTRY_THRESHOLD: usize = 2_048;
+/// and parallel results bit-identical regardless. Calibrated against
+/// the `cp_t4_vs_t1` bench: an ALS sweep spawns several scopes per
+/// iteration, so it needs a larger tensor than a single fused pass to
+/// amortize them.
+const PAR_ENTRY_THRESHOLD: usize = 8_192;
 
 /// A rank-R CP model of a 3-mode tensor.
 #[derive(Clone, Debug)]

@@ -261,10 +261,16 @@ pub fn fingerprint(hive: &Hive) -> Fingerprint {
 ///
 /// * **parallel vs serial** — the knowledge network (its TF-IDF batch
 ///   vectorization runs through `hive-par`) and a PPR sweep are built
-///   under 1 worker and under `threads` workers.
+///   under 1 worker and under `threads` workers
+///   ([`hive_par::force_workers`] bypasses the host clamp so the
+///   parallel leg stays parallel even on a single-core host).
 /// * **cached vs fresh** — the facade's generation-cached relationship
 ///   store/view against a from-scratch export and
 ///   [`GraphView::build`].
+/// * **delta vs rebuild** — the live facade, whose kn/rel snapshots
+///   have been delta-patched in place across the whole workload so
+///   far, against a cold platform built from a clone of the same
+///   database; the full fingerprint battery must match bit-for-bit.
 pub fn differential_check(
     hive: &Hive,
     probe: UserId,
@@ -277,7 +283,7 @@ pub fn differential_check(
         let kn = KnowledgeNetwork::build(db);
         (render_ppr(&kn, probe), bits(kn.user_similarity(pair.0, pair.1)))
     });
-    let parallel = hive_par::with_threads(threads.max(2), || {
+    let parallel = hive_par::force_workers(threads.max(2), || {
         let kn = KnowledgeNetwork::build(db);
         (render_ppr(&kn, probe), bits(kn.user_similarity(pair.0, pair.1)))
     });
@@ -310,6 +316,14 @@ pub fn differential_check(
             clip(&cached),
             clip(&fresh)
         ));
+    }
+    // Delta-vs-rebuild: the live facade has been answering out of
+    // snapshots patched forward by the delta log; a cold platform over
+    // the same database rebuilds everything from scratch. The two must
+    // be indistinguishable across the entire query battery.
+    let cold = Hive::new(db.clone());
+    for d in fingerprint(hive).diff(&fingerprint(&cold)) {
+        out.push(format!("delta-maintained facade vs cold rebuild: {d}"));
     }
     out
 }

@@ -55,6 +55,6 @@ pub use path::{PathQuery, RankedPath};
 pub use pattern::{Binding, Pattern, PatternTerm};
 pub use query::{BgpQuery, Solution};
 pub use stats::StoreStats;
-pub use store::{StoredTriple, TripleStore};
+pub use store::{DeltaOp, StoredTriple, TripleStore, DELTA_LOG_CAP};
 pub use term::Term;
 pub use view::{GraphView, ViewEdge};

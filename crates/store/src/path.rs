@@ -21,7 +21,7 @@ use crate::store::{StoredTriple, TripleStore};
 use crate::term::Term;
 use crate::view::{GraphView, ViewEdge};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashSet};
 
 /// A loop-free path through the triple graph, strongest-first ranked.
 #[derive(Clone, Debug, PartialEq)]
@@ -157,8 +157,8 @@ struct Traversal<'a> {
 }
 
 impl Traversal<'_> {
-    fn edges(&self, n: TermId) -> impl Iterator<Item = &ViewEdge> + '_ {
-        self.view.edges_of(n).iter().filter(move |e| {
+    fn edges_at(&self, row: usize) -> impl Iterator<Item = &ViewEdge> + '_ {
+        self.view.edges_of_index(row).iter().filter(move |e| {
             (self.undirected || e.forward)
                 && self.preds.as_ref().map_or(true, |ps| ps.contains(&e.triple.p))
         })
@@ -203,29 +203,32 @@ fn dijkstra(
     banned_edges: &HashSet<(TermId, TermId, TermId, TermId)>,
     max_hops: usize,
 ) -> Option<RankedPath> {
-    // State keyed by (node, hops) so the hop budget doesn't prune cheaper
-    // longer paths incorrectly; bounded by max_hops.
-    let mut best: HashMap<(TermId, usize), f64> = HashMap::new();
-    let mut prev: HashMap<(TermId, usize), (TermId, usize, StoredTriple)> = HashMap::new();
+    // State is (view row, hops): the hop dimension keeps the budget from
+    // pruning cheaper longer paths incorrectly, and the dense row index
+    // turns the per-state bookkeeping into flat array reads — no hashing
+    // on the hot relaxation loop (the warm-view fast path).
+    let view = adj.view;
+    let src_row = view.node_index(src)?; // edge-less source reaches nothing
+    let layers = max_hops + 1;
+    let mut best: Vec<f64> = vec![f64::INFINITY; view.node_count() * layers];
+    let mut prev: Vec<Option<(u32, u32, StoredTriple)>> =
+        vec![None; view.node_count() * layers];
     let mut heap = BinaryHeap::new();
-    let mut hops_of: HashMap<(TermId, usize), usize> = HashMap::new();
-    best.insert((src, 0), 0.0);
-    hops_of.insert((src, 0), 0);
-    heap.push((HeapEntry { cost: 0.0, node: src }, 0usize));
-    let mut found: Option<(TermId, usize)> = None;
-    while let Some((entry, hops)) = heap.pop() {
-        let key = (entry.node, hops);
-        if entry.cost > best.get(&key).copied().unwrap_or(f64::INFINITY) {
+    best[src_row * layers] = 0.0;
+    heap.push((HeapEntry { cost: 0.0, node: src }, src_row, 0usize));
+    let mut found: Option<(usize, usize)> = None;
+    while let Some((entry, row, hops)) = heap.pop() {
+        if entry.cost > best[row * layers + hops] {
             continue;
         }
         if entry.node == dst {
-            found = Some(key);
+            found = Some((row, hops));
             break;
         }
         if hops == max_hops {
             continue;
         }
-        for e in adj.edges(entry.node) {
+        for e in adj.edges_at(row) {
             if banned_nodes.contains(&e.to) {
                 continue;
             }
@@ -233,24 +236,27 @@ fn dijkstra(
             if banned_edges.contains(&edge_key) {
                 continue;
             }
-            let nkey = (e.to, hops + 1);
+            let Some(nrow) = view.node_index(e.to) else {
+                continue;
+            };
+            let nsi = nrow * layers + hops + 1;
             let ncost = entry.cost + e.cost;
-            if ncost < best.get(&nkey).copied().unwrap_or(f64::INFINITY) {
-                best.insert(nkey, ncost);
-                prev.insert(nkey, (entry.node, hops, e.triple));
-                heap.push((HeapEntry { cost: ncost, node: e.to }, hops + 1));
+            if ncost < best[nsi] {
+                best[nsi] = ncost;
+                prev[nsi] = Some((row as u32, hops as u32, e.triple));
+                heap.push((HeapEntry { cost: ncost, node: e.to }, nrow, hops + 1));
             }
         }
     }
-    let end = found?;
+    let (mut row, mut hops) = found?;
     // Reconstruct.
-    let mut nodes = vec![end.0];
+    let mut nodes = vec![view.node_at(row)];
     let mut triples = Vec::new();
-    let mut cur = end;
-    while let Some(&(pn, ph, t)) = prev.get(&cur) {
-        nodes.push(pn);
+    while let Some((pr, ph, t)) = prev[row * layers + hops] {
+        nodes.push(view.node_at(pr as usize));
         triples.push(t);
-        cur = (pn, ph);
+        row = pr as usize;
+        hops = ph as usize;
     }
     nodes.reverse();
     triples.reverse();

@@ -19,6 +19,40 @@ pub struct StoredTriple {
     pub weight: f64,
 }
 
+/// One logged mutation of the triple set, dictionary-encoded. The store
+/// appends one op per successful mutation (see [`TripleStore::log_op`]);
+/// derived snapshots replay the suffix since their stamped generation
+/// instead of rebuilding (see [`crate::GraphView::apply_delta`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeltaOp {
+    /// A triple was inserted or re-weighted to `weight`.
+    Upsert {
+        /// Subject id.
+        s: TermId,
+        /// Predicate id.
+        p: TermId,
+        /// Object id.
+        o: TermId,
+        /// New weight in `(0, 1]`.
+        weight: f64,
+    },
+    /// A triple was removed.
+    Remove {
+        /// Subject id.
+        s: TermId,
+        /// Predicate id.
+        p: TermId,
+        /// Object id.
+        o: TermId,
+    },
+}
+
+/// Maximum retained delta-log length. Older entries are compacted away;
+/// snapshots stamped before the retained window fall back to a rebuild.
+/// Sized so that every realistic patch window (a facade cache lagging a
+/// burst of mutations) fits, while bounding memory to a few hundred KB.
+pub const DELTA_LOG_CAP: usize = 4096;
+
 /// One permutation index over `(a, b, c)` key tuples.
 ///
 /// The store keeps three of these (SPO, POS, OSP) so that any combination
@@ -98,7 +132,14 @@ pub struct TripleStore {
     next_blank: u64,
     /// Bumped on every mutation of the triple set or a weight; lets
     /// derived snapshots (e.g. [`crate::GraphView`]) detect staleness.
+    /// Only [`Self::log_op`] may advance it (lint rule R8), so every
+    /// generation step has a corresponding [`DeltaOp`] in the log.
     generation: u64,
+    /// Generation at which `delta_log` starts: `delta_log[i]` is the op
+    /// that produced generation `delta_base + i + 1`.
+    delta_base: u64,
+    /// The retained suffix of mutation ops, newest last.
+    delta_log: Vec<DeltaOp>,
 }
 
 impl TripleStore {
@@ -127,6 +168,32 @@ impl TripleStore {
     /// with an older generation are stale.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The single mutation choke point: records the op in the delta log
+    /// and advances the generation, compacting the log's oldest entries
+    /// past [`DELTA_LOG_CAP`]. Every mutating method routes through
+    /// here, so `generation - delta_base` always equals the retained
+    /// log length and [`Self::deltas_since`] can hand out exact patch
+    /// suffixes.
+    fn log_op(&mut self, op: DeltaOp) {
+        self.generation += 1; // lint:allow(delta-log) -- the one legal bump
+        self.delta_log.push(op);
+        if self.delta_log.len() > DELTA_LOG_CAP {
+            let excess = self.delta_log.len() - DELTA_LOG_CAP;
+            self.delta_log.drain(..excess);
+            self.delta_base += excess as u64;
+        }
+    }
+
+    /// The ops applied since `generation` (oldest first), or `None` when
+    /// that window has been compacted away (or `generation` is from the
+    /// future, i.e. a different store) — callers must rebuild then.
+    pub fn deltas_since(&self, generation: u64) -> Option<&[DeltaOp]> {
+        if generation > self.generation || generation < self.delta_base {
+            return None;
+        }
+        Some(&self.delta_log[(generation - self.delta_base) as usize..])
     }
 
     /// Mints a fresh blank node unique within this store.
@@ -167,7 +234,8 @@ impl TripleStore {
             self.pos.insert((p.0, o.0, s.0));
             self.osp.insert((o.0, s.0, p.0));
         }
-        self.generation += 1; // re-weighting an existing triple also mutates
+        // Re-weighting an existing triple also mutates.
+        self.log_op(DeltaOp::Upsert { s, p, o, weight });
         fresh
     }
 
@@ -182,7 +250,7 @@ impl TripleStore {
             self.spo.remove(&(si.0, pi.0, oi.0));
             self.pos.remove(&(pi.0, oi.0, si.0));
             self.osp.remove(&(oi.0, si.0, pi.0));
-            self.generation += 1;
+            self.log_op(DeltaOp::Remove { s: si, p: pi, o: oi });
             true
         } else {
             false
@@ -220,7 +288,7 @@ impl TripleStore {
         match self.weights.get_mut(&(si, pi, oi)) {
             Some(w) => {
                 *w = weight;
-                self.generation += 1;
+                self.log_op(DeltaOp::Upsert { s: si, p: pi, o: oi, weight });
                 Ok(true)
             }
             None => Ok(false),
@@ -244,9 +312,7 @@ impl TripleStore {
             self.spo.remove(&(t.s.0, t.p.0, t.o.0));
             self.pos.remove(&(t.p.0, t.o.0, t.s.0));
             self.osp.remove(&(t.o.0, t.s.0, t.p.0));
-        }
-        if !victims.is_empty() {
-            self.generation += 1;
+            self.log_op(DeltaOp::Remove { s: t.s, p: t.p, o: t.o });
         }
         victims.len()
     }
@@ -583,6 +649,40 @@ mod tests {
         let g5 = st.generation();
         assert_eq!(st.remove_matching(None, None, None), 0);
         assert_eq!(st.generation(), g5, "no-op remove_matching must not bump");
+    }
+
+    #[test]
+    fn delta_log_mirrors_every_mutation() {
+        let mut st = TripleStore::new();
+        let g0 = st.generation();
+        st.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"), 0.5).unwrap();
+        st.set_weight(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"), 0.9).unwrap();
+        st.remove(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        let ops = st.deltas_since(g0).expect("window retained");
+        assert_eq!(ops.len(), 3);
+        assert!(matches!(ops[0], DeltaOp::Upsert { weight, .. } if weight == 0.5));
+        assert!(matches!(ops[1], DeltaOp::Upsert { weight, .. } if weight == 0.9));
+        assert!(matches!(ops[2], DeltaOp::Remove { .. }));
+        // The current generation has an empty suffix; the future has none.
+        assert_eq!(st.deltas_since(st.generation()).map(<[DeltaOp]>::len), Some(0));
+        assert!(st.deltas_since(st.generation() + 1).is_none());
+        // Failed mutations log nothing.
+        let g = st.generation();
+        assert!(st.insert(Term::str("lit"), Term::iri("p"), Term::iri("b"), 0.5).is_err());
+        assert!(!st.remove(&Term::iri("zzz"), &Term::iri("p"), &Term::iri("b")));
+        assert_eq!(st.generation(), g);
+    }
+
+    #[test]
+    fn delta_log_compacts_past_the_cap() {
+        let mut st = TripleStore::new();
+        let g0 = st.generation();
+        for i in 0..(DELTA_LOG_CAP + 10) {
+            st.insert(Term::iri(format!("n{i}")), Term::iri("p"), Term::iri("m"), 0.5).unwrap();
+        }
+        assert!(st.deltas_since(g0).is_none(), "compacted window must refuse");
+        let recent = st.generation() - 5;
+        assert_eq!(st.deltas_since(recent).map(<[DeltaOp]>::len), Some(5));
     }
 
     #[test]

@@ -6,26 +6,39 @@
 //! edges into a dictionary-encoded CSR layout (dense node index +
 //! offsets + flat edge array, as in RDF-3X-style in-memory RDF engines),
 //! and stamps itself with the store's mutation [`TripleStore::generation`].
-//! Callers cache the view and check [`GraphView::is_current`]: any
-//! insert / remove / re-weight bumps the store generation and
-//! invalidates the snapshot.
+//!
+//! The layout is **canonical**: nodes are sorted by term id and each
+//! row's hops are sorted by `(s, p, o, direction)`. Canonical order is
+//! what makes *delta maintenance* possible — [`GraphView::apply_delta`]
+//! replays the store's [`DeltaOp`] suffix into the CSR in place and the
+//! result is bit-identical to a cold [`GraphView::build`], because both
+//! are pure functions of the current triple set. A stale view is
+//! detected via [`GraphView::is_current`]; callers then patch with
+//! `apply_delta` and only fall back to a rebuild when the delta window
+//! was compacted away or exceeds [`REBUILD_FRACTION`] of the view.
 //!
 //! Both edge directions are materialized (reverse hops carry
 //! `forward = false`), so one view serves directed and undirected
 //! queries; per-query predicate filters apply at traversal time.
 
 use crate::dict::TermId;
-use crate::store::{StoredTriple, TripleStore};
+use crate::store::{DeltaOp, StoredTriple, TripleStore};
 use crate::term::Term;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tiny strictly-positive per-hop cost; see [`GraphView::build`].
 pub(crate) const HOP_EPSILON: f64 = 1e-9;
 
+/// `apply_delta` falls back to a rebuild when the op count exceeds this
+/// fraction of the current hop count (plus a small absolute floor, so
+/// tiny views always patch). Each op costs an `O(row + shift)` splice;
+/// past a quarter of the view a single `O(V + E)` rebuild is cheaper.
+pub const REBUILD_FRACTION: f64 = 0.25;
+
 /// One traversable hop in a [`GraphView`]: neighbor node, the
 /// underlying stored triple, the additive cost `-ln(weight) +
 /// HOP_EPSILON`, and whether the hop follows the stored direction.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ViewEdge {
     /// Neighbor term id.
     pub to: TermId,
@@ -37,12 +50,21 @@ pub struct ViewEdge {
     pub forward: bool,
 }
 
+/// The canonical within-row sort key: stored triple, forward first.
+fn edge_key(e: &ViewEdge) -> (u32, u32, u32, bool) {
+    (e.triple.s.0, e.triple.p.0, e.triple.o.0, !e.forward)
+}
+
+fn hop_cost(weight: f64) -> f64 {
+    -weight.ln() + HOP_EPSILON
+}
+
 /// Dictionary-encoded CSR adjacency snapshot of a [`TripleStore`],
-/// stamped with the generation it was built from.
-#[derive(Clone, Debug, Default)]
+/// stamped with the generation it reflects. Node lookup is a binary
+/// search over the sorted node array (no hash map to keep in sync).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GraphView {
     generation: u64,
-    index: HashMap<TermId, u32>,
     nodes: Vec<TermId>,
     off: Vec<u32>,
     edges: Vec<ViewEdge>,
@@ -50,51 +72,138 @@ pub struct GraphView {
 
 impl GraphView {
     /// Scans `store` once and flattens every resource-to-resource edge
-    /// (literal objects are attributes, not hops) in SPO order, both
-    /// directions. The per-hop cost gets a strictly positive epsilon:
-    /// weight-1.0 edges would otherwise cost 0 and let shortest-path
-    /// search return zero-cost *walks* containing loops.
+    /// (literal objects are attributes, not hops) into canonical order,
+    /// both directions. The per-hop cost gets a strictly positive
+    /// epsilon: weight-1.0 edges would otherwise cost 0 and let
+    /// shortest-path search return zero-cost *walks* containing loops.
     pub fn build(store: &TripleStore) -> Self {
         hive_obs::count("store.view.build", 1);
-        let mut index: HashMap<TermId, u32> = HashMap::new();
-        let mut nodes: Vec<TermId> = Vec::new();
-        let mut per: Vec<Vec<ViewEdge>> = Vec::new();
-        let mut intern = |t: TermId, nodes: &mut Vec<TermId>, per: &mut Vec<Vec<ViewEdge>>| {
-            *index.entry(t).or_insert_with(|| {
-                nodes.push(t);
-                per.push(Vec::new());
-                (nodes.len() - 1) as u32
-            }) as usize
-        };
+        let mut rows: BTreeMap<TermId, Vec<ViewEdge>> = BTreeMap::new();
         for t in store.iter() {
             let obj_is_resource =
                 store.dict().resolve(t.o).map(Term::is_resource).unwrap_or(false);
             if !obj_is_resource {
                 continue;
             }
-            let cost = -t.weight.ln() + HOP_EPSILON;
-            let si = intern(t.s, &mut nodes, &mut per);
-            per[si].push(ViewEdge { to: t.o, triple: t, cost, forward: true });
-            let oi = intern(t.o, &mut nodes, &mut per);
-            per[oi].push(ViewEdge { to: t.s, triple: t, cost, forward: false });
+            let cost = hop_cost(t.weight);
+            rows.entry(t.s)
+                .or_default()
+                .push(ViewEdge { to: t.o, triple: t, cost, forward: true });
+            rows.entry(t.o)
+                .or_default()
+                .push(ViewEdge { to: t.s, triple: t, cost, forward: false });
         }
-        let mut off = Vec::with_capacity(nodes.len() + 1);
-        let mut edges = Vec::with_capacity(per.iter().map(Vec::len).sum());
+        let mut nodes = Vec::with_capacity(rows.len());
+        let mut off = Vec::with_capacity(rows.len() + 1);
+        let mut edges = Vec::with_capacity(rows.values().map(Vec::len).sum());
         off.push(0u32);
-        for list in per {
+        for (node, mut list) in rows {
+            list.sort_unstable_by(|a, b| edge_key(a).cmp(&edge_key(b)));
+            nodes.push(node);
             edges.extend(list);
             off.push(edges.len() as u32);
         }
-        GraphView { generation: store.generation(), index, nodes, off, edges }
+        GraphView { generation: store.generation(), nodes, off, edges }
     }
 
-    /// The store generation this snapshot was built from.
+    /// Patches this view in place with the store's delta suffix since
+    /// the view's generation. Returns `false` — leaving the view
+    /// untouched — when the window was compacted away or the delta is
+    /// large enough that a rebuild is cheaper; the caller then calls
+    /// [`GraphView::build`]. On success the view is bit-identical to a
+    /// cold rebuild at the store's current generation (the canonical
+    /// layout is a pure function of the triple set).
+    pub fn apply_delta(&mut self, store: &TripleStore) -> bool {
+        if self.generation == store.generation() {
+            return true;
+        }
+        let Some(ops) = store.deltas_since(self.generation) else {
+            hive_obs::count("store.view.rebuild_fallback", 1);
+            return false;
+        };
+        if ops.len() as f64 > (self.edges.len() as f64) * REBUILD_FRACTION + 16.0 {
+            hive_obs::count("store.view.rebuild_fallback", 1);
+            return false;
+        }
+        if self.off.is_empty() {
+            self.off.push(0); // a Default view is an empty zero-generation view
+        }
+        let ops: Vec<DeltaOp> = ops.to_vec();
+        for op in ops {
+            match op {
+                DeltaOp::Upsert { s, p, o, weight } => {
+                    if !store.dict().resolve(o).map(Term::is_resource).unwrap_or(false) {
+                        continue; // attribute triple: never a hop
+                    }
+                    let triple = StoredTriple { s, p, o, weight };
+                    let cost = hop_cost(weight);
+                    self.upsert_edge(s, ViewEdge { to: o, triple, cost, forward: true });
+                    self.upsert_edge(o, ViewEdge { to: s, triple, cost, forward: false });
+                }
+                DeltaOp::Remove { s, p, o } => {
+                    self.remove_edge(s, (s.0, p.0, o.0, false));
+                    self.remove_edge(o, (s.0, p.0, o.0, true));
+                }
+            }
+        }
+        self.generation = store.generation();
+        hive_obs::count("store.view.delta", 1);
+        true
+    }
+
+    /// Inserts or replaces one hop in `row`'s sorted edge slice,
+    /// creating the row at its sorted position if needed.
+    fn upsert_edge(&mut self, row: TermId, e: ViewEdge) {
+        let ri = match self.nodes.binary_search(&row) {
+            Ok(i) => i,
+            Err(i) => {
+                let at = self.off[i];
+                self.nodes.insert(i, row);
+                self.off.insert(i + 1, at);
+                i
+            }
+        };
+        let (lo, hi) = (self.off[ri] as usize, self.off[ri + 1] as usize);
+        let key = edge_key(&e);
+        match self.edges[lo..hi].binary_search_by(|x| edge_key(x).cmp(&key)) {
+            Ok(j) => self.edges[lo + j] = e,
+            Err(j) => {
+                self.edges.insert(lo + j, e);
+                for o in &mut self.off[ri + 1..] {
+                    *o += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes one hop from `row` (keyed by `(s, p, o, !forward)`),
+    /// dropping the row entirely when it becomes empty — `build` never
+    /// emits edge-less nodes, and a patched view must match it.
+    fn remove_edge(&mut self, row: TermId, key: (u32, u32, u32, bool)) {
+        let Ok(ri) = self.nodes.binary_search(&row) else {
+            return;
+        };
+        let (lo, hi) = (self.off[ri] as usize, self.off[ri + 1] as usize);
+        let Ok(j) = self.edges[lo..hi].binary_search_by(|x| edge_key(x).cmp(&key)) else {
+            return;
+        };
+        self.edges.remove(lo + j);
+        for o in &mut self.off[ri + 1..] {
+            *o -= 1;
+        }
+        if self.off[ri] == self.off[ri + 1] {
+            self.nodes.remove(ri);
+            self.off.remove(ri + 1);
+        }
+    }
+
+    /// The store generation this snapshot reflects.
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
     /// True while no mutation has touched `store` since this view was
-    /// built — the cache-validity check.
+    /// built or last patched — the cache-validity check.
     pub fn is_current(&self, store: &TripleStore) -> bool {
         let current = self.generation == store.generation();
         hive_obs::count(if current { "store.view.hit" } else { "store.view.miss" }, 1);
@@ -112,16 +221,61 @@ impl GraphView {
         self.edges.len()
     }
 
+    /// Dense row index of `n` in this view, if it has any edges. Rows
+    /// are numbered `0..node_count()` in ascending term-id order.
+    pub fn node_index(&self, n: TermId) -> Option<usize> {
+        self.nodes.binary_search(&n).ok()
+    }
+
+    /// The term id of row `i` (inverse of [`GraphView::node_index`]).
+    pub fn node_at(&self, i: usize) -> TermId {
+        self.nodes[i]
+    }
+
+    /// All hops leaving row `i` (see [`GraphView::node_index`]).
+    pub fn edges_of_index(&self, i: usize) -> &[ViewEdge] {
+        let (lo, hi) = (self.off[i] as usize, self.off[i + 1] as usize);
+        &self.edges[lo..hi]
+    }
+
     /// All hops leaving `n`, forward and reverse; empty for nodes
     /// without traversable edges.
     pub fn edges_of(&self, n: TermId) -> &[ViewEdge] {
-        match self.index.get(&n) {
-            Some(&i) => {
-                let (lo, hi) = (self.off[i as usize] as usize, self.off[i as usize + 1] as usize);
-                &self.edges[lo..hi]
-            }
+        match self.node_index(n) {
+            Some(i) => self.edges_of_index(i),
             None => &[],
         }
+    }
+
+    /// Bitwise comparison against `other` (float fields compared by
+    /// bits, not by `==`): the delta-vs-rebuild oracle used by property
+    /// tests and the sim harness. Returns the first difference found.
+    pub fn bitwise_diff(&self, other: &GraphView) -> Option<String> {
+        if self.generation != other.generation {
+            return Some(format!("generation {} != {}", self.generation, other.generation));
+        }
+        if self.nodes != other.nodes {
+            return Some(format!("node sets differ: {} vs {}", self.nodes.len(), other.nodes.len()));
+        }
+        if self.off != other.off {
+            return Some("row offsets differ".to_string());
+        }
+        for (i, (a, b)) in self.edges.iter().zip(&other.edges).enumerate() {
+            let same = a.to == b.to
+                && a.forward == b.forward
+                && a.triple.s == b.triple.s
+                && a.triple.p == b.triple.p
+                && a.triple.o == b.triple.o
+                && a.triple.weight.to_bits() == b.triple.weight.to_bits()
+                && a.cost.to_bits() == b.cost.to_bits();
+            if !same {
+                return Some(format!("edge {i} differs: {a:?} vs {b:?}"));
+            }
+        }
+        if self.edges.len() != other.edges.len() {
+            return Some(format!("edge counts differ: {} vs {}", self.edges.len(), other.edges.len()));
+        }
+        None
     }
 }
 
@@ -163,5 +317,51 @@ mod tests {
         let rebuilt = GraphView::build(&st);
         assert!(rebuilt.is_current(&st));
         assert!(rebuilt.generation() > view.generation());
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild_for_each_mutation_kind() {
+        let mut st = small_store();
+        let mut view = GraphView::build(&st);
+        // Insert (new nodes), re-weight, attribute insert, remove.
+        st.insert(Term::iri("c"), Term::iri("rel"), Term::iri("d"), 0.7).unwrap();
+        st.set_weight(&Term::iri("a"), &Term::iri("rel"), &Term::iri("b"), 0.2).unwrap();
+        st.insert(Term::iri("d"), Term::iri("name"), Term::str("Dee"), 1.0).unwrap();
+        st.remove(&Term::iri("b"), &Term::iri("rel"), &Term::iri("c"));
+        assert!(view.apply_delta(&st), "small delta must patch in place");
+        assert!(view.is_current(&st));
+        let rebuilt = GraphView::build(&st);
+        assert_eq!(view.bitwise_diff(&rebuilt), None);
+    }
+
+    #[test]
+    fn apply_delta_handles_self_loops_and_row_removal() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("x"), Term::iri("rel"), Term::iri("y"), 0.5).unwrap();
+        let mut view = GraphView::build(&st);
+        st.insert(Term::iri("x"), Term::iri("rel"), Term::iri("x"), 0.4).unwrap();
+        st.remove(&Term::iri("x"), &Term::iri("rel"), &Term::iri("y"));
+        assert!(view.apply_delta(&st));
+        let rebuilt = GraphView::build(&st);
+        assert_eq!(view.bitwise_diff(&rebuilt), None);
+        assert_eq!(view.node_count(), 1, "y's row must vanish with its last hop");
+    }
+
+    #[test]
+    fn apply_delta_refuses_compacted_or_oversized_windows() {
+        let mut st = small_store();
+        let mut view = GraphView::build(&st);
+        // An oversized delta (relative to this tiny view's floor) is
+        // simulated by exceeding the absolute floor of 16 + 25% of 4.
+        for i in 0..40 {
+            st.insert(Term::iri(format!("m{i}")), Term::iri("rel"), Term::iri("m0"), 0.5)
+                .unwrap();
+        }
+        assert!(!view.apply_delta(&st), "oversized delta must fall back");
+        // The untouched view still patches cleanly after a rebuild.
+        let mut fresh = GraphView::build(&st);
+        st.insert(Term::iri("z"), Term::iri("rel"), Term::iri("m0"), 0.3).unwrap();
+        assert!(fresh.apply_delta(&st));
+        assert_eq!(fresh.bitwise_diff(&GraphView::build(&st)), None);
     }
 }

@@ -292,6 +292,53 @@ impl Compiled {
             .sum()
     }
 
+    /// The additive loss statistics for a member set.
+    fn stats_for(&self, members: &[usize]) -> GroupStats {
+        let mut n_pos = vec![0u32; self.columns.len()];
+        let mut s_inv = vec![0f64; self.columns.len()];
+        for &ri in members {
+            for (c, col) in self.columns.iter().enumerate() {
+                let d = col.depth[self.rows[ri][c] as usize];
+                if d > 0 {
+                    n_pos[c] += 1;
+                    s_inv[c] += 1.0 / d as f64;
+                }
+            }
+        }
+        GroupStats { n_pos, s_inv }
+    }
+
+    /// Group loss from the cached stats — algebraically equal to
+    /// [`Compiled::group_loss`] (the member-by-member recompute), but
+    /// O(columns). Float association differs, so [`Compiled::finish`]
+    /// reports the exact recompute.
+    fn cached_loss(&self, g: &Group) -> f64 {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(c, col)| {
+                g.stats.n_pos[c] as f64
+                    - col.depth[g.tuple[c] as usize] as f64 * g.stats.s_inv[c]
+            })
+            .sum()
+    }
+
+    /// Loss the merge of `a` and `b` would have, priced from the cached
+    /// stats in O(columns) — no merged group is materialized and no
+    /// member list is walked.
+    fn merged_loss(&self, a: &Group, b: &Group) -> f64 {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(c, col)| {
+                let t = col.lca(a.tuple[c], b.tuple[c]);
+                let n_pos = (a.stats.n_pos[c] + b.stats.n_pos[c]) as f64;
+                let s_inv = a.stats.s_inv[c] + b.stats.s_inv[c];
+                n_pos - col.depth[t as usize] as f64 * s_inv
+            })
+            .sum()
+    }
+
     fn merge_groups(&self, a: &Group, b: &Group) -> Group {
         let tuple: Vec<u32> = self
             .columns
@@ -301,7 +348,11 @@ impl Compiled {
             .collect();
         let mut members = a.members.clone();
         members.extend_from_slice(&b.members);
-        Group { tuple, members }
+        let stats = GroupStats {
+            n_pos: a.stats.n_pos.iter().zip(&b.stats.n_pos).map(|(x, y)| x + y).collect(),
+            s_inv: a.stats.s_inv.iter().zip(&b.stats.s_inv).map(|(x, y)| x + y).collect(),
+        };
+        Group { tuple, members, stats }
     }
 
     fn initial_groups(&self) -> Vec<Group> {
@@ -311,7 +362,10 @@ impl Compiled {
         }
         let mut groups: Vec<Group> = by_tuple
             .into_iter()
-            .map(|(tuple, members)| Group { tuple, members })
+            .map(|(tuple, members)| {
+                let stats = self.stats_for(&members);
+                Group { tuple, members, stats }
+            })
             .collect();
         groups.sort_by(|a, b| a.tuple.cmp(&b.tuple));
         groups
@@ -350,11 +404,26 @@ impl Compiled {
     }
 }
 
-/// One group during merging: generalized (interned) tuple + covered rows.
+/// One group during merging: generalized (interned) tuple + covered rows
+/// + cached loss statistics.
 #[derive(Clone, Debug)]
 struct Group {
     tuple: Vec<u32>,
     members: Vec<usize>,
+    stats: GroupStats,
+}
+
+/// Per-column marginal-loss statistics for a group, **additive under
+/// merge**: `n_pos[c]` counts members whose column-`c` value has
+/// positive depth, `s_inv[c]` sums `1/depth` over them. A group's loss
+/// under tuple `t` is then `Σ_c (n_pos[c] − depth(t[c]) · s_inv[c])`
+/// (each member cell costs `1 − depth(t)/depth(v)`), so candidate
+/// merges are priced per column instead of per member — the fix for
+/// greedy's superlinear blowup as groups grow.
+#[derive(Clone, Debug)]
+struct GroupStats {
+    n_pos: Vec<u32>,
+    s_inv: Vec<f64>,
 }
 
 /// Summarizes `table` down to at most `cfg.max_rows` rows.
@@ -404,15 +473,19 @@ impl Ord for MergeCandidate {
 ///
 /// Groups are immutable once created; a merge retires both inputs and
 /// appends a new group, so a heap entry is stale exactly when one of its
-/// endpoints is retired — no cost revalidation needed. Total work is
-/// O(G^2 log G) pair evaluations instead of the naive O(G^3).
+/// endpoints is retired — no cost revalidation needed. Candidate merges
+/// are priced from each group's cached [`GroupStats`] in O(columns),
+/// independent of how many rows the groups have absorbed, so total work
+/// is O(G^2 log G · C) regardless of group size — previously each pair
+/// walked the (growing) member lists, which went superlinear in the row
+/// count.
 fn greedy(compiled: &Compiled, groups: Vec<Group>, k: usize) -> TableSummary {
     use std::collections::BinaryHeap;
     let mut slots: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
     let mut losses: Vec<f64> = slots
         .iter()
         .flatten()
-        .map(|g| compiled.group_loss(g))
+        .map(|g| compiled.cached_loss(g))
         .collect();
     let mut alive = slots.len();
     let mut heap = BinaryHeap::new();
@@ -426,8 +499,7 @@ fn greedy(compiled: &Compiled, groups: Vec<Group>, k: usize) -> TableSummary {
                 continue;
             }
             let Some(o) = other.as_ref() else { continue };
-            let merged = compiled.merge_groups(g, o);
-            let added = compiled.group_loss(&merged) - losses[idx] - losses[j];
+            let added = compiled.merged_loss(g, o) - losses[idx] - losses[j];
             let (a, b) = if idx < j { (idx, j) } else { (j, idx) };
             heap.push(MergeCandidate { added, a, b });
         }
@@ -436,8 +508,7 @@ fn greedy(compiled: &Compiled, groups: Vec<Group>, k: usize) -> TableSummary {
         let Some(gi) = slots[i].as_ref() else { continue };
         for j in (i + 1)..slots.len() {
             let Some(gj) = slots[j].as_ref() else { continue };
-            let merged = compiled.merge_groups(gi, gj);
-            let added = compiled.group_loss(&merged) - losses[i] - losses[j];
+            let added = compiled.merged_loss(gi, gj) - losses[i] - losses[j];
             heap.push(MergeCandidate { added, a: i, b: j });
         }
     }
@@ -452,7 +523,7 @@ fn greedy(compiled: &Compiled, groups: Vec<Group>, k: usize) -> TableSummary {
             continue; // unreachable given the check above
         };
         let merged = compiled.merge_groups(&ga, &gb);
-        let new_loss = compiled.group_loss(&merged);
+        let new_loss = compiled.cached_loss(&merged);
         slots.push(Some(merged));
         losses.push(new_loss);
         alive -= 1;
@@ -659,6 +730,33 @@ mod tests {
         );
         assert_eq!(s.rows.len(), 1);
         assert_eq!(s.rows[0].1, 5);
+    }
+
+    #[test]
+    fn cached_loss_matches_member_recompute_across_merges() {
+        let mut t = activity_table();
+        // Extra rows so merged groups accumulate members at mixed depths.
+        t.push_row(vec!["session-g2".into(), "question".into()]);
+        t.push_row(vec!["graphs-track".into(), "answer".into()]);
+        t.push_row(vec!["*".into(), "checkin".into()]);
+        let compiled = Compiled::compile(&t);
+        let mut groups = compiled.initial_groups();
+        while groups.len() > 1 {
+            for g in &groups {
+                let cached = compiled.cached_loss(g);
+                let exact = compiled.group_loss(g);
+                assert!(
+                    (cached - exact).abs() < 1e-9,
+                    "cached {cached} != recomputed {exact} for {:?}",
+                    g.tuple
+                );
+            }
+            let (a, b) = (groups.remove(0), groups.remove(0));
+            let predicted = compiled.merged_loss(&a, &b);
+            let merged = compiled.merge_groups(&a, &b);
+            assert!((predicted - compiled.group_loss(&merged)).abs() < 1e-9);
+            groups.push(merged);
+        }
     }
 
     #[test]

@@ -2,8 +2,8 @@
 # Tier-1 verify: offline build + tests + the hive-lint static-analysis
 # pass (R1 hermetic-deps, R2 no-panic-paths, R3 deterministic-time,
 # R4 no-stray-io, R5 forbid-unsafe, R6 no-raw-threads,
-# R7 instrumented-facade). Everything must work with no network access —
-# the workspace has zero registry dependencies.
+# R7 instrumented-facade, R8 delta-log). Everything must work with no
+# network access — the workspace has zero registry dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,3 +13,7 @@ cargo run -p hive-lint --offline
 # Bounded crash/recovery soak (fixed seed, seconds): recovery
 # equivalence + fault injection + differential oracles must all hold.
 ./target/release/hive-sim-harness --seed 42 --steps 60 --crashes 2
+# Bench regression gate over the checked-in BENCH_hive.json: no
+# *_speedup metric may sit below 1.0 (see tools/bench_allowlist.txt).
+cargo run -q --release -p hive-bench --offline --bin bench_gate -- \
+  BENCH_hive.json tools/bench_allowlist.txt
