@@ -98,8 +98,8 @@ fn main() {
     row(&["change magnitude".into(), format!("{:.1}", delta.magnitude())]);
 
     header("Integrated network as weighted RDF (R2DB export)");
-    let mut store = hive_store::TripleStore::new();
-    let n = kn.concepts.export_to_store(&mut store).expect("valid export");
+    let store = kn.concepts.export_store().expect("valid export");
+    let n = store.len();
     let relationship_store = kn.to_store(&world.db);
     println!("concept-network triples exported: {n}");
     let stats = StoreStats::compute(&relationship_store);

@@ -133,11 +133,17 @@ impl ContextNetwork {
         g
     }
 
-    /// Exports the network as weighted RDF triples:
-    /// `concept --rel:related--> concept` (intra-layer),
+    /// Exports the network as weighted RDF triples in a freshly built
+    /// store: `concept --rel:related--> concept` (intra-layer),
     /// `concept --rel:aligned--> concept` (cross-layer), and
     /// `concept --rel:in_layer--> layer`.
-    pub fn export_to_store(&self, store: &mut TripleStore) -> Result<usize, StoreError> {
+    ///
+    /// Returns an owned store rather than patching a caller-supplied
+    /// `&mut TripleStore`: store mutation goes through the store's own
+    /// typed mutators (lint R9), and the export is a pure function of
+    /// the network anyway.
+    pub fn export_store(&self) -> Result<TripleStore, StoreError> {
+        let mut store = TripleStore::new();
         let related = Term::iri("rel:related");
         let aligned = Term::iri("rel:aligned");
         let in_layer = Term::iri("rel:in_layer");
@@ -164,7 +170,8 @@ impl ContextNetwork {
                 n += 1;
             }
         }
-        Ok(n)
+        debug_assert_eq!(n, store.len());
+        Ok(store)
     }
 
     /// Per-layer `(name, concepts, relations, weight)` inventory rows.
@@ -240,11 +247,9 @@ mod tests {
     }
 
     #[test]
-    fn export_to_store_counts() {
+    fn export_store_counts() {
         let net = two_layer_network();
-        let mut st = TripleStore::new();
-        let n = net.export_to_store(&mut st).unwrap();
-        assert_eq!(n, st.len());
+        let st = net.export_store().unwrap();
         // 4 in_layer + 2 related + alignment links.
         assert!(st.len() >= 7, "got {}", st.len());
         // Path query across layers works on the exported store.

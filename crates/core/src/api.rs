@@ -64,7 +64,7 @@ struct RelSnapshot {
 /// is released.
 fn patchable_deltas(db: &HiveDb, since: u64) -> Option<Vec<crate::db::DbDelta>> {
     let deltas = db.deltas_since(since)?;
-    if deltas.iter().any(|d| matches!(d, crate::db::DbDelta::Structural)) {
+    if deltas.iter().any(|d| d.is_structural()) {
         return None;
     }
     Some(deltas.to_vec())
@@ -99,6 +99,7 @@ impl Hive {
     /// mutation methods ([`Hive::add_user`], [`Hive::workpad_note`],
     /// [`Hive::advance_clock`], ...), which route through the
     /// instrumented choke point.
+    // lint:mutator(HiveDb)
     #[doc(hidden)]
     pub fn db_mut(&mut self) -> &mut HiveDb {
         &mut self.db
@@ -135,38 +136,55 @@ impl Hive {
     /// identical to a cold rebuild because fresh builds replay the same
     /// event sequence; anything else rebuilds (`core.kn.miss`).
     pub fn knowledge(&self) -> Arc<KnowledgeNetwork> {
+        let generation = self.db.generation();
+        // Only the cache probe runs under the lock. A stale value is
+        // *taken out* and patched/rebuilt with the guard released, so
+        // the critical section never spans a snapshot rebuild (lint
+        // R11); the refreshed value is published by re-locking below.
+        let stale = {
+            let mut guard = match self.kn_cache.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some((cached_gen, kn)) = guard.as_ref() {
+                if *cached_gen == generation {
+                    hive_obs::count("core.kn.hit", 1);
+                    return Arc::clone(kn);
+                }
+            }
+            guard.take()
+        };
+        let patched = stale.and_then(|(cached_gen, mut kn)| {
+            let patch = patchable_deltas(&self.db, cached_gen)?;
+            let span = hive_obs::span_enter("kn-delta", self.db.now().ticks());
+            let net = Arc::make_mut(&mut kn);
+            let w = crate::knowledge::FusionWeights::default();
+            let mut touched = false;
+            for d in &patch {
+                touched |= d.touches_graph();
+                net.apply_delta(d, &w);
+            }
+            if touched {
+                net.refresh_unified_csr();
+            }
+            hive_obs::span_exit(span, self.db.now().ticks());
+            hive_obs::count("core.kn.delta", 1);
+            Some(kn)
+        });
+        let kn = match patched {
+            Some(kn) => kn,
+            None => {
+                hive_obs::count("core.kn.miss", 1);
+                let span = hive_obs::span_enter("kn-build", self.db.now().ticks());
+                let kn = Arc::new(KnowledgeNetwork::build(&self.db));
+                hive_obs::span_exit(span, self.db.now().ticks());
+                kn
+            }
+        };
         let mut guard = match self.kn_cache.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        let generation = self.db.generation();
-        if let Some((cached_gen, kn)) = guard.as_mut() {
-            if *cached_gen == generation {
-                hive_obs::count("core.kn.hit", 1);
-                return Arc::clone(kn);
-            }
-            if let Some(patch) = patchable_deltas(&self.db, *cached_gen) {
-                let span = hive_obs::span_enter("kn-delta", self.db.now().ticks());
-                let net = Arc::make_mut(kn);
-                let w = crate::knowledge::FusionWeights::default();
-                let mut touched = false;
-                for d in &patch {
-                    touched |= !matches!(d, crate::db::DbDelta::Neutral);
-                    net.apply_delta(d, &w);
-                }
-                if touched {
-                    net.refresh_unified_csr();
-                }
-                hive_obs::span_exit(span, self.db.now().ticks());
-                *cached_gen = generation;
-                hive_obs::count("core.kn.delta", 1);
-                return Arc::clone(kn);
-            }
-        }
-        hive_obs::count("core.kn.miss", 1);
-        let span = hive_obs::span_enter("kn-build", self.db.now().ticks());
-        let kn = Arc::new(KnowledgeNetwork::build(&self.db));
-        hive_obs::span_exit(span, self.db.now().ticks());
         *guard = Some((generation, Arc::clone(&kn)));
         kn
     }
@@ -176,37 +194,53 @@ impl Hive {
     /// missed events, then the CSR view consumes the store's own delta
     /// log), or full rebuild, in that order of preference.
     fn relationship_graph(&self, kn: &KnowledgeNetwork) -> Arc<RelSnapshot> {
+        let generation = self.db.generation();
+        // Same take-patch-republish protocol as [`Hive::knowledge`]:
+        // the guard only ever covers the cache probe and the final
+        // publish, never the export or the CSR build (lint R11).
+        let stale = {
+            let mut guard = match self.rel_cache.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(snap) = guard.as_ref() {
+                if snap.generation == generation {
+                    hive_obs::count("core.rel.hit", 1);
+                    return Arc::clone(snap);
+                }
+            }
+            guard.take()
+        };
+        let patched = stale.and_then(|mut snap| {
+            let patch = patchable_deltas(&self.db, snap.generation)?;
+            let span = hive_obs::span_enter("rel-delta", self.db.now().ticks());
+            let s = Arc::make_mut(&mut snap);
+            for d in &patch {
+                crate::knowledge::apply_rel_delta(&mut s.store, d);
+            }
+            if !s.view.apply_delta(&s.store) {
+                s.view = hive_store::GraphView::build(&s.store);
+            }
+            s.generation = generation;
+            hive_obs::span_exit(span, self.db.now().ticks());
+            hive_obs::count("core.rel.delta", 1);
+            Some(snap)
+        });
+        let snap = match patched {
+            Some(snap) => snap,
+            None => {
+                hive_obs::count("core.rel.miss", 1);
+                let span = hive_obs::span_enter("rel-snapshot-build", self.db.now().ticks());
+                let store = kn.to_store(&self.db);
+                let view = hive_store::GraphView::build(&store);
+                hive_obs::span_exit(span, self.db.now().ticks());
+                Arc::new(RelSnapshot { generation, store, view })
+            }
+        };
         let mut guard = match self.rel_cache.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        let generation = self.db.generation();
-        if let Some(snap) = guard.as_mut() {
-            if snap.generation == generation {
-                hive_obs::count("core.rel.hit", 1);
-                return Arc::clone(snap);
-            }
-            if let Some(patch) = patchable_deltas(&self.db, snap.generation) {
-                let span = hive_obs::span_enter("rel-delta", self.db.now().ticks());
-                let s = Arc::make_mut(snap);
-                for d in &patch {
-                    crate::knowledge::apply_rel_delta(&mut s.store, d);
-                }
-                if !s.view.apply_delta(&s.store) {
-                    s.view = hive_store::GraphView::build(&s.store);
-                }
-                s.generation = generation;
-                hive_obs::span_exit(span, self.db.now().ticks());
-                hive_obs::count("core.rel.delta", 1);
-                return Arc::clone(snap);
-            }
-        }
-        hive_obs::count("core.rel.miss", 1);
-        let span = hive_obs::span_enter("rel-snapshot-build", self.db.now().ticks());
-        let store = kn.to_store(&self.db);
-        let view = hive_store::GraphView::build(&store);
-        hive_obs::span_exit(span, self.db.now().ticks());
-        let snap = Arc::new(RelSnapshot { generation, store, view });
         *guard = Some(Arc::clone(&snap));
         snap
     }

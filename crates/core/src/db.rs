@@ -78,6 +78,43 @@ pub enum DbDelta {
     },
 }
 
+impl DbDelta {
+    /// True when this mutation invalidates the static derived layers
+    /// (content vectors, concept maps, static graph layers) and forces
+    /// a full rebuild instead of an in-place patch.
+    ///
+    /// Exhaustive on purpose (lint R10): adding a variant must force a
+    /// decision here instead of silently defaulting to "patchable".
+    pub fn is_structural(&self) -> bool {
+        match self {
+            DbDelta::Structural => true,
+            DbDelta::Neutral
+            | DbDelta::Follow { .. }
+            | DbDelta::Connect { .. }
+            | DbDelta::CheckIn { .. }
+            | DbDelta::Attend { .. }
+            | DbDelta::Discuss { .. }
+            | DbDelta::ViewPaper { .. } => false,
+        }
+    }
+
+    /// True when this mutation adds at least one edge to the dynamic
+    /// knowledge-network layers, i.e. a patched network must re-derive
+    /// its CSR snapshot afterwards. Exhaustive on purpose (lint R10).
+    pub fn touches_graph(&self) -> bool {
+        match self {
+            DbDelta::Neutral => false,
+            DbDelta::Structural
+            | DbDelta::Follow { .. }
+            | DbDelta::Connect { .. }
+            | DbDelta::CheckIn { .. }
+            | DbDelta::Attend { .. }
+            | DbDelta::Discuss { .. }
+            | DbDelta::ViewPaper { .. } => true,
+        }
+    }
+}
+
 /// The platform database.
 #[derive(Clone, Debug, Default)]
 pub struct HiveDb {
@@ -485,6 +522,7 @@ impl HiveDb {
     pub fn conferences_of(&self, user: UserId) -> Vec<ConferenceId> {
         let mut out: Vec<ConferenceId> = self
             .attendance
+            // lint:allow(determinism-taint) -- sorted before returning
             .iter()
             .filter(|(u, _)| *u == user)
             .map(|(_, c)| *c)
@@ -579,6 +617,7 @@ impl HiveDb {
     pub fn following(&self, u: UserId) -> Vec<UserId> {
         let mut out: Vec<UserId> = self
             .follow_index
+            // lint:allow(determinism-taint) -- sorted before returning
             .iter()
             .filter(|(a, _)| *a == u)
             .map(|(_, b)| *b)

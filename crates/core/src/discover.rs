@@ -211,6 +211,7 @@ fn all_resources(db: &HiveDb, include_users: bool) -> Vec<Resource> {
 fn graph_activation(kn: &KnowledgeNetwork, ctx: &ActivityContext) -> HashMap<String, f64> {
     let g = &kn.unified;
     let mut seeds: HashMap<NodeId, f64> = HashMap::new();
+    // lint:allow(determinism-taint) -- distinct keys hit distinct nodes; PPR sorts seeds
     for (key, &mass) in &ctx.seeds {
         if let Some(n) = g.node(key) {
             *seeds.entry(n).or_insert(0.0) += mass;

@@ -306,10 +306,12 @@ pub fn relationship_evidence(
         );
     } else {
         let series_a: HashSet<String> = confs_a
+            // lint:allow(determinism-taint) -- only the intersection count is used
             .iter()
             .filter_map(|&c| db.get_conference(c).ok().map(|x| x.series.clone()))
             .collect();
         let series_b: HashSet<String> = confs_b
+            // lint:allow(determinism-taint) -- only the intersection count is used
             .iter()
             .filter_map(|&c| db.get_conference(c).ok().map(|x| x.series.clone()))
             .collect();
@@ -330,10 +332,12 @@ pub fn relationship_evidence(
     let sess_b: HashSet<_> = db.checkins_of(b).iter().map(|c| c.session).collect();
     let shared_sessions = sess_a.intersection(&sess_b).count();
     let mut related_sessions = 0usize;
+    // lint:allow(determinism-taint) -- pure counting, order-insensitive
     for &sa in &sess_a {
         if sess_b.contains(&sa) {
             continue;
         }
+        // lint:allow(determinism-taint) -- pure counting, order-insensitive
         for &sb in &sess_b {
             if sess_a.contains(&sb) {
                 continue;

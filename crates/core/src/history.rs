@@ -138,6 +138,7 @@ pub fn timeline(
         *buckets.entry(b).or_default().entry(r.event.category()).or_insert(0) += 1;
     }
     let mut out: Vec<(Timestamp, HashMap<&'static str, usize>)> = buckets
+        // lint:allow(determinism-taint) -- sorted by timestamp below
         .into_iter()
         .map(|(b, counts)| (Timestamp(b * bucket_width), counts))
         .collect();

@@ -173,6 +173,7 @@ impl KnowledgeNetwork {
         // export order canonical makes two equal databases produce
         // byte-identical stores (the recovery-equivalence oracle relies
         // on this).
+        // lint:allow(determinism-taint) -- sorted by author pair on the next line
         let mut coauth: Vec<_> = coauth.into_iter().collect();
         coauth.sort_by_key(|&(pair, _)| pair);
         for ((a, b), n) in coauth {
@@ -215,7 +216,12 @@ impl KnowledgeNetwork {
         match d {
             DbDelta::Structural => false,
             DbDelta::Neutral => true,
-            _ => {
+            DbDelta::Follow { .. }
+            | DbDelta::Connect { .. }
+            | DbDelta::CheckIn { .. }
+            | DbDelta::Attend { .. }
+            | DbDelta::Discuss { .. }
+            | DbDelta::ViewPaper { .. } => {
                 apply_social_delta(&mut self.social, w, d);
                 apply_unified_delta(&mut self.unified, w, d);
                 true
@@ -230,6 +236,7 @@ impl KnowledgeNetwork {
     }
 }
 
+// lint:mutator(TripleStore)
 fn ins(st: &mut TripleStore, s: String, p: &str, o: String, w: f64) {
     let w = w.clamp(f64::MIN_POSITIVE, 1.0);
     // Weight is clamped into (0, 1] above and both positions are
@@ -241,6 +248,7 @@ fn ins(st: &mut TripleStore, s: String, p: &str, o: String, w: f64) {
 /// the insertion sequence of [`KnowledgeNetwork::to_store`]. Neutral and
 /// structural deltas are no-ops (the latter must trigger a rebuild —
 /// see [`KnowledgeNetwork::apply_delta`]).
+// lint:mutator(TripleStore)
 pub fn apply_rel_delta(st: &mut TripleStore, d: &DbDelta) {
     match *d {
         DbDelta::Connect { a, b } => ins(st, a.iri(), "rel:connected", b.iri(), 1.0),
@@ -286,7 +294,14 @@ fn apply_social_delta(g: &mut Graph, w: &FusionWeights, d: &DbDelta) {
             let (na, nb) = (g.add_node(follower.iri()), g.add_node(followee.iri()));
             g.add_edge(na, nb, w.follow);
         }
-        _ => {}
+        // The social layer carries explicit peer relations only; the
+        // remaining activity kinds contribute to the unified layer.
+        DbDelta::CheckIn { .. }
+        | DbDelta::Attend { .. }
+        | DbDelta::Discuss { .. }
+        | DbDelta::ViewPaper { .. }
+        | DbDelta::Neutral
+        | DbDelta::Structural => {}
     }
 }
 

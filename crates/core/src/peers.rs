@@ -158,6 +158,7 @@ pub fn recommend_peers(
     let g = &kn.unified;
     // Seed PPR from the context (fall back to the user node alone).
     let mut seeds: HashMap<NodeId, f64> = HashMap::new();
+    // lint:allow(determinism-taint) -- distinct keys hit distinct nodes; PPR sorts seeds
     for (key, &mass) in &ctx.seeds {
         if let Some(n) = g.node(key) {
             *seeds.entry(n).or_insert(0.0) += mass;

@@ -76,6 +76,7 @@ pub fn trending_sessions(
             }
         }
     }
+    // lint:allow(determinism-taint) -- total order with id tiebreak on the next line
     let mut out: Vec<(SessionId, f64)> = heat.into_iter().filter(|(_, h)| *h > 0.0).collect();
     out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out.truncate(k);

@@ -73,6 +73,7 @@ pub fn personalized_pagerank_csr(
     // normalizer (and through it every rank) drift by an ulp between
     // otherwise identical runs.
     let mut restart = vec![0.0f64; n];
+    // lint:allow(determinism-taint) -- sorted into node order on the next line
     let mut seed_list: Vec<(NodeId, f64)> = seeds.iter().map(|(&k, &v)| (k, v)).collect();
     seed_list.sort_by_key(|&(node, _)| node.index());
     let seed_sum: f64 = seed_list.iter().map(|&(_, mass)| mass).sum();

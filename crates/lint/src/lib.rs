@@ -2,342 +2,138 @@
 //!
 //! A dependency-free analyzer that turns the workspace's operational
 //! conventions into machine-checked invariants (DESIGN.md, "Static
-//! analysis & hermetic build policy"):
+//! analysis architecture"). Twelve rules run over two engines:
+//!
+//! **Token rules** match forbidden tokens in *lexed* source: a minimal
+//! Rust lexer blanks `//` and `/* */` comments, string and char
+//! literals, and `#[cfg(test)]` / `#[test]` regions first, so a
+//! forbidden token inside a doc comment, a string, or a unit test never
+//! fires.
 //!
 //! * **R1 `hermetic-deps`** — every `[dependencies]` /
 //!   `[dev-dependencies]` entry in every manifest is a workspace path
 //!   dep (or `workspace = true` indirection to one); no registry crates,
 //!   so the build never touches the network.
-//! * **R2 `no-panic-paths`** — no `.unwrap()`, `.expect(`, `panic!`,
-//!   `unreachable!`, or `todo!` in the non-test code of the library
-//!   crates `store`, `graph`, `text`, `scent`, `concept`, and `core`;
-//!   fallibility flows through the existing `Result` types.
 //! * **R3 `deterministic-time`** — no `Instant::now` / `SystemTime::now`
-//!   outside `crates/core/src/clock.rs`; simulation time is logical.
+//!   outside the declared clock file; simulation time is logical.
 //! * **R4 `no-stray-io`** — no `println!` / `eprintln!` / `dbg!` in
-//!   library crates (the `bench` harness bins and the lint binary
-//!   itself are exempt — printing is their job).
+//!   library crates (crates with binary targets are exempt — printing
+//!   is their job).
 //! * **R5 `forbid-unsafe`** — every library `lib.rs` carries
 //!   `#![forbid(unsafe_code)]`.
 //! * **R6 `no-raw-threads`** — no `thread::spawn` / `thread::scope` /
-//!   `thread::Builder` outside `crates/par`; all concurrency goes
-//!   through the deterministic `hive-par` pool so parallel output stays
-//!   bit-identical to serial.
-//! * **R7 `instrumented-facade`** — every `pub fn` of the service
-//!   facade (`crates/core/src/api.rs`) routes through the instrumented
-//!   `Hive::service(..)` / `Hive::service_mut(..)` choke point, so no
-//!   Table-1 service can silently bypass the hive-obs span/counter
-//!   layer; construction and cache plumbing (`new`, `db`, `db_mut`,
-//!   `knowledge`, the choke points themselves) are exempt.
-//! * **R8 `delta-log`** — no direct `generation +=` bumps anywhere but
-//!   the delta-log APIs (`TripleStore::log_op`, `HiveDb::bump`), each
-//!   marked with `lint:allow(delta-log)`. A generation bump that skips
-//!   the journal silently breaks incremental cache maintenance: the
-//!   stamp advances but no delta is recorded, so a patched cache would
-//!   diverge from a rebuilt one.
+//!   `thread::Builder` outside the declared thread crate; all
+//!   concurrency goes through the deterministic `hive-par` pool so
+//!   parallel output stays bit-identical to serial.
 //!
-//! Matching runs on *lexed* source: a minimal Rust lexer first blanks
-//! `//` and `/* */` comments, string and char literals, and
-//! `#[cfg(test)]` / `#[test]` regions, so a forbidden token inside a
-//! doc comment, a string, or a unit test never fires. Any rule can be
-//! waived at a single site with a `// lint:allow(<rule>)` comment on
-//! the same line or the line above (`# lint:allow(<rule>)` in TOML).
+//! **AST rules** run over a tolerant in-tree parser ([`parser`]), a
+//! workspace symbol table with receiver-type inference, and a call
+//! graph ([`resolve`]) — they resolve *calls*, not text:
+//!
+//! * **R2 `no-panic-paths`** — no `.unwrap()`, `.expect(`, `panic!`,
+//!   `unreachable!`, or `todo!` in the non-test code of panic-free
+//!   crates; fallibility flows through the existing `Result` types.
+//! * **R7 `instrumented-facade`** — every `pub fn` of the service
+//!   facade routes through the instrumented `Hive::service(..)` /
+//!   `Hive::service_mut(..)` choke point, so no Table-1 service can
+//!   silently bypass the hive-obs span/counter layer.
+//! * **R8 `delta-log`** — no direct `generation +=` bumps anywhere but
+//!   the delta-log APIs. A bump that skips the journal silently breaks
+//!   incremental cache maintenance.
+//! * **R9 `snapshot-discipline`** — `&mut` access to a protected
+//!   snapshot type (`TripleStore`, `HiveDb`, ...) only through its home
+//!   crate, owners, or functions declared `lint:mutator(T)`.
+//! * **R10 `exhaustive-delta`** — every `match` on a delta enum
+//!   (`DeltaOp`, `DbDelta`) names all variants: no `_`, no catch-all
+//!   binding, no `matches!`, so a new delta kind fails to compile
+//!   instead of being silently dropped by a cache-patch path.
+//! * **R11 `lock-scope`** — no call that can reach a `hive-par` pool
+//!   entry, a facade service dispatch, or a snapshot rebuild while a
+//!   `Mutex` guard from `.lock()` is live (latent deadlock / stall).
+//! * **R12 `determinism-taint`** — functions reachable from a
+//!   `lint:root(determinism)` root may not iterate `HashMap`/`HashSet`
+//!   or touch wall-clock/entropy sources; fingerprints and oracles must
+//!   be bit-stable.
+//!
+//! Any rule can be waived at a single site with a
+//! `// lint:allow(<rule>)` comment on the same line or the line above
+//! (`# lint:allow(<rule>)` in TOML). Crate coverage (panic-free,
+//! io-exempt, thread crates, facade/clock files) is derived from the
+//! workspace manifests — see [`config`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod ast;
+pub mod config;
+pub mod lexer;
+pub mod parser;
+pub mod resolve;
+pub mod rules;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// One rule violation at a file/line.
+pub use lexer::{lex, tokenize, LexedSource, Marker, MarkerKind, Tok, TokKind};
+pub use rules::AllowIndex;
+
+use lexer::MarkerKind as MK;
+
+/// One rule violation at a file/line/column.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Stable rule identifier, e.g. `no-panic-paths`.
     pub rule: &'static str,
+    /// Stable rule number (the `N` in `R<N>`).
+    pub num: u8,
     /// Workspace-relative path of the offending file.
     pub file: String,
     /// 1-based line of the offending token.
     pub line: usize,
+    /// 1-based column of the offending token (1 when unknown).
+    pub col: usize,
     /// Human-readable explanation.
     pub message: String,
 }
 
+impl Diagnostic {
+    /// Builds a diagnostic, deriving the rule number from the name.
+    pub fn new(rule: &'static str, file: &str, line: usize, col: usize, message: String) -> Self {
+        Diagnostic { rule, num: rules::num(rule), file: file.to_string(), line, col, message }
+    }
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+        write!(
+            f,
+            "{}:{}:{}: R{} {}: {}",
+            self.file, self.line, self.col, self.num, self.rule, self.message
+        )
     }
 }
 
-/// Rule identifiers, shared by diagnostics and `lint:allow` markers.
-pub mod rules {
-    /// R1: registry dependencies are forbidden.
-    pub const HERMETIC_DEPS: &str = "hermetic-deps";
-    /// R2: panicking calls are forbidden in library code.
-    pub const NO_PANIC_PATHS: &str = "no-panic-paths";
-    /// R3: wall-clock reads are forbidden outside the clock module.
-    pub const DETERMINISTIC_TIME: &str = "deterministic-time";
-    /// R4: stray stdout/stderr output is forbidden in library code.
-    pub const NO_STRAY_IO: &str = "no-stray-io";
-    /// R5: library roots must forbid unsafe code.
-    pub const FORBID_UNSAFE: &str = "forbid-unsafe";
-    /// R6: raw thread primitives are forbidden outside `crates/par`.
-    pub const NO_RAW_THREADS: &str = "no-raw-threads";
-    /// R7: facade services must route through `Hive::service(..)`.
-    pub const INSTRUMENTED_FACADE: &str = "instrumented-facade";
-    /// R8: generation counters may only be bumped via the delta-log API.
-    pub const DELTA_LOG: &str = "delta-log";
+/// Sorts diagnostics into the stable report order:
+/// (file, line, col, rule number, message).
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.col.cmp(&b.col))
+            .then(a.num.cmp(&b.num))
+            .then(a.message.cmp(&b.message))
+    });
 }
 
-/// Lexed view of one source file: the original text with comments,
-/// string/char literals, and test-only regions blanked (byte-for-byte,
-/// newlines preserved, so line/column arithmetic still holds), plus the
-/// `lint:allow` markers harvested from the comments before blanking.
-pub struct LexedSource {
-    /// The masked source text.
-    pub masked: String,
-    /// `(line, rule)` pairs for every `lint:allow(rule)` marker.
-    pub allows: Vec<(usize, String)>,
-}
-
-impl LexedSource {
-    /// True if `rule` is waived on `line` (marker on the same line or
-    /// the line directly above).
-    pub fn allows(&self, rule: &str, line: usize) -> bool {
-        self.allows
-            .iter()
-            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
-    }
-}
-
-/// Harvests `lint:allow(rule)` / `lint:allow(rule1, rule2)` markers
-/// from a comment (or TOML comment) body.
-fn harvest_allows(body: &str, line: usize, out: &mut Vec<(usize, String)>) {
-    let mut rest = body;
-    while let Some(at) = rest.find("lint:allow(") {
-        rest = &rest[at + "lint:allow(".len()..];
-        let Some(close) = rest.find(')') else { break };
-        for rule in rest[..close].split(',') {
-            let rule = rule.trim();
-            if !rule.is_empty() {
-                out.push((line, rule.to_string()));
-            }
-        }
-        rest = &rest[close..];
-    }
-}
-
-/// Runs the minimal lexer: blanks comments and string/char literals,
-/// then blanks `#[cfg(test)]` / `#[test]` regions.
-pub fn lex(source: &str) -> LexedSource {
-    let mut masked: Vec<char> = Vec::with_capacity(source.len());
-    let mut allows = Vec::new();
-    let chars: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    let mut line = 1;
-    // Pushes a blank for `c`, preserving newlines and horizontal layout.
-    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
-            // Line comment: harvest allow markers, blank to end of line.
-            let start = i;
-            while i < chars.len() && chars[i] != '\n' {
-                i += 1;
-            }
-            let body: String = chars[start..i].iter().collect();
-            harvest_allows(&body, line, &mut allows);
-            masked.extend(std::iter::repeat(' ').take(i - start));
-        } else if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
-            // Block comment, nesting supported.
-            let start_line = line;
-            let start = i;
-            let mut depth = 1;
-            i += 2;
-            while i < chars.len() && depth > 0 {
-                if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
-                    depth += 1;
-                    i += 2;
-                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    if chars[i] == '\n' {
-                        line += 1;
-                    }
-                    i += 1;
-                }
-            }
-            let body: String = chars[start..i].iter().collect();
-            harvest_allows(&body, start_line, &mut allows);
-            for &bc in &chars[start..i] {
-                masked.push(blank(bc));
-            }
-        } else if c == '"' || (c == 'r' && is_raw_string_start(&chars, i)) {
-            // String literal (plain or raw). Blank the contents.
-            let (end, newlines) = skip_string(&chars, i);
-            for &bc in &chars[i..end] {
-                masked.push(blank(bc));
-            }
-            line += newlines;
-            i = end;
-        } else if c == '\'' && is_char_literal(&chars, i) {
-            let end = skip_char_literal(&chars, i);
-            masked.extend(std::iter::repeat(' ').take(end - i));
-            i = end;
-        } else {
-            if c == '\n' {
-                line += 1;
-            }
-            masked.push(c);
-            i += 1;
-        }
-    }
-    let mut lexed = LexedSource { masked: masked.into_iter().collect(), allows };
-    blank_test_regions(&mut lexed.masked);
-    lexed
-}
-
-/// `r"`, `r#"`, `r##"`, ... (also `br"` is handled via the `b` falling
-/// through as a normal char before `r`).
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    let mut j = i + 1;
-    while j < chars.len() && chars[j] == '#' {
-        j += 1;
-    }
-    j < chars.len() && chars[j] == '"'
-}
-
-/// Skips a string literal starting at `i`; returns (end index, newlines
-/// crossed).
-fn skip_string(chars: &[char], i: usize) -> (usize, usize) {
-    let mut newlines = 0;
-    if chars[i] == 'r' {
-        let mut hashes = 0;
-        let mut j = i + 1;
-        while j < chars.len() && chars[j] == '#' {
-            hashes += 1;
-            j += 1;
-        }
-        j += 1; // opening quote
-        // Scan for `"` followed by `hashes` hashes.
-        while j < chars.len() {
-            if chars[j] == '\n' {
-                newlines += 1;
-            }
-            if chars[j] == '"' && chars[j + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
-            {
-                return (j + 1 + hashes, newlines);
-            }
-            j += 1;
-        }
-        (j, newlines)
-    } else {
-        let mut j = i + 1;
-        while j < chars.len() {
-            match chars[j] {
-                '\\' => j += 2,
-                '"' => return (j + 1, newlines),
-                c => {
-                    if c == '\n' {
-                        newlines += 1;
-                    }
-                    j += 1;
-                }
-            }
-        }
-        (j, newlines)
-    }
-}
-
-/// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes.
-fn is_char_literal(chars: &[char], i: usize) -> bool {
-    if i + 2 >= chars.len() {
-        return false;
-    }
-    if chars[i + 1] == '\\' {
-        return true;
-    }
-    chars[i + 2] == '\'' && chars[i + 1] != '\''
-}
-
-fn skip_char_literal(chars: &[char], i: usize) -> usize {
-    let mut j = i + 1;
-    if j < chars.len() && chars[j] == '\\' {
-        j += 2;
-        // Escapes like \u{1F600} run until the closing quote.
-        while j < chars.len() && chars[j] != '\'' {
-            j += 1;
-        }
-        return (j + 1).min(chars.len());
-    }
-    while j < chars.len() && chars[j] != '\'' {
-        j += 1;
-    }
-    (j + 1).min(chars.len())
-}
-
-/// Blanks `#[cfg(test)]` and `#[test]` items in already-masked source:
-/// from the attribute through the matching close brace (or trailing
-/// semicolon for brace-less items).
-fn blank_test_regions(masked: &mut String) {
-    let mut out: Vec<char> = masked.chars().collect();
-    let mut from = 0;
-    while let Some(at) = find_test_attr(&out, from) {
-        // Find the end of the region: first `{` after the attribute,
-        // matched to its closing brace; or a `;` that arrives first.
-        let mut j = at;
-        let mut end = out.len();
-        while j < out.len() {
-            match out[j] {
-                '{' => {
-                    let mut depth = 0;
-                    while j < out.len() {
-                        match out[j] {
-                            '{' => depth += 1,
-                            '}' => {
-                                depth -= 1;
-                                if depth == 0 {
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                    end = (j + 1).min(out.len());
-                    break;
-                }
-                ';' => {
-                    end = j + 1;
-                    break;
-                }
-                _ => j += 1,
-            }
-        }
-        for cell in out.iter_mut().take(end).skip(at) {
-            if *cell != '\n' {
-                *cell = ' ';
-            }
-        }
-        from = end.max(at + 1);
-    }
-    *masked = out.into_iter().collect();
-}
-
-/// Char offset of the next test attribute at or after `from`, if any.
-fn find_test_attr(chars: &[char], from: usize) -> Option<usize> {
-    let matches_at = |i: usize, pat: &str| -> bool {
-        pat.chars().enumerate().all(|(k, pc)| chars.get(i + k) == Some(&pc))
-    };
-    (from..chars.len()).find(|&i| matches_at(i, "#[cfg(test)]") || matches_at(i, "#[test]"))
-}
-
-/// Which source rules apply to a given file.
+/// Which token-level source rules apply to a given file.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SourceRules {
-    /// Apply R2 `no-panic-paths`.
+    /// Apply R2 `no-panic-paths` (token engine; the workspace scan uses
+    /// the AST engine for R2 — this stays for differential testing and
+    /// for bench/test surfaces the AST pass does not cover).
     pub no_panic: bool,
     /// Apply R3 `deterministic-time`.
     pub deterministic_time: bool,
@@ -345,7 +141,7 @@ pub struct SourceRules {
     pub no_stray_io: bool,
     /// Apply R6 `no-raw-threads`.
     pub no_raw_threads: bool,
-    /// Apply R8 `delta-log`.
+    /// Apply R8 `delta-log` (token engine; src/ uses the AST engine).
     pub delta_log: bool,
 }
 
@@ -369,9 +165,10 @@ fn is_ident_char(c: char) -> bool {
 
 /// Finds `needle` occurrences in `line`, honoring an identifier
 /// boundary before the match when asked (so `dbg!` does not fire inside
-/// `herbg!`, nor `panic!` inside `should_panic!`-like names).
-fn token_hits(line: &str, needle: &str, boundary: bool) -> usize {
-    let mut hits = 0;
+/// `herbg!`, nor `panic!` inside `should_panic!`-like names). Returns
+/// the 1-based columns of the hits.
+fn token_cols(line: &str, needle: &str, boundary: bool) -> Vec<usize> {
+    let mut cols = Vec::new();
     let mut from = 0;
     while let Some(at) = line[from..].find(needle) {
         let abs = from + at;
@@ -379,14 +176,14 @@ fn token_hits(line: &str, needle: &str, boundary: bool) -> usize {
             || abs == 0
             || !line[..abs].chars().next_back().map(is_ident_char).unwrap_or(false);
         if ok {
-            hits += 1;
+            cols.push(line[..abs].chars().count() + 1);
         }
         from = abs + needle.len();
     }
-    hits
+    cols
 }
 
-/// Runs the source-level rules (R2/R3/R4) over one file.
+/// Runs the token-level source rules over one file.
 pub fn check_source(file: &str, source: &str, which: SourceRules) -> Vec<Diagnostic> {
     let lexed = lex(source);
     let mut out = Vec::new();
@@ -398,7 +195,7 @@ pub fn check_source(file: &str, source: &str, which: SourceRules) -> Vec<Diagnos
         table.push((
             rules::DETERMINISTIC_TIME,
             TIME_TOKENS,
-            "wall-clock read outside crates/core/src/clock.rs",
+            "wall-clock read outside the declared clock file",
         ));
     }
     if which.no_stray_io {
@@ -422,13 +219,16 @@ pub fn check_source(file: &str, source: &str, which: SourceRules) -> Vec<Diagnos
         let lineno = lineno + 1;
         for &(rule, tokens, what) in &table {
             for &(needle, boundary) in tokens {
-                if token_hits(line, needle, boundary) > 0 && !lexed.allows(rule, lineno) {
-                    out.push(Diagnostic {
-                        rule,
-                        file: file.to_string(),
-                        line: lineno,
-                        message: format!("{what}: `{needle}`"),
-                    });
+                for col in token_cols(line, needle, boundary) {
+                    if !lexed.allows(rule, lineno) {
+                        out.push(Diagnostic::new(
+                            rule,
+                            file,
+                            lineno,
+                            col,
+                            format!("{what}: `{needle}`"),
+                        ));
+                    }
                 }
             }
         }
@@ -446,12 +246,13 @@ pub fn check_lib_root(file: &str, source: &str) -> Vec<Diagnostic> {
     if lexed.allows(rules::FORBID_UNSAFE, 1) {
         return Vec::new();
     }
-    vec![Diagnostic {
-        rule: rules::FORBID_UNSAFE,
-        file: file.to_string(),
-        line: 1,
-        message: "library root is missing `#![forbid(unsafe_code)]`".to_string(),
-    }]
+    vec![Diagnostic::new(
+        rules::FORBID_UNSAFE,
+        file,
+        1,
+        1,
+        "library root is missing `#![forbid(unsafe_code)]`".to_string(),
+    )]
 }
 
 /// Char offset of `pat` in `chars` at or after `from`, if any.
@@ -461,15 +262,14 @@ fn find_sub(chars: &[char], from: usize, pat: &str) -> Option<usize> {
     (from..chars.len()).find(|&i| matches_at(i))
 }
 
-/// Facade functions exempt from R7: construction and cache plumbing
-/// that runs no Table-1 service, plus the choke points themselves.
-const FACADE_EXEMPT: &[&str] = &["new", "db", "db_mut", "knowledge", "service", "service_mut"];
-
-/// Runs R7 over the service facade: every `pub fn` body (in masked
-/// source, so tests and doc examples never fire) must contain a
-/// `self.service(` or `self.service_mut(` call, unless the function is
-/// named in [`FACADE_EXEMPT`] or waived with
-/// `// lint:allow(instrumented-facade)`.
+/// Runs R7 over the service facade with the *token* engine: every
+/// `pub fn` body (in masked source, so tests and doc examples never
+/// fire) must contain a `self.service(` or `self.service_mut(` call,
+/// unless the function is named in [`rules::FACADE_EXEMPT`] or waived.
+///
+/// The workspace scan uses the AST engine
+/// ([`rules::check_ast`]) for R7; this implementation is retained as
+/// the reference for the token-vs-AST differential test.
 pub fn check_facade(file: &str, source: &str) -> Vec<Diagnostic> {
     let lexed = lex(source);
     let chars: Vec<char> = lexed.masked.chars().collect();
@@ -482,6 +282,7 @@ pub fn check_facade(file: &str, source: &str) -> Vec<Diagnostic> {
             continue;
         }
         let line = chars[..at].iter().filter(|&&c| c == '\n').count() + 1;
+        let col = at - chars[..at].iter().rposition(|&c| c == '\n').map_or(0, |p| p + 1) + 1;
         let mut j = at + "pub fn ".len();
         while j < chars.len() && chars[j].is_whitespace() {
             j += 1;
@@ -526,17 +327,18 @@ pub fn check_facade(file: &str, source: &str) -> Vec<Diagnostic> {
         let body: String = chars[open..k.min(chars.len())].iter().collect();
         let routed = body.contains("self.service(") || body.contains("self.service_mut(");
         if !routed
-            && !FACADE_EXEMPT.contains(&name.as_str())
+            && !rules::FACADE_EXEMPT.contains(&name.as_str())
             && !lexed.allows(rules::INSTRUMENTED_FACADE, line)
         {
-            out.push(Diagnostic {
-                rule: rules::INSTRUMENTED_FACADE,
-                file: file.to_string(),
+            out.push(Diagnostic::new(
+                rules::INSTRUMENTED_FACADE,
+                file,
                 line,
-                message: format!(
+                col,
+                format!(
                     "`pub fn {name}` does not route through `Hive::service(..)` / `Hive::service_mut(..)`"
                 ),
-            });
+            ));
         }
         from = k.max(at + 1);
     }
@@ -550,25 +352,33 @@ pub fn check_manifest(file: &str, contents: &str) -> Vec<Diagnostic> {
     let mut in_dep_section = false;
     let mut dotted_dep_header: Option<usize> = None;
     let mut dotted_dep_hermetic = false;
-    let mut allows: Vec<(usize, String)> = Vec::new();
+    let mut allows: Vec<Marker> = Vec::new();
     let flush_dotted = |header: &mut Option<usize>, hermetic: &mut bool,
                             out: &mut Vec<Diagnostic>| {
         if let Some(line) = header.take() {
             if !*hermetic {
-                out.push(Diagnostic {
-                    rule: rules::HERMETIC_DEPS,
-                    file: file.to_string(),
+                out.push(Diagnostic::new(
+                    rules::HERMETIC_DEPS,
+                    file,
                     line,
-                    message: "dependency is not a workspace path dep".to_string(),
-                });
+                    1,
+                    "dependency is not a workspace path dep".to_string(),
+                ));
             }
         }
         *hermetic = false;
     };
+    let allowed_at = |allows: &[Marker], lineno: usize| {
+        allows.iter().any(|m| {
+            m.kind == MK::Allow
+                && (m.line == lineno || m.line + 1 == lineno)
+                && m.args.iter().any(|a| a == rules::HERMETIC_DEPS)
+        })
+    };
     for (lineno, raw) in contents.lines().enumerate() {
         let lineno = lineno + 1;
         if let Some(hash) = raw.find('#') {
-            harvest_allows(&raw[hash..], lineno, &mut allows);
+            lexer::harvest_markers(&raw[hash..], lineno, &mut allows);
         }
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -618,33 +428,28 @@ pub fn check_manifest(file: &str, contents: &str) -> Vec<Diagnostic> {
             || value.contains("workspace = true")
             || value.contains("workspace=true")
             || key.ends_with(".workspace");
-        let allowed = allows
-            .iter()
-            .any(|(l, r)| r == rules::HERMETIC_DEPS && (*l == lineno || *l + 1 == lineno));
-        if !hermetic && !allowed {
-            out.push(Diagnostic {
-                rule: rules::HERMETIC_DEPS,
-                file: file.to_string(),
-                line: lineno,
-                message: format!("`{key}` is not a workspace path dep (registry crates are forbidden)"),
-            });
+        if !hermetic && !allowed_at(&allows, lineno) {
+            out.push(Diagnostic::new(
+                rules::HERMETIC_DEPS,
+                file,
+                lineno,
+                1,
+                format!("`{key}` is not a workspace path dep (registry crates are forbidden)"),
+            ));
         }
     }
     flush_dotted(&mut dotted_dep_header, &mut dotted_dep_hermetic, &mut out);
     out
 }
 
-/// Crates whose non-test code must be panic-free (R2).
-const PANIC_FREE_CRATES: &[&str] =
-    &["store", "graph", "text", "scent", "concept", "core", "obs", "sim-harness"];
-/// Crates exempt from R4 — printing is their purpose.
-const IO_EXEMPT_CRATES: &[&str] = &["bench", "lint", "sim-harness"];
-/// The one file allowed to read the wall clock.
-const CLOCK_FILE: &str = "crates/core/src/clock.rs";
-/// The one crate allowed to touch raw thread primitives (R6).
-const THREAD_CRATE: &str = "par";
-/// The service facade checked by R7.
-const FACADE_FILE: &str = "crates/core/src/api.rs";
+/// Scan size counters, reported alongside the diagnostics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanStats {
+    /// Number of `.rs` files analyzed.
+    pub files: usize,
+    /// Total source lines across those files.
+    pub loc: usize,
+}
 
 /// Recursively collects `.rs` files under `dir`.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -664,9 +469,46 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// Parses every `src/` file of every crate and runs the AST rules.
+/// Exposed separately so benches can time the AST engine alone.
+pub fn check_ast_workspace(
+    root: &Path,
+    cfg: &config::WorkspaceConfig,
+) -> io::Result<(Vec<Diagnostic>, ScanStats)> {
+    let rel = |p: &Path| -> String {
+        p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/")
+    };
+    let mut files = Vec::new();
+    let mut allows = AllowIndex::default();
+    let mut stats = ScanStats::default();
+    for (name, dir) in &cfg.crates {
+        let mut sources = Vec::new();
+        rust_files(&dir.join("src"), &mut sources)?;
+        for path in &sources {
+            let source = fs::read_to_string(path)?;
+            let file_rel = rel(path);
+            stats.files += 1;
+            stats.loc += source.lines().count();
+            let (toks, markers) = tokenize(&source);
+            for m in &markers {
+                if m.kind == MK::Allow {
+                    for a in &m.args {
+                        allows.insert(&file_rel, m.line, a);
+                    }
+                }
+            }
+            let items = parser::parse(&toks, &markers);
+            files.push(ast::File { path: file_rel, crate_name: name.clone(), items });
+        }
+    }
+    let ws = resolve::Workspace::build(&files);
+    Ok((rules::check_ast(&ws, cfg, &allows), stats))
+}
+
 /// Scans the whole workspace rooted at `root` and returns every
-/// diagnostic, sorted by file then line.
-pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+/// diagnostic in stable report order, plus scan-size counters.
+pub fn scan_workspace_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, ScanStats)> {
+    let cfg = config::load(root)?;
     let mut out = Vec::new();
     let rel = |p: &Path| -> String {
         p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/")
@@ -674,56 +516,41 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
 
     // R1 over the root manifest and every crate manifest.
     let mut manifests = vec![root.join("Cargo.toml")];
-    let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = Vec::new();
-    if crates_dir.is_dir() {
-        let mut entries: Vec<_> = fs::read_dir(&crates_dir)?.collect::<Result<_, _>>()?;
-        entries.sort_by_key(|e| e.path());
-        for entry in entries {
-            let path = entry.path();
-            if path.join("Cargo.toml").is_file() {
-                manifests.push(path.join("Cargo.toml"));
-                crate_dirs.push(path);
-            }
-        }
+    for (_, dir) in &cfg.crates {
+        manifests.push(dir.join("Cargo.toml"));
     }
     for manifest in &manifests {
         let contents = fs::read_to_string(manifest)?;
         out.extend(check_manifest(&rel(manifest), &contents));
     }
 
-    for crate_dir in &crate_dirs {
-        let name = crate_dir
-            .file_name()
-            .map(|n| n.to_string_lossy().to_string())
-            .unwrap_or_default();
-        let panic_free = PANIC_FREE_CRATES.contains(&name.as_str());
-        let io_checked = !IO_EXEMPT_CRATES.contains(&name.as_str());
-        let threads_checked = name != THREAD_CRATE;
+    // Token rules R3/R4/R6 over src/, R3/R6/R8 over benches/, R5 over
+    // library roots. (R2/R7/R8 on src/ run on the AST engine below.)
+    let mut stats = ScanStats::default();
+    for (name, dir) in &cfg.crates {
+        let io_checked = !cfg.io_exempt.contains(name);
+        let threads_checked = !cfg.thread_crates.contains(name);
 
-        // R2/R3/R4/R6 over src/; R3+R6 also over benches/ (tests/ are
-        // test code by definition and exempt from the panic/io rules).
         let mut sources = Vec::new();
-        rust_files(&crate_dir.join("src"), &mut sources)?;
+        rust_files(&dir.join("src"), &mut sources)?;
         for path in &sources {
             let file = rel(path);
             let source = fs::read_to_string(path)?;
             let which = SourceRules {
-                no_panic: panic_free,
-                deterministic_time: file != CLOCK_FILE,
+                no_panic: false,
+                deterministic_time: !cfg.clock_files.contains(&file),
                 no_stray_io: io_checked,
                 no_raw_threads: threads_checked,
-                delta_log: true,
+                delta_log: false,
             };
             out.extend(check_source(&file, &source, which));
-            if file == FACADE_FILE {
-                out.extend(check_facade(&file, &source));
-            }
         }
         let mut benches = Vec::new();
-        rust_files(&crate_dir.join("benches"), &mut benches)?;
+        rust_files(&dir.join("benches"), &mut benches)?;
         for path in &benches {
             let source = fs::read_to_string(path)?;
+            stats.files += 1;
+            stats.loc += source.lines().count();
             let which = SourceRules {
                 deterministic_time: true,
                 no_raw_threads: threads_checked,
@@ -734,19 +561,21 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         }
 
         // R5 over the library root, if the crate has one.
-        let lib_rs = crate_dir.join("src/lib.rs");
+        let lib_rs = dir.join("src/lib.rs");
         if lib_rs.is_file() {
             let source = fs::read_to_string(&lib_rs)?;
             out.extend(check_lib_root(&rel(&lib_rs), &source));
         }
     }
 
-    // R3+R6 over the workspace-level integration tests and examples.
+    // R3+R6+R8 over the workspace-level integration tests and examples.
     for extra in ["tests", "examples"] {
         let mut files = Vec::new();
         rust_files(&root.join(extra), &mut files)?;
         for path in &files {
             let source = fs::read_to_string(path)?;
+            stats.files += 1;
+            stats.loc += source.lines().count();
             let which = SourceRules {
                 deterministic_time: true,
                 no_raw_threads: true,
@@ -757,8 +586,20 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         }
     }
 
-    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(out)
+    // AST rules R2/R7/R8/R9/R10/R11/R12 over every crate's src/.
+    let (ast_diags, ast_stats) = check_ast_workspace(root, &cfg)?;
+    out.extend(ast_diags);
+    stats.files += ast_stats.files;
+    stats.loc += ast_stats.loc;
+
+    sort_diagnostics(&mut out);
+    Ok((out, stats))
+}
+
+/// Scans the whole workspace rooted at `root` and returns every
+/// diagnostic in stable report order.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    scan_workspace_stats(root).map(|(d, _)| d)
 }
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares
@@ -784,31 +625,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lexer_blanks_comments_and_strings() {
-        let src = "let a = \"panic!\"; // panic!\nlet b = 1; /* .unwrap() */\n";
-        let lexed = lex(src);
-        assert!(!lexed.masked.contains("panic!"));
-        assert!(!lexed.masked.contains(".unwrap()"));
-        assert_eq!(lexed.masked.lines().count(), src.lines().count());
-    }
-
-    #[test]
-    fn lexer_keeps_lifetimes_but_blanks_chars() {
-        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
-        let lexed = lex(src);
-        assert!(lexed.masked.contains("<'a>"));
-        assert!(!lexed.masked.contains("'x'"));
-    }
-
-    #[test]
-    fn lexer_blanks_test_regions() {
-        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap() }\n}\n";
-        let lexed = lex(src);
-        assert!(!lexed.masked.contains("unwrap"));
-        assert!(lexed.masked.contains("fn ok()"));
-    }
-
-    #[test]
     fn allow_marker_suppresses_same_and_next_line() {
         let src = "let t = Instant::now(); // lint:allow(deterministic-time)\n";
         let d = check_source(
@@ -828,9 +644,27 @@ mod tests {
 
     #[test]
     fn boundary_guard_avoids_identifier_suffixes() {
-        assert_eq!(token_hits("my_dbg!(x)", "dbg!", true), 0);
-        assert_eq!(token_hits("dbg!(x)", "dbg!", true), 1);
-        assert_eq!(token_hits("x.unwrap_or(1)", ".unwrap()", false), 0);
+        assert!(token_cols("my_dbg!(x)", "dbg!", true).is_empty());
+        assert_eq!(token_cols("dbg!(x)", "dbg!", true), vec![1]);
+        assert!(token_cols("x.unwrap_or(1)", ".unwrap()", false).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_render_the_stable_format() {
+        let d = Diagnostic::new(rules::NO_PANIC_PATHS, "crates/x/src/lib.rs", 7, 13, "boom".into());
+        assert_eq!(d.to_string(), "crates/x/src/lib.rs:7:13: R2 no-panic-paths: boom");
+    }
+
+    #[test]
+    fn sort_is_deterministic() {
+        let mut ds = vec![
+            Diagnostic::new(rules::DELTA_LOG, "b.rs", 1, 1, "z".into()),
+            Diagnostic::new(rules::NO_PANIC_PATHS, "a.rs", 9, 2, "y".into()),
+            Diagnostic::new(rules::NO_PANIC_PATHS, "a.rs", 9, 1, "x".into()),
+        ];
+        sort_diagnostics(&mut ds);
+        let order: Vec<_> = ds.iter().map(|d| (d.file.as_str(), d.line, d.col)).collect();
+        assert_eq!(order, vec![("a.rs", 9, 1), ("a.rs", 9, 2), ("b.rs", 1, 1)]);
     }
 
     #[test]

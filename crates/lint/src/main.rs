@@ -2,29 +2,104 @@
 //! non-zero on any violation. See the library docs for the rule list.
 //!
 //! Run: `cargo run -p hive-lint` (from anywhere inside the workspace).
+//! Pass `--json <path>` to also write a machine-readable report (used
+//! by `tools/ci.sh` to publish a CI artifact).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use hive_lint::Diagnostic;
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as JSON (hand-rolled: the workspace is
+/// dependency-free by rule R1).
+fn json_report(diags: &[Diagnostic], stats: hive_lint::ScanStats) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files\": {},\n  \"loc\": {},\n", stats.files, stats.loc));
+    out.push_str(&format!("  \"violations\": {},\n  \"diagnostics\": [", diags.len()));
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"R{}\", \"name\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"col\": {}, \"message\": \"{}\"}}",
+            d.num,
+            d.rule,
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+    out
+}
+
 fn main() -> ExitCode {
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("hive-lint: --json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("hive-lint: unknown argument `{other}` (usage: hive-lint [--json <path>])");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let Some(root) = hive_lint::find_workspace_root(&start) else {
         eprintln!("hive-lint: no workspace root (Cargo.toml with [workspace]) above {start:?}");
         return ExitCode::FAILURE;
     };
-    match hive_lint::scan_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("hive-lint: workspace clean (R1-R8)");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+    match hive_lint::scan_workspace_stats(&root) {
+        Ok((diags, stats)) => {
+            if let Some(path) = &json_path {
+                if let Some(parent) = path.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                if let Err(e) = std::fs::write(path, json_report(&diags, stats)) {
+                    eprintln!("hive-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
             }
-            println!("hive-lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
+            if diags.is_empty() {
+                println!(
+                    "hive-lint: workspace clean (R1-R12, {} files, {} LoC)",
+                    stats.files, stats.loc
+                );
+                ExitCode::SUCCESS
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                println!("hive-lint: {} violation(s)", diags.len());
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("hive-lint: scan failed: {e}");

@@ -154,6 +154,7 @@ fn render_paths(hive: &Hive, kn: &KnowledgeNetwork, a: UserId, b: UserId) -> Str
 }
 
 /// Captures the full battery against a live facade.
+// lint:root(determinism)
 pub fn fingerprint(hive: &Hive) -> Fingerprint {
     let mut fp = Fingerprint::default();
     let db = hive.db();
@@ -204,6 +205,7 @@ pub fn fingerprint(hive: &Hive) -> Fingerprint {
         let digest = hive.digest(u, Timestamp(0));
         let mut counts: Vec<String> = digest
             .counts
+            // lint:allow(determinism-taint) -- rendered lines are sorted below
             .iter()
             .map(|(k, v)| format!("{k}={v}"))
             .collect();
@@ -271,6 +273,7 @@ pub fn fingerprint(hive: &Hive) -> Fingerprint {
 ///   have been delta-patched in place across the whole workload so
 ///   far, against a cold platform built from a clone of the same
 ///   database; the full fingerprint battery must match bit-for-bit.
+// lint:root(determinism)
 pub fn differential_check(
     hive: &Hive,
     probe: UserId,

@@ -66,9 +66,16 @@ pub fn extract_keyphrases(text: &str, cfg: KeyphraseConfig) -> Vec<Keyphrase> {
             *edges.entry(key).or_insert(0.0) += 1.0;
         }
     }
-    // Symmetric adjacency.
+    // Symmetric adjacency. Edges are materialized in (a, b) order
+    // before the lists are built: adjacency order feeds the f64
+    // neighbor sums in the power iteration below, and HashMap storage
+    // order would let two identical documents rank phrases apart by
+    // an ulp.
+    // lint:allow(determinism-taint) -- sorted into (a, b) order on the next line
+    let mut edge_list: Vec<((usize, usize), f64)> = edges.into_iter().collect();
+    edge_list.sort_by_key(|&(pair, _)| pair);
     let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for (&(a, b), &w) in &edges {
+    for ((a, b), w) in edge_list {
         adj[a].push((b, w));
         adj[b].push((a, w));
     }
@@ -112,6 +119,7 @@ pub fn extract_keyphrases(text: &str, cfg: KeyphraseConfig) -> Vec<Keyphrase> {
         i += 1;
     }
     let mut out: Vec<Keyphrase> = phrases
+        // lint:allow(determinism-taint) -- total order with phrase tiebreak below
         .into_iter()
         .map(|(phrase, score)| Keyphrase { phrase, score })
         .collect();

@@ -577,9 +577,13 @@ fn exact(compiled: &Compiled, groups: Vec<Group>, k: usize) -> TableSummary {
                 }
             }
         }
-        let loss = merged.values().map(|g| compiled.group_loss(g)).sum();
+        // lint:allow(determinism-taint) -- sorted by tuple on the next line
         let mut out: Vec<Group> = merged.into_values().collect();
         out.sort_by(|a, b| a.tuple.cmp(&b.tuple));
+        // Loss is summed over the *sorted* groups: f64 addition is
+        // order-sensitive, and HashMap value order would make equal
+        // partitions disagree in the last ulp.
+        let loss = out.iter().map(|g| compiled.group_loss(g)).sum();
         (loss, out)
     }
     #[allow(clippy::too_many_arguments)]

@@ -2,14 +2,17 @@
 # Tier-1 verify: offline build + tests + the hive-lint static-analysis
 # pass (R1 hermetic-deps, R2 no-panic-paths, R3 deterministic-time,
 # R4 no-stray-io, R5 forbid-unsafe, R6 no-raw-threads,
-# R7 instrumented-facade, R8 delta-log). Everything must work with no
-# network access — the workspace has zero registry dependencies.
+# R7 instrumented-facade, R8 delta-log, R9 snapshot-discipline,
+# R10 exhaustive-delta, R11 lock-scope, R12 determinism-taint).
+# Everything must work with no network access — the workspace has zero
+# registry dependencies. The lint pass publishes a machine-readable
+# report at target/lint-report.json as a CI artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
-cargo run -p hive-lint --offline
+cargo run -p hive-lint --offline -- --json target/lint-report.json
 # Bounded crash/recovery soak (fixed seed, seconds): recovery
 # equivalence + fault injection + differential oracles must all hold.
 ./target/release/hive-sim-harness --seed 42 --steps 60 --crashes 2
