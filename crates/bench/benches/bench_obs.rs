@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo bench -p hive-bench --bench bench_obs`
 
-use hive_bench::{header, iters, mean, metric, report, report_header, time_n, write_json_fragment};
+use hive_bench::{header, iters, mean, metric, report, report_header, time_once, write_json_fragment};
 use hive_core::discover::DiscoverConfig;
 use hive_core::peers::PeerRecConfig;
 use hive_core::sim::{SimConfig, WorldBuilder};
@@ -43,8 +43,13 @@ fn bench_counters() {
     });
 }
 
-/// Times the hottest read service at every obs level; the off-vs-full
-/// ratio is the recording overhead the facade pays per call.
+/// Times the hottest read service at every obs level; the ratios are
+/// the recording overhead the facade pays per call at `Counts` and
+/// `Full`. Samples are interleaved off/counts/full per iteration
+/// (after one unmeasured warmup of each level) — sampling the three
+/// levels in sequential blocks let cache state and clock drift land on
+/// whichever block ran later, and could report `Counts` as *slower*
+/// than `Full`.
 fn bench_overhead() {
     header("obs_overhead");
     report_header();
@@ -53,20 +58,30 @@ fn bench_overhead() {
     let zach = hive.db().user_ids()[0];
     let _ = hive.knowledge(); // warm
     let n = iters(20, 3);
-    let run = |level: Level| {
+    let sample = |level: Level| {
         hive_obs::with_level(level, || {
             hive_obs::reset();
-            time_n(n, || {
+            let ((), us) = time_once(|| {
                 std::hint::black_box(hive.search(zach, "tensor stream sketch", DiscoverConfig::default()));
-            })
+            });
+            us
         })
     };
-    let off = run(Level::Off);
+    for level in [Level::Off, Level::Counts, Level::Full] {
+        let _ = sample(level);
+    }
+    let mut off = Vec::with_capacity(n);
+    let mut counts = Vec::with_capacity(n);
+    let mut full = Vec::with_capacity(n);
+    for _ in 0..n {
+        off.push(sample(Level::Off));
+        counts.push(sample(Level::Counts));
+        full.push(sample(Level::Full));
+    }
     report("search_obs_off", &off);
-    let counts = run(Level::Counts);
     report("search_obs_counts", &counts);
-    let full = run(Level::Full);
     report("search_obs_full", &full);
+    metric("counts_vs_off_overhead", mean(&counts) / mean(&off));
     metric("full_vs_off_overhead", mean(&full) / mean(&off));
 }
 

@@ -1,0 +1,112 @@
+//! Epoch-snapshot serving benchmarks: reads/sec with 1/2/4 concurrent
+//! reader tasks sharing one `ReadHandle`, and the writer's
+//! epoch-publish latency for activity-only (delta-patch) and
+//! graph-touching publishes.
+//!
+//! Run: `cargo bench -p hive-bench --bench bench_serve`
+//!
+//! The reader fan-out uses `hive_par::force_workers` so the pool spawns
+//! exactly N workers even on a small host; on a single-core machine the
+//! multi-reader ratios measure scheduling overhead, not parallelism, so
+//! `bench_gate` exempts them when the recorded `host_threads` is < 2.
+
+use hive_bench::{
+    header, iters, mean, metric, report, report_header, time_once, write_json_fragment,
+};
+use hive_core::discover::DiscoverConfig;
+use hive_core::serve::{Epoch, HiveServer};
+use hive_core::sim::{SimConfig, WorldBuilder};
+
+fn server() -> HiveServer {
+    HiveServer::new(WorldBuilder::new(SimConfig::medium()).build().db)
+}
+
+/// One serving "read": the hottest read service plus a cheap ranking,
+/// all answered from the pinned epoch without touching any lock.
+fn read_battery(epoch: &Epoch) {
+    let users = epoch.db().user_ids();
+    let u = users[0];
+    std::hint::black_box(epoch.search(u, "tensor stream sketch", DiscoverConfig::default()));
+    std::hint::black_box(epoch.similar_peers(u, 5));
+}
+
+/// Reads/sec with N reader tasks hammering one shared `ReadHandle`.
+fn bench_reads() {
+    header("serve_reads");
+    report_header();
+    let s = server();
+    let handle = s.reader();
+    read_battery(&handle.epoch()); // warm the world's caches once
+    let per_task = iters(25, 3);
+    let trials = iters(3, 1);
+    let mut rate_r1 = 0.0;
+    for n in [1usize, 2, 4] {
+        let roles: Vec<usize> = (0..n).collect();
+        let run = || {
+            hive_par::force_workers(n, || {
+                hive_par::par_tasks(&roles, |_, _| {
+                    for _ in 0..per_task {
+                        read_battery(&handle.epoch());
+                    }
+                });
+            })
+        };
+        run(); // unmeasured warmup round at this fan-out
+        let mut per_read = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let ((), us) = time_once(run);
+            per_read.push(us / (n * per_task) as f64);
+        }
+        report(&format!("readers_{n}"), &per_read);
+        let rate = 1e6 / mean(&per_read);
+        metric(&format!("reads_per_sec_r{n}"), rate);
+        if n == 1 {
+            rate_r1 = rate;
+        } else {
+            metric(&format!("reads_r{n}_vs_r1_speedup"), rate / rate_r1);
+        }
+        if n == 4 {
+            metric("concurrent_read_speedup", rate / rate_r1);
+        }
+    }
+    metric("host_threads", std::thread::available_parallelism().map_or(1.0, |p| p.get() as f64));
+}
+
+/// Writer-side publish latency: activity-only mutations patch the
+/// knowledge network forward through the delta log, graph-touching
+/// mutations additionally refresh the relationship snapshot.
+fn bench_publish() {
+    header("serve_publish");
+    report_header();
+    let mut s = server();
+    let users = s.hive().db().user_ids();
+    let papers = s.hive().db().paper_ids();
+    let n = iters(20, 3);
+    let mut activity = Vec::with_capacity(n);
+    for i in 0..n {
+        s.writer().advance_clock(1);
+        s.writer().view_paper(users[i % users.len()], papers[i % papers.len()]).ok();
+        let ((), us) = time_once(|| {
+            std::hint::black_box(s.publish());
+        });
+        activity.push(us);
+    }
+    report("publish_activity", &activity);
+    let mut graph = Vec::with_capacity(n);
+    for i in 0..n {
+        s.writer().advance_clock(1);
+        s.writer().follow(users[i % users.len()], users[(i + 7) % users.len()]).ok();
+        let ((), us) = time_once(|| {
+            std::hint::black_box(s.publish());
+        });
+        graph.push(us);
+    }
+    report("publish_graph_touch", &graph);
+}
+
+fn main() {
+    println!("bench_serve — epoch-snapshot serving: concurrent reads and publish latency");
+    bench_reads();
+    bench_publish();
+    write_json_fragment("bench_serve");
+}

@@ -14,7 +14,11 @@
 //! * `*_t4_vs_t1_*` metrics are auto-exempt when the recorded
 //!   `host_threads` is below 4 — on a small host the pool clamps to the
 //!   hardware and a "4-thread" run measures the same serial execution
-//!   plus noise, so the ratio carries no signal.
+//!   plus noise, so the ratio carries no signal;
+//! * multi-reader serving ratios (`*_vs_r1_*`, `*concurrent_read*`)
+//!   are auto-exempt when `host_threads` is below 2 — forced reader
+//!   workers on a single core time-slice one CPU, so "concurrent"
+//!   reads can only tie or lose to the serial baseline.
 
 #![forbid(unsafe_code)]
 
@@ -121,6 +125,13 @@ fn main() -> ExitCode {
         } else if m.name.contains("_t4_vs_t1_") && host_threads < 4.0 {
             println!(
                 "bench_gate: exempt  {label} = {:.3} (host_threads = {host_threads}, needs >= 4)",
+                m.value
+            );
+        } else if (m.name.contains("_vs_r1_") || m.name.contains("concurrent_read"))
+            && host_threads < 2.0
+        {
+            println!(
+                "bench_gate: exempt  {label} = {:.3} (host_threads = {host_threads}, needs >= 2)",
                 m.value
             );
         } else {

@@ -27,9 +27,9 @@ use crate::collab::CfModel;
 use crate::communities::{self, Communities, Method};
 use crate::context::{build_context, ActivityContext, ContextConfig};
 use crate::db::HiveDb;
-use crate::discover::{self, DiscoverConfig, Resource, SearchHit};
+use crate::discover::{DiscoverConfig, Resource, SearchHit};
 use crate::error::Result;
-use crate::evidence::{self, RelationshipExplanation};
+use crate::evidence::RelationshipExplanation;
 use crate::feed::{self, FeedDigest, Update};
 use crate::history::{self, HistoryHit, HistoryQuery};
 use crate::ids::*;
@@ -51,10 +51,10 @@ use std::sync::Arc;
 /// delta-patched in place instead of rebuilt (see
 /// [`Hive::relationship_graph`]).
 #[derive(Clone)]
-struct RelSnapshot {
-    generation: u64,
-    store: hive_store::TripleStore,
-    view: hive_store::GraphView,
+pub(crate) struct RelSnapshot {
+    pub(crate) generation: u64,
+    pub(crate) store: hive_store::TripleStore,
+    pub(crate) view: hive_store::GraphView,
 }
 
 /// The journaled mutation suffix since `since`, provided the whole
@@ -62,12 +62,24 @@ struct RelSnapshot {
 /// mutation (entity creation, content revision) occurred. Copied out so
 /// callers can patch cached structures while the borrow on the journal
 /// is released.
-fn patchable_deltas(db: &HiveDb, since: u64) -> Option<Vec<crate::db::DbDelta>> {
+pub(crate) fn patchable_deltas(db: &HiveDb, since: u64) -> Option<Vec<crate::db::DbDelta>> {
     let deltas = db.deltas_since(since)?;
     if deltas.iter().any(|d| d.is_structural()) {
         return None;
     }
     Some(deltas.to_vec())
+}
+
+/// Recovers the guard from a possibly poisoned `lock()` result. The
+/// caches hold derived, generation-stamped values: a panic mid-update
+/// leaves at worst a stale entry, which the generation check rejects —
+/// so poisoning is recoverable by construction, in one place instead
+/// of four copy-pasted `match` blocks.
+fn unpoison<T>(res: std::sync::LockResult<std::sync::MutexGuard<'_, T>>) -> std::sync::MutexGuard<'_, T> {
+    match res {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// The Hive platform facade.
@@ -142,10 +154,7 @@ impl Hive {
         // the critical section never spans a snapshot rebuild (lint
         // R11); the refreshed value is published by re-locking below.
         let stale = {
-            let mut guard = match self.kn_cache.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let mut guard = unpoison(self.kn_cache.lock());
             if let Some((cached_gen, kn)) = guard.as_ref() {
                 if *cached_gen == generation {
                     hive_obs::count("core.kn.hit", 1);
@@ -181,10 +190,7 @@ impl Hive {
                 kn
             }
         };
-        let mut guard = match self.kn_cache.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut guard = unpoison(self.kn_cache.lock());
         *guard = Some((generation, Arc::clone(&kn)));
         kn
     }
@@ -193,16 +199,13 @@ impl Hive {
     /// patch (`core.rel.delta` — the triple export is extended with the
     /// missed events, then the CSR view consumes the store's own delta
     /// log), or full rebuild, in that order of preference.
-    fn relationship_graph(&self, kn: &KnowledgeNetwork) -> Arc<RelSnapshot> {
+    pub(crate) fn relationship_graph(&self, kn: &KnowledgeNetwork) -> Arc<RelSnapshot> {
         let generation = self.db.generation();
         // Same take-patch-republish protocol as [`Hive::knowledge`]:
         // the guard only ever covers the cache probe and the final
         // publish, never the export or the CSR build (lint R11).
         let stale = {
-            let mut guard = match self.rel_cache.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let mut guard = unpoison(self.rel_cache.lock());
             if let Some(snap) = guard.as_ref() {
                 if snap.generation == generation {
                     hive_obs::count("core.rel.hit", 1);
@@ -237,10 +240,7 @@ impl Hive {
                 Arc::new(RelSnapshot { generation, store, view })
             }
         };
-        let mut guard = match self.rel_cache.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut guard = unpoison(self.rel_cache.lock());
         *guard = Some(Arc::clone(&snap));
         snap
     }
@@ -266,27 +266,14 @@ impl Hive {
     /// Recommends new peers, contextualized by the active workpad.
     pub fn recommend_peers(&self, user: UserId, cfg: PeerRecConfig) -> Vec<PeerRecommendation> {
         self.service(ServiceKind::PeerRecommendation, |h| {
-            let kn = h.knowledge();
-            let ctx = build_context(&h.db, &kn, user, cfg.common.context);
-            peers::recommend_peers(&h.db, &kn, user, &ctx, cfg)
+            crate::serve::read_recommend_peers(&h.db, &h.knowledge(), user, cfg)
         })
     }
 
     /// Locates peers with the most similar content profile.
     pub fn similar_peers(&self, user: UserId, k: usize) -> Vec<(UserId, f64)> {
         self.service(ServiceKind::SimilarPeers, |h| {
-            let kn = h.knowledge();
-            let mut out: Vec<(UserId, f64)> = h
-                .db
-                .user_ids()
-                .into_iter()
-                .filter(|&v| v != user)
-                .map(|v| (v, kn.user_similarity(user, v)))
-                .filter(|(_, s)| *s > 0.0)
-                .collect();
-            out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-            out.truncate(k);
-            out
+            crate::serve::read_similar_peers(&h.db, &h.knowledge(), user, k)
         })
     }
 
@@ -334,18 +321,14 @@ impl Hive {
     /// Context-aware search over papers, presentations, sessions, users.
     pub fn search(&self, user: UserId, query: &str, cfg: DiscoverConfig) -> Vec<SearchHit> {
         self.service(ServiceKind::Search, |h| {
-            let kn = h.knowledge();
-            let ctx = build_context(&h.db, &kn, user, cfg.common.context);
-            discover::search(&h.db, &kn, &ctx, query, cfg)
+            crate::serve::read_search(&h.db, &h.knowledge(), user, query, cfg)
         })
     }
 
     /// Pure contextual resource recommendation (empty query).
     pub fn recommend_resources(&self, user: UserId, cfg: DiscoverConfig) -> Vec<SearchHit> {
         self.service(ServiceKind::ResourceRecommendation, |h| {
-            let kn = h.knowledge();
-            let ctx = build_context(&h.db, &kn, user, cfg.common.context);
-            discover::recommend_resources(&h.db, &kn, &ctx, cfg)
+            crate::serve::read_recommend_resources(&h.db, &h.knowledge(), user, cfg)
         })
     }
 
@@ -365,7 +348,7 @@ impl Hive {
         self.service(ServiceKind::RelationshipExplanation, |h| {
             let kn = h.knowledge();
             let rel = h.relationship_graph(&kn);
-            evidence::explain_relationship_with_view(&h.db, &kn, &rel.store, &rel.view, a, b, 3)
+            crate::serve::read_explain(&h.db, &kn, &rel, a, b)
         })
     }
 
@@ -386,20 +369,7 @@ impl Hive {
         sentences: usize,
     ) -> Option<hive_text::DocumentSummary> {
         self.service(ServiceKind::Summarization, |h| {
-            let kn = h.knowledge();
-            let ctx = build_context(&h.db, &kn, user, ContextConfig::default());
-            let text = match resource {
-                Resource::Paper(p) => h.db.get_paper(p).ok()?.text(),
-                Resource::Presentation(p) => h.db.get_presentation(p).ok()?.slides_text.clone(),
-                Resource::Session(s) => h.db.get_session(s).ok()?.text(),
-                Resource::User(u) => h.db.get_user(u).ok()?.profile_text(),
-            };
-            let terms: Vec<&str> = ctx.terms.iter().map(String::as_str).collect();
-            hive_text::summarize_document(
-                &text,
-                &terms,
-                hive_text::DocSumConfig { sentences, ..Default::default() },
-            )
+            crate::serve::read_summarize(&h.db, &h.knowledge(), user, resource, sentences)
         })
     }
 
@@ -454,9 +424,7 @@ impl Hive {
     /// Context-ranked highlights over the update stream.
     pub fn highlights(&self, user: UserId, since: Timestamp, k: usize) -> Vec<(Update, f64)> {
         self.service(ServiceKind::Feed, |h| {
-            let kn = h.knowledge();
-            let ctx = build_context(&h.db, &kn, user, ContextConfig::default());
-            feed::highlights(&h.db, &kn, &ctx, user, since, k)
+            crate::serve::read_highlights(&h.db, &h.knowledge(), user, since, k)
         })
     }
 
@@ -475,10 +443,7 @@ impl Hive {
     /// Searches the activity history, optionally context-ranked.
     pub fn search_history(&self, query: &HistoryQuery, contextual_for: Option<UserId>) -> Vec<HistoryHit> {
         self.service(ServiceKind::HistorySearch, |h| {
-            let kn = h.knowledge();
-            let ctx =
-                contextual_for.map(|u| build_context(&h.db, &kn, u, ContextConfig::default()));
-            history::search_history(&h.db, &kn, query, ctx.as_ref())
+            crate::serve::read_search_history(&h.db, &h.knowledge(), query, contextual_for)
         })
     }
 

@@ -60,9 +60,11 @@ pub mod model;
 pub mod peers;
 pub mod persist;
 pub mod reports;
+pub mod serve;
 pub mod sim;
 pub mod trends;
 
 pub use api::Hive;
 pub use db::{DbDelta, HiveDb, DB_DELTA_LOG_CAP};
 pub use error::HiveError;
+pub use serve::{Epoch, HiveServer, ReadHandle};

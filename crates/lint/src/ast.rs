@@ -65,6 +65,10 @@ pub struct FnItem {
     pub name: String,
     /// `pub` (any visibility restriction counts as pub for the rules).
     pub is_pub: bool,
+    /// Restricted visibility: `pub(crate)` / `pub(super)` / `pub(in ..)`.
+    /// R7 skips these — a crate-internal helper is not part of the
+    /// externally callable service surface.
+    pub vis_restricted: bool,
     /// 1-based position of the `fn` keyword.
     pub line: usize,
     /// 1-based column of the `fn` keyword.

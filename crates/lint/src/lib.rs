@@ -1,8 +1,10 @@
 //! # hive-lint — workspace static-analysis pass
 //!
-//! A dependency-free analyzer that turns the workspace's operational
-//! conventions into machine-checked invariants (DESIGN.md, "Static
-//! analysis architecture"). Twelve rules run over two engines:
+//! An in-tree analyzer (its only dependency is the workspace's own
+//! `hive-par` pool, which fans the per-file scan out across workers)
+//! that turns the workspace's operational conventions into
+//! machine-checked invariants (DESIGN.md, "Static analysis
+//! architecture"). Twelve rules run over two engines:
 //!
 //! **Token rules** match forbidden tokens in *lexed* source: a minimal
 //! Rust lexer blanks `//` and `/* */` comments, string and char
@@ -469,8 +471,21 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// One file's worth of AST-engine front-end output, produced on a pool
+/// worker and merged back on the caller in input order.
+struct ParsedFile {
+    loc: usize,
+    allow_lines: Vec<(usize, String)>,
+    file: ast::File,
+}
+
 /// Parses every `src/` file of every crate and runs the AST rules.
 /// Exposed separately so benches can time the AST engine alone.
+///
+/// The per-file front end (read, lex, marker harvest, parse) fans out
+/// over the [`hive_par`] pool; results are merged in input order, so
+/// the symbol table, allow index, and diagnostics are byte-identical
+/// to a serial scan regardless of worker count.
 pub fn check_ast_workspace(
     root: &Path,
     cfg: &config::WorkspaceConfig,
@@ -478,28 +493,45 @@ pub fn check_ast_workspace(
     let rel = |p: &Path| -> String {
         p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/")
     };
-    let mut files = Vec::new();
-    let mut allows = AllowIndex::default();
-    let mut stats = ScanStats::default();
+    let mut jobs: Vec<(String, PathBuf)> = Vec::new();
     for (name, dir) in &cfg.crates {
         let mut sources = Vec::new();
         rust_files(&dir.join("src"), &mut sources)?;
-        for path in &sources {
-            let source = fs::read_to_string(path)?;
-            let file_rel = rel(path);
-            stats.files += 1;
-            stats.loc += source.lines().count();
-            let (toks, markers) = tokenize(&source);
-            for m in &markers {
-                if m.kind == MK::Allow {
-                    for a in &m.args {
-                        allows.insert(&file_rel, m.line, a);
-                    }
+        for path in sources {
+            jobs.push((name.clone(), path));
+        }
+    }
+    let parsed = hive_par::par_tasks(&jobs, |_, (name, path)| -> io::Result<ParsedFile> {
+        let source = fs::read_to_string(path)?;
+        let file_rel = rel(path);
+        let loc = source.lines().count();
+        let (toks, markers) = tokenize(&source);
+        let mut allow_lines = Vec::new();
+        for m in &markers {
+            if m.kind == MK::Allow {
+                for a in &m.args {
+                    allow_lines.push((m.line, a.clone()));
                 }
             }
-            let items = parser::parse(&toks, &markers);
-            files.push(ast::File { path: file_rel, crate_name: name.clone(), items });
         }
+        let items = parser::parse(&toks, &markers);
+        Ok(ParsedFile {
+            loc,
+            allow_lines,
+            file: ast::File { path: file_rel, crate_name: name.clone(), items },
+        })
+    });
+    let mut files = Vec::with_capacity(parsed.len());
+    let mut allows = AllowIndex::default();
+    let mut stats = ScanStats::default();
+    for item in parsed {
+        let p = item?;
+        stats.files += 1;
+        stats.loc += p.loc;
+        for (line, rule) in &p.allow_lines {
+            allows.insert(&p.file.path, *line, rule);
+        }
+        files.push(p.file);
     }
     let ws = resolve::Workspace::build(&files);
     Ok((rules::check_ast(&ws, cfg, &allows), stats))
@@ -507,6 +539,10 @@ pub fn check_ast_workspace(
 
 /// Scans the whole workspace rooted at `root` and returns every
 /// diagnostic in stable report order, plus scan-size counters.
+///
+/// Per-file token scanning and AST parsing run on the [`hive_par`]
+/// pool; diagnostics are merged in file order and then sorted, so the
+/// report is byte-identical at any worker count.
 pub fn scan_workspace_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, ScanStats)> {
     let cfg = config::load(root)?;
     let mut out = Vec::new();
@@ -526,16 +562,24 @@ pub fn scan_workspace_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, ScanSta
 
     // Token rules R3/R4/R6 over src/, R3/R6/R8 over benches/, R5 over
     // library roots. (R2/R7/R8 on src/ run on the AST engine below.)
-    let mut stats = ScanStats::default();
+    // Each file's scan is independent, so the jobs fan out over the
+    // hive-par pool; `par_tasks` preserves input order, and the merge
+    // below walks that order, so the report is byte-stable.
+    struct TokenJob {
+        path: PathBuf,
+        file: String,
+        which: SourceRules,
+        counted: bool,
+    }
+    let mut jobs: Vec<TokenJob> = Vec::new();
     for (name, dir) in &cfg.crates {
         let io_checked = !cfg.io_exempt.contains(name);
         let threads_checked = !cfg.thread_crates.contains(name);
 
         let mut sources = Vec::new();
         rust_files(&dir.join("src"), &mut sources)?;
-        for path in &sources {
-            let file = rel(path);
-            let source = fs::read_to_string(path)?;
+        for path in sources {
+            let file = rel(&path);
             let which = SourceRules {
                 no_panic: false,
                 deterministic_time: !cfg.clock_files.contains(&file),
@@ -543,28 +587,19 @@ pub fn scan_workspace_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, ScanSta
                 no_raw_threads: threads_checked,
                 delta_log: false,
             };
-            out.extend(check_source(&file, &source, which));
+            jobs.push(TokenJob { path, file, which, counted: false });
         }
         let mut benches = Vec::new();
         rust_files(&dir.join("benches"), &mut benches)?;
-        for path in &benches {
-            let source = fs::read_to_string(path)?;
-            stats.files += 1;
-            stats.loc += source.lines().count();
+        for path in benches {
+            let file = rel(&path);
             let which = SourceRules {
                 deterministic_time: true,
                 no_raw_threads: threads_checked,
                 delta_log: true,
                 ..Default::default()
             };
-            out.extend(check_source(&rel(path), &source, which));
-        }
-
-        // R5 over the library root, if the crate has one.
-        let lib_rs = dir.join("src/lib.rs");
-        if lib_rs.is_file() {
-            let source = fs::read_to_string(&lib_rs)?;
-            out.extend(check_lib_root(&rel(&lib_rs), &source));
+            jobs.push(TokenJob { path, file, which, counted: true });
         }
     }
 
@@ -572,17 +607,38 @@ pub fn scan_workspace_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, ScanSta
     for extra in ["tests", "examples"] {
         let mut files = Vec::new();
         rust_files(&root.join(extra), &mut files)?;
-        for path in &files {
-            let source = fs::read_to_string(path)?;
-            stats.files += 1;
-            stats.loc += source.lines().count();
+        for path in files {
+            let file = rel(&path);
             let which = SourceRules {
                 deterministic_time: true,
                 no_raw_threads: true,
                 delta_log: true,
                 ..Default::default()
             };
-            out.extend(check_source(&rel(path), &source, which));
+            jobs.push(TokenJob { path, file, which, counted: true });
+        }
+    }
+
+    let mut stats = ScanStats::default();
+    let scanned = hive_par::par_tasks(&jobs, |_, job| -> io::Result<(Vec<Diagnostic>, usize)> {
+        let source = fs::read_to_string(&job.path)?;
+        Ok((check_source(&job.file, &source, job.which), source.lines().count()))
+    });
+    for (job, result) in jobs.iter().zip(scanned) {
+        let (diags, loc) = result?;
+        if job.counted {
+            stats.files += 1;
+            stats.loc += loc;
+        }
+        out.extend(diags);
+    }
+
+    // R5 over each crate's library root, if it has one.
+    for (_, dir) in &cfg.crates {
+        let lib_rs = dir.join("src/lib.rs");
+        if lib_rs.is_file() {
+            let source = fs::read_to_string(&lib_rs)?;
+            out.extend(check_lib_root(&rel(&lib_rs), &source));
         }
     }
 

@@ -160,14 +160,18 @@ impl<'a> Parser<'a> {
     }
 
     /// Consumes a visibility qualifier, returning true if present.
-    fn vis(&mut self) -> bool {
+    /// Parses a visibility qualifier: `(is_pub, restricted)`, where
+    /// `restricted` marks `pub(crate)` / `pub(super)` / `pub(in ..)`.
+    fn vis(&mut self) -> (bool, bool) {
         if self.eat_ident("pub") {
             if self.at_punct("(") {
                 self.skip_group();
+                (true, true)
+            } else {
+                (true, false)
             }
-            true
         } else {
-            false
+            (false, false)
         }
     }
 
@@ -198,7 +202,7 @@ impl<'a> Parser<'a> {
     /// Parses one item, or skips tokens it does not recognize.
     fn item(&mut self) -> Option<Item> {
         let attrs = self.attrs();
-        let is_pub = self.vis();
+        let (is_pub, vis_restricted) = self.vis();
         // `unsafe fn` / `const fn` / `async fn` / `extern "C" fn`.
         while self.at_ident("unsafe") || self.at_ident("async") || self.at_ident("extern") {
             self.pos += 1;
@@ -211,7 +215,7 @@ impl<'a> Parser<'a> {
         }
         let t = self.peek()?;
         match (t.kind, t.text.as_str()) {
-            (TokKind::Ident, "fn") => Some(Item::Fn(self.fn_item(&attrs, is_pub))),
+            (TokKind::Ident, "fn") => Some(Item::Fn(self.fn_item(&attrs, is_pub, vis_restricted))),
             (TokKind::Ident, "struct") => Some(self.struct_item()),
             (TokKind::Ident, "enum") => Some(self.enum_item()),
             (TokKind::Ident, "impl") | (TokKind::Ident, "trait") => Some(self.impl_item()),
@@ -300,7 +304,7 @@ impl<'a> Parser<'a> {
         Self::join_type(&self.toks[start..self.pos])
     }
 
-    fn fn_item(&mut self, attrs: &Attrs, is_pub: bool) -> FnItem {
+    fn fn_item(&mut self, attrs: &Attrs, is_pub: bool, vis_restricted: bool) -> FnItem {
         let (line, col) = self.peek().map(|t| (t.line, t.col)).unwrap_or((0, 0));
         self.pos += 1; // fn
         let name = match self.peek() {
@@ -352,7 +356,20 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        FnItem { name, is_pub, line, col, self_kind, params, ret, body, is_test, mutator_of, root_of }
+        FnItem {
+            name,
+            is_pub,
+            vis_restricted,
+            line,
+            col,
+            self_kind,
+            params,
+            ret,
+            body,
+            is_test,
+            mutator_of,
+            root_of,
+        }
     }
 
     fn fn_params(&mut self) -> (SelfKind, Vec<Param>) {
@@ -542,7 +559,7 @@ impl<'a> Parser<'a> {
                 }
                 let before = self.pos;
                 let attrs = self.attrs();
-                let is_pub = self.vis();
+                let (is_pub, vis_restricted) = self.vis();
                 while self.at_ident("unsafe") || self.at_ident("async") || self.at_ident("default")
                 {
                     self.pos += 1;
@@ -551,7 +568,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 if self.at_ident("fn") {
-                    fns.push(self.fn_item(&attrs, is_pub));
+                    fns.push(self.fn_item(&attrs, is_pub, vis_restricted));
                 } else if self.at_ident("const") || self.at_ident("type") {
                     self.skip_to_semi_or_block();
                 }

@@ -110,8 +110,10 @@ pub struct FnRecord {
     pub line: usize,
     /// Column of the `fn` keyword.
     pub col: usize,
-    /// Declared `pub`.
+    /// Declared `pub` (with or without a restriction).
     pub is_pub: bool,
+    /// Restricted visibility (`pub(crate)` / `pub(super)` / `pub(in ..)`).
+    pub vis_restricted: bool,
     /// Receiver kind.
     pub self_kind: SelfKind,
     /// `&mut` params: `(param name, base type)`.
@@ -496,6 +498,7 @@ fn collect_const_panics(path: &str, items: &[Item], out: &mut Vec<FnRecord>, fil
                             line: sites[0].0,
                             col: sites[0].1,
                             is_pub: false,
+                            vis_restricted: false,
                             self_kind: SelfKind::None,
                             mut_ref_params: Vec::new(),
                             is_test: false,
@@ -554,6 +557,7 @@ impl<'a> FileCtx<'a> {
             line: f.line,
             col: f.col,
             is_pub: f.is_pub,
+            vis_restricted: f.vis_restricted,
             self_kind: f.self_kind,
             mut_ref_params: f
                 .params

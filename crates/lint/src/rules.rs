@@ -130,9 +130,12 @@ fn check_panic_paths(
     }
 }
 
-/// R7 `instrumented-facade` (AST): every `pub fn` of a facade file must
-/// call `self.service(..)` / `self.service_mut(..)` somewhere in its
-/// body, unless exempt by name.
+/// R7 `instrumented-facade` (AST): every unrestricted `pub fn` of a
+/// facade file must call `self.service(..)` / `self.service_mut(..)`
+/// somewhere in its body, unless exempt by name. `pub(crate)` helpers
+/// are crate-internal plumbing, not services, and are skipped — which
+/// also matches the token reference engine, whose `pub fn ` needle
+/// never matches a restricted visibility.
 fn check_facade_routing(
     ws: &Workspace,
     cfg: &WorkspaceConfig,
@@ -142,6 +145,7 @@ fn check_facade_routing(
     for r in &ws.records {
         if r.is_test
             || !r.is_pub
+            || r.vis_restricted
             || !cfg.facade_files.iter().any(|f| f == &r.file)
             || FACADE_EXEMPT.contains(&r.name.as_str())
             || r.routes_service

@@ -130,6 +130,25 @@ impl Hive {
 }
 
 #[test]
+fn r7_ast_facade_skips_restricted_visibility_helpers() {
+    // `pub(crate)` plumbing in a facade file is not part of the service
+    // surface: neither the token engine (whose needle is the literal
+    // `pub fn `) nor the AST engine may flag it.
+    let mut cfg = WorkspaceConfig::default();
+    cfg.facade_files.push("a/api.rs".to_string());
+    let src = "\
+pub struct Hive;
+impl Hive {
+    pub fn service(&self, name: &str) -> u32 { name.len() as u32 }
+    pub(crate) fn helper(&self) -> u32 { 7 }
+    pub fn good(&self) -> u32 { self.service(\"good\") + self.helper() }
+}
+";
+    let diags = analyze(&cfg, &[("a/api.rs", "a", src)]);
+    assert!(only(&diags, rules::INSTRUMENTED_FACADE).is_empty(), "{diags:?}");
+}
+
+#[test]
 fn r7_ast_facade_only_applies_to_configured_files() {
     let cfg = WorkspaceConfig::default(); // no facade files
     let src = "\

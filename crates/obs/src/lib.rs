@@ -336,6 +336,29 @@ pub fn merge_counters(items: &[(String, u64)]) {
     });
 }
 
+/// Raises a named high-water-mark gauge to at least `value` (no-op at
+/// [`Level::Off`]). Gauges record peaks — deepest reader lag, largest
+/// published generation — and merge by maximum, not by sum.
+pub fn gauge_max(name: &str, value: u64) {
+    with_registry(|r| r.gauge_max(name, value));
+}
+
+/// Takes (and clears) this thread's gauges as sorted pairs.
+pub fn drain_gauges() -> Vec<(String, u64)> {
+    with_registry(Registry::drain_gauges).unwrap_or_default()
+}
+
+/// Folds a batch of drained gauges into this thread's registry by
+/// maximum. Max commutes, so merge order (worker scheduling) cannot
+/// affect the peaks.
+pub fn merge_gauges(items: &[(String, u64)]) {
+    with_registry(|r| {
+        for (name, value) in items {
+            r.gauge_max(name, *value);
+        }
+    });
+}
+
 /// A deep copy of this thread's registry (for assertions and renders).
 pub fn snapshot() -> Registry {
     with_registry(|r| r.clone()).unwrap_or_default()

@@ -85,6 +85,7 @@ struct Frame {
 pub struct Registry {
     level: Level,
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
     services: BTreeMap<ServiceKind, ServiceStats>,
     spans: BTreeMap<String, SpanStats>,
     stack: Vec<Frame>,
@@ -109,6 +110,7 @@ impl Registry {
     /// Drops every recorded value, keeping the level.
     pub fn clear(&mut self) {
         self.counters.clear();
+        self.gauges.clear();
         self.services.clear();
         self.spans.clear();
         self.stack.clear();
@@ -116,7 +118,10 @@ impl Registry {
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.services.is_empty() && self.spans.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.services.is_empty()
+            && self.spans.is_empty()
     }
 
     /// Adds `delta` to a named counter (no-op at `Level::Off`).
@@ -139,6 +144,36 @@ impl Registry {
     /// Sorted iterator over the named counters.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Raises a named high-water-mark gauge to at least `value` (no-op
+    /// at `Level::Off`). Unlike counters, gauges merge by maximum, so
+    /// they record peaks (deepest epoch lag, largest published
+    /// generation) rather than totals.
+    pub fn gauge_max(&mut self, name: &str, value: u64) {
+        if self.level == Level::Off {
+            return;
+        }
+        if let Some(v) = self.gauges.get_mut(name) {
+            *v = (*v).max(value);
+            return;
+        }
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The current value of a named gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sorted iterator over the named gauges.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Takes (and clears) the named gauges as sorted pairs.
+    pub fn drain_gauges(&mut self) -> Vec<(String, u64)> {
+        std::mem::take(&mut self.gauges).into_iter().collect()
     }
 
     /// Stats recorded for one service, if any.
@@ -213,8 +248,8 @@ impl Registry {
     }
 
     /// Renders the stable, sorted plain-text report: services (by
-    /// label), then span paths, then counters — each section omitted
-    /// when empty.
+    /// label), then span paths, then counters, then gauges — each
+    /// section omitted when empty.
     pub fn render_report(&self) -> String {
         let mut out = format!("hive-obs report (level={})\n", self.level.label());
         if self.is_empty() {
@@ -248,6 +283,12 @@ impl Registry {
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<40} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
                 out.push_str(&format!("  {name:<40} = {v}\n"));
             }
         }
@@ -295,11 +336,14 @@ impl Registry {
         );
         let counters_json =
             Json::Obj(self.counters.iter().map(|(k, v)| (k.clone(), int(*v))).collect());
+        let gauges_json =
+            Json::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), int(*v))).collect());
         Json::Obj(vec![
             ("level".to_string(), Json::Str(self.level.label().to_string())),
             ("services".to_string(), services_json),
             ("spans".to_string(), spans_json),
             ("counters".to_string(), counters_json),
+            ("gauges".to_string(), gauges_json),
         ])
         .render()
     }
@@ -337,6 +381,24 @@ mod tests {
         // Off-level registries refuse counts.
         let mut off = Registry::new(Level::Off);
         off.count("a", 1);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn gauges_keep_the_maximum() {
+        let mut r = Registry::new(Level::Counts);
+        r.gauge_max("lag", 3);
+        r.gauge_max("lag", 1);
+        r.gauge_max("lag", 7);
+        assert_eq!(r.gauge("lag"), 7);
+        assert_eq!(r.gauge("absent"), 0);
+        assert!(r.render_report().contains("gauges:"));
+        let drained = r.drain_gauges();
+        assert_eq!(drained, vec![("lag".to_string(), 7)]);
+        assert_eq!(r.gauge("lag"), 0);
+        // Off-level registries refuse gauges too.
+        let mut off = Registry::new(Level::Off);
+        off.gauge_max("lag", 9);
         assert!(off.is_empty());
     }
 

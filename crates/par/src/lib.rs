@@ -22,6 +22,9 @@
 //!   sweeps) with a pool of persistent workers synchronized by a
 //!   barrier per round, avoiding per-iteration spawn cost; per-chunk
 //!   scratch is merged in chunk order by the caller between rounds.
+//! * [`par_tasks`] runs a handful of **coarse** independent tasks (file
+//!   scans, reader loops) — one dispatch unit per task, no chunking and
+//!   no item-count cutoff — returning results in input order.
 //!
 //! ## Adaptive execution policy
 //!
@@ -212,20 +215,25 @@ fn below_cutoff(t: usize, n: usize, cutoff: usize) -> bool {
 }
 
 /// Carries the caller's observability level into scoped workers and
-/// collects the named counters they record, so per-operation counts
-/// (store scans inside a `par_map` closure, say) survive the scope
-/// join. Only counters are harvested: counter merge is a commutative
-/// sum, so totals are identical for any worker count or chunk
-/// scheduling — spans opened inside workers stay worker-local and are
-/// deliberately dropped.
+/// collects the named counters and gauges they record, so
+/// per-operation counts (store scans inside a `par_map` closure, say)
+/// survive the scope join. Both harvested kinds merge commutatively —
+/// counters by sum, gauges by max — so totals and peaks are identical
+/// for any worker count or chunk scheduling; spans opened inside
+/// workers stay worker-local and are deliberately dropped.
 struct ObsHarvest {
     level: hive_obs::Level,
     sink: Mutex<Vec<(String, u64)>>,
+    gauge_sink: Mutex<Vec<(String, u64)>>,
 }
 
 impl ObsHarvest {
     fn new() -> Self {
-        ObsHarvest { level: hive_obs::level(), sink: Mutex::new(Vec::new()) }
+        ObsHarvest {
+            level: hive_obs::level(),
+            sink: Mutex::new(Vec::new()),
+            gauge_sink: Mutex::new(Vec::new()),
+        }
     }
 
     /// Called inside a fresh worker thread, after [`pin_serial`].
@@ -234,29 +242,37 @@ impl ObsHarvest {
     }
 
     /// Called as the worker finishes: drains its thread-local counters
-    /// into the shared sink.
+    /// and gauges into the shared sinks.
     fn exit_worker(&self) {
         if self.level == hive_obs::Level::Off {
             return;
         }
         let drained = hive_obs::drain_counters();
-        if drained.is_empty() {
-            return;
+        if !drained.is_empty() {
+            match self.sink.lock() {
+                Ok(mut g) => g.extend(drained),
+                Err(poisoned) => poisoned.into_inner().extend(drained),
+            }
         }
-        match self.sink.lock() {
-            Ok(mut g) => g.extend(drained),
-            Err(poisoned) => poisoned.into_inner().extend(drained),
+        let gauges = hive_obs::drain_gauges();
+        if !gauges.is_empty() {
+            match self.gauge_sink.lock() {
+                Ok(mut g) => g.extend(gauges),
+                Err(poisoned) => poisoned.into_inner().extend(gauges),
+            }
         }
     }
 
     /// Called on the caller thread after the scope join: folds every
-    /// harvested counter back into the caller's registry.
+    /// harvested counter and gauge back into the caller's registry.
     fn merge(self) {
         if self.level == hive_obs::Level::Off {
             return;
         }
         let pairs = unlock(self.sink);
         hive_obs::merge_counters(&pairs);
+        let gauges = unlock(self.gauge_sink);
+        hive_obs::merge_gauges(&gauges);
     }
 }
 
@@ -321,6 +337,62 @@ where
         out.extend(unlock(slot));
     }
     out
+}
+
+/// Runs `f(index, &item)` once per item, in parallel, and returns the
+/// results **in input order**. Unlike [`par_map`] there is no
+/// item-count cutoff: tasks are coarse by contract — a whole file
+/// scan, a reader loop, a writer loop — so even two of them are worth
+/// a scope spawn. Each task is its own dispatch unit (no chunking),
+/// pulled by workers from a shared index queue; results land in
+/// pre-assigned slots so reassembly never depends on scheduling.
+///
+/// The serial path (one worker, or a single task) runs the tasks in
+/// index order on the caller thread — identical output, by the same
+/// argument as the other primitives.
+pub fn par_tasks<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    hive_obs::count("par.tasks.calls", 1);
+    hive_obs::count("par.tasks.items", n as u64);
+    let t = threads();
+    if t <= 1 || n <= 1 {
+        if t > 1 && n <= 1 {
+            hive_obs::count("par.serial_fallback", 1);
+        }
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let harvest = ObsHarvest::new();
+    let f = &f;
+    let items_ref = items;
+    let slots_ref = &slots;
+    let next_ref = &next;
+    let harvest_ref = &harvest;
+    thread::scope(|s| {
+        for _ in 0..t.min(n) {
+            s.spawn(move || {
+                pin_serial();
+                harvest_ref.enter_worker();
+                loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= items_ref.len() {
+                        break;
+                    }
+                    let out = f(i, &items_ref[i]);
+                    lock_set(&slots_ref[i], Some(out));
+                }
+                harvest_ref.exit_worker();
+            });
+        }
+    });
+    harvest.merge();
+    slots.into_iter().filter_map(unlock).collect()
 }
 
 /// Runs `f(offset, chunk)` over fixed mutable chunks of `data`, in
@@ -827,6 +899,36 @@ mod tests {
             with_threads(1, || par_map(&items, |&x| x + 1));
             let snap = hive_obs::snapshot();
             assert_eq!(snap.counter("par.serial_fallback"), 0);
+            hive_obs::reset();
+        });
+    }
+
+    #[test]
+    fn par_tasks_preserves_input_order_even_for_tiny_inputs() {
+        // Two items is below every chunked primitive's cutoff, but
+        // par_tasks still dispatches them to real workers.
+        let items: Vec<u64> = (0..4).collect();
+        let serial = with_threads(1, || par_tasks(&items, |i, &x| (i, x * 10)));
+        let parallel = force_workers(4, || par_tasks(&items, |i, &x| (i, x * 10)));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, vec![(0, 0), (1, 10), (2, 20), (3, 30)]);
+        let empty: Vec<u64> = Vec::new();
+        assert!(force_workers(2, || par_tasks(&empty, |i, &x| (i, x))).is_empty());
+    }
+
+    #[test]
+    fn worker_gauges_are_harvested_by_max() {
+        let items: Vec<u64> = (0..6).collect();
+        hive_obs::with_level(hive_obs::Level::Counts, || {
+            hive_obs::reset();
+            force_workers(3, || {
+                par_tasks(&items, |_, &x| {
+                    hive_obs::gauge_max("test.peak", x);
+                    x
+                })
+            });
+            let snap = hive_obs::snapshot();
+            assert_eq!(snap.gauge("test.peak"), 5, "peak survives the scope join");
             hive_obs::reset();
         });
     }

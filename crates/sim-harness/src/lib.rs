@@ -16,6 +16,10 @@
 //! 3. **Differential oracles** ([`oracle::differential_check`]):
 //!    parallel-vs-serial knowledge-network builds (1 thread vs N) and
 //!    cached-vs-fresh relationship-graph views must agree bit-for-bit.
+//! 4. **Snapshot consistency** ([`serve`]): an N-reader × 1-writer
+//!    soak over the epoch serving layer where every concurrent read
+//!    must be bit-identical to a cold serial replay at the epoch it
+//!    was served from (`--serve-readers N` on the binary).
 //!
 //! Everything derives from one `u64` seed through [`hive_rng`] stream
 //! forking, so any reported violation reproduces from the printed seed
@@ -27,6 +31,8 @@
 pub mod fault;
 pub mod harness;
 pub mod oracle;
+pub mod serve;
 pub mod workload;
 
 pub use harness::{CheckerKind, HarnessConfig, SimHarness, SoakReport, Violation};
+pub use serve::{serve_soak, ServeConfig, ServeReport};

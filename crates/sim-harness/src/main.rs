@@ -3,10 +3,11 @@
 //! Exits 0 when every oracle held, 1 on violations (after printing the
 //! failing seed and the exact reproduction command), 2 on usage errors.
 
-use hive_sim_harness::{HarnessConfig, SimHarness};
+use hive_sim_harness::{serve_soak, HarnessConfig, ServeConfig, SimHarness};
 
 const USAGE: &str = "usage: hive-sim-harness [--seed N] [--steps M] [--crashes K] \
-[--users U] [--diff-every D] [--threads T] [--sweep S]\n\
+[--users U] [--diff-every D] [--threads T] [--serve-readers R] [--sweep S]\n\
+  --serve-readers R additionally runs the N-reader x 1-writer serving soak with R readers\n\
   --sweep S runs S consecutive seeds starting at --seed and stops at the first failure";
 
 fn parse_flag(name: &str, value: Option<String>) -> Result<u64, String> {
@@ -16,9 +17,10 @@ fn parse_flag(name: &str, value: Option<String>) -> Result<u64, String> {
     v.parse::<u64>().map_err(|_| format!("invalid value for {name}: {v}"))
 }
 
-fn parse_config() -> Result<(HarnessConfig, u64), String> {
+fn parse_config() -> Result<(HarnessConfig, u64, usize), String> {
     let mut cfg = HarnessConfig::default();
     let mut sweep = 1u64;
+    let mut serve_readers = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,16 +30,17 @@ fn parse_config() -> Result<(HarnessConfig, u64), String> {
             "--users" => cfg.users = parse_flag(&arg, args.next())? as usize,
             "--diff-every" => cfg.diff_every = parse_flag(&arg, args.next())? as usize,
             "--threads" => cfg.threads = (parse_flag(&arg, args.next())? as usize).max(2),
+            "--serve-readers" => serve_readers = parse_flag(&arg, args.next())? as usize,
             "--sweep" => sweep = parse_flag(&arg, args.next())?.max(1),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok((cfg, sweep))
+    Ok((cfg, sweep, serve_readers))
 }
 
 fn main() {
-    let (base, sweep) = match parse_config() {
+    let (base, sweep, serve_readers) = match parse_config() {
         Ok(parsed) => parsed,
         Err(msg) => {
             if !msg.is_empty() {
@@ -60,6 +63,24 @@ fn main() {
                 seed, cfg.steps, cfg.crash_points, cfg.users, cfg.diff_every
             );
             std::process::exit(1);
+        }
+        if serve_readers > 0 {
+            let serve_cfg = ServeConfig {
+                seed,
+                steps: cfg.steps,
+                readers: serve_readers,
+                users: cfg.users,
+                ..ServeConfig::default()
+            };
+            let serve_report = serve_soak(serve_cfg);
+            println!("{}", serve_report.render());
+            if !serve_report.ok() {
+                println!(
+                    "reproduce with: cargo run -p hive-sim-harness -- --seed {} --steps {} --serve-readers {}",
+                    seed, cfg.steps, serve_readers
+                );
+                std::process::exit(1);
+            }
         }
     }
 }
