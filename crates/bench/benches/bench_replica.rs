@@ -1,0 +1,135 @@
+//! Replication benchmarks: follower apply throughput for one vs two
+//! replicas consuming the same frame log concurrently, and the
+//! failover-to-first-read latency (promote a caught-up follower, then
+//! answer the first query from the new leader's handle).
+//!
+//! Run: `cargo bench -p hive-bench --bench bench_replica`
+//!
+//! Two followers are independent state machines replaying the same
+//! log, so with `hive_par::force_workers(2)` the combined apply rate
+//! should approach 2× one follower's. On a single-core host the two
+//! workers time-slice one CPU and the ratio carries no signal, so
+//! `bench_gate` exempts `*_vs_f1_*` when `host_threads` is < 2.
+
+use hive_bench::{
+    header, iters, mean, metric, report, report_header, time_once, write_json_fragment,
+};
+use hive_core::discover::DiscoverConfig;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_replica::{frame, Cluster, ClusterConfig, FaultPlan, Follower, Leader};
+use hive_rng::Rng;
+use std::sync::Mutex;
+
+/// Seals a frame log (bootstrap checkpoint + ops frames) and counts
+/// the ops shipped in it.
+fn build_log(steps: usize) -> (Vec<String>, usize) {
+    let db = WorldBuilder::new(SimConfig::medium()).build().db;
+    let mut leader = Leader::new(db, u64::MAX);
+    let mut wires: Vec<String> = leader.seal_frames(true).iter().map(frame::encode).collect();
+    let mut rng = Rng::seed_from_u64(42);
+    let mut ops = 0usize;
+    for step in 0..steps {
+        for op in hive_replica::synth::step_ops(leader.hive(), step, &mut rng) {
+            if leader.apply(op).is_ok() {
+                ops += 1;
+            }
+        }
+        if (step + 1) % 3 == 0 {
+            wires.extend(leader.seal_frames(false).iter().map(frame::encode));
+        }
+    }
+    wires.extend(leader.seal_frames(false).iter().map(frame::encode));
+    (wires, ops)
+}
+
+/// Ops applied per second with N followers independently replaying the
+/// same log on N forced workers.
+fn bench_apply() {
+    header("replica_apply");
+    report_header();
+    let (wires, ops) = build_log(iters(60, 12));
+    let trials = iters(3, 1);
+    let mut rate_f1 = 0.0;
+    for n in [1usize, 2] {
+        let run = || {
+            let followers: Vec<Mutex<Follower>> =
+                (0..n).map(|id| Mutex::new(Follower::blank(id))).collect();
+            hive_par::force_workers(n, || {
+                hive_par::par_tasks(&followers, |_, slot| {
+                    let mut follower = slot.lock().expect("bench follower lock");
+                    for wire in &wires {
+                        follower.ingest(wire).expect("clean log applies");
+                    }
+                    assert!(follower.is_streaming());
+                });
+            });
+        };
+        run(); // unmeasured warmup at this fan-out
+        let mut per_op = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let ((), us) = time_once(run);
+            per_op.push(us / (n * ops) as f64);
+        }
+        report(&format!("apply_f{n}"), &per_op);
+        let rate = 1e6 / mean(&per_op);
+        metric(&format!("apply_ops_per_sec_f{n}"), rate);
+        if n == 1 {
+            rate_f1 = rate;
+        } else {
+            metric(&format!("apply_par_f{n}_vs_f1_speedup"), rate / rate_f1);
+        }
+    }
+    metric("host_threads", std::thread::available_parallelism().map_or(1.0, |p| p.get() as f64));
+}
+
+/// Drives a 2-follower cluster until quiescent, so promotion is legal.
+fn caught_up_cluster() -> Cluster {
+    let db = WorldBuilder::new(SimConfig::medium()).build().db;
+    let mut cluster = Cluster::new(
+        db,
+        2,
+        ClusterConfig { seed: 42, checkpoint_every: 8, faults: FaultPlan::none() },
+    );
+    let mut rng = Rng::seed_from_u64(7);
+    for step in 0..iters(30, 6) {
+        for op in hive_replica::synth::step_ops(cluster.leader_hive(), step, &mut rng) {
+            let _ = cluster.apply(op);
+        }
+        cluster.commit();
+    }
+    assert!(cluster.heal(8), "clean channels must converge");
+    cluster
+}
+
+/// Failover latency: old leader gone, promote follower 0, serve the
+/// first read from the new leader's handle.
+fn bench_failover() {
+    header("replica_failover");
+    report_header();
+    let trials = iters(5, 2);
+    let mut first_read = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut cluster = caught_up_cluster();
+        let ((), us) = time_once(|| {
+            cluster.promote(0).expect("caught-up follower promotes");
+            let reader = cluster.leader().reader();
+            let epoch = reader.epoch();
+            let u = epoch.db().user_ids()[0];
+            std::hint::black_box(epoch.search(
+                u,
+                "tensor stream sketch",
+                DiscoverConfig::default(),
+            ));
+        });
+        first_read.push(us);
+    }
+    report("failover_first_read", &first_read);
+    metric("failover_first_read_us", mean(&first_read));
+}
+
+fn main() {
+    println!("bench_replica — log-shipped replication: apply throughput and failover latency");
+    bench_apply();
+    bench_failover();
+    write_json_fragment("bench_replica");
+}

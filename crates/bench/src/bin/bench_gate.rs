@@ -16,9 +16,10 @@
 //!   hardware and a "4-thread" run measures the same serial execution
 //!   plus noise, so the ratio carries no signal;
 //! * multi-reader serving ratios (`*_vs_r1_*`, `*concurrent_read*`)
-//!   are auto-exempt when `host_threads` is below 2 — forced reader
-//!   workers on a single core time-slice one CPU, so "concurrent"
-//!   reads can only tie or lose to the serial baseline.
+//!   and multi-follower replication apply ratios (`*_vs_f1_*`) are
+//!   auto-exempt when `host_threads` is below 2 — forced workers on a
+//!   single core time-slice one CPU, so "concurrent" reads or parallel
+//!   follower replays can only tie or lose to the serial baseline.
 
 #![forbid(unsafe_code)]
 
@@ -45,6 +46,43 @@ fn load_allowlist(path: &str) -> Result<Vec<String>, String> {
 fn allowlisted(metric: &SpeedupMetric, allowlist: &[String]) -> bool {
     let bare = metric.name.rsplit('/').next().unwrap_or(&metric.name);
     allowlist.iter().any(|a| a == &metric.name || a == bare)
+}
+
+/// The gate's decision for one speedup metric.
+#[derive(Debug, PartialEq, Eq)]
+enum Verdict {
+    /// At or above 1.0.
+    Pass,
+    /// Below 1.0 but allowlisted as expected.
+    Allowed,
+    /// Below 1.0 but the host lacks the thread floor the metric needs
+    /// to carry signal (the floor is attached).
+    Exempt(u32),
+    /// A genuine speedup regression.
+    Fail,
+}
+
+/// Pure disposition logic, separated from IO so the exemption rules
+/// are unit-testable: `*_t4_vs_t1_*` needs 4 host threads, the
+/// concurrency ratios (`*_vs_r1_*` readers, `*_vs_f1_*` follower
+/// replays, `*concurrent_read*`) need 2.
+fn judge(name: &str, value: f64, allowlisted: bool, host_threads: f64) -> Verdict {
+    if value >= 1.0 {
+        return Verdict::Pass;
+    }
+    if allowlisted {
+        return Verdict::Allowed;
+    }
+    if name.contains("_t4_vs_t1_") && host_threads < 4.0 {
+        return Verdict::Exempt(4);
+    }
+    let needs_two = name.contains("_vs_r1_")
+        || name.contains("_vs_f1_")
+        || name.contains("concurrent_read");
+    if needs_two && host_threads < 2.0 {
+        return Verdict::Exempt(2);
+    }
+    Verdict::Fail
 }
 
 /// Collects every `*_speedup` metric and the largest recorded
@@ -118,25 +156,19 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
     for m in &speedups {
         let label = format!("{}:{}", m.bench, m.name);
-        if m.value >= 1.0 {
-            println!("bench_gate: ok      {label} = {:.3}", m.value);
-        } else if allowlisted(m, &allowlist) {
-            println!("bench_gate: allowed {label} = {:.3} (allowlist)", m.value);
-        } else if m.name.contains("_t4_vs_t1_") && host_threads < 4.0 {
-            println!(
-                "bench_gate: exempt  {label} = {:.3} (host_threads = {host_threads}, needs >= 4)",
+        match judge(&m.name, m.value, allowlisted(m, &allowlist), host_threads) {
+            Verdict::Pass => println!("bench_gate: ok      {label} = {:.3}", m.value),
+            Verdict::Allowed => {
+                println!("bench_gate: allowed {label} = {:.3} (allowlist)", m.value);
+            }
+            Verdict::Exempt(floor) => println!(
+                "bench_gate: exempt  {label} = {:.3} (host_threads = {host_threads}, needs >= {floor})",
                 m.value
-            );
-        } else if (m.name.contains("_vs_r1_") || m.name.contains("concurrent_read"))
-            && host_threads < 2.0
-        {
-            println!(
-                "bench_gate: exempt  {label} = {:.3} (host_threads = {host_threads}, needs >= 2)",
-                m.value
-            );
-        } else {
-            println!("bench_gate: FAIL    {label} = {:.3} < 1.0", m.value);
-            failures += 1;
+            ),
+            Verdict::Fail => {
+                println!("bench_gate: FAIL    {label} = {:.3} < 1.0", m.value);
+                failures += 1;
+            }
         }
     }
     if failures > 0 {
@@ -145,4 +177,45 @@ fn main() -> ExitCode {
     }
     println!("bench_gate: all {} speedup metrics pass", speedups.len());
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{judge, Verdict};
+
+    #[test]
+    fn at_or_above_one_always_passes() {
+        assert_eq!(judge("apply_par_f2_vs_f1_speedup", 1.0, false, 1.0), Verdict::Pass);
+        assert_eq!(judge("anything_speedup", 3.7, false, 16.0), Verdict::Pass);
+    }
+
+    #[test]
+    fn allowlist_beats_every_exemption() {
+        assert_eq!(judge("known_serial_speedup", 0.4, true, 16.0), Verdict::Allowed);
+        // Even a metric that would also qualify for a thread exemption
+        // reports as allowlisted — the explicit escape hatch wins.
+        assert_eq!(judge("reads_r2_vs_r1_speedup", 0.4, true, 1.0), Verdict::Allowed);
+    }
+
+    #[test]
+    fn t4_ratio_exempt_only_below_four_threads() {
+        assert_eq!(judge("build_t4_vs_t1_speedup", 0.9, false, 2.0), Verdict::Exempt(4));
+        assert_eq!(judge("build_t4_vs_t1_speedup", 0.9, false, 4.0), Verdict::Fail);
+    }
+
+    #[test]
+    fn concurrency_ratios_exempt_only_below_two_threads() {
+        for name in
+            ["reads_r2_vs_r1_speedup", "apply_par_f2_vs_f1_speedup", "concurrent_read_speedup"]
+        {
+            assert_eq!(judge(name, 0.8, false, 1.0), Verdict::Exempt(2), "{name} on 1 thread");
+            assert_eq!(judge(name, 0.8, false, 2.0), Verdict::Fail, "{name} on 2 threads");
+        }
+    }
+
+    #[test]
+    fn plain_regressions_fail_regardless_of_threads() {
+        assert_eq!(judge("cache_vs_fresh_speedup", 0.99, false, 1.0), Verdict::Fail);
+        assert_eq!(judge("cache_vs_fresh_speedup", 0.99, false, 64.0), Verdict::Fail);
+    }
 }

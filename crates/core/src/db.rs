@@ -1121,6 +1121,20 @@ impl HiveDb {
         Ok(db)
     }
 
+    /// Re-stamps a restored platform at `generation` with an empty delta
+    /// journal, as if it had lived through the same mutation history.
+    ///
+    /// Used by replication checkpoints: a follower installing a leader
+    /// snapshot must adopt the leader's generation so the two journals
+    /// stay aligned and subsequent log frames apply at matching
+    /// generations. With `delta_base == generation`, `deltas_since` at
+    /// the adopted generation answers an empty (patchable) slice.
+    pub(crate) fn adopt_generation(&mut self, generation: u64) {
+        self.generation = generation; // lint:allow(delta-log) -- checkpoint re-stamp, not a mutation
+        self.delta_base = generation;
+        self.deltas.clear();
+    }
+
     /// Rebuilds every secondary index from the primary arenas, validating
     /// referential integrity along the way. Used only on restore, so a
     /// snapshot can never freeze a stale index.

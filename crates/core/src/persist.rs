@@ -8,10 +8,11 @@
 //! uses, so an index bug can't be frozen into a snapshot.
 
 use crate::clock::Timestamp;
-use crate::db::HiveDb;
+use crate::db::{DbDelta, HiveDb};
 use crate::error::{HiveError, Result};
 use crate::ids::*;
 use crate::model::*;
+use hive_json::{FromJson, Json, JsonError, ToJson};
 
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
@@ -84,10 +85,165 @@ hive_json::impl_json_struct!(PlatformSnapshot {
     log,
 });
 
+/// A replication checkpoint: a full platform snapshot plus the
+/// mutation generation it was captured at.
+///
+/// Unlike a plain [`PlatformSnapshot`] restore (which starts a fresh
+/// delta journal at generation 1), installing a checkpoint re-stamps
+/// the restored platform at the captured generation, so a follower
+/// bootstrapped from it can apply subsequent log frames at the exact
+/// generations the leader journaled them.
+#[derive(Clone, Debug)]
+pub struct ReplicaCheckpoint {
+    /// Snapshot format version (same lineage as [`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The mutation generation at capture time.
+    pub generation: u64,
+    /// The full primary-data snapshot.
+    pub snapshot: PlatformSnapshot,
+}
+
+hive_json::impl_json_struct!(ReplicaCheckpoint { version, generation, snapshot });
+
+// `DbDelta` crosses the replication wire inside log frames (the
+// classified delta stream a follower cross-checks its own journal
+// against), so it needs a stable JSON form: unit variants render as
+// their name, payload variants as a single-key object. Both matches
+// stay exhaustive on purpose (lint R10): a new variant must pick its
+// wire form here.
+impl ToJson for DbDelta {
+    fn to_json(&self) -> Json {
+        fn obj(tag: &str, fields: Vec<(String, Json)>) -> Json {
+            Json::Obj(vec![(tag.to_string(), Json::Obj(fields))])
+        }
+        match self {
+            DbDelta::Neutral => Json::Str("Neutral".into()),
+            DbDelta::Structural => Json::Str("Structural".into()),
+            DbDelta::Follow { follower, followee } => obj(
+                "Follow",
+                vec![
+                    ("follower".into(), follower.to_json()),
+                    ("followee".into(), followee.to_json()),
+                ],
+            ),
+            DbDelta::Connect { a, b } => {
+                obj("Connect", vec![("a".into(), a.to_json()), ("b".into(), b.to_json())])
+            }
+            DbDelta::CheckIn { user, session } => obj(
+                "CheckIn",
+                vec![("user".into(), user.to_json()), ("session".into(), session.to_json())],
+            ),
+            DbDelta::Attend { user, conf } => obj(
+                "Attend",
+                vec![("user".into(), user.to_json()), ("conf".into(), conf.to_json())],
+            ),
+            DbDelta::Discuss { author, session, paper } => obj(
+                "Discuss",
+                vec![
+                    ("author".into(), author.to_json()),
+                    ("session".into(), session.to_json()),
+                    ("paper".into(), paper.to_json()),
+                ],
+            ),
+            DbDelta::ViewPaper { user, paper } => obj(
+                "ViewPaper",
+                vec![("user".into(), user.to_json()), ("paper".into(), paper.to_json())],
+            ),
+        }
+    }
+}
+
+impl FromJson for DbDelta {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        fn field<'a>(
+            pairs: &'a [(String, Json)],
+            name: &str,
+        ) -> std::result::Result<&'a Json, JsonError> {
+            pairs
+                .iter()
+                .find_map(|(k, v)| (k == name).then_some(v))
+                .ok_or_else(|| JsonError::new(format!("DbDelta missing field `{name}`")))
+        }
+        match v {
+            Json::Str(tag) => match tag.as_str() {
+                "Neutral" => Ok(DbDelta::Neutral),
+                "Structural" => Ok(DbDelta::Structural),
+                other => Err(JsonError::new(format!("unknown DbDelta variant `{other}`"))),
+            },
+            Json::Obj(pairs) if pairs.len() == 1 => {
+                let (tag, inner) = &pairs[0];
+                let Json::Obj(fields) = inner else {
+                    return Err(JsonError::new(format!(
+                        "DbDelta::{tag} payload must be an object, got {}",
+                        inner.kind()
+                    )));
+                };
+                match tag.as_str() {
+                    "Follow" => Ok(DbDelta::Follow {
+                        follower: FromJson::from_json(field(fields, "follower")?)?,
+                        followee: FromJson::from_json(field(fields, "followee")?)?,
+                    }),
+                    "Connect" => Ok(DbDelta::Connect {
+                        a: FromJson::from_json(field(fields, "a")?)?,
+                        b: FromJson::from_json(field(fields, "b")?)?,
+                    }),
+                    "CheckIn" => Ok(DbDelta::CheckIn {
+                        user: FromJson::from_json(field(fields, "user")?)?,
+                        session: FromJson::from_json(field(fields, "session")?)?,
+                    }),
+                    "Attend" => Ok(DbDelta::Attend {
+                        user: FromJson::from_json(field(fields, "user")?)?,
+                        conf: FromJson::from_json(field(fields, "conf")?)?,
+                    }),
+                    "Discuss" => Ok(DbDelta::Discuss {
+                        author: FromJson::from_json(field(fields, "author")?)?,
+                        session: FromJson::from_json(field(fields, "session")?)?,
+                        paper: FromJson::from_json(field(fields, "paper")?)?,
+                    }),
+                    "ViewPaper" => Ok(DbDelta::ViewPaper {
+                        user: FromJson::from_json(field(fields, "user")?)?,
+                        paper: FromJson::from_json(field(fields, "paper")?)?,
+                    }),
+                    other => Err(JsonError::new(format!("unknown DbDelta variant `{other}`"))),
+                }
+            }
+            other => Err(JsonError::new(format!(
+                "expected string or single-key object for DbDelta, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 impl HiveDb {
     /// Captures the full platform state.
     pub fn snapshot(&self) -> PlatformSnapshot {
         self.capture_snapshot()
+    }
+
+    /// Captures a replication checkpoint: the full snapshot stamped
+    /// with the current mutation generation.
+    pub fn checkpoint(&self) -> ReplicaCheckpoint {
+        ReplicaCheckpoint {
+            version: SNAPSHOT_VERSION,
+            generation: self.generation(),
+            snapshot: self.capture_snapshot(),
+        }
+    }
+
+    /// Restores a platform from a replication checkpoint, adopting the
+    /// captured generation (empty delta journal based there) so the
+    /// restored instance lines up with the leader's log.
+    pub fn from_checkpoint(cp: &ReplicaCheckpoint) -> Result<Self> {
+        if cp.version != SNAPSHOT_VERSION {
+            return Err(HiveError::SnapshotVersion {
+                found: cp.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let mut db = Self::from_snapshot(&cp.snapshot)?;
+        db.adopt_generation(cp.generation);
+        Ok(db)
     }
 
     /// Serializes the platform to JSON.
@@ -265,5 +421,63 @@ mod tests {
             })
         );
         assert!(HiveDb::from_json("{").is_err());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_adopts_generation_and_patchable_journal() {
+        let world = WorldBuilder::new(SimConfig::small()).build();
+        let mut db = world.db;
+        let users = db.user_ids();
+        db.follow(users[0], users[3]).ok();
+        db.follow(users[1], users[4]).ok();
+        let gen = db.generation();
+        assert!(gen > 1, "mutations must have advanced the generation");
+
+        let cp = db.checkpoint();
+        assert_eq!(cp.generation, gen);
+        // The checkpoint survives its own JSON wire format.
+        let wire = cp.to_json().to_string();
+        let parsed = hive_json::Json::parse(&wire).expect("checkpoint JSON parses");
+        let back = ReplicaCheckpoint::from_json(&parsed).expect("checkpoint JSON loads");
+        let restored = HiveDb::from_checkpoint(&back).expect("installs");
+        // The installed replica sits at the source generation with an
+        // empty-but-patchable delta window, so follower caches and the
+        // next ops frame line up exactly.
+        assert_eq!(restored.generation(), gen);
+        assert_eq!(restored.deltas_since(gen).map(<[DbDelta]>::len), Some(0));
+        assert_eq!(restored.user_ids(), db.user_ids());
+        assert_eq!(restored.following(users[0]), db.following(users[0]));
+        // Version skew refuses typed-ly, like every snapshot path.
+        let mut skewed = db.checkpoint();
+        skewed.version = 99;
+        assert_eq!(
+            HiveDb::from_checkpoint(&skewed).err(),
+            Some(HiveError::SnapshotVersion { found: 99, expected: SNAPSHOT_VERSION })
+        );
+    }
+
+    #[test]
+    fn db_delta_json_roundtrips_every_variant() {
+        let world = WorldBuilder::new(SimConfig::small()).build();
+        let u = world.db.user_ids();
+        let s = world.db.session_ids()[0];
+        let c = world.db.conference_ids()[0];
+        let p = world.db.paper_ids()[0];
+        let variants = [
+            DbDelta::Neutral,
+            DbDelta::Structural,
+            DbDelta::Follow { follower: u[0], followee: u[1] },
+            DbDelta::Connect { a: u[2], b: u[3] },
+            DbDelta::CheckIn { user: u[0], session: s },
+            DbDelta::Attend { user: u[1], conf: c },
+            DbDelta::Discuss { author: u[2], session: s, paper: Some(p) },
+            DbDelta::Discuss { author: u[2], session: s, paper: None },
+            DbDelta::ViewPaper { user: u[3], paper: p },
+        ];
+        for d in variants {
+            let wire = d.to_json().to_string();
+            let parsed = hive_json::Json::parse(&wire).expect("delta JSON parses");
+            assert_eq!(DbDelta::from_json(&parsed).expect("delta JSON loads"), d, "{wire}");
+        }
     }
 }

@@ -39,8 +39,9 @@ use crate::clock::Timestamp;
 use crate::collab::CfModel;
 use crate::communities::{self, Communities, Method};
 use crate::context::{build_context, ActivityContext, ContextConfig};
-use crate::db::HiveDb;
+use crate::db::{DbDelta, HiveDb};
 use crate::discover::{self, DiscoverConfig, Resource, SearchHit};
+use crate::error::Result;
 use crate::evidence::{self, RelationshipExplanation};
 use crate::feed::{self, FeedDigest, Update};
 use crate::history::{self, HistoryHit, HistoryQuery};
@@ -525,6 +526,37 @@ impl HiveServer {
         hive_obs::gauge_max("serve.epoch.generation", generation);
         hive_obs::gauge_max("serve.epoch.gen_stride", generation - prev.generation);
         next
+    }
+
+    // ---- replication hooks --------------------------------------------------
+
+    /// The writer's current mutation generation (what the next publish
+    /// would stamp). Replication leaders frame log entries between
+    /// consecutive values of this counter.
+    pub fn generation(&self) -> u64 {
+        self.hive.db().generation()
+    }
+
+    /// The classified delta stream journaled after `generation`, oldest
+    /// first, or `None` when the ring journal no longer covers that
+    /// window (the replication layer must fall back to a checkpoint).
+    pub fn deltas_since(&self, generation: u64) -> Option<Vec<DbDelta>> {
+        self.hive.db().deltas_since(generation).map(<[DbDelta]>::to_vec)
+    }
+
+    /// Exports a replication checkpoint of the writer's current state:
+    /// the full snapshot stamped with its generation, for follower
+    /// bootstrap and gap/truncation recovery.
+    pub fn checkpoint(&self) -> crate::persist::ReplicaCheckpoint {
+        self.hive.db().checkpoint()
+    }
+
+    /// Boots a server from a replication checkpoint: the restored
+    /// database adopts the checkpoint's generation and the boot epoch
+    /// is published from it, so a follower's first served epoch is the
+    /// leader state the checkpoint captured.
+    pub fn from_checkpoint(cp: &crate::persist::ReplicaCheckpoint) -> Result<HiveServer> {
+        Ok(HiveServer::new(HiveDb::from_checkpoint(cp)?))
     }
 }
 

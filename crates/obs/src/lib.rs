@@ -343,6 +343,14 @@ pub fn gauge_max(name: &str, value: u64) {
     with_registry(|r| r.gauge_max(name, value));
 }
 
+/// Overwrites a named gauge with its latest reading (no-op at
+/// [`Level::Off`]). Use for level state whose most recent value is the
+/// meaningful one — current replica lag, current queue depth — where
+/// [`gauge_max`] would freeze the historical peak instead.
+pub fn gauge_set(name: &str, value: u64) {
+    with_registry(|r| r.gauge_set(name, value));
+}
+
 /// Takes (and clears) this thread's gauges as sorted pairs.
 pub fn drain_gauges() -> Vec<(String, u64)> {
     with_registry(Registry::drain_gauges).unwrap_or_default()

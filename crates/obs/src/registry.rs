@@ -161,6 +161,17 @@ impl Registry {
         self.gauges.insert(name.to_string(), value);
     }
 
+    /// Overwrites a named gauge with its latest reading (no-op at
+    /// `Level::Off`). Where [`Registry::gauge_max`] records peaks, this
+    /// records level state — current replica lag, current queue depth —
+    /// whose most recent value is the meaningful one.
+    pub fn gauge_set(&mut self, name: &str, value: u64) {
+        if self.level == Level::Off {
+            return;
+        }
+        self.gauges.insert(name.to_string(), value);
+    }
+
     /// The current value of a named gauge (0 when absent).
     pub fn gauge(&self, name: &str) -> u64 {
         self.gauges.get(name).copied().unwrap_or(0)

@@ -1,0 +1,200 @@
+//! Log frames and their checksummed wire form.
+//!
+//! A frame is one slot of the replication log: either a batch of typed
+//! operations spanning leader generations `start_gen..end_gen`
+//! (together with the classified delta stream the leader journaled for
+//! them — the follower's cross-check oracle), or a full-snapshot
+//! checkpoint for bootstrap and gap/truncation recovery.
+//!
+//! The wire form wraps the frame JSON in an envelope with an FNV-1a
+//! checksum, so transport damage (the fault injector truncates and
+//! mangles frames on purpose) surfaces as a typed
+//! [`ReplicaError::Corrupt`] — never as a half-applied frame.
+
+use crate::ops::ReplOp;
+use crate::ReplicaError;
+use hive_core::db::DbDelta;
+use hive_core::persist::ReplicaCheckpoint;
+use hive_json::Json;
+
+/// Current frame format version; a mismatch refuses the frame.
+pub const FRAME_VERSION: u32 = 1;
+
+/// A batch of replicated operations plus the classified delta stream
+/// the leader journaled while applying them (one delta per generation
+/// bump, `start_gen` exclusive through `end_gen` inclusive). After
+/// replay, a follower's own journal suffix must equal this stream
+/// bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct OpsBatch {
+    /// The operations, in application order.
+    pub ops: Vec<ReplOp>,
+    /// The leader's classified delta stream for these operations.
+    pub deltas: Vec<DbDelta>,
+}
+
+hive_json::impl_json_struct!(OpsBatch { ops, deltas });
+
+/// What a frame carries.
+#[derive(Clone, Debug)]
+pub enum FramePayload {
+    /// A sealed batch of operations.
+    Ops(OpsBatch),
+    /// A full-snapshot checkpoint (bootstrap / re-sync point).
+    Checkpoint(ReplicaCheckpoint),
+}
+
+hive_json::impl_json_enum_payload!(FramePayload { Ops, Checkpoint });
+
+/// One slot of the replication log.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Frame format version.
+    pub version: u32,
+    /// Monotone log sequence number (contiguous, starting at 0).
+    pub seq: u64,
+    /// Leader generation before this frame's effects.
+    pub start_gen: u64,
+    /// Leader generation after this frame's effects. For checkpoint
+    /// frames `start_gen == end_gen == ` the captured generation.
+    pub end_gen: u64,
+    /// The ops batch or checkpoint.
+    pub payload: FramePayload,
+}
+
+hive_json::impl_json_struct!(Frame { version, seq, start_gen, end_gen, payload });
+
+impl Frame {
+    /// True for checkpoint frames.
+    pub fn is_checkpoint(&self) -> bool {
+        matches!(self.payload, FramePayload::Checkpoint(_))
+    }
+}
+
+/// 64-bit FNV-1a over the frame body bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes a frame into its checksummed wire envelope:
+/// `{"crc":"<16 hex digits>","body":"<frame JSON>"}`.
+pub fn encode(frame: &Frame) -> String {
+    let body = hive_json::to_string(frame);
+    let crc = format!("{:016x}", fnv1a(body.as_bytes()));
+    Json::Obj(vec![
+        ("crc".to_string(), Json::Str(crc)),
+        ("body".to_string(), Json::Str(body)),
+    ])
+    .render()
+}
+
+/// Parses and validates a wire envelope back into a frame. Any damage
+/// — unparseable envelope, checksum mismatch, unparseable body, or a
+/// version this build does not speak — is a typed
+/// [`ReplicaError::Corrupt`].
+pub fn decode(wire: &str) -> crate::Result<Frame> {
+    let envelope =
+        Json::parse(wire).map_err(|e| ReplicaError::Corrupt(format!("envelope: {}", e.0)))?;
+    let Json::Obj(pairs) = &envelope else {
+        return Err(ReplicaError::Corrupt("envelope is not an object".to_string()));
+    };
+    let field = |name: &str| {
+        pairs
+            .iter()
+            .find_map(|(k, v)| (k == name).then_some(v))
+            .ok_or_else(|| ReplicaError::Corrupt(format!("envelope missing `{name}`")))
+    };
+    let crc = field("crc")?
+        .as_str()
+        .map_err(|e| ReplicaError::Corrupt(format!("crc: {}", e.0)))?;
+    let body = field("body")?
+        .as_str()
+        .map_err(|e| ReplicaError::Corrupt(format!("body: {}", e.0)))?;
+    let want = format!("{:016x}", fnv1a(body.as_bytes()));
+    if crc != want {
+        return Err(ReplicaError::Corrupt(format!("checksum mismatch: {crc} != {want}")));
+    }
+    let frame: Frame =
+        hive_json::from_str(body).map_err(|e| ReplicaError::Corrupt(format!("frame: {}", e.0)))?;
+    if frame.version != FRAME_VERSION {
+        return Err(ReplicaError::Corrupt(format!(
+            "frame version {} (this build speaks {FRAME_VERSION})",
+            frame.version
+        )));
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::FollowOp;
+    use hive_core::ids::UserId;
+
+    fn ops_frame() -> Frame {
+        Frame {
+            version: FRAME_VERSION,
+            seq: 7,
+            start_gen: 40,
+            end_gen: 42,
+            payload: FramePayload::Ops(OpsBatch {
+                ops: vec![
+                    ReplOp::AdvanceClock(3),
+                    ReplOp::Follow(FollowOp { follower: UserId(1), followee: UserId(4) }),
+                ],
+                deltas: vec![
+                    DbDelta::Neutral,
+                    DbDelta::Follow { follower: UserId(1), followee: UserId(4) },
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_frame() {
+        let frame = ops_frame();
+        let wire = encode(&frame);
+        let back = decode(&wire).expect("clean wire decodes");
+        assert_eq!(back.seq, frame.seq);
+        assert_eq!(back.start_gen, frame.start_gen);
+        assert_eq!(back.end_gen, frame.end_gen);
+        let FramePayload::Ops(batch) = &back.payload else {
+            panic!("payload kind changed in flight");
+        };
+        assert_eq!(batch.ops.len(), 2);
+        assert_eq!(
+            batch.deltas,
+            vec![DbDelta::Neutral, DbDelta::Follow { follower: UserId(1), followee: UserId(4) }]
+        );
+    }
+
+    #[test]
+    fn truncation_and_damage_surface_as_corrupt() {
+        let wire = encode(&ops_frame());
+        for cut in [0, 1, wire.len() / 2, wire.len() - 1] {
+            let truncated = &wire[..cut];
+            assert!(
+                matches!(decode(truncated), Err(ReplicaError::Corrupt(_))),
+                "cut at {cut} must be corrupt"
+            );
+        }
+        // Interior damage that keeps the envelope parseable still trips
+        // the checksum.
+        let damaged = wire.replace("\\\"seq\\\":7", "\\\"seq\\\":8");
+        assert_ne!(damaged, wire, "replacement must hit");
+        assert!(matches!(decode(&damaged), Err(ReplicaError::Corrupt(_))));
+    }
+
+    #[test]
+    fn version_skew_is_refused() {
+        let mut frame = ops_frame();
+        frame.version = FRAME_VERSION + 1;
+        let wire = encode(&frame);
+        assert!(matches!(decode(&wire), Err(ReplicaError::Corrupt(_))));
+    }
+}

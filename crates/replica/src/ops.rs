@@ -1,0 +1,388 @@
+//! The replicated operation set: a typed mirror of the Hive facade's
+//! mutator surface.
+//!
+//! The classified [`hive_core::DbDelta`] journal alone cannot rebuild a
+//! follower (`Structural` carries no entity payload), so the log ships
+//! full typed operations and lets each follower's own deterministic
+//! state machine re-derive the identical journal. [`apply`] maps every
+//! op back onto the facade method it mirrors; result values (fresh ids,
+//! timestamps) are deterministic on both sides and therefore discarded.
+
+use hive_core::clock::Timestamp;
+use hive_core::ids::{
+    CollectionId, ConferenceId, PaperId, PresentationId, QuestionId, SessionId, UserId, WorkpadId,
+};
+use hive_core::model::{Paper, Presentation, QaTarget, User, WorkpadItem};
+use hive_core::Hive;
+
+/// One entry of the replication log: a mutation the leader accepted,
+/// replayable verbatim on any follower. Every variant wraps exactly one
+/// JSON-serializable payload (the wire form is the externally-tagged
+/// single-key object of `impl_json_enum_payload!`).
+#[derive(Clone, Debug)]
+pub enum ReplOp {
+    /// Advance the logical clock by a tick delta.
+    AdvanceClock(u64),
+    /// Register a researcher profile.
+    AddUser(User),
+    /// Upload a paper.
+    AddPaper(Paper),
+    /// Upload a presentation.
+    AddPresentation(Presentation),
+    /// Revise the slides of an existing presentation.
+    ReviseSlides(ReviseSlidesOp),
+    /// Follow a researcher.
+    Follow(FollowOp),
+    /// Restrict which activity categories reach a follower.
+    SetFollowFilter(SetFollowFilterOp),
+    /// Originate a connection request.
+    RequestConnection(RequestConnectionOp),
+    /// Accept or decline a pending connection request.
+    RespondConnection(RespondConnectionOp),
+    /// Check into a session.
+    CheckIn(CheckInOp),
+    /// Register conference attendance.
+    Attend(AttendOp),
+    /// Ask a question on a presentation or session.
+    AskQuestion(AskQuestionOp),
+    /// Answer a question.
+    AnswerQuestion(AnswerQuestionOp),
+    /// Comment on a paper, presentation, session, or question.
+    Comment(CommentOp),
+    /// Post a tweet into a session stream.
+    PostTweet(PostTweetOp),
+    /// Record a paper view.
+    ViewPaper(ViewPaperOp),
+    /// Create a workpad.
+    CreateWorkpad(CreateWorkpadOp),
+    /// Drop an item onto a workpad.
+    WorkpadAdd(WorkpadAddOp),
+    /// Attach a free-text note to a workpad.
+    WorkpadNote(WorkpadNoteOp),
+    /// Remove an item from a workpad.
+    WorkpadRemove(WorkpadRemoveOp),
+    /// Switch a user's active workpad.
+    ActivateWorkpad(ActivateWorkpadOp),
+    /// Export a workpad as a shared collection.
+    ExportWorkpad(ExportWorkpadOp),
+    /// Import a shared collection as a new workpad.
+    ImportCollection(ImportCollectionOp),
+}
+
+/// Payload of [`ReplOp::ReviseSlides`].
+#[derive(Clone, Debug)]
+pub struct ReviseSlidesOp {
+    /// The revising author.
+    pub user: UserId,
+    /// The presentation being revised.
+    pub pres: PresentationId,
+    /// The new slides text.
+    pub text: String,
+}
+
+/// Payload of [`ReplOp::Follow`].
+#[derive(Clone, Debug)]
+pub struct FollowOp {
+    /// The user who follows.
+    pub follower: UserId,
+    /// The user being followed.
+    pub followee: UserId,
+}
+
+/// Payload of [`ReplOp::SetFollowFilter`].
+#[derive(Clone, Debug)]
+pub struct SetFollowFilterOp {
+    /// The filtering follower.
+    pub follower: UserId,
+    /// The followee whose stream is filtered.
+    pub followee: UserId,
+    /// The allowed activity categories.
+    pub categories: Vec<String>,
+}
+
+/// Payload of [`ReplOp::RequestConnection`].
+#[derive(Clone, Debug)]
+pub struct RequestConnectionOp {
+    /// The requesting user.
+    pub from: UserId,
+    /// The requested user.
+    pub to: UserId,
+}
+
+/// Payload of [`ReplOp::RespondConnection`].
+#[derive(Clone, Debug)]
+pub struct RespondConnectionOp {
+    /// The responding user (the original request's target).
+    pub to: UserId,
+    /// The original requester.
+    pub from: UserId,
+    /// Accept (`true`) or decline.
+    pub accept: bool,
+}
+
+/// Payload of [`ReplOp::CheckIn`].
+#[derive(Clone, Debug)]
+pub struct CheckInOp {
+    /// The user checking in.
+    pub user: UserId,
+    /// The session.
+    pub session: SessionId,
+}
+
+/// Payload of [`ReplOp::Attend`].
+#[derive(Clone, Debug)]
+pub struct AttendOp {
+    /// The attendee.
+    pub user: UserId,
+    /// The conference edition.
+    pub conf: ConferenceId,
+}
+
+/// Payload of [`ReplOp::AskQuestion`].
+#[derive(Clone, Debug)]
+pub struct AskQuestionOp {
+    /// The question author.
+    pub author: UserId,
+    /// The presentation or session asked about.
+    pub target: QaTarget,
+    /// The question text.
+    pub text: String,
+    /// Whether the question is also broadcast to the session stream.
+    pub broadcast: bool,
+}
+
+/// Payload of [`ReplOp::AnswerQuestion`].
+#[derive(Clone, Debug)]
+pub struct AnswerQuestionOp {
+    /// The answering author.
+    pub author: UserId,
+    /// The question being answered.
+    pub question: QuestionId,
+    /// The answer text.
+    pub text: String,
+}
+
+/// Payload of [`ReplOp::Comment`].
+#[derive(Clone, Debug)]
+pub struct CommentOp {
+    /// The comment author.
+    pub author: UserId,
+    /// The commented presentation or session.
+    pub target: QaTarget,
+    /// The comment text.
+    pub text: String,
+}
+
+/// Payload of [`ReplOp::PostTweet`].
+#[derive(Clone, Debug)]
+pub struct PostTweetOp {
+    /// The platform user behind the tweet, when known.
+    pub author: Option<UserId>,
+    /// The tweet handle.
+    pub handle: String,
+    /// The tweet text.
+    pub text: String,
+    /// The session stream the tweet lands in.
+    pub session: SessionId,
+}
+
+/// Payload of [`ReplOp::ViewPaper`].
+#[derive(Clone, Debug)]
+pub struct ViewPaperOp {
+    /// The viewer.
+    pub user: UserId,
+    /// The viewed paper.
+    pub paper: PaperId,
+}
+
+/// Payload of [`ReplOp::CreateWorkpad`].
+#[derive(Clone, Debug)]
+pub struct CreateWorkpadOp {
+    /// The workpad owner.
+    pub owner: UserId,
+    /// The workpad name.
+    pub name: String,
+}
+
+/// Payload of [`ReplOp::WorkpadAdd`].
+#[derive(Clone, Debug)]
+pub struct WorkpadAddOp {
+    /// The acting user.
+    pub user: UserId,
+    /// The target workpad.
+    pub pad: WorkpadId,
+    /// The item dropped onto it.
+    pub item: WorkpadItem,
+}
+
+/// Payload of [`ReplOp::WorkpadNote`].
+#[derive(Clone, Debug)]
+pub struct WorkpadNoteOp {
+    /// The acting user.
+    pub user: UserId,
+    /// The target workpad.
+    pub pad: WorkpadId,
+    /// The note text.
+    pub text: String,
+}
+
+/// Payload of [`ReplOp::WorkpadRemove`].
+#[derive(Clone, Debug)]
+pub struct WorkpadRemoveOp {
+    /// The acting user.
+    pub user: UserId,
+    /// The target workpad.
+    pub pad: WorkpadId,
+    /// The item removed.
+    pub item: WorkpadItem,
+}
+
+/// Payload of [`ReplOp::ActivateWorkpad`].
+#[derive(Clone, Debug)]
+pub struct ActivateWorkpadOp {
+    /// The acting user.
+    pub user: UserId,
+    /// The workpad made active.
+    pub pad: WorkpadId,
+}
+
+/// Payload of [`ReplOp::ExportWorkpad`].
+#[derive(Clone, Debug)]
+pub struct ExportWorkpadOp {
+    /// The exporting user.
+    pub user: UserId,
+    /// The exported workpad.
+    pub pad: WorkpadId,
+}
+
+/// Payload of [`ReplOp::ImportCollection`].
+#[derive(Clone, Debug)]
+pub struct ImportCollectionOp {
+    /// The importing user.
+    pub user: UserId,
+    /// The imported collection.
+    pub collection: CollectionId,
+}
+
+hive_json::impl_json_struct!(ReviseSlidesOp { user, pres, text });
+hive_json::impl_json_struct!(FollowOp { follower, followee });
+hive_json::impl_json_struct!(SetFollowFilterOp { follower, followee, categories });
+hive_json::impl_json_struct!(RequestConnectionOp { from, to });
+hive_json::impl_json_struct!(RespondConnectionOp { to, from, accept });
+hive_json::impl_json_struct!(CheckInOp { user, session });
+hive_json::impl_json_struct!(AttendOp { user, conf });
+hive_json::impl_json_struct!(AskQuestionOp { author, target, text, broadcast });
+hive_json::impl_json_struct!(AnswerQuestionOp { author, question, text });
+hive_json::impl_json_struct!(CommentOp { author, target, text });
+hive_json::impl_json_struct!(PostTweetOp { author, handle, text, session });
+hive_json::impl_json_struct!(ViewPaperOp { user, paper });
+hive_json::impl_json_struct!(CreateWorkpadOp { owner, name });
+hive_json::impl_json_struct!(WorkpadAddOp { user, pad, item });
+hive_json::impl_json_struct!(WorkpadNoteOp { user, pad, text });
+hive_json::impl_json_struct!(WorkpadRemoveOp { user, pad, item });
+hive_json::impl_json_struct!(ActivateWorkpadOp { user, pad });
+hive_json::impl_json_struct!(ExportWorkpadOp { user, pad });
+hive_json::impl_json_struct!(ImportCollectionOp { user, collection });
+
+hive_json::impl_json_enum_payload!(ReplOp {
+    AdvanceClock,
+    AddUser,
+    AddPaper,
+    AddPresentation,
+    ReviseSlides,
+    Follow,
+    SetFollowFilter,
+    RequestConnection,
+    RespondConnection,
+    CheckIn,
+    Attend,
+    AskQuestion,
+    AnswerQuestion,
+    Comment,
+    PostTweet,
+    ViewPaper,
+    CreateWorkpad,
+    WorkpadAdd,
+    WorkpadNote,
+    WorkpadRemove,
+    ActivateWorkpad,
+    ExportWorkpad,
+    ImportCollection,
+});
+
+impl ReplOp {
+    /// Stable kebab-case label for diagnostics and counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplOp::AdvanceClock(_) => "advance-clock",
+            ReplOp::AddUser(_) => "add-user",
+            ReplOp::AddPaper(_) => "add-paper",
+            ReplOp::AddPresentation(_) => "add-presentation",
+            ReplOp::ReviseSlides(_) => "revise-slides",
+            ReplOp::Follow(_) => "follow",
+            ReplOp::SetFollowFilter(_) => "set-follow-filter",
+            ReplOp::RequestConnection(_) => "request-connection",
+            ReplOp::RespondConnection(_) => "respond-connection",
+            ReplOp::CheckIn(_) => "check-in",
+            ReplOp::Attend(_) => "attend",
+            ReplOp::AskQuestion(_) => "ask-question",
+            ReplOp::AnswerQuestion(_) => "answer-question",
+            ReplOp::Comment(_) => "comment",
+            ReplOp::PostTweet(_) => "post-tweet",
+            ReplOp::ViewPaper(_) => "view-paper",
+            ReplOp::CreateWorkpad(_) => "create-workpad",
+            ReplOp::WorkpadAdd(_) => "workpad-add",
+            ReplOp::WorkpadNote(_) => "workpad-note",
+            ReplOp::WorkpadRemove(_) => "workpad-remove",
+            ReplOp::ActivateWorkpad(_) => "activate-workpad",
+            ReplOp::ExportWorkpad(_) => "export-workpad",
+            ReplOp::ImportCollection(_) => "import-collection",
+        }
+    }
+}
+
+/// Replays one operation through the facade method it mirrors.
+///
+/// Returned ids and timestamps are functions of the replica's
+/// deterministic state, identical on leader and follower, so they are
+/// deliberately dropped here. An `Err` on a follower for an op the
+/// leader accepted is a divergence signal, not a tolerable rejection.
+pub fn apply(op: &ReplOp, hive: &mut Hive) -> hive_core::error::Result<()> {
+    match op {
+        ReplOp::AdvanceClock(dt) => {
+            let _: Timestamp = hive.advance_clock(*dt);
+            Ok(())
+        }
+        ReplOp::AddUser(user) => {
+            hive.add_user(user.clone());
+            Ok(())
+        }
+        ReplOp::AddPaper(paper) => hive.add_paper(paper.clone()).map(drop),
+        ReplOp::AddPresentation(pres) => hive.add_presentation(pres.clone()).map(drop),
+        ReplOp::ReviseSlides(o) => hive.revise_slides(o.user, o.pres, o.text.as_str()),
+        ReplOp::Follow(o) => hive.follow(o.follower, o.followee),
+        ReplOp::SetFollowFilter(o) => {
+            hive.set_follow_filter(o.follower, o.followee, o.categories.clone())
+        }
+        ReplOp::RequestConnection(o) => hive.request_connection(o.from, o.to),
+        ReplOp::RespondConnection(o) => hive.respond_connection(o.to, o.from, o.accept),
+        ReplOp::CheckIn(o) => hive.check_in(o.user, o.session),
+        ReplOp::Attend(o) => hive.attend(o.user, o.conf),
+        ReplOp::AskQuestion(o) => {
+            hive.ask_question(o.author, o.target, &o.text, o.broadcast).map(drop)
+        }
+        ReplOp::AnswerQuestion(o) => hive.answer_question(o.author, o.question, &o.text).map(drop),
+        ReplOp::Comment(o) => hive.comment(o.author, o.target, o.text.as_str()).map(drop),
+        ReplOp::PostTweet(o) => {
+            hive.post_tweet(o.author, o.handle.as_str(), o.text.as_str(), o.session).map(drop)
+        }
+        ReplOp::ViewPaper(o) => hive.view_paper(o.user, o.paper),
+        ReplOp::CreateWorkpad(o) => hive.create_workpad(o.owner, &o.name).map(drop),
+        ReplOp::WorkpadAdd(o) => hive.workpad_add(o.user, o.pad, o.item.clone()),
+        ReplOp::WorkpadNote(o) => hive.workpad_note(o.user, o.pad, o.text.as_str()).map(drop),
+        ReplOp::WorkpadRemove(o) => hive.workpad_remove(o.user, o.pad, &o.item),
+        ReplOp::ActivateWorkpad(o) => hive.activate_workpad(o.user, o.pad),
+        ReplOp::ExportWorkpad(o) => hive.export_workpad(o.user, o.pad).map(drop),
+        ReplOp::ImportCollection(o) => hive.import_collection(o.user, o.collection).map(drop),
+    }
+}

@@ -1,0 +1,217 @@
+//! Seed-driven generator of replicable operations.
+//!
+//! Mirrors the sim-harness workload distribution, but *reified*: each
+//! step yields [`ReplOp`] values the leader can journal and ship,
+//! instead of mutating a facade in place. The generator is a pure
+//! function of `(platform state, rng)`, so two bit-identical replicas
+//! driven by forked rng streams produce the exact same op sequence —
+//! which is what lets a promoted follower's log be compared against a
+//! never-failed leader's.
+
+use crate::ops::{
+    AnswerQuestionOp, AskQuestionOp, AttendOp, CheckInOp, CommentOp, CreateWorkpadOp, FollowOp,
+    PostTweetOp, ReplOp, RequestConnectionOp, RespondConnectionOp, SetFollowFilterOp, ViewPaperOp,
+    WorkpadAddOp, WorkpadNoteOp,
+};
+use hive_core::ids::UserId;
+use hive_core::model::{Paper, QaTarget, User, WorkpadItem};
+use hive_core::sim::{topic_abstract, topic_phrase, topic_question, topic_title};
+use hive_core::Hive;
+use hive_rng::{Rng, SliceRandom};
+
+fn pick_user(hive: &Hive, rng: &mut Rng) -> Option<UserId> {
+    hive.db().user_ids().choose(rng).copied()
+}
+
+fn pick_pair(hive: &Hive, rng: &mut Rng) -> Option<(UserId, UserId)> {
+    let users = hive.db().user_ids();
+    if users.len() < 2 {
+        return None;
+    }
+    let a = rng.gen_range(0..users.len());
+    let mut b = rng.gen_range(0..users.len() - 1);
+    if b >= a {
+        b += 1;
+    }
+    Some((users[a], users[b]))
+}
+
+fn topic(rng: &mut Rng) -> usize {
+    rng.gen_range(0..4)
+}
+
+/// Generates the ops for one workload step: a clock advance followed
+/// by one mutation drawn from a fixed distribution over the platform
+/// API. Ops reference only entities that exist in `hive` right now, so
+/// most are accepted; the rest exercise the leader's typed-rejection
+/// path (a rejected op is never shipped).
+pub fn step_ops(hive: &Hive, step_no: usize, rng: &mut Rng) -> Vec<ReplOp> {
+    let mut out = vec![ReplOp::AdvanceClock(rng.gen_range(1..4u64))];
+    let roll = rng.gen_range(0..100u32);
+    match roll {
+        0..=4 => {
+            let t = topic(rng);
+            let user = User::new(format!("Replicated Researcher {step_no}"), "Simulated Institute")
+                .with_interests(vec![topic_phrase(t, rng)]);
+            out.push(ReplOp::AddUser(user));
+        }
+        5..=17 => {
+            if let Some((follower, followee)) = pick_pair(hive, rng) {
+                out.push(ReplOp::Follow(FollowOp { follower, followee }));
+            }
+        }
+        18..=27 => {
+            if let Some((a, b)) = pick_pair(hive, rng) {
+                let pending = hive.db().pending_requests_for(a);
+                match pending.choose(rng).copied() {
+                    Some(from) if rng.gen_bool(0.5) => {
+                        out.push(ReplOp::RespondConnection(RespondConnectionOp {
+                            to: a,
+                            from,
+                            accept: rng.gen_bool(0.8),
+                        }));
+                    }
+                    _ => out
+                        .push(ReplOp::RequestConnection(RequestConnectionOp { from: a, to: b })),
+                }
+            }
+        }
+        28..=39 => {
+            let sessions = hive.db().session_ids();
+            if let (Some(user), Some(&session)) = (pick_user(hive, rng), sessions.choose(rng)) {
+                out.push(ReplOp::CheckIn(CheckInOp { user, session }));
+            }
+        }
+        40..=44 => {
+            let users = hive.db().user_ids();
+            let n_authors = rng.gen_range(1..=3usize).min(users.len());
+            let authors: Vec<UserId> =
+                users.choose_multiple(rng, n_authors).into_iter().copied().collect();
+            if !authors.is_empty() {
+                let t = topic(rng);
+                let n_cites = rng.gen_range(0..3usize);
+                let cites: Vec<_> = hive
+                    .db()
+                    .paper_ids()
+                    .choose_multiple(rng, n_cites)
+                    .into_iter()
+                    .copied()
+                    .collect();
+                let venue = hive.db().conference_ids().choose(rng).copied();
+                let mut paper = Paper::new(topic_title(t, rng), authors)
+                    .with_abstract(topic_abstract(t, rng))
+                    .citing(cites);
+                if let Some(v) = venue {
+                    paper = paper.at_venue(v);
+                }
+                out.push(ReplOp::AddPaper(paper));
+            }
+        }
+        45..=54 => {
+            let target = if rng.gen_bool(0.5) {
+                hive.db().presentation_ids().choose(rng).map(|&p| QaTarget::Presentation(p))
+            } else {
+                hive.db().session_ids().choose(rng).map(|&s| QaTarget::Session(s))
+            };
+            if let (Some(author), Some(target)) = (pick_user(hive, rng), target) {
+                out.push(ReplOp::AskQuestion(AskQuestionOp {
+                    author,
+                    target,
+                    text: topic_question(topic(rng), rng),
+                    broadcast: rng.gen_bool(0.3),
+                }));
+            }
+        }
+        55..=62 => {
+            let question = hive.db().question_ids().choose(rng).copied();
+            if let (Some(author), Some(question)) = (pick_user(hive, rng), question) {
+                out.push(ReplOp::AnswerQuestion(AnswerQuestionOp {
+                    author,
+                    question,
+                    text: topic_phrase(topic(rng), rng),
+                }));
+            }
+        }
+        63..=72 => {
+            if let Some(user) = pick_user(hive, rng) {
+                match hive.db().active_workpad_of(user) {
+                    Some(pad) if rng.gen_bool(0.7) => {
+                        let item = if rng.gen_bool(0.5) {
+                            hive.db().paper_ids().choose(rng).map(|&p| WorkpadItem::Paper(p))
+                        } else {
+                            hive.db().session_ids().choose(rng).map(|&s| WorkpadItem::Session(s))
+                        };
+                        if let Some(item) = item {
+                            out.push(ReplOp::WorkpadAdd(WorkpadAddOp { user, pad, item }));
+                        }
+                    }
+                    Some(pad) => {
+                        out.push(ReplOp::WorkpadNote(WorkpadNoteOp {
+                            user,
+                            pad,
+                            text: topic_phrase(topic(rng), rng),
+                        }));
+                    }
+                    None => {
+                        out.push(ReplOp::CreateWorkpad(CreateWorkpadOp {
+                            owner: user,
+                            name: format!("pad {step_no}"),
+                        }));
+                    }
+                }
+            }
+        }
+        73..=79 => match rng.gen_range(0..3u32) {
+            0 => {
+                let target = hive.db().session_ids().choose(rng).map(|&s| QaTarget::Session(s));
+                if let (Some(author), Some(target)) = (pick_user(hive, rng), target) {
+                    out.push(ReplOp::Comment(CommentOp {
+                        author,
+                        target,
+                        text: topic_phrase(topic(rng), rng),
+                    }));
+                }
+            }
+            1 => {
+                let session = hive.db().session_ids().choose(rng).copied();
+                if let (Some(u), Some(session)) = (pick_user(hive, rng), session) {
+                    out.push(ReplOp::PostTweet(PostTweetOp {
+                        author: Some(u),
+                        handle: "@replica".to_string(),
+                        text: topic_phrase(topic(rng), rng),
+                        session,
+                    }));
+                }
+            }
+            _ => {
+                let paper = hive.db().paper_ids().choose(rng).copied();
+                if let (Some(user), Some(paper)) = (pick_user(hive, rng), paper) {
+                    out.push(ReplOp::ViewPaper(ViewPaperOp { user, paper }));
+                }
+            }
+        },
+        80..=85 => {
+            let conf = hive.db().conference_ids().choose(rng).copied();
+            if let (Some(user), Some(conf)) = (pick_user(hive, rng), conf) {
+                out.push(ReplOp::Attend(AttendOp { user, conf }));
+            }
+        }
+        86..=89 => {
+            if let Some((follower, followee)) = pick_pair(hive, rng) {
+                out.push(ReplOp::SetFollowFilter(SetFollowFilterOp {
+                    follower,
+                    followee,
+                    categories: vec!["discuss".to_string(), "check-in".to_string()],
+                }));
+            }
+        }
+        _ => {
+            // Engagement-heavy tail: views dominate real traffic.
+            let paper = hive.db().paper_ids().choose(rng).copied();
+            if let (Some(user), Some(paper)) = (pick_user(hive, rng), paper) {
+                out.push(ReplOp::ViewPaper(ViewPaperOp { user, paper }));
+            }
+        }
+    }
+    out
+}

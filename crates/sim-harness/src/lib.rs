@@ -20,6 +20,12 @@
 //!    soak over the epoch serving layer where every concurrent read
 //!    must be bit-identical to a cold serial replay at the epoch it
 //!    was served from (`--serve-readers N` on the binary).
+//! 5. **Replication equivalence** ([`replica`]): a leader plus N
+//!    log-shipped followers under deterministic transport faults
+//!    (drop/dup/reorder/truncate) with crash/restart and failover,
+//!    where every caught-up follower's fingerprint must equal the
+//!    leader's bit-for-bit (`--followers N --faults all` on the
+//!    binary).
 //!
 //! Everything derives from one `u64` seed through [`hive_rng`] stream
 //! forking, so any reported violation reproduces from the printed seed
@@ -31,8 +37,10 @@
 pub mod fault;
 pub mod harness;
 pub mod oracle;
+pub mod replica;
 pub mod serve;
 pub mod workload;
 
 pub use harness::{CheckerKind, HarnessConfig, SimHarness, SoakReport, Violation};
+pub use replica::{replica_soak, FaultMenu, ReplicaSoakConfig, ReplicaSoakReport};
 pub use serve::{serve_soak, ServeConfig, ServeReport};

@@ -3,11 +3,16 @@
 //! Exits 0 when every oracle held, 1 on violations (after printing the
 //! failing seed and the exact reproduction command), 2 on usage errors.
 
-use hive_sim_harness::{serve_soak, HarnessConfig, ServeConfig, SimHarness};
+use hive_sim_harness::{
+    replica_soak, serve_soak, FaultMenu, HarnessConfig, ReplicaSoakConfig, ServeConfig, SimHarness,
+};
 
 const USAGE: &str = "usage: hive-sim-harness [--seed N] [--steps M] [--crashes K] \
-[--users U] [--diff-every D] [--threads T] [--serve-readers R] [--sweep S]\n\
+[--users U] [--diff-every D] [--threads T] [--serve-readers R] [--followers F] \
+[--faults none|all|drop|dup|reorder|truncate] [--sweep S]\n\
   --serve-readers R additionally runs the N-reader x 1-writer serving soak with R readers\n\
+  --followers F additionally runs the replication soak with F log-shipped followers\n\
+  --faults X arms the replication transport fault plan (default all)\n\
   --sweep S runs S consecutive seeds starting at --seed and stops at the first failure";
 
 fn parse_flag(name: &str, value: Option<String>) -> Result<u64, String> {
@@ -17,10 +22,12 @@ fn parse_flag(name: &str, value: Option<String>) -> Result<u64, String> {
     v.parse::<u64>().map_err(|_| format!("invalid value for {name}: {v}"))
 }
 
-fn parse_config() -> Result<(HarnessConfig, u64, usize), String> {
+fn parse_config() -> Result<(HarnessConfig, u64, usize, usize, FaultMenu), String> {
     let mut cfg = HarnessConfig::default();
     let mut sweep = 1u64;
     let mut serve_readers = 0usize;
+    let mut followers = 0usize;
+    let mut faults = FaultMenu::All;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,16 +38,24 @@ fn parse_config() -> Result<(HarnessConfig, u64, usize), String> {
             "--diff-every" => cfg.diff_every = parse_flag(&arg, args.next())? as usize,
             "--threads" => cfg.threads = (parse_flag(&arg, args.next())? as usize).max(2),
             "--serve-readers" => serve_readers = parse_flag(&arg, args.next())? as usize,
+            "--followers" => followers = parse_flag(&arg, args.next())? as usize,
+            "--faults" => {
+                let Some(v) = args.next() else {
+                    return Err("missing value for --faults".to_string());
+                };
+                faults = FaultMenu::parse(&v)
+                    .ok_or(format!("invalid value for --faults: {v} (want none|all|drop|dup|reorder|truncate)"))?;
+            }
             "--sweep" => sweep = parse_flag(&arg, args.next())?.max(1),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok((cfg, sweep, serve_readers))
+    Ok((cfg, sweep, serve_readers, followers, faults))
 }
 
 fn main() {
-    let (base, sweep, serve_readers) = match parse_config() {
+    let (base, sweep, serve_readers, followers, faults) = match parse_config() {
         Ok(parsed) => parsed,
         Err(msg) => {
             if !msg.is_empty() {
@@ -78,6 +93,29 @@ fn main() {
                 println!(
                     "reproduce with: cargo run -p hive-sim-harness -- --seed {} --steps {} --serve-readers {}",
                     seed, cfg.steps, serve_readers
+                );
+                std::process::exit(1);
+            }
+        }
+        if followers > 0 {
+            let replica_cfg = ReplicaSoakConfig {
+                seed,
+                steps: cfg.steps,
+                followers,
+                faults,
+                users: cfg.users,
+                crash_at: cfg.steps / 3,
+                ..ReplicaSoakConfig::default()
+            };
+            let replica_report = replica_soak(replica_cfg);
+            println!("{}", replica_report.render());
+            if !replica_report.ok() {
+                println!(
+                    "reproduce with: cargo run -p hive-sim-harness -- --seed {} --steps {} --followers {} --faults {}",
+                    seed,
+                    cfg.steps,
+                    followers,
+                    faults.label()
                 );
                 std::process::exit(1);
             }

@@ -1,0 +1,353 @@
+//! Replication soak: drives a [`hive_replica::Cluster`] with a
+//! seed-generated op stream under transport fault injection, and holds
+//! the leader-vs-follower differential oracle at every checkpoint.
+//!
+//! The oracle generalizes the PR 3 recovery fingerprint to
+//! replication: whenever the cluster is quiescent at a matching log
+//! sequence number (after bounded healing), every streaming follower's
+//! full query fingerprint must equal the leader's **bit-for-bit** —
+//! same PPR scores, same search rankings, same feeds, down to the
+//! float bits. Mid-soak the run also crashes and restarts a follower
+//! (its replica state and in-flight frames vanish; it must re-bootstrap
+//! from a checkpoint frame and converge), and optionally hands the
+//! leadership to a caught-up follower, after which the oracle keeps
+//! holding against the promoted instance.
+
+use crate::oracle::fingerprint;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_replica::{Cluster, ClusterConfig, FaultPlan};
+use hive_rng::Rng;
+
+/// Which transport faults the soak arms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMenu {
+    /// Perfect channels.
+    None,
+    /// Drop + duplicate + reorder + truncate, all armed.
+    All,
+    /// Frame drops only.
+    Drop,
+    /// Duplicated frames only.
+    Dup,
+    /// Adjacent reorders only.
+    Reorder,
+    /// Truncated frames only.
+    Truncate,
+}
+
+impl FaultMenu {
+    /// Parses a `--faults` value.
+    pub fn parse(s: &str) -> Option<FaultMenu> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" => Some(FaultMenu::None),
+            "all" => Some(FaultMenu::All),
+            "drop" => Some(FaultMenu::Drop),
+            "dup" => Some(FaultMenu::Dup),
+            "reorder" => Some(FaultMenu::Reorder),
+            "truncate" => Some(FaultMenu::Truncate),
+            _ => None,
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultMenu::None => "none",
+            FaultMenu::All => "all",
+            FaultMenu::Drop => "drop",
+            FaultMenu::Dup => "dup",
+            FaultMenu::Reorder => "reorder",
+            FaultMenu::Truncate => "truncate",
+        }
+    }
+
+    fn plan(self) -> FaultPlan {
+        // Probabilities are per frame per follower; 0.12 keeps the
+        // channel hostile enough to exercise every recovery path while
+        // bounded healing still converges fast.
+        match self {
+            FaultMenu::None => FaultPlan::none(),
+            FaultMenu::All => FaultPlan::all(0.12),
+            FaultMenu::Drop => FaultPlan::drops(0.2),
+            FaultMenu::Dup => FaultPlan::dups(0.2),
+            FaultMenu::Reorder => FaultPlan::reorders(0.2),
+            FaultMenu::Truncate => FaultPlan::truncates(0.2),
+        }
+    }
+}
+
+/// Replication-soak parameters; everything else derives from `seed`.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaSoakConfig {
+    /// Master seed: world, op stream, fault schedules.
+    pub seed: u64,
+    /// Workload steps driven through the leader.
+    pub steps: usize,
+    /// Follower count.
+    pub followers: usize,
+    /// Armed transport faults.
+    pub faults: FaultMenu,
+    /// Researchers in the generated world (min 6).
+    pub users: usize,
+    /// Commit (seal + ship) every this many steps.
+    pub commit_every: usize,
+    /// Leader checkpoint cadence, in ops frames.
+    pub checkpoint_every: u64,
+    /// Crash follower 0 at this step (0 disables) and restart it
+    /// `steps / 10` steps later.
+    pub crash_at: usize,
+    /// Hand leadership to follower 0 after the main loop and run a
+    /// short post-failover tail under the same oracle.
+    pub promote_at_end: bool,
+}
+
+impl Default for ReplicaSoakConfig {
+    fn default() -> Self {
+        ReplicaSoakConfig {
+            seed: 42,
+            steps: 200,
+            followers: 2,
+            faults: FaultMenu::All,
+            users: 12,
+            commit_every: 3,
+            checkpoint_every: 6,
+            crash_at: 0,
+            promote_at_end: true,
+        }
+    }
+}
+
+/// Outcome of one replication soak.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaSoakReport {
+    /// The seed that produced this report.
+    pub seed: u64,
+    /// Steps driven.
+    pub steps_run: usize,
+    /// Follower count.
+    pub followers: usize,
+    /// The armed fault menu label.
+    pub faults: &'static str,
+    /// Ops the leader accepted.
+    pub ops_applied: usize,
+    /// Ops the leader rejected (typed errors; never shipped).
+    pub ops_rejected: usize,
+    /// Log frames the leader sealed (ops + checkpoints).
+    pub frames_sealed: u64,
+    /// Fingerprint comparisons performed (leader vs follower at a
+    /// matching sequence number).
+    pub fingerprint_checks: usize,
+    /// Re-sync checkpoints the leader emitted on demand.
+    pub resyncs: u64,
+    /// Gaps + corrupt frames the followers refused (typed).
+    pub refusals: u64,
+    /// Whether a promotion happened.
+    pub promoted: bool,
+    /// All violations, in discovery order.
+    pub violations: Vec<String>,
+}
+
+impl ReplicaSoakReport {
+    /// True when the replication oracle held everywhere.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "replica soak seed={} faults={}: {} steps x {} followers, {} ops applied \
+             ({} rejected), {} frames, {} resyncs, {} typed refusals, {} fingerprint checks{}\n",
+            self.seed,
+            self.faults,
+            self.steps_run,
+            self.followers,
+            self.ops_applied,
+            self.ops_rejected,
+            self.frames_sealed,
+            self.resyncs,
+            self.refusals,
+            self.fingerprint_checks,
+            if self.promoted { ", promoted follower 0" } else { "" },
+        );
+        if self.ok() {
+            out.push_str("OK: every follower bit-identical to the leader at every checkpoint");
+        } else {
+            out.push_str(&format!("FAILED: {} violation(s)", self.violations.len()));
+            for v in &self.violations {
+                out.push('\n');
+                out.push_str(&format!("  {v}"));
+            }
+        }
+        out
+    }
+}
+
+/// How many healing rounds a soak grants before calling a follower
+/// permanently behind. Each round re-broadcasts a checkpoint, so under
+/// any fault probability < 1 the chance of exhausting this is
+/// negligible — hitting it is a finding, not noise.
+const HEAL_ROUNDS: usize = 64;
+
+fn check_fingerprints(cluster: &Cluster, at: &str, report: &mut ReplicaSoakReport) {
+    let leader_fp = fingerprint(cluster.leader_hive());
+    for idx in 0..cluster.follower_count() {
+        let Some(f) = cluster.follower(idx) else { continue };
+        if !f.is_streaming() || f.next_seq() != cluster.leader().next_seq() {
+            continue;
+        }
+        let Some(hive) = f.hive() else { continue };
+        report.fingerprint_checks += 1;
+        let diffs = leader_fp.diff(&fingerprint(hive));
+        for d in diffs {
+            report.violations.push(format!("{at}: follower {idx} diverges from leader: {d}"));
+        }
+    }
+}
+
+/// Runs the replication soak and verifies the leader-vs-follower
+/// differential oracle at every checkpoint.
+pub fn replica_soak(cfg: ReplicaSoakConfig) -> ReplicaSoakReport {
+    let mut report = ReplicaSoakReport {
+        seed: cfg.seed,
+        followers: cfg.followers,
+        faults: cfg.faults.label(),
+        ..ReplicaSoakReport::default()
+    };
+    let mut root = Rng::seed_from_u64(cfg.seed);
+    let world_seed = root.next_u64();
+    let mut op_rng = root.fork();
+    let transport_seed = root.next_u64();
+    let sim = SimConfig {
+        seed: world_seed,
+        users: cfg.users.max(6),
+        topics: 4,
+        conferences: 2,
+        sessions_per_conf: 4,
+        papers_per_conf: 8,
+        ..SimConfig::small()
+    };
+    let world = WorldBuilder::new(sim).build();
+    let mut cluster = Cluster::new(
+        world.db,
+        cfg.followers,
+        ClusterConfig {
+            seed: transport_seed,
+            checkpoint_every: cfg.checkpoint_every,
+            faults: cfg.faults.plan(),
+        },
+    );
+    let commit_every = cfg.commit_every.max(1);
+    let restart_at = cfg.crash_at + (cfg.steps / 10).max(3);
+    let mut crashed = false;
+
+    let mut drive = |cluster: &mut Cluster,
+                     op_rng: &mut Rng,
+                     steps: std::ops::Range<usize>,
+                     report: &mut ReplicaSoakReport| {
+        for step in steps {
+            if cfg.crash_at > 0 && step == cfg.crash_at {
+                if cluster.crash_follower(0).is_ok() {
+                    crashed = true;
+                }
+            }
+            if crashed && step == restart_at {
+                let _ = cluster.restart_follower(0);
+            }
+            for op in hive_replica::synth::step_ops(cluster.leader_hive(), step, op_rng) {
+                match cluster.apply(op) {
+                    Ok(()) => report.ops_applied += 1,
+                    Err(hive_replica::ReplicaError::Rejected(_)) => report.ops_rejected += 1,
+                    Err(e) => report
+                        .violations
+                        .push(format!("step {step}: leader refused op unexpectedly: {e}")),
+                }
+            }
+            if (step + 1) % commit_every == 0 {
+                cluster.commit();
+                // The oracle fires whenever healing reaches quiescence:
+                // every streaming follower at the leader's seq must
+                // answer every probe bit-identically.
+                if cluster.heal(HEAL_ROUNDS) {
+                    check_fingerprints(cluster, &format!("step {step}"), report);
+                }
+            }
+        }
+    };
+
+    drive(&mut cluster, &mut op_rng, 0..cfg.steps, &mut report);
+    report.steps_run = cfg.steps;
+
+    // Final convergence: everything still alive must catch up and agree.
+    if !cluster.heal(HEAL_ROUNDS) {
+        report.violations.push(format!(
+            "final heal: followers never converged within {HEAL_ROUNDS} rounds"
+        ));
+    }
+    check_fingerprints(&cluster, "final", &mut report);
+
+    // Failover tail: promote follower 0 and keep the oracle holding
+    // against the new leader.
+    if cfg.promote_at_end && cluster.follower_count() > 0 {
+        match cluster.promote(0) {
+            Ok(()) => {
+                report.promoted = true;
+                let tail = cfg.steps..cfg.steps + (cfg.steps / 4).max(5);
+                drive(&mut cluster, &mut op_rng, tail, &mut report);
+                if !cluster.heal(HEAL_ROUNDS) {
+                    report
+                        .violations
+                        .push("post-promotion heal: followers never converged".to_string());
+                }
+                check_fingerprints(&cluster, "post-promotion", &mut report);
+            }
+            Err(e) => {
+                report.violations.push(format!("promotion of a caught-up follower refused: {e}"));
+            }
+        }
+    }
+
+    let stats = cluster.stats();
+    report.frames_sealed = cluster.leader().next_seq();
+    report.resyncs = stats.resync_checkpoints;
+    report.refusals = stats.gaps + stats.corrupt_frames + stats.other_refusals;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_soak_is_identical_everywhere() {
+        let report = replica_soak(ReplicaSoakConfig {
+            seed: 5,
+            steps: 40,
+            followers: 2,
+            faults: FaultMenu::None,
+            crash_at: 0,
+            promote_at_end: false,
+            ..ReplicaSoakConfig::default()
+        });
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.fingerprint_checks > 0, "oracle must actually fire");
+        assert_eq!(report.refusals, 0, "clean channels refuse nothing");
+    }
+
+    #[test]
+    fn faulty_channel_soak_converges_and_stays_identical() {
+        let report = replica_soak(ReplicaSoakConfig {
+            seed: 6,
+            steps: 60,
+            followers: 2,
+            faults: FaultMenu::All,
+            crash_at: 20,
+            promote_at_end: true,
+            ..ReplicaSoakConfig::default()
+        });
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.promoted);
+        assert!(report.refusals > 0, "an armed fault plan must actually bite");
+        assert!(report.resyncs > 0, "faults must force at least one re-sync");
+    }
+}

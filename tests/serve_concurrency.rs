@@ -7,6 +7,8 @@
 use hive_core::discover::DiscoverConfig;
 use hive_core::serve::{Epoch, HiveServer};
 use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_replica::{Cluster, ClusterConfig, FaultPlan};
+use hive_rng::Rng;
 use hive_sim_harness::{serve_soak, ServeConfig};
 use std::sync::Arc;
 
@@ -117,6 +119,64 @@ fn long_lived_reader_on_old_epoch_answers_like_a_serial_replay() {
         fresh.db().activity_log().len(),
         old.db().activity_log().len(),
         "later epochs carry the new activity"
+    );
+}
+
+#[test]
+fn reader_pinned_across_failover_stays_replay_consistent() {
+    // A long-lived ReadHandle taken from a follower must survive that
+    // instance's whole demote/promote arc: the pinned epoch answers
+    // identically throughout (and identically to a cold replay of its
+    // own snapshot), and after promotion the same handle starts seeing
+    // the new leader's epochs.
+    let db = WorldBuilder::new(SimConfig::small()).build().db;
+    let mut cluster = Cluster::new(
+        db,
+        1,
+        ClusterConfig { seed: 77, checkpoint_every: 6, faults: FaultPlan::none() },
+    );
+    let reader = cluster.follower_reader(0).expect("bootstrapped follower serves");
+    let pinned = reader.epoch();
+    let before = battery(&pinned);
+    let pinned_gen = reader.current_generation();
+
+    let mut rng = Rng::seed_from_u64(77);
+    let mut drive = |cluster: &mut Cluster, steps: std::ops::Range<usize>| {
+        for step in steps {
+            for op in hive_replica::synth::step_ops(cluster.leader_hive(), step, &mut rng) {
+                let _ = cluster.apply(op);
+            }
+            cluster.commit();
+        }
+    };
+
+    // Replicated writes land on the follower the handle points at...
+    drive(&mut cluster, 0..25);
+    assert!(cluster.heal(8));
+    assert_eq!(battery(&pinned), before, "pinned epoch tore while following");
+    assert!(
+        reader.current_generation() > pinned_gen,
+        "the follower must have published fresher epochs meanwhile"
+    );
+
+    // ...then the instance is promoted to leader mid-lifetime...
+    cluster.promote(0).expect("caught-up follower promotes");
+    let gen_at_promotion = reader.current_generation();
+    drive(&mut cluster, 25..50);
+
+    // ...and the very same handle now serves the leader's epochs,
+    // while the pinned epoch still answers exactly as on day one.
+    assert!(
+        reader.current_generation() > gen_at_promotion,
+        "the handle must see epochs published after promotion"
+    );
+    assert_eq!(battery(&pinned), before, "pinned epoch tore across failover");
+    let cold = Epoch::rebuild(Arc::new(pinned.db().clone()));
+    assert_eq!(battery(&pinned), battery(&cold), "pinned epoch must equal a cold replay");
+    assert_eq!(
+        reader.epoch().generation(),
+        cluster.leader().generation(),
+        "the handle tracks the promoted leader's head"
     );
 }
 

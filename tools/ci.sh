@@ -16,8 +16,12 @@ cargo run -p hive-lint --offline -- --json target/lint-report.json
 # Bounded crash/recovery soak (fixed seed, seconds): recovery
 # equivalence + fault injection + differential oracles must all hold,
 # plus the N-reader x 1-writer serving soak's snapshot-consistency
-# oracle (every concurrent read bit-identical to a serial replay).
-./target/release/hive-sim-harness --seed 42 --steps 60 --crashes 2 --serve-readers 2
+# oracle (every concurrent read bit-identical to a serial replay),
+# plus the replication soak (2 log-shipped followers under the full
+# drop/dup/reorder/truncate fault plan, crash/restart, and failover —
+# every caught-up follower bit-identical to the leader).
+./target/release/hive-sim-harness --seed 42 --steps 60 --crashes 2 --serve-readers 2 \
+  --followers 2 --faults all
 # Bench regression gate over the checked-in BENCH_hive.json: no
 # *_speedup metric may sit below 1.0 (see tools/bench_allowlist.txt).
 cargo run -q --release -p hive-bench --offline --bin bench_gate -- \

@@ -7,6 +7,13 @@
 #   tools/soak.sh [SWEEP] [STEPS] [CRASHES] [START_SEED]
 #
 # Defaults: 100 seeds x 200 steps x 5 crash points, starting at seed 1.
+#
+# Set REPLICA_FOLLOWERS to additionally run the replication soak on
+# every seed (leader + N log-shipped followers under the transport
+# fault plan in REPLICA_FAULTS, default "all"):
+#
+#   REPLICA_FOLLOWERS=2 tools/soak.sh 50
+#   REPLICA_FOLLOWERS=3 REPLICA_FAULTS=drop tools/soak.sh 20 400
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,11 +21,20 @@ SWEEP="${1:-100}"
 STEPS="${2:-200}"
 CRASHES="${3:-5}"
 START="${4:-1}"
+REPLICA_FOLLOWERS="${REPLICA_FOLLOWERS:-0}"
+REPLICA_FAULTS="${REPLICA_FAULTS:-all}"
+
+REPLICA_ARGS=()
+if [ "$REPLICA_FOLLOWERS" -gt 0 ]; then
+    REPLICA_ARGS=(--followers "$REPLICA_FOLLOWERS" --faults "$REPLICA_FAULTS")
+    echo "soak: replication armed (${REPLICA_FOLLOWERS} followers, faults=${REPLICA_FAULTS})"
+fi
 
 cargo build --release --offline -p hive-sim-harness
 echo "soak: seeds ${START}..$((START + SWEEP - 1)), ${STEPS} steps, ${CRASHES} crash points each"
 if ./target/release/hive-sim-harness \
-    --seed "$START" --sweep "$SWEEP" --steps "$STEPS" --crashes "$CRASHES"; then
+    --seed "$START" --sweep "$SWEEP" --steps "$STEPS" --crashes "$CRASHES" \
+    "${REPLICA_ARGS[@]+"${REPLICA_ARGS[@]}"}"; then
     echo "soak: all ${SWEEP} seeds clean"
 else
     status=$?
