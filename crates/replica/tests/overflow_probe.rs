@@ -1,0 +1,26 @@
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_replica::{Cluster, ClusterConfig, FaultPlan, ReplOp};
+
+#[test]
+fn overflow_checkpoint_keeps_followers_alive() {
+    let db = WorldBuilder::new(SimConfig::small()).build().db;
+    let mut cluster = Cluster::new(
+        db,
+        1,
+        ClusterConfig { seed: 1, checkpoint_every: 8, faults: FaultPlan::none() },
+    );
+    // Exceed DB_DELTA_LOG_CAP (4096) generations between seals so the
+    // leader's deltas_since window is lost and the ops frame is
+    // replaced by a checkpoint.
+    for _ in 0..5000 {
+        cluster.apply(ReplOp::AdvanceClock(1)).expect("clock always advances");
+    }
+    cluster.commit();
+    let f = cluster.follower(0).expect("slot 0 exists");
+    assert!(
+        !f.is_broken(),
+        "streaming follower went terminally Broken on overflow checkpoint: {:?}",
+        f.state()
+    );
+    assert!(cluster.heal(8), "follower should converge after overflow");
+}
