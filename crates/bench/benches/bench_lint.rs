@@ -51,6 +51,7 @@ fn token_pass(root: &Path, cfg: &WorkspaceConfig) -> usize {
                 no_stray_io: !cfg.io_exempt.contains(name),
                 no_raw_threads: !cfg.thread_crates.contains(name),
                 delta_log: true,
+                no_full_scan: false,
             };
             count += check_source(&rel, &source, which).len();
             if path.file_name().is_some_and(|f| f == "lib.rs") {

@@ -11,6 +11,10 @@
 //! * the allowlist file names metrics (one `section/name` — or bare
 //!   `name` — per line, `#` comments) that are *expected* to sit below
 //!   1.0, e.g. known-serial configurations kept for comparison;
+//!   a line of the form `name >= threshold` goes the other way and
+//!   *raises* the enforcement floor — the metric fails below the
+//!   stated threshold instead of below 1.0 (an index claimed to beat a
+//!   scan by 5x must keep beating it by 5x, not merely break even);
 //! * `*_t4_vs_t1_*` metrics are auto-exempt when the recorded
 //!   `host_threads` is below 4 — on a small host the pool clamps to the
 //!   hardware and a "4-thread" run measures the same serial execution
@@ -33,19 +37,60 @@ struct SpeedupMetric {
     value: f64,
 }
 
-fn load_allowlist(path: &str) -> Result<Vec<String>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read allowlist {path}: {e}"))?;
-    Ok(text
-        .lines()
-        .map(|l| l.split('#').next().unwrap_or("").trim().to_string())
-        .filter(|l| !l.is_empty())
-        .collect())
+/// One allowlist line: a metric expected below 1.0 (`floor: None`) or
+/// a raised enforcement floor from a `name >= threshold` line.
+struct AllowEntry {
+    name: String,
+    floor: Option<f64>,
 }
 
-fn allowlisted(metric: &SpeedupMetric, allowlist: &[String]) -> bool {
+fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let entry = match line.split_once(">=") {
+            Some((name, floor)) => {
+                let floor: f64 = floor.trim().parse().map_err(|_| {
+                    format!("allowlist line {}: bad threshold in `{line}`", lineno + 1)
+                })?;
+                if floor <= 1.0 {
+                    return Err(format!(
+                        "allowlist line {}: `{line}` does not raise the 1.0 floor",
+                        lineno + 1
+                    ));
+                }
+                AllowEntry { name: name.trim().to_string(), floor: Some(floor) }
+            }
+            None => AllowEntry { name: line.to_string(), floor: None },
+        };
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+fn load_allowlist(path: &str) -> Result<Vec<AllowEntry>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read allowlist {path}: {e}"))?;
+    parse_allowlist(&text)
+}
+
+/// Resolves a metric against the allowlist: whether a plain entry
+/// expects it below 1.0, and the enforcement floor (1.0 unless raised;
+/// the highest matching floor wins).
+fn disposition(metric: &SpeedupMetric, allowlist: &[AllowEntry]) -> (bool, f64) {
     let bare = metric.name.rsplit('/').next().unwrap_or(&metric.name);
-    allowlist.iter().any(|a| a == &metric.name || a == bare)
+    let mut below = false;
+    let mut floor = 1.0f64;
+    for e in allowlist.iter().filter(|e| e.name == metric.name || e.name == bare) {
+        match e.floor {
+            Some(f) => floor = floor.max(f),
+            None => below = true,
+        }
+    }
+    (below, floor)
 }
 
 /// The gate's decision for one speedup metric.
@@ -65,9 +110,10 @@ enum Verdict {
 /// Pure disposition logic, separated from IO so the exemption rules
 /// are unit-testable: `*_t4_vs_t1_*` needs 4 host threads, the
 /// concurrency ratios (`*_vs_r1_*` readers, `*_vs_f1_*` follower
-/// replays, `*concurrent_read*`) need 2.
-fn judge(name: &str, value: f64, allowlisted: bool, host_threads: f64) -> Verdict {
-    if value >= 1.0 {
+/// replays, `*concurrent_read*`) need 2. `floor` is the enforcement
+/// threshold — 1.0 normally, higher for `name >= threshold` entries.
+fn judge(name: &str, value: f64, allowlisted: bool, host_threads: f64, floor: f64) -> Verdict {
+    if value >= floor {
         return Verdict::Pass;
     }
     if allowlisted {
@@ -156,17 +202,18 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
     for m in &speedups {
         let label = format!("{}:{}", m.bench, m.name);
-        match judge(&m.name, m.value, allowlisted(m, &allowlist), host_threads) {
+        let (below, floor) = disposition(m, &allowlist);
+        match judge(&m.name, m.value, below, host_threads, floor) {
             Verdict::Pass => println!("bench_gate: ok      {label} = {:.3}", m.value),
             Verdict::Allowed => {
                 println!("bench_gate: allowed {label} = {:.3} (allowlist)", m.value);
             }
-            Verdict::Exempt(floor) => println!(
-                "bench_gate: exempt  {label} = {:.3} (host_threads = {host_threads}, needs >= {floor})",
+            Verdict::Exempt(need) => println!(
+                "bench_gate: exempt  {label} = {:.3} (host_threads = {host_threads}, needs >= {need})",
                 m.value
             ),
             Verdict::Fail => {
-                println!("bench_gate: FAIL    {label} = {:.3} < 1.0", m.value);
+                println!("bench_gate: FAIL    {label} = {:.3} < {floor}", m.value);
                 failures += 1;
             }
         }
@@ -181,26 +228,30 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{judge, Verdict};
+    use super::{disposition, judge, parse_allowlist, SpeedupMetric, Verdict};
+
+    fn metric(name: &str, value: f64) -> SpeedupMetric {
+        SpeedupMetric { bench: "b".into(), name: name.into(), value }
+    }
 
     #[test]
     fn at_or_above_one_always_passes() {
-        assert_eq!(judge("apply_par_f2_vs_f1_speedup", 1.0, false, 1.0), Verdict::Pass);
-        assert_eq!(judge("anything_speedup", 3.7, false, 16.0), Verdict::Pass);
+        assert_eq!(judge("apply_par_f2_vs_f1_speedup", 1.0, false, 1.0, 1.0), Verdict::Pass);
+        assert_eq!(judge("anything_speedup", 3.7, false, 16.0, 1.0), Verdict::Pass);
     }
 
     #[test]
     fn allowlist_beats_every_exemption() {
-        assert_eq!(judge("known_serial_speedup", 0.4, true, 16.0), Verdict::Allowed);
+        assert_eq!(judge("known_serial_speedup", 0.4, true, 16.0, 1.0), Verdict::Allowed);
         // Even a metric that would also qualify for a thread exemption
         // reports as allowlisted — the explicit escape hatch wins.
-        assert_eq!(judge("reads_r2_vs_r1_speedup", 0.4, true, 1.0), Verdict::Allowed);
+        assert_eq!(judge("reads_r2_vs_r1_speedup", 0.4, true, 1.0, 1.0), Verdict::Allowed);
     }
 
     #[test]
     fn t4_ratio_exempt_only_below_four_threads() {
-        assert_eq!(judge("build_t4_vs_t1_speedup", 0.9, false, 2.0), Verdict::Exempt(4));
-        assert_eq!(judge("build_t4_vs_t1_speedup", 0.9, false, 4.0), Verdict::Fail);
+        assert_eq!(judge("build_t4_vs_t1_speedup", 0.9, false, 2.0, 1.0), Verdict::Exempt(4));
+        assert_eq!(judge("build_t4_vs_t1_speedup", 0.9, false, 4.0, 1.0), Verdict::Fail);
     }
 
     #[test]
@@ -208,14 +259,47 @@ mod tests {
         for name in
             ["reads_r2_vs_r1_speedup", "apply_par_f2_vs_f1_speedup", "concurrent_read_speedup"]
         {
-            assert_eq!(judge(name, 0.8, false, 1.0), Verdict::Exempt(2), "{name} on 1 thread");
-            assert_eq!(judge(name, 0.8, false, 2.0), Verdict::Fail, "{name} on 2 threads");
+            assert_eq!(judge(name, 0.8, false, 1.0, 1.0), Verdict::Exempt(2), "{name} on 1 thread");
+            assert_eq!(judge(name, 0.8, false, 2.0, 1.0), Verdict::Fail, "{name} on 2 threads");
         }
     }
 
     #[test]
     fn plain_regressions_fail_regardless_of_threads() {
-        assert_eq!(judge("cache_vs_fresh_speedup", 0.99, false, 1.0), Verdict::Fail);
-        assert_eq!(judge("cache_vs_fresh_speedup", 0.99, false, 64.0), Verdict::Fail);
+        assert_eq!(judge("cache_vs_fresh_speedup", 0.99, false, 1.0, 1.0), Verdict::Fail);
+        assert_eq!(judge("cache_vs_fresh_speedup", 0.99, false, 64.0, 1.0), Verdict::Fail);
+    }
+
+    #[test]
+    fn raised_floor_fails_a_metric_that_merely_breaks_even() {
+        assert_eq!(judge("idx_vs_scan_speedup", 4.2, false, 1.0, 5.0), Verdict::Fail);
+        assert_eq!(judge("idx_vs_scan_speedup", 5.0, false, 1.0, 5.0), Verdict::Pass);
+        assert_eq!(judge("idx_vs_scan_speedup", 17.3, false, 1.0, 5.0), Verdict::Pass);
+    }
+
+    #[test]
+    fn allowlist_parses_plain_floor_and_comment_lines() {
+        let entries = parse_allowlist(
+            "# comment\nlint/ast_vs_token_speedup\nidx_vs_scan_speedup >= 5.0 # floor\n",
+        )
+        .unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "lint/ast_vs_token_speedup");
+        assert_eq!(entries[0].floor, None);
+        assert_eq!(entries[1].name, "idx_vs_scan_speedup");
+        assert_eq!(entries[1].floor, Some(5.0));
+        assert!(parse_allowlist("x >= not_a_number").is_err());
+        assert!(parse_allowlist("x >= 0.5").is_err(), "a floor below 1.0 is a below-entry in disguise");
+    }
+
+    #[test]
+    fn disposition_matches_full_and_bare_names_and_keeps_highest_floor() {
+        let entries = parse_allowlist(
+            "serial_speedup\nidx_vs_scan_speedup >= 5.0\nindex/idx_vs_scan_speedup >= 7.0\n",
+        )
+        .unwrap();
+        assert_eq!(disposition(&metric("bench/serial_speedup", 0.4), &entries), (true, 1.0));
+        assert_eq!(disposition(&metric("index/idx_vs_scan_speedup", 9.0), &entries), (false, 7.0));
+        assert_eq!(disposition(&metric("other/plain_speedup", 0.4), &entries), (false, 1.0));
     }
 }

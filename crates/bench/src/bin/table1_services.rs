@@ -188,7 +188,7 @@ fn main() {
     );
 
     // --- Personal activity history ------------------------------------------
-    let q = HistoryQuery { actors: vec![zach], limit: 20, ..Default::default() };
+    let q = HistoryQuery::new().with_actors(vec![zach]).limit(20);
     let hist = hive.search_history(&q, Some(zach));
     bench(
         "history",

@@ -26,6 +26,7 @@ use crate::clock::Timestamp;
 use crate::collab::CfModel;
 use crate::communities::{self, Communities, Method};
 use crate::context::{build_context, ActivityContext, ContextConfig};
+use crate::db::index::DbIndexes;
 use crate::db::HiveDb;
 use crate::discover::{DiscoverConfig, Resource, SearchHit};
 use crate::error::Result;
@@ -87,12 +88,18 @@ pub struct Hive {
     db: HiveDb,
     kn_cache: Mutex<Option<(u64, Arc<KnowledgeNetwork>)>>,
     rel_cache: Mutex<Option<Arc<RelSnapshot>>>,
+    idx_cache: Mutex<Option<Arc<DbIndexes>>>,
 }
 
 impl Hive {
     /// Wraps a (possibly pre-populated) platform database.
     pub fn new(db: HiveDb) -> Self {
-        Hive { db, kn_cache: Mutex::new(None), rel_cache: Mutex::new(None) }
+        Hive {
+            db,
+            kn_cache: Mutex::new(None),
+            rel_cache: Mutex::new(None),
+            idx_cache: Mutex::new(None),
+        }
     }
 
     /// Read access to the platform database.
@@ -245,6 +252,50 @@ impl Hive {
         snap
     }
 
+    /// The current secondary-index set, under the same three-tier
+    /// maintenance as [`Hive::knowledge`]: generation hit
+    /// (`core.idx.hit`), in-place suffix patch via `Arc::make_mut`
+    /// (`core.idx.delta` — arenas are append-only, so *every*
+    /// journal-covered lag is patchable, structural or not), else a
+    /// cold [`DbIndexes::build`] (`core.idx.miss`). The build runs with
+    /// the guard released (lint R11) and is republished by re-locking.
+    pub fn indexes(&self) -> Arc<DbIndexes> {
+        let generation = self.db.generation();
+        let stale = {
+            let mut guard = unpoison(self.idx_cache.lock());
+            if let Some(idx) = guard.as_ref() {
+                if idx.generation() == generation {
+                    hive_obs::count("core.idx.hit", 1);
+                    return Arc::clone(idx);
+                }
+            }
+            guard.take()
+        };
+        let patched = stale.and_then(|mut idx| {
+            let span = hive_obs::span_enter("idx-delta", self.db.now().ticks());
+            let ok = Arc::make_mut(&mut idx).patch(&self.db);
+            hive_obs::span_exit(span, self.db.now().ticks());
+            if !ok {
+                return None;
+            }
+            hive_obs::count("core.idx.delta", 1);
+            Some(idx)
+        });
+        let idx = match patched {
+            Some(idx) => idx,
+            None => {
+                hive_obs::count("core.idx.miss", 1);
+                let span = hive_obs::span_enter("idx-build", self.db.now().ticks());
+                let idx = Arc::new(DbIndexes::build(&self.db));
+                hive_obs::span_exit(span, self.db.now().ticks());
+                idx
+            }
+        };
+        let mut guard = unpoison(self.idx_cache.lock());
+        *guard = Some(Arc::clone(&idx));
+        idx
+    }
+
     // ---- concept map & personalization services ---------------------------
 
     /// Bootstraps a concept map from user-supplied documents (§2.1).
@@ -321,14 +372,14 @@ impl Hive {
     /// Context-aware search over papers, presentations, sessions, users.
     pub fn search(&self, user: UserId, query: &str, cfg: DiscoverConfig) -> Vec<SearchHit> {
         self.service(ServiceKind::Search, |h| {
-            crate::serve::read_search(&h.db, &h.knowledge(), user, query, cfg)
+            crate::serve::read_search(&h.db, &h.knowledge(), &h.indexes(), user, query, cfg)
         })
     }
 
     /// Pure contextual resource recommendation (empty query).
     pub fn recommend_resources(&self, user: UserId, cfg: DiscoverConfig) -> Vec<SearchHit> {
         self.service(ServiceKind::ResourceRecommendation, |h| {
-            crate::serve::read_recommend_resources(&h.db, &h.knowledge(), user, cfg)
+            crate::serve::read_recommend_resources(&h.db, &h.knowledge(), &h.indexes(), user, cfg)
         })
     }
 
@@ -382,7 +433,7 @@ impl Hive {
         max_rows: usize,
     ) -> UpdateReport {
         self.service(ServiceKind::UpdateReport, |h| {
-            reports::update_report(&h.db, scope, from, to, max_rows)
+            reports::update_report(&h.db, &h.indexes(), scope, from, to, max_rows)
         })
     }
 
@@ -418,19 +469,19 @@ impl Hive {
 
     /// Real-time updates for a user since a timestamp.
     pub fn updates_for(&self, user: UserId, since: Timestamp) -> Vec<Update> {
-        self.service(ServiceKind::Feed, |h| feed::updates_for(&h.db, user, since))
+        self.service(ServiceKind::Feed, |h| feed::updates_for(&h.db, &h.indexes(), user, since))
     }
 
     /// Context-ranked highlights over the update stream.
     pub fn highlights(&self, user: UserId, since: Timestamp, k: usize) -> Vec<(Update, f64)> {
         self.service(ServiceKind::Feed, |h| {
-            crate::serve::read_highlights(&h.db, &h.knowledge(), user, since, k)
+            crate::serve::read_highlights(&h.db, &h.knowledge(), &h.indexes(), user, since, k)
         })
     }
 
     /// Digest (updates + per-category counts).
     pub fn digest(&self, user: UserId, since: Timestamp) -> FeedDigest {
-        self.service(ServiceKind::Feed, |h| feed::digest(&h.db, user, since))
+        self.service(ServiceKind::Feed, |h| feed::digest(&h.db, &h.indexes(), user, since))
     }
 
     /// The merged Hive/Twitter timeline of a session.
@@ -443,7 +494,7 @@ impl Hive {
     /// Searches the activity history, optionally context-ranked.
     pub fn search_history(&self, query: &HistoryQuery, contextual_for: Option<UserId>) -> Vec<HistoryHit> {
         self.service(ServiceKind::HistorySearch, |h| {
-            crate::serve::read_search_history(&h.db, &h.knowledge(), query, contextual_for)
+            crate::serve::read_search_history(&h.db, &h.knowledge(), &h.indexes(), query, contextual_for)
         })
     }
 
@@ -453,7 +504,7 @@ impl Hive {
         actors: &[UserId],
         bucket_width: u64,
     ) -> Vec<(Timestamp, HashMap<&'static str, usize>)> {
-        self.service(ServiceKind::Timeline, |h| history::timeline(&h.db, actors, bucket_width))
+        self.service(ServiceKind::Timeline, |h| history::timeline(&h.db, &h.indexes(), actors, bucket_width))
     }
 
     // ---- content & workpad conveniences ------------------------------------------

@@ -70,6 +70,7 @@ impl CfModel {
             };
             model.ratings.entry(user).or_default().add(id, v);
         }
+        // lint:allow(no-full-scan) -- model build folds the whole log once
         for rec in db.activity_log() {
             match rec.event {
                 ActivityEvent::CheckIn(s) => rate(&mut model, rec.user, Resource::Session(s), w.checkin),

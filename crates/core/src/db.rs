@@ -11,6 +11,8 @@ use crate::ids::*;
 use crate::model::*;
 use std::collections::{HashMap, HashSet};
 
+pub mod index;
+
 /// Ring capacity of the mutation delta journal. A derived cache that
 /// falls further than this behind the database can no longer be patched
 /// and must rebuild.

@@ -13,8 +13,9 @@
 //! context seeds over the unified knowledge network.
 
 use crate::context::ActivityContext;
+use crate::db::index::{DbIndexes, ResourceQuery};
 use crate::db::HiveDb;
-use crate::ids::{PaperId, PresentationId, SessionId, UserId};
+use crate::ids::{ConferenceId, PaperId, PresentationId, SessionId, UserId};
 use crate::knowledge::KnowledgeNetwork;
 use hive_graph::{personalized_pagerank_csr, NodeId, PprConfig};
 use hive_text::keyphrase::{extract_keyphrases, KeyphraseConfig};
@@ -95,6 +96,10 @@ pub struct DiscoverConfig {
     pub include_users: bool,
     /// Key concepts per preview.
     pub concepts_per_hit: usize,
+    /// Restrict hits to one conference edition.
+    pub venue: Option<ConferenceId>,
+    /// Restrict hits to content authored (or chaired) by one user.
+    pub author: Option<UserId>,
 }
 
 impl DiscoverConfig {
@@ -109,6 +114,8 @@ impl DiscoverConfig {
             graph_weight: 0.2,
             include_users: true,
             concepts_per_hit: 3,
+            venue: None,
+            author: None,
         }
     }
 
@@ -151,6 +158,19 @@ impl DiscoverConfig {
     /// Sets the number of key concepts extracted per preview.
     pub fn with_concepts_per_hit(mut self, n: usize) -> Self {
         self.concepts_per_hit = n;
+        self
+    }
+
+    /// Restricts hits to one conference edition (papers published
+    /// there, its sessions and their presentations, its attendees).
+    pub fn with_venue(mut self, venue: ConferenceId) -> Self {
+        self.venue = Some(venue);
+        self
+    }
+
+    /// Restricts hits to content authored (or chaired) by one user.
+    pub fn with_author(mut self, author: UserId) -> Self {
+        self.author = Some(author);
         self
     }
 }
@@ -196,17 +216,6 @@ fn resource_vector(kn: &KnowledgeNetwork, r: Resource) -> Option<&SparseVector> 
     }
 }
 
-fn all_resources(db: &HiveDb, include_users: bool) -> Vec<Resource> {
-    let mut out = Vec::new();
-    out.extend(db.paper_ids().into_iter().map(Resource::Paper));
-    out.extend(db.presentation_ids().into_iter().map(Resource::Presentation));
-    out.extend(db.session_ids().into_iter().map(Resource::Session));
-    if include_users {
-        out.extend(db.user_ids().into_iter().map(Resource::User));
-    }
-    out
-}
-
 /// Graph activation per IRI from the context seeds (normalized to max 1).
 fn graph_activation(kn: &KnowledgeNetwork, ctx: &ActivityContext) -> HashMap<String, f64> {
     let g = &kn.unified;
@@ -231,16 +240,30 @@ fn graph_activation(kn: &KnowledgeNetwork, ctx: &ActivityContext) -> HashMap<Str
 /// Context-aware search. `query` may be empty, in which case ranking is
 /// purely contextual (the recommendation mode of Table 1: "request
 /// resource recommendations based on context").
+///
+/// Candidate resources come from the [`ResourceQuery`] planner: a
+/// venue- or author-scoped config walks index postings (`idx.hit`), an
+/// unscoped one enumerates the arenas (`idx.scan_fallback`), so
+/// unscoped results are unchanged from the retired inline sweep.
 pub fn search(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
+    idx: &DbIndexes,
     ctx: &ActivityContext,
     query: &str,
     cfg: DiscoverConfig,
 ) -> Vec<SearchHit> {
     let qvec = kn.corpus.vectorize_known(query);
     let activation = graph_activation(kn, ctx);
-    let mut hits: Vec<SearchHit> = all_resources(db, cfg.include_users)
+    let mut candidates = ResourceQuery::new().with_users(cfg.include_users);
+    if let Some(v) = cfg.venue {
+        candidates = candidates.at_venue(v);
+    }
+    if let Some(a) = cfg.author {
+        candidates = candidates.by_author(a);
+    }
+    let mut hits: Vec<SearchHit> = candidates
+        .run(db, idx)
         .into_iter()
         .filter_map(|r| {
             let rv = resource_vector(kn, r);
@@ -294,6 +317,7 @@ pub fn search(
 pub fn recommend_resources(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
+    idx: &DbIndexes,
     ctx: &ActivityContext,
     cfg: DiscoverConfig,
 ) -> Vec<SearchHit> {
@@ -303,7 +327,7 @@ pub fn recommend_resources(
         context_weight: cfg.context_weight + cfg.query_weight,
         ..cfg
     };
-    search(db, kn, ctx, "", cfg)
+    search(db, kn, idx, ctx, "", cfg)
 }
 
 #[cfg(test)]
@@ -359,7 +383,8 @@ mod tests {
         let (db, users, _, papers) = world();
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
-        let hits = search(&db, &kn, &ctx, "tensor stream sketches", DiscoverConfig::default());
+        let idx = DbIndexes::build(&db);
+        let hits = search(&db, &kn, &idx, &ctx, "tensor stream sketches", DiscoverConfig::default());
         assert!(!hits.is_empty());
         let tensor_pos = hits
             .iter()
@@ -376,7 +401,8 @@ mod tests {
         let (db, users, ..) = world();
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
-        let hits = search(&db, &kn, &ctx, "compressed sensing", DiscoverConfig::default());
+        let idx = DbIndexes::build(&db);
+        let hits = search(&db, &kn, &idx, &ctx, "compressed sensing", DiscoverConfig::default());
         let paper_hit = hits
             .iter()
             .find(|h| matches!(h.resource, Resource::Paper(_)))
@@ -404,7 +430,8 @@ mod tests {
         db.workpad_add(users[0], pad, WorkpadItem::Paper(papers[1])).unwrap();
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
-        let hits = recommend_resources(&db, &kn, &ctx, DiscoverConfig::default());
+        let idx = DbIndexes::build(&db);
+        let hits = recommend_resources(&db, &kn, &idx, &ctx, DiscoverConfig::default());
         let txn = hits
             .iter()
             .position(|h| h.resource == Resource::Session(sessions[1]))
@@ -420,10 +447,12 @@ mod tests {
         let (db, users, ..) = world();
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
-        let with = search(&db, &kn, &ctx, "tensor", DiscoverConfig::default());
+        let idx = DbIndexes::build(&db);
+        let with = search(&db, &kn, &idx, &ctx, "tensor", DiscoverConfig::default());
         let without = search(
             &db,
             &kn,
+            &idx,
             &ctx,
             "tensor",
             DiscoverConfig::defaults().with_include_users(false),
@@ -437,9 +466,11 @@ mod tests {
         let (db, users, ..) = world();
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
+        let idx = DbIndexes::build(&db);
         let hits = search(
             &db,
             &kn,
+            &idx,
             &ctx,
             "tensor",
             DiscoverConfig::defaults().with_top_k(2),

@@ -7,30 +7,109 @@
 //! can bucket the result into a timeline for visualization. When an
 //! [`ActivityContext`] is supplied, hits are re-ranked by contextual
 //! relevance instead of pure recency.
+//!
+//! Log filtering is expressed as a [`ActivityQuery`] and planned
+//! against the [`DbIndexes`] — actor/category postings or the
+//! clock-ordered binary search — instead of sweeping the full log.
 
 use crate::clock::Timestamp;
 use crate::context::ActivityContext;
+use crate::db::index::{ActivityQuery, DbIndexes, TickRange};
 use crate::db::HiveDb;
 use crate::ids::UserId;
 use crate::knowledge::KnowledgeNetwork;
-use crate::model::{ActivityEvent, ActivityRecord};
+use crate::model::{ActivityCategory, ActivityEvent, ActivityRecord};
 use std::collections::HashMap;
 
-/// A history query.
+/// A history query, built with the chainable `with_*` setters.
+///
+/// ```
+/// use hive_core::history::HistoryQuery;
+/// use hive_core::model::ActivityCategory;
+/// let q = HistoryQuery::new()
+///     .with_categories(vec![ActivityCategory::CheckIn])
+///     .matching("tensor")
+///     .limit(10);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct HistoryQuery {
-    /// Restrict to these actors (empty = everyone).
-    pub actors: Vec<UserId>,
-    /// Restrict to these categories (empty = all).
-    pub categories: Vec<&'static str>,
-    /// Window start (inclusive).
-    pub from: Option<Timestamp>,
-    /// Window end (exclusive).
-    pub to: Option<Timestamp>,
-    /// Free-text filter matched against the touched resource's text.
-    pub text: Option<String>,
-    /// Maximum hits.
-    pub limit: usize,
+    pub(crate) activity: ActivityQuery,
+    pub(crate) text: Option<String>,
+    pub(crate) limit: usize,
+}
+
+impl HistoryQuery {
+    /// An unconstrained query (every record, no limit).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restricts to these actors (empty = everyone).
+    pub fn with_actors(mut self, actors: Vec<UserId>) -> Self {
+        self.activity = self.activity.with_actors(actors);
+        self
+    }
+
+    /// Restricts to these typed categories (empty = all).
+    pub fn with_categories(mut self, categories: Vec<ActivityCategory>) -> Self {
+        self.activity = self.activity.with_categories(categories);
+        self
+    }
+
+    /// Restricts to the half-open time window.
+    pub fn within(mut self, range: TickRange) -> Self {
+        self.activity = self.activity.within(range);
+        self
+    }
+
+    /// Keeps only records whose touched resource's text contains the
+    /// needle (case-insensitive).
+    pub fn matching(mut self, needle: impl Into<String>) -> Self {
+        self.text = Some(needle.into());
+        self
+    }
+
+    /// Caps the number of hits (0 = unlimited).
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Legacy bridge from the retired mutable-struct shape (stringly
+    /// categories, bare from/to pair). Unknown category labels are
+    /// dropped; a list made up entirely of unknown labels collapses to
+    /// an empty window, matching the old behavior of labels that never
+    /// compare equal. Migrate to the builder; this goes away next
+    /// release.
+    #[doc(hidden)]
+    #[deprecated(note = "build with HistoryQuery::new() and the with_* setters")]
+    pub fn from_parts(
+        actors: Vec<UserId>,
+        categories: Vec<&'static str>,
+        from: Option<Timestamp>,
+        to: Option<Timestamp>,
+        text: Option<String>,
+        limit: usize,
+    ) -> Self {
+        let mut range = match (from, to) {
+            (None, None) => TickRange::all(),
+            (Some(f), None) => TickRange::since(f),
+            (None, Some(t)) => TickRange::until(t),
+            (Some(f), Some(t)) => TickRange::between(f, t),
+        };
+        let typed: Vec<ActivityCategory> =
+            categories.iter().filter_map(|c| ActivityCategory::parse(c)).collect();
+        if !categories.is_empty() && typed.is_empty() {
+            range = TickRange::between(Timestamp(0), Timestamp(0));
+        }
+        let mut q = HistoryQuery::new()
+            .with_actors(actors)
+            .with_categories(typed)
+            .within(range)
+            .limit(limit);
+        q.text = text;
+        q
+    }
 }
 
 /// One history hit with relevance.
@@ -68,27 +147,25 @@ fn resource_text(db: &HiveDb, event: &ActivityEvent) -> String {
 
 /// Runs a history search. With a context, hits are ranked by the cosine
 /// between the context vector and the touched resource's text; without
-/// one, by recency.
+/// one, by recency. Candidate records come from the index planner
+/// (`idx.hit`) when the query names actors, categories, or a window.
 pub fn search_history(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
+    idx: &DbIndexes,
     query: &HistoryQuery,
     ctx: Option<&ActivityContext>,
 ) -> Vec<HistoryHit> {
     let latest = db.now().ticks().max(1) as f64;
-    let mut hits: Vec<HistoryHit> = db
-        .activity_log()
-        .iter()
-        .filter(|r| query.actors.is_empty() || query.actors.contains(&r.user))
-        .filter(|r| {
-            query.categories.is_empty() || query.categories.contains(&r.event.category())
-        })
-        .filter(|r| query.from.is_none_or(|f| r.at >= f))
-        .filter(|r| query.to.is_none_or(|t| r.at < t))
+    let needle = query.text.as_ref().map(|t| t.to_lowercase());
+    let mut hits: Vec<HistoryHit> = query
+        .activity
+        .run(db, idx)
+        .into_iter()
         .filter_map(|r| {
             let rtext = resource_text(db, &r.event);
-            if let Some(needle) = &query.text {
-                if !rtext.to_lowercase().contains(&needle.to_lowercase()) {
+            if let Some(needle) = &needle {
+                if !rtext.to_lowercase().contains(needle) {
                     return None;
                 }
             }
@@ -125,15 +202,14 @@ pub fn search_history(
 /// (the data behind a history visualization).
 pub fn timeline(
     db: &HiveDb,
+    idx: &DbIndexes,
     actors: &[UserId],
     bucket_width: u64,
 ) -> Vec<(Timestamp, HashMap<&'static str, usize>)> {
     assert!(bucket_width > 0, "bucket width must be positive");
+    let records = ActivityQuery::new().with_actors(actors.to_vec()).run(db, idx);
     let mut buckets: HashMap<u64, HashMap<&'static str, usize>> = HashMap::new();
-    for r in db.activity_log() {
-        if !actors.is_empty() && !actors.contains(&r.user) {
-            continue;
-        }
+    for r in records {
         let b = r.at.ticks() / bucket_width;
         *buckets.entry(b).or_default().entry(r.event.category()).or_insert(0) += 1;
     }
@@ -185,12 +261,11 @@ mod tests {
     fn actor_and_category_filters() {
         let (db, users, _) = world();
         let kn = KnowledgeNetwork::build(&db);
-        let q = HistoryQuery {
-            actors: vec![users[0]],
-            categories: vec!["checkin"],
-            ..Default::default()
-        };
-        let hits = search_history(&db, &kn, &q, None);
+        let idx = DbIndexes::build(&db);
+        let q = HistoryQuery::new()
+            .with_actors(vec![users[0]])
+            .with_categories(vec![ActivityCategory::CheckIn]);
+        let hits = search_history(&db, &kn, &idx, &q, None);
         assert_eq!(hits.len(), 2);
         assert!(hits.iter().all(|h| h.record.user == users[0]));
         // Recency ordering: later check-in first.
@@ -201,12 +276,9 @@ mod tests {
     fn window_filter() {
         let (db, ..) = world();
         let kn = KnowledgeNetwork::build(&db);
-        let q = HistoryQuery {
-            from: Some(Timestamp(15)),
-            to: Some(Timestamp(25)),
-            ..Default::default()
-        };
-        let hits = search_history(&db, &kn, &q, None);
+        let idx = DbIndexes::build(&db);
+        let q = HistoryQuery::new().within(TickRange::between(Timestamp(15), Timestamp(25)));
+        let hits = search_history(&db, &kn, &idx, &q, None);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].record.at, Timestamp(20));
     }
@@ -215,8 +287,9 @@ mod tests {
     fn text_filter_matches_resource() {
         let (db, ..) = world();
         let kn = KnowledgeNetwork::build(&db);
-        let q = HistoryQuery { text: Some("tensor".into()), ..Default::default() };
-        let hits = search_history(&db, &kn, &q, None);
+        let idx = DbIndexes::build(&db);
+        let q = HistoryQuery::new().matching("tensor");
+        let hits = search_history(&db, &kn, &idx, &q, None);
         assert_eq!(hits.len(), 2, "both tensor-session check-ins match");
     }
 
@@ -224,11 +297,12 @@ mod tests {
     fn context_reranks_over_recency() {
         let (db, users, _) = world();
         let kn = KnowledgeNetwork::build(&db);
+        let idx = DbIndexes::build(&db);
         // Zach's profile context is tensor-flavored; his *older* tensor
         // check-in should outrank the newer transactions one.
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
-        let q = HistoryQuery { actors: vec![users[0]], ..Default::default() };
-        let hits = search_history(&db, &kn, &q, Some(&ctx));
+        let q = HistoryQuery::new().with_actors(vec![users[0]]);
+        let hits = search_history(&db, &kn, &idx, &q, Some(&ctx));
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].record.at, Timestamp(10), "tensor check-in first");
     }
@@ -237,21 +311,48 @@ mod tests {
     fn limit_respected() {
         let (db, ..) = world();
         let kn = KnowledgeNetwork::build(&db);
-        let q = HistoryQuery { limit: 1, ..Default::default() };
-        assert_eq!(search_history(&db, &kn, &q, None).len(), 1);
+        let idx = DbIndexes::build(&db);
+        let q = HistoryQuery::new().limit(1);
+        assert_eq!(search_history(&db, &kn, &idx, &q, None).len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_from_parts_bridge_matches_builder() {
+        let (db, users, _) = world();
+        let kn = KnowledgeNetwork::build(&db);
+        let idx = DbIndexes::build(&db);
+        let legacy = HistoryQuery::from_parts(
+            vec![users[0]],
+            vec!["checkin", "no-such-category"],
+            Some(Timestamp(5)),
+            Some(Timestamp(25)),
+            None,
+            3,
+        );
+        let built = HistoryQuery::new()
+            .with_actors(vec![users[0]])
+            .with_categories(vec![ActivityCategory::CheckIn])
+            .within(TickRange::between(Timestamp(5), Timestamp(25)))
+            .limit(3);
+        let a = search_history(&db, &kn, &idx, &legacy, None);
+        let b = search_history(&db, &kn, &idx, &built, None);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.record == y.record));
     }
 
     #[test]
     fn timeline_buckets() {
         let (db, users, _) = world();
-        let tl = timeline(&db, &[users[0]], 15);
+        let idx = DbIndexes::build(&db);
+        let tl = timeline(&db, &idx, &[users[0]], 15);
         // Events at t=10 (bucket 0) and t=20 (bucket 1).
         assert_eq!(tl.len(), 2);
         assert_eq!(tl[0].0, Timestamp(0));
         assert_eq!(tl[0].1["checkin"], 1);
         assert_eq!(tl[1].0, Timestamp(15));
         // Group timeline covers both users.
-        let tl_all = timeline(&db, &[], 100);
+        let tl_all = timeline(&db, &idx, &[], 100);
         let total: usize = tl_all.iter().map(|(_, c)| c.values().sum::<usize>()).sum();
         assert_eq!(total, 3);
     }

@@ -65,6 +65,8 @@ pub mod sim;
 pub mod trends;
 
 pub use api::Hive;
+pub use db::index::{ActivityQuery, DbIndexes, ResourceQuery, TickRange};
 pub use db::{DbDelta, HiveDb, DB_DELTA_LOG_CAP};
 pub use error::HiveError;
+pub use model::ActivityCategory;
 pub use serve::{Epoch, HiveServer, ReadHandle};

@@ -63,21 +63,94 @@ hive_json::impl_json_enum_payload!(ActivityEvent {
 
 impl ActivityEvent {
     /// Coarse category label used by report tables and the history
-    /// service's value lattice.
+    /// service's value lattice. Shorthand for
+    /// `ActivityCategory::of(self).label()`.
     pub fn category(&self) -> &'static str {
+        ActivityCategory::of(self).label()
+    }
+}
+
+/// Typed coarse activity category — one per [`ActivityEvent`] group.
+///
+/// The query surface (`ActivityQuery`, `HistoryQuery`) takes these
+/// instead of the legacy `&'static str` labels, so a typo'd category
+/// fails to compile instead of silently matching nothing. The string
+/// form survives as [`ActivityCategory::label`] for display, report
+/// lattices, and follow-filter persistence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ActivityCategory {
+    /// Conference attendance registrations.
+    Attend,
+    /// Session check-ins.
+    CheckIn,
+    /// Presentation uploads and slide revisions.
+    Content,
+    /// Paper and presentation views.
+    Browse,
+    /// Questions, answers, and comments.
+    Discuss,
+    /// Follows, connection requests, and accepts.
+    Network,
+    /// Workpad activations and additions.
+    Workpad,
+}
+
+impl ActivityCategory {
+    /// Every category, in stable posting-slot order.
+    pub const ALL: [ActivityCategory; 7] = [
+        ActivityCategory::Attend,
+        ActivityCategory::CheckIn,
+        ActivityCategory::Content,
+        ActivityCategory::Browse,
+        ActivityCategory::Discuss,
+        ActivityCategory::Network,
+        ActivityCategory::Workpad,
+    ];
+
+    /// Stable display label (the legacy string form).
+    pub fn label(self) -> &'static str {
         match self {
-            ActivityEvent::AttendConference(_) => "attend",
-            ActivityEvent::CheckIn(_) => "checkin",
-            ActivityEvent::UploadPresentation(_) | ActivityEvent::ReviseSlides(_) => "content",
-            ActivityEvent::ViewPresentation(_) | ActivityEvent::ViewPaper(_) => "browse",
+            ActivityCategory::Attend => "attend",
+            ActivityCategory::CheckIn => "checkin",
+            ActivityCategory::Content => "content",
+            ActivityCategory::Browse => "browse",
+            ActivityCategory::Discuss => "discuss",
+            ActivityCategory::Network => "network",
+            ActivityCategory::Workpad => "workpad",
+        }
+    }
+
+    /// The category of an event.
+    pub fn of(event: &ActivityEvent) -> Self {
+        match event {
+            ActivityEvent::AttendConference(_) => ActivityCategory::Attend,
+            ActivityEvent::CheckIn(_) => ActivityCategory::CheckIn,
+            ActivityEvent::UploadPresentation(_) | ActivityEvent::ReviseSlides(_) => {
+                ActivityCategory::Content
+            }
+            ActivityEvent::ViewPresentation(_) | ActivityEvent::ViewPaper(_) => {
+                ActivityCategory::Browse
+            }
             ActivityEvent::AskQuestion(_)
             | ActivityEvent::AnswerQuestion(_)
-            | ActivityEvent::Comment(_) => "discuss",
+            | ActivityEvent::Comment(_) => ActivityCategory::Discuss,
             ActivityEvent::Follow(_)
             | ActivityEvent::ConnectRequest(_)
-            | ActivityEvent::ConnectAccept(_) => "network",
-            ActivityEvent::ActivateWorkpad(_) | ActivityEvent::WorkpadAdd(_) => "workpad",
+            | ActivityEvent::ConnectAccept(_) => ActivityCategory::Network,
+            ActivityEvent::ActivateWorkpad(_) | ActivityEvent::WorkpadAdd(_) => {
+                ActivityCategory::Workpad
+            }
         }
+    }
+
+    /// Parses a legacy label back into the typed form.
+    pub fn parse(label: &str) -> Option<Self> {
+        ActivityCategory::ALL.into_iter().find(|c| c.label() == label)
+    }
+
+    /// Dense posting-array slot of this category.
+    pub(crate) fn slot(self) -> usize {
+        self as usize
     }
 }
 
@@ -116,5 +189,16 @@ mod tests {
             ActivityEvent::AttendConference(ConferenceId(0)).category(),
             "attend"
         );
+    }
+
+    #[test]
+    fn typed_categories_round_trip_their_labels() {
+        for c in ActivityCategory::ALL {
+            assert_eq!(ActivityCategory::parse(c.label()), Some(c));
+        }
+        assert_eq!(ActivityCategory::parse("no-such-category"), None);
+        // Slots are dense and unique: they address the posting arrays.
+        let slots: Vec<usize> = ActivityCategory::ALL.iter().map(|c| c.slot()).collect();
+        assert_eq!(slots, (0..ActivityCategory::ALL.len()).collect::<Vec<_>>());
     }
 }

@@ -9,7 +9,7 @@ pub mod tweet;
 pub mod user;
 pub mod workpad;
 
-pub use activity::{ActivityEvent, ActivityRecord};
+pub use activity::{ActivityCategory, ActivityEvent, ActivityRecord};
 pub use conference::{Conference, Session};
 pub use paper::{Paper, Presentation};
 pub use qa::{Answer, Comment, QaTarget, Question};

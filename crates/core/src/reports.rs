@@ -10,6 +10,7 @@
 //! `hive-text`'s AlphaSum implementation.
 
 use crate::clock::Timestamp;
+use crate::db::index::{ActivityQuery, DbIndexes, TickRange};
 use crate::db::HiveDb;
 use crate::ids::UserId;
 use crate::model::{ActivityEvent, QaTarget};
@@ -97,8 +98,12 @@ fn event_location(db: &HiveDb, event: &ActivityEvent) -> String {
 }
 
 /// Builds the (who, where, what) table and its lattices for a window.
+/// The event window comes from the index planner: a scoped report pulls
+/// the actor postings, a platform report binary-searches the
+/// clock-ordered log for the window.
 pub fn activity_table(
     db: &HiveDb,
+    idx: &DbIndexes,
     scope: &ReportScope,
     from: Timestamp,
     to: Timestamp,
@@ -136,22 +141,32 @@ pub fn activity_table(
         vec!["who".into(), "where".into(), "what".into()],
         vec![who, place, what],
     );
-    let allowed: Option<std::collections::HashSet<UserId>> = match scope {
+    // Scope → actor restriction. `None` means everyone (platform
+    // scope); an explicit empty set means nobody and short-circuits,
+    // because an empty actor list on the query side means "everyone".
+    let actors: Option<Vec<UserId>> = match scope {
         ReportScope::Platform => None,
         ReportScope::Network(u) => {
-            let mut set: std::collections::HashSet<UserId> =
-                db.following(*u).into_iter().collect();
+            let mut set = db.following(*u);
             set.extend(db.connections_of(*u));
+            set.sort_unstable();
+            set.dedup();
             Some(set)
         }
-        ReportScope::Group(users) => Some(users.iter().copied().collect()),
-    };
-    for rec in db.activities_between(from, to) {
-        if let Some(set) = &allowed {
-            if !set.contains(&rec.user) {
-                continue;
-            }
+        ReportScope::Group(users) => {
+            let mut set = users.clone();
+            set.sort_unstable();
+            set.dedup();
+            Some(set)
         }
+    };
+    if matches!(&actors, Some(set) if set.is_empty()) {
+        return table;
+    }
+    let query = ActivityQuery::new()
+        .with_actors(actors.unwrap_or_default())
+        .within(TickRange::between(from, to));
+    for rec in query.run(db, idx) {
         let name = db
             .get_user(rec.user)
             .map(|u| u.name.clone())
@@ -168,12 +183,13 @@ pub fn activity_table(
 /// Generates a size-constrained update report.
 pub fn update_report(
     db: &HiveDb,
+    idx: &DbIndexes,
     scope: &ReportScope,
     from: Timestamp,
     to: Timestamp,
     max_rows: usize,
 ) -> UpdateReport {
-    let table = activity_table(db, scope, from, to);
+    let table = activity_table(db, idx, scope, from, to);
     let total_events = table.rows.len();
     let summary = summarize_table(
         &table,
@@ -218,6 +234,7 @@ mod tests {
         let (db, ..) = busy_world();
         let report = update_report(
             &db,
+            &DbIndexes::build(&db),
             &ReportScope::Platform,
             Timestamp(0),
             Timestamp(u64::MAX),
@@ -234,6 +251,7 @@ mod tests {
         let (db, ..) = busy_world();
         let report = update_report(
             &db,
+            &DbIndexes::build(&db),
             &ReportScope::Platform,
             Timestamp(0),
             Timestamp(u64::MAX),
@@ -262,6 +280,7 @@ mod tests {
         db.check_in(users[2], sessions[0]).unwrap();
         let report = update_report(
             &db,
+            &DbIndexes::build(&db),
             &ReportScope::Network(users[0]),
             Timestamp(0),
             Timestamp(u64::MAX),
@@ -279,6 +298,7 @@ mod tests {
         let (db, users, _) = busy_world();
         let report = update_report(
             &db,
+            &DbIndexes::build(&db),
             &ReportScope::Group(vec![users[2]]),
             Timestamp(0),
             Timestamp(u64::MAX),
@@ -295,6 +315,7 @@ mod tests {
         let (db, ..) = busy_world();
         let report = update_report(
             &db,
+            &DbIndexes::build(&db),
             &ReportScope::Platform,
             Timestamp(u64::MAX - 1),
             Timestamp(u64::MAX),

@@ -39,6 +39,7 @@ use crate::clock::Timestamp;
 use crate::collab::CfModel;
 use crate::communities::{self, Communities, Method};
 use crate::context::{build_context, ActivityContext, ContextConfig};
+use crate::db::index::DbIndexes;
 use crate::db::{DbDelta, HiveDb};
 use crate::discover::{self, DiscoverConfig, Resource, SearchHit};
 use crate::error::Result;
@@ -63,12 +64,13 @@ use std::sync::{Arc, RwLock};
 pub(crate) fn read_search(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
+    idx: &DbIndexes,
     user: UserId,
     query: &str,
     cfg: DiscoverConfig,
 ) -> Vec<SearchHit> {
     let ctx = build_context(db, kn, user, cfg.common.context);
-    discover::search(db, kn, &ctx, query, cfg)
+    discover::search(db, kn, idx, &ctx, query, cfg)
 }
 
 /// Contextual resource recommendation (shared body of
@@ -76,11 +78,12 @@ pub(crate) fn read_search(
 pub(crate) fn read_recommend_resources(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
+    idx: &DbIndexes,
     user: UserId,
     cfg: DiscoverConfig,
 ) -> Vec<SearchHit> {
     let ctx = build_context(db, kn, user, cfg.common.context);
-    discover::recommend_resources(db, kn, &ctx, cfg)
+    discover::recommend_resources(db, kn, idx, &ctx, cfg)
 }
 
 /// Workpad-contextualized peer recommendation (shared body of
@@ -118,12 +121,13 @@ pub(crate) fn read_similar_peers(
 pub(crate) fn read_highlights(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
+    idx: &DbIndexes,
     user: UserId,
     since: Timestamp,
     k: usize,
 ) -> Vec<(Update, f64)> {
     let ctx = build_context(db, kn, user, ContextConfig::default());
-    feed::highlights(db, kn, &ctx, user, since, k)
+    feed::highlights(db, kn, idx, &ctx, user, since, k)
 }
 
 /// Optionally context-ranked history search (shared body of
@@ -131,11 +135,12 @@ pub(crate) fn read_highlights(
 pub(crate) fn read_search_history(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
+    idx: &DbIndexes,
     query: &HistoryQuery,
     contextual_for: Option<UserId>,
 ) -> Vec<HistoryHit> {
     let ctx = contextual_for.map(|u| build_context(db, kn, u, ContextConfig::default()));
-    history::search_history(db, kn, query, ctx.as_ref())
+    history::search_history(db, kn, idx, query, ctx.as_ref())
 }
 
 /// Context-biased extractive summary (shared body of
@@ -189,6 +194,7 @@ pub struct Epoch {
     db: Arc<HiveDb>,
     kn: Arc<KnowledgeNetwork>,
     rel: Arc<RelSnapshot>,
+    idx: Arc<DbIndexes>,
 }
 
 impl Epoch {
@@ -202,12 +208,14 @@ impl Epoch {
         let kn = Arc::new(KnowledgeNetwork::build(&db));
         let store = kn.to_store(&db);
         let view = hive_store::GraphView::build(&store);
+        let idx = Arc::new(DbIndexes::build(&db));
         Epoch {
             generation,
             seq: 0,
             db,
             kn,
             rel: Arc::new(RelSnapshot { generation, store, view }),
+            idx,
         }
     }
 
@@ -229,6 +237,11 @@ impl Epoch {
     /// The frozen knowledge network.
     pub fn knowledge(&self) -> &KnowledgeNetwork {
         &self.kn
+    }
+
+    /// The frozen secondary-index set.
+    pub fn indexes(&self) -> &DbIndexes {
+        &self.idx
     }
 
     /// Same span/counter protocol as `Hive::service`, over the frozen
@@ -269,13 +282,13 @@ impl Epoch {
 
     /// Context-aware search at this epoch.
     pub fn search(&self, user: UserId, query: &str, cfg: DiscoverConfig) -> Vec<SearchHit> {
-        self.svc(ServiceKind::Search, |e| read_search(&e.db, &e.kn, user, query, cfg))
+        self.svc(ServiceKind::Search, |e| read_search(&e.db, &e.kn, &e.idx, user, query, cfg))
     }
 
     /// Contextual resource recommendation at this epoch.
     pub fn recommend_resources(&self, user: UserId, cfg: DiscoverConfig) -> Vec<SearchHit> {
         self.svc(ServiceKind::ResourceRecommendation, |e| {
-            read_recommend_resources(&e.db, &e.kn, user, cfg)
+            read_recommend_resources(&e.db, &e.kn, &e.idx, user, cfg)
         })
     }
 
@@ -322,7 +335,7 @@ impl Epoch {
         max_rows: usize,
     ) -> UpdateReport {
         self.svc(ServiceKind::UpdateReport, |e| {
-            reports::update_report(&e.db, scope, from, to, max_rows)
+            reports::update_report(&e.db, &e.idx, scope, from, to, max_rows)
         })
     }
 
@@ -350,17 +363,17 @@ impl Epoch {
 
     /// Feed updates at this epoch.
     pub fn updates_for(&self, user: UserId, since: Timestamp) -> Vec<Update> {
-        self.svc(ServiceKind::Feed, |e| feed::updates_for(&e.db, user, since))
+        self.svc(ServiceKind::Feed, |e| feed::updates_for(&e.db, &e.idx, user, since))
     }
 
     /// Context-ranked highlights at this epoch.
     pub fn highlights(&self, user: UserId, since: Timestamp, k: usize) -> Vec<(Update, f64)> {
-        self.svc(ServiceKind::Feed, |e| read_highlights(&e.db, &e.kn, user, since, k))
+        self.svc(ServiceKind::Feed, |e| read_highlights(&e.db, &e.kn, &e.idx, user, since, k))
     }
 
     /// Feed digest at this epoch.
     pub fn digest(&self, user: UserId, since: Timestamp) -> FeedDigest {
-        self.svc(ServiceKind::Feed, |e| feed::digest(&e.db, user, since))
+        self.svc(ServiceKind::Feed, |e| feed::digest(&e.db, &e.idx, user, since))
     }
 
     /// Session ticker at this epoch.
@@ -375,7 +388,7 @@ impl Epoch {
         contextual_for: Option<UserId>,
     ) -> Vec<HistoryHit> {
         self.svc(ServiceKind::HistorySearch, |e| {
-            read_search_history(&e.db, &e.kn, query, contextual_for)
+            read_search_history(&e.db, &e.kn, &e.idx, query, contextual_for)
         })
     }
 
@@ -385,7 +398,7 @@ impl Epoch {
         actors: &[UserId],
         bucket_width: u64,
     ) -> Vec<(Timestamp, HashMap<&'static str, usize>)> {
-        self.svc(ServiceKind::Timeline, |e| history::timeline(&e.db, actors, bucket_width))
+        self.svc(ServiceKind::Timeline, |e| history::timeline(&e.db, &e.idx, actors, bucket_width))
     }
 }
 
@@ -474,7 +487,8 @@ impl HiveServer {
         let generation = hive.db().generation();
         let kn = hive.knowledge();
         let rel = hive.relationship_graph(&kn);
-        Epoch { generation, seq, db: Arc::new(hive.db().clone()), kn, rel }
+        let idx = hive.indexes();
+        Epoch { generation, seq, db: Arc::new(hive.db().clone()), kn, rel, idx }
     }
 
     /// The typed mutation surface. `&mut self` is the single-writer

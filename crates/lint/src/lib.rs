@@ -4,7 +4,7 @@
 //! `hive-par` pool, which fans the per-file scan out across workers)
 //! that turns the workspace's operational conventions into
 //! machine-checked invariants (DESIGN.md, "Static analysis
-//! architecture"). Twelve rules run over two engines:
+//! architecture"). Thirteen rules run over two engines:
 //!
 //! **Token rules** match forbidden tokens in *lexed* source: a minimal
 //! Rust lexer blanks `//` and `/* */` comments, string and char
@@ -27,6 +27,11 @@
 //!   `thread::Builder` outside the declared thread crate; all
 //!   concurrency goes through the deterministic `hive-par` pool so
 //!   parallel output stays bit-identical to serial.
+//! * **R13 `no-full-scan`** — no full activity-log iteration
+//!   (`activity_log().iter()`, `for .. in db.activity_log()`,
+//!   `.activities_between(`) in hive-core service code outside the
+//!   `db` arena layer and `db/index.rs`; services plan their event
+//!   windows through the typed index queries instead.
 //!
 //! **AST rules** run over a tolerant in-tree parser ([`parser`]), a
 //! workspace symbol table with receiver-type inference, and a call
@@ -145,6 +150,8 @@ pub struct SourceRules {
     pub no_raw_threads: bool,
     /// Apply R8 `delta-log` (token engine; src/ uses the AST engine).
     pub delta_log: bool,
+    /// Apply R13 `no-full-scan`.
+    pub no_full_scan: bool,
 }
 
 /// Forbidden-token tables: (needle, needs ident-boundary before it).
@@ -160,6 +167,11 @@ const IO_TOKENS: &[(&str, bool)] = &[("println!", true), ("eprintln!", true), ("
 const THREAD_TOKENS: &[(&str, bool)] =
     &[("thread::spawn", true), ("thread::scope", true), ("thread::Builder", true)];
 const DELTA_TOKENS: &[(&str, bool)] = &[("generation +=", true), ("generation+=", true)];
+const FULL_SCAN_TOKENS: &[(&str, bool)] = &[
+    ("activity_log().iter()", false),
+    ("in db.activity_log()", false),
+    (".activities_between(", false),
+];
 
 fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
@@ -215,6 +227,13 @@ pub fn check_source(file: &str, source: &str, which: SourceRules) -> Vec<Diagnos
             rules::DELTA_LOG,
             DELTA_TOKENS,
             "direct generation bump outside the delta-log API (record a delta instead)",
+        ));
+    }
+    if which.no_full_scan {
+        table.push((
+            rules::NO_FULL_SCAN,
+            FULL_SCAN_TOKENS,
+            "full activity-log scan in service code (plan through db::index instead)",
         ));
     }
     for (lineno, line) in lexed.masked.lines().enumerate() {
@@ -586,6 +605,13 @@ pub fn scan_workspace_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, ScanSta
                 no_stray_io: io_checked,
                 no_raw_threads: threads_checked,
                 delta_log: false,
+                // R13 covers the platform's service code only: the
+                // index module and the arena layer are the two places
+                // allowed to walk the whole log. (Crate names here are
+                // directory names — `core`, not `hive-core`.)
+                no_full_scan: name == "core"
+                    && !file.ends_with("/db.rs")
+                    && !file.contains("/db/"),
             };
             jobs.push(TokenJob { path, file, which, counted: false });
         }

@@ -89,7 +89,7 @@ fn main() -> ExitCode {
             }
             if diags.is_empty() {
                 println!(
-                    "hive-lint: workspace clean (R1-R12, {} files, {} LoC)",
+                    "hive-lint: workspace clean (R1-R13, {} files, {} LoC)",
                     stats.files, stats.loc
                 );
                 ExitCode::SUCCESS

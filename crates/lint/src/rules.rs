@@ -37,6 +37,8 @@ pub const EXHAUSTIVE_DELTA: &str = "exhaustive-delta";
 pub const LOCK_SCOPE: &str = "lock-scope";
 /// R12: determinism roots may not reach storage-order or clock sources.
 pub const DETERMINISM_TAINT: &str = "determinism-taint";
+/// R13: full activity-log scans are forbidden in service code.
+pub const NO_FULL_SCAN: &str = "no-full-scan";
 
 /// Stable rule number (the `R<n>` in diagnostics) for a rule name.
 pub fn num(rule: &str) -> u8 {
@@ -53,6 +55,7 @@ pub fn num(rule: &str) -> u8 {
         EXHAUSTIVE_DELTA => 10,
         LOCK_SCOPE => 11,
         DETERMINISM_TAINT => 12,
+        NO_FULL_SCAN => 13,
         _ => 0,
     }
 }
@@ -80,7 +83,8 @@ impl AllowIndex {
 
 /// Facade functions exempt from R7: construction and cache plumbing
 /// that runs no Table-1 service, plus the choke points themselves.
-pub const FACADE_EXEMPT: &[&str] = &["new", "db", "db_mut", "knowledge", "service", "service_mut"];
+pub const FACADE_EXEMPT: &[&str] =
+    &["new", "db", "db_mut", "indexes", "knowledge", "service", "service_mut"];
 
 /// Enum names whose matches R10 forces to stay exhaustive: the delta
 /// vocabularies that grow as cache maintenance learns new operations.

@@ -10,6 +10,7 @@ const ALL_SOURCE_RULES: SourceRules = SourceRules {
     no_stray_io: true,
     no_raw_threads: true,
     delta_log: true,
+    no_full_scan: true,
 };
 
 #[test]
@@ -114,6 +115,22 @@ fn r8_delta_log_fires_on_direct_generation_bumps() {
     // The lint:allow'd bump, the plain assignment, and the
     // `regeneration` identifier stay silent.
     assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn r13_no_full_scan_fires_on_log_iteration_in_service_code() {
+    let src = include_str!("fixtures/r13_full_scan.rs");
+    let diags = check_source("fixtures/r13_full_scan.rs", src, ALL_SOURCE_RULES);
+    let scans: Vec<_> = diags.iter().filter(|d| d.rule == rules::NO_FULL_SCAN).collect();
+    assert_eq!(scans.len(), 3, "{diags:?}");
+    assert_eq!(scans[0].file, "fixtures/r13_full_scan.rs");
+    assert_eq!(scans[0].line, 5, "the .iter() pipeline");
+    assert_eq!(scans[1].line, 10, "the for-loop over the log");
+    assert_eq!(scans[2].line, 17, "the activities_between call");
+    assert!(scans[0].message.contains("db::index"));
+    // The waived fold, the string mention, and the test module stay
+    // silent.
+    assert_eq!(diags.len(), 3, "{diags:?}");
 }
 
 #[test]

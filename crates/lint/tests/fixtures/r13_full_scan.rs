@@ -1,0 +1,38 @@
+//! R13 fixture: service code iterating the whole activity log instead
+//! of planning the window through the typed index queries.
+
+pub fn trending(db: &HiveDb) -> usize {
+    db.activity_log().iter().filter(|r| r.user.0 > 0).count()
+}
+
+pub fn digest(db: &HiveDb) -> usize {
+    let mut n = 0;
+    for rec in db.activity_log() {
+        n += rec.user.0 as usize;
+    }
+    n
+}
+
+pub fn window(db: &HiveDb, from: Timestamp, to: Timestamp) -> usize {
+    db.activities_between(from, to).len()
+}
+
+pub fn folded(db: &HiveDb) -> usize {
+    // lint:allow(no-full-scan) -- fixture's one sanctioned fold
+    db.activity_log().iter().count()
+}
+
+pub fn catalogued(db: &HiveDb) -> usize {
+    // A string mention of "in db.activity_log()" must not fire.
+    let label = "scan in db.activity_log() retired";
+    label.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_never_fire() {
+        let db = HiveDb::new();
+        assert_eq!(db.activity_log().iter().count(), 0);
+    }
+}

@@ -244,7 +244,7 @@ pub fn fingerprint(hive: &Hive) -> Fingerprint {
         .collect();
     fp.push("timeline", timeline.join("|"));
     let history: Vec<String> = hive
-        .search_history(&HistoryQuery { limit: 8, ..Default::default() }, probe_users.first().copied())
+        .search_history(&HistoryQuery::new().limit(8), probe_users.first().copied())
         .iter()
         .map(|h| format!("{}:{}", bits(h.relevance), h.text))
         .collect();
@@ -255,6 +255,10 @@ pub fn fingerprint(hive: &Hive) -> Fingerprint {
         .map(|(s, w)| format!("{}={}", s.iri(), bits(*w)))
         .collect();
     fp.push("trending", trending.join("|"));
+    // Secondary-index contents: a delta-patched index on the leader and
+    // a replay-built index on a follower must digest identically (the
+    // digest iterates BTreeMap postings, no hash order involved).
+    fp.push("index", hive.indexes().digest());
     fp
 }
 

@@ -1,0 +1,221 @@
+//! Index-equivalence property tests: the declarative query planner must
+//! be *bit-identical* to the full-scan reference path, and a
+//! delta-maintained index must be bit-identical to a cold build.
+//!
+//! Three layers, all driven by the in-tree seeded runner
+//! (`hive_bench::prop`):
+//!
+//! 1. **Maintenance** — after any randomized mutation burst sequence, a
+//!    [`DbIndexes`] patched forward through `deltas_since` equals a
+//!    cold [`DbIndexes::build`] structurally (`PartialEq`) and under
+//!    [`DbIndexes::digest`].
+//! 2. **Planner** — randomized [`ActivityQuery`] / [`ResourceQuery`]
+//!    mixes answer identically through `run` (index-planned) and
+//!    `scan` (the reference path), including against a *stale* index
+//!    whose watermarks trail the database.
+//! 3. **Facade** — a driven [`Hive`] keeps its cached index warm
+//!    through the O(delta) patch tier: `idx.patch` fires per write
+//!    burst while `idx.rebuild` stays at the initial build.
+
+use hive_bench::prop::{check, DEFAULT_CASES};
+use hive_bench::{prop_ensure, prop_ensure_eq};
+use hive_core::clock::Timestamp;
+use hive_core::db::index::topic_tokens;
+use hive_core::model::{Paper, QaTarget, Session, User};
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_core::{ActivityCategory, ActivityQuery, DbIndexes, Hive, HiveDb, ResourceQuery, TickRange};
+use hive_rng::Rng;
+
+/// One random platform mutation. Most arms append activity (actor and
+/// category postings, time-range growth); the rarer arms add arena rows
+/// so the topic maps and watermarks move too.
+fn mutate(db: &mut HiveDb, rng: &mut Rng) {
+    let users = db.user_ids();
+    let sessions = db.session_ids();
+    let papers = db.paper_ids();
+    let confs = db.conference_ids();
+    let u = users[rng.gen_range(0..users.len())];
+    let v = users[rng.gen_range(0..users.len())];
+    if rng.gen_range(0..3u32) == 0 {
+        db.advance_clock(rng.gen_range(1..5u64));
+    }
+    match rng.gen_range(0..12u32) {
+        0 | 1 => {
+            let _ = db.follow(u, v);
+        }
+        2 | 3 => {
+            let s = sessions[rng.gen_range(0..sessions.len())];
+            let _ = db.check_in(u, s);
+        }
+        4 | 5 => {
+            let p = papers[rng.gen_range(0..papers.len())];
+            let _ = db.view_paper(u, p);
+        }
+        6 => {
+            let c = confs[rng.gen_range(0..confs.len())];
+            let _ = db.attend(u, c);
+        }
+        7 => {
+            let s = sessions[rng.gen_range(0..sessions.len())];
+            let _ = db.ask_question(u, QaTarget::Session(s), "why does the sketch converge", false);
+        }
+        8 => {
+            let s = sessions[rng.gen_range(0..sessions.len())];
+            let _ = db.post_tweet(Some(u), "@zach", "tensor streams drifting again", s);
+        }
+        9 => {
+            db.add_user(User::new(
+                format!("Latecomer {}", rng.gen_range(0..1000u32)),
+                "Somewhere U",
+            ));
+        }
+        10 => {
+            let c = confs[rng.gen_range(0..confs.len())];
+            let _ = db.add_session(Session::new(
+                c,
+                format!("Hot topic {}", rng.gen_range(0..100u32)),
+                "R9",
+            ));
+        }
+        _ => {
+            let _ = db.add_paper(
+                Paper::new(format!("Sketching study {}", rng.gen_range(0..100u32)), vec![u])
+                    .with_abstract("streaming tensor decomposition sketches"),
+            );
+        }
+    }
+}
+
+fn small_world(rng: &mut Rng) -> HiveDb {
+    let sim = SimConfig { seed: rng.next_u64(), users: 8, ..SimConfig::small() };
+    WorldBuilder::new(sim).build().db
+}
+
+// ---- layer 1: patch vs cold build --------------------------------------
+
+#[test]
+fn patched_index_is_bitwise_identical_to_cold_build() {
+    check("index::patch_equals_build", DEFAULT_CASES / 2, |rng| {
+        let mut db = small_world(rng);
+        let mut idx = DbIndexes::build(&db);
+        // Several bursts against the same live index: the patched state
+        // of burst k seeds burst k+1, so drift would compound.
+        for _ in 0..rng.gen_range(1..4usize) {
+            for _ in 0..rng.gen_range(0..10usize) {
+                mutate(&mut db, rng);
+            }
+            prop_ensure!(idx.patch(&db), "the delta log must cover a short burst");
+            let cold = DbIndexes::build(&db);
+            prop_ensure!(idx == cold, "patched index diverged structurally from cold build");
+            prop_ensure_eq!(idx.digest(), cold.digest(), "digest must agree with cold build");
+        }
+        Ok(())
+    });
+}
+
+// ---- layer 2: planner vs reference scan --------------------------------
+
+fn gen_activity_query(db: &HiveDb, rng: &mut Rng) -> ActivityQuery {
+    let users = db.user_ids();
+    let mut q = ActivityQuery::new();
+    if rng.gen_range(0..3u32) > 0 {
+        let n = rng.gen_range(1..4usize);
+        let actors = (0..n).map(|_| users[rng.gen_range(0..users.len())]).collect();
+        q = q.with_actors(actors);
+    }
+    if rng.gen_range(0..3u32) == 0 {
+        let all = ActivityCategory::ALL;
+        let n = rng.gen_range(1..3usize);
+        let cats = (0..n).map(|_| all[rng.gen_range(0..all.len())]).collect();
+        q = q.with_categories(cats);
+    }
+    if rng.gen_range(0..2u32) == 0 {
+        let now = db.now().ticks();
+        let a = rng.gen_range(0..now + 2);
+        let b = rng.gen_range(0..now + 2);
+        q = q.within(TickRange::between(Timestamp(a.min(b)), Timestamp(a.max(b))));
+    }
+    q
+}
+
+fn gen_resource_query(db: &HiveDb, rng: &mut Rng) -> ResourceQuery {
+    let users = db.user_ids();
+    let confs = db.conference_ids();
+    let papers = db.paper_ids();
+    let mut q = ResourceQuery::new()
+        .with_papers(rng.gen_range(0..4u32) > 0)
+        .with_presentations(rng.gen_range(0..4u32) > 0)
+        .with_sessions(rng.gen_range(0..4u32) > 0)
+        .with_users(rng.gen_range(0..4u32) > 0);
+    if rng.gen_range(0..3u32) == 0 {
+        q = q.at_venue(confs[rng.gen_range(0..confs.len())]);
+    }
+    if rng.gen_range(0..3u32) == 0 {
+        q = q.by_author(users[rng.gen_range(0..users.len())]);
+    }
+    if rng.gen_range(0..2u32) == 0 {
+        // Half the topics come from real paper text (guaranteed hits),
+        // half are random words (mostly misses).
+        let p = papers[rng.gen_range(0..papers.len())];
+        let toks = db.get_paper(p).map(|paper| topic_tokens(&paper.text())).unwrap_or_default();
+        let topic = if rng.gen_range(0..2u32) == 0 && !toks.is_empty() {
+            toks[rng.gen_range(0..toks.len())].clone()
+        } else {
+            format!("word{}", rng.gen_range(0..40u32))
+        };
+        q = q.on_topic(topic);
+    }
+    q
+}
+
+#[test]
+fn planner_matches_scan_over_random_query_mixes() {
+    check("index::run_equals_scan", DEFAULT_CASES / 2, |rng| {
+        let mut db = small_world(rng);
+        let stale = DbIndexes::build(&db);
+        for _ in 0..rng.gen_range(0..12usize) {
+            mutate(&mut db, rng);
+        }
+        let mut fresh = stale.clone();
+        prop_ensure!(fresh.patch(&db), "the delta log must cover a short burst");
+        for _ in 0..rng.gen_range(1..6usize) {
+            let q = gen_activity_query(&db, rng);
+            let scanned = q.scan(&db);
+            prop_ensure_eq!(q.run(&db, &fresh), scanned, "activity planner vs scan ({q:?})");
+            // A stale index only prunes up to its watermarks; the
+            // suffix scan must make the answer exact anyway.
+            prop_ensure_eq!(q.run(&db, &stale), scanned, "stale-index activity run ({q:?})");
+            let r = gen_resource_query(&db, rng);
+            let scanned = r.scan(&db);
+            prop_ensure_eq!(r.run(&db, &fresh), scanned, "resource planner vs scan ({r:?})");
+            prop_ensure_eq!(r.run(&db, &stale), scanned, "stale-index resource run ({r:?})");
+        }
+        Ok(())
+    });
+}
+
+// ---- layer 3: the facade keeps its index warm in O(delta) --------------
+
+#[test]
+fn facade_maintains_the_index_by_patching_not_rebuilding() {
+    hive_obs::with_level(hive_obs::Level::Counts, || {
+        hive_obs::reset();
+        let world = WorldBuilder::new(SimConfig::small()).build();
+        let mut hive = Hive::new(world.db);
+        let users = hive.db().user_ids();
+        let papers = hive.db().paper_ids();
+        let first = hive.indexes();
+        for i in 0..6usize {
+            hive.advance_clock(1);
+            hive.view_paper(users[i % users.len()], papers[i % papers.len()]).unwrap();
+            let idx = hive.indexes();
+            assert_eq!(idx.generation(), hive.db().generation(), "cache must be current");
+        }
+        assert!(first.generation() < hive.db().generation());
+        let snap = hive_obs::snapshot();
+        assert_eq!(snap.counter("idx.rebuild"), 1, "only the initial cold build may rebuild");
+        assert_eq!(snap.counter("idx.patch"), 6, "every write burst must patch in O(delta)");
+        assert_eq!(snap.counter("core.idx.miss"), 1);
+        assert_eq!(snap.counter("core.idx.delta"), 6);
+    });
+}

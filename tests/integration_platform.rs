@@ -42,7 +42,7 @@ fn simulated_world_supports_every_service_group() {
     let covered: usize = report.summary.rows.iter().map(|(_, c)| c).sum();
     assert_eq!(covered, report.total_events);
     // History.
-    let hist = hive.search_history(&HistoryQuery { limit: 10, ..Default::default() }, Some(u));
+    let hist = hive.search_history(&HistoryQuery::new().limit(10), Some(u));
     assert!(!hist.is_empty());
 }
 

@@ -224,11 +224,9 @@ fn zach_scenario_end_to_end() {
     // "Back at the university, his advisor and Zach discuss his
     // activities" — the history service reconstructs the trip.
     let hist = hive.search_history(
-        &hive_core::history::HistoryQuery {
-            actors: vec![ids.zach],
-            from: Some(Timestamp(0)),
-            ..Default::default()
-        },
+        &hive_core::history::HistoryQuery::new()
+            .with_actors(vec![ids.zach])
+            .within(hive_core::TickRange::since(Timestamp(0))),
         None,
     );
     assert!(hist.len() >= 6, "the trip left a rich trace: {}", hist.len());

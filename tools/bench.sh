@@ -12,7 +12,7 @@ export HIVE_BENCH_JSON_DIR="$(pwd)/${HIVE_BENCH_JSON_DIR:-target/bench-json}"
 rm -rf "$HIVE_BENCH_JSON_DIR"
 mkdir -p "$HIVE_BENCH_JSON_DIR"
 
-for b in bench_store bench_scent bench_ini bench_text bench_concept bench_platform bench_obs bench_lint bench_serve bench_replica; do
+for b in bench_store bench_scent bench_ini bench_text bench_concept bench_platform bench_obs bench_lint bench_index bench_serve bench_replica; do
   cargo bench -q -p hive-bench --offline --bench "$b"
 done
 
