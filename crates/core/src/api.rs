@@ -37,6 +37,7 @@ use crate::ids::*;
 use crate::knowledge::KnowledgeNetwork;
 use crate::model::{Paper, Presentation, QaTarget, User, WorkpadItem};
 use crate::peers::{self, PeerRecConfig, PeerRecommendation};
+use crate::ppr::PprCache;
 use crate::reports::{self, ReportScope, UpdateReport};
 use hive_concept::{bootstrap_concept_map, BootstrapConfig, ConceptMap};
 use hive_obs::ServiceKind;
@@ -76,7 +77,7 @@ pub(crate) fn patchable_deltas(db: &HiveDb, since: u64) -> Option<Vec<crate::db:
 /// leaves at worst a stale entry, which the generation check rejects —
 /// so poisoning is recoverable by construction, in one place instead
 /// of four copy-pasted `match` blocks.
-fn unpoison<T>(res: std::sync::LockResult<std::sync::MutexGuard<'_, T>>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn unpoison<T>(res: std::sync::LockResult<std::sync::MutexGuard<'_, T>>) -> std::sync::MutexGuard<'_, T> {
     match res {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -89,6 +90,7 @@ pub struct Hive {
     kn_cache: Mutex<Option<(u64, Arc<KnowledgeNetwork>)>>,
     rel_cache: Mutex<Option<Arc<RelSnapshot>>>,
     idx_cache: Mutex<Option<Arc<DbIndexes>>>,
+    ppr_cache: Mutex<Option<(u64, Arc<PprCache>)>>,
 }
 
 impl Hive {
@@ -99,6 +101,7 @@ impl Hive {
             kn_cache: Mutex::new(None),
             rel_cache: Mutex::new(None),
             idx_cache: Mutex::new(None),
+            ppr_cache: Mutex::new(None),
         }
     }
 
@@ -296,6 +299,52 @@ impl Hive {
         idx
     }
 
+    /// The current PPR memo tier — the fourth generation-keyed snapshot
+    /// cache, maintained like [`Hive::knowledge`]: a generation match
+    /// reuses the memo as-is (`core.ppr.hit`); a journal-covered lag is
+    /// patched forward under `Arc::make_mut` (`core.ppr.delta`) —
+    /// graph-touching deltas clear the memoized score vectors in
+    /// O(delta) while neutral ones keep them, since memo entries are
+    /// exact solves against one graph snapshot; anything else starts a
+    /// fresh tier (`core.ppr.miss`). Every PPR-backed service (peer
+    /// recommendation, contextual search, resource recommendation)
+    /// resolves its canonicalized seed distribution through this cache,
+    /// so repeated queries per generation solve the power iteration
+    /// once and stay bit-identical to a cold run.
+    pub fn ppr(&self) -> Arc<PprCache> {
+        let generation = self.db.generation();
+        let stale = {
+            let mut guard = unpoison(self.ppr_cache.lock());
+            if let Some((cached_gen, cache)) = guard.as_ref() {
+                if *cached_gen == generation {
+                    hive_obs::count("core.ppr.hit", 1);
+                    return Arc::clone(cache);
+                }
+            }
+            guard.take()
+        };
+        let patched = stale.and_then(|(cached_gen, mut cache)| {
+            let patch = patchable_deltas(&self.db, cached_gen)?;
+            let span = hive_obs::span_enter("ppr-delta", self.db.now().ticks());
+            if patch.iter().any(|d| d.touches_graph()) {
+                Arc::make_mut(&mut cache).clear();
+            }
+            hive_obs::span_exit(span, self.db.now().ticks());
+            hive_obs::count("core.ppr.delta", 1);
+            Some(cache)
+        });
+        let cache = match patched {
+            Some(cache) => cache,
+            None => {
+                hive_obs::count("core.ppr.miss", 1);
+                Arc::new(PprCache::new())
+            }
+        };
+        let mut guard = unpoison(self.ppr_cache.lock());
+        *guard = Some((generation, Arc::clone(&cache)));
+        cache
+    }
+
     // ---- concept map & personalization services ---------------------------
 
     /// Bootstraps a concept map from user-supplied documents (§2.1).
@@ -317,7 +366,7 @@ impl Hive {
     /// Recommends new peers, contextualized by the active workpad.
     pub fn recommend_peers(&self, user: UserId, cfg: PeerRecConfig) -> Vec<PeerRecommendation> {
         self.service(ServiceKind::PeerRecommendation, |h| {
-            crate::serve::read_recommend_peers(&h.db, &h.knowledge(), user, cfg)
+            crate::serve::read_recommend_peers(&h.db, &h.knowledge(), &h.ppr(), user, cfg)
         })
     }
 
@@ -372,14 +421,14 @@ impl Hive {
     /// Context-aware search over papers, presentations, sessions, users.
     pub fn search(&self, user: UserId, query: &str, cfg: DiscoverConfig) -> Vec<SearchHit> {
         self.service(ServiceKind::Search, |h| {
-            crate::serve::read_search(&h.db, &h.knowledge(), &h.indexes(), user, query, cfg)
+            crate::serve::read_search(&h.db, &h.knowledge(), &h.indexes(), &h.ppr(), user, query, cfg)
         })
     }
 
     /// Pure contextual resource recommendation (empty query).
     pub fn recommend_resources(&self, user: UserId, cfg: DiscoverConfig) -> Vec<SearchHit> {
         self.service(ServiceKind::ResourceRecommendation, |h| {
-            crate::serve::read_recommend_resources(&h.db, &h.knowledge(), &h.indexes(), user, cfg)
+            crate::serve::read_recommend_resources(&h.db, &h.knowledge(), &h.indexes(), &h.ppr(), user, cfg)
         })
     }
 

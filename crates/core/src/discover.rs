@@ -17,7 +17,8 @@ use crate::db::index::{DbIndexes, ResourceQuery};
 use crate::db::HiveDb;
 use crate::ids::{ConferenceId, PaperId, PresentationId, SessionId, UserId};
 use crate::knowledge::KnowledgeNetwork;
-use hive_graph::{personalized_pagerank_csr, NodeId, PprConfig};
+use crate::ppr::PprCache;
+use hive_graph::{NodeId, PprConfig};
 use hive_text::keyphrase::{extract_keyphrases, KeyphraseConfig};
 use hive_text::snippet::{extract_snippet, SnippetConfig};
 use hive_text::tfidf::SparseVector;
@@ -217,7 +218,11 @@ fn resource_vector(kn: &KnowledgeNetwork, r: Resource) -> Option<&SparseVector> 
 }
 
 /// Graph activation per IRI from the context seeds (normalized to max 1).
-fn graph_activation(kn: &KnowledgeNetwork, ctx: &ActivityContext) -> HashMap<String, f64> {
+fn graph_activation(
+    kn: &KnowledgeNetwork,
+    ppr_cache: &PprCache,
+    ctx: &ActivityContext,
+) -> HashMap<String, f64> {
     let g = &kn.unified;
     let mut seeds: HashMap<NodeId, f64> = HashMap::new();
     // lint:allow(determinism-taint) -- distinct keys hit distinct nodes; PPR sorts seeds
@@ -229,7 +234,7 @@ fn graph_activation(kn: &KnowledgeNetwork, ctx: &ActivityContext) -> HashMap<Str
     if seeds.is_empty() {
         return HashMap::new();
     }
-    let ppr = personalized_pagerank_csr(&kn.unified_csr, &seeds, PprConfig::default());
+    let ppr = ppr_cache.scores(&kn.unified_csr, &seeds, PprConfig::default());
     let max = ppr.iter().cloned().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
     g.nodes()
         .filter(|n| ppr[n.index()] > 0.0)
@@ -249,12 +254,13 @@ pub fn search(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
     idx: &DbIndexes,
+    ppr_cache: &PprCache,
     ctx: &ActivityContext,
     query: &str,
     cfg: DiscoverConfig,
 ) -> Vec<SearchHit> {
     let qvec = kn.corpus.vectorize_known(query);
-    let activation = graph_activation(kn, ctx);
+    let activation = graph_activation(kn, ppr_cache, ctx);
     let mut candidates = ResourceQuery::new().with_users(cfg.include_users);
     if let Some(v) = cfg.venue {
         candidates = candidates.at_venue(v);
@@ -318,6 +324,7 @@ pub fn recommend_resources(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
     idx: &DbIndexes,
+    ppr_cache: &PprCache,
     ctx: &ActivityContext,
     cfg: DiscoverConfig,
 ) -> Vec<SearchHit> {
@@ -327,7 +334,7 @@ pub fn recommend_resources(
         context_weight: cfg.context_weight + cfg.query_weight,
         ..cfg
     };
-    search(db, kn, idx, ctx, "", cfg)
+    search(db, kn, idx, ppr_cache, ctx, "", cfg)
 }
 
 #[cfg(test)]
@@ -384,7 +391,7 @@ mod tests {
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
         let idx = DbIndexes::build(&db);
-        let hits = search(&db, &kn, &idx, &ctx, "tensor stream sketches", DiscoverConfig::default());
+        let hits = search(&db, &kn, &idx, &PprCache::new(), &ctx, "tensor stream sketches", DiscoverConfig::default());
         assert!(!hits.is_empty());
         let tensor_pos = hits
             .iter()
@@ -402,7 +409,7 @@ mod tests {
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
         let idx = DbIndexes::build(&db);
-        let hits = search(&db, &kn, &idx, &ctx, "compressed sensing", DiscoverConfig::default());
+        let hits = search(&db, &kn, &idx, &PprCache::new(), &ctx, "compressed sensing", DiscoverConfig::default());
         let paper_hit = hits
             .iter()
             .find(|h| matches!(h.resource, Resource::Paper(_)))
@@ -431,7 +438,7 @@ mod tests {
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
         let idx = DbIndexes::build(&db);
-        let hits = recommend_resources(&db, &kn, &idx, &ctx, DiscoverConfig::default());
+        let hits = recommend_resources(&db, &kn, &idx, &PprCache::new(), &ctx, DiscoverConfig::default());
         let txn = hits
             .iter()
             .position(|h| h.resource == Resource::Session(sessions[1]))
@@ -448,11 +455,12 @@ mod tests {
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
         let idx = DbIndexes::build(&db);
-        let with = search(&db, &kn, &idx, &ctx, "tensor", DiscoverConfig::default());
+        let with = search(&db, &kn, &idx, &PprCache::new(), &ctx, "tensor", DiscoverConfig::default());
         let without = search(
             &db,
             &kn,
             &idx,
+            &PprCache::new(),
             &ctx,
             "tensor",
             DiscoverConfig::defaults().with_include_users(false),
@@ -471,6 +479,7 @@ mod tests {
             &db,
             &kn,
             &idx,
+            &PprCache::new(),
             &ctx,
             "tensor",
             DiscoverConfig::defaults().with_top_k(2),

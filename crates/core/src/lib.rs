@@ -59,6 +59,7 @@ pub mod knowledge;
 pub mod model;
 pub mod peers;
 pub mod persist;
+pub mod ppr;
 pub mod reports;
 pub mod serve;
 pub mod sim;
@@ -69,4 +70,5 @@ pub use db::index::{ActivityQuery, DbIndexes, ResourceQuery, TickRange};
 pub use db::{DbDelta, HiveDb, DB_DELTA_LOG_CAP};
 pub use error::HiveError;
 pub use model::ActivityCategory;
+pub use ppr::PprCache;
 pub use serve::{Epoch, HiveServer, ReadHandle};

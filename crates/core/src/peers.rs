@@ -22,7 +22,8 @@ use crate::db::HiveDb;
 use crate::evidence::{batch_relationship_evidence, combined_score, EvidenceItem};
 use crate::ids::{SessionId, UserId};
 use crate::knowledge::KnowledgeNetwork;
-use hive_graph::{personalized_pagerank_csr, NodeId, PprConfig};
+use crate::ppr::PprCache;
+use hive_graph::{NodeId, PprConfig};
 use hive_par::par_map;
 use std::collections::HashMap;
 
@@ -151,6 +152,7 @@ fn parse_user_iri(key: &str) -> Option<UserId> {
 pub fn recommend_peers(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
+    ppr_cache: &PprCache,
     user: UserId,
     ctx: &ActivityContext,
     cfg: PeerRecConfig,
@@ -169,7 +171,9 @@ pub fn recommend_peers(
             seeds.insert(n, 1.0);
         }
     }
-    let ppr = personalized_pagerank_csr(
+    // Memoized exact solve: repeated recommendations against one graph
+    // generation (same workpad context) skip the power iteration.
+    let ppr = ppr_cache.scores(
         &kn.unified_csr,
         &seeds,
         PprConfig { damping: cfg.damping, ..Default::default() },
@@ -325,7 +329,7 @@ mod tests {
         let (db, users, _) = world();
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
-        let recs = recommend_peers(&db, &kn, users[0], &ctx, PeerRecConfig::default());
+        let recs = recommend_peers(&db, &kn, &PprCache::new(), users[0], &ctx, PeerRecConfig::default());
         assert!(!recs.is_empty());
         assert_eq!(recs[0].user, users[1], "Ann (cites Zach, same topic) first");
         // Bob should rank below Ann.
@@ -340,7 +344,7 @@ mod tests {
         let (db, users, _) = world();
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
-        let recs = recommend_peers(&db, &kn, users[0], &ctx, PeerRecConfig::default());
+        let recs = recommend_peers(&db, &kn, &PprCache::new(), users[0], &ctx, PeerRecConfig::default());
         assert!(recs.iter().all(|r| r.user != users[0]), "no self-recommendation");
         assert!(recs.iter().all(|r| r.user != users[3]), "Carol already connected");
     }
@@ -350,7 +354,7 @@ mod tests {
         let (db, users, sessions) = world();
         let kn = KnowledgeNetwork::build(&db);
         let ctx = build_context(&db, &kn, users[0], ContextConfig::default());
-        let recs = recommend_peers(&db, &kn, users[0], &ctx, PeerRecConfig::default());
+        let recs = recommend_peers(&db, &kn, &PprCache::new(), users[0], &ctx, PeerRecConfig::default());
         let ann = recs.iter().find(|r| r.user == users[1]).expect("Ann recommended");
         assert!(!ann.reasons.is_empty(), "evidence attached");
         // Ann already checked into the tensor session, so her *likely*
@@ -367,6 +371,7 @@ mod tests {
             let recs = recommend_peers(
                 &db,
                 &kn,
+                &PprCache::new(),
                 users[0],
                 &ctx,
                 PeerRecConfig::defaults().with_strategy(strat),
@@ -398,6 +403,7 @@ mod tests {
         let recs = recommend_peers(
             &db,
             &kn,
+            &PprCache::new(),
             users[0],
             &ctx,
             PeerRecConfig::defaults().with_top_k(1),

@@ -49,6 +49,7 @@ use crate::history::{self, HistoryHit, HistoryQuery};
 use crate::ids::{SessionId, UserId};
 use crate::knowledge::KnowledgeNetwork;
 use crate::peers::{self, PeerRecConfig, PeerRecommendation};
+use crate::ppr::PprCache;
 use crate::reports::{self, ReportScope, UpdateReport};
 use hive_obs::ServiceKind;
 use std::collections::HashMap;
@@ -65,12 +66,13 @@ pub(crate) fn read_search(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
     idx: &DbIndexes,
+    ppr: &PprCache,
     user: UserId,
     query: &str,
     cfg: DiscoverConfig,
 ) -> Vec<SearchHit> {
     let ctx = build_context(db, kn, user, cfg.common.context);
-    discover::search(db, kn, idx, &ctx, query, cfg)
+    discover::search(db, kn, idx, ppr, &ctx, query, cfg)
 }
 
 /// Contextual resource recommendation (shared body of
@@ -79,11 +81,12 @@ pub(crate) fn read_recommend_resources(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
     idx: &DbIndexes,
+    ppr: &PprCache,
     user: UserId,
     cfg: DiscoverConfig,
 ) -> Vec<SearchHit> {
     let ctx = build_context(db, kn, user, cfg.common.context);
-    discover::recommend_resources(db, kn, idx, &ctx, cfg)
+    discover::recommend_resources(db, kn, idx, ppr, &ctx, cfg)
 }
 
 /// Workpad-contextualized peer recommendation (shared body of
@@ -91,11 +94,12 @@ pub(crate) fn read_recommend_resources(
 pub(crate) fn read_recommend_peers(
     db: &HiveDb,
     kn: &KnowledgeNetwork,
+    ppr: &PprCache,
     user: UserId,
     cfg: PeerRecConfig,
 ) -> Vec<PeerRecommendation> {
     let ctx = build_context(db, kn, user, cfg.common.context);
-    peers::recommend_peers(db, kn, user, &ctx, cfg)
+    peers::recommend_peers(db, kn, ppr, user, &ctx, cfg)
 }
 
 /// Content-profile nearest peers (shared body of `Hive::similar_peers`).
@@ -195,6 +199,7 @@ pub struct Epoch {
     kn: Arc<KnowledgeNetwork>,
     rel: Arc<RelSnapshot>,
     idx: Arc<DbIndexes>,
+    ppr: Arc<PprCache>,
 }
 
 impl Epoch {
@@ -216,6 +221,7 @@ impl Epoch {
             kn,
             rel: Arc::new(RelSnapshot { generation, store, view }),
             idx,
+            ppr: Arc::new(PprCache::new()),
         }
     }
 
@@ -264,7 +270,7 @@ impl Epoch {
     /// Peer recommendation at this epoch.
     pub fn recommend_peers(&self, user: UserId, cfg: PeerRecConfig) -> Vec<PeerRecommendation> {
         self.svc(ServiceKind::PeerRecommendation, |e| {
-            read_recommend_peers(&e.db, &e.kn, user, cfg)
+            read_recommend_peers(&e.db, &e.kn, &e.ppr, user, cfg)
         })
     }
 
@@ -282,13 +288,13 @@ impl Epoch {
 
     /// Context-aware search at this epoch.
     pub fn search(&self, user: UserId, query: &str, cfg: DiscoverConfig) -> Vec<SearchHit> {
-        self.svc(ServiceKind::Search, |e| read_search(&e.db, &e.kn, &e.idx, user, query, cfg))
+        self.svc(ServiceKind::Search, |e| read_search(&e.db, &e.kn, &e.idx, &e.ppr, user, query, cfg))
     }
 
     /// Contextual resource recommendation at this epoch.
     pub fn recommend_resources(&self, user: UserId, cfg: DiscoverConfig) -> Vec<SearchHit> {
         self.svc(ServiceKind::ResourceRecommendation, |e| {
-            read_recommend_resources(&e.db, &e.kn, &e.idx, user, cfg)
+            read_recommend_resources(&e.db, &e.kn, &e.idx, &e.ppr, user, cfg)
         })
     }
 
@@ -488,7 +494,8 @@ impl HiveServer {
         let kn = hive.knowledge();
         let rel = hive.relationship_graph(&kn);
         let idx = hive.indexes();
-        Epoch { generation, seq, db: Arc::new(hive.db().clone()), kn, rel, idx }
+        let ppr = hive.ppr();
+        Epoch { generation, seq, db: Arc::new(hive.db().clone()), kn, rel, idx, ppr }
     }
 
     /// The typed mutation surface. `&mut self` is the single-writer

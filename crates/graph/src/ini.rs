@@ -198,7 +198,11 @@ impl ImpactIndex {
         if self.dirty.is_empty() {
             return;
         }
-        let dirty: Vec<NodeId> = self.dirty.drain().collect();
+        // Drain order of the HashSet is nondeterministic; sort so the
+        // eviction sequence (and the hits/misses it produces) is
+        // run-stable across processes.
+        let mut dirty: Vec<NodeId> = self.dirty.drain().collect();
+        dirty.sort_unstable();
         for node in dirty {
             self.invalidate_touching(node);
         }

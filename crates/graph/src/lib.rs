@@ -37,6 +37,7 @@ pub mod ini;
 pub mod kcore;
 pub mod linkpred;
 pub mod ppr;
+pub mod ppr_dyn;
 pub mod shortest;
 pub mod traverse;
 
@@ -48,6 +49,7 @@ pub use csr::CsrView;
 pub use ppr::{
     pagerank, personalized_pagerank, personalized_pagerank_csr, top_k_excluding_seeds, PprConfig,
 };
+pub use ppr_dyn::{DynPprConfig, DynPprStats, DynamicPpr};
 pub use centrality::{betweenness_sampled, degree_centrality, harmonic_centrality, harmonic_centrality_sampled};
 pub use ini::{diffuse, DiffusionParams};
 pub use kcore::{core_numbers, k_core};

@@ -1,0 +1,542 @@
+//! Dynamic personalized PageRank via Gauss–Southwell forward push.
+//!
+//! [`personalized_pagerank_csr`] answers every query by re-running the
+//! full power iteration — 100+ rounds over every edge, even when the
+//! graph moved by a single edge since the last answer. This module
+//! maintains the answer *incrementally*: a [`DynamicPpr`] engine keeps,
+//! per canonicalized seed distribution, a `(rank, residual)` pair
+//! satisfying the forward-push invariant
+//!
+//! ```text
+//!     rank + Σ_u residual[u] · ppr(e_u)  =  exact PPR vector
+//! ```
+//!
+//! where `ppr(e_u)` is the (unknown) PPR vector personalized at node
+//! `u`. Because every `ppr(e_u)` is a probability distribution, the L1
+//! error of serving `rank` as the answer is bounded by `‖residual‖₁` —
+//! so pushing residual mass until that norm falls under
+//! [`DynPprConfig::push_tolerance`] yields scores provably within the
+//! tolerance of the true stationary distribution.
+//!
+//! Two operations preserve the invariant exactly (in exact arithmetic):
+//!
+//! * **push at `u`** — settle `(1-d)·r[u]` into `rank[u]` and spill
+//!   `d·r[u]` onto `u`'s out-neighbors in proportion to edge weight
+//!   (dangling nodes spill onto the restart distribution, matching the
+//!   power iteration's dangling redistribution);
+//! * **edge arrival `(u, v, w)`** — `u`'s out-distribution changes from
+//!   `c` to `c′`, which perturbs every registered residual by
+//!   `d/(1-d) · rank[u] · (c′ - c)`. The perturbation is *zero-sum* (a
+//!   redistribution of `u`'s spill), touches only `u`'s out-neighbors,
+//!   and costs O(out-degree) per seed-set — no iteration at all until
+//!   the next query.
+//!
+//! The absolute perturbation mass accumulates in a per-state `dirt`
+//! counter; once it exceeds [`DynPprConfig::error_budget`] the engine
+//! discards the patched state and re-solves with
+//! [`personalized_pagerank_csr`] — bit-identical to a cold caller — the
+//! same patch-or-rebuild discipline the CSR view uses under its
+//! `REBUILD_FRACTION`. Push sweeps run single-threaded in ascending
+//! node order, so results are reproducible for any `HIVE_THREADS`; the
+//! fallback path inherits the chunk-order determinism of the shared
+//! power iteration.
+
+use crate::csr::CsrView;
+use crate::graph::{Graph, NodeId};
+use crate::ppr::{personalized_pagerank_csr, PprConfig};
+use std::collections::HashMap;
+
+/// Tuning knobs of the incremental engine (the iteration itself is
+/// configured by the shared [`PprConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DynPprConfig {
+    /// Serve once `‖residual‖₁` falls below this. The served scores are
+    /// within `push_tolerance` (L1) of the exact stationary
+    /// distribution; the default is chosen so that together with the
+    /// full iteration's own convergence slack the incremental and full
+    /// answers stay within 1e-8 of each other.
+    pub push_tolerance: f64,
+    /// Accumulated absolute perturbation mass after which a state is
+    /// re-solved from scratch instead of patched (bounds float drift
+    /// from long push histories).
+    pub error_budget: f64,
+    /// Maximum number of seed-set states kept resident (oldest evicted
+    /// first).
+    pub max_states: usize,
+    /// Hard cap on push sweeps per query; exceeding it falls back to a
+    /// full solve.
+    pub max_sweeps: usize,
+}
+
+impl Default for DynPprConfig {
+    fn default() -> Self {
+        DynPprConfig {
+            push_tolerance: 2e-9,
+            error_budget: 0.05,
+            max_states: 32,
+            max_sweeps: 400,
+        }
+    }
+}
+
+/// Work counters of a [`DynamicPpr`] engine (monotone; plain data so
+/// callers can diff across calls).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DynPprStats {
+    /// Queries answered by a full power-iteration solve (first sight of
+    /// a seed set, or post-fallback).
+    pub full_solves: u64,
+    /// Full solves forced by an exhausted error budget or sweep cap.
+    pub fallbacks: u64,
+    /// Queries answered from pushed residuals (the incremental path).
+    pub pushed_queries: u64,
+    /// Queries answered from a still-exact cached rank (no graph motion
+    /// since the last solve).
+    pub exact_hits: u64,
+    /// Total push sweeps executed.
+    pub sweeps: u64,
+    /// Total single-node push operations executed.
+    pub pushes: u64,
+    /// Seed-set states evicted to respect `max_states`.
+    pub evictions: u64,
+}
+
+/// One maintained seed distribution: canonical key, normalized restart
+/// support, and the `(rank, residual)` pair.
+struct SeedState {
+    /// Sorted `(node index, raw mass bits)` — the cache key.
+    key: Vec<(u32, u64)>,
+    /// Sorted `(node index, normalized mass)` restart support, exactly
+    /// as the power iteration materializes it.
+    restart: Vec<(u32, f64)>,
+    rank: Vec<f64>,
+    residual: Vec<f64>,
+    /// Accumulated absolute perturbation mass since the last full solve.
+    dirt: f64,
+    /// True while `rank` is verbatim power-iteration output for the
+    /// current graph (no arrivals since).
+    exact: bool,
+}
+
+/// Incremental PPR engine over an owned, mutable graph.
+///
+/// Feed edge arrivals through [`DynamicPpr::apply_edge`] /
+/// [`DynamicPpr::apply_undirected_edge`] (the `DbDelta` journal's graph
+/// effects, in core) and query with [`DynamicPpr::scores_incremental`].
+/// [`DynamicPpr::scores`] always returns exact power-iteration output,
+/// bit-identical to calling [`personalized_pagerank_csr`] on a cold
+/// build of the same graph.
+pub struct DynamicPpr {
+    graph: Graph,
+    cfg: PprConfig,
+    dyn_cfg: DynPprConfig,
+    /// Cached per-node total out-weight (kept in lockstep with `graph`
+    /// so pushes don't re-sum adjacency lists).
+    out_w: Vec<f64>,
+    /// Lazily rebuilt pull-CSR for the full-solve path.
+    csr: Option<CsrView>,
+    /// Registration order (oldest first — the eviction order).
+    states: Vec<SeedState>,
+    stats: DynPprStats,
+}
+
+/// Sorted canonical form of a seed map: `(node index, mass bits)`.
+fn canonical_key(seeds: &HashMap<NodeId, f64>) -> Vec<(u32, u64)> {
+    // lint:allow(determinism-taint) -- sorted into node order on the next line
+    let mut key: Vec<(u32, u64)> = seeds.iter().map(|(&n, &m)| (n.0, m.to_bits())).collect();
+    key.sort_unstable();
+    key
+}
+
+/// The normalized restart support the power iteration would build from
+/// these seeds: node order, mass divided by the order-stable sum.
+fn restart_support(key: &[(u32, u64)]) -> Vec<(u32, f64)> {
+    let seed_sum: f64 = key.iter().map(|&(_, bits)| f64::from_bits(bits)).sum();
+    key.iter().map(|&(n, bits)| (n, f64::from_bits(bits) / seed_sum)).collect()
+}
+
+/// One Gauss–Seidel push pass in ascending node order: settles `(1-d)`
+/// of each above-threshold residual into the rank and spills the rest
+/// onto out-neighbors (or the restart support for dangling nodes).
+/// In-place updates mean spills to higher-numbered nodes are consumed
+/// within the same sweep. Returns `true` once `‖residual‖₁` is under
+/// tolerance, `false` if the sweep cap was hit first.
+fn push_to_tolerance(
+    graph: &Graph,
+    out_w: &[f64],
+    cfg: &PprConfig,
+    dyn_cfg: &DynPprConfig,
+    st: &mut SeedState,
+    stats: &mut DynPprStats,
+) -> bool {
+    let n = graph.node_count();
+    if n == 0 {
+        return true;
+    }
+    let d = cfg.damping;
+    let tol = dyn_cfg.push_tolerance;
+    // Skipping nodes below theta leaves at most n·theta = tol/4 mass
+    // unpushed, so the stop condition stays reachable.
+    let theta = tol / (4.0 * n as f64);
+    let mut total: f64 = st.residual.iter().map(|r| r.abs()).sum();
+    let mut sweeps = 0usize;
+    while total > tol {
+        if sweeps >= dyn_cfg.max_sweeps {
+            return false;
+        }
+        for u in 0..n {
+            let r_u = st.residual[u];
+            if r_u.abs() < theta {
+                continue;
+            }
+            st.residual[u] = 0.0;
+            st.rank[u] += (1.0 - d) * r_u;
+            let spill = d * r_u;
+            let w_u = out_w[u];
+            if w_u == 0.0 {
+                // Dangling spill teleports to the restart distribution,
+                // mirroring the power iteration's dangling handling.
+                for &(s, m) in &st.restart {
+                    st.residual[s as usize] += spill * m;
+                }
+            } else {
+                for &(t, w) in graph.out_slice(NodeId(u as u32)) {
+                    st.residual[t.index()] += spill * w / w_u;
+                }
+            }
+            stats.pushes += 1;
+        }
+        total = st.residual.iter().map(|r| r.abs()).sum();
+        sweeps += 1;
+        stats.sweeps += 1;
+    }
+    true
+}
+
+impl DynamicPpr {
+    /// Wraps a graph snapshot. The engine owns its copy; deliver later
+    /// mutations through [`DynamicPpr::apply_edge`] so registered
+    /// states stay maintained.
+    pub fn new(graph: Graph, cfg: PprConfig, dyn_cfg: DynPprConfig) -> Self {
+        let out_w: Vec<f64> = graph.nodes().map(|u| graph.out_weight(u)).collect();
+        DynamicPpr { graph, cfg, dyn_cfg, out_w, csr: None, states: Vec::new(), stats: Default::default() }
+    }
+
+    /// The engine's current graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> DynPprStats {
+        self.stats
+    }
+
+    /// Interns `key`, creating the node if needed. New nodes start
+    /// isolated, so every maintained `(rank, residual)` pair extends
+    /// with exact zeros — no perturbation occurs until edges arrive.
+    pub fn add_node(&mut self, key: impl Into<String>) -> NodeId {
+        let before = self.graph.node_count();
+        let id = self.graph.add_node(key);
+        if self.graph.node_count() > before {
+            self.out_w.push(0.0);
+            for st in &mut self.states {
+                st.rank.push(0.0);
+                st.residual.push(0.0);
+            }
+            self.csr = None;
+        }
+        id
+    }
+
+    /// Delivers a directed edge arrival `u → v` with weight `w` (the
+    /// `apply_delta` hook: core maps each journaled `DbDelta` onto the
+    /// same `add_edge` sequence a fresh build replays).
+    ///
+    /// `u`'s out-distribution changes from `c` to `c′`; each registered
+    /// state's residual absorbs `d/(1-d) · rank[u] · (c′ - c)`, which
+    /// restores the push invariant for the new graph exactly. The
+    /// absolute mass of the perturbation accrues to the state's error
+    /// budget.
+    pub fn apply_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        let ui = u.index();
+        let old: Vec<(NodeId, f64)> = self.graph.out_slice(u).to_vec();
+        let w_old = self.out_w[ui];
+        self.graph.add_edge(u, v, w);
+        let w_new = w_old + w;
+        self.out_w[ui] = w_new;
+        self.csr = None;
+        let d = self.cfg.damping;
+        // `add_edge` either bumps an existing slot in place or appends,
+        // so the new out-list is positionally aligned with the old one.
+        let new: Vec<(NodeId, f64)> = self.graph.out_slice(u).to_vec();
+        for st in &mut self.states {
+            st.exact = false;
+            let p_u = st.rank[ui];
+            if p_u == 0.0 {
+                continue;
+            }
+            let kappa = d / (1.0 - d) * p_u;
+            let mut dirt = 0.0;
+            for (i, &(t, wt_new)) in new.iter().enumerate() {
+                let c_new = wt_new / w_new;
+                let c_old = match old.get(i) {
+                    Some(&(_, wt_old)) if w_old > 0.0 => wt_old / w_old,
+                    _ => 0.0,
+                };
+                let delta = kappa * (c_new - c_old);
+                st.residual[t.index()] += delta;
+                dirt += delta.abs();
+            }
+            if w_old == 0.0 {
+                // `u` was dangling: its spill used to teleport to the
+                // restart distribution; retract that share.
+                for &(s, m) in &st.restart {
+                    let delta = kappa * m;
+                    st.residual[s as usize] -= delta;
+                    dirt += delta.abs();
+                }
+            }
+            st.dirt += dirt;
+        }
+    }
+
+    /// Delivers an undirected arrival (both directions, matching
+    /// `Graph::add_undirected_edge`'s self-loop handling).
+    pub fn apply_undirected_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        self.apply_edge(u, v, w);
+        if u != v {
+            self.apply_edge(v, u, w);
+        }
+    }
+
+    fn ensure_csr(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrView::build(&self.graph));
+        }
+    }
+
+    fn solve(&mut self, seeds: &HashMap<NodeId, f64>) -> Vec<f64> {
+        self.ensure_csr();
+        self.stats.full_solves += 1;
+        match &self.csr {
+            Some(csr) => personalized_pagerank_csr(csr, seeds, self.cfg),
+            None => Vec::new(), // unreachable: ensure_csr just filled it
+        }
+    }
+
+    fn find_state(&self, key: &[(u32, u64)]) -> Option<usize> {
+        self.states.iter().position(|s| s.key == key)
+    }
+
+    /// Full solve + (re)register the state as exact.
+    fn solve_into_state(&mut self, seeds: &HashMap<NodeId, f64>, key: Vec<(u32, u64)>) -> Vec<f64> {
+        let rank = self.solve(seeds);
+        let n = self.graph.node_count();
+        let fresh = SeedState {
+            restart: restart_support(&key),
+            key,
+            rank: rank.clone(),
+            residual: vec![0.0; n],
+            dirt: 0.0,
+            exact: true,
+        };
+        match self.find_state(&fresh.key) {
+            Some(i) => self.states[i] = fresh,
+            None => {
+                if self.states.len() >= self.dyn_cfg.max_states.max(1) {
+                    self.states.remove(0);
+                    self.stats.evictions += 1;
+                }
+                self.states.push(fresh);
+            }
+        }
+        rank
+    }
+
+    /// Exact scores: bit-identical to [`personalized_pagerank_csr`]
+    /// over a cold [`CsrView::build`] of the current graph. Served from
+    /// the cached rank when no arrival occurred since the last solve,
+    /// else re-solved (and the state reset).
+    pub fn scores(&mut self, seeds: &HashMap<NodeId, f64>) -> Vec<f64> {
+        let key = canonical_key(seeds);
+        if key.is_empty() || restart_support(&key).iter().map(|&(_, m)| m).sum::<f64>() <= 0.0 {
+            // Uniform-restart queries are not maintained incrementally.
+            return self.solve(seeds);
+        }
+        if let Some(i) = self.find_state(&key) {
+            if self.states[i].exact {
+                self.stats.exact_hits += 1;
+                return self.states[i].rank.clone();
+            }
+        }
+        self.solve_into_state(seeds, key)
+    }
+
+    /// Incrementally maintained scores: within
+    /// [`DynPprConfig::push_tolerance`] (L1) of the exact stationary
+    /// distribution. First sight of a seed set, an exhausted error
+    /// budget, or a blown sweep cap all fall back to the exact solve.
+    pub fn scores_incremental(&mut self, seeds: &HashMap<NodeId, f64>) -> Vec<f64> {
+        let key = canonical_key(seeds);
+        if key.is_empty() {
+            return self.solve(seeds);
+        }
+        let Some(i) = self.find_state(&key) else {
+            return self.solve_into_state(seeds, key);
+        };
+        if self.states[i].exact {
+            self.stats.exact_hits += 1;
+            return self.states[i].rank.clone();
+        }
+        if self.states[i].dirt > self.dyn_cfg.error_budget {
+            self.stats.fallbacks += 1;
+            return self.solve_into_state(seeds, key);
+        }
+        let pushed = push_to_tolerance(
+            &self.graph,
+            &self.out_w,
+            &self.cfg,
+            &self.dyn_cfg,
+            &mut self.states[i],
+            &mut self.stats,
+        );
+        if !pushed {
+            self.stats.fallbacks += 1;
+            return self.solve_into_state(seeds, key);
+        }
+        self.stats.pushed_queries += 1;
+        self.states[i].rank.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn line_graph() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..6).map(|i| g.add_node(format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_undirected_edge(w[0], w[1], 1.0);
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn incremental_tracks_full_after_arrivals() {
+        let (g, ids) = line_graph();
+        let mut seeds = HashMap::new();
+        seeds.insert(ids[0], 1.0);
+        // On a 6-node graph the perturbation mass is a sizable fraction
+        // of the rank, so widen the budget to keep the push path live.
+        let dyn_cfg = DynPprConfig { error_budget: 100.0, ..Default::default() };
+        let mut engine = DynamicPpr::new(g.clone(), PprConfig::default(), dyn_cfg);
+        let mut shadow = g;
+        let _ = engine.scores_incremental(&seeds);
+        for (u, v, w) in [(1usize, 4usize, 0.7), (2, 5, 0.3), (0, 3, 0.5)] {
+            engine.apply_undirected_edge(ids[u], ids[v], w);
+            shadow.add_undirected_edge(ids[u], ids[v], w);
+            let inc = engine.scores_incremental(&seeds);
+            let full = personalized_pagerank_csr(&CsrView::build(&shadow), &seeds, PprConfig::default());
+            assert!(l1(&inc, &full) <= 1e-8, "L1 drift {:.3e}", l1(&inc, &full));
+        }
+        assert!(engine.stats().pushed_queries >= 1, "push path exercised");
+    }
+
+    #[test]
+    fn dangling_source_arrival_is_exact() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b"); // dangling
+        let c = g.add_node("c");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(c, a, 1.0);
+        let mut seeds = HashMap::new();
+        seeds.insert(a, 1.0);
+        let mut engine = DynamicPpr::new(g.clone(), PprConfig::default(), DynPprConfig::default());
+        let _ = engine.scores_incremental(&seeds);
+        // b stops being dangling: its teleport share must be retracted.
+        engine.apply_edge(b, c, 0.5);
+        g.add_edge(b, c, 0.5);
+        let inc = engine.scores_incremental(&seeds);
+        let full = personalized_pagerank_csr(&CsrView::build(&g), &seeds, PprConfig::default());
+        assert!(l1(&inc, &full) <= 1e-8);
+    }
+
+    #[test]
+    fn zero_budget_forces_bit_identical_fallback() {
+        let (g, ids) = line_graph();
+        let mut seeds = HashMap::new();
+        seeds.insert(ids[2], 1.0);
+        let cfg = DynPprConfig { error_budget: 0.0, ..Default::default() };
+        let mut engine = DynamicPpr::new(g.clone(), PprConfig::default(), cfg);
+        let mut shadow = g;
+        let _ = engine.scores_incremental(&seeds);
+        engine.apply_undirected_edge(ids[0], ids[5], 0.9);
+        shadow.add_undirected_edge(ids[0], ids[5], 0.9);
+        let inc = engine.scores_incremental(&seeds);
+        let full = personalized_pagerank_csr(&CsrView::build(&shadow), &seeds, PprConfig::default());
+        let inc_bits: Vec<u64> = inc.iter().map(|x| x.to_bits()).collect();
+        let full_bits: Vec<u64> = full.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(inc_bits, full_bits, "budget fallback must equal cold solve bitwise");
+        assert_eq!(engine.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn new_nodes_grow_states_exactly() {
+        let (g, ids) = line_graph();
+        let mut seeds = HashMap::new();
+        seeds.insert(ids[1], 1.0);
+        let mut engine = DynamicPpr::new(g.clone(), PprConfig::default(), DynPprConfig::default());
+        let mut shadow = g;
+        let _ = engine.scores_incremental(&seeds);
+        let fresh = engine.add_node("n6");
+        let shadow_fresh = shadow.add_node("n6");
+        assert_eq!(fresh, shadow_fresh);
+        engine.apply_undirected_edge(ids[3], fresh, 0.4);
+        shadow.add_undirected_edge(ids[3], shadow_fresh, 0.4);
+        let inc = engine.scores_incremental(&seeds);
+        let full = personalized_pagerank_csr(&CsrView::build(&shadow), &seeds, PprConfig::default());
+        assert_eq!(inc.len(), full.len());
+        assert!(l1(&inc, &full) <= 1e-8);
+    }
+
+    #[test]
+    fn exact_mode_matches_cold_bitwise() {
+        let (g, ids) = line_graph();
+        let mut seeds = HashMap::new();
+        seeds.insert(ids[0], 2.0);
+        seeds.insert(ids[4], 1.0);
+        let mut engine = DynamicPpr::new(g.clone(), PprConfig::default(), DynPprConfig::default());
+        let mut shadow = g;
+        engine.apply_undirected_edge(ids[1], ids[5], 0.6);
+        shadow.add_undirected_edge(ids[1], ids[5], 0.6);
+        let exact = engine.scores(&seeds);
+        let cold = personalized_pagerank_csr(&CsrView::build(&shadow), &seeds, PprConfig::default());
+        let a: Vec<u64> = exact.iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u64> = cold.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
+        // Second call is an exact hit, still bitwise equal.
+        let again = engine.scores(&seeds);
+        assert_eq!(a, again.iter().map(|x| x.to_bits()).collect::<Vec<u64>>());
+        assert_eq!(engine.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn state_eviction_respects_cap() {
+        let (g, ids) = line_graph();
+        let cfg = DynPprConfig { max_states: 2, ..Default::default() };
+        let mut engine = DynamicPpr::new(g, PprConfig::default(), cfg);
+        for &s in &ids[..4] {
+            let mut seeds = HashMap::new();
+            seeds.insert(s, 1.0);
+            let _ = engine.scores_incremental(&seeds);
+        }
+        assert_eq!(engine.stats().evictions, 2);
+    }
+}

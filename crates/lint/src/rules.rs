@@ -84,7 +84,7 @@ impl AllowIndex {
 /// Facade functions exempt from R7: construction and cache plumbing
 /// that runs no Table-1 service, plus the choke points themselves.
 pub const FACADE_EXEMPT: &[&str] =
-    &["new", "db", "db_mut", "indexes", "knowledge", "service", "service_mut"];
+    &["new", "db", "db_mut", "indexes", "knowledge", "ppr", "service", "service_mut"];
 
 /// Enum names whose matches R10 forces to stay exhaustive: the delta
 /// vocabularies that grow as cache maintenance learns new operations.

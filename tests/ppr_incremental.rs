@@ -1,0 +1,245 @@
+//! Property suite for the incremental PPR engine: across seeded random
+//! graphs and randomized edge-arrival interleavings, forward-push
+//! maintenance must stay within the certified L1 envelope of a cold
+//! power iteration, preserve the exact top-k ordering the serving
+//! battery fingerprints, and fall back bit-identically to cold when
+//! its error budget is exhausted. A final leg proves the facade's
+//! generation-keyed PPR tier emits its hit/delta/miss counters.
+
+use hive_core::peers::PeerRecConfig;
+use hive_core::sim::{SimConfig, WorldBuilder};
+use hive_core::Hive;
+use hive_graph::{
+    personalized_pagerank_csr, CsrView, DynPprConfig, DynamicPpr, Graph, NodeId, PprConfig,
+};
+use hive_rng::Rng;
+use std::collections::HashMap;
+
+/// Serving-path accuracy envelope: full iteration sits within
+/// `tolerance * d / (1 - d)` of the fixed point and the push engine
+/// within its own `push_tolerance`, so the two may differ by at most
+/// the sum — 1e-8 with the default configs.
+const L1_ENVELOPE: f64 = 1e-8;
+
+fn uniform_graph(n: usize, edges: usize, seed: u64) -> Graph {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("u{i}"))).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    for _ in 0..edges {
+        let a = ids[rng.gen_range(0..n)];
+        let b = ids[rng.gen_range(0..n)];
+        if a != b {
+            g.add_undirected_edge(a, b, rng.gen_range(0.1..1.0));
+        }
+    }
+    g
+}
+
+/// Ring of cliques: the community-structured topology (strong
+/// in-clique edges, weak bridges) where locality makes most arrivals
+/// nearly free for the push engine.
+fn community_graph(cliques: usize, size: usize, seed: u64) -> Graph {
+    let mut g = Graph::new();
+    let mut rng = Rng::seed_from_u64(seed);
+    let ids: Vec<NodeId> =
+        (0..cliques * size).map(|i| g.add_node(format!("c{i}"))).collect();
+    for c in 0..cliques {
+        let base = c * size;
+        for i in 0..size {
+            for _ in 0..3 {
+                let j = rng.gen_range(0..size);
+                if i != j {
+                    g.add_undirected_edge(
+                        ids[base + i],
+                        ids[base + j],
+                        rng.gen_range(0.5..1.0),
+                    );
+                }
+            }
+        }
+        let next = (c + 1) % cliques * size;
+        for _ in 0..2 {
+            g.add_undirected_edge(
+                ids[base + rng.gen_range(0..size)],
+                ids[next + rng.gen_range(0..size)],
+                0.05,
+            );
+        }
+    }
+    g
+}
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Ranking the serving path fingerprints: score descending via
+/// `total_cmp`, NodeId ascending on exact ties.
+fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked.into_iter().map(|(i, _)| i).collect()
+}
+
+/// Replays `rounds` random arrivals into an engine and a plain graph
+/// copy, interleaving queries, and checks the L1 envelope plus exact
+/// top-k agreement after every queried round.
+fn check_interleaving(graph: Graph, seeds: HashMap<NodeId, f64>, seed: u64, rounds: usize) {
+    let mut engine =
+        DynamicPpr::new(graph.clone(), PprConfig::default(), DynPprConfig::default());
+    let mut full = graph;
+    let _ = engine.scores_incremental(&seeds);
+    let mut rng = Rng::seed_from_u64(seed);
+    for round in 0..rounds {
+        // A burst of 1..=4 arrivals between queries: interleaving
+        // pattern varies per round, driven by the same seeded stream.
+        for _ in 0..rng.gen_range(1..=4usize) {
+            let n = full.node_count();
+            let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if u == v {
+                continue;
+            }
+            let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+            let w = rng.gen_range(0.1..1.0);
+            engine.apply_undirected_edge(u, v, w);
+            full.add_undirected_edge(u, v, w);
+        }
+        let incr = engine.scores_incremental(&seeds);
+        let cold =
+            personalized_pagerank_csr(&CsrView::build(&full), &seeds, PprConfig::default());
+        let drift = l1(&incr, &cold);
+        assert!(
+            drift <= L1_ENVELOPE,
+            "round {round}: incremental drifted {drift:e} L1 from full iteration"
+        );
+        assert_eq!(
+            top_k(&incr, 10),
+            top_k(&cold, 10),
+            "round {round}: top-10 order diverged from full iteration"
+        );
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.pushed_queries + stats.fallbacks + stats.exact_hits >= rounds as u64,
+        "every queried round is accounted for: {stats:?}"
+    );
+}
+
+#[test]
+fn incremental_tracks_full_on_uniform_random_graphs() {
+    for seed in [11, 12, 13] {
+        let g = uniform_graph(300, 1200, seed);
+        let mut seeds = HashMap::new();
+        seeds.insert(NodeId(7), 1.0);
+        check_interleaving(g, seeds, seed * 1000 + 1, 8);
+    }
+}
+
+#[test]
+fn incremental_tracks_full_on_community_graphs() {
+    let g = community_graph(12, 25, 42);
+    let mut seeds = HashMap::new();
+    seeds.insert(NodeId(3), 0.7);
+    seeds.insert(NodeId(4), 0.3);
+    check_interleaving(g, seeds, 4242, 10);
+}
+
+#[test]
+fn zero_budget_engine_replays_cold_bitwise() {
+    let g = uniform_graph(200, 800, 99);
+    let mut seeds = HashMap::new();
+    seeds.insert(NodeId(0), 1.0);
+    let mut engine = DynamicPpr::new(
+        g.clone(),
+        PprConfig::default(),
+        DynPprConfig { error_budget: 0.0, ..DynPprConfig::default() },
+    );
+    let mut full = g;
+    let _ = engine.scores_incremental(&seeds);
+    let mut rng = Rng::seed_from_u64(7);
+    for _ in 0..6 {
+        let n = full.node_count();
+        let (u, v) = (NodeId(rng.gen_range(0..n) as u32), NodeId(rng.gen_range(0..n) as u32));
+        if u == v {
+            continue;
+        }
+        let w = rng.gen_range(0.1..1.0);
+        engine.apply_undirected_edge(u, v, w);
+        full.add_undirected_edge(u, v, w);
+        let incr = engine.scores_incremental(&seeds);
+        let cold =
+            personalized_pagerank_csr(&CsrView::build(&full), &seeds, PprConfig::default());
+        for (i, (a, b)) in incr.iter().zip(&cold).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "node {i}: zero-budget fallback must be bit-identical to cold"
+            );
+        }
+    }
+    assert!(engine.stats().fallbacks > 0, "budget 0 must force the fallback path");
+    assert_eq!(engine.stats().pushed_queries, 0, "budget 0 never serves a pushed result");
+}
+
+#[test]
+fn arrivals_touching_new_nodes_grow_the_engine() {
+    let g = uniform_graph(50, 150, 5);
+    let mut seeds = HashMap::new();
+    seeds.insert(NodeId(1), 1.0);
+    let mut engine =
+        DynamicPpr::new(g.clone(), PprConfig::default(), DynPprConfig::default());
+    let mut full = g;
+    let _ = engine.scores_incremental(&seeds);
+    for i in 0..4 {
+        let ke = engine.add_node(format!("late{i}"));
+        let kf = full.add_node(format!("late{i}"));
+        assert_eq!(ke, kf, "engine and plain graph assign the same fresh ids");
+        engine.apply_undirected_edge(NodeId(i), ke, 0.4);
+        full.add_undirected_edge(NodeId(i), kf, 0.4);
+    }
+    let incr = engine.scores_incremental(&seeds);
+    let cold = personalized_pagerank_csr(&CsrView::build(&full), &seeds, PprConfig::default());
+    assert_eq!(incr.len(), cold.len(), "score vector grew with the graph");
+    assert!(l1(&incr, &cold) <= L1_ENVELOPE);
+    assert_eq!(top_k(&incr, 10), top_k(&cold, 10));
+}
+
+#[test]
+fn facade_ppr_tier_emits_generation_counters() {
+    hive_obs::with_level(hive_obs::Level::Counts, || {
+        let world = WorldBuilder::new(SimConfig::small()).build();
+        let mut hive = Hive::new(world.db);
+        let users = hive.db().user_ids();
+        hive_obs::reset();
+        let first = hive.recommend_peers(users[0], PeerRecConfig::default());
+        let second = hive.recommend_peers(users[0], PeerRecConfig::default());
+        assert_eq!(first.len(), second.len(), "same generation, same answer");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        let counters: HashMap<String, u64> =
+            hive_obs::drain_counters().into_iter().collect();
+        assert_eq!(counters.get("core.ppr.miss"), Some(&1), "first probe builds the tier");
+        assert!(
+            counters.get("core.ppr.hit").copied().unwrap_or(0) >= 1,
+            "second probe reuses it: {counters:?}"
+        );
+        assert!(
+            counters.get("core.ppr.memo_hit").copied().unwrap_or(0) >= 1,
+            "repeated seed distribution is memoized: {counters:?}"
+        );
+        // A journal-covered graph-touching mutation patches the tier
+        // forward (clearing the memo) instead of rebuilding it.
+        hive.follow(users[0], users[2]).unwrap();
+        let _ = hive.recommend_peers(users[0], PeerRecConfig::default());
+        let counters: HashMap<String, u64> =
+            hive_obs::drain_counters().into_iter().collect();
+        assert_eq!(
+            counters.get("core.ppr.delta"),
+            Some(&1),
+            "journaled mutation takes the delta path: {counters:?}"
+        );
+    });
+}
